@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (scaled to
+benchmark-friendly sizes) and asserts the qualitative claims hold, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction run.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    from repro.experiments.topologies import testbed_topology
+
+    return testbed_topology()

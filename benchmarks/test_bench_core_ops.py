@@ -1,0 +1,93 @@
+"""Micro-benchmarks of HARP's core operations.
+
+The paper argues the skyline heuristic's O(n log n) cost suits
+resource-constrained devices (TI CC2650) and that HARP's phases stay
+cheap as the network scales; these benches track the Python costs of the
+packing kernel, the full static phase, one slotframe of simulation, and
+one dynamic adjustment.
+"""
+
+import random
+
+from repro.core.manager import HarpNetwork
+from repro.net.sim.engine import TSCHSimulator
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, layered_random_tree
+from repro.packing.geometry import Rect
+from repro.packing.strip import strip_pack
+
+
+def test_bench_skyline_packing(benchmark):
+    rng = random.Random(0)
+    rects = [Rect(rng.randint(1, 10), rng.randint(1, 4), i) for i in range(200)]
+    result = benchmark(strip_pack, rects, 16)
+    assert len(result.placements) == 200
+
+
+def test_bench_static_allocation_50_nodes(benchmark):
+    topology = layered_random_tree(50, 5, random.Random(2))
+    tasks = e2e_task_per_node(topology, rate=1.0)
+    config = SlotframeConfig(num_slots=299)
+
+    def run():
+        harp = HarpNetwork(topology, tasks, config)
+        harp.allocate()
+        return harp
+
+    harp = benchmark(run)
+    harp.validate()
+
+
+def test_bench_static_allocation_100_nodes(benchmark):
+    topology = layered_random_tree(100, 6, random.Random(3))
+    tasks = e2e_task_per_node(topology, rate=1.0)
+    config = SlotframeConfig(num_slots=499)
+
+    def run():
+        harp = HarpNetwork(topology, tasks, config)
+        harp.allocate()
+        return harp
+
+    harp = benchmark(run)
+    harp.validate()
+
+
+def test_bench_simulation_slotframe(benchmark):
+    topology = layered_random_tree(50, 5, random.Random(4))
+    tasks = e2e_task_per_node(topology, rate=1.0)
+    harp = HarpNetwork(topology, tasks, SlotframeConfig())
+    harp.allocate()
+    sim = TSCHSimulator(
+        topology, harp.schedule, tasks, harp.config, rng=random.Random(0)
+    )
+    benchmark(sim.run_slotframes, 1)
+    assert sim.metrics.generated > 0
+
+
+def test_bench_single_adjustment(benchmark):
+    topology = layered_random_tree(50, 5, random.Random(5))
+    tasks = e2e_task_per_node(topology, rate=1.0)
+
+    def setup():
+        harp = HarpNetwork(
+            topology, tasks, SlotframeConfig(), distribute_slack=True
+        )
+        harp.allocate()
+        table = harp.tables[Direction.UP]
+        node = next(
+            n
+            for n in topology.nodes_at_depth(2)
+            if table.has_component(n, topology.node_layer(n))
+        )
+        return (harp, node), {}
+
+    def run(harp, node):
+        layer = topology.node_layer(node)
+        comp = harp.tables[Direction.UP].component(node, layer)
+        return harp.adjuster.request_component_increase(
+            node, layer, Direction.UP, comp.n_slots + 1
+        )
+
+    outcome = benchmark.pedantic(run, setup=setup, rounds=10, iterations=1)
+    assert outcome.success

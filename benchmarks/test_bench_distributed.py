@@ -1,0 +1,64 @@
+"""Benchmarks for the distributed agent implementation.
+
+Tracks the cost of running HARP as real per-node agents: the static
+phase's message count and wall time, the differential guarantee against
+the centralized reference, and the over-the-air bootstrap duration in
+the co-simulation.
+"""
+
+import random
+
+from repro.agents import AgentRuntime, LiveHarpNetwork
+from repro.core.link_sched import id_priority
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import layered_random_tree
+
+
+def test_bench_distributed_static_phase(benchmark):
+    topology = layered_random_tree(50, 5, random.Random(2))
+    tasks = e2e_task_per_node(topology)
+    config = SlotframeConfig(num_slots=299)
+
+    def run():
+        runtime = AgentRuntime(topology, tasks, config)
+        messages = runtime.run_static_phase()
+        return runtime, messages
+
+    runtime, messages = benchmark(run)
+    runtime.assert_converged()
+    schedule = runtime.build_schedule()
+    schedule.validate_collision_free(topology)
+    # Hop-local protocol: messages stay linear in node count.
+    assert messages < 6 * len(topology.nodes)
+    # Differential guarantee against the centralized reference.
+    harp = HarpNetwork(topology, tasks, config, priority=id_priority())
+    harp.allocate()
+    assert set(schedule.links) == set(harp.schedule.links)
+    for link in harp.schedule.links:
+        assert sorted(schedule.cells_of(link)) == sorted(
+            harp.schedule.cells_of(link)
+        )
+
+
+def test_bench_over_the_air_bootstrap(benchmark):
+    topology = layered_random_tree(30, 4, random.Random(4))
+    tasks = e2e_task_per_node(topology)
+    config = SlotframeConfig(
+        num_slots=199, num_channels=16, management_slots=48
+    )
+
+    def run():
+        live = LiveHarpNetwork(topology, tasks, config)
+        slots = live.bootstrap()
+        return live, slots
+
+    live, slots = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Bootstrap needs real air time: at least one slotframe per tree
+    # level of bottom-up plus top-down propagation, but converges within
+    # a practical bound.
+    depth = topology.max_layer
+    assert slots >= depth * config.num_slots / 2
+    assert slots <= 80 * config.num_slots
+    live.schedule.validate_collision_free(topology)

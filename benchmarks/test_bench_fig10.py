@@ -1,0 +1,28 @@
+"""Fig. 10 benchmark — dynamic latency under staged rate increases.
+
+Node rate steps 1 -> 1.5 -> 3 packets/slotframe: the first step must be
+absorbed locally (idle cells), the second must trigger a partition
+adjustment, and the latency spike of the second step must dominate.
+"""
+
+from repro.experiments.dynamic_latency import run_fig10
+
+
+def test_fig10_dynamic_latency(benchmark):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"total_slotframes": 110}, rounds=3, iterations=1
+    )
+    step1, step2 = result.steps
+    assert step1.absorbed_locally
+    assert not step2.absorbed_locally
+    assert step2.partition_messages > 0
+
+    sf = result.slotframe_s
+    t1 = step1.at_slotframe * sf
+    t2 = step2.at_slotframe * sf
+    baseline = result.max_latency_between(0.0, t1)
+    spike1 = result.max_latency_between(t1, t2)
+    spike2 = result.max_latency_between(t2, float("inf"))
+    assert spike2 > spike1 >= baseline
+    # Baseline: within ~one slotframe, as in the static phase.
+    assert baseline <= 1.5 * sf

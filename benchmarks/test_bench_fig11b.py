@@ -1,0 +1,28 @@
+"""Fig. 11(b) benchmark — collision probability vs channel count.
+
+Fixed rate of 3 packets/slotframe, channels swept 16 -> 2.  Claims
+checked: baselines degrade sharply as channels disappear; HARP stays at
+zero while its allocation fits (channels > 4 in the paper; > 2 here) and
+rises only slightly at 2 channels, still dominating every baseline.
+"""
+
+from repro.experiments.collision_sweep import run_fig11b
+
+
+def test_fig11b_collisions_vs_channels(benchmark):
+    result = benchmark.pedantic(
+        run_fig11b,
+        kwargs={"num_topologies": 12, "channels": (16, 12, 8, 6, 4, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    harp = dict(zip(result.x_values, result.of("harp")))
+    # Collision-free while the demand fits the medium.
+    for channels in (16, 12, 8, 6, 4):
+        assert harp[channels] == 0.0, channels
+    # Slight rise when the slotframe physically cannot host the demand,
+    # still dominating every baseline.
+    for name in ("random", "msf", "ldsf"):
+        series = dict(zip(result.x_values, result.of(name)))
+        assert series[2] > series[16] > 0.0
+        assert harp[2] < series[2] / 4

@@ -1,0 +1,34 @@
+"""Fig. 12 benchmark — dynamic adjustment overhead, APaS vs HARP.
+
+81-node, 10-layer networks; per-node traffic increases at every layer.
+Claims checked: APaS pays exactly 3l-1 packets for a layer-l request
+(growing linearly with depth); HARP's cost is much lower across almost
+all layers and grows far more slowly ("relatively more stable").
+"""
+
+from repro.experiments.adjustment_overhead import run_fig12
+
+
+def test_fig12_adjustment_overhead(benchmark):
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs={"num_topologies": 4, "events_per_layer": 3},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.layers == list(range(1, 11))
+    # APaS: the centralized 3l-1 pattern, exactly.
+    for layer, messages in zip(result.layers, result.apas_messages):
+        assert messages == 3 * layer - 1
+    # HARP wins on most layers...
+    wins = sum(
+        1
+        for harp, apas in zip(result.harp_messages, result.apas_messages)
+        if harp < apas
+    )
+    assert wins >= 8
+    # ...and is less depth-sensitive over the first 8 layers (the deep
+    # tail of sparse chains is noisier).
+    apas_slope = (result.apas_messages[7] - result.apas_messages[0]) / 7
+    harp_slope = (result.harp_messages[7] - result.harp_messages[0]) / 7
+    assert harp_slope < apas_slope

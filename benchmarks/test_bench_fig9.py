@@ -1,0 +1,25 @@
+"""Fig. 9 benchmark — static e2e latency on the 50-node network.
+
+Regenerates the per-node latency series (50 devices, 5 layers, one e2e
+echo task per node) and checks the paper's claim: mean end-to-end
+latency is bounded by roughly one slotframe for every node, weakly
+increasing with the node's layer.
+"""
+
+from repro.experiments.static_latency import run_fig9
+
+
+def test_fig9_static_latency(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"num_slotframes": 60}, rounds=3, iterations=1
+    )
+    assert len(result.rows) == 50
+    assert result.delivery_ratio > 0.99
+    # Headline claim: latency "almost bounded in one slotframe".
+    assert result.fraction_within_one_slotframe >= 0.95
+    # Deeper nodes wait longer (sorted-by-layer staircase of Fig. 9).
+    layer_means = {}
+    for row in result.rows:
+        layer_means.setdefault(row.layer, []).append(row.mean_s)
+    means = [sum(v) / len(v) for _, v in sorted(layer_means.items())]
+    assert means == sorted(means)

@@ -1,0 +1,89 @@
+"""Heuristic-quality benchmark: best-fit skyline vs exact optimum.
+
+The paper adopts the O(n log n) skyline heuristic on the grounds that it
+"achieves good balance between solution quality and efficiency"; this
+benchmark quantifies that on the composition workload shape (mixes of
+single-channel rows and small composed blocks): the heuristic must land
+within a small factor of the provably optimal strip height, and within
+the same ballpark of wall-clock orders of magnitude faster.
+"""
+
+import random
+import time
+
+from repro.packing.exact import SearchBudgetExceeded, exact_min_height
+from repro.packing.geometry import Rect
+from repro.packing.strip import strip_pack
+
+
+def _instances(count, rng):
+    out = []
+    for _ in range(count):
+        rects = [
+            Rect(rng.randint(1, 6), rng.randint(1, 3), i)
+            for i in range(rng.randint(3, 7))
+        ]
+        out.append((rects, rng.randint(6, 12)))
+    return out
+
+
+def test_skyline_within_optimality_gap(benchmark):
+    rng = random.Random(11)
+    instances = _instances(40, rng)
+
+    def run():
+        total_heuristic = 0
+        total_exact = 0
+        optimal_hits = 0
+        solved = 0
+        for rects, width in instances:
+            heuristic = strip_pack(rects, width).height
+            try:
+                exact = exact_min_height(rects, width, node_limit=300_000)
+            except SearchBudgetExceeded:
+                continue
+            solved += 1
+            total_heuristic += heuristic
+            total_exact += exact
+            if heuristic == exact:
+                optimal_hits += 1
+        return total_heuristic, total_exact, optimal_hits, solved
+
+    heuristic, exact, hits, solved = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert solved >= 30
+    # Aggregate gap within 15% of optimal, optimal on most instances.
+    assert heuristic <= 1.15 * exact
+    assert hits >= solved * 0.6
+
+
+def test_skyline_much_faster_than_exact(benchmark):
+    rng = random.Random(3)
+    # Larger instances: the exact search cost explodes while the
+    # heuristic stays O(n log n).
+    instances = []
+    for _ in range(10):
+        rects = [
+            Rect(rng.randint(1, 6), rng.randint(1, 3), i)
+            for i in range(rng.randint(7, 9))
+        ]
+        instances.append((rects, rng.randint(8, 12)))
+
+    def run():
+        start = time.perf_counter()
+        for rects, width in instances:
+            strip_pack(rects, width)
+        heuristic_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for rects, width in instances:
+            try:
+                exact_min_height(rects, width, node_limit=300_000)
+            except SearchBudgetExceeded:
+                pass
+        exact_time = time.perf_counter() - start
+        return heuristic_time, exact_time
+
+    heuristic_time, exact_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert heuristic_time * 5 < exact_time

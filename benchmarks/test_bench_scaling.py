@@ -1,0 +1,32 @@
+"""Scaling benchmark: management overhead vs network size.
+
+The paper's motivating claim (Sec. I): centralized management overhead
+grows super-linearly with network size because everything is relayed
+through the tree, while HARP's hierarchical phases stay hop-local.
+"""
+
+from repro.experiments.scaling import run_scaling
+
+
+def test_scaling_overhead(benchmark):
+    result = benchmark.pedantic(
+        run_scaling,
+        kwargs={"sizes": (20, 40, 60, 80), "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    # Static phase: HARP stays well below the centralized bootstrap and
+    # the gap widens with size.
+    for harp, central in zip(result.harp_static, result.central_static):
+        assert harp < central
+    gap_small = result.central_static[0] / result.harp_static[0]
+    gap_large = result.central_static[-1] / result.harp_static[-1]
+    assert gap_large > gap_small
+    # HARP's static cost is ~linear in size: messages per device bounded.
+    per_device = [
+        messages / size
+        for messages, size in zip(result.harp_static, result.sizes)
+    ]
+    assert max(per_device) < 2 * min(per_device)
+    # Dynamic phase: averaged over sizes HARP stays below 3l-1.
+    assert sum(result.harp_adjust) < sum(result.central_adjust) * 1.5

@@ -1,0 +1,72 @@
+"""Surviving a co-located Wi-Fi network: why TSCH hops channels.
+
+Industrial floors share the 2.4 GHz band with Wi-Fi.  A Wi-Fi access
+point parks on a fixed 22 MHz-wide slice and periodically stomps the
+802.15.4 channels underneath it.  This example runs the same
+HARP-scheduled 50-device network twice against such an interferer:
+
+* with *static* channels (what a naive TDMA network does) — every
+  partition allocated at the jammed channel offset starves;
+* with *channel hopping* (what TSCH actually does) — the damage spreads
+  thinly over all links and retransmissions absorb it.
+
+Run:  python examples/coexistence_wifi.py
+"""
+
+import random
+
+from repro import HarpNetwork, SlotframeConfig, e2e_task_per_node
+from repro.experiments.topologies import testbed_topology
+from repro.net.hopping import (
+    ExternalInterferer,
+    HoppingSequence,
+    InterferenceModel,
+)
+from repro.net.sim import TSCHSimulator
+
+
+def main() -> None:
+    topology = testbed_topology()
+    tasks = e2e_task_per_node(topology, rate=1.0)
+    config = SlotframeConfig()
+    harp = HarpNetwork(
+        topology, tasks, config,
+        case1_slack=1, distribute_slack=True, distribute_idle_cells=True,
+    )
+    harp.allocate()
+    harp.validate()
+
+    # A Wi-Fi AP overlapping 802.15.4 channels 0-3 (channels 11-14 in
+    # IEEE numbering), busy 80% of the time.
+    jammed = {0, 1, 2, 3}
+    print("interferer: Wi-Fi overlapping 4 of 16 channels, 80% duty\n")
+    print(f"{'radio mode':<18} {'delivery':>9} {'jammed tx':>10} "
+          f"{'mean latency':>13}")
+    print("-" * 54)
+
+    for label, hopping in (
+        ("static channels", None),
+        ("channel hopping", HoppingSequence.shuffled(16, random.Random(1))),
+    ):
+        model = InterferenceModel(
+            ExternalInterferer(jammed, hit_probability=0.8), hopping=hopping
+        )
+        sim = TSCHSimulator(
+            topology, harp.schedule.copy(), tasks, config,
+            loss_model=model, rng=random.Random(0),
+        )
+        metrics = sim.run_slotframes(60)
+        latencies = metrics.latencies_seconds()
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        print(f"{label:<18} {metrics.delivery_ratio:>9.3f} "
+              f"{model.jammed_transmissions:>10d} {mean_latency:>12.2f}s")
+
+    print("\nHARP stacks its Case-1 rows at low channel offsets, so a "
+          "static-frequency network")
+    print("loses exactly those partitions; hopping turns the same "
+          "interferer into a uniform")
+    print("~20% per-link loss that the retransmission headroom absorbs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Compare distributed schedulers on the same network (Fig. 11 in small).
+
+Builds one 50-device network with uplink sensing traffic and schedules
+it four ways — random, MSF (hash-based autonomous cells), LDSF (layer
+blocks) and HARP — then reports each schedule's collision probability
+and what the collisions would do to delivered traffic.
+
+Run:  python examples/collision_comparison.py
+"""
+
+import random
+
+from repro import SlotframeConfig, tasks_on_nodes
+from repro.experiments.topologies import testbed_topology
+from repro.net.sim import TSCHSimulator
+from repro.schedulers import (
+    HARPScheduler,
+    LDSFScheduler,
+    MSFScheduler,
+    RandomScheduler,
+)
+
+
+def main() -> None:
+    topology = testbed_topology()
+    leaves = [n for n in topology.device_nodes if topology.is_leaf(n)]
+    tasks = tasks_on_nodes(leaves, rate=3.0)
+    demands = tasks.link_demands(topology)
+    config = SlotframeConfig()
+
+    print(f"{len(leaves)} sensors at 3 pkt/slotframe, "
+          f"{sum(demands.values())} cells required per slotframe\n")
+    header = f"{'scheduler':<10} {'collision prob.':>16} {'delivery ratio':>15}"
+    print(header)
+    print("-" * len(header))
+
+    for scheduler in (RandomScheduler(), MSFScheduler(), LDSFScheduler(),
+                      HARPScheduler()):
+        schedule = scheduler.build_schedule(
+            topology, demands, config, random.Random(42)
+        )
+        probability = schedule.conflicts(topology).collision_probability
+
+        sim = TSCHSimulator(topology, schedule, tasks, config,
+                            rng=random.Random(0), queue_capacity=20)
+        metrics = sim.run_slotframes(25)
+        print(f"{scheduler.name:<10} {probability:>16.3f} "
+              f"{metrics.delivery_ratio:>15.3f}")
+
+    print("\nHARP's hierarchical partitions make the distributed schedule "
+          "collision-free by construction;")
+    print("uncoordinated cell choices collide and the lost transmissions "
+          "depress the delivery ratio.")
+
+
+if __name__ == "__main__":
+    main()

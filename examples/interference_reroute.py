@@ -1,0 +1,76 @@
+"""Topology dynamics: interference forces nodes to switch parents.
+
+The paper motivates HARP with harsh industrial environments where
+"interference can cause the network nodes to change their connected
+nodes to seek for more reliable links".  This example runs a 50-device
+network through a sequence of such events — a relay's link degrades and
+its subtree reparents, a sensor dies, a new machine joins — and shows
+that every change is absorbed incrementally (a handful of messages
+around the affected branch) while the schedule stays collision-free
+throughout.
+
+Run:  python examples/interference_reroute.py
+"""
+
+import random
+
+from repro import HarpNetwork, SlotframeConfig, Task, e2e_task_per_node
+from repro.core import TopologyManager
+from repro.experiments.topologies import testbed_topology
+
+
+def main() -> None:
+    topology = testbed_topology()
+    harp = HarpNetwork(
+        topology, e2e_task_per_node(topology, rate=1.0), SlotframeConfig(),
+        case1_slack=1, distribute_slack=True,
+    )
+    harp.allocate()
+    harp.validate()
+    manager = TopologyManager(harp)
+    rng = random.Random(4)
+
+    print(f"initial network: {len(harp.topology.device_nodes)} devices, "
+          "collision-free\n")
+
+    # Event 1: a depth-2 relay's uplink degrades; its subtree switches to
+    # a sibling relay with a better link.
+    relay = next(n for n in harp.topology.nodes_at_depth(2)
+                 if not harp.topology.is_leaf(n))
+    old_parent = harp.topology.parent_of(relay)
+    siblings = [n for n in harp.topology.nodes_at_depth(1) if n != old_parent]
+    new_parent = rng.choice(siblings)
+    report = manager.reparent(relay, new_parent)
+    harp.validate()
+    print(f"1. relay {relay} reparents {old_parent} -> {new_parent} "
+          f"(subtree of {len(harp.topology.subtree_nodes(relay))} nodes)")
+    print(f"   {report.total_messages} messages, "
+          f"{len(report.involved_nodes)} nodes involved, "
+          f"rebootstrap: {report.rebootstrapped}")
+
+    # Event 2: a battery-dead sensor leaves the network.
+    dead = next(n for n in harp.topology.device_nodes
+                if harp.topology.is_leaf(n))
+    report = manager.detach(dead)
+    harp.validate()
+    print(f"2. sensor {dead} leaves: {report.total_messages} messages "
+          "(cells released in place, no partition moved)")
+
+    # Event 3: a new machine with its own control loop joins.
+    new_id = max(harp.topology.nodes) + 1
+    parent = rng.choice(harp.topology.nodes_at_depth(2))
+    report = manager.attach(
+        new_id, parent, Task(task_id=new_id, source=new_id, rate=2.0, echo=True)
+    )
+    harp.validate()
+    print(f"3. machine {new_id} joins under {parent} at 2 pkt/slotframe: "
+          f"{report.total_messages} messages, "
+          f"rebootstrap: {report.rebootstrapped}")
+
+    print("\nfinal network:", len(harp.topology.device_nodes), "devices;",
+          "schedule still collision-free;",
+          f"{harp.schedule.total_assignments} cells scheduled")
+
+
+if __name__ == "__main__":
+    main()

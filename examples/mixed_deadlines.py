@@ -1,0 +1,88 @@
+"""Diverse end-to-end deadlines: Rate-Monotonic vs EDF cell ordering.
+
+The paper's future work includes "real-time tasks with diverse
+end-to-end deadlines".  HARP's distributed scheduling phase accepts any
+priority policy, so this extension is a drop-in: each node orders its
+links' cells by deadline instead of rate.
+
+The scenario: eight sensors under one gateway, all sampling at the same
+rate (20 pkt/slotframe — a heavily loaded frame), but two of them feed a
+fast protection loop with a 0.4-slotframe deadline.  Under RM all links
+tie (equal periods) and cells are dealt in node-id order, so the
+protection loops land late in the frame and miss; EDF gives them the
+earliest cells and they meet every deadline.
+
+Run:  python examples/mixed_deadlines.py
+"""
+
+import random
+
+from repro import HarpNetwork, SlotframeConfig, Task, TaskSet
+from repro.core import edf_priority
+from repro.net.sim import TSCHSimulator
+from repro.net.topology import TreeTopology
+
+
+def build_scenario():
+    topology = TreeTopology({n: 0 for n in range(1, 9)})
+    tasks = []
+    for node in range(1, 9):
+        tight = node in (7, 8)  # protection loops, declared last
+        tasks.append(
+            Task(
+                task_id=node,
+                source=node,
+                rate=20.0,
+                echo=False,
+                deadline_slotframes=0.4 if tight else 1.0,
+            )
+        )
+    return topology, TaskSet(tasks)
+
+
+def run_with(priority_name: str, interleave: bool):
+    topology, tasks = build_scenario()
+    config = SlotframeConfig()
+    if priority_name == "edf":
+        deadlines = {
+            t.source: t.effective_deadline_slotframes for t in tasks
+        }
+        priority = edf_priority(deadlines)
+    else:
+        priority = None  # HarpNetwork defaults to Rate-Monotonic
+    harp = HarpNetwork(
+        topology, tasks, config, priority=priority,
+        interleave_cells=interleave,
+    )
+    harp.allocate()
+    harp.validate()
+    sim = TSCHSimulator(topology, harp.schedule, tasks, config,
+                        rng=random.Random(0))
+    metrics = sim.run_slotframes(30)
+    return metrics
+
+
+def main() -> None:
+    print("8 sensors x 20 pkt/slotframe; sensors 7-8 are protection loops "
+          "with 0.4-slotframe deadlines\n")
+    for name, interleave, label in (
+        ("rm", False, "RM, contiguous cells "),
+        ("rm", True, "RM, interleaved cells"),
+        ("edf", True, "EDF, interleaved    "),
+    ):
+        metrics = run_with(name, interleave)
+        tight_rate = max(
+            metrics.deadline_miss_rate(7), metrics.deadline_miss_rate(8)
+        )
+        print(f"{label}: overall miss rate "
+              f"{metrics.deadline_miss_rate():.3f}; "
+              f"protection loops {tight_rate:.3f}")
+    print("\nContiguous blocks force a packet generated right after its "
+          "block to wait nearly a full")
+    print("slotframe; interleaving bounds the wait by the inter-cell "
+          "spacing, and EDF additionally")
+    print("front-loads the tight-deadline links within every round.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: allocate a HARP-managed network and simulate it.
+
+Builds a random 5-layer industrial wireless network, runs HARP's static
+partition-allocation phase, verifies the collision-freedom guarantee,
+and simulates 20 slotframes of end-to-end traffic.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+import statistics
+
+from repro import HarpNetwork, SlotframeConfig, e2e_task_per_node, layered_random_tree
+from repro.net.sim import TSCHSimulator
+
+
+def main() -> None:
+    # 1. A 5-hop tree of 50 devices below a gateway, like the testbed.
+    topology = layered_random_tree(num_devices=50, depth=5, rng=random.Random(7))
+    print(f"network: {len(topology.device_nodes)} devices, "
+          f"{topology.max_layer} layers")
+
+    # 2. One end-to-end echo task per device (period = one slotframe).
+    tasks = e2e_task_per_node(topology, rate=1.0)
+
+    # 3. Static phase: interfaces bottom-up, partitions top-down,
+    #    distributed per-node cell assignment.
+    config = SlotframeConfig()  # 199 slots x 16 channels, 10 ms slots
+    harp = HarpNetwork(topology, tasks, config)
+    report = harp.allocate()
+    print(f"allocated {report.allocation.total_slots_used}/{config.data_slots} "
+          f"slots using {report.total_messages} management messages")
+
+    # 4. The headline guarantee: zero schedule collisions, partitions
+    #    isolated per subtree and per layer.
+    harp.validate()
+    print("schedule verified collision-free")
+
+    # 5. Simulate and report end-to-end latency.
+    sim = TSCHSimulator(topology, harp.schedule, tasks, config,
+                        rng=random.Random(0))
+    metrics = sim.run_slotframes(20)
+    latencies = metrics.latencies_seconds()
+    print(f"simulated 20 slotframes: {metrics.delivered}/{metrics.generated} "
+          f"packets delivered")
+    print(f"e2e latency: mean {statistics.mean(latencies):.2f} s, "
+          f"max {max(latencies):.2f} s (slotframe = {config.duration_s:.2f} s)")
+
+
+if __name__ == "__main__":
+    main()

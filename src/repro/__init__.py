@@ -1,0 +1,89 @@
+"""repro — reproduction of HARP (ICDCS 2022).
+
+HARP: Hierarchical Resource Partitioning in Dynamic Industrial Wireless
+Networks (Wang, Zhang, Shen, Hu, Han).
+
+Quickstart::
+
+    import random
+    from repro import HarpNetwork, SlotframeConfig, e2e_task_per_node, random_tree
+
+    topo = random_tree(num_devices=50, depth=5, rng=random.Random(7))
+    tasks = e2e_task_per_node(topo, rate=1.0)
+    harp = HarpNetwork(topo, tasks, SlotframeConfig())
+    harp.allocate()
+    harp.validate()          # isolation + collision freedom
+    schedule = harp.schedule # feed to repro.net.sim.TSCHSimulator
+
+Package layout:
+
+* :mod:`repro.packing` — 2D packing substrate (skyline, composition,
+  feasibility, free-space).
+* :mod:`repro.net` — 6TiSCH-class substrate: topology, tasks, slotframe,
+  radio, management protocol, discrete-event simulator.
+* :mod:`repro.core` — HARP itself: interfaces, partitions, distributed
+  scheduling, dynamic adjustment, the :class:`HarpNetwork` manager.
+* :mod:`repro.schedulers` — baselines (random, MSF, LDSF, APaS) and the
+  HARP adapter for the Sec. VII comparisons.
+* :mod:`repro.experiments` — regeneration of every evaluation table and
+  figure.
+"""
+
+from .core import (
+    AdjustmentOutcome,
+    HarpNetwork,
+    InsufficientResourcesError,
+    Partition,
+    PartitionTable,
+    RateChangeReport,
+    ResourceComponent,
+    ResourceInterface,
+    StaticPhaseReport,
+)
+from .net import (
+    Cell,
+    Direction,
+    LinkRef,
+    Schedule,
+    SlotframeConfig,
+    Task,
+    TaskSet,
+    TreeTopology,
+    balanced_tree_with_layers,
+    chain_topology,
+    e2e_task_per_node,
+    layered_random_tree,
+    random_tree,
+    regular_tree,
+    tasks_on_nodes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdjustmentOutcome",
+    "Cell",
+    "Direction",
+    "HarpNetwork",
+    "InsufficientResourcesError",
+    "LinkRef",
+    "Partition",
+    "PartitionTable",
+    "RateChangeReport",
+    "ResourceComponent",
+    "ResourceInterface",
+    "Schedule",
+    "SlotframeConfig",
+    "StaticPhaseReport",
+    "Task",
+    "TaskSet",
+    "TreeTopology",
+    "balanced_tree_with_layers",
+    "chain_topology",
+    "e2e_task_per_node",
+    "layered_random_tree",
+    "random_tree",
+    "regular_tree",
+    "tasks_on_nodes",
+    "__version__",
+]

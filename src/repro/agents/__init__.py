@@ -1,0 +1,18 @@
+"""Distributed HARP: per-node agents with strictly local state.
+
+The :mod:`repro.core` package computes HARP's phases with full network
+visibility (convenient for experiments); this package implements the
+protocol the way the testbed firmware runs it — every node an
+independent message-driven agent that knows only its parent, children,
+its own link demands and whatever the protocol told it.  The
+differential tests in ``tests/agents/`` check that both implementations
+produce identical schedules, which is the structural proof that HARP's
+resource management is genuinely distributable.
+"""
+
+from .live import LiveHarpNetwork, LiveStats
+from .node import HarpNodeAgent
+from .runtime import AgentRuntime
+from .state import LocalState
+
+__all__ = ["AgentRuntime", "HarpNodeAgent", "LiveHarpNetwork", "LiveStats", "LocalState"]

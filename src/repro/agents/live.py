@@ -1,0 +1,302 @@
+"""Co-simulation: the HARP protocol running *inside* the TSCH network.
+
+The analytic experiments time HARP messages with the management-plane
+clock; this module closes the loop completely — protocol messages travel
+through the simulated Management sub-frame (one message per node per
+slotframe, in that node's management cell), data packets flow under the
+current schedule the whole time, and ScheduleUpdate messages re-wire the
+data plane *as they arrive*.  Adjustment latency, queue growth during
+reconfiguration, and the staggered application of schedule changes all
+emerge from the same slot-accurate simulation, exactly as on the
+testbed.
+
+Usage::
+
+    live = LiveHarpNetwork(topology, tasks, config_with_mgmt_subframe)
+    live.bootstrap()                       # static phase over the air
+    live.run_slotframes(40)                # steady state
+    live.change_rate(node, 3.0)            # traffic change + adjustment
+    live.run_slotframes(40)
+    live.sim.metrics ...                   # everything observable
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..net.protocol.messages import HarpMessage, ScheduleUpdate
+from ..net.sim.engine import TSCHSimulator
+from ..net.slotframe import Schedule, SlotframeConfig
+from ..net.tasks import TaskSet
+from ..net.topology import Direction, LinkRef, TreeTopology
+from .runtime import AgentRuntime
+
+
+@dataclass
+class LiveStats:
+    """Protocol activity observed on the simulated management plane."""
+
+    messages_sent: int = 0
+    messages_lost: int = 0
+    schedule_updates_applied: int = 0
+    last_adjustment_slots: int = 0
+    bootstrap_slots: int = 0
+
+
+class LiveHarpNetwork:
+    """Agents, protocol transport and data plane in one simulation."""
+
+    def __init__(
+        self,
+        topology: TreeTopology,
+        task_set: TaskSet,
+        config: Optional[SlotframeConfig] = None,
+        rng: Optional[random.Random] = None,
+        loss_model=None,
+        case1_slack: int = 1,
+        start_traffic_after_bootstrap: bool = True,
+        management_loss: float = 0.0,
+    ) -> None:
+        self.topology = topology
+        self.config = config or SlotframeConfig(
+            num_slots=199, num_channels=16, management_slots=48
+        )
+        if self.config.management_slots == 0:
+            raise ValueError(
+                "co-simulation needs a Management sub-frame "
+                "(management_slots > 0)"
+            )
+        self.task_set = task_set
+        self.start_traffic_after_bootstrap = start_traffic_after_bootstrap
+        self.runtime = AgentRuntime(
+            topology, task_set, self.config, case1_slack=case1_slack
+        )
+        self.schedule = Schedule(self.config)
+        self.sim = TSCHSimulator(
+            topology, self.schedule, task_set, self.config,
+            rng=rng or random.Random(0), loss_model=loss_model,
+        )
+        if not 0.0 <= management_loss < 1.0:
+            raise ValueError(
+                f"management_loss must be in [0, 1), got {management_loss}"
+            )
+        self.management_loss = management_loss
+        self._mgmt_rng = random.Random(12345)
+        self.stats = LiveStats()
+        #: Per-node FIFO of outgoing protocol messages.
+        self._outboxes: Dict[int, Deque[HarpMessage]] = {
+            n: deque() for n in topology.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # management-cell geometry (same shape the ManagementPlane uses)
+    # ------------------------------------------------------------------
+
+    def _mgmt_tx_slot(self, node: int) -> int:
+        span = self.config.management_slots
+        return self.config.data_slots + (2 * node) % span
+
+    # ------------------------------------------------------------------
+    # protocol plumbing
+    # ------------------------------------------------------------------
+
+    def _post(self, messages: List[HarpMessage]) -> None:
+        for message in messages:
+            self._outboxes[message.src].append(message)
+
+    def _service_management_cells(self) -> None:
+        """Deliver at most one queued message per node whose management
+        cell is the current slot."""
+        frame_slot = self.sim.current_slot % self.config.num_slots
+        if frame_slot < self.config.data_slots:
+            return
+        for node in self.topology.nodes:
+            if self._mgmt_tx_slot(node) != frame_slot:
+                continue
+            outbox = self._outboxes[node]
+            if not outbox:
+                continue
+            # HARP messages ride CoAP confirmable exchanges: a lost
+            # frame stays at the head of the outbox and is retried in
+            # the node's next management cell (costing a slotframe).
+            if (
+                self.management_loss > 0.0
+                and self._mgmt_rng.random() < self.management_loss
+            ):
+                self.stats.messages_lost += 1
+                continue
+            message = outbox.popleft()
+            self.stats.messages_sent += 1
+            replies = self.runtime.agents[message.dst].handle(message)
+            self._post(replies)
+            if isinstance(message, ScheduleUpdate):
+                self._apply_schedule_update(message)
+
+    def _apply_schedule_update(self, message: ScheduleUpdate) -> None:
+        """Re-wire the data plane for one link, live."""
+        link = LinkRef(message.dst, message.direction)
+        self.schedule.remove_link(link)
+        self.schedule.assign_many(list(message.cells), link)
+        self.sim.set_schedule(self.schedule)
+        self.stats.schedule_updates_applied += 1
+
+    @property
+    def pending_messages(self) -> int:
+        """Protocol messages still queued network-wide."""
+        return sum(len(q) for q in self._outboxes.values())
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step_slots(self, num_slots: int) -> None:
+        """Advance the co-simulation slot by slot."""
+        for _ in range(num_slots):
+            self._service_management_cells()
+            self.sim.run_slots(1)
+
+    def run_slotframes(self, num_slotframes: int) -> None:
+        """Advance by whole slotframes."""
+        self.step_slots(num_slotframes * self.config.num_slots)
+
+    def run_until_quiescent(self, max_slotframes: int = 200) -> int:
+        """Step until no protocol message is pending; returns slots
+        consumed.  Raises on non-convergence within the bound."""
+        start = self.sim.current_slot
+        frames = 0
+        while self.pending_messages:
+            self.step_slots(self.config.num_slots)
+            frames += 1
+            if frames > max_slotframes:
+                raise RuntimeError(
+                    f"protocol did not quiesce within {max_slotframes} "
+                    f"slotframes ({self.pending_messages} pending)"
+                )
+        return self.sim.current_slot - start
+
+    def bootstrap(self) -> int:
+        """Run the static phase over the air; returns slots consumed.
+
+        With ``start_traffic_after_bootstrap`` (default), applications
+        stay silent until the network is formed — as real deployments
+        do — so no bootstrap backlog distorts the steady state.
+        """
+        if self.start_traffic_after_bootstrap:
+            self.sim.disable_traffic()
+        for node in self.topology.nodes_bottom_up():
+            self._post(self.runtime.agents[node].start())
+        slots = self.run_until_quiescent()
+        if self.start_traffic_after_bootstrap:
+            self.sim.enable_traffic()
+        self.stats.bootstrap_slots = slots
+        self.runtime.assert_converged()
+        self.runtime.validate_isolation()
+        self.schedule.validate_collision_free(self.topology)
+        return slots
+
+    def join_leaf(
+        self, node: int, parent: int, rate: float = 1.0, echo: bool = True
+    ) -> int:
+        """A new device joins the *running* network over the air.
+
+        The join rides the same machinery as the testbed: the parent
+        admits the link (a demand increase that may escalate), the
+        ancestors grow their forwarding rows, and the newcomer's task
+        starts generating once its cells are granted.  Returns the slots
+        the network needed to absorb the join.
+        """
+        from collections import deque as _deque
+
+        from ..net.tasks import Task
+        from .node import HarpNodeAgent
+        from .state import LocalState
+
+        if node in self.runtime.agents:
+            raise ValueError(f"node {node} already in the network")
+        start = self.sim.current_slot
+
+        cells = int(math.ceil(rate))
+        demands = {Direction.UP: cells}
+        if echo:
+            demands[Direction.DOWN] = cells
+        parent_state = self.runtime.agents[parent].state
+        state = LocalState(
+            node_id=node,
+            parent=parent,
+            children=[],
+            non_leaf_children=set(),
+            depth=parent_state.depth + 1,
+            case1_slack=parent_state.case1_slack,
+            link_demands={Direction.UP: {}, Direction.DOWN: {}},
+        )
+        self.runtime.agents[node] = HarpNodeAgent(
+            state, self.config.num_channels
+        )
+        self.topology = self.topology.with_attached(node, parent)
+        self.runtime.topology = self.topology
+        self.sim.topology = self.topology
+        self.sim._uplink_q.setdefault(node, _deque())
+        self.sim._downlink_q.setdefault(node, _deque())
+        self._outboxes.setdefault(node, _deque())
+
+        self._post(self.runtime.agents[parent].admit_child(node, demands))
+        self.run_until_quiescent()
+        # Forwarding demand ripples up the path, deepest manager first.
+        ancestors = [
+            n for n in self.topology.path_to_gateway(parent) if n != parent
+        ]
+        chain = [parent] + ancestors
+        for child_on_path, manager in zip(chain, chain[1:]):
+            agent = self.runtime.agents[manager]
+            for direction, extra in demands.items():
+                current = agent.state.link_demands.get(direction, {}).get(
+                    child_on_path, 0
+                )
+                self._post(
+                    agent.request_demand_increase(
+                        child_on_path, direction, current + extra
+                    )
+                )
+                self.run_until_quiescent()
+
+        # The newcomer's application starts now.
+        task = Task(task_id=node, source=node, rate=rate, echo=echo)
+        self.task_set = TaskSet(list(self.task_set) + [task])
+        task_state_cls = type(next(iter(self.sim._tasks.values())))
+        self.sim._tasks[node] = task_state_cls(
+            task=task, next_generation=float(self.sim.current_slot)
+        )
+        return self.sim.current_slot - start
+
+    def change_rate(self, task_id: int, new_rate: float) -> int:
+        """A task's rate changes at runtime: data traffic adapts now,
+        the protocol reconfigures over the air; returns the adjustment's
+        slot count (traffic-change to quiescence)."""
+        task = self.task_set.by_id(task_id)
+        self.sim.set_task_rate(task_id, new_rate)
+        self.task_set = self.task_set.with_rate(task_id, new_rate)
+
+        for link in TaskSet.links_of_task(self.topology, task):
+            parent = self.topology.parent_of(link.child)
+            agent = self.runtime.agents[parent]
+            demands = agent.state.link_demands.setdefault(link.direction, {})
+            old_rate = task.rate
+            # The managing node re-derives the link's cell need locally.
+            accumulated = demands.get(link.child, 0)
+            delta = int(math.ceil(new_rate)) - int(math.ceil(old_rate))
+            new_cells = max(0, accumulated + delta)
+            if new_cells == accumulated:
+                continue
+            self._post(
+                agent.request_demand_increase(
+                    link.child, link.direction, new_cells
+                )
+            )
+        start = self.sim.current_slot
+        slots = self.run_until_quiescent()
+        self.stats.last_adjustment_slots = slots
+        return slots

@@ -1,0 +1,535 @@
+"""The distributed HARP node agent.
+
+Each :class:`HarpNodeAgent` is a message-driven state machine over its
+:class:`~repro.agents.state.LocalState`.  It implements both HARP phases
+exactly as the testbed firmware does (Fig. 8):
+
+* **Static, bottom-up** — once every non-leaf child has POSTed its
+  interface, the node composes its own (Case 1 row + Case 2 Alg. 1
+  compositions) and POSTs it to its parent.
+* **Static, top-down** — on receiving its partitions (POST-part), the
+  node carves its children's partitions out of them with the stored
+  composition layouts, forwards them, and assigns cells to its own
+  child links inside its layer partition (ScheduleUpdate per child).
+* **Dynamic** — a demand increase first tries the node's own partition;
+  otherwise the node PUTs its enlarged interface to its parent, which
+  runs the Alg. 2 fit over *its own* granted partitions, moving as few
+  children as possible, or escalates in turn.
+
+Handlers return the list of messages to send; the runtime
+(:mod:`repro.agents.runtime`) delivers them with management-plane
+timing.  No handler touches anything but local state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..net.protocol.messages import (
+    HarpMessage,
+    PostInterface,
+    PostPartitions,
+    PutInterface,
+    PutPartition,
+    ScheduleUpdate,
+)
+from ..net.slotframe import Cell
+from ..net.topology import Direction
+from ..packing.composition import compose_components
+from ..packing.free_space import pack_with_obstacles
+from ..packing.geometry import PlacedRect, Rect
+from ..packing.rpp import can_pack
+from .state import InterfaceSummary, LocalState
+
+#: Wire form of a partition grant: (start_slot, start_channel, slots, ch).
+PartitionTuple = Tuple[int, int, int, int]
+
+
+class HarpNodeAgent:
+    """One network node running the HARP protocol."""
+
+    def __init__(self, state: LocalState, num_channels: int) -> None:
+        self.state = state
+        self.num_channels = num_channels
+
+    # ------------------------------------------------------------------
+    # static phase, bottom-up
+    # ------------------------------------------------------------------
+
+    def start(self) -> List[HarpMessage]:
+        """Kick off the bottom-up phase: nodes whose children are all
+        leaves can report immediately."""
+        if self.state.is_leaf:
+            return []
+        if self.state.interfaces_complete():
+            return self._compose_and_report()
+        return []
+
+    def on_post_interface(self, message: PostInterface) -> List[HarpMessage]:
+        """A child reported its interface."""
+        for direction, summary in message.interface.items():
+            self.state.child_interfaces.setdefault(direction, {})[
+                message.src
+            ] = dict(summary)
+        if self.state.interfaces_complete():
+            return self._compose_and_report()
+        return []
+
+    def _compose_and_report(self) -> List[HarpMessage]:
+        """Compose the own interface for both directions; report upward
+        (or, at the gateway, start the top-down phase)."""
+        for direction in (Direction.UP, Direction.DOWN):
+            self.state.own_interface[direction] = self._compose(direction)
+        if self.state.parent is None:
+            return self._gateway_allocate()
+        # Both directions are always reported — an empty summary still
+        # unblocks the parent's readiness check (otherwise an
+        # uplink-only workload would deadlock the bottom-up phase).
+        interface = {
+            direction: dict(self.state.own_interface[direction])
+            for direction in (Direction.UP, Direction.DOWN)
+        }
+        return [
+            PostInterface(
+                src=self.state.node_id,
+                dst=self.state.parent,
+                interface=interface,
+            )
+        ]
+
+    def _compose(self, direction: Direction) -> InterfaceSummary:
+        """Case 1 + Case 2 for one direction, storing layouts."""
+        state = self.state
+        summary: InterfaceSummary = {}
+        demands = state.link_demands.get(direction, {})
+        total = sum(demands.values())
+        if total > 0:
+            summary[state.own_layer] = (total + state.case1_slack, 1)
+
+        child_summaries = state.child_interfaces.get(direction, {})
+        deepest = max(
+            (max(s) for s in child_summaries.values() if s), default=0
+        )
+        for layer in range(state.own_layer + 1, deepest + 1):
+            rects = [
+                Rect(s[layer][0], s[layer][1], child)
+                for child, s in sorted(child_summaries.items())
+                if layer in s and s[layer][0] > 0 and s[layer][1] > 0
+            ]
+            if not rects:
+                continue
+            composed = compose_components(rects, self.num_channels)
+            summary[layer] = (composed.n_slots, composed.n_channels)
+            state.layouts[(direction, layer)] = {
+                int(child): rect for child, rect in composed.layout.items()
+            }
+        return summary
+
+    # ------------------------------------------------------------------
+    # static phase, top-down
+    # ------------------------------------------------------------------
+
+    def _gateway_allocate(self) -> List[HarpMessage]:
+        """The gateway places its per-layer components sequentially
+        (uplink deepest-first, then downlink shallowest-first)."""
+        state = self.state
+        max_layer = max(
+            (max(s) for s in state.own_interface.values() if s), default=0
+        )
+        order = [
+            (Direction.UP, layer) for layer in range(max_layer, 0, -1)
+        ] + [(Direction.DOWN, layer) for layer in range(1, max_layer + 1)]
+        cursor = 0
+        for direction, layer in order:
+            summary = state.own_interface.get(direction, {})
+            if layer not in summary:
+                continue
+            slots, channels = summary[layer]
+            if slots <= 0 or channels <= 0:
+                continue
+            state.partitions[(direction, layer)] = PlacedRect(
+                cursor, 0, slots, channels, state.node_id
+            )
+            cursor += slots
+        return self._distribute_partitions()
+
+    def on_post_partitions(self, message: PostPartitions) -> List[HarpMessage]:
+        """The parent granted this node's partitions at all layers."""
+        for (direction, layer), region in message.partitions.items():
+            self.state.partitions[(direction, layer)] = PlacedRect(*region)
+        return self._distribute_partitions()
+
+    def _distribute_partitions(self) -> List[HarpMessage]:
+        """Carve children's partitions from the own ones; forward them;
+        schedule the own child links."""
+        state = self.state
+        out: List[HarpMessage] = []
+        grants: Dict[int, Dict[Tuple[Direction, int], PartitionTuple]] = {}
+        for (direction, layer), region in sorted(
+            state.partitions.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+        ):
+            if layer == state.own_layer:
+                continue
+            layout = state.layouts.get((direction, layer))
+            if not layout:
+                continue
+            placed = state.child_partitions.setdefault((direction, layer), {})
+            for child, rel in sorted(layout.items()):
+                absolute = rel.translated(region.x, region.y)
+                placed[child] = absolute
+                grants.setdefault(child, {})[(direction, layer)] = (
+                    absolute.x, absolute.y, absolute.width, absolute.height,
+                )
+        for child in sorted(grants):
+            out.append(
+                PostPartitions(
+                    src=state.node_id, dst=child, partitions=grants[child]
+                )
+            )
+        out.extend(self._schedule_links())
+        return out
+
+    def _schedule_links(self) -> List[HarpMessage]:
+        """Assign cells to the own child links inside the layer
+        partition (deterministic child-id order)."""
+        state = self.state
+        out: List[HarpMessage] = []
+        for direction in (Direction.UP, Direction.DOWN):
+            demands = state.link_demands.get(direction, {})
+            region = state.partitions.get((direction, state.own_layer))
+            if not demands:
+                # No links left (e.g. the last child departed): clear any
+                # stale assignment rather than keep scheduling ghosts.
+                state.cell_assignments.pop(direction, None)
+                continue
+            if region is None:
+                continue
+            cells = [
+                Cell(slot, channel)
+                for slot in range(region.x, region.x2)
+                for channel in range(region.y, region.y2)
+            ]
+            assignment: Dict[int, List[Cell]] = {}
+            cursor = 0
+            for child in sorted(demands):
+                count = demands[child]
+                assignment[child] = cells[cursor:cursor + count]
+                cursor += count
+            state.cell_assignments[direction] = assignment
+            for child, child_cells in sorted(assignment.items()):
+                out.append(
+                    ScheduleUpdate(
+                        src=state.node_id,
+                        dst=child,
+                        cells=tuple(child_cells),
+                        direction=direction,
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # dynamic phase
+    # ------------------------------------------------------------------
+
+    def request_demand_increase(
+        self, child: int, direction: Direction, new_cells: int
+    ) -> List[HarpMessage]:
+        """The demand of the link to ``child`` grows to ``new_cells``
+        (the entry point a local traffic change triggers)."""
+        state = self.state
+        state.link_demands.setdefault(direction, {})[child] = new_cells
+        total = sum(state.link_demands[direction].values())
+        region = state.partitions.get((direction, state.own_layer))
+        if region is not None and total <= region.width * region.height:
+            return self._schedule_links()
+        # Enlarged Case-1 row: ask the parent (re-establishing the
+        # provisioning headroom).
+        total += state.case1_slack
+        state.own_interface.setdefault(direction, {})[state.own_layer] = (
+            total, 1
+        )
+        if state.parent is None:
+            return self._gateway_self_resize(direction)
+        return [
+            PutInterface(
+                src=state.node_id,
+                dst=state.parent,
+                layer=state.own_layer,
+                direction=direction,
+                n_slots=total,
+                n_channels=1,
+            )
+        ]
+
+    def on_put_interface(self, message: PutInterface) -> List[HarpMessage]:
+        """A child requests a bigger component at one layer (Sec. V)."""
+        state = self.state
+        direction, layer = message.direction, message.layer
+        grown = Rect(message.n_slots, message.n_channels, message.src)
+        state.child_interfaces.setdefault(direction, {}).setdefault(
+            message.src, {}
+        )[layer] = (message.n_slots, message.n_channels)
+
+        region = state.partitions.get((direction, layer))
+        placed = dict(state.child_partitions.get((direction, layer), {}))
+        anchor = placed.pop(message.src, region)
+        if region is not None:
+            layout = self._alg2_fit(region, placed, grown, anchor)
+            if layout is not None:
+                return self._apply_child_layout(direction, layer, layout)
+
+        # Cannot fit locally: recompose and escalate.
+        summary = self._compose(direction)
+        state.own_interface[direction] = summary
+        slots, channels = summary[layer]
+        if state.parent is None:
+            return self._gateway_layer_resize(direction, layer)
+        return [
+            PutInterface(
+                src=state.node_id,
+                dst=state.parent,
+                layer=layer,
+                direction=direction,
+                n_slots=slots,
+                n_channels=channels,
+            )
+        ]
+
+    def on_put_partition(self, message: PutPartition) -> List[HarpMessage]:
+        """The parent moved/resized one of this node's partitions."""
+        state = self.state
+        direction, layer = message.direction, message.layer
+        region = PlacedRect(
+            message.start_slot, message.start_channel,
+            message.n_slots, message.n_channels, state.node_id,
+        )
+        state.partitions[(direction, layer)] = region
+        if layer == state.own_layer:
+            return self._schedule_links()
+        layout = state.layouts.get((direction, layer))
+        if not layout:
+            return []
+        out: List[HarpMessage] = []
+        placed = state.child_partitions.setdefault((direction, layer), {})
+        for child, rel in sorted(layout.items()):
+            absolute = rel.translated(region.x, region.y)
+            if placed.get(child) == absolute:
+                continue
+            placed[child] = absolute
+            out.append(
+                PutPartition(
+                    src=state.node_id, dst=child,
+                    layer=layer, direction=direction,
+                    start_slot=absolute.x, start_channel=absolute.y,
+                    n_slots=absolute.width, n_channels=absolute.height,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # membership (leaf join / leave)
+    # ------------------------------------------------------------------
+
+    def admit_child(
+        self, child: int, demands: Dict[Direction, int]
+    ) -> List[HarpMessage]:
+        """A new leaf joins under this node with the given link demands.
+
+        Locally this is a demand increase on a link that did not exist
+        yet: absorb in the own partition if it has room, else escalate —
+        the same Sec. V machinery.
+        """
+        state = self.state
+        if child in state.children:
+            raise ValueError(f"child {child} already attached to {state.node_id}")
+        state.children.append(child)
+        state.children.sort()
+        out: List[HarpMessage] = []
+        for direction, cells in demands.items():
+            if cells <= 0:
+                continue
+            out.extend(
+                self.request_demand_increase(child, direction, cells)
+            )
+        return out
+
+    def evict_child(self, child: int) -> List[HarpMessage]:
+        """A leaf child leaves: release its cells in place (the paper's
+        decrease rule — no partition moves)."""
+        state = self.state
+        if child not in state.children:
+            raise ValueError(f"{child} is not a child of {state.node_id}")
+        state.children.remove(child)
+        state.non_leaf_children.discard(child)
+        out: List[HarpMessage] = []
+        for direction in (Direction.UP, Direction.DOWN):
+            state.link_demands.get(direction, {}).pop(child, None)
+            state.child_interfaces.get(direction, {}).pop(child, None)
+        out.extend(self._schedule_links())
+        return out
+
+    # ------------------------------------------------------------------
+    # Alg. 2 over local knowledge
+    # ------------------------------------------------------------------
+
+    def _alg2_fit(
+        self,
+        region: PlacedRect,
+        fixed: Dict[int, PlacedRect],
+        grown: Rect,
+        anchor: Optional[PlacedRect],
+    ) -> Optional[Dict[int, PlacedRect]]:
+        anchor = anchor or region
+        moved: List[Rect] = [grown]
+        remaining = dict(fixed)
+        while True:
+            layout = pack_with_obstacles(
+                moved, region, obstacles=list(remaining.values())
+            )
+            if layout is not None:
+                result = dict(remaining)
+                result.update({int(tag): r for tag, r in layout.items()})
+                return result
+            if not remaining:
+                break
+            victim = min(
+                remaining,
+                key=lambda c: (remaining[c].distance_to(anchor), c),
+            )
+            rect = remaining.pop(victim)
+            moved.append(Rect(rect.width, rect.height, victim))
+        rects = [grown] + [
+            Rect(r.width, r.height, c) for c, r in fixed.items()
+        ]
+        feasibility = can_pack(rects, region.width, region.height)
+        if not feasibility.feasible:
+            return None
+        return {
+            int(tag): r.translated(region.x, region.y)
+            for tag, r in feasibility.layout.items()
+        }
+
+    def _apply_child_layout(
+        self,
+        direction: Direction,
+        layer: int,
+        layout: Dict[int, PlacedRect],
+    ) -> List[HarpMessage]:
+        """Install a new layout of child partitions at one layer and
+        notify moved children."""
+        state = self.state
+        region = state.partitions[(direction, layer)]
+        state.layouts[(direction, layer)] = {
+            child: PlacedRect(
+                r.x - region.x, r.y - region.y, r.width, r.height, child
+            )
+            for child, r in layout.items()
+        }
+        out: List[HarpMessage] = []
+        placed = state.child_partitions.setdefault((direction, layer), {})
+        for child in sorted(layout):
+            absolute = layout[child]
+            if placed.get(child) == absolute:
+                continue
+            placed[child] = absolute
+            out.append(
+                PutPartition(
+                    src=state.node_id, dst=child,
+                    layer=layer, direction=direction,
+                    start_slot=absolute.x, start_channel=absolute.y,
+                    n_slots=absolute.width, n_channels=absolute.height,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # gateway-only resizes
+    # ------------------------------------------------------------------
+
+    def _gateway_self_resize(self, direction: Direction) -> List[HarpMessage]:
+        """The gateway's own Case-1 row grew: re-place its partitions
+        order-preservingly (positions kept where possible)."""
+        return self._gateway_layer_resize(direction, self.state.own_layer)
+
+    def _gateway_layer_resize(
+        self, direction: Direction, layer: int
+    ) -> List[HarpMessage]:
+        """Grow one top-level partition: keep every other partition's
+        position/size, shift only where overlap forces it."""
+        state = self.state
+        slots, channels = state.own_interface[direction][layer]
+        trigger_key = (direction, layer)
+        ordered = sorted(
+            state.partitions.items(), key=lambda kv: kv[1].x
+        )
+        entries: List[Tuple[Tuple[Direction, int], int, int, int]] = []
+        seen = False
+        tail = 0
+        for key, region in ordered:
+            tail = max(tail, region.x2)
+            if key == trigger_key:
+                entries.append((key, slots, channels, region.x))
+                seen = True
+            else:
+                entries.append((key, region.width, region.height, region.x))
+        if not seen:
+            entries.append((trigger_key, slots, channels, tail))
+        cursor = 0
+        out: List[HarpMessage] = []
+        for key, width, height, old_x in entries:
+            x = max(cursor, old_x)
+            new_region = PlacedRect(x, 0, width, height, state.node_id)
+            cursor = x + width
+            if state.partitions.get(key) == new_region and key != trigger_key:
+                continue
+            state.partitions[key] = new_region
+            p_direction, p_layer = key
+            if p_layer == state.own_layer:
+                out.extend(self._schedule_links())
+            else:
+                out.extend(self._repropagate_layer(p_direction, p_layer))
+        return out
+
+    def _repropagate_layer(
+        self, direction: Direction, layer: int
+    ) -> List[HarpMessage]:
+        """Re-derive and push the children's partitions at one layer."""
+        state = self.state
+        region = state.partitions[(direction, layer)]
+        layout = state.layouts.get((direction, layer))
+        if not layout:
+            return []
+        out: List[HarpMessage] = []
+        placed = state.child_partitions.setdefault((direction, layer), {})
+        for child, rel in sorted(layout.items()):
+            absolute = rel.translated(region.x, region.y)
+            if placed.get(child) == absolute:
+                continue
+            placed[child] = absolute
+            out.append(
+                PutPartition(
+                    src=state.node_id, dst=child,
+                    layer=layer, direction=direction,
+                    start_slot=absolute.x, start_channel=absolute.y,
+                    n_slots=absolute.width, n_channels=absolute.height,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, message: HarpMessage) -> List[HarpMessage]:
+        """Route a message to its handler."""
+        if isinstance(message, PostInterface):
+            return self.on_post_interface(message)
+        if isinstance(message, PostPartitions):
+            return self.on_post_partitions(message)
+        if isinstance(message, PutInterface):
+            return self.on_put_interface(message)
+        if isinstance(message, PutPartition):
+            return self.on_put_partition(message)
+        if isinstance(message, ScheduleUpdate):
+            return []  # leaf bookkeeping only; nothing to propagate
+        raise TypeError(f"agent cannot handle {type(message).__name__}")

@@ -1,0 +1,277 @@
+"""Runtime binding the distributed agents to a message bus.
+
+:class:`AgentRuntime` builds one :class:`~repro.agents.node.HarpNodeAgent`
+per network node — each seeded *only* with its local view (parent,
+children, the demands of its own child links) — and dispatches protocol
+messages between them through the management plane, so message counts
+and virtual time accumulate exactly as in the centralized accounting.
+
+The runtime is the *test harness* for HARP's distributability: after
+running the static phase to quiescence, the collected per-node cell
+assignments form a network schedule that must equal the centralized
+implementation's output (see ``tests/agents/``), and any dynamic
+adjustment must keep the distributed state collision-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..net.protocol.messages import HarpMessage
+from ..net.protocol.transport import ManagementPlane
+from ..net.slotframe import Schedule, SlotframeConfig
+from ..net.tasks import TaskSet, demands_by_parent
+from ..net.topology import Direction, LinkRef, TreeTopology
+from .node import HarpNodeAgent
+from .state import LocalState
+
+
+class AgentRuntime:
+    """Message-driven execution of the HARP protocol over real agents."""
+
+    def __init__(
+        self,
+        topology: TreeTopology,
+        task_set: TaskSet,
+        config: Optional[SlotframeConfig] = None,
+        plane: Optional[ManagementPlane] = None,
+        case1_slack: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.config = config or SlotframeConfig()
+        self.plane = plane or ManagementPlane(self.config, topology)
+        self.agents: Dict[int, HarpNodeAgent] = {}
+        self._queue: Deque[HarpMessage] = deque()
+
+        link_demands = task_set.link_demands(topology)
+        per_parent = {
+            direction: demands_by_parent(topology, link_demands, direction)
+            for direction in (Direction.UP, Direction.DOWN)
+        }
+        for node in topology.nodes:
+            state = LocalState(
+                node_id=node,
+                parent=(
+                    None
+                    if node == topology.gateway_id
+                    else topology.parent_of(node)
+                ),
+                children=topology.children_of(node),
+                non_leaf_children={
+                    child
+                    for child in topology.children_of(node)
+                    if not topology.is_leaf(child)
+                },
+                depth=topology.depth_of(node),
+                link_demands={
+                    direction: dict(per_parent[direction].get(node, {}))
+                    for direction in (Direction.UP, Direction.DOWN)
+                },
+                case1_slack=case1_slack,
+            )
+            self.agents[node] = HarpNodeAgent(
+                state, self.config.num_channels
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run_static_phase(self) -> int:
+        """Run bootstrap to quiescence; returns messages exchanged."""
+        before = self.plane.stats.total_messages
+        for node in self.topology.nodes_bottom_up():
+            self._enqueue_all(self.agents[node].start())
+        self._drain()
+        return self.plane.stats.total_messages - before
+
+    def request_demand_increase(
+        self, child: int, direction: Direction, new_cells: int
+    ) -> int:
+        """Dynamic phase: the link to ``child`` needs ``new_cells``;
+        returns the messages the adjustment transaction exchanged."""
+        before = self.plane.stats.total_messages
+        parent = self.topology.parent_of(child)
+        self._enqueue_all(
+            self.agents[parent].request_demand_increase(
+                child, direction, new_cells
+            )
+        )
+        self._drain()
+        return self.plane.stats.total_messages - before
+
+    def attach_leaf(
+        self, node: int, parent: int, rate: float = 1.0, echo: bool = True
+    ) -> int:
+        """A new leaf joins under ``parent`` with a task of ``rate``.
+
+        The direct link's demand lands at the parent; every ancestor's
+        forwarding demand grows by the same amount, deepest manager
+        first — all through ordinary agent messages.  Returns the
+        messages exchanged.
+        """
+        import math
+
+        if node in self.agents:
+            raise ValueError(f"node {node} already in the network")
+        before = self.plane.stats.total_messages
+        cells = int(math.ceil(rate))
+        demands = {Direction.UP: cells}
+        if echo:
+            demands[Direction.DOWN] = cells
+
+        state = LocalState(
+            node_id=node,
+            parent=parent,
+            children=[],
+            non_leaf_children=set(),
+            depth=self.agents[parent].state.depth + 1,
+            case1_slack=self.agents[parent].state.case1_slack,
+            link_demands={Direction.UP: {}, Direction.DOWN: {}},
+        )
+        self.agents[node] = HarpNodeAgent(state, self.config.num_channels)
+        self.topology = self.topology.with_attached(node, parent)
+        self.plane.topology = self.topology
+
+        self._enqueue_all(self.agents[parent].admit_child(node, demands))
+        self._drain()
+        # Forwarding demand ripples up the path, deepest manager first.
+        ancestors = [
+            n for n in self.topology.path_to_gateway(parent) if n != parent
+        ]
+        chain = [parent] + ancestors
+        for child_on_path, manager in zip(chain, chain[1:]):
+            agent = self.agents[manager]
+            for direction, extra in demands.items():
+                current = agent.state.link_demands.get(direction, {}).get(
+                    child_on_path, 0
+                )
+                self._enqueue_all(
+                    agent.request_demand_increase(
+                        child_on_path, direction, current + extra
+                    )
+                )
+                self._drain()
+        return self.plane.stats.total_messages - before
+
+    def detach_leaf(self, node: int) -> int:
+        """A leaf leaves; its cells are released along the whole path."""
+        if self.topology.children_of(node):
+            raise ValueError(f"node {node} is not a leaf")
+        before = self.plane.stats.total_messages
+        parent = self.topology.parent_of(node)
+        agent = self.agents[parent]
+        released = {
+            direction: agent.state.link_demands.get(direction, {}).get(node, 0)
+            for direction in (Direction.UP, Direction.DOWN)
+        }
+        self._enqueue_all(agent.evict_child(node))
+        self._drain()
+        del self.agents[node]
+        self.topology = self.topology.with_detached(node)
+        self.plane.topology = self.topology
+        # Ancestors release the forwarding share (decrease rule: just a
+        # local reschedule, partitions untouched).
+        ancestors = [
+            n for n in self.topology.path_to_gateway(parent) if n != parent
+        ]
+        chain = [parent] + ancestors
+        for child_on_path, manager in zip(chain, chain[1:]):
+            manager_agent = self.agents[manager]
+            for direction, extra in released.items():
+                if extra <= 0:
+                    continue
+                current = manager_agent.state.link_demands.get(
+                    direction, {}
+                ).get(child_on_path, 0)
+                self._enqueue_all(
+                    manager_agent.request_demand_increase(
+                        child_on_path, direction, max(0, current - extra)
+                    )
+                )
+                self._drain()
+        return self.plane.stats.total_messages - before
+
+    def _enqueue_all(self, messages: List[HarpMessage]) -> None:
+        for message in messages:
+            self.plane.deliver(message)
+            self._queue.append(message)
+
+    def _drain(self) -> None:
+        while self._queue:
+            message = self._queue.popleft()
+            replies = self.agents[message.dst].handle(message)
+            self._enqueue_all(replies)
+
+    # ------------------------------------------------------------------
+    # collected views (for validation only — no agent reads these)
+    # ------------------------------------------------------------------
+
+    def build_schedule(self) -> Schedule:
+        """Assemble the network schedule from every agent's local cell
+        assignments."""
+        schedule = Schedule(self.config)
+        for node, agent in sorted(self.agents.items()):
+            for direction, assignment in agent.state.cell_assignments.items():
+                for child, cells in assignment.items():
+                    link = LinkRef(child, direction)
+                    schedule.remove_link(link)
+                    schedule.assign_many(cells, link)
+        return schedule
+
+    def partition_regions(self) -> Dict:
+        """(node, direction, layer) -> absolute region, network-wide."""
+        out = {}
+        for node, agent in sorted(self.agents.items()):
+            for (direction, layer), region in agent.state.partitions.items():
+                out[(node, direction, layer)] = region
+        return out
+
+    def assert_converged(self) -> None:
+        """The static phase must have reached every node: each agent
+        with child-link demands holds its layer partition and a cell
+        assignment covering those demands."""
+        for node, agent in self.agents.items():
+            state = agent.state
+            for direction in (Direction.UP, Direction.DOWN):
+                demands = state.link_demands.get(direction, {})
+                if not any(demands.values()):
+                    continue
+                key = (direction, state.own_layer)
+                if key not in state.partitions:
+                    raise AssertionError(
+                        f"node {node} never received its "
+                        f"({direction.value}, {state.own_layer}) partition"
+                    )
+                assignment = state.cell_assignments.get(direction, {})
+                for child, cells in demands.items():
+                    if len(assignment.get(child, [])) < cells:
+                        raise AssertionError(
+                            f"node {node} under-scheduled link to {child} "
+                            f"({direction.value})"
+                        )
+
+    def validate_isolation(self) -> None:
+        """The distributed analogue of
+        :meth:`repro.core.partition.PartitionTable.validate_isolation`:
+        child regions nested in the granting parent's, siblings disjoint."""
+        for node, agent in self.agents.items():
+            for (direction, layer), granted in (
+                agent.state.child_partitions.items()
+            ):
+                own = agent.state.partitions.get((direction, layer))
+                regions = sorted(granted.items())
+                for child, region in regions:
+                    if own is not None and not own.contains(region):
+                        raise AssertionError(
+                            f"child {child} partition escapes {node}'s "
+                            f"({direction.value}, {layer}) region"
+                        )
+                for i, (child_a, a) in enumerate(regions):
+                    for child_b, b in regions[i + 1:]:
+                        if a.overlaps(b):
+                            raise AssertionError(
+                                f"siblings {child_a}/{child_b} overlap under "
+                                f"{node} at ({direction.value}, {layer})"
+                            )

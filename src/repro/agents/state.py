@@ -1,0 +1,99 @@
+"""Per-node local state for the distributed HARP agents.
+
+The defining property of HARP's distributed operation is *state
+locality* (Sec. II-B: "each node only maintains a portion of the entire
+network information").  :class:`LocalState` is exactly the knowledge a
+real HARP node holds:
+
+* the demands of the links to its own children (``r(e)`` for links
+  passing through it),
+* the resource interfaces its non-leaf children reported (POST-intf),
+* its own composed interface and the composition layouts,
+* the partitions its parent granted it (POST-part / PUT-part),
+* the partitions it granted its children, and its own cell assignments.
+
+Nothing global: no topology object, no network-wide schedule, no other
+subtree's state.  The agent layer (:mod:`repro.agents.node`) operates on
+this state purely through message handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..net.slotframe import Cell
+from ..net.topology import Direction
+from ..packing.geometry import PlacedRect
+
+#: Wire form of an interface: layer -> (n_slots, n_channels).
+InterfaceSummary = Dict[int, Tuple[int, int]]
+
+
+@dataclass
+class LocalState:
+    """Everything one HARP node knows."""
+
+    node_id: int
+    parent: Optional[int]            # None for the gateway
+    children: List[int]              # direct children (ids)
+    non_leaf_children: Set[int]      # children that will report interfaces
+    depth: int                       # own hop count to the gateway
+    case1_slack: int = 0             # spare cells per Case-1 component
+
+    #: Demands of this node's child links, per direction:
+    #: direction -> {child: cells}.
+    link_demands: Dict[Direction, Dict[int, int]] = field(default_factory=dict)
+
+    #: Interfaces received from non-leaf children:
+    #: direction -> {child: {layer: (slots, channels)}}.
+    child_interfaces: Dict[Direction, Dict[int, InterfaceSummary]] = field(
+        default_factory=dict
+    )
+
+    #: Own composed interface: direction -> {layer: (slots, channels)}.
+    own_interface: Dict[Direction, InterfaceSummary] = field(
+        default_factory=dict
+    )
+
+    #: Composition layouts: (direction, layer) -> {child: relative rect}.
+    layouts: Dict[Tuple[Direction, int], Dict[int, PlacedRect]] = field(
+        default_factory=dict
+    )
+
+    #: Partitions granted by the parent: (direction, layer) -> absolute rect.
+    partitions: Dict[Tuple[Direction, int], PlacedRect] = field(
+        default_factory=dict
+    )
+
+    #: Partitions this node granted its children:
+    #: (direction, layer) -> {child: absolute rect}.
+    child_partitions: Dict[Tuple[Direction, int], Dict[int, PlacedRect]] = (
+        field(default_factory=dict)
+    )
+
+    #: This node's local cell assignment: direction -> {child: [Cell]}.
+    cell_assignments: Dict[Direction, Dict[int, List[Cell]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def own_layer(self) -> int:
+        """``l(V_i)``: the layer of this node's child links."""
+        return self.depth + 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def pending_interfaces(self, direction: Direction) -> Set[int]:
+        """Non-leaf children whose interface has not arrived yet."""
+        received = set(self.child_interfaces.get(direction, {}))
+        return self.non_leaf_children - received
+
+    def interfaces_complete(self) -> bool:
+        """Whether composition can run for both directions."""
+        return all(
+            not self.pending_interfaces(direction)
+            for direction in (Direction.UP, Direction.DOWN)
+        )

@@ -1,0 +1,185 @@
+"""Capacity planning: can this network host this workload?
+
+Operators ask three questions before touching a running plant:
+
+1. **Admission** — will HARP find a collision-free allocation for this
+   task set on this network? (:func:`admission_check`)
+2. **Headroom** — how much more traffic can a given node take before a
+   partition adjustment, and before the network saturates?
+   (:func:`node_headroom`)
+3. **Capacity** — what is the highest uniform rate the network supports?
+   (:func:`max_uniform_rate`, binary search over feasibility)
+
+All three run the real allocation machinery, so the answers reflect the
+packing geometry (half-duplex rows, channel budget, layer funnel), not a
+naive cell count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .core.allocation import InsufficientResourcesError, allocate_partitions
+from .core.interface_gen import generate_interfaces
+from .core.manager import HarpNetwork
+from .net.slotframe import SlotframeConfig
+from .net.tasks import TaskSet, demands_by_parent, e2e_task_per_node
+from .net.topology import Direction, TreeTopology
+
+
+@dataclass
+class AdmissionReport:
+    """Outcome of an admission check."""
+
+    feasible: bool
+    total_cells: int
+    slots_needed: int
+    slots_available: int
+    bottleneck: Optional[str] = None
+
+    @property
+    def slot_utilization(self) -> float:
+        """Needed/available slots (> 1 when rejected for slot space)."""
+        if self.slots_available == 0:
+            return math.inf
+        return self.slots_needed / self.slots_available
+
+
+def admission_check(
+    topology: TreeTopology,
+    task_set: TaskSet,
+    config: Optional[SlotframeConfig] = None,
+) -> AdmissionReport:
+    """Run the real static phase and report whether the workload fits.
+
+    The dominant constraints surface in ``bottleneck``:
+    ``"gateway-row"`` when the layer-1 half-duplex row alone exceeds the
+    data sub-frame (no channel count can help), ``"slotframe"`` when the
+    per-layer components overflow the frame, ``None`` when feasible.
+    """
+    config = config or SlotframeConfig()
+    demands = task_set.link_demands(topology)
+    total = sum(demands.values())
+
+    # The gateway's Case-1 rows are irreducible: every packet crosses a
+    # layer-1 link and the gateway hears one at a time.
+    gateway_row = sum(
+        sum(
+            demands_by_parent(topology, demands, direction)
+            .get(topology.gateway_id, {})
+            .values()
+        )
+        for direction in (Direction.UP, Direction.DOWN)
+    )
+    if gateway_row > config.data_slots:
+        return AdmissionReport(
+            feasible=False,
+            total_cells=total,
+            slots_needed=gateway_row,
+            slots_available=config.data_slots,
+            bottleneck="gateway-row",
+        )
+
+    tables = {
+        direction: generate_interfaces(
+            topology, demands, direction, config.num_channels
+        )
+        for direction in (Direction.UP, Direction.DOWN)
+    }
+    try:
+        _, report = allocate_partitions(topology, tables, config)
+    except InsufficientResourcesError as error:
+        return AdmissionReport(
+            feasible=False,
+            total_cells=total,
+            slots_needed=error.needed_slots,
+            slots_available=error.available_slots,
+            bottleneck="slotframe",
+        )
+    return AdmissionReport(
+        feasible=True,
+        total_cells=total,
+        slots_needed=report.total_slots_used,
+        slots_available=config.data_slots,
+    )
+
+
+@dataclass
+class HeadroomReport:
+    """How much one node's partition can grow."""
+
+    node: int
+    direction: Direction
+    demand: int
+    capacity: int
+
+    @property
+    def free_cells(self) -> int:
+        """Cells the node can claim without any partition message."""
+        return self.capacity - self.demand
+
+
+def node_headroom(
+    harp: HarpNetwork, node: int, direction: Direction = Direction.UP
+) -> HeadroomReport:
+    """Local headroom of ``node``'s scheduling partition.
+
+    ``free_cells`` is exactly the amount of extra demand the node
+    absorbs as a pure schedule update (the Sec. V Case-1 test).
+    """
+    per_parent = demands_by_parent(harp.topology, harp.link_demands, direction)
+    demand = sum(per_parent.get(node, {}).values())
+    partition = harp.partitions.get(
+        node, harp.topology.node_layer(node), direction
+    )
+    capacity = partition.capacity if partition else 0
+    return HeadroomReport(
+        node=node, direction=direction, demand=demand, capacity=capacity
+    )
+
+
+def network_headroom(
+    harp: HarpNetwork, direction: Direction = Direction.UP
+) -> Dict[int, HeadroomReport]:
+    """Headroom of every managing node, gateway included."""
+    return {
+        node: node_headroom(harp, node, direction)
+        for node in harp.topology.non_leaf_nodes()
+    }
+
+
+def max_uniform_rate(
+    topology: TreeTopology,
+    config: Optional[SlotframeConfig] = None,
+    echo: bool = True,
+    precision: float = 0.05,
+    upper_bound: float = 64.0,
+) -> float:
+    """Highest uniform per-node rate the network admits (binary search).
+
+    The standard capacity question: with one task per device at rate
+    ``r``, what is the largest feasible ``r``?  Feasibility is the full
+    admission check, so the answer accounts for packing effects, not
+    just the aggregate cell budget.
+    """
+    config = config or SlotframeConfig()
+
+    def feasible(rate: float) -> bool:
+        tasks = e2e_task_per_node(topology, rate=rate, echo=echo)
+        return admission_check(topology, tasks, config).feasible
+
+    if not feasible(precision):
+        return 0.0
+    low, high = precision, precision
+    while high < upper_bound and feasible(high):
+        low, high = high, high * 2
+    high = min(high, upper_bound)
+    while high - low > precision:
+        middle = (low + high) / 2
+        if feasible(middle):
+            low = middle
+        else:
+            high = middle
+    return low

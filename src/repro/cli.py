@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``evaluate [--quick]``
+    Regenerate the paper's full evaluation (all tables and figures).
+``demo``
+    Allocate a 50-device network, validate, simulate, print a summary.
+``layout``
+    Print the partitioned slotframe (the Fig. 7(d) view).
+``collide [--rate R] [--channels C] [--topologies N]``
+    One collision-probability comparison across all four schedulers.
+``adjust --node N --rate R``
+    Show what one runtime rate change costs on the demo network.
+``capacity``
+    Admission headroom of the demo network: max uniform rate and
+    per-node slack.
+``snapshot --out FILE``
+    Allocate the demo network and persist it as a JSON snapshot.
+``audit [--snapshot FILE]``
+    Deep cross-structure consistency audit of the demo network (or of a
+    snapshot's schedule/partition consistency).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+from typing import List, Optional
+
+from .core.manager import HarpNetwork
+from .experiments import runner as evaluation_runner
+from .experiments.topologies import testbed_topology
+from .net.sim.engine import TSCHSimulator
+from .net.slotframe import SlotframeConfig
+from .net.tasks import e2e_task_per_node, tasks_on_nodes
+from .schedulers import (
+    HARPScheduler,
+    LDSFScheduler,
+    MSFScheduler,
+    RandomScheduler,
+)
+
+
+def _build_demo_network(case1_slack: int = 1) -> HarpNetwork:
+    topology = testbed_topology()
+    harp = HarpNetwork(
+        topology,
+        e2e_task_per_node(topology, rate=1.0),
+        SlotframeConfig(),
+        case1_slack=case1_slack,
+        distribute_slack=True,
+    )
+    harp.allocate()
+    harp.validate()
+    return harp
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    argv = ["--quick"] if args.quick else []
+    return evaluation_runner.main(argv)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    harp = _build_demo_network()
+    report = harp.static_report
+    print(f"network: {len(harp.topology.device_nodes)} devices, "
+          f"{harp.topology.max_layer} layers")
+    print(f"static phase: {report.total_messages} management messages, "
+          f"{report.allocation.total_slots_used}/{harp.config.data_slots} "
+          "slots, collision-free")
+    sim = TSCHSimulator(
+        harp.topology, harp.schedule, harp.task_set, harp.config,
+        rng=random.Random(0),
+    )
+    metrics = sim.run_slotframes(args.slotframes)
+    latencies = metrics.latencies_seconds()
+    print(f"simulated {args.slotframes} slotframes: "
+          f"{metrics.delivered}/{metrics.generated} delivered; "
+          f"e2e latency mean {statistics.mean(latencies):.2f} s, "
+          f"max {max(latencies):.2f} s "
+          f"(slotframe {harp.config.duration_s:.2f} s)")
+    return 0
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    from .experiments.reporting import render_cell_map, render_gateway_map
+
+    harp = _build_demo_network(case1_slack=0)
+    print(render_gateway_map(harp))
+    print()
+    print(render_cell_map(harp))
+    return 0
+
+
+def cmd_collide(args: argparse.Namespace) -> int:
+    from .net.topology import layered_random_tree
+
+    config = SlotframeConfig(num_channels=args.channels)
+    schedulers = [
+        RandomScheduler(), MSFScheduler(), LDSFScheduler(), HARPScheduler(),
+    ]
+    sums = {s.name: 0.0 for s in schedulers}
+    for i in range(args.topologies):
+        topology = layered_random_tree(50, 5, random.Random(args.seed + i))
+        leaves = [n for n in topology.device_nodes if topology.is_leaf(n)]
+        demands = tasks_on_nodes(leaves, rate=args.rate).link_demands(topology)
+        for scheduler in schedulers:
+            sums[scheduler.name] += scheduler.collision_probability(
+                topology, demands, config, random.Random(i)
+            )
+    print(f"rate {args.rate} pkt/sf, {args.channels} channels, "
+          f"{args.topologies} topologies:")
+    for name, total in sums.items():
+        print(f"  {name:<8} collision probability "
+              f"{total / args.topologies:.3f}")
+    return 0
+
+
+def cmd_adjust(args: argparse.Namespace) -> int:
+    harp = _build_demo_network()
+    if args.node not in harp.topology:
+        print(f"node {args.node} not in the demo network "
+              f"(1..{max(harp.topology.device_nodes)})", file=sys.stderr)
+        return 2
+    report = harp.request_rate_change(args.node, args.rate)
+    harp.validate()
+    print(f"rate of node {args.node} -> {args.rate} pkt/slotframe: "
+          f"{'ok' if report.success else 'REJECTED'}")
+    print(f"  partition messages : {report.partition_messages}")
+    print(f"  schedule updates   : {report.schedule_update_messages}")
+    print(f"  nodes involved     : {sorted(report.involved_nodes)}")
+    print(f"  reconfiguration    : "
+          f"{report.elapsed_slots * harp.config.slot_duration_s:.2f} s")
+    for outcome in report.outcomes:
+        print(f"    {outcome.direction.value} layer {outcome.layer}: "
+              f"{outcome.case}")
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    from .capacity import admission_check, max_uniform_rate, network_headroom
+
+    topology = testbed_topology()
+    config = SlotframeConfig()
+    rate = max_uniform_rate(topology, config, precision=0.1)
+    print(f"max uniform e2e rate: {rate:.1f} pkt/slotframe")
+    report = admission_check(
+        topology, e2e_task_per_node(topology, rate=1.0), config
+    )
+    print(f"at rate 1.0: {report.slots_needed}/{report.slots_available} "
+          f"slots ({report.slot_utilization:.0%} of the data sub-frame)")
+    harp = _build_demo_network()
+    tight = [
+        (node, h.free_cells)
+        for node, h in sorted(network_headroom(harp).items())
+        if h.free_cells <= 1
+    ]
+    print(f"managers with <=1 spare cell: {len(tight)}")
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from .net.serialization import save_network
+
+    harp = _build_demo_network()
+    save_network(harp, args.out)
+    print(f"snapshot written to {args.out} "
+          f"({harp.schedule.total_assignments} cells, "
+          f"{len(harp.partitions)} partitions)")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    if args.snapshot:
+        from .net.serialization import load_network_file
+
+        topology, tasks, partitions, schedule = load_network_file(
+            args.snapshot
+        )
+        problems: List[str] = []
+        try:
+            partitions.validate_isolation(topology)
+        except Exception as error:
+            problems.append(f"isolation: {error}")
+        try:
+            schedule.validate_collision_free(topology)
+        except Exception as error:
+            problems.append(f"collisions: {error}")
+        demands = tasks.link_demands(topology)
+        for link, cells in demands.items():
+            if len(schedule.cells_of(link)) < cells:
+                problems.append(f"under-provisioned: {link}")
+        source = args.snapshot
+    else:
+        from .core.audit import audit_network
+
+        harp = _build_demo_network()
+        problems = audit_network(harp)
+        source = "demo network"
+    if problems:
+        print(f"{source}: {len(problems)} finding(s)")
+        for finding in problems:
+            print(f"  - {finding}")
+        return 1
+    print(f"{source}: clean (no findings)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HARP reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("evaluate", help="regenerate the paper's evaluation")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("demo", help="allocate + simulate the demo network")
+    p.add_argument("--slotframes", type=int, default=30)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("layout", help="print the partitioned slotframe")
+    p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser("collide", help="collision comparison")
+    p.add_argument("--rate", type=float, default=3.0)
+    p.add_argument("--channels", type=int, default=16)
+    p.add_argument("--topologies", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2022)
+    p.set_defaults(func=cmd_collide)
+
+    p = sub.add_parser("adjust", help="cost of one runtime rate change")
+    p.add_argument("--node", type=int, required=True)
+    p.add_argument("--rate", type=float, required=True)
+    p.set_defaults(func=cmd_adjust)
+
+    p = sub.add_parser("capacity", help="admission headroom of the demo net")
+    p.set_defaults(func=cmd_capacity)
+
+    p = sub.add_parser("snapshot", help="persist the demo network as JSON")
+    p.add_argument("--out", default="harp-network.json")
+    p.set_defaults(func=cmd_snapshot)
+
+    p = sub.add_parser("audit", help="deep consistency audit")
+    p.add_argument("--snapshot", default=None)
+    p.set_defaults(func=cmd_audit)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Co-existing HARP networks sharing one frequency band.
+
+The paper's closing future-work item: "extend HARP to support dynamic
+resource management among co-existing heterogeneous IWNs".  The natural
+HARP-shaped answer is one more level of hierarchy: the 2.4 GHz band's 16
+channels are partitioned into contiguous *channel ranges*, one per
+network; each network runs ordinary HARP inside its range (its own
+gateway, slotframe, tasks), and a band coordinator adjusts the ranges
+when a network outgrows its slice — the same abstraction/isolation/
+adjustment pattern, lifted from (slot, channel) rectangles inside one
+slotframe to channel intervals inside one band.
+
+Isolation argument: co-located networks are slot-aligned (a common
+epoch) and channel ranges are disjoint, so no two networks can ever
+occupy the same physical cell — cross-network collision freedom by
+construction, checked by :meth:`CoexistenceCoordinator.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .core.manager import HarpNetwork
+from .net.slotframe import Cell, Schedule, SlotframeConfig
+from .net.tasks import TaskSet
+from .net.topology import TreeTopology
+
+
+class BandAllocationError(RuntimeError):
+    """The band cannot satisfy a channel-range request."""
+
+
+@dataclass
+class NetworkSlice:
+    """One network's share of the band."""
+
+    name: str
+    harp: HarpNetwork
+    channel_offset: int
+    num_channels: int
+
+    @property
+    def channel_range(self) -> range:
+        """Physical channels owned by this network."""
+        return range(self.channel_offset, self.channel_offset + self.num_channels)
+
+
+class CoexistenceCoordinator:
+    """Band-level resource manager across co-located HARP networks.
+
+    ``mode`` selects the isolation dimension:
+
+    * ``"channels"`` (default) — each network owns a contiguous channel
+      range over the whole slotframe.  Right when networks need few
+      channels but long frames.
+    * ``"slots"`` — each network owns a contiguous *slot* range over all
+      channels (TDMA between networks).  Right when a network needs the
+      full channel budget for deep channel-stacked compositions.
+
+    Either way, ranges are disjoint, so physical cells never collide
+    across networks.
+    """
+
+    def __init__(
+        self,
+        num_slots: int = 199,
+        band_channels: int = 16,
+        mode: str = "channels",
+    ) -> None:
+        if band_channels <= 0:
+            raise ValueError(f"band_channels must be positive, got {band_channels}")
+        if mode not in ("channels", "slots"):
+            raise ValueError(f"mode must be 'channels' or 'slots', got {mode!r}")
+        self.num_slots = num_slots
+        self.band_channels = band_channels
+        self.mode = mode
+        self.slices: Dict[str, NetworkSlice] = {}
+
+    @property
+    def _axis_extent(self) -> int:
+        """Total units along the shared axis."""
+        return self.band_channels if self.mode == "channels" else self.num_slots
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        topology: TreeTopology,
+        task_set: TaskSet,
+        num_channels: int,
+        **harp_options,
+    ) -> NetworkSlice:
+        """Admit a network with a contiguous range of ``num_channels``.
+
+        The network's HARP instance is allocated immediately within its
+        range.  Raises :class:`BandAllocationError` when no contiguous
+        free range of that width exists.
+        """
+        if name in self.slices:
+            raise ValueError(f"network {name!r} already registered")
+        offset = self._find_free_range(num_channels)
+        if offset is None:
+            raise BandAllocationError(
+                f"no contiguous {num_channels}-unit range free for "
+                f"{name!r}"
+            )
+        if self.mode == "channels":
+            config = SlotframeConfig(
+                num_slots=self.num_slots, num_channels=num_channels
+            )
+        else:
+            config = SlotframeConfig(
+                num_slots=num_channels, num_channels=self.band_channels
+            )
+        harp = HarpNetwork(topology, task_set, config, **harp_options)
+        harp.allocate()
+        harp.validate()
+        net_slice = NetworkSlice(name, harp, offset, num_channels)
+        self.slices[name] = net_slice
+        return net_slice
+
+    def _occupied(self) -> List[Tuple[int, int]]:
+        """(offset, width) of every allocated range, sorted."""
+        return sorted(
+            (s.channel_offset, s.num_channels) for s in self.slices.values()
+        )
+
+    def _find_free_range(
+        self, width: int, ignore: Optional[str] = None
+    ) -> Optional[int]:
+        """Lowest offset of a free contiguous range of ``width``."""
+        occupied = sorted(
+            (s.channel_offset, s.num_channels)
+            for n, s in self.slices.items()
+            if n != ignore
+        )
+        cursor = 0
+        for offset, taken in occupied:
+            if offset - cursor >= width:
+                return cursor
+            cursor = max(cursor, offset + taken)
+        if self._axis_extent - cursor >= width:
+            return cursor
+        return None
+
+    # ------------------------------------------------------------------
+    # band-level dynamics
+    # ------------------------------------------------------------------
+
+    def request_channels(self, name: str, new_width: int) -> bool:
+        """Resize ``name``'s range to ``new_width`` channels.
+
+        Growth strategy mirrors HARP's partition adjustment one level
+        up: extend in place into free neighbouring channels if possible,
+        otherwise relocate the whole range into any free span.  The
+        network re-runs its static phase inside the new range (its
+        slot-level layout depends on the channel budget).  Shrinking is
+        accepted whenever the network still fits.  Returns False when
+        the band cannot satisfy the request; the slice is unchanged.
+        """
+        net_slice = self.slices[name]
+        if new_width == net_slice.num_channels:
+            return True
+        # Find a home for the new width, preferring in-place extension.
+        others = [
+            (s.channel_offset, s.num_channels)
+            for n, s in self.slices.items()
+            if n != name
+        ]
+
+        def span_free(offset: int, width: int) -> bool:
+            if offset < 0 or offset + width > self._axis_extent:
+                return False
+            return all(
+                offset + width <= o or offset >= o + w for o, w in others
+            )
+
+        candidates = [net_slice.channel_offset]          # extend right
+        candidates.append(net_slice.channel_offset + net_slice.num_channels
+                          - new_width)                   # extend left
+        relocation = self._find_free_range(new_width, ignore=name)
+        if relocation is not None:
+            candidates.append(relocation)
+        new_offset = next(
+            (c for c in candidates if span_free(c, new_width)), None
+        )
+        if new_offset is None:
+            return False
+
+        # Re-run the network's static phase in the new budget.
+        old_harp = net_slice.harp
+        if self.mode == "channels":
+            config = SlotframeConfig(
+                num_slots=self.num_slots, num_channels=new_width
+            )
+        else:
+            config = SlotframeConfig(
+                num_slots=new_width, num_channels=self.band_channels
+            )
+        harp = HarpNetwork(
+            old_harp.topology, old_harp.task_set, config,
+            case1_slack=old_harp.case1_slack,
+            distribute_slack=old_harp.distribute_slack,
+            distribute_idle_cells=old_harp.distribute_idle_cells,
+        )
+        try:
+            harp.allocate()
+            harp.validate()
+        except Exception:
+            return False
+        net_slice.harp = harp
+        net_slice.channel_offset = new_offset
+        net_slice.num_channels = new_width
+        return True
+
+    # ------------------------------------------------------------------
+    # physical views and validation
+    # ------------------------------------------------------------------
+
+    def physical_schedule(self, name: str) -> Schedule:
+        """The network's schedule mapped onto the shared band."""
+        net_slice = self.slices[name]
+        band_config = SlotframeConfig(
+            num_slots=self.num_slots, num_channels=self.band_channels
+        )
+        physical = Schedule(band_config)
+        logical = net_slice.harp.schedule
+        for link in logical.links:
+            for cell in logical.cells_of(link):
+                if self.mode == "channels":
+                    mapped = Cell(
+                        cell.slot, cell.channel + net_slice.channel_offset
+                    )
+                else:
+                    mapped = Cell(
+                        cell.slot + net_slice.channel_offset, cell.channel
+                    )
+                physical.assign(mapped, link)
+        return physical
+
+    def band_occupancy(self) -> Dict[str, range]:
+        """Channel ranges per network."""
+        return {
+            name: net_slice.channel_range
+            for name, net_slice in sorted(self.slices.items())
+        }
+
+    def validate(self) -> None:
+        """Cross-network isolation: ranges disjoint and no two networks
+        share a physical cell."""
+        names = sorted(self.slices)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                ra, rb = self.slices[a].channel_range, self.slices[b].channel_range
+                if ra.start < rb.stop and rb.start < ra.stop:
+                    raise AssertionError(
+                        f"channel ranges of {a!r} and {b!r} overlap"
+                    )
+        seen: Dict[Cell, str] = {}
+        for name in names:
+            for cell in self.physical_schedule(name).occupied_cells:
+                if cell in seen:
+                    raise AssertionError(
+                        f"cell {cell} used by both {seen[cell]!r} and {name!r}"
+                    )
+                seen[cell] = name

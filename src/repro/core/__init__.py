@@ -1,0 +1,58 @@
+"""HARP core: hierarchical resource partitioning (the paper's contribution)."""
+
+from .adjustment import AdjustmentOutcome, PartitionAdjuster
+from .audit import audit_network
+from .allocation import (
+    AllocationReport,
+    InsufficientResourcesError,
+    allocate_partitions,
+    gateway_layer_order,
+)
+from .component import ResourceComponent, ResourceInterface
+from .dynamics import TopologyChangeReport, TopologyManager
+from .interface_gen import InterfaceTable, generate_interfaces, recompose_at
+from .link_sched import (
+    ScheduleGenerationError,
+    build_schedule,
+    edf_priority,
+    id_priority,
+    partition_cells,
+    rate_monotonic_priority,
+    schedule_node_links,
+)
+from .manager import HarpNetwork, RateChangeReport, StaticPhaseReport
+from .partition import (
+    Partition,
+    PartitionIsolationError,
+    PartitionTable,
+)
+
+__all__ = [
+    "AdjustmentOutcome",
+    "AllocationReport",
+    "HarpNetwork",
+    "InsufficientResourcesError",
+    "InterfaceTable",
+    "Partition",
+    "PartitionAdjuster",
+    "PartitionIsolationError",
+    "PartitionTable",
+    "RateChangeReport",
+    "ResourceComponent",
+    "ResourceInterface",
+    "ScheduleGenerationError",
+    "StaticPhaseReport",
+    "TopologyChangeReport",
+    "TopologyManager",
+    "allocate_partitions",
+    "audit_network",
+    "build_schedule",
+    "edf_priority",
+    "gateway_layer_order",
+    "generate_interfaces",
+    "id_priority",
+    "partition_cells",
+    "rate_monotonic_priority",
+    "recompose_at",
+    "schedule_node_links",
+]

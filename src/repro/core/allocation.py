@@ -1,0 +1,314 @@
+"""Top-down partition allocation (Sec. IV-C).
+
+After the gateway has assembled its resource interface, it places each
+per-layer component in the slotframe and the placement recurses down the
+tree using the composition layouts stored during interface generation.
+
+Placement at the gateway follows the *routing-path-compliant* property
+inherited from APaS: the slotframe's data sub-frame is split into an
+uplink super-partition (left) and a downlink super-partition (right);
+within the uplink region, deeper layers come first (a packet climbing
+the tree meets its cells in increasing slot order within one slotframe),
+and within the downlink region, shallower layers come first.  This is
+what bounds end-to-end latency to roughly one slotframe in Fig. 9.
+
+Every node then carves its children's partitions out of its own by
+translating the stored relative layout — the step that gives HARP its
+isolation guarantee: sibling subtrees get disjoint rectangles, different
+layers get disjoint rectangles, so distributed per-node scheduling can
+never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..net.slotframe import SlotframeConfig
+from ..net.topology import Direction, TreeTopology
+from ..packing.geometry import PlacedRect
+from .interface_gen import InterfaceTable
+from .partition import Partition, PartitionTable
+
+
+#: When distributing slack, the fraction of each partition's extra span
+#: actually folded into its width; the remainder stays as free gaps so
+#: the Alg. 2 adjustment can place grown partitions without escalating.
+SLACK_FILL = 0.5
+
+#: When distributing slack, the fraction of the data sub-frame kept as a
+#: trailing reserve at the gateway level, so a layer partition can be
+#: *extended* at runtime (moving only the requesting branch) instead of
+#: forcing a relocation of the whole layer.
+GATEWAY_TAIL_RESERVE = 0.0
+
+
+class InsufficientResourcesError(RuntimeError):
+    """The gateway's components do not fit the data sub-frame."""
+
+    def __init__(self, needed_slots: int, available_slots: int) -> None:
+        super().__init__(
+            f"gateway needs {needed_slots} slots but the data sub-frame "
+            f"has only {available_slots}"
+        )
+        self.needed_slots = needed_slots
+        self.available_slots = available_slots
+
+
+@dataclass
+class AllocationReport:
+    """Statistics of one static partition-allocation run."""
+
+    post_part_messages: int = 0
+    uplink_slots: int = 0
+    downlink_slots: int = 0
+    total_slots_used: int = 0
+    overflow_slots: int = 0
+
+    @property
+    def overflowed(self) -> bool:
+        """True when demand exceeded the data sub-frame (overflow mode)."""
+        return self.overflow_slots > 0
+
+
+def allocate_partitions(
+    topology: TreeTopology,
+    tables: Mapping[Direction, InterfaceTable],
+    config: SlotframeConfig,
+    allow_overflow: bool = False,
+    distribute_slack: bool = False,
+    compliant_ordering: bool = True,
+) -> Tuple[PartitionTable, AllocationReport]:
+    """Run the top-down allocation phase.
+
+    Parameters
+    ----------
+    topology, tables, config:
+        The tree, the per-direction interface tables from
+        :func:`repro.core.interface_gen.generate_interfaces`, and the
+        slotframe parameters.
+    allow_overflow:
+        When the gateway's components need more slots than the data
+        sub-frame offers: raise :class:`InsufficientResourcesError`
+        (default) or keep allocating past the boundary into *virtual*
+        slots (used by the Fig. 11(b) overflow study, where the adapter
+        wraps virtual slots back into the frame, accepting collisions).
+    distribute_slack:
+        Stretch partitions proportionally so the whole data sub-frame is
+        distributed through the hierarchy instead of leaving all idle
+        slots at the end.  This mirrors the testbed's visibly loose
+        slotframe (Fig. 7(d)) and gives every subtree local headroom, so
+        runtime traffic increases are absorbed close to where they occur
+        (the flat HARP curve of Fig. 12).  Collision-freedom is
+        unaffected — regions only grow, never overlap.
+
+    Returns the complete :class:`PartitionTable` and a report.
+    """
+    report = AllocationReport()
+    partitions = PartitionTable()
+
+    cursor = _place_gateway(
+        topology, tables, partitions, report,
+        stretch_to=(
+            int(config.data_slots * (1 - GATEWAY_TAIL_RESERVE))
+            if distribute_slack
+            else None
+        ),
+        full_height=config.num_channels if distribute_slack else None,
+        compliant_ordering=compliant_ordering,
+    )
+    if cursor > config.data_slots:
+        if not allow_overflow:
+            raise InsufficientResourcesError(cursor, config.data_slots)
+        report.overflow_slots = cursor - config.data_slots
+    report.total_slots_used = cursor
+
+    for direction, table in tables.items():
+        _descend(topology, table, partitions, direction, distribute_slack)
+
+    report.post_part_messages = sum(
+        1
+        for node in topology.non_leaf_nodes()
+        if node != topology.gateway_id
+    )
+    return partitions, report
+
+
+def gateway_layer_order(
+    max_layer: int, compliant: bool = True
+) -> List[Tuple[Direction, int]]:
+    """The placement order of the gateway's components.
+
+    Compliant (default): uplink layers descending (deepest first), then
+    downlink layers ascending — so uplink packets sweep left-to-right up
+    the tree and downlink packets sweep left-to-right down the tree
+    within one frame (the APaS property the paper adopts, Sec. IV-C).
+
+    Non-compliant (``compliant=False``): the exact reverse per
+    super-partition — every hop's cell comes *before* the previous
+    hop's, so each hop waits ~a full slotframe; the ablation baseline
+    that shows what the ordering buys.
+    """
+    if compliant:
+        order: List[Tuple[Direction, int]] = [
+            (Direction.UP, layer) for layer in range(max_layer, 0, -1)
+        ]
+        order.extend(
+            (Direction.DOWN, layer) for layer in range(1, max_layer + 1)
+        )
+    else:
+        order = [(Direction.UP, layer) for layer in range(1, max_layer + 1)]
+        order.extend(
+            (Direction.DOWN, layer) for layer in range(max_layer, 0, -1)
+        )
+    return order
+
+
+def _place_gateway(
+    topology: TreeTopology,
+    tables: Mapping[Direction, InterfaceTable],
+    partitions: PartitionTable,
+    report: AllocationReport,
+    stretch_to: Optional[int] = None,
+    full_height: Optional[int] = None,
+    compliant_ordering: bool = True,
+) -> int:
+    """Place the gateway's per-layer components; returns the slot cursor.
+
+    With ``stretch_to``, the sequential layout is dilated so the
+    components' widths expand proportionally to fill that many slots
+    (no-op when the tight layout already exceeds it).
+    """
+    gateway = topology.gateway_id
+    entries = []
+    tight_total = 0
+    for direction, layer in gateway_layer_order(
+        topology.max_layer, compliant_ordering
+    ):
+        table = tables.get(direction)
+        if table is None or not table.has_component(gateway, layer):
+            continue
+        component = table.component(gateway, layer)
+        if component.is_empty:
+            continue
+        entries.append((direction, layer, component))
+        tight_total += component.n_slots
+
+    factor = 1.0
+    if stretch_to is not None and 0 < tight_total < stretch_to:
+        factor = stretch_to / tight_total
+
+    own_layer = topology.node_layer(gateway)
+    cursor = 0
+    tight_cursor = 0
+    for direction, layer, component in entries:
+        start = int(tight_cursor * factor)
+        end = int((tight_cursor + component.n_slots) * factor)
+        # Fold only a fraction of the extra span into the partition's
+        # width; the rest stays as a free gap after it (room for Alg. 2).
+        extra = int((end - start - component.n_slots) * SLACK_FILL)
+        width = component.n_slots + max(0, extra)
+        if full_height is not None and layer != own_layer:
+            # Gateway partitions never share time slots, so a composed
+            # layer partition may own the full channel column for free —
+            # headroom for channel-dimension growth.  The gateway's own
+            # Case-1 block stays one channel tall (half-duplex).
+            height = max(component.n_channels, full_height)
+        else:
+            height = component.n_channels
+        region = PlacedRect(start, 0, width, height, tag=gateway)
+        partitions.set(Partition(gateway, layer, direction, region))
+        tight_cursor += component.n_slots
+        cursor = end
+        if direction is Direction.UP:
+            report.uplink_slots += region.width
+        else:
+            report.downlink_slots += region.width
+    return cursor if factor > 1.0 else tight_cursor
+
+
+def _descend(
+    topology: TreeTopology,
+    table: InterfaceTable,
+    partitions: PartitionTable,
+    direction: Direction,
+    distribute_slack: bool = False,
+) -> None:
+    """Propagate partitions from every node to its children."""
+    for node in topology.nodes_top_down():
+        if topology.is_leaf(node):
+            continue
+        own_layer = topology.node_layer(node)
+        deepest = topology.subtree_max_layer(node)
+        for layer in range(own_layer + 1, deepest + 1):
+            if (node, layer) not in table.layouts:
+                continue
+            parent_part = partitions.get(node, layer, direction)
+            if parent_part is None:
+                continue
+            place_children(
+                partitions, table, node, layer, direction,
+                parent_part.region, distribute_slack,
+            )
+
+
+def place_children(
+    partitions: PartitionTable,
+    table: InterfaceTable,
+    node: int,
+    layer: int,
+    direction: Direction,
+    region: PlacedRect,
+    distribute_slack: bool = False,
+) -> List[Partition]:
+    """Instantiate children partitions of ``node`` at ``layer`` inside
+    ``region`` using the stored composition layout.
+
+    With ``distribute_slack``, the layout is dilated along the slot axis
+    so the children's widths grow proportionally into the (possibly
+    wider) region; the stored layout is rewritten to the dilated form so
+    later dynamic propagation stays consistent with the regions.
+
+    Returns the created partitions (also written into ``partitions``).
+    """
+    layout = table.layout(node, layer)
+    if distribute_slack and layout:
+        layout_width = max((rel.x2 for rel in layout.values()), default=0)
+        layout_height = max((rel.y2 for rel in layout.values()), default=0)
+        factor_x = (
+            region.width / layout_width
+            if 0 < layout_width < region.width
+            else 1.0
+        )
+        # Spread children vertically as well (positions only — heights
+        # never grow, so Case-1 rows stay one channel tall); the gaps
+        # left between rows give channel-dimension growth room.
+        factor_y = (
+            region.height / layout_height
+            if 0 < layout_height < region.height
+            else 1.0
+        )
+        if factor_x > 1.0 or factor_y > 1.0:
+            stretched = {}
+            for child, rel in layout.items():
+                start = int(rel.x * factor_x)
+                end = int(rel.x2 * factor_x)
+                # As at the gateway: widen by a fraction of the extra
+                # span, leaving the remainder as a free gap.
+                extra = int((end - start - rel.width) * SLACK_FILL)
+                stretched[child] = PlacedRect(
+                    start,
+                    int(rel.y * factor_y),
+                    rel.width + max(0, extra),
+                    rel.height,
+                    rel.tag,
+                )
+            layout = stretched
+            table.set_layout(node, layer, layout)
+    created: List[Partition] = []
+    for child, relative in layout.items():
+        child_region = relative.translated(region.x, region.y)
+        partition = Partition(int(child), layer, direction, child_region)
+        partitions.set(partition)
+        created.append(partition)
+    return created

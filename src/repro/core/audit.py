@@ -1,0 +1,169 @@
+"""Deep consistency audit across all of a network's data structures.
+
+``HarpNetwork.validate()`` checks the two safety invariants (isolation,
+collision freedom).  The auditor goes further and cross-checks every
+structure against every other — the kind of diagnostic that catches
+state-bookkeeping bugs long before they surface as collisions:
+
+* demands vs. tasks — stored link demands equal what the task set
+  implies on the current topology;
+* schedule vs. demands — every link holds at least its demand, and no
+  stale links (departed children) hold cells;
+* schedule vs. partitions — every cell sits inside its managing node's
+  scheduling partition (unless overflow mode wrapped it);
+* partitions vs. interfaces — each partition is at least as large as
+  its owner's stored component;
+* layouts vs. partitions — every stored composition layout entry agrees
+  with the child's actual partition.
+
+The audit returns human-readable findings instead of raising, so it
+doubles as a debugging tool (`findings = audit_network(harp)`), and a
+clean network must produce none — enforced across the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.tasks import demands_by_parent
+from ..net.topology import Direction, LinkRef
+from .manager import HarpNetwork
+
+
+def audit_network(harp: HarpNetwork) -> List[str]:
+    """Run every cross-structure check; returns findings (empty = clean)."""
+    findings: List[str] = []
+    findings.extend(_audit_demands(harp))
+    findings.extend(_audit_schedule_vs_demands(harp))
+    findings.extend(_audit_schedule_vs_partitions(harp))
+    findings.extend(_audit_partitions_vs_interfaces(harp))
+    findings.extend(_audit_layouts_vs_partitions(harp))
+    return findings
+
+
+def _audit_demands(harp: HarpNetwork) -> List[str]:
+    findings = []
+    expected = harp.task_set.link_demands(harp.topology)
+    for link, cells in expected.items():
+        stored = harp.link_demands.get(link, 0)
+        if stored != cells:
+            findings.append(
+                f"demand mismatch on {link}: stored {stored}, "
+                f"tasks imply {cells}"
+            )
+    for link, cells in harp.link_demands.items():
+        if cells and link not in expected:
+            findings.append(
+                f"stored demand {cells} on {link} not implied by any task"
+            )
+    return findings
+
+
+def _audit_schedule_vs_demands(harp: HarpNetwork) -> List[str]:
+    findings = []
+    schedule = harp.schedule
+    for link, cells in harp.link_demands.items():
+        held = len(schedule.cells_of(link))
+        if held < cells:
+            findings.append(
+                f"{link} holds {held} cells but demands {cells}"
+            )
+    for link in schedule.links:
+        if link.child not in harp.topology:
+            findings.append(
+                f"stale link {link}: child no longer in the topology"
+            )
+    return findings
+
+
+def _audit_schedule_vs_partitions(harp: HarpNetwork) -> List[str]:
+    findings = []
+    if harp.static_report and harp.static_report.allocation.overflowed:
+        return findings  # wrapped cells legitimately leave their regions
+    schedule = harp.schedule
+    topology = harp.topology
+    for link in schedule.links:
+        if link.child not in topology:
+            continue
+        manager = topology.parent_of(link.child)
+        partition = harp.partitions.get(
+            manager, topology.node_layer(manager), link.direction
+        )
+        if partition is None:
+            findings.append(
+                f"{link} scheduled but manager {manager} has no partition"
+            )
+            continue
+        for cell in schedule.cells_of(link):
+            if not partition.region.contains_cell(cell.slot, cell.channel):
+                findings.append(
+                    f"{link} cell {cell} outside manager {manager}'s "
+                    f"partition {partition}"
+                )
+                break
+    return findings
+
+
+def _audit_partitions_vs_interfaces(harp: HarpNetwork) -> List[str]:
+    findings = []
+    for direction, table in harp.tables.items():
+        for node, interface in table.interfaces.items():
+            if node not in harp.topology:
+                findings.append(
+                    f"interface stored for departed node {node}"
+                )
+                continue
+            for component in interface:
+                if component.is_empty:
+                    continue
+                partition = harp.partitions.get(
+                    node, component.layer, direction
+                )
+                if partition is None:
+                    findings.append(
+                        f"component {component} ({direction.value}) has no "
+                        "partition"
+                    )
+                    continue
+                if (
+                    partition.region.width < component.n_slots
+                    or partition.region.height < component.n_channels
+                ):
+                    findings.append(
+                        f"partition {partition} smaller than its component "
+                        f"{component}"
+                    )
+    return findings
+
+
+def _audit_layouts_vs_partitions(harp: HarpNetwork) -> List[str]:
+    findings = []
+    for direction, table in harp.tables.items():
+        for (node, layer), layout in table.layouts.items():
+            if node not in harp.topology:
+                continue
+            parent_partition = harp.partitions.get(node, layer, direction)
+            if parent_partition is None:
+                continue
+            for child, relative in layout.items():
+                child_partition = harp.partitions.get(
+                    int(child), layer, direction
+                )
+                if child_partition is None:
+                    if not relative.is_empty:
+                        findings.append(
+                            f"layout of ({node}, {layer}, {direction.value}) "
+                            f"places child {child} but the child has no "
+                            "partition"
+                        )
+                    continue
+                expected = relative.translated(
+                    parent_partition.region.x, parent_partition.region.y
+                )
+                if child_partition.region != expected:
+                    findings.append(
+                        f"layout/partition disagreement for child {child} at "
+                        f"({node}, {layer}, {direction.value}): layout says "
+                        f"{expected}, table says {child_partition.region}"
+                    )
+    return findings

@@ -1,0 +1,107 @@
+"""Resource components and interfaces (Definitions 1 and 2).
+
+A *resource component* ``C_{i,l} = [n_s, n_c]`` abstracts the cells
+required by all links at layer ``l`` inside subtree ``G_{V_i}`` as a
+rectangle: ``n_s`` consecutive time slots by ``n_c`` channels.  A
+*resource interface* ``I_i`` is the per-layer collection of components
+for one subtree — the compact summary a node sends its parent instead of
+the full link-level detail, which is what keeps HARP's communication
+overhead modest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..packing.geometry import Rect
+from ..net.topology import Direction
+
+
+@dataclass(frozen=True)
+class ResourceComponent:
+    """``C_{i,l}``: the rectangular resource block of subtree
+    ``G_{V_owner}`` at layer ``layer``."""
+
+    owner: int
+    layer: int
+    n_slots: int
+    n_channels: int
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 0 or self.n_channels < 0:
+            raise ValueError(
+                f"component dimensions must be non-negative, got "
+                f"[{self.n_slots}, {self.n_channels}]"
+            )
+
+    @property
+    def area(self) -> int:
+        """Number of cells the component spans."""
+        return self.n_slots * self.n_channels
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the component requires no cells."""
+        return self.area == 0
+
+    def to_rect(self) -> Rect:
+        """The packing-substrate view: width = slots, height = channels,
+        tagged with the owning subtree root."""
+        return Rect(self.n_slots, self.n_channels, tag=self.owner)
+
+    def grown_to(self, n_slots: int, n_channels: int) -> "ResourceComponent":
+        """A copy with new dimensions (dynamic-adjustment requests)."""
+        return ResourceComponent(self.owner, self.layer, n_slots, n_channels)
+
+    def __str__(self) -> str:
+        return f"C[{self.owner},{self.layer}]=[{self.n_slots},{self.n_channels}]"
+
+
+@dataclass
+class ResourceInterface:
+    """``I_i``: the components of subtree ``G_{V_owner}`` at every layer
+    it spans, for one traffic direction."""
+
+    owner: int
+    direction: Direction
+    components: Dict[int, ResourceComponent] = field(default_factory=dict)
+
+    def add(self, component: ResourceComponent) -> None:
+        """Insert/replace the component at its layer."""
+        if component.owner != self.owner:
+            raise ValueError(
+                f"component owner {component.owner} != interface owner "
+                f"{self.owner}"
+            )
+        self.components[component.layer] = component
+
+    def at_layer(self, layer: int) -> ResourceComponent:
+        """The component at ``layer`` (KeyError when absent)."""
+        return self.components[layer]
+
+    def has_layer(self, layer: int) -> bool:
+        """Whether the interface spans ``layer``."""
+        return layer in self.components
+
+    @property
+    def layers(self) -> List[int]:
+        """Layers spanned, ascending."""
+        return sorted(self.components)
+
+    @property
+    def total_cells(self) -> int:
+        """Total cells across all components."""
+        return sum(c.area for c in self.components.values())
+
+    def __iter__(self) -> Iterator[ResourceComponent]:
+        for layer in self.layers:
+            yield self.components[layer]
+
+    def summary(self) -> Dict[int, Tuple[int, int]]:
+        """Wire form: layer -> (n_slots, n_channels), the payload of a
+        POST-intf message."""
+        return {
+            layer: (c.n_slots, c.n_channels)
+            for layer, c in sorted(self.components.items())
+        }

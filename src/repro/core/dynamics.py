@@ -1,0 +1,322 @@
+"""Topology dynamics: node join, leave, and parent switching.
+
+Sec. II motivates HARP with *two* kinds of network dynamics: traffic
+changes (handled by :meth:`HarpNetwork.request_rate_change`) and
+topology changes — "interference can cause the network nodes to change
+their connected nodes to seek for more reliable links".  This module
+adds the topology half on top of the same adjustment machinery:
+
+* **attach** — a node joins under a parent (optionally with a task);
+  the new link's demand flows into the parent's Case-1 row and up the
+  path, through ordinary partition adjustments.
+* **detach** — a subtree leaves; its partitions and schedule entries are
+  freed and the released cells stay idle inside the old partitions (the
+  paper's rate-decrease rule: "the parent node ... readily releases the
+  corresponding cells ... the partitions of the subtree do not need to
+  be adjusted").
+* **reparent** — a subtree switches parent: a detach on the old path, a
+  re-registration of the (re-layered) subtree interfaces, and partition
+  requests along the new path.
+
+Each incremental change is applied through the management plane so that
+its message cost is accounted exactly like traffic adjustments.  When an
+incremental step cannot be satisfied (no room on the new path), the
+manager falls back to a full re-bootstrap — the static phase re-run —
+and reports it, so callers can compare incremental vs full-rebuild cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..net.tasks import Task, TaskSet, demands_by_parent
+from ..net.topology import Direction, LinkRef, TreeTopology
+from .adjustment import AdjustmentOutcome
+from .interface_gen import generate_interfaces
+from .manager import HarpNetwork, rate_monotonic_priority
+
+
+@dataclass
+class TopologyChangeReport:
+    """Cost and outcome of one topology change."""
+
+    kind: str
+    node: int
+    outcomes: List[AdjustmentOutcome] = field(default_factory=list)
+    rebootstrapped: bool = False
+    static_messages: int = 0
+
+    @property
+    def success(self) -> bool:
+        """True when the network serves the new topology's demands."""
+        return self.rebootstrapped or all(o.success for o in self.outcomes)
+
+    @property
+    def partition_messages(self) -> int:
+        return sum(o.partition_messages for o in self.outcomes)
+
+    @property
+    def total_messages(self) -> int:
+        """Incremental messages, or the full static-phase cost after a
+        re-bootstrap."""
+        incremental = sum(o.total_messages for o in self.outcomes)
+        return incremental + self.static_messages
+
+    @property
+    def involved_nodes(self) -> Set[int]:
+        nodes: Set[int] = set()
+        for o in self.outcomes:
+            nodes |= o.involved_nodes
+        return nodes
+
+
+class _IncrementalFailure(RuntimeError):
+    """An incremental adjustment was rejected; re-bootstrap instead."""
+
+
+class TopologyManager:
+    """Applies topology changes to a live :class:`HarpNetwork`."""
+
+    def __init__(self, harp: HarpNetwork) -> None:
+        self.harp = harp
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+
+    def attach(
+        self, node: int, parent: int, task: Optional[Task] = None
+    ) -> TopologyChangeReport:
+        """Join ``node`` under ``parent``, optionally with its task."""
+        harp = self.harp
+        new_topology = harp.topology.with_attached(node, parent)
+        tasks = list(harp.task_set)
+        if task is not None:
+            if task.source != node:
+                raise ValueError(
+                    f"task source {task.source} must be the joining node {node}"
+                )
+            tasks.append(task)
+        return self._apply("attach", node, new_topology, TaskSet(tasks))
+
+    def detach(self, node: int) -> TopologyChangeReport:
+        """Remove ``node``'s subtree (and every task it sources)."""
+        harp = self.harp
+        removed = set(harp.topology.subtree_nodes(node))
+        new_topology = harp.topology.with_detached(node)
+        tasks = TaskSet(
+            [
+                t
+                for t in harp.task_set
+                if t.source not in removed and t.downlink_target not in removed
+            ]
+        )
+        return self._apply("detach", node, new_topology, tasks)
+
+    def reparent(self, node: int, new_parent: int) -> TopologyChangeReport:
+        """Move ``node``'s subtree under ``new_parent``."""
+        harp = self.harp
+        new_topology = harp.topology.with_reparented(node, new_parent)
+        return self._apply("reparent", node, new_topology, harp.task_set)
+
+    # ------------------------------------------------------------------
+    # the incremental machinery
+    # ------------------------------------------------------------------
+
+    def _apply(
+        self,
+        kind: str,
+        node: int,
+        new_topology: TreeTopology,
+        new_tasks: TaskSet,
+    ) -> TopologyChangeReport:
+        harp = self.harp
+        report = TopologyChangeReport(kind=kind, node=node)
+        moved = (
+            set(harp.topology.subtree_nodes(node))
+            if node in harp.topology
+            else {node}
+        )
+        old_managers: List[int] = []
+        if node in harp.topology and node != harp.topology.gateway_id:
+            old_parent = harp.topology.parent_of(node)
+            old_managers = harp.topology.path_to_gateway(old_parent)
+
+        # 1. Free the moved subtree's footprint: schedule entries,
+        #    partitions, interface state, and its slots in ancestors'
+        #    layouts (the freed cells become idle holes — release rule).
+        self._purge_subtree(moved)
+
+        # 2. Swap the network state.
+        harp.topology = new_topology
+        harp.plane.topology = new_topology
+        harp.adjuster.topology = new_topology
+        harp.task_set = new_tasks
+        harp.priority = rate_monotonic_priority(new_tasks)
+        harp.link_demands = dict(new_tasks.link_demands(new_topology))
+
+        try:
+            # 3. Re-register the subtree's interfaces with their new
+            #    layer indices (reparent/attach only).
+            if kind in ("attach", "reparent") and node in new_topology:
+                self._register_subtree_interfaces(moved)
+                self._request_subtree_partitions(node, report)
+                self._grow_new_path(node, report)
+            # 4. Shrink the old path: each former ancestor releases the
+            #    departed traffic's cells inside its unchanged partition
+            #    (the paper's rate-decrease rule).
+            for manager in old_managers:
+                if manager in harp.topology:
+                    for direction in (Direction.UP, Direction.DOWN):
+                        harp._reschedule_node(manager, direction)
+            # 5. Safety net: every remaining link must cover its demand.
+            self._reconcile_managers(report)
+            if not report.success:
+                raise _IncrementalFailure()
+            self._verify_coverage()
+            harp.validate()
+        except Exception:
+            # Incremental reconfiguration failed: fall back to the full
+            # static phase on the new state.
+            static = harp.rebootstrap()
+            report.rebootstrapped = True
+            report.static_messages = static.total_messages
+            harp.validate()
+        return report
+
+    def _purge_subtree(self, moved: Set[int]) -> None:
+        harp = self.harp
+        schedule = harp.schedule
+        for member in moved:
+            for direction in (Direction.UP, Direction.DOWN):
+                schedule.remove_link(LinkRef(member, direction))
+        for direction in (Direction.UP, Direction.DOWN):
+            table = harp.tables[direction]
+            for member in moved:
+                table.interfaces.pop(member, None)
+                for partition in list(harp.partitions.of_node(member)):
+                    harp.partitions.remove(
+                        partition.owner, partition.layer, partition.direction
+                    )
+            table.layouts = {
+                key: {
+                    child: rect
+                    for child, rect in layout.items()
+                    if int(child) not in moved
+                }
+                for key, layout in table.layouts.items()
+                if key[0] not in moved
+            }
+
+    def _register_subtree_interfaces(self, moved: Set[int]) -> None:
+        """Regenerate the moved subtree's interfaces (fresh layer
+        indices) and merge them into the live tables."""
+        harp = self.harp
+        for direction in (Direction.UP, Direction.DOWN):
+            fresh = generate_interfaces(
+                harp.topology,
+                harp.link_demands,
+                direction,
+                harp.config.num_channels,
+                harp.case1_slack,
+            )
+            table = harp.tables[direction]
+            for member in moved:
+                if member in fresh.interfaces:
+                    table.interfaces[member] = fresh.interfaces[member]
+            for (owner, layer), layout in fresh.layouts.items():
+                if owner in moved:
+                    table.layouts[(owner, layer)] = layout
+
+    def _request_subtree_partitions(
+        self, node: int, report: TopologyChangeReport
+    ) -> None:
+        """Ask the network for the moved subtree root's own components;
+        escalation carves new partitions out of the new path."""
+        harp = self.harp
+        for direction in (Direction.UP, Direction.DOWN):
+            table = harp.tables[direction]
+            if node not in table.interfaces:
+                continue
+            for component in list(table.interfaces[node]):
+                if component.is_empty:
+                    continue
+                outcome = harp.adjuster.request_component_increase(
+                    node,
+                    component.layer,
+                    direction,
+                    component.n_slots,
+                    component.n_channels,
+                )
+                report.outcomes.append(outcome)
+                if not outcome.success:
+                    return
+
+    def _grow_new_path(self, node: int, report: TopologyChangeReport) -> None:
+        """Grow the Case-1 rows of every manager on the new path (they
+        now forward the subtree's traffic)."""
+        harp = self.harp
+        topology = harp.topology
+        path_managers = [
+            n for n in topology.path_to_gateway(node) if n != node
+        ]
+        for direction in (Direction.UP, Direction.DOWN):
+            per_parent = demands_by_parent(
+                topology, harp.link_demands, direction
+            )
+            for manager in path_managers:  # deepest first already
+                demands = per_parent.get(manager, {})
+                if not demands:
+                    continue
+                new_total = sum(demands.values())
+                layer = topology.node_layer(manager)
+                table = harp.tables[direction]
+                current = (
+                    table.component(manager, layer).n_slots
+                    if table.has_component(manager, layer)
+                    else 0
+                )
+                if new_total <= current:
+                    outcome = harp.adjuster.release_component(
+                        manager, layer, direction, max(current, new_total)
+                    )
+                else:
+                    outcome = harp.adjuster.request_component_increase(
+                        manager, layer, direction,
+                        new_total + harp.case1_slack,
+                    )
+                report.outcomes.append(outcome)
+                if not outcome.success:
+                    return
+
+    def _verify_coverage(self) -> None:
+        """Every link must hold at least its demand, or the incremental
+        path has failed and a re-bootstrap is required."""
+        harp = self.harp
+        for link, demand in harp.link_demands.items():
+            if len(harp.schedule.cells_of(link)) < demand:
+                raise _IncrementalFailure(
+                    f"link {link} holds fewer cells than its demand {demand}"
+                )
+
+    def _reconcile_managers(self, report: TopologyChangeReport) -> None:
+        """Ensure every link's schedule covers its (new) demand; shrunk
+        managers reschedule inside their unchanged partitions."""
+        harp = self.harp
+        for direction in (Direction.UP, Direction.DOWN):
+            per_parent = demands_by_parent(
+                harp.topology, harp.link_demands, direction
+            )
+            for manager, demands in sorted(per_parent.items()):
+                satisfied = all(
+                    len(harp.schedule.cells_of(LinkRef(child, direction)))
+                    >= cells
+                    for child, cells in demands.items()
+                )
+                if not satisfied:
+                    harp._reschedule_node(manager, direction)
+            # Managers that lost all children must drop stale cells.
+            for manager in harp.topology.non_leaf_nodes():
+                if manager not in per_parent:
+                    harp._reschedule_node(manager, direction)

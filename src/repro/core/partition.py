@@ -1,0 +1,177 @@
+"""Partitions and the partition table (Sec. IV-C bookkeeping).
+
+A *partition* ``P_{i,l} = [C_{i,l}, t_{i,l}, c_{i,l}]`` is a resource
+component placed in the slotframe: its region's ``x`` is the starting
+time slot and ``y`` the lowest channel index.  The
+:class:`PartitionTable` indexes every allocated partition by
+``(owner, layer, direction)`` and offers the isolation validators that
+back HARP's collision-freedom argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..net.topology import Direction, TreeTopology
+from ..packing.geometry import PlacedRect
+
+#: Table key: (owner node, layer, direction).
+PartitionKey = Tuple[int, int, Direction]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A placed resource block dedicated to subtree ``G_owner`` at one
+    layer, for one traffic direction."""
+
+    owner: int
+    layer: int
+    direction: Direction
+    region: PlacedRect
+
+    @property
+    def start_slot(self) -> int:
+        """``t_{i,l}``: first time slot of the partition."""
+        return self.region.x
+
+    @property
+    def start_channel(self) -> int:
+        """``c_{i,l}``: lowest channel index of the partition."""
+        return self.region.y
+
+    @property
+    def n_slots(self) -> int:
+        """Slot extent of the partition."""
+        return self.region.width
+
+    @property
+    def n_channels(self) -> int:
+        """Channel extent of the partition."""
+        return self.region.height
+
+    @property
+    def capacity(self) -> int:
+        """Total cells inside the partition."""
+        return self.region.area
+
+    @property
+    def key(self) -> PartitionKey:
+        """Index key in a :class:`PartitionTable`."""
+        return (self.owner, self.layer, self.direction)
+
+    def moved_to(self, region: PlacedRect) -> "Partition":
+        """A copy at a different region."""
+        return Partition(self.owner, self.layer, self.direction, region)
+
+    def __str__(self) -> str:
+        return (
+            f"P[{self.owner},{self.layer},{self.direction.value}]@"
+            f"(slot {self.region.x}+{self.region.width}, "
+            f"ch {self.region.y}+{self.region.height})"
+        )
+
+
+class PartitionIsolationError(RuntimeError):
+    """The partition table violates a HARP isolation invariant."""
+
+
+class PartitionTable:
+    """All partitions of the network, indexed by (owner, layer, direction)."""
+
+    def __init__(self) -> None:
+        self._table: Dict[PartitionKey, Partition] = {}
+
+    def set(self, partition: Partition) -> None:
+        """Insert or replace a partition."""
+        self._table[partition.key] = partition
+
+    def get(
+        self, owner: int, layer: int, direction: Direction
+    ) -> Optional[Partition]:
+        """Look up a partition, or None."""
+        return self._table.get((owner, layer, direction))
+
+    def require(self, owner: int, layer: int, direction: Direction) -> Partition:
+        """Look up a partition; KeyError when absent."""
+        return self._table[(owner, layer, direction)]
+
+    def remove(self, owner: int, layer: int, direction: Direction) -> None:
+        """Delete a partition if present."""
+        self._table.pop((owner, layer, direction), None)
+
+    def of_node(self, owner: int) -> List[Partition]:
+        """All partitions owned by ``owner``, sorted by (direction, layer)."""
+        return sorted(
+            (p for p in self._table.values() if p.owner == owner),
+            key=lambda p: (p.direction.value, p.layer),
+        )
+
+    def at_layer(self, layer: int, direction: Direction) -> List[Partition]:
+        """All partitions at one (layer, direction), sorted by owner."""
+        return sorted(
+            (
+                p
+                for p in self._table.values()
+                if p.layer == layer and p.direction is direction
+            ),
+            key=lambda p: p.owner,
+        )
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(sorted(self._table.values(), key=lambda p: p.key[:2]))
+
+    def copy(self) -> "PartitionTable":
+        """Shallow copy (partitions are immutable)."""
+        clone = PartitionTable()
+        clone._table = dict(self._table)
+        return clone
+
+    # ------------------------------------------------------------------
+    # isolation invariants (Sec. IV-C)
+    # ------------------------------------------------------------------
+
+    def validate_isolation(self, topology: TreeTopology) -> None:
+        """Check the HARP isolation invariants; raise on violation.
+
+        1. A child's partition at layer ``l`` lies inside its parent's
+           partition at the same (layer, direction).
+        2. Sibling partitions at the same (layer, direction) are disjoint.
+        3. The gateway's top-level partitions are pairwise disjoint
+           across layers and directions.
+        """
+        gateway = topology.gateway_id
+        top = [p for p in self._table.values() if p.owner == gateway]
+        for i, a in enumerate(top):
+            for b in top[i + 1:]:
+                if a.region.overlaps(b.region):
+                    raise PartitionIsolationError(
+                        f"gateway partitions overlap: {a} vs {b}"
+                    )
+
+        for partition in self._table.values():
+            owner = partition.owner
+            if owner == gateway:
+                continue
+            parent = topology.parent_of(owner)
+            parent_part = self.get(parent, partition.layer, partition.direction)
+            if parent_part is None:
+                raise PartitionIsolationError(
+                    f"{partition} has no parent partition at "
+                    f"({parent}, {partition.layer}, {partition.direction})"
+                )
+            if not parent_part.region.contains(partition.region):
+                raise PartitionIsolationError(
+                    f"{partition} escapes parent {parent_part}"
+                )
+            for sibling in topology.children_of(parent):
+                if sibling == owner:
+                    continue
+                sib_part = self.get(sibling, partition.layer, partition.direction)
+                if sib_part and sib_part.region.overlaps(partition.region):
+                    raise PartitionIsolationError(
+                        f"sibling partitions overlap: {partition} vs {sib_part}"
+                    )

@@ -1,0 +1,73 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+==========  =====================================  =========================
+Paper item  Content                                Entry point
+==========  =====================================  =========================
+Fig. 9      static e2e latency per node            :func:`run_fig9`
+Fig. 10     latency under staged rate increases    :func:`run_fig10`
+Table II    adjustment events: messages/time/SF    :func:`run_table2`
+Fig. 11(a)  collisions vs data rate                :func:`run_fig11a`
+Fig. 11(b)  collisions vs channel count            :func:`run_fig11b`
+Fig. 12     adjustment overhead APaS vs HARP       :func:`run_fig12`
+==========  =====================================  =========================
+
+``python -m repro.experiments.runner`` prints them all.
+"""
+
+from .adjustment_overhead import (
+    Fig12Result,
+    Table2Result,
+    Table2Row,
+    run_fig12,
+    run_table2,
+)
+from .collision_sweep import (
+    CollisionSweepResult,
+    default_schedulers,
+    run_fig11a,
+    run_fig11b,
+)
+from .dynamic_latency import Fig10Result, RateStepRecord, run_fig10
+from .energy_profile import EnergyProfileResult, run_energy_profile
+from .interference_study import InterferenceStudyResult, run_interference_study
+from .scaling import ScalingResult, centralized_static_messages, run_scaling
+from .static_latency import Fig9Result, Fig9Row, run_fig9
+from .topologies import (
+    apas_topology,
+    collision_topologies,
+    harp_feasible,
+    leaf_rate_workload,
+    testbed_topology,
+    uniform_rate_workload,
+)
+
+__all__ = [
+    "CollisionSweepResult",
+    "EnergyProfileResult",
+    "Fig10Result",
+    "Fig12Result",
+    "Fig9Result",
+    "Fig9Row",
+    "InterferenceStudyResult",
+    "RateStepRecord",
+    "ScalingResult",
+    "Table2Result",
+    "Table2Row",
+    "apas_topology",
+    "centralized_static_messages",
+    "collision_topologies",
+    "default_schedulers",
+    "harp_feasible",
+    "leaf_rate_workload",
+    "run_fig10",
+    "run_fig11a",
+    "run_fig11b",
+    "run_fig12",
+    "run_energy_profile",
+    "run_fig9",
+    "run_interference_study",
+    "run_scaling",
+    "run_table2",
+    "testbed_topology",
+    "uniform_rate_workload",
+]

@@ -1,0 +1,274 @@
+"""Fig. 12 and Table II — dynamic adjustment overhead.
+
+**Fig. 12** compares the management packets needed to absorb one node's
+traffic increase, per requesting-node layer, between the centralized
+APaS (request relayed to the root, two schedule updates relayed back:
+``3l - 1`` packets for a layer-``l`` node) and HARP (request goes one hop
+to the parent and escalates only while parents lack room — flat and
+small).  The experiment uses 81-node, 10-layer networks; a longer
+slotframe (397 slots) hosts the bigger demand, standard practice when a
+6TiSCH network scales up.
+
+**Table II** reports six concrete adjustment events on the testbed
+topology: the component grown, the nodes and layers involved, the HARP
+messages exchanged and the time/slotframes consumed.  We regenerate the
+same row format from events at matching layers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.manager import HarpNetwork
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import Task, TaskSet
+from ..net.topology import Direction, TreeTopology, layered_random_tree
+from ..schedulers.apas import APaSManager
+from .reporting import format_series, format_table
+from .topologies import testbed_topology
+
+#: Slotframe used by the Fig. 12 networks (81 nodes need more slots).
+FIG12_CONFIG = SlotframeConfig(num_slots=397, num_channels=16)
+
+
+def _all_node_workload(topology: TreeTopology) -> TaskSet:
+    """Uplink task at rate 1 on every device node."""
+    return TaskSet(
+        [
+            Task(task_id=n, source=n, rate=1, echo=False)
+            for n in topology.device_nodes
+        ]
+    )
+
+
+@dataclass
+class Fig12Result:
+    """Average adjustment packets per requesting-node layer."""
+
+    layers: List[int] = field(default_factory=list)
+    apas_messages: List[float] = field(default_factory=list)
+    harp_messages: List[float] = field(default_factory=list)
+    harp_partition_messages: List[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII rendering of the per-layer comparison."""
+        return format_series(
+            "layer",
+            self.layers,
+            {
+                "APaS": self.apas_messages,
+                "HARP (total)": self.harp_messages,
+                "HARP (partition)": self.harp_partition_messages,
+            },
+        )
+
+
+def run_fig12(
+    num_topologies: int = 10,
+    num_devices: int = 80,
+    depth: int = 10,
+    events_per_layer: int = 3,
+    demand_increase: int = 1,
+    case1_slack: int = 1,
+    config: Optional[SlotframeConfig] = None,
+    seed: int = 12,
+) -> Fig12Result:
+    """Regenerate Fig. 12.
+
+    For every layer, sample nodes at that depth; each event increases the
+    node's uplink demand by ``demand_increase`` cells.  HARP runs the
+    real adjustment machinery on a freshly allocated network per event
+    (events must not contaminate each other) with the testbed-like
+    provisioning headroom of ``case1_slack``; APaS routes its
+    request/update messages through the management plane, which
+    reproduces ``3l - 1``.
+    """
+    config = config or FIG12_CONFIG
+    rng = random.Random(seed)
+    per_layer_apas: Dict[int, List[int]] = {}
+    per_layer_harp: Dict[int, List[int]] = {}
+    per_layer_harp_part: Dict[int, List[int]] = {}
+
+    for t in range(num_topologies):
+        topology = layered_random_tree(num_devices, depth, random.Random(seed + t))
+        task_set = _all_node_workload(topology)
+        apas = APaSManager(topology, config)
+
+        for layer in range(1, depth + 1):
+            nodes = topology.nodes_at_depth(layer)
+            if not nodes:
+                continue
+            chosen = rng.sample(nodes, min(events_per_layer, len(nodes)))
+            for node in chosen:
+                adj = apas.adjust(node)
+                per_layer_apas.setdefault(layer, []).append(adj.messages)
+
+                harp = HarpNetwork(
+                    topology, task_set, config, case1_slack=case1_slack,
+                    distribute_slack=True,
+                )
+                harp.allocate()
+                outcome = _harp_single_link_increase(
+                    harp, node, demand_increase
+                )
+                per_layer_harp.setdefault(layer, []).append(
+                    outcome_total_messages(outcome)
+                )
+                per_layer_harp_part.setdefault(layer, []).append(
+                    outcome.partition_messages
+                )
+
+    result = Fig12Result()
+    for layer in sorted(per_layer_apas):
+        result.layers.append(layer)
+        result.apas_messages.append(_mean(per_layer_apas[layer]))
+        result.harp_messages.append(_mean(per_layer_harp[layer]))
+        result.harp_partition_messages.append(_mean(per_layer_harp_part[layer]))
+    return result
+
+
+def _harp_single_link_increase(
+    harp: HarpNetwork, node: int, demand_increase: int = 1
+):
+    """More uplink cells for ``node``'s link, via its managing parent."""
+    topology = harp.topology
+    parent = topology.parent_of(node)
+    layer = topology.depth_of(node)
+    table = harp.tables[Direction.UP]
+    current = (
+        table.component(parent, layer).n_slots
+        if table.has_component(parent, layer)
+        else 0
+    )
+    return harp.adjuster.request_component_increase(
+        parent, layer, Direction.UP, current + demand_increase
+    )
+
+
+def outcome_total_messages(outcome) -> int:
+    """HARP packets for one event: the PUT-intf/PUT-part exchange plus
+    the schedule updates pushed to re-scheduled children (APaS's packet
+    count includes its schedule updates, so HARP's must too)."""
+    return outcome.total_messages
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Table2Row:
+    """One adjustment event in the Table II format."""
+
+    event: str
+    nodes: int
+    layers: int
+    messages: int
+    time_s: float
+    slotframes: int
+    case: str
+
+
+@dataclass
+class Table2Result:
+    """The regenerated Table II."""
+
+    rows: List[Table2Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII rendering matching the paper's columns."""
+        return format_table(
+            ["Event", "Nodes", "Layers", "Msg.", "Time(s)", "SF", "Case"],
+            [
+                (r.event, r.nodes, r.layers, r.messages, r.time_s,
+                 r.slotframes, r.case)
+                for r in self.rows
+            ],
+        )
+
+
+#: Default events: (layer, owner depth, extra slots, extra channels),
+#: mirroring the paper's six rows: slot growth on the owner's own layer
+#: (Case-1 rows at depths 1..3) plus channel growth, which is only legal
+#: on *composed* components (owner depth < layer - 1), since a Case-1 row
+#: is pinned to one channel by the half-duplex constraint.
+DEFAULT_TABLE2_EVENTS: Tuple[Tuple[int, int, int, int], ...] = (
+    (2, 1, 2, 0),
+    (3, 2, 1, 0),
+    (2, 1, 3, 0),
+    (3, 1, 1, 1),
+    (5, 3, 0, 1),
+    (4, 2, 0, 1),
+)
+
+
+def run_table2(
+    topology: Optional[TreeTopology] = None,
+    events: Sequence[Tuple[int, int, int, int]] = DEFAULT_TABLE2_EVENTS,
+    config: Optional[SlotframeConfig] = None,
+    seed: int = 2,
+) -> Table2Result:
+    """Regenerate Table II on the testbed-like network.
+
+    Each event grows the component of some subtree root at the given
+    layer by (extra slots, extra channels) on a freshly allocated
+    network, and reports the involved nodes/layers, HARP messages and
+    elapsed time, matching the paper's columns.
+    """
+    topology = topology or testbed_topology()
+    config = config or SlotframeConfig()
+    rng = random.Random(seed)
+    result = Table2Result()
+
+    for layer, owner_depth, extra_slots, extra_channels in events:
+        task_set = TaskSet(
+            [
+                Task(task_id=n, source=n, rate=1, echo=True)
+                for n in topology.device_nodes
+            ]
+        )
+        harp = HarpNetwork(topology, task_set, config, distribute_slack=True)
+        harp.allocate()
+
+        # The requesting subtree root at the given depth, owning a
+        # component at `layer`.
+        table = harp.tables[Direction.UP]
+        candidates = [
+            n
+            for n in topology.nodes_at_depth(owner_depth)
+            if table.has_component(n, layer)
+        ]
+        if not candidates:
+            continue
+        owner = rng.choice(candidates)
+        component = table.component(owner, layer)
+        new_slots = component.n_slots + extra_slots
+        new_channels = component.n_channels + extra_channels
+        outcome = harp.adjuster.request_component_increase(
+            owner, layer, Direction.UP, new_slots, new_channels
+        )
+        harp.validate()
+
+        result.rows.append(
+            Table2Row(
+                event=(
+                    f"C[{owner},{layer}]: "
+                    f"[{component.n_slots},{component.n_channels}] -> "
+                    f"[{new_slots},{new_channels}]"
+                ),
+                nodes=len(outcome.involved_nodes),
+                layers=outcome.layers_involved,
+                messages=outcome.total_messages,
+                time_s=round(outcome.elapsed_seconds(config), 2),
+                slotframes=outcome.elapsed_slotframes(config),
+                case=outcome.case,
+            )
+        )
+    return result

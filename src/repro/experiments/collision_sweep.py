@@ -1,0 +1,151 @@
+"""Fig. 11 — schedule collision comparison (random / MSF / LDSF / HARP).
+
+Two sweeps over ensembles of random 5-layer, 50-node topologies:
+
+* Fig. 11(a): 16 channels fixed, per-task data rates drawn up to a
+  maximum that sweeps 1..8 packets/slotframe.  Baseline collision
+  probabilities grow roughly linearly with load; HARP stays at zero.
+* Fig. 11(b): rate fixed at 3 packets/slotframe, channels swept
+  16 -> 2.  Baselines degrade sharply as channels disappear; HARP stays
+  at zero while its hierarchical allocation still fits the slotframe and
+  rises only slightly once demand physically exceeds it.
+
+The collision metric is the fraction of link-cell assignments involved
+in a conflict (same-cell jam or half-duplex node overlap) — see
+:meth:`repro.net.slotframe.Schedule.conflicts`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..net.slotframe import SlotframeConfig
+from ..net.topology import TreeTopology
+from ..schedulers import (
+    HARPScheduler,
+    LDSFScheduler,
+    LinkScheduler,
+    MSFScheduler,
+    RandomScheduler,
+)
+from .reporting import format_series
+from .topologies import (
+    collision_topologies,
+    leaf_rate_workload,
+    uniform_rate_workload,
+)
+
+
+def default_schedulers() -> List[LinkScheduler]:
+    """The four schedulers compared in Fig. 11."""
+    return [RandomScheduler(), MSFScheduler(), LDSFScheduler(), HARPScheduler()]
+
+
+@dataclass
+class CollisionSweepResult:
+    """Collision probabilities per scheduler across the sweep.
+
+    ``series`` holds ensemble means; ``samples`` keeps the raw
+    per-topology values so error bars can be derived
+    (:meth:`summary_at`).
+    """
+
+    x_label: str
+    x_values: List[object] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    samples: Dict[str, List[List[float]]] = field(default_factory=dict)
+    total_cells: List[float] = field(default_factory=list)
+
+    def of(self, scheduler_name: str) -> List[float]:
+        """Series for one scheduler."""
+        return self.series[scheduler_name]
+
+    def summary_at(self, scheduler_name: str, x_value):
+        """Mean ± CI over the topology ensemble at one sweep point."""
+        from ..analysis import summarize
+
+        index = self.x_values.index(x_value)
+        return summarize(self.samples[scheduler_name][index])
+
+    def render(self) -> str:
+        """ASCII rendering of the sweep."""
+        data = dict(self.series)
+        data["avg total cells"] = self.total_cells
+        return format_series(self.x_label, self.x_values, data)
+
+
+def run_fig11a(
+    num_topologies: int = 100,
+    max_rates: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    config: Optional[SlotframeConfig] = None,
+    schedulers: Optional[List[LinkScheduler]] = None,
+    seed: int = 2022,
+) -> CollisionSweepResult:
+    """Regenerate Fig. 11(a): fixed channels, varying data rate."""
+    config = config or SlotframeConfig()
+    schedulers = schedulers or default_schedulers()
+    topologies = collision_topologies(num_topologies, seed=seed)
+    result = CollisionSweepResult(x_label="max rate (pkt/sf)")
+
+    for max_rate in max_rates:
+        values = {s.name: [] for s in schedulers}
+        cells = 0
+        for i, topology in enumerate(topologies):
+            workload_rng = random.Random(seed * 1000 + max_rate * 131 + i)
+            task_set = leaf_rate_workload(topology, max_rate, workload_rng, config)
+            demands = task_set.link_demands(topology)
+            cells += sum(demands.values())
+            for scheduler in schedulers:
+                values[scheduler.name].append(
+                    scheduler.collision_probability(
+                        topology, demands, config, random.Random(seed + i)
+                    )
+                )
+        result.x_values.append(max_rate)
+        result.total_cells.append(cells / len(topologies))
+        for scheduler in schedulers:
+            sample = values[scheduler.name]
+            result.series.setdefault(scheduler.name, []).append(
+                sum(sample) / len(sample)
+            )
+            result.samples.setdefault(scheduler.name, []).append(sample)
+    return result
+
+
+def run_fig11b(
+    num_topologies: int = 100,
+    channels: Sequence[int] = (16, 12, 8, 6, 4, 2),
+    rate: float = 3.0,
+    schedulers: Optional[List[LinkScheduler]] = None,
+    seed: int = 2022,
+) -> CollisionSweepResult:
+    """Regenerate Fig. 11(b): fixed data rate, varying channel count."""
+    schedulers = schedulers or default_schedulers()
+    topologies = collision_topologies(num_topologies, seed=seed)
+    result = CollisionSweepResult(x_label="channels")
+
+    for num_channels in channels:
+        config = SlotframeConfig(num_channels=num_channels)
+        values = {s.name: [] for s in schedulers}
+        cells = 0
+        for i, topology in enumerate(topologies):
+            task_set = uniform_rate_workload(topology, rate, leaves_only=True)
+            demands = task_set.link_demands(topology)
+            cells += sum(demands.values())
+            for scheduler in schedulers:
+                values[scheduler.name].append(
+                    scheduler.collision_probability(
+                        topology, demands, config, random.Random(seed + i)
+                    )
+                )
+        result.x_values.append(num_channels)
+        result.total_cells.append(cells / len(topologies))
+        for scheduler in schedulers:
+            sample = values[scheduler.name]
+            result.series.setdefault(scheduler.name, []).append(
+                sum(sample) / len(sample)
+            )
+            result.samples.setdefault(scheduler.name, []).append(sample)
+    return result

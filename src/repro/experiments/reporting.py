@@ -1,0 +1,104 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment returns structured data; these helpers print it in the
+same shape the paper reports (per-node series for Fig. 9, event rows for
+Table II, per-layer series for Fig. 12, ...), so ``python -m
+repro.experiments.runner`` regenerates the evaluation as readable text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an ASCII table with right-padded columns."""
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialized.append([_fmt(v) for v in row])
+    widths = [
+        max(len(row[col]) for row in materialized)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(materialized):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict,
+) -> str:
+    """Render one row per x-value with one column per named series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_gateway_map(harp) -> str:
+    """The gateway's super-partition map (the Fig. 7(d) top view)."""
+    lines = ["gateway super-partitions (slot ranges):"]
+    parts = sorted(harp.partitions.of_node(harp.topology.gateway_id),
+                   key=lambda p: p.region.x)
+    for part in parts:
+        bar = "#" * max(1, part.region.width // 2)
+        lines.append(
+            f"  {part.direction.value:>4} layer {part.layer}: "
+            f"slots {part.region.x:3d}..{part.region.x2 - 1:3d} "
+            f"({part.region.width:3d} wide, {part.region.height:2d} ch) {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_cell_map(harp, max_columns: int = 96) -> str:
+    """Character map of the slotframe: rows = channels, columns = slots
+    (downsampled), symbols = owning depth-1 subtree ('.' = idle)."""
+    from ..net.topology import Direction
+
+    config = harp.config
+    gateway = harp.topology.gateway_id
+    symbols = "123456789abcdefghijklmnop"
+    owner_of = {}
+    for child in harp.topology.children_of(gateway):
+        symbol = symbols[(child - 1) % len(symbols)]
+        for layer in range(1, harp.topology.subtree_max_layer(child) + 1):
+            for direction in (Direction.UP, Direction.DOWN):
+                part = harp.partitions.get(child, layer, direction)
+                if part:
+                    owner_of[(child, layer, direction)] = (part.region, symbol)
+    for direction in (Direction.UP, Direction.DOWN):
+        part = harp.partitions.get(gateway, 1, direction)
+        if part:
+            owner_of[(gateway, 1, direction)] = (part.region, "G")
+
+    step = max(1, config.num_slots // max_columns)
+    lines = [
+        f"slotframe map (1 column = {step} slot(s); 'G' = gateway links, "
+        "digits = depth-1 subtrees, '.' = idle):"
+    ]
+    for channel in range(config.num_channels - 1, -1, -1):
+        row = []
+        for slot in range(0, config.num_slots, step):
+            symbol = "."
+            for region, s in owner_of.values():
+                if region.contains_cell(slot, channel):
+                    symbol = s
+                    break
+            row.append(symbol)
+        lines.append(f"  ch {channel:2d} |{''.join(row)}|")
+    return "\n".join(lines)

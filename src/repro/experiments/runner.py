@@ -1,0 +1,116 @@
+"""Regenerate the paper's full evaluation as text.
+
+Run::
+
+    python -m repro.experiments.runner [--quick]
+
+``--quick`` shrinks ensemble sizes and simulation horizons so the whole
+evaluation completes in a couple of minutes; without it, the settings
+match the paper's (100 topologies, ~30-minute simulated runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .adjustment_overhead import run_fig12, run_table2
+from .collision_sweep import run_fig11a, run_fig11b
+from .dynamic_latency import run_fig10
+from .energy_profile import run_energy_profile
+from .interference_study import run_interference_study
+from .scaling import run_scaling
+from .static_latency import run_fig9
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller ensembles / shorter runs (minutes instead of ~1 h)",
+    )
+    args = parser.parse_args(argv)
+
+    topologies = 10 if args.quick else 100
+    fig9_frames = 120 if args.quick else 905
+    fig12_topologies = 3 if args.quick else 10
+
+    def banner(title: str) -> None:
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+
+    start = time.time()
+
+    banner("Fig. 9 — static end-to-end latency per node (sorted by layer)")
+    fig9 = run_fig9(num_slotframes=fig9_frames)
+    print(fig9.render())
+    print(
+        f"\nslotframe = {fig9.slotframe_s:.2f} s; "
+        f"{fig9.fraction_within_one_slotframe:.0%} of nodes average within "
+        f"one slotframe; delivery ratio {fig9.delivery_ratio:.3f}"
+    )
+
+    banner("Fig. 10 — latency timeline under staged rate increases")
+    fig10 = run_fig10()
+    for step in fig10.steps:
+        kind = "absorbed locally" if step.absorbed_locally else "partition adjustment"
+        print(
+            f"rate -> {step.new_rate} at slotframe {step.at_slotframe}: "
+            f"{kind}; {step.partition_messages} partition msgs, "
+            f"{step.schedule_update_messages} schedule msgs, "
+            f"adjustment took {step.adjustment_slots} slots"
+        )
+    windows = [
+        (0.0, fig10.steps[0].at_slotframe * fig10.slotframe_s, "baseline"),
+        (
+            fig10.steps[0].at_slotframe * fig10.slotframe_s,
+            fig10.steps[1].at_slotframe * fig10.slotframe_s,
+            "after step 1",
+        ),
+        (
+            fig10.steps[1].at_slotframe * fig10.slotframe_s,
+            float("inf"),
+            "after step 2",
+        ),
+    ]
+    for t0, t1, label in windows:
+        print(f"peak latency {label}: {fig10.max_latency_between(t0, t1):.2f} s")
+
+    banner("Table II — partition adjustment events on the 50-node network")
+    print(run_table2().render())
+
+    banner("Fig. 11(a) — collision probability vs data rate (16 channels)")
+    fig11a = run_fig11a(num_topologies=topologies)
+    print(fig11a.render())
+
+    banner("Fig. 11(b) — collision probability vs channel count (rate 3)")
+    fig11b = run_fig11b(num_topologies=topologies)
+    print(fig11b.render())
+
+    banner("Fig. 12 — adjustment overhead per layer: APaS vs HARP")
+    fig12 = run_fig12(num_topologies=fig12_topologies)
+    print(fig12.render())
+
+    banner("Beyond the paper — management overhead vs network size")
+    scaling = run_scaling(trials=2 if args.quick else 3)
+    print(scaling.render())
+
+    banner("Beyond the paper — per-layer energy profile (forwarding funnel)")
+    energy = run_energy_profile(num_slotframes=30 if args.quick else 60)
+    print(energy.render())
+
+    banner("Beyond the paper — interference: static channels vs TSCH hopping")
+    interference = run_interference_study(
+        num_slotframes=15 if args.quick else 40
+    )
+    print(interference.render())
+
+    print(f"\nTotal: {time.time() - start:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

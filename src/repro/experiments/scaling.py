@@ -1,0 +1,128 @@
+"""Scaling study: management overhead vs network size (beyond-paper).
+
+The paper's motivation (Sec. I) is that centralized management "suffers
+from both large communication overhead and significant time delay,
+especially when the network scales up", because demand collection and
+schedule dissemination are relayed hop by hop through the tree.  This
+experiment quantifies that claim with both managers on the same
+networks:
+
+* **static phase** — HARP's hop-local bootstrap (one POST-intf and one
+  POST-part per non-leaf node, each a single hop) versus a centralized
+  manager that must pull every node's demand to the root and push every
+  node's schedule back, multi-hop both ways;
+* **dynamic phase** — one deep-node traffic change: HARP's escalating
+  adjustment versus the centralized ``3l - 1`` packets.
+
+Both costs are measured with the same management plane, so the packet
+counts are directly comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.manager import HarpNetwork
+from ..net.protocol.messages import PostInterface, ScheduleUpdate
+from ..net.protocol.transport import ManagementPlane
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import e2e_task_per_node
+from ..net.topology import Direction, TreeTopology, layered_random_tree
+from ..schedulers.apas import APaSManager
+from .reporting import format_series
+
+
+@dataclass
+class ScalingResult:
+    """Message counts per network size."""
+
+    sizes: List[int] = field(default_factory=list)
+    harp_static: List[float] = field(default_factory=list)
+    central_static: List[float] = field(default_factory=list)
+    harp_adjust: List[float] = field(default_factory=list)
+    central_adjust: List[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII rendering of the scaling comparison."""
+        return format_series(
+            "devices",
+            self.sizes,
+            {
+                "HARP static": self.harp_static,
+                "centralized static": self.central_static,
+                "HARP adjust": self.harp_adjust,
+                "centralized adjust": self.central_adjust,
+            },
+        )
+
+
+def centralized_static_messages(
+    topology: TreeTopology, config: SlotframeConfig
+) -> int:
+    """Packets a centralized manager spends on one bootstrap: every
+    device's demand report relayed to the root, every device's schedule
+    relayed back — ``2 * sum(depth(v))`` hop-packets."""
+    plane = ManagementPlane(config, topology)
+    gateway = topology.gateway_id
+    for node in topology.device_nodes:
+        plane.deliver_routed(PostInterface(src=node, dst=gateway))
+    for node in topology.device_nodes:
+        plane.deliver_routed(ScheduleUpdate(src=gateway, dst=node))
+    return plane.stats.total_messages
+
+
+def run_scaling(
+    sizes: Sequence[int] = (20, 40, 60, 80),
+    depth_for: Optional[Dict[int, int]] = None,
+    trials: int = 3,
+    seed: int = 5,
+) -> ScalingResult:
+    """Measure both managers across network sizes.
+
+    ``depth_for`` maps device count to tree depth (default: ~size/10,
+    at least 3), mirroring how real deployments deepen as they grow.
+    """
+    result = ScalingResult()
+    for size in sizes:
+        depth = (depth_for or {}).get(size, max(3, size // 10))
+        config = SlotframeConfig(num_slots=max(199, 8 * size))
+        harp_static = central_static = harp_adj = central_adj = 0.0
+        for trial in range(trials):
+            topology = layered_random_tree(
+                size, depth, random.Random(seed + size * 31 + trial)
+            )
+            tasks = e2e_task_per_node(topology, rate=1.0)
+
+            harp = HarpNetwork(
+                topology, tasks, config,
+                case1_slack=1, distribute_slack=True,
+            )
+            report = harp.allocate()
+            harp_static += report.total_messages
+            central_static += centralized_static_messages(topology, config)
+
+            # One traffic change at the deepest populated layer.
+            deep_nodes = topology.nodes_at_depth(depth)
+            node = deep_nodes[trial % len(deep_nodes)]
+            parent = topology.parent_of(node)
+            layer = topology.depth_of(node)
+            table = harp.tables[Direction.UP]
+            current = (
+                table.component(parent, layer).n_slots
+                if table.has_component(parent, layer)
+                else 0
+            )
+            outcome = harp.adjuster.request_component_increase(
+                parent, layer, Direction.UP, current + 1
+            )
+            harp_adj += outcome.total_messages
+            central_adj += APaSManager(topology, config).adjust(node).messages
+
+        result.sizes.append(size)
+        result.harp_static.append(harp_static / trials)
+        result.central_static.append(central_static / trials)
+        result.harp_adjust.append(harp_adj / trials)
+        result.central_adjust.append(central_adj / trials)
+    return result

@@ -1,0 +1,139 @@
+"""Topology and workload factories for the evaluation experiments.
+
+Centralizes the network shapes and task sets used by the figure/table
+regeneration so that tests, examples and benchmarks agree on them:
+
+* :func:`testbed_topology` — a 50-device, 5-layer tree standing in for
+  the Fig. 7(c) deployment (the paper does not publish the exact edges;
+  the shape — node count, layer count, breadth per layer — matches).
+* :func:`collision_topologies` — the Sec. VII-A ensemble: seeded random
+  5-layer/50-node trees with realistic breadth.
+* :func:`leaf_rate_workload` — uplink tasks on leaf nodes with rates
+  drawn up to a maximum, resampled until HARP can feasibly allocate the
+  demand (the paper's settings keep HARP collision-free across the whole
+  rate sweep, i.e. they lie in the feasible region).
+* :func:`apas_topology` — the Sec. VII-B shape: 81 nodes, 10 layers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.allocation import InsufficientResourcesError, allocate_partitions
+from ..core.interface_gen import generate_interfaces
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import Task, TaskSet
+from ..net.topology import (
+    Direction,
+    TreeTopology,
+    balanced_tree_with_layers,
+    layered_random_tree,
+)
+
+#: Layer widths of the testbed-like topology: 50 devices over 5 layers.
+TESTBED_LAYER_SIZES = (8, 12, 12, 10, 8)
+
+
+def testbed_topology() -> TreeTopology:
+    """The 50-device, 5-layer tree used by the testbed experiments."""
+    return balanced_tree_with_layers(list(TESTBED_LAYER_SIZES))
+
+
+def collision_topologies(
+    count: int = 100, seed: int = 2022, num_devices: int = 50, depth: int = 5
+) -> List[TreeTopology]:
+    """The Sec. VII-A ensemble of random topologies."""
+    return [
+        layered_random_tree(num_devices, depth, random.Random(seed + i))
+        for i in range(count)
+    ]
+
+
+def apas_topology(seed: int = 0) -> TreeTopology:
+    """A Sec. VII-B topology: 81 nodes (80 devices + gateway), 10 layers."""
+    return layered_random_tree(80, 10, random.Random(seed))
+
+
+def harp_feasible(
+    topology: TreeTopology, task_set: TaskSet, config: SlotframeConfig
+) -> bool:
+    """Whether HARP can allocate the task set without overflowing."""
+    demands = task_set.link_demands(topology)
+    try:
+        tables = {
+            direction: generate_interfaces(
+                topology, demands, direction, config.num_channels
+            )
+            for direction in (Direction.UP, Direction.DOWN)
+        }
+        allocate_partitions(topology, tables, config, allow_overflow=False)
+    except InsufficientResourcesError:
+        return False
+    return True
+
+
+def leaf_rate_workload(
+    topology: TreeTopology,
+    max_rate: int,
+    rng: random.Random,
+    config: Optional[SlotframeConfig] = None,
+    require_feasible: bool = True,
+    max_resamples: int = 25,
+) -> TaskSet:
+    """Uplink tasks on every leaf with rates drawn from U{1..max_rate}.
+
+    When ``require_feasible``, rate vectors are resampled until HARP can
+    allocate them (mirroring the paper's settings, under which HARP stays
+    collision-free across the whole sweep); after ``max_resamples``
+    failures the rates are halved until feasible.
+    """
+    if max_rate < 1:
+        raise ValueError(f"max_rate must be >= 1, got {max_rate}")
+    config = config or SlotframeConfig()
+    leaves = [n for n in topology.device_nodes if topology.is_leaf(n)]
+
+    def draw() -> TaskSet:
+        return TaskSet(
+            [
+                Task(task_id=n, source=n, rate=rng.randint(1, max_rate), echo=False)
+                for n in leaves
+            ]
+        )
+
+    task_set = draw()
+    if not require_feasible:
+        return task_set
+    for _ in range(max_resamples):
+        if harp_feasible(topology, task_set, config):
+            return task_set
+        task_set = draw()
+    while not harp_feasible(topology, task_set, config):
+        task_set = TaskSet(
+            [
+                Task(
+                    task_id=t.task_id,
+                    source=t.source,
+                    rate=max(1, t.rate // 2),
+                    echo=False,
+                )
+                for t in task_set
+            ]
+        )
+        if all(t.rate == 1 for t in task_set):
+            break
+    return task_set
+
+
+def uniform_rate_workload(
+    topology: TreeTopology, rate: float, leaves_only: bool = True
+) -> TaskSet:
+    """Uplink tasks at one fixed rate (the Fig. 11(b) workload)."""
+    sources = (
+        [n for n in topology.device_nodes if topology.is_leaf(n)]
+        if leaves_only
+        else topology.device_nodes
+    )
+    return TaskSet(
+        [Task(task_id=n, source=n, rate=rate, echo=False) for n in sources]
+    )

@@ -1,0 +1,224 @@
+"""Physical deployments: positions, path loss, and tree formation.
+
+The testbed (Fig. 7(b)) is 50 SensorTags placed through labs and a
+hallway; the tree of Fig. 7(c) *emerges* from radio reachability via RPL
+parent selection.  This module provides that missing layer:
+
+* a :class:`Deployment` maps nodes to 2D positions;
+* a log-distance path-loss model turns distance into RSSI and RSSI into
+  a packet-delivery ratio (the standard sigmoid-shaped curve);
+* :func:`neighbor_graph` lists usable links (PDR above a floor);
+* :func:`form_tree` runs RPL-style parent selection — each node joins
+  through the candidate parent minimizing ETX-weighted rank — producing
+  a :class:`~repro.net.topology.TreeTopology` plus the matching
+  :class:`~repro.net.radio.PerLinkPDR` model for the simulator.
+
+Generators cover open-floor random placement and the corridor-with-labs
+shape of the paper's building.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .radio import PerLinkPDR
+from .topology import (
+    GATEWAY_ID,
+    Direction,
+    LinkRef,
+    TopologyError,
+    TreeTopology,
+    decompose_forest,
+)
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Log-distance path loss with a logistic RSSI->PDR curve.
+
+    ``rssi(d) = tx_power - pl0 - 10 * exponent * log10(d / d0)``;
+    ``pdr(rssi)`` is a logistic ramp centered at ``sensitivity`` with
+    steepness ``width`` dB (1.0 well above sensitivity, ~0 below it).
+    Defaults roughly match 802.15.4 at 2.4 GHz indoors.
+    """
+
+    tx_power_dbm: float = 0.0
+    pl0_db: float = 40.0
+    exponent: float = 3.0
+    d0_m: float = 1.0
+    sensitivity_dbm: float = -90.0
+    width_db: float = 4.0
+
+    def rssi(self, distance_m: float) -> float:
+        """Received signal strength at ``distance_m`` (dBm)."""
+        d = max(distance_m, self.d0_m)
+        return (
+            self.tx_power_dbm
+            - self.pl0_db
+            - 10.0 * self.exponent * math.log10(d / self.d0_m)
+        )
+
+    def pdr(self, distance_m: float) -> float:
+        """Packet delivery ratio of a link of the given length."""
+        margin = self.rssi(distance_m) - self.sensitivity_dbm
+        return 1.0 / (1.0 + math.exp(-margin / self.width_db))
+
+
+@dataclass
+class Deployment:
+    """Node positions plus the radio model governing their links."""
+
+    positions: Dict[int, Position]
+    radio: RadioModel = field(default_factory=RadioModel)
+    gateway_id: int = GATEWAY_ID
+
+    def __post_init__(self) -> None:
+        if self.gateway_id not in self.positions:
+            raise ValueError(
+                f"deployment must place the gateway {self.gateway_id}"
+            )
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self.positions)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes (meters)."""
+        (xa, ya), (xb, yb) = self.positions[a], self.positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def link_pdr(self, a: int, b: int) -> float:
+        """PDR of the radio link between two nodes."""
+        return self.radio.pdr(self.distance(a, b))
+
+
+def neighbor_graph(
+    deployment: Deployment, min_pdr: float = 0.5
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Usable neighbours per node: ``{node: [(neighbor, pdr), ...]}``,
+    PDR-descending.  Links below ``min_pdr`` are unusable."""
+    out: Dict[int, List[Tuple[int, float]]] = {n: [] for n in deployment.nodes}
+    nodes = deployment.nodes
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            pdr = deployment.link_pdr(a, b)
+            if pdr >= min_pdr:
+                out[a].append((b, pdr))
+                out[b].append((a, pdr))
+    for node in out:
+        out[node].sort(key=lambda item: (-item[1], item[0]))
+    return out
+
+
+class UnreachableNodeError(TopologyError):
+    """Some node has no radio path to the gateway."""
+
+
+def form_tree(
+    deployment: Deployment,
+    min_pdr: float = 0.5,
+    max_children: Optional[int] = None,
+) -> Tuple[TreeTopology, PerLinkPDR]:
+    """RPL-style tree formation over the deployment.
+
+    Nodes join in rank order: the gateway has rank 0; every other node's
+    rank through a candidate parent is ``rank(parent) + etx(link)``
+    (ETX = 1/PDR, the RPL MRHOF metric).  Each node attaches through the
+    parent minimizing its rank, subject to an optional child-count cap.
+    Returns the topology and the per-link PDR model for the simulator.
+
+    Raises :class:`UnreachableNodeError` when the radio graph does not
+    connect every node to the gateway.
+    """
+    neighbors = neighbor_graph(deployment, min_pdr)
+    gateway = deployment.gateway_id
+    rank: Dict[int, float] = {gateway: 0.0}
+    parent: Dict[int, int] = {}
+    child_count: Dict[int, int] = {n: 0 for n in deployment.nodes}
+    # Dijkstra-like expansion over ETX.
+    frontier = {gateway}
+    pending = set(deployment.nodes) - {gateway}
+    while pending:
+        best: Optional[Tuple[float, int, int]] = None  # (rank, node, parent)
+        for node in sorted(pending):
+            for neighbor, pdr in neighbors[node]:
+                if neighbor not in rank:
+                    continue
+                if (
+                    max_children is not None
+                    and child_count[neighbor] >= max_children
+                ):
+                    continue
+                candidate = rank[neighbor] + 1.0 / pdr
+                if best is None or (candidate, node) < (best[0], best[1]):
+                    best = (candidate, node, neighbor)
+        if best is None:
+            raise UnreachableNodeError(
+                f"nodes without a path to the gateway: {sorted(pending)}"
+            )
+        node_rank, node, chosen = best
+        rank[node] = node_rank
+        parent[node] = chosen
+        child_count[chosen] += 1
+        pending.discard(node)
+
+    topology = TreeTopology(parent, gateway_id=gateway)
+    table = {}
+    for child in topology.device_nodes:
+        pdr = deployment.link_pdr(child, topology.parent_of(child))
+        table[LinkRef(child, Direction.UP)] = pdr
+        table[LinkRef(child, Direction.DOWN)] = pdr
+    return topology, PerLinkPDR(table, default=1.0)
+
+
+# ----------------------------------------------------------------------
+# deployment generators
+# ----------------------------------------------------------------------
+
+
+def random_deployment(
+    num_devices: int,
+    area_m: float,
+    rng: random.Random,
+    radio: Optional[RadioModel] = None,
+    gateway_id: int = GATEWAY_ID,
+) -> Deployment:
+    """Uniform random placement over an ``area_m`` x ``area_m`` floor,
+    gateway at the center."""
+    positions: Dict[int, Position] = {
+        gateway_id: (area_m / 2.0, area_m / 2.0)
+    }
+    for i in range(num_devices):
+        positions[gateway_id + 1 + i] = (
+            rng.uniform(0.0, area_m),
+            rng.uniform(0.0, area_m),
+        )
+    return Deployment(positions, radio or RadioModel(), gateway_id)
+
+
+def corridor_deployment(
+    num_devices: int,
+    corridor_length_m: float,
+    lab_depth_m: float,
+    rng: random.Random,
+    radio: Optional[RadioModel] = None,
+    gateway_id: int = GATEWAY_ID,
+) -> Deployment:
+    """The paper's building shape: a hallway with labs on both sides.
+
+    The gateway sits at one end of the corridor; devices are scattered
+    along the corridor and up to ``lab_depth_m`` into the labs on either
+    side, so hop count grows with distance down the hallway — naturally
+    producing the multi-layer tree of Fig. 7(c).
+    """
+    positions: Dict[int, Position] = {gateway_id: (0.0, 0.0)}
+    for i in range(num_devices):
+        x = rng.uniform(0.0, corridor_length_m)
+        y = rng.uniform(-lab_depth_m, lab_depth_m)
+        positions[gateway_id + 1 + i] = (x, y)
+    return Deployment(positions, radio or RadioModel(), gateway_id)

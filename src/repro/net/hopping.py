@@ -1,0 +1,189 @@
+"""Channel hopping and external interference.
+
+TSCH's defining feature is that a cell's *channel offset* is not a fixed
+frequency: each slot, the offset maps to a physical channel through a
+hopping sequence and the absolute slot number (ASN),
+
+    physical = hop_sequence[(ASN + channelOffset) % len(hop_sequence)],
+
+so a link visits every frequency over time and no single jammed or faded
+frequency can starve it (IEEE 802.15.4e-2012; the testbed enables all 16
+channels).  Hopping is a bijection per slot, so HARP's collision
+analysis is untouched — what changes is exposure to *frequency-selective*
+interference, which this module also models:
+
+* :class:`HoppingSequence` — the offset -> physical-channel mapping.
+* :class:`ExternalInterferer` — e.g. a co-located Wi-Fi network that
+  stomps a set of physical channels with some probability per slot.
+* :class:`InterferenceModel` — a :class:`~repro.net.radio.LossModel`
+  that combines the two: with hopping enabled a jammed frequency costs
+  every link a small slice of its cells; with hopping disabled the
+  links whose static channel collides with the interferer starve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from .radio import LossModel
+from .slotframe import Cell
+from .topology import LinkRef, TreeTopology
+
+#: IEEE 802.15.4 channel page 0 numbering for the 2.4 GHz band.
+IEEE_2_4GHZ_CHANNELS = tuple(range(11, 27))
+
+
+@dataclass(frozen=True)
+class HoppingSequence:
+    """Maps (ASN, channel offset) to a physical channel.
+
+    The default sequence is the identity permutation over the configured
+    channel count; 6TiSCH deployments use a pseudo-random permutation,
+    available via :meth:`shuffled`.
+    """
+
+    sequence: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sequence:
+            raise ValueError("hopping sequence must be non-empty")
+        if sorted(self.sequence) != list(range(len(self.sequence))):
+            raise ValueError(
+                "hopping sequence must be a permutation of "
+                f"0..{len(self.sequence) - 1}, got {self.sequence}"
+            )
+
+    @classmethod
+    def identity(cls, num_channels: int) -> "HoppingSequence":
+        """The identity mapping (offset == physical index)."""
+        return cls(tuple(range(num_channels)))
+
+    @classmethod
+    def shuffled(cls, num_channels: int, rng: random.Random) -> "HoppingSequence":
+        """A pseudo-random permutation, as 6TiSCH networks deploy."""
+        channels = list(range(num_channels))
+        rng.shuffle(channels)
+        return cls(tuple(channels))
+
+    def physical_channel(self, asn: int, channel_offset: int) -> int:
+        """Physical channel index used at absolute slot ``asn`` by a
+        cell with the given logical ``channel_offset``."""
+        return self.sequence[(asn + channel_offset) % len(self.sequence)]
+
+
+@dataclass
+class ExternalInterferer:
+    """A frequency-selective jammer (e.g. Wi-Fi on overlapping channels).
+
+    Each slot, a transmission on a jammed physical channel fails with
+    ``hit_probability``.
+    """
+
+    jammed_channels: Set[int]
+    hit_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hit_probability <= 1.0:
+            raise ValueError(
+                f"hit_probability must be in [0, 1], got {self.hit_probability}"
+            )
+
+    def jams(self, physical_channel: int, rng: random.Random) -> bool:
+        """Whether a transmission on ``physical_channel`` is destroyed."""
+        return (
+            physical_channel in self.jammed_channels
+            and rng.random() < self.hit_probability
+        )
+
+
+class InterferenceModel(LossModel):
+    """Loss model combining hopping, an interferer, and a base model.
+
+    The simulator calls :meth:`transmission_succeeds` per attempt; this
+    model needs the slot/channel context, so the engine feeds it through
+    :meth:`observe_cell` right before sampling (the engine does this
+    automatically when the loss model exposes the hook).
+
+    ``affected_links`` optionally restricts the interferer's reach to a
+    set of links (spatially localized interference — see
+    :func:`localized_interference`); ``None`` means everyone hears it.
+    """
+
+    def __init__(
+        self,
+        interferer: ExternalInterferer,
+        hopping: Optional[HoppingSequence] = None,
+        base: Optional[LossModel] = None,
+        affected_links: Optional[Set[LinkRef]] = None,
+    ) -> None:
+        self.interferer = interferer
+        self.hopping = hopping
+        self.base = base
+        self.affected_links = affected_links
+        self._current: Optional[Tuple[int, Cell]] = None
+        #: Diagnostics: transmissions destroyed by the interferer.
+        self.jammed_transmissions = 0
+
+    # hook called by the engine before each success sample
+    def observe_cell(self, asn: int, cell: Cell) -> None:
+        """Record the (ASN, cell) context of the next transmission."""
+        self._current = (asn, cell)
+
+    def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
+        return self.base.pdr(topology, link) if self.base else 1.0
+
+    def transmission_succeeds(
+        self, topology: TreeTopology, link: LinkRef, rng: random.Random
+    ) -> bool:
+        in_reach = (
+            self.affected_links is None or link in self.affected_links
+        )
+        if self._current is not None and in_reach:
+            asn, cell = self._current
+            if self.hopping is not None:
+                physical = self.hopping.physical_channel(asn, cell.channel)
+            else:
+                physical = cell.channel
+            if self.interferer.jams(physical, rng):
+                self.jammed_transmissions += 1
+                return False
+        if self.base is not None:
+            return self.base.transmission_succeeds(topology, link, rng)
+        return True
+
+
+def localized_interference(
+    deployment,
+    topology: TreeTopology,
+    position: Tuple[float, float],
+    radius_m: float,
+    jammed_channels: Set[int],
+    hit_probability: float = 0.9,
+    hopping: Optional[HoppingSequence] = None,
+    base: Optional[LossModel] = None,
+) -> InterferenceModel:
+    """A jammer at a physical ``position`` with limited reach.
+
+    A transmission is vulnerable when its *receiver* sits within
+    ``radius_m`` of the jammer (interference matters where the signal is
+    decoded).  Links whose receivers are out of reach never suffer.
+    """
+    import math
+
+    def within(node: int) -> bool:
+        x, y = deployment.positions[node]
+        return math.hypot(x - position[0], y - position[1]) <= radius_m
+
+    affected = {
+        link
+        for link in topology.links()
+        if within(link.receiver(topology))
+    }
+    return InterferenceModel(
+        ExternalInterferer(jammed_channels, hit_probability),
+        hopping=hopping,
+        base=base,
+        affected_links=affected,
+    )

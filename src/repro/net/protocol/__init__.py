@@ -1,0 +1,22 @@
+"""HARP management-plane protocol: messages (Table I) and transport."""
+
+from .messages import (
+    HarpMessage,
+    PostInterface,
+    PostPartitions,
+    PutInterface,
+    PutPartition,
+    ScheduleUpdate,
+)
+from .transport import ManagementPlane, TransportStats
+
+__all__ = [
+    "HarpMessage",
+    "ManagementPlane",
+    "PostInterface",
+    "PostPartitions",
+    "PutInterface",
+    "PutPartition",
+    "ScheduleUpdate",
+    "TransportStats",
+]

@@ -1,0 +1,116 @@
+"""HARP management-plane messages (the CoAP handlers of Table I).
+
+The testbed implements HARP as an application-layer protocol on top of
+CoAP.  Four handlers exist; we mirror them as typed message classes:
+
+========  ======  ==============================  ========================
+URI       Method  Payload                         Message class
+========  ======  ==============================  ========================
+/intf     POST    resource interface              :class:`PostInterface`
+/intf     PUT     updated interface (one layer)   :class:`PutInterface`
+/part     POST    partitions at all layers        :class:`PostPartitions`
+/part     PUT     new partition at one layer      :class:`PutPartition`
+========  ======  ==============================  ========================
+
+Plus :class:`ScheduleUpdate`, the parent-to-child cell-assignment
+notification used by the distributed scheduling phase and by local
+schedule updates (Case 1 of Sec. V) — on the testbed this rides existing
+6top traffic, and its count is reported separately from partition
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..slotframe import Cell
+from ..topology import Direction
+
+
+@dataclass(frozen=True)
+class HarpMessage:
+    """Base class: a one-hop management message between ``src`` and
+    ``dst`` (HARP messages always travel between a node and its parent)."""
+
+    src: int
+    dst: int
+
+    #: CoAP (URI, method) of Table I; overridden by subclasses.
+    URI: str = field(default="", init=False, repr=False)
+    METHOD: str = field(default="", init=False, repr=False)
+
+    @property
+    def endpoint(self) -> Tuple[str, str]:
+        """The Table I (URI, method) pair for this message."""
+        return (self.URI, self.METHOD)
+
+
+@dataclass(frozen=True)
+class PostInterface(HarpMessage):
+    """POST /intf — a child reports its resource interface to its parent
+    during the bottom-up static phase.
+
+    ``interface`` maps layer -> (n_slots, n_channels) per direction.
+    """
+
+    interface: Dict[Direction, Dict[int, Tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    URI = "intf"
+    METHOD = "POST"
+
+
+@dataclass(frozen=True)
+class PutInterface(HarpMessage):
+    """PUT /intf — a child requests a partition adjustment by sending the
+    updated resource component for one layer (Sec. V, Case 2)."""
+
+    layer: int = 0
+    direction: Direction = Direction.UP
+    n_slots: int = 0
+    n_channels: int = 0
+    URI = "intf"
+    METHOD = "PUT"
+
+
+@dataclass(frozen=True)
+class PostPartitions(HarpMessage):
+    """POST /part — a parent disseminates the partitions allocated to a
+    child's subtree at all layers (top-down static phase).
+
+    ``partitions`` maps (direction, layer) -> (start_slot, start_channel,
+    n_slots, n_channels).
+    """
+
+    partitions: Dict[Tuple[Direction, int], Tuple[int, int, int, int]] = field(
+        default_factory=dict
+    )
+    URI = "part"
+    METHOD = "POST"
+
+
+@dataclass(frozen=True)
+class PutPartition(HarpMessage):
+    """PUT /part — a parent pushes an updated partition for one layer
+    after a dynamic adjustment."""
+
+    layer: int = 0
+    direction: Direction = Direction.UP
+    start_slot: int = 0
+    start_channel: int = 0
+    n_slots: int = 0
+    n_channels: int = 0
+    URI = "part"
+    METHOD = "PUT"
+
+
+@dataclass(frozen=True)
+class ScheduleUpdate(HarpMessage):
+    """Parent-to-child cell-assignment notification (distributed
+    scheduling phase / local schedule update)."""
+
+    cells: Tuple[Cell, ...] = ()
+    direction: Direction = Direction.UP
+    URI = "sched"
+    METHOD = "PUT"

@@ -1,0 +1,196 @@
+"""Management-plane message transport with TDMA timing and accounting.
+
+When a node joins the testbed network it is scheduled two collision-free
+cells in the Management sub-frame — one uplink, one downlink — and HARP
+messages travel in those cells (Sec. VI-A).  Consequently:
+
+* a node can send at most one management message per slotframe in each
+  direction, so bursts of notifications serialize at ~one slotframe
+  apiece (visible in Table II: message count and slotframe count track
+  each other closely);
+* a one-hop message's latency is the wait until the sender's next
+  management cell.
+
+:class:`ManagementPlane` models exactly that: a virtual clock in slots, a
+deterministic management-cell position per node, and counters for every
+message (by Table I endpoint and by node).  Multi-hop delivery — needed
+by the centralized APaS baseline, whose requests and updates are relayed
+through the tree — is a sequence of one-hop sends, each counted as a
+separate packet, matching how Fig. 12 counts "the total number of packets
+incurred".
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..slotframe import SlotframeConfig
+from ..topology import TreeTopology
+from .messages import HarpMessage
+
+
+@dataclass
+class TransportStats:
+    """Counters accumulated by a :class:`ManagementPlane`."""
+
+    messages_by_endpoint: Counter = field(default_factory=Counter)
+    messages_by_node: Counter = field(default_factory=Counter)
+    total_messages: int = 0
+    total_hops: int = 0
+    retransmissions: int = 0
+
+    def snapshot(self) -> "TransportStats":
+        """An independent copy (for before/after deltas in experiments)."""
+        clone = TransportStats()
+        clone.messages_by_endpoint = Counter(self.messages_by_endpoint)
+        clone.messages_by_node = Counter(self.messages_by_node)
+        clone.total_messages = self.total_messages
+        clone.total_hops = self.total_hops
+        clone.retransmissions = self.retransmissions
+        return clone
+
+
+class ManagementPlane:
+    """Hop-by-hop HARP message delivery over management cells.
+
+    Parameters
+    ----------
+    config:
+        Slotframe configuration.  When ``management_slots`` is zero the
+        management cells are placed virtually across the whole slotframe
+        (pure-simulation mode, used by analytic experiments that only
+        count messages/time without a data plane).
+    topology:
+        Needed only for multi-hop routing (:meth:`deliver_routed`).
+    start_slot:
+        Initial virtual-clock value (absolute slot index).
+    """
+
+    def __init__(
+        self,
+        config: SlotframeConfig,
+        topology: Optional[TreeTopology] = None,
+        start_slot: int = 0,
+        loss_probability: float = 0.0,
+        rng: Optional["random.Random"] = None,
+        max_retries: int = 8,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.config = config
+        self.topology = topology
+        self.now_slot = start_slot
+        self.stats = TransportStats()
+        self.log: List[Tuple[int, HarpMessage]] = []
+        self.loss_probability = loss_probability
+        self.rng = rng or random.Random(0)
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    # management-cell geometry
+    # ------------------------------------------------------------------
+
+    def tx_slot_of(self, node: int) -> int:
+        """Slot index (within the slotframe) of ``node``'s management
+        transmit cell."""
+        if self.config.management_slots > 0:
+            span = self.config.management_slots
+            offset = self.config.data_slots
+        else:
+            span = self.config.num_slots
+            offset = 0
+        return offset + (2 * node) % span
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def deliver(self, message: HarpMessage) -> int:
+        """Deliver a one-hop message; returns the delivery slot.
+
+        Advances the virtual clock to the sender's next management cell
+        (messages from the same epoch serialize, one slotframe apart when
+        they share a sender).  With a lossy management plane
+        (``loss_probability > 0``), failed transmissions are retried in
+        the sender's next management cell — HARP messages ride CoAP
+        confirmable exchanges, so loss costs time, never correctness.
+        After ``max_retries`` consecutive losses the delivery is forced
+        through (modelling link-layer ARQ exhaustion falling back to a
+        route the transport layer recovers on).
+        """
+        attempts = 0
+        while True:
+            target = self.tx_slot_of(message.src)
+            phase = self.now_slot % self.config.num_slots
+            wait = (target - phase) % self.config.num_slots
+            self.now_slot += wait + 1  # +1: the transmission occupies its slot
+            self._count(message)
+            attempts += 1
+            if (
+                self.loss_probability <= 0.0
+                or attempts > self.max_retries
+                or self.rng.random() >= self.loss_probability
+            ):
+                break
+            self.stats.retransmissions += 1
+        self.log.append((self.now_slot, message))
+        return self.now_slot
+
+    def deliver_routed(self, message: HarpMessage) -> int:
+        """Deliver ``message`` from ``src`` to ``dst`` along the tree,
+        counting one packet per hop (centralized-scheduler pattern).
+
+        Routing goes up from ``src`` to the lowest common ancestor and
+        down to ``dst``; each relay is modelled as a fresh one-hop send
+        from the relaying node.  Returns the final delivery slot.
+        """
+        if self.topology is None:
+            raise RuntimeError("deliver_routed requires a topology")
+        route = self._route(message.src, message.dst)
+        delivery = self.now_slot
+        for hop_src, hop_dst in zip(route, route[1:]):
+            hop = HarpMessage(src=hop_src, dst=hop_dst)
+            # Preserve the original endpoint identity for accounting.
+            object.__setattr__(hop, "URI", message.URI)
+            object.__setattr__(hop, "METHOD", message.METHOD)
+            delivery = self.deliver(hop)
+        return delivery
+
+    def _route(self, src: int, dst: int) -> List[int]:
+        """Tree path from ``src`` to ``dst`` via their common ancestor."""
+        assert self.topology is not None
+        up = self.topology.path_to_gateway(src)
+        down = self.topology.path_to_gateway(dst)
+        ancestors = set(down)
+        meet = next(n for n in up if n in ancestors)
+        ascent = up[: up.index(meet) + 1]
+        descent = list(reversed(down[: down.index(meet)]))
+        return ascent + descent
+
+    def _count(self, message: HarpMessage) -> None:
+        self.stats.messages_by_endpoint[message.endpoint] += 1
+        self.stats.messages_by_node[message.src] += 1
+        self.stats.total_messages += 1
+        self.stats.total_hops += 1
+
+    # ------------------------------------------------------------------
+    # time bookkeeping
+    # ------------------------------------------------------------------
+
+    def elapsed_since(self, slot: int) -> int:
+        """Slots elapsed since ``slot``."""
+        return self.now_slot - slot
+
+    def elapsed_seconds_since(self, slot: int) -> float:
+        """Seconds elapsed since ``slot``."""
+        return self.elapsed_since(slot) * self.config.slot_duration_s
+
+    def elapsed_slotframes_since(self, slot: int) -> int:
+        """Whole slotframes spanned since ``slot`` (ceiling)."""
+        elapsed = self.elapsed_since(slot)
+        return -(-elapsed // self.config.num_slots)

@@ -1,0 +1,92 @@
+"""Link-quality models for the simulator.
+
+The testbed experiments (Sec. VI-B) report packet loss "due to the
+environmental interference", which mostly affects nodes multiple hops
+from the gateway.  The simulator reproduces this with pluggable per-link
+packet-delivery-ratio (PDR) models: a transmission that is not lost to a
+schedule collision still fails with probability ``1 - pdr(link)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from .topology import LinkRef, TreeTopology
+
+
+class LossModel:
+    """Interface: decides whether an individual transmission succeeds."""
+
+    def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
+        """Packet delivery ratio of ``link`` in [0, 1]."""
+        raise NotImplementedError
+
+    def transmission_succeeds(
+        self, topology: TreeTopology, link: LinkRef, rng: random.Random
+    ) -> bool:
+        """Sample one transmission outcome."""
+        p = self.pdr(topology, link)
+        if p >= 1.0:
+            return True
+        if p <= 0.0:
+            return False
+        return rng.random() < p
+
+
+class PerfectRadio(LossModel):
+    """No environmental loss; only schedule collisions cause failures."""
+
+    def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
+        return 1.0
+
+
+@dataclass
+class UniformPDR(LossModel):
+    """One PDR shared by every link."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError(f"PDR must be in [0, 1], got {self.value}")
+
+    def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
+        return self.value
+
+
+@dataclass
+class PerLinkPDR(LossModel):
+    """Explicit PDR per link, with a default for unlisted links."""
+
+    table: Mapping[LinkRef, float]
+    default: float = 1.0
+
+    def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
+        return self.table.get(link, self.default)
+
+
+@dataclass
+class LayerDegradedPDR(LossModel):
+    """PDR that degrades with the link's layer.
+
+    Models the testbed observation that deeper nodes see more loss:
+    ``pdr = base - decay * (layer - 1)``, clamped to ``[floor, 1]``.
+    """
+
+    base: float = 1.0
+    decay: float = 0.01
+    floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base <= 1.0:
+            raise ValueError(f"base PDR must be in [0, 1], got {self.base}")
+        if self.decay < 0:
+            raise ValueError(f"decay must be >= 0, got {self.decay}")
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValueError(f"floor must be in [0, 1], got {self.floor}")
+
+    def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
+        layer = topology.link_layer(link.child)
+        return max(self.floor, min(1.0, self.base - self.decay * (layer - 1)))

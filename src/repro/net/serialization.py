@@ -1,0 +1,247 @@
+"""JSON (de)serialization of network state.
+
+A deployed gateway persists its view of the network — topology, task
+set, partition table and the active schedule — so it can survive
+restarts without re-running the whole static phase, and so operators can
+inspect or diff configurations.  This module provides stable, versioned
+JSON round-trips for all four.
+
+All functions return plain JSON-compatible dicts (``json.dumps``-ready);
+the ``load_*`` counterparts validate structure and versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..core.partition import Partition, PartitionTable
+from ..packing.geometry import PlacedRect
+from .slotframe import Cell, Schedule, SlotframeConfig
+from .tasks import Task, TaskSet
+from .topology import Direction, LinkRef, TreeTopology
+
+#: Format version stamped into every document.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Malformed or incompatible serialized document."""
+
+
+def _check_version(document: Dict[str, Any], kind: str) -> None:
+    if document.get("kind") != kind:
+        raise SerializationError(
+            f"expected a {kind!r} document, got {document.get('kind')!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported {kind} version {document.get('version')!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+
+
+def dump_topology(topology: TreeTopology) -> Dict[str, Any]:
+    """Topology -> JSON dict."""
+    return {
+        "kind": "topology",
+        "version": FORMAT_VERSION,
+        "gateway": topology.gateway_id,
+        "parents": {str(c): p for c, p in sorted(topology.parent_map.items())},
+    }
+
+
+def load_topology(document: Dict[str, Any]) -> TreeTopology:
+    """JSON dict -> Topology (validating tree structure)."""
+    _check_version(document, "topology")
+    parent_map = {int(c): int(p) for c, p in document["parents"].items()}
+    return TreeTopology(parent_map, gateway_id=int(document["gateway"]))
+
+
+# ----------------------------------------------------------------------
+# tasks
+# ----------------------------------------------------------------------
+
+
+def dump_task_set(task_set: TaskSet) -> Dict[str, Any]:
+    """Task set -> JSON dict."""
+    return {
+        "kind": "tasks",
+        "version": FORMAT_VERSION,
+        "tasks": [
+            {
+                "id": t.task_id,
+                "source": t.source,
+                "rate": t.rate,
+                "echo": t.echo,
+                "destination": t.destination,
+                "deadline_slotframes": t.deadline_slotframes,
+            }
+            for t in task_set
+        ],
+    }
+
+
+def load_task_set(document: Dict[str, Any]) -> TaskSet:
+    """JSON dict -> task set."""
+    _check_version(document, "tasks")
+    return TaskSet(
+        [
+            Task(
+                task_id=int(entry["id"]),
+                source=int(entry["source"]),
+                rate=float(entry["rate"]),
+                echo=bool(entry["echo"]),
+                destination=(
+                    None
+                    if entry.get("destination") is None
+                    else int(entry["destination"])
+                ),
+                deadline_slotframes=(
+                    None
+                    if entry.get("deadline_slotframes") is None
+                    else float(entry["deadline_slotframes"])
+                ),
+            )
+            for entry in document["tasks"]
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# schedule
+# ----------------------------------------------------------------------
+
+
+def dump_schedule(schedule: Schedule) -> Dict[str, Any]:
+    """Schedule -> JSON dict (config included)."""
+    config = schedule.config
+    links: List[Dict[str, Any]] = []
+    for link in sorted(
+        schedule.links, key=lambda l: (l.direction.value, l.child)
+    ):
+        links.append(
+            {
+                "child": link.child,
+                "direction": link.direction.value,
+                "cells": [[c.slot, c.channel] for c in schedule.cells_of(link)],
+            }
+        )
+    return {
+        "kind": "schedule",
+        "version": FORMAT_VERSION,
+        "config": {
+            "num_slots": config.num_slots,
+            "num_channels": config.num_channels,
+            "slot_duration_s": config.slot_duration_s,
+            "management_slots": config.management_slots,
+        },
+        "links": links,
+    }
+
+
+def load_schedule(document: Dict[str, Any]) -> Schedule:
+    """JSON dict -> schedule."""
+    _check_version(document, "schedule")
+    cfg = document["config"]
+    config = SlotframeConfig(
+        num_slots=int(cfg["num_slots"]),
+        num_channels=int(cfg["num_channels"]),
+        slot_duration_s=float(cfg["slot_duration_s"]),
+        management_slots=int(cfg.get("management_slots", 0)),
+    )
+    schedule = Schedule(config)
+    for entry in document["links"]:
+        link = LinkRef(int(entry["child"]), Direction(entry["direction"]))
+        for slot, channel in entry["cells"]:
+            schedule.assign(Cell(int(slot), int(channel)), link)
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# partitions
+# ----------------------------------------------------------------------
+
+
+def dump_partitions(partitions: PartitionTable) -> Dict[str, Any]:
+    """Partition table -> JSON dict."""
+    return {
+        "kind": "partitions",
+        "version": FORMAT_VERSION,
+        "partitions": [
+            {
+                "owner": p.owner,
+                "layer": p.layer,
+                "direction": p.direction.value,
+                "region": [p.region.x, p.region.y,
+                           p.region.width, p.region.height],
+            }
+            for p in partitions
+        ],
+    }
+
+
+def load_partitions(document: Dict[str, Any]) -> PartitionTable:
+    """JSON dict -> partition table."""
+    _check_version(document, "partitions")
+    table = PartitionTable()
+    for entry in document["partitions"]:
+        x, y, width, height = entry["region"]
+        table.set(
+            Partition(
+                owner=int(entry["owner"]),
+                layer=int(entry["layer"]),
+                direction=Direction(entry["direction"]),
+                region=PlacedRect(
+                    int(x), int(y), int(width), int(height),
+                    int(entry["owner"]),
+                ),
+            )
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# whole-network snapshot
+# ----------------------------------------------------------------------
+
+
+def dump_network(harp) -> Dict[str, Any]:
+    """Snapshot a :class:`~repro.core.manager.HarpNetwork` after
+    allocation: topology + tasks + partitions + schedule."""
+    return {
+        "kind": "harp-network",
+        "version": FORMAT_VERSION,
+        "topology": dump_topology(harp.topology),
+        "tasks": dump_task_set(harp.task_set),
+        "partitions": dump_partitions(harp.partitions),
+        "schedule": dump_schedule(harp.schedule),
+    }
+
+
+def save_network(harp, path: str) -> None:
+    """Write a network snapshot to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(dump_network(harp), handle, indent=2, sort_keys=True)
+
+
+def load_network(document: Dict[str, Any]):
+    """Restore (topology, task_set, partitions, schedule) from a
+    snapshot produced by :func:`dump_network`."""
+    _check_version(document, "harp-network")
+    return (
+        load_topology(document["topology"]),
+        load_task_set(document["tasks"]),
+        load_partitions(document["partitions"]),
+        load_schedule(document["schedule"]),
+    )
+
+
+def load_network_file(path: str):
+    """Restore a snapshot written by :func:`save_network`."""
+    with open(path) as handle:
+        return load_network(json.load(handle))

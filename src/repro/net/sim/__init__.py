@@ -1,0 +1,20 @@
+"""Slot-accurate TSCH discrete-event simulator (testbed substitute)."""
+
+from .energy import EnergyTracker, NodeEnergy, RadioPowerProfile
+from .engine import Packet, TSCHSimulator
+from .metrics import DeliveryRecord, LatencyStats, MetricsCollector
+from .trace import TraceRecorder, TxEvent, TxOutcome
+
+__all__ = [
+    "DeliveryRecord",
+    "EnergyTracker",
+    "NodeEnergy",
+    "RadioPowerProfile",
+    "LatencyStats",
+    "MetricsCollector",
+    "Packet",
+    "TSCHSimulator",
+    "TraceRecorder",
+    "TxEvent",
+    "TxOutcome",
+]

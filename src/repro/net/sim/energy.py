@@ -1,0 +1,198 @@
+"""Per-node energy accounting for TSCH schedules.
+
+6TiSCH exists because industrial sensors run for years on coin cells:
+a TSCH node sleeps through every slot except the cells it owns, waking
+to transmit, to receive, or — the classic hidden cost — to *idle-listen*
+in an RX cell whose sender had nothing to send.  This module charges
+each node per slot according to what its radio actually did:
+
+========== =========================================================
+state       when
+========== =========================================================
+TX          the node sent a frame in this slot
+RX          the node received a frame (or lost one to the channel)
+IDLE        the node listened in a scheduled RX cell but heard nothing
+SLEEP       no cell involved the node this slot
+========== =========================================================
+
+Current draws default to CC2650-class magnitudes (mA at 3 V).  Attach an
+:class:`EnergyTracker` to the engine like the trace recorder::
+
+    sim.energy = EnergyTracker(config)
+    sim.run_slotframes(100)
+    sim.energy.report(topology)
+
+Because idle listening is charged to scheduled-but-unused cells, the
+tracker quantifies the cost of over-provisioning: slack cells and
+distributed idle cells buy adjustment locality and loss resilience at a
+measurable µA premium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..slotframe import SlotframeConfig
+from ..topology import TreeTopology
+
+
+@dataclass(frozen=True)
+class RadioPowerProfile:
+    """Current draw per radio state (mA) and supply voltage (V).
+
+    Defaults approximate a CC2650-class 802.15.4 SoC.
+    """
+
+    tx_ma: float = 9.1
+    rx_ma: float = 6.1
+    idle_listen_ma: float = 6.1     # listening costs the same as RX
+    sleep_ua: float = 1.0           # deep sleep, in microamps
+    supply_v: float = 3.0
+
+    def charge_ma(self, state: str) -> float:
+        """Current draw of one state in mA."""
+        if state == "tx":
+            return self.tx_ma
+        if state == "rx":
+            return self.rx_ma
+        if state == "idle":
+            return self.idle_listen_ma
+        if state == "sleep":
+            return self.sleep_ua / 1000.0
+        raise ValueError(f"unknown radio state {state!r}")
+
+
+@dataclass
+class NodeEnergy:
+    """Accumulated per-node activity (slot counts per state)."""
+
+    tx_slots: int = 0
+    rx_slots: int = 0
+    idle_slots: int = 0
+    sleep_slots: int = 0
+
+    @property
+    def total_slots(self) -> int:
+        return self.tx_slots + self.rx_slots + self.idle_slots + self.sleep_slots
+
+    @property
+    def awake_slots(self) -> int:
+        return self.tx_slots + self.rx_slots + self.idle_slots
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of slots with the radio on."""
+        return self.awake_slots / self.total_slots if self.total_slots else 0.0
+
+    def charge_mc(
+        self, profile: RadioPowerProfile, slot_duration_s: float
+    ) -> float:
+        """Consumed charge in millicoulombs."""
+        return slot_duration_s * (
+            self.tx_slots * profile.charge_ma("tx")
+            + self.rx_slots * profile.charge_ma("rx")
+            + self.idle_slots * profile.charge_ma("idle")
+            + self.sleep_slots * profile.charge_ma("sleep")
+        )
+
+    def average_current_ma(
+        self, profile: RadioPowerProfile, slot_duration_s: float
+    ) -> float:
+        """Mean current over the run in mA."""
+        if self.total_slots == 0:
+            return 0.0
+        return self.charge_mc(profile, slot_duration_s) / (
+            self.total_slots * slot_duration_s
+        )
+
+    def battery_life_days(
+        self,
+        profile: RadioPowerProfile,
+        slot_duration_s: float,
+        battery_mah: float = 225.0,   # CR2032-class coin cell
+    ) -> float:
+        """Extrapolated lifetime on a battery of ``battery_mah``."""
+        current = self.average_current_ma(profile, slot_duration_s)
+        if current <= 0:
+            return float("inf")
+        return battery_mah / current / 24.0
+
+
+class EnergyTracker:
+    """Per-node radio-state accounting, fed by the engine each slot."""
+
+    def __init__(
+        self,
+        config: SlotframeConfig,
+        profile: Optional[RadioPowerProfile] = None,
+    ) -> None:
+        self.config = config
+        self.profile = profile or RadioPowerProfile()
+        self.per_node: Dict[int, NodeEnergy] = {}
+
+    def _node(self, node: int) -> NodeEnergy:
+        if node not in self.per_node:
+            self.per_node[node] = NodeEnergy()
+        return self.per_node[node]
+
+    def account_slot(
+        self,
+        all_nodes,
+        transmitters: Set[int],
+        receivers: Set[int],
+        idle_listeners: Set[int],
+    ) -> None:
+        """Charge every node for one slot."""
+        for node in all_nodes:
+            energy = self._node(node)
+            if node in transmitters:
+                energy.tx_slots += 1
+            elif node in receivers:
+                energy.rx_slots += 1
+            elif node in idle_listeners:
+                energy.idle_slots += 1
+            else:
+                energy.sleep_slots += 1
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def duty_cycle(self, node: int) -> float:
+        """Radio-on fraction for one node."""
+        return self.per_node.get(node, NodeEnergy()).duty_cycle
+
+    def average_current_ma(self, node: int) -> float:
+        """Mean current (mA) for one node."""
+        return self.per_node.get(node, NodeEnergy()).average_current_ma(
+            self.profile, self.config.slot_duration_s
+        )
+
+    def battery_life_days(self, node: int, battery_mah: float = 225.0) -> float:
+        """Extrapolated coin-cell lifetime for one node."""
+        return self.per_node.get(node, NodeEnergy()).battery_life_days(
+            self.profile, self.config.slot_duration_s, battery_mah
+        )
+
+    def report(self, topology: TreeTopology) -> str:
+        """Per-node summary, highest duty cycle first."""
+        lines = ["node   layer  duty     mA mean  battery (days)"]
+        entries = sorted(
+            self.per_node.items(),
+            key=lambda kv: -kv[1].duty_cycle,
+        )
+        for node, energy in entries:
+            layer = topology.depth_of(node) if node in topology else -1
+            current = energy.average_current_ma(
+                self.profile, self.config.slot_duration_s
+            )
+            life = energy.battery_life_days(
+                self.profile, self.config.slot_duration_s
+            )
+            life_text = f"{life:14.0f}" if life != float("inf") else "           inf"
+            lines.append(
+                f"{node:<6d} {layer:<6d} {energy.duty_cycle:6.3f}  "
+                f"{current:7.3f}  {life_text}"
+            )
+        return "\n".join(lines)

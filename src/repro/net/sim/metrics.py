@@ -1,0 +1,163 @@
+"""Metrics collected by the TSCH simulator.
+
+The evaluation reports end-to-end latency per node (Fig. 9), latency
+timelines under dynamic traffic (Fig. 10), and transmission failures.
+:class:`MetricsCollector` records every delivery with timestamps so all
+of those can be derived after a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..slotframe import SlotframeConfig
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One completed end-to-end packet."""
+
+    task_id: int
+    seq: int
+    source: int
+    created_slot: int
+    delivered_slot: int
+
+    @property
+    def latency_slots(self) -> int:
+        """End-to-end latency in slots."""
+        return self.delivered_slot - self.created_slot
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a set of latencies (in seconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    p95: float = 0.0
+
+    @classmethod
+    def from_values(cls, values: List[float]) -> "LatencyStats":
+        """Compute stats; empty input yields all-zero stats."""
+        if not values:
+            return cls()
+        ordered = sorted(values)
+        p95_idx = min(len(ordered) - 1, math.ceil(0.95 * len(ordered)) - 1)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p95=ordered[p95_idx],
+        )
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates simulator events for post-run analysis."""
+
+    config: SlotframeConfig
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+    generated: int = 0
+    dropped: int = 0
+    collision_failures: int = 0
+    half_duplex_failures: int = 0
+    loss_failures: int = 0
+    transmissions_attempted: int = 0
+    transmissions_succeeded: int = 0
+    deadline_misses: int = 0
+    misses_by_source: Dict[int, int] = field(default_factory=dict)
+    #: Peak queue depth observed per node (uplink + downlink queues).
+    max_queue_depth: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording (called by the engine)
+    # ------------------------------------------------------------------
+
+    def record_delivery(
+        self, record: DeliveryRecord, deadline_slots: Optional[int] = None
+    ) -> None:
+        self.deliveries.append(record)
+        if deadline_slots is not None and record.latency_slots > deadline_slots:
+            self.deadline_misses += 1
+            self.misses_by_source[record.source] = (
+                self.misses_by_source.get(record.source, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def delivered(self) -> int:
+        """Number of packets delivered end to end."""
+        return len(self.deliveries)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets generated but neither delivered nor dropped."""
+        return self.generated - self.delivered - self.dropped
+
+    def latencies_seconds(
+        self, source: Optional[int] = None
+    ) -> List[float]:
+        """E2e latencies in seconds, optionally for one source node."""
+        return [
+            r.latency_slots * self.config.slot_duration_s
+            for r in self.deliveries
+            if source is None or r.source == source
+        ]
+
+    def latency_by_source(self) -> Dict[int, LatencyStats]:
+        """Per-source latency summary (the Fig. 9 data series)."""
+        grouped: Dict[int, List[float]] = {}
+        for record in self.deliveries:
+            grouped.setdefault(record.source, []).append(
+                record.latency_slots * self.config.slot_duration_s
+            )
+        return {
+            node: LatencyStats.from_values(values)
+            for node, values in grouped.items()
+        }
+
+    def latency_timeline(
+        self, source: int
+    ) -> List[Tuple[float, float]]:
+        """(delivery time s, latency s) pairs for one node — Fig. 10."""
+        return sorted(
+            (
+                r.delivered_slot * self.config.slot_duration_s,
+                r.latency_slots * self.config.slot_duration_s,
+            )
+            for r in self.deliveries
+            if r.source == source
+        )
+
+    def peak_queue_depth(self, node: Optional[int] = None) -> int:
+        """Highest queue depth seen at ``node`` (or network-wide)."""
+        if node is not None:
+            return self.max_queue_depth.get(node, 0)
+        return max(self.max_queue_depth.values(), default=0)
+
+    def deadline_miss_rate(self, source: Optional[int] = None) -> float:
+        """Fraction of deliveries that missed their deadline (for one
+        source, or network-wide)."""
+        if source is None:
+            delivered = self.delivered
+            missed = self.deadline_misses
+        else:
+            delivered = sum(1 for r in self.deliveries if r.source == source)
+            missed = self.misses_by_source.get(source, 0)
+        return missed / delivered if delivered else 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / generated (1.0 when nothing was generated)."""
+        if self.generated == 0:
+            return 1.0
+        return self.delivered / self.generated

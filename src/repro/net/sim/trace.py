@@ -1,0 +1,132 @@
+"""Event tracing for the TSCH simulator.
+
+A :class:`TraceRecorder` attached to the engine captures every
+transmission attempt with its outcome — the packet-level ground truth
+behind the aggregate metrics.  Use it to debug schedules ("why is this
+link starving?"), to audit collision accounting, or to render a textual
+transmission log / per-link activity summary.
+
+Recording every slot of a long run is memory-heavy; bound the recorder
+with ``max_events`` (drop-oldest) or attach it only around the window of
+interest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..slotframe import Cell
+from ..topology import LinkRef
+
+
+class TxOutcome(Enum):
+    """What happened to one transmission attempt."""
+
+    DELIVERED = "delivered"
+    COLLISION = "collision"
+    HALF_DUPLEX = "half-duplex"
+    CHANNEL_LOSS = "loss"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TxEvent:
+    """One transmission attempt."""
+
+    slot: int
+    cell: Cell
+    link: LinkRef
+    task_id: int
+    seq: int
+    outcome: TxOutcome
+
+
+class TraceRecorder:
+    """Bounded in-memory trace of transmission attempts."""
+
+    def __init__(self, max_events: Optional[int] = 100_000) -> None:
+        self._events: Deque[TxEvent] = deque(maxlen=max_events)
+
+    def record(self, event: TxEvent) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def events(
+        self,
+        link: Optional[LinkRef] = None,
+        outcome: Optional[TxOutcome] = None,
+        since_slot: int = 0,
+    ) -> List[TxEvent]:
+        """Filtered view of the trace."""
+        return [
+            e
+            for e in self._events
+            if (link is None or e.link == link)
+            and (outcome is None or e.outcome is outcome)
+            and e.slot >= since_slot
+        ]
+
+    def outcome_counts(self) -> Dict[TxOutcome, int]:
+        """Histogram of outcomes over the whole trace."""
+        counts: Dict[TxOutcome, int] = {}
+        for event in self._events:
+            counts[event.outcome] = counts.get(event.outcome, 0) + 1
+        return counts
+
+    def link_activity(self) -> Dict[LinkRef, Tuple[int, int]]:
+        """Per-link (attempts, deliveries)."""
+        activity: Dict[LinkRef, List[int]] = {}
+        for event in self._events:
+            entry = activity.setdefault(event.link, [0, 0])
+            entry[0] += 1
+            if event.outcome is TxOutcome.DELIVERED:
+                entry[1] += 1
+        return {
+            link: (attempts, delivered)
+            for link, (attempts, delivered) in activity.items()
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def render(self, limit: int = 40) -> str:
+        """Textual transmission log (most recent ``limit`` events)."""
+        lines = ["slot   cell        link                outcome"]
+        tail = list(self._events)[-limit:]
+        for event in tail:
+            link = f"{event.link.child}->{event.link.direction.value}"
+            lines.append(
+                f"{event.slot:<6d} ({event.cell.slot:3d},{event.cell.channel:2d})"
+                f"    {link:<18s}  {event.outcome.value}"
+            )
+        return "\n".join(lines)
+
+    def render_summary(self) -> str:
+        """Per-link delivery summary, worst links first."""
+        lines = ["link                 attempts  delivered  success"]
+        activity = sorted(
+            self.link_activity().items(),
+            key=lambda kv: kv[1][1] / kv[1][0] if kv[1][0] else 1.0,
+        )
+        for link, (attempts, delivered) in activity:
+            ratio = delivered / attempts if attempts else 1.0
+            name = f"{link.child} {link.direction.value}"
+            lines.append(
+                f"{name:<20s} {attempts:>8d}  {delivered:>9d}  {ratio:7.3f}"
+            )
+        return "\n".join(lines)

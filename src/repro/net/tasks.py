@@ -1,0 +1,206 @@
+"""Periodic tasks and their reduction to per-link cell demands.
+
+A *task* is a periodic data flow (Sec. II-A): a sensor samples and sends
+readings up a predefined uplink path to the gateway; for end-to-end
+(echo) tasks the gateway sends the control decision back down to the
+source/actuator.  Task-level requirements are abstracted to link-level
+cell requirements ``r(e)``: the number of cells a link needs per
+slotframe, which is the input HARP consumes.
+
+Rates are expressed in packets per slotframe and may be fractional
+(Fig. 10 increases node 15's rate to 1.5 packets/slotframe); per-link
+demands are the ceiling of the accumulated rate, matching a schedule
+that must cover the worst-case slotframe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .topology import Direction, LinkRef, TreeTopology
+
+
+@dataclass(frozen=True)
+class Task:
+    """A periodic flow from ``source`` toward the gateway.
+
+    Parameters
+    ----------
+    task_id:
+        Unique identifier.
+    source:
+        Originating device node.
+    rate:
+        Packets generated per slotframe (> 0, may be fractional).
+    echo:
+        When True (the testbed's e2e tasks), every packet is echoed by
+        the gateway back to ``source``, so the task also consumes
+        downlink cells along the reverse path.
+    destination:
+        Target of the downlink leg for echo tasks; defaults to the
+        source (sensor and actuator co-located, as in Sec. VI-B).
+    deadline_slotframes:
+        Optional relative end-to-end deadline in slotframes (the paper's
+        future-work scenario of diverse deadlines).  ``None`` means the
+        implicit deadline = period.
+    """
+
+    task_id: int
+    source: int
+    rate: float = 1.0
+    echo: bool = True
+    destination: Optional[int] = None
+    deadline_slotframes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"task {self.task_id}: rate must be > 0")
+        if self.deadline_slotframes is not None and self.deadline_slotframes <= 0:
+            raise ValueError(
+                f"task {self.task_id}: deadline must be > 0 slotframes"
+            )
+
+    @property
+    def downlink_target(self) -> int:
+        """Destination of the downlink leg (source unless overridden)."""
+        return self.destination if self.destination is not None else self.source
+
+    @property
+    def period_slotframes(self) -> float:
+        """Inter-arrival time between packets, in slotframes."""
+        return 1.0 / self.rate
+
+    @property
+    def effective_deadline_slotframes(self) -> float:
+        """Relative deadline: explicit, or the implicit period."""
+        if self.deadline_slotframes is not None:
+            return self.deadline_slotframes
+        return self.period_slotframes
+
+
+@dataclass
+class TaskSet:
+    """A collection of tasks plus the demand-derivation logic."""
+
+    tasks: List[Task] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate task ids: {ids}")
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def by_id(self, task_id: int) -> Task:
+        """Look up a task by id."""
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(f"no task with id {task_id}")
+
+    def with_rate(self, task_id: int, rate: float) -> "TaskSet":
+        """A copy of the task set with one task's rate replaced.
+
+        This is how the dynamic experiments (Fig. 10, Table II) model a
+        runtime traffic change.
+        """
+        updated = [
+            replace(t, rate=rate) if t.task_id == task_id else t
+            for t in self.tasks
+        ]
+        if all(t.task_id != task_id for t in self.tasks):
+            raise KeyError(f"no task with id {task_id}")
+        return TaskSet(updated)
+
+    def tasks_through_link(
+        self, topology: TreeTopology, link: LinkRef
+    ) -> List[Task]:
+        """Tasks whose routing path traverses ``link``."""
+        out = []
+        for task in self.tasks:
+            if link in self.links_of_task(topology, task):
+                out.append(task)
+        return out
+
+    @staticmethod
+    def links_of_task(topology: TreeTopology, task: Task) -> List[LinkRef]:
+        """The ordered links a packet of ``task`` traverses."""
+        links = topology.uplink_path(task.source)
+        if task.echo:
+            links = links + topology.downlink_path(task.downlink_target)
+        return links
+
+    def link_rates(self, topology: TreeTopology) -> Dict[LinkRef, float]:
+        """Accumulated packet rate per link (packets/slotframe)."""
+        rates: Dict[LinkRef, float] = {}
+        for task in self.tasks:
+            for link in self.links_of_task(topology, task):
+                rates[link] = rates.get(link, 0.0) + task.rate
+        return rates
+
+    def link_demands(self, topology: TreeTopology) -> Dict[LinkRef, int]:
+        """Per-link cell requirement ``r(e)``: ceil of the summed rate."""
+        return {
+            link: int(math.ceil(rate - 1e-9))
+            for link, rate in self.link_rates(topology).items()
+        }
+
+    def total_cells(self, topology: TreeTopology) -> int:
+        """Total cells required by all links (the Sec. VII-A load metric)."""
+        return sum(self.link_demands(topology).values())
+
+
+def e2e_task_per_node(
+    topology: TreeTopology, rate: float = 1.0, echo: bool = True
+) -> TaskSet:
+    """One task per device node — the testbed workload of Sec. VI-B.
+
+    With ``echo=True`` and equal rates, each link's demand equals the
+    size of the child's subtree (parents forward for descendants),
+    exactly as the paper observes.
+    """
+    return TaskSet(
+        [
+            Task(task_id=node, source=node, rate=rate, echo=echo)
+            for node in topology.device_nodes
+        ]
+    )
+
+
+def tasks_on_nodes(
+    sources: Iterable[int], rate: float = 1.0, echo: bool = False
+) -> TaskSet:
+    """Uplink-only (by default) tasks on an explicit node subset —
+    the collision-study workload of Sec. VII-A."""
+    return TaskSet(
+        [
+            Task(task_id=node, source=node, rate=rate, echo=echo)
+            for node in sorted(set(sources))
+        ]
+    )
+
+
+def demands_by_parent(
+    topology: TreeTopology,
+    demands: Mapping[LinkRef, int],
+    direction: Direction,
+) -> Dict[int, Dict[int, int]]:
+    """Group per-link demands by the managing parent node.
+
+    Returns ``{parent_id: {child_id: r(e)}}`` for the given direction —
+    the view each node maintains locally ("each node only maintains the
+    cell requirements for the links passing through it").
+    """
+    grouped: Dict[int, Dict[int, int]] = {}
+    for link, cells in demands.items():
+        if link.direction is not direction or cells <= 0:
+            continue
+        parent = topology.parent_of(link.child)
+        grouped.setdefault(parent, {})[link.child] = cells
+    return grouped

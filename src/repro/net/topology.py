@@ -1,0 +1,493 @@
+"""Tree network topologies for industrial wireless networks.
+
+HARP models the routing topology of an IWN as a tree rooted at the
+gateway (Sec. II-A): every node has exactly one parent (except the
+gateway) and any number of children.  Each *link* connects a child to its
+parent and carries a *layer* attribute equal to the child's hop count to
+the gateway; the links between a node and all of its children therefore
+share one layer value, written ``l(V_i)`` in the paper.
+
+This module provides the :class:`TreeTopology` container plus the
+generators used by the evaluation: the deterministic regular tree and the
+seeded random trees of Sec. VII ("randomly generate 100 network topologies
+with 5 layers and 50 nodes").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+#: Conventional identifier of the gateway / root node.
+GATEWAY_ID = 0
+
+
+class Direction(Enum):
+    """Traffic direction of a link relative to the gateway."""
+
+    UP = "up"
+    DOWN = "down"
+
+    def __repr__(self) -> str:  # compact in layouts and logs
+        return self.value
+
+
+@dataclass(frozen=True)
+class LinkRef:
+    """Reference to a directed link between ``child`` and its parent.
+
+    The tree edge is identified by the child node (each node has exactly
+    one parent); ``direction`` selects uplink (child -> parent) or
+    downlink (parent -> child).  The link's *layer* equals the child's
+    hop count to the gateway.
+    """
+
+    child: int
+    direction: Direction
+
+    def sender(self, topology: "TreeTopology") -> int:
+        """Node that transmits on this link."""
+        if self.direction is Direction.UP:
+            return self.child
+        return topology.parent_of(self.child)
+
+    def receiver(self, topology: "TreeTopology") -> int:
+        """Node that receives on this link."""
+        if self.direction is Direction.UP:
+            return topology.parent_of(self.child)
+        return self.child
+
+    def endpoints(self, topology: "TreeTopology") -> Tuple[int, int]:
+        """(sender, receiver) pair."""
+        return (self.sender(topology), self.receiver(topology))
+
+
+class TopologyError(ValueError):
+    """Raised for malformed trees (cycles, missing parents, bad ids)."""
+
+
+@dataclass
+class TreeTopology:
+    """A rooted tree over integer node ids.
+
+    Built from a ``parent_map``: ``{node_id: parent_id}`` for every
+    non-gateway node.  The gateway (``gateway_id``) must not appear as a
+    key.  Node depths (hop counts) are derived; the *layer* of the links
+    between node ``v`` and its children is ``depth(v) + 1``.
+    """
+
+    parent_map: Dict[int, int]
+    gateway_id: int = GATEWAY_ID
+    _children: Dict[int, List[int]] = field(init=False, repr=False)
+    _depth: Dict[int, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.gateway_id in self.parent_map:
+            raise TopologyError(
+                f"gateway {self.gateway_id} must not have a parent"
+            )
+        nodes = {self.gateway_id} | set(self.parent_map)
+        for child, parent in self.parent_map.items():
+            if parent not in nodes:
+                raise TopologyError(
+                    f"node {child} references unknown parent {parent}"
+                )
+            if child == parent:
+                raise TopologyError(f"node {child} is its own parent")
+        self._children = {node: [] for node in nodes}
+        for child in sorted(self.parent_map):
+            self._children[self.parent_map[child]].append(child)
+        self._depth = {self.gateway_id: 0}
+        frontier = [self.gateway_id]
+        while frontier:
+            node = frontier.pop()
+            for child in self._children[node]:
+                self._depth[child] = self._depth[node] + 1
+                frontier.append(child)
+        if len(self._depth) != len(nodes):
+            unreachable = sorted(nodes - set(self._depth))
+            raise TopologyError(
+                f"nodes unreachable from gateway (cycle?): {unreachable}"
+            )
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[int]:
+        """All node ids including the gateway, ascending."""
+        return sorted(self._depth)
+
+    @property
+    def device_nodes(self) -> List[int]:
+        """All node ids except the gateway, ascending."""
+        return sorted(n for n in self._depth if n != self.gateway_id)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including the gateway."""
+        return len(self._depth)
+
+    def parent_of(self, node: int) -> int:
+        """Parent id of ``node``; the gateway has no parent."""
+        if node == self.gateway_id:
+            raise TopologyError("gateway has no parent")
+        return self.parent_map[node]
+
+    def children_of(self, node: int) -> List[int]:
+        """Children ids of ``node``, ascending."""
+        return list(self._children[node])
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` has no children."""
+        return not self._children[node]
+
+    def depth_of(self, node: int) -> int:
+        """Hop count from ``node`` to the gateway (gateway = 0)."""
+        return self._depth[node]
+
+    def node_layer(self, node: int) -> int:
+        """``l(V_i)``: the layer of links between ``node`` and its
+        children (meaningful for non-leaf nodes)."""
+        return self._depth[node] + 1
+
+    def link_layer(self, child: int) -> int:
+        """Layer of the link between ``child`` and its parent."""
+        return self._depth[child]
+
+    @property
+    def max_layer(self) -> int:
+        """Deepest link layer in the tree."""
+        return max(self._depth.values()) if len(self._depth) > 1 else 0
+
+    def subtree_nodes(self, root: int) -> List[int]:
+        """All nodes of the subtree rooted at ``root`` (inclusive)."""
+        out: List[int] = []
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            out.append(node)
+            frontier.extend(self._children[node])
+        return sorted(out)
+
+    def subtree_size(self, root: int) -> int:
+        """Number of nodes in the subtree rooted at ``root``."""
+        return len(self.subtree_nodes(root))
+
+    def subtree_max_layer(self, root: int) -> int:
+        """``l(G_{V_i})``: the deepest link layer within the subtree."""
+        return max(self._depth[n] for n in self.subtree_nodes(root))
+
+    def path_to_gateway(self, node: int) -> List[int]:
+        """Node ids from ``node`` up to and including the gateway."""
+        path = [node]
+        while path[-1] != self.gateway_id:
+            path.append(self.parent_map[path[-1]])
+        return path
+
+    def uplink_path(self, node: int) -> List[LinkRef]:
+        """Uplink links traversed by a packet from ``node`` to gateway."""
+        return [
+            LinkRef(n, Direction.UP)
+            for n in self.path_to_gateway(node)
+            if n != self.gateway_id
+        ]
+
+    def downlink_path(self, node: int) -> List[LinkRef]:
+        """Downlink links traversed from the gateway to ``node``."""
+        hops = [n for n in self.path_to_gateway(node) if n != self.gateway_id]
+        return [LinkRef(n, Direction.DOWN) for n in reversed(hops)]
+
+    def links(self, direction: Optional[Direction] = None) -> List[LinkRef]:
+        """All links in the tree, optionally filtered by direction."""
+        directions = [direction] if direction else [Direction.UP, Direction.DOWN]
+        return [
+            LinkRef(child, d)
+            for d in directions
+            for child in sorted(self.parent_map)
+        ]
+
+    def non_leaf_nodes(self) -> List[int]:
+        """Nodes with at least one child, ascending."""
+        return sorted(n for n in self._depth if self._children[n])
+
+    def nodes_bottom_up(self) -> List[int]:
+        """Nodes ordered by decreasing depth (ties by id) — the order in
+        which resource interfaces are generated."""
+        return sorted(self._depth, key=lambda n: (-self._depth[n], n))
+
+    def nodes_top_down(self) -> List[int]:
+        """Nodes ordered by increasing depth (ties by id) — the order in
+        which partitions are propagated."""
+        return sorted(self._depth, key=lambda n: (self._depth[n], n))
+
+    def nodes_at_depth(self, depth: int) -> List[int]:
+        """Node ids at an exact hop count."""
+        return sorted(n for n, d in self._depth.items() if d == depth)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._depth
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+    # ------------------------------------------------------------------
+    # derived topologies (network dynamics)
+    # ------------------------------------------------------------------
+
+    def with_attached(self, node: int, parent: int) -> "TreeTopology":
+        """A new topology with ``node`` joined under ``parent``."""
+        if node in self._depth:
+            raise TopologyError(f"node {node} already in the network")
+        if parent not in self._depth:
+            raise TopologyError(f"parent {parent} not in the network")
+        parent_map = dict(self.parent_map)
+        parent_map[node] = parent
+        return TreeTopology(parent_map, gateway_id=self.gateway_id)
+
+    def with_detached(self, node: int) -> "TreeTopology":
+        """A new topology with ``node``'s whole subtree removed."""
+        if node == self.gateway_id:
+            raise TopologyError("cannot detach the gateway")
+        if node not in self._depth:
+            raise TopologyError(f"node {node} not in the network")
+        removed = set(self.subtree_nodes(node))
+        parent_map = {
+            child: parent
+            for child, parent in self.parent_map.items()
+            if child not in removed
+        }
+        return TreeTopology(parent_map, gateway_id=self.gateway_id)
+
+    def with_reparented(self, node: int, new_parent: int) -> "TreeTopology":
+        """A new topology with ``node``'s subtree moved under
+        ``new_parent`` (a link-quality-driven parent switch)."""
+        if node == self.gateway_id:
+            raise TopologyError("cannot reparent the gateway")
+        if node not in self._depth or new_parent not in self._depth:
+            raise TopologyError(f"unknown node in reparent({node}, {new_parent})")
+        if new_parent in self.subtree_nodes(node):
+            raise TopologyError(
+                f"new parent {new_parent} lies inside {node}'s own subtree"
+            )
+        parent_map = dict(self.parent_map)
+        parent_map[node] = new_parent
+        return TreeTopology(parent_map, gateway_id=self.gateway_id)
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+
+
+def regular_tree(
+    depth: int, fanout: int, gateway_id: int = GATEWAY_ID
+) -> TreeTopology:
+    """A complete ``fanout``-ary tree of the given link ``depth``.
+
+    Node ids are assigned breadth-first starting after the gateway id.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    parent_map: Dict[int, int] = {}
+    next_id = gateway_id + 1
+    current_level = [gateway_id]
+    for _ in range(depth):
+        next_level: List[int] = []
+        for parent in current_level:
+            for _ in range(fanout):
+                parent_map[next_id] = parent
+                next_level.append(next_id)
+                next_id += 1
+        current_level = next_level
+    return TreeTopology(parent_map, gateway_id=gateway_id)
+
+
+def chain_topology(length: int, gateway_id: int = GATEWAY_ID) -> TreeTopology:
+    """A single line of ``length`` device nodes below the gateway."""
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    parent_map = {gateway_id + i + 1: gateway_id + i for i in range(length)}
+    return TreeTopology(parent_map, gateway_id=gateway_id)
+
+
+def random_tree(
+    num_devices: int,
+    depth: int,
+    rng: random.Random,
+    max_children: Optional[int] = None,
+    gateway_id: int = GATEWAY_ID,
+) -> TreeTopology:
+    """A random tree with ``num_devices`` device nodes and exact ``depth``.
+
+    Matches the Sec. VII setup ("100 network topologies with 5 layers and
+    50 nodes"): a backbone chain guarantees the requested depth, and the
+    remaining nodes attach uniformly at random to nodes shallower than
+    ``depth`` (subject to ``max_children``).
+
+    Parameters
+    ----------
+    num_devices:
+        Device nodes, excluding the gateway.  Must be >= ``depth``.
+    depth:
+        Exact maximum link layer of the result.
+    rng:
+        Seeded :class:`random.Random` for reproducibility.
+    max_children:
+        Optional cap on a node's child count (the gateway included).
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if num_devices < depth:
+        raise ValueError(
+            f"need at least {depth} devices to reach depth {depth}, "
+            f"got {num_devices}"
+        )
+    parent_map: Dict[int, int] = {}
+    depths: Dict[int, int] = {gateway_id: 0}
+    child_count: Dict[int, int] = {gateway_id: 0}
+
+    # Backbone chain pinning the maximum depth.
+    previous = gateway_id
+    next_id = gateway_id + 1
+    for level in range(1, depth + 1):
+        parent_map[next_id] = previous
+        depths[next_id] = level
+        child_count[previous] = child_count.get(previous, 0) + 1
+        child_count[next_id] = 0
+        previous = next_id
+        next_id += 1
+
+    for _ in range(num_devices - depth):
+        candidates = [
+            n
+            for n, d in depths.items()
+            if d < depth
+            and (max_children is None or child_count[n] < max_children)
+        ]
+        if not candidates:
+            raise ValueError(
+                "max_children too small to attach all devices "
+                f"(placed {next_id - gateway_id - 1} of {num_devices})"
+            )
+        parent = rng.choice(sorted(candidates))
+        parent_map[next_id] = parent
+        depths[next_id] = depths[parent] + 1
+        child_count[parent] += 1
+        child_count[next_id] = 0
+        next_id += 1
+    return TreeTopology(parent_map, gateway_id=gateway_id)
+
+
+def layered_random_tree(
+    num_devices: int,
+    depth: int,
+    rng: random.Random,
+    gateway_id: int = GATEWAY_ID,
+) -> TreeTopology:
+    """A random tree with controlled breadth per layer.
+
+    Used for the Sec. VII topology ensembles ("100 network topologies
+    with 5 layers and 50 nodes"): device counts per layer are drawn with
+    mild randomness around an even split (every layer keeps at least one
+    node so the requested depth is exact), then every node attaches to a
+    uniformly random parent in the previous layer.  Compared to
+    :func:`random_tree` (uniform attachment, which yields chain-heavy
+    shapes), this matches the breadth of deployed IWN topologies like
+    the paper's Fig. 7(c) testbed.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if num_devices < depth:
+        raise ValueError(
+            f"need at least {depth} devices for depth {depth}, "
+            f"got {num_devices}"
+        )
+    # Draw per-layer sizes: start from an even split, then jitter by
+    # moving nodes between random layers.
+    base = num_devices // depth
+    sizes = [base] * depth
+    for i in range(num_devices - base * depth):
+        sizes[i % depth] += 1
+    for _ in range(depth * 2):
+        src = rng.randrange(depth)
+        dst = rng.randrange(depth)
+        if sizes[src] > 1:
+            sizes[src] -= 1
+            sizes[dst] += 1
+
+    parent_map: Dict[int, int] = {}
+    previous_level = [gateway_id]
+    next_id = gateway_id + 1
+    for size in sizes:
+        level: List[int] = []
+        for _ in range(size):
+            parent_map[next_id] = rng.choice(previous_level)
+            level.append(next_id)
+            next_id += 1
+        previous_level = level
+    return TreeTopology(parent_map, gateway_id=gateway_id)
+
+
+def balanced_tree_with_layers(
+    layer_sizes: Sequence[int], gateway_id: int = GATEWAY_ID
+) -> TreeTopology:
+    """A tree with a prescribed number of nodes per layer.
+
+    ``layer_sizes[i]`` is the node count at link layer ``i + 1``.  Nodes
+    at each layer are distributed round-robin over the previous layer,
+    giving an even, deterministic shape (used for the testbed-like
+    topology of Fig. 7(c)).
+    """
+    if not layer_sizes or any(s < 1 for s in layer_sizes):
+        raise ValueError(f"layer sizes must be positive, got {layer_sizes}")
+    parent_map: Dict[int, int] = {}
+    previous_level = [gateway_id]
+    next_id = gateway_id + 1
+    for size in layer_sizes:
+        level: List[int] = []
+        for i in range(size):
+            parent_map[next_id] = previous_level[i % len(previous_level)]
+            level.append(next_id)
+            next_id += 1
+        previous_level = level
+    return TreeTopology(parent_map, gateway_id=gateway_id)
+
+
+def decompose_forest(
+    parent_choices: Mapping[int, Sequence[int]],
+    gateway_id: int = GATEWAY_ID,
+) -> TreeTopology:
+    """Reduce a multi-parent (mesh-ish) topology to a tree (footnote 1).
+
+    The paper's future-work escape hatch for non-tree routing topologies:
+    when nodes have several candidate parents, pick for each node the
+    candidate with the smallest resulting depth (ties by id), yielding a
+    shortest-path tree HARP can manage.  Candidates must ultimately lead
+    to the gateway.
+    """
+    depths: Dict[int, int] = {gateway_id: 0}
+    parent_map: Dict[int, int] = {}
+    pending: Set[int] = set(parent_choices)
+    progressed = True
+    while pending and progressed:
+        progressed = False
+        for node in sorted(pending):
+            known = [p for p in parent_choices[node] if p in depths]
+            if not known:
+                continue
+            best = min(known, key=lambda p: (depths[p], p))
+            parent_map[node] = best
+            depths[node] = depths[best] + 1
+            pending.discard(node)
+            progressed = True
+    if pending:
+        raise TopologyError(
+            f"nodes cannot reach the gateway: {sorted(pending)}"
+        )
+    return TreeTopology(parent_map, gateway_id=gateway_id)

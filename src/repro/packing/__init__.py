@@ -1,0 +1,55 @@
+"""2D packing substrate for HARP's resource geometry.
+
+Every resource problem in the paper reduces to axis-aligned rectangle
+packing over (time slot, channel) space:
+
+* Problem 1 (component composition)  -> :func:`compose_components`
+* Problem 2 (feasibility test)       -> :func:`can_pack`
+* Problem 3 (partition adjustment)   -> :func:`pack_with_obstacles`
+  plus the orchestration in :mod:`repro.core.adjustment`.
+"""
+
+from .exact import SearchBudgetExceeded, exact_min_height, exact_pack
+from .composition import (
+    CompositionResult,
+    compose_components,
+    compose_single_rectangle,
+)
+from .free_space import FreeSpace, pack_with_obstacles
+from .geometry import (
+    PlacedRect,
+    Rect,
+    any_overlap,
+    bounding_box,
+    coverage_grid,
+    total_area,
+)
+from .rpp import FeasibilityResult, can_pack
+from .skyline import PackResult, SkylinePacker, pack_rects
+from .strip import PackingError, StripResult, sort_for_packing, strip_pack
+
+__all__ = [
+    "CompositionResult",
+    "FeasibilityResult",
+    "FreeSpace",
+    "PackResult",
+    "PackingError",
+    "PlacedRect",
+    "SearchBudgetExceeded",
+    "Rect",
+    "SkylinePacker",
+    "StripResult",
+    "any_overlap",
+    "bounding_box",
+    "can_pack",
+    "compose_components",
+    "compose_single_rectangle",
+    "coverage_grid",
+    "exact_min_height",
+    "exact_pack",
+    "pack_rects",
+    "pack_with_obstacles",
+    "sort_for_packing",
+    "strip_pack",
+    "total_area",
+]

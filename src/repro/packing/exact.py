@@ -1,0 +1,141 @@
+"""Exact rectangle/strip packing by branch-and-bound (small instances).
+
+The paper chooses the best-fit skyline heuristic over exact solvers
+because HARP must run on resource-constrained devices; this module
+provides the exact reference so the heuristic's solution quality can be
+*measured* (see ``benchmarks/test_bench_heuristic_quality.py``) instead
+of assumed.
+
+The solver enumerates placements at *corner candidates* (the classic
+bottom-left candidate set: the origin plus the top-left and bottom-right
+corners of already-placed rectangles), ordering rectangles by
+non-increasing area and pruning on bounds and symmetry between identical
+rectangles.  Exponential in the worst case — intended for n ≲ 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .geometry import PlacedRect, Rect
+from .strip import strip_pack
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The branch-and-bound search hit its node limit."""
+
+
+@dataclass
+class _SearchState:
+    nodes: int = 0
+
+
+def exact_pack(
+    rects: Sequence[Rect],
+    width: int,
+    height: int,
+    node_limit: int = 200_000,
+) -> Optional[Dict[Hashable, PlacedRect]]:
+    """Decide exactly whether ``rects`` fit a ``width`` x ``height`` box.
+
+    Returns a tag -> placement layout, or ``None`` when provably
+    infeasible.  Raises :class:`SearchBudgetExceeded` when the search
+    exceeds ``node_limit`` explored nodes (answer unknown).
+    """
+    real = sorted(
+        (r for r in rects if not r.is_empty),
+        key=lambda r: (-r.area, -r.width, -r.height, repr(r.tag)),
+    )
+    empties = [r for r in rects if r.is_empty]
+    if not real:
+        return {r.tag: r.at(0, 0) for r in empties}
+    if sum(r.area for r in real) > width * height:
+        return None
+    if any(r.width > width or r.height > height for r in real):
+        return None
+
+    state = _SearchState()
+    placed: List[PlacedRect] = []
+
+    def candidates() -> List[Tuple[int, int]]:
+        # Any packing can be normalized by pushing every rectangle left
+        # and down until blocked; in normal form each x-coordinate is 0
+        # or some placed rectangle's right edge, and each y-coordinate is
+        # 0 or some top edge — so the cross product is a complete
+        # candidate set.
+        xs: Set[int] = {0}
+        ys: Set[int] = {0}
+        for p in placed:
+            xs.add(p.x2)
+            ys.add(p.y2)
+        return sorted(
+            ((x, y) for x in xs for y in ys), key=lambda xy: (xy[1], xy[0])
+        )
+
+    def fits(rect: Rect, x: int, y: int) -> bool:
+        if x + rect.width > width or y + rect.height > height:
+            return False
+        trial = rect.at(x, y)
+        return all(not trial.overlaps(p) for p in placed)
+
+    def solve(index: int) -> bool:
+        state.nodes += 1
+        if state.nodes > node_limit:
+            raise SearchBudgetExceeded(
+                f"exceeded {node_limit} nodes at depth {index}"
+            )
+        if index == len(real):
+            return True
+        rect = real[index]
+        # Symmetry pruning: identical consecutive rectangles must be
+        # placed in lexicographically non-decreasing positions.
+        floor_pos: Optional[Tuple[int, int]] = None
+        if index > 0:
+            prev = real[index - 1]
+            if (prev.width, prev.height) == (rect.width, rect.height):
+                anchor = placed[-1]
+                floor_pos = (anchor.y, anchor.x)
+        for x, y in candidates():
+            if floor_pos is not None and (y, x) < floor_pos:
+                continue
+            if not fits(rect, x, y):
+                continue
+            placed.append(rect.at(x, y))
+            if solve(index + 1):
+                return True
+            placed.pop()
+        return False
+
+    if not solve(0):
+        return None
+    layout = {p.tag: p for p in placed}
+    for r in empties:
+        layout[r.tag] = r.at(0, 0)
+    return layout
+
+
+def exact_min_height(
+    rects: Sequence[Rect],
+    width: int,
+    node_limit: int = 200_000,
+) -> int:
+    """The provably minimal strip height for ``rects`` at ``width``.
+
+    Starts from the area/max-height lower bound and searches upward; the
+    skyline heuristic's height is the (always feasible) upper bound, so
+    the loop terminates.  Raises :class:`SearchBudgetExceeded` when any
+    decision exceeds the node budget.
+    """
+    real = [r for r in rects if not r.is_empty]
+    if not real:
+        return 0
+    heuristic = strip_pack(rects, width).height
+    lower = max(
+        -(-sum(r.area for r in real) // width),
+        max(r.height for r in real),
+    )
+    for height in range(lower, heuristic):
+        if exact_pack(real, width, height, node_limit) is not None:
+            return height
+    return heuristic

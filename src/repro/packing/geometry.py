@@ -1,0 +1,210 @@
+"""Axis-aligned rectangle primitives used across the packing substrate.
+
+All HARP resource problems (component composition, feasibility testing and
+partition adjustment) reduce to two-dimensional packing over rectangles
+whose axes are *time slots* (x / width) and *channels* (y / height).
+This module provides the shared geometric vocabulary: :class:`Rect` for a
+size, :class:`PlacedRect` for a size at a position, and the overlap /
+containment predicates the solvers and the test-suite invariants rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A rectangle size: ``width`` slots by ``height`` channels.
+
+    Rectangles are pure sizes; a rectangle placed at a position is a
+    :class:`PlacedRect`.  An optional ``tag`` identifies the owner (e.g.
+    the subtree-root node id whose resource component this is) so that
+    packing layouts can be mapped back to network entities.
+    """
+
+    width: int
+    height: int
+    tag: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"rectangle dimensions must be non-negative, "
+                f"got {self.width}x{self.height}"
+            )
+
+    @property
+    def area(self) -> int:
+        """Number of cells covered by this rectangle."""
+        return self.width * self.height
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rectangle covers no cells."""
+        return self.width == 0 or self.height == 0
+
+    def fits_in(self, width: int, height: int) -> bool:
+        """Whether this rectangle fits inside a ``width`` x ``height`` box."""
+        return self.width <= width and self.height <= height
+
+    def rotated(self) -> "Rect":
+        """The 90-degree rotation (width and height swapped)."""
+        return Rect(self.height, self.width, self.tag)
+
+    def at(self, x: int, y: int) -> "PlacedRect":
+        """Place this rectangle with its lower-left corner at ``(x, y)``."""
+        return PlacedRect(x, y, self.width, self.height, self.tag)
+
+
+@dataclass(frozen=True)
+class PlacedRect:
+    """A rectangle positioned in the plane.
+
+    ``x`` is the starting slot (inclusive), ``y`` the lowest channel index
+    (inclusive).  The covered half-open region is
+    ``[x, x + width) x [y, y + height)``.
+    """
+
+    x: int
+    y: int
+    width: int
+    height: int
+    tag: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"placed rectangle dimensions must be non-negative, "
+                f"got {self.width}x{self.height}"
+            )
+
+    @property
+    def x2(self) -> int:
+        """One past the last covered slot."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> int:
+        """One past the highest covered channel."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> int:
+        """Number of cells covered by this rectangle."""
+        return self.width * self.height
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rectangle covers no cells."""
+        return self.width == 0 or self.height == 0
+
+    @property
+    def size(self) -> Rect:
+        """The rectangle's size, discarding its position."""
+        return Rect(self.width, self.height, self.tag)
+
+    def overlaps(self, other: "PlacedRect") -> bool:
+        """Whether the two rectangles share at least one cell."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def contains(self, other: "PlacedRect") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle.
+
+        An empty ``other`` is contained anywhere by convention.
+        """
+        if other.is_empty:
+            return True
+        return (
+            self.x <= other.x
+            and other.x2 <= self.x2
+            and self.y <= other.y
+            and other.y2 <= self.y2
+        )
+
+    def contains_cell(self, x: int, y: int) -> bool:
+        """Whether cell ``(x, y)`` is covered by this rectangle."""
+        return self.x <= x < self.x2 and self.y <= y < self.y2
+
+    def intersection(self, other: "PlacedRect") -> Optional["PlacedRect"]:
+        """The overlapping region, or ``None`` when disjoint."""
+        x1 = max(self.x, other.x)
+        y1 = max(self.y, other.y)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x1 >= x2 or y1 >= y2:
+            return None
+        return PlacedRect(x1, y1, x2 - x1, y2 - y1)
+
+    def translated(self, dx: int, dy: int) -> "PlacedRect":
+        """A copy shifted by ``(dx, dy)``."""
+        return PlacedRect(self.x + dx, self.y + dy, self.width, self.height, self.tag)
+
+    def cells(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over every ``(slot, channel)`` cell covered."""
+        for cx in range(self.x, self.x2):
+            for cy in range(self.y, self.y2):
+                yield (cx, cy)
+
+    def distance_to(self, other: "PlacedRect") -> int:
+        """Chebyshev gap between two rectangles (0 when touching/overlapping).
+
+        Used by the partition-adjustment heuristic (Alg. 2) to pick the
+        partition "closest" to the grown one.
+        """
+        dx = max(self.x - other.x2, other.x - self.x2, 0)
+        dy = max(self.y - other.y2, other.y - self.y2, 0)
+        return max(dx, dy)
+
+
+def any_overlap(rects: Sequence[PlacedRect]) -> bool:
+    """Whether any pair in ``rects`` overlaps (O(n^2); for validation)."""
+    for i, a in enumerate(rects):
+        for b in rects[i + 1:]:
+            if a.overlaps(b):
+                return True
+    return False
+
+
+def bounding_box(rects: Sequence[PlacedRect]) -> PlacedRect:
+    """Smallest placed rectangle containing every rectangle in ``rects``.
+
+    Raises :class:`ValueError` on an empty sequence.
+    """
+    non_empty = [r for r in rects if not r.is_empty]
+    if not non_empty:
+        raise ValueError("bounding_box of no (non-empty) rectangles")
+    x1 = min(r.x for r in non_empty)
+    y1 = min(r.y for r in non_empty)
+    x2 = max(r.x2 for r in non_empty)
+    y2 = max(r.y2 for r in non_empty)
+    return PlacedRect(x1, y1, x2 - x1, y2 - y1)
+
+
+def total_area(rects: Iterable[Rect]) -> int:
+    """Sum of rectangle areas."""
+    return sum(r.area for r in rects)
+
+
+def coverage_grid(
+    rects: Sequence[PlacedRect], width: int, height: int
+) -> List[List[int]]:
+    """Per-cell occupancy counts over a ``width`` x ``height`` region.
+
+    Returns ``grid[x][y]`` = number of rectangles covering cell (x, y).
+    Intended for exhaustive validation in tests, not for hot paths.
+    """
+    grid = [[0] * height for _ in range(width)]
+    for r in rects:
+        for x in range(max(r.x, 0), min(r.x2, width)):
+            for y in range(max(r.y, 0), min(r.y2, height)):
+                grid[x][y] += 1
+    return grid

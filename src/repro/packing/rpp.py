@@ -1,0 +1,86 @@
+"""Rectangle-packing feasibility test (Problem 2 of the paper).
+
+Decides whether a set of resource components can be packed, overlap-free,
+inside a fixed partition box.  The paper applies the best-fit skyline
+heuristic to this bounded rectangle-packing problem; like the paper's
+implementation this is a *sufficient* test — a ``feasible=False`` answer
+means the heuristic found no packing, not that none exists.  We run the
+heuristic in both axis orientations to reduce false negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from .geometry import PlacedRect, Rect
+from .skyline import SkylinePacker
+from .strip import sort_for_packing
+
+
+@dataclass
+class FeasibilityResult:
+    """Outcome of a feasibility test.
+
+    When ``feasible``, ``layout`` maps each component tag to a placement
+    relative to the box origin in (slot, channel) coordinates.
+    """
+
+    feasible: bool
+    layout: Dict[Hashable, PlacedRect] = field(default_factory=dict)
+
+
+def can_pack(
+    components: Sequence[Rect], n_slots: int, n_channels: int
+) -> FeasibilityResult:
+    """Test whether ``components`` fit an ``n_slots`` x ``n_channels`` box.
+
+    Components are (slots, channels) rectangles.  Quick rejections (area
+    and per-dimension) run first; then the skyline heuristic is tried
+    with slots as the strip width, and, failing that, with channels as
+    the strip width (layout transposed back).
+    """
+    real = [c for c in components if not c.is_empty]
+    empties = [c for c in components if c.is_empty]
+    if not real:
+        return FeasibilityResult(True, {c.tag: c.at(0, 0) for c in empties})
+    if n_slots <= 0 or n_channels <= 0:
+        return FeasibilityResult(False)
+    if sum(c.area for c in real) > n_slots * n_channels:
+        return FeasibilityResult(False)
+    if any(c.width > n_slots or c.height > n_channels for c in real):
+        return FeasibilityResult(False)
+
+    ordered = sort_for_packing(real)
+    layout = _try_orientation(ordered, n_slots, n_channels, transpose=False)
+    if layout is None:
+        layout = _try_orientation(ordered, n_slots, n_channels, transpose=True)
+    if layout is None:
+        return FeasibilityResult(False)
+    for c in empties:
+        layout[c.tag] = c.at(0, 0)
+    return FeasibilityResult(True, layout)
+
+
+def _try_orientation(
+    components: Sequence[Rect],
+    n_slots: int,
+    n_channels: int,
+    transpose: bool,
+) -> Optional[Dict[Hashable, PlacedRect]]:
+    """One bounded skyline run; returns a (slot, channel) layout or None."""
+    if transpose:
+        rects: List[Rect] = [c.rotated() for c in components]
+        width, limit = n_channels, n_slots
+    else:
+        rects = list(components)
+        width, limit = n_slots, n_channels
+    result = SkylinePacker(width, max_height=limit).pack(rects)
+    if not result.success:
+        return None
+    if transpose:
+        return {
+            p.tag: PlacedRect(p.y, p.x, p.height, p.width, p.tag)
+            for p in result.placements
+        }
+    return {p.tag: p for p in result.placements}

@@ -1,0 +1,57 @@
+"""Strip packing: fixed width, minimize height (the SPP of Problem 1).
+
+A thin policy layer over :mod:`repro.packing.skyline`: rectangles are
+presorted (non-increasing height, then width — the standard order for
+skyline heuristics, which strongly improves solution quality) and packed
+into an open-ended strip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .geometry import PlacedRect, Rect
+from .skyline import SkylinePacker
+
+
+class PackingError(ValueError):
+    """Raised when an input rectangle cannot fit the strip at all."""
+
+
+@dataclass
+class StripResult:
+    """A strip-packing layout: ``placements`` within a strip of ``width``,
+    reaching ``height`` rows."""
+
+    width: int
+    height: int
+    placements: List[PlacedRect]
+
+
+def sort_for_packing(rects: Sequence[Rect]) -> List[Rect]:
+    """Order rectangles for the skyline heuristic.
+
+    Non-increasing height, ties by non-increasing width, final ties by
+    tag representation so the order (hence the layout) is deterministic
+    across runs regardless of input order.
+    """
+    return sorted(rects, key=lambda r: (-r.height, -r.width, repr(r.tag)))
+
+
+def strip_pack(rects: Sequence[Rect], width: int) -> StripResult:
+    """Pack ``rects`` into a strip of the given ``width``, minimizing height.
+
+    Raises :class:`PackingError` when any rectangle is wider than the
+    strip (such an input can never be packed).
+    """
+    for rect in rects:
+        if not rect.is_empty and rect.width > width:
+            raise PackingError(
+                f"rectangle {rect.width}x{rect.height} (tag={rect.tag!r}) "
+                f"is wider than the strip width {width}"
+            )
+    result = SkylinePacker(width).pack(sort_for_packing(rects))
+    if not result.success:  # pragma: no cover - guarded by width check above
+        raise PackingError(f"unplaceable rectangles: {result.unplaced}")
+    return StripResult(width=width, height=result.height, placements=result.placements)

@@ -1,0 +1,22 @@
+"""Link schedulers: HARP plus the Sec. VII baselines."""
+
+from .apas import APaSAdjustment, APaSManager, APaSScheduler
+from .base import LinkScheduler, active_links
+from .harp_adapter import HARPScheduler
+from .ldsf import LDSFScheduler
+from .msf import MSFScheduler, node_eui64, sax_hash
+from .random_sched import RandomScheduler
+
+__all__ = [
+    "APaSAdjustment",
+    "APaSManager",
+    "APaSScheduler",
+    "HARPScheduler",
+    "LDSFScheduler",
+    "LinkScheduler",
+    "MSFScheduler",
+    "RandomScheduler",
+    "active_links",
+    "node_eui64",
+    "sax_hash",
+]

@@ -1,0 +1,56 @@
+"""Common interface for the link schedulers compared in Sec. VII.
+
+A :class:`LinkScheduler` turns per-link cell demands into a
+:class:`~repro.net.slotframe.Schedule`.  Distributed baselines (random,
+MSF, LDSF) let every node pick cells without global coordination, so the
+schedules they produce may conflict; the collision metric of Fig. 11 is
+:meth:`repro.net.slotframe.Schedule.conflicts` over the result.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Optional
+
+from ..net.slotframe import ConflictReport, Schedule, SlotframeConfig
+from ..net.topology import LinkRef, TreeTopology
+
+
+class LinkScheduler(ABC):
+    """Builds a network schedule from link demands."""
+
+    #: Human-readable scheduler name (used in experiment reports).
+    name: str = "abstract"
+
+    @abstractmethod
+    def build_schedule(
+        self,
+        topology: TreeTopology,
+        link_demands: Mapping[LinkRef, int],
+        config: SlotframeConfig,
+        rng: random.Random,
+    ) -> Schedule:
+        """Assign cells to every link with positive demand."""
+
+    def collision_probability(
+        self,
+        topology: TreeTopology,
+        link_demands: Mapping[LinkRef, int],
+        config: SlotframeConfig,
+        rng: random.Random,
+    ) -> float:
+        """Convenience: build a schedule and measure its collision
+        probability (the Fig. 11 metric)."""
+        schedule = self.build_schedule(topology, link_demands, config, rng)
+        return schedule.conflicts(topology).collision_probability
+
+
+def active_links(
+    link_demands: Mapping[LinkRef, int]
+) -> List[LinkRef]:
+    """Links with positive demand in a deterministic order."""
+    return sorted(
+        (link for link, cells in link_demands.items() if cells > 0),
+        key=lambda link: (link.direction.value, link.child),
+    )

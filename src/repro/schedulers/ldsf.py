@@ -1,0 +1,93 @@
+"""LDSF-style layered block scheduler (Sec. VII-A baseline).
+
+Kotsiou et al.'s Low-latency Distributed Scheduling Function "divides
+the slotframes into small blocks and assigns blocks to the links based
+on their layers to reduce latency, but the cell assignment within each
+block is random" (the paper's own characterization, which is what we
+implement).  Layer blocks give partial isolation — links at different
+layers never collide — so LDSF sits between the random scheduler and
+HARP in Fig. 11, but uncoordinated random choice *within* a block still
+collides as load grows.
+
+Block order follows the compliant-latency idea: for uplink traffic the
+deepest layer owns the earliest block (packets sweep left to right as
+they climb); downlink blocks mirror this in the second half of the
+frame when downlink demand exists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Tuple
+
+from ..net.slotframe import Cell, Schedule, SlotframeConfig
+from ..net.topology import Direction, LinkRef, TreeTopology
+from .base import LinkScheduler, active_links
+
+
+class LDSFScheduler(LinkScheduler):
+    """Per-layer slot blocks, random cells inside each block."""
+
+    name = "ldsf"
+
+    def build_schedule(
+        self,
+        topology: TreeTopology,
+        link_demands: Mapping[LinkRef, int],
+        config: SlotframeConfig,
+        rng: random.Random,
+    ) -> Schedule:
+        schedule = Schedule(config)
+        links = active_links(link_demands)
+        has_down = any(link.direction is Direction.DOWN for link in links)
+        max_layer = max(topology.max_layer, 1)
+
+        for link in links:
+            start, length = self._block(
+                topology, link, config, max_layer, has_down
+            )
+            block_cells = length * config.num_channels
+            demand = link_demands[link]
+            in_block = min(demand, block_cells)
+            picks = rng.sample(range(block_cells), in_block)
+            for index in picks:
+                cell = Cell(start + index % length, index // length)
+                schedule.assign(cell, link)
+            # Overflow: a link whose demand exceeds its layer block spills
+            # into uniformly random cells of the whole frame (a real LDSF
+            # node would borrow cells from other blocks).
+            spilled = 0
+            chosen = {Cell(start + i % length, i // length) for i in picks}
+            while spilled < demand - in_block:
+                cell = Cell(
+                    rng.randrange(config.num_slots),
+                    rng.randrange(config.num_channels),
+                )
+                if cell in chosen:
+                    continue
+                chosen.add(cell)
+                schedule.assign(cell, link)
+                spilled += 1
+        return schedule
+
+    @staticmethod
+    def _block(
+        topology: TreeTopology,
+        link: LinkRef,
+        config: SlotframeConfig,
+        max_layer: int,
+        has_down: bool,
+    ) -> Tuple[int, int]:
+        """(start slot, length) of the block assigned to ``link``."""
+        layer = topology.link_layer(link.child)
+        if has_down:
+            half = config.num_slots // 2
+            block_len = max(1, half // max_layer)
+            if link.direction is Direction.UP:
+                start = (max_layer - layer) * block_len
+            else:
+                start = half + (layer - 1) * block_len
+        else:
+            block_len = max(1, config.num_slots // max_layer)
+            start = (max_layer - layer) * block_len
+        return start, block_len

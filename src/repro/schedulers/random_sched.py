@@ -1,0 +1,45 @@
+"""Random distributed scheduler (Sec. VII-A baseline).
+
+"The random scheduler lets each node randomly select cell(s) in the
+slotframe for transmissions."  Every link draws its required cells
+uniformly at random over the whole slotframe, without replacement within
+the link (a node never double-books itself for one link) but with no
+coordination across links — the worst case for schedule collisions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from ..net.slotframe import Cell, Schedule, SlotframeConfig
+from ..net.topology import LinkRef, TreeTopology
+from .base import LinkScheduler, active_links
+
+
+class RandomScheduler(LinkScheduler):
+    """Uniform random cell selection per link."""
+
+    name = "random"
+
+    def build_schedule(
+        self,
+        topology: TreeTopology,
+        link_demands: Mapping[LinkRef, int],
+        config: SlotframeConfig,
+        rng: random.Random,
+    ) -> Schedule:
+        schedule = Schedule(config)
+        total_cells = config.num_slots * config.num_channels
+        for link in active_links(link_demands):
+            demand = link_demands[link]
+            if demand > total_cells:
+                raise ValueError(
+                    f"link {link} demands {demand} cells but the slotframe "
+                    f"has only {total_cells}"
+                )
+            picks = rng.sample(range(total_cells), demand)
+            for index in picks:
+                cell = Cell(index % config.num_slots, index // config.num_slots)
+                schedule.assign(cell, link)
+        return schedule

@@ -1,0 +1,192 @@
+"""Tests for the distributed HARP agents.
+
+The headline property: per-node agents with strictly local state,
+communicating only parent<->child protocol messages, reproduce the
+centralized implementation's schedule exactly and keep every HARP
+invariant through dynamic adjustments.
+"""
+
+import random
+
+import pytest
+
+from repro.agents import AgentRuntime, LocalState
+from repro.core.link_sched import id_priority
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node, tasks_on_nodes
+from repro.net.topology import Direction, LinkRef, TreeTopology, layered_random_tree
+
+
+@pytest.fixture
+def tree():
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3, 7: 3})
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=80)
+
+
+def schedules_equal(a, b) -> bool:
+    if set(a.links) != set(b.links):
+        return False
+    return all(
+        sorted(a.cells_of(link)) == sorted(b.cells_of(link))
+        for link in a.links
+    )
+
+
+class TestStateLocality:
+    def test_agents_hold_only_local_topology(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        state = runtime.agents[1].state
+        assert state.parent == 0
+        assert state.children == [3, 4]
+        assert state.non_leaf_children == {3}
+        # No global structures anywhere in the state.
+        assert not hasattr(state, "topology")
+
+    def test_demands_restricted_to_own_links(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        demands = runtime.agents[3].state.link_demands[Direction.UP]
+        assert set(demands) == {6, 7}
+
+    def test_leaf_agents_start_silent(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        assert runtime.agents[6].start() == []
+
+
+class TestStaticPhase:
+    def test_collision_free_and_isolated(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        runtime.run_static_phase()
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(tree)
+        runtime.validate_isolation()
+
+    def test_matches_centralized_reference(self, tree, config):
+        tasks = e2e_task_per_node(tree)
+        runtime = AgentRuntime(tree, tasks, config)
+        runtime.run_static_phase()
+        harp = HarpNetwork(tree, tasks, config, priority=id_priority())
+        harp.allocate()
+        assert schedules_equal(runtime.build_schedule(), harp.schedule)
+
+    def test_matches_centralized_on_random_ensembles(self, config):
+        for seed in range(6):
+            topology = layered_random_tree(25, 4, random.Random(seed))
+            tasks = e2e_task_per_node(topology)
+            big = SlotframeConfig(num_slots=299)
+            runtime = AgentRuntime(topology, tasks, big)
+            runtime.run_static_phase()
+            harp = HarpNetwork(topology, tasks, big, priority=id_priority())
+            harp.allocate()
+            assert schedules_equal(runtime.build_schedule(), harp.schedule), seed
+
+    def test_message_count_linear_in_nodes(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        messages = runtime.run_static_phase()
+        # POST-intf per non-leaf device x2 dirs is bundled into one msg;
+        # plus POST-part and per-link schedule updates: well under any
+        # quadratic blowup.
+        assert messages < 5 * len(tree.nodes)
+
+    def test_uplink_only_workload(self, tree, config):
+        tasks = tasks_on_nodes([6, 7, 5], rate=2.0)
+        runtime = AgentRuntime(tree, tasks, config)
+        runtime.run_static_phase()
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(tree)
+        demands = tasks.link_demands(tree)
+        for link, demand in demands.items():
+            assert len(schedule.cells_of(link)) == demand
+
+
+class TestDynamicPhase:
+    def test_local_absorption_when_region_has_room(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        runtime.run_static_phase()
+        agent = runtime.agents[3]
+        region = agent.state.partitions[(Direction.UP, agent.state.own_layer)]
+        current = sum(agent.state.link_demands[Direction.UP].values())
+        if region.width > current:
+            messages = runtime.request_demand_increase(
+                6, Direction.UP, agent.state.link_demands[Direction.UP][6] + 1
+            )
+            runtime.build_schedule().validate_collision_free(tree)
+            # Only schedule updates, no PUT-intf / PUT-part.
+            assert runtime.plane.stats.messages_by_endpoint[
+                ("intf", "PUT")
+            ] == 0
+
+    def test_escalated_adjustment_keeps_invariants(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        runtime.run_static_phase()
+        messages = runtime.request_demand_increase(6, Direction.UP, 5)
+        assert messages > 0
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(tree)
+        runtime.validate_isolation()
+        assert len(schedule.cells_of(LinkRef(6, Direction.UP))) == 5
+
+    def test_sequence_of_adjustments(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        runtime.run_static_phase()
+        for child, cells in [(6, 3), (7, 2), (5, 4), (6, 5), (2, 3)]:
+            runtime.request_demand_increase(child, Direction.UP, cells)
+            schedule = runtime.build_schedule()
+            schedule.validate_collision_free(tree)
+            runtime.validate_isolation()
+            assert len(
+                schedule.cells_of(LinkRef(child, Direction.UP))
+            ) == cells
+
+    def test_gateway_child_increase(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        runtime.run_static_phase()
+        runtime.request_demand_increase(2, Direction.UP, 4)
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(tree)
+        assert len(schedule.cells_of(LinkRef(2, Direction.UP))) == 4
+
+    def test_downlink_adjustment(self, tree, config):
+        runtime = AgentRuntime(tree, e2e_task_per_node(tree), config)
+        runtime.run_static_phase()
+        runtime.request_demand_increase(6, Direction.DOWN, 4)
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(tree)
+        assert len(schedule.cells_of(LinkRef(6, Direction.DOWN))) == 4
+
+
+class TestScale:
+    def test_testbed_scale_distributed_run(self):
+        from repro.experiments.topologies import testbed_topology
+
+        topology = testbed_topology()
+        tasks = e2e_task_per_node(topology)
+        runtime = AgentRuntime(topology, tasks, SlotframeConfig())
+        runtime.run_static_phase()
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(topology)
+        runtime.validate_isolation()
+        demands = tasks.link_demands(topology)
+        for link, demand in demands.items():
+            assert len(schedule.cells_of(link)) == demand
+
+    def test_random_adjustment_storm(self):
+        topology = layered_random_tree(25, 4, random.Random(3))
+        tasks = e2e_task_per_node(topology)
+        config = SlotframeConfig(num_slots=299)
+        runtime = AgentRuntime(topology, tasks, config)
+        runtime.run_static_phase()
+        rng = random.Random(9)
+        for _ in range(10):
+            child = rng.choice(topology.device_nodes)
+            parent = topology.parent_of(child)
+            current = runtime.agents[parent].state.link_demands[
+                Direction.UP
+            ].get(child, 0)
+            runtime.request_demand_increase(child, Direction.UP, current + 1)
+            runtime.build_schedule().validate_collision_free(topology)
+            runtime.validate_isolation()

@@ -1,0 +1,181 @@
+"""Tests for the co-simulation (protocol + data plane in one run)."""
+
+import pytest
+
+from repro.agents.live import LiveHarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, LinkRef, TreeTopology
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=100, num_channels=16, management_slots=30)
+
+
+@pytest.fixture
+def tree():
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3})
+
+
+class TestBootstrap:
+    def test_requires_management_subframe(self, tree):
+        with pytest.raises(ValueError):
+            LiveHarpNetwork(
+                tree, e2e_task_per_node(tree),
+                SlotframeConfig(num_slots=100, management_slots=0),
+            )
+
+    def test_converges_over_the_air(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        slots = live.bootstrap()
+        assert slots > 0
+        assert live.pending_messages == 0
+        assert live.stats.messages_sent > 0
+        # The phases needed multiple slotframes of real air time.
+        assert slots >= 2 * config.num_slots
+
+    def test_data_plane_fully_wired_after_bootstrap(self, tree, config):
+        tasks = e2e_task_per_node(tree)
+        live = LiveHarpNetwork(tree, tasks, config)
+        live.bootstrap()
+        demands = tasks.link_demands(tree)
+        for link, demand in demands.items():
+            assert len(live.schedule.cells_of(link)) == demand
+
+    def test_backlog_from_bootstrap_gets_served(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        live.run_slotframes(30)
+        metrics = live.sim.metrics
+        # Traffic generated during bootstrap queued up; once the
+        # schedule is in place deliveries keep pace with generation.
+        assert metrics.delivered > 0
+        recent = [
+            r for r in metrics.deliveries
+            if r.delivered_slot > live.stats.bootstrap_slots
+        ]
+        assert recent
+
+
+class TestLiveAdjustment:
+    def test_rate_change_rewires_and_stays_collision_free(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        live.run_slotframes(5)
+        slots = live.change_rate(6, 3.0)
+        assert slots > 0
+        live.schedule.validate_collision_free(tree)
+        live.runtime.validate_isolation()
+        assert len(live.schedule.cells_of(LinkRef(6, Direction.UP))) == 3
+        # Forwarding links grew too.
+        assert len(live.schedule.cells_of(LinkRef(3, Direction.UP))) >= 3
+
+    def test_adjustment_takes_air_time(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        slots = live.change_rate(6, 2.0)
+        # Request + grant + schedule updates, one message per node per
+        # frame: at least a couple of slotframes.
+        assert slots >= config.num_slots
+
+    def test_data_flows_during_adjustment(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        live.run_slotframes(5)
+        delivered_before = live.sim.metrics.delivered
+        live.change_rate(6, 3.0)
+        # The network kept serving packets while reconfiguring.
+        assert live.sim.metrics.delivered > delivered_before
+
+    def test_sequential_changes(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        for task_id, rate in [(6, 2.0), (5, 2.0), (6, 1.0)]:
+            live.change_rate(task_id, rate)
+            live.schedule.validate_collision_free(tree)
+            live.runtime.validate_isolation()
+
+
+class TestScale:
+    def test_testbed_scale_cosim(self):
+        from repro.experiments.topologies import testbed_topology
+
+        topology = testbed_topology()
+        config = SlotframeConfig(
+            num_slots=199, num_channels=16, management_slots=48
+        )
+        live = LiveHarpNetwork(topology, e2e_task_per_node(topology), config)
+        slots = live.bootstrap()
+        assert live.pending_messages == 0
+        live.run_slotframes(10)
+        metrics = live.sim.metrics
+        assert metrics.delivered > 0
+        live.schedule.validate_collision_free(topology)
+
+
+class TestLiveJoin:
+    def test_leaf_joins_running_network(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        live.run_slotframes(5)
+        slots = live.join_leaf(9, parent=3, rate=1.0, echo=True)
+        assert slots > 0
+        live.schedule.validate_collision_free(live.topology)
+        live.runtime.validate_isolation()
+        assert len(live.schedule.cells_of(LinkRef(9, Direction.UP))) >= 1
+        # The newcomer's traffic actually flows afterwards.
+        live.run_slotframes(10)
+        stats = live.sim.metrics.latency_by_source()
+        assert 9 in stats and stats[9].count > 0
+
+    def test_join_keeps_existing_traffic_flowing(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        live.run_slotframes(5)
+        before = live.sim.metrics.delivered
+        live.join_leaf(9, parent=4, rate=1.0)
+        assert live.sim.metrics.delivered > before
+
+    def test_duplicate_join_rejected(self, tree, config):
+        live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        live.bootstrap()
+        with pytest.raises(ValueError):
+            live.join_leaf(5, parent=0)
+
+
+class TestLossyManagementPlane:
+    def test_bootstrap_survives_message_loss(self, tree, config):
+        """Failure injection in the co-simulation: lost management
+        frames are retried in the next cell — bootstrap converges
+        identically, just later."""
+        clean = LiveHarpNetwork(tree, e2e_task_per_node(tree), config)
+        clean_slots = clean.bootstrap()
+
+        lossy = LiveHarpNetwork(
+            tree, e2e_task_per_node(tree), config, management_loss=0.3
+        )
+        lossy_slots = lossy.bootstrap()
+        assert lossy.stats.messages_lost > 0
+        assert lossy_slots > clean_slots
+        # Same final state, regardless of the loss.
+        lossy.schedule.validate_collision_free(tree)
+        for link in clean.schedule.links:
+            assert sorted(lossy.schedule.cells_of(link)) == sorted(
+                clean.schedule.cells_of(link)
+            )
+
+    def test_adjustment_survives_message_loss(self, tree, config):
+        live = LiveHarpNetwork(
+            tree, e2e_task_per_node(tree), config, management_loss=0.3
+        )
+        live.bootstrap()
+        live.change_rate(6, 3.0)
+        live.schedule.validate_collision_free(tree)
+        assert len(live.schedule.cells_of(LinkRef(6, Direction.UP))) == 3
+
+    def test_invalid_loss_rejected(self, tree, config):
+        with pytest.raises(ValueError):
+            LiveHarpNetwork(
+                tree, e2e_task_per_node(tree), config, management_loss=1.0
+            )

@@ -1,0 +1,93 @@
+"""Tests for distributed leaf join/leave (agent membership)."""
+
+import pytest
+
+from repro.agents import AgentRuntime
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, LinkRef, TreeTopology
+
+
+@pytest.fixture
+def runtime():
+    topo = TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 3})
+    rt = AgentRuntime(
+        topo, e2e_task_per_node(topo), SlotframeConfig(num_slots=80),
+        case1_slack=1,
+    )
+    rt.run_static_phase()
+    return rt
+
+
+class TestAttachLeaf:
+    def test_new_leaf_gets_cells_end_to_end(self, runtime):
+        messages = runtime.attach_leaf(9, parent=3, rate=1.0, echo=True)
+        assert messages > 0
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(runtime.topology)
+        runtime.validate_isolation()
+        assert len(schedule.cells_of(LinkRef(9, Direction.UP))) >= 1
+        assert len(schedule.cells_of(LinkRef(9, Direction.DOWN))) >= 1
+
+    def test_forwarding_demand_ripples_to_gateway(self, runtime):
+        before = len(
+            runtime.build_schedule().cells_of(LinkRef(1, Direction.UP))
+        )
+        runtime.attach_leaf(9, parent=3, rate=1.0, echo=True)
+        after = len(
+            runtime.build_schedule().cells_of(LinkRef(1, Direction.UP))
+        )
+        assert after > before
+
+    def test_attach_under_gateway(self, runtime):
+        runtime.attach_leaf(9, parent=0, rate=2.0, echo=False)
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(runtime.topology)
+        assert len(schedule.cells_of(LinkRef(9, Direction.UP))) == 2
+
+    def test_duplicate_attach_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.attach_leaf(5, parent=0)
+
+    def test_multiple_joins(self, runtime):
+        for i, parent in enumerate((3, 4, 2), start=10):
+            runtime.attach_leaf(i, parent=parent, rate=1.0)
+            schedule = runtime.build_schedule()
+            schedule.validate_collision_free(runtime.topology)
+            runtime.validate_isolation()
+
+
+class TestDetachLeaf:
+    def test_leaf_cells_released(self, runtime):
+        runtime.detach_leaf(5)
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(runtime.topology)
+        assert schedule.cells_of(LinkRef(5, Direction.UP)) == []
+        assert 5 not in runtime.topology
+
+    def test_forwarding_cells_released_upstream(self, runtime):
+        before = len(
+            runtime.build_schedule().cells_of(LinkRef(1, Direction.UP))
+        )
+        runtime.detach_leaf(5)
+        after = len(
+            runtime.build_schedule().cells_of(LinkRef(1, Direction.UP))
+        )
+        assert after < before
+
+    def test_non_leaf_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.detach_leaf(3)
+
+    def test_join_then_leave_is_stable(self, runtime):
+        baseline = {
+            link: runtime.build_schedule().cells_of(link)
+            for link in runtime.build_schedule().links
+        }
+        runtime.attach_leaf(9, parent=3, rate=1.0, echo=True)
+        runtime.detach_leaf(9)
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(runtime.topology)
+        # Demands are back to baseline counts for every original link.
+        for link, cells in baseline.items():
+            assert len(schedule.cells_of(link)) == len(cells), link

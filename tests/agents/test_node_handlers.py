@@ -1,0 +1,171 @@
+"""Unit tests for individual agent message handlers (no runtime)."""
+
+import pytest
+
+from repro.agents.node import HarpNodeAgent
+from repro.agents.state import LocalState
+from repro.net.protocol.messages import (
+    PostInterface,
+    PostPartitions,
+    PutInterface,
+    PutPartition,
+    ScheduleUpdate,
+)
+from repro.net.topology import Direction
+
+
+def make_agent(
+    node_id=1,
+    parent=0,
+    children=(2, 3),
+    non_leaf=(),
+    depth=1,
+    demands_up=None,
+    slack=0,
+):
+    state = LocalState(
+        node_id=node_id,
+        parent=parent,
+        children=list(children),
+        non_leaf_children=set(non_leaf),
+        depth=depth,
+        case1_slack=slack,
+        link_demands={
+            Direction.UP: dict(demands_up or {}),
+            Direction.DOWN: {},
+        },
+    )
+    return HarpNodeAgent(state, num_channels=16)
+
+
+class TestBottomUp:
+    def test_leaf_parent_reports_immediately(self):
+        agent = make_agent(demands_up={2: 1, 3: 2})
+        messages = agent.start()
+        assert len(messages) == 1
+        report = messages[0]
+        assert isinstance(report, PostInterface)
+        assert report.dst == 0
+        # Case-1 row: 3 cells, one channel, at layer depth+1 = 2.
+        assert report.interface[Direction.UP][2] == (3, 1)
+
+    def test_case1_slack_included(self):
+        agent = make_agent(demands_up={2: 1}, slack=2)
+        report = agent.start()[0]
+        assert report.interface[Direction.UP][2] == (3, 1)
+
+    def test_waits_for_non_leaf_children(self):
+        agent = make_agent(non_leaf=(2,), demands_up={2: 1, 3: 1})
+        assert agent.start() == []
+        replies = agent.on_post_interface(
+            PostInterface(
+                src=2, dst=1,
+                interface={Direction.UP: {3: (2, 1)}, Direction.DOWN: {}},
+            )
+        )
+        assert len(replies) == 1
+        interface = replies[0].interface[Direction.UP]
+        assert interface[2] == (2, 1)  # own Case-1 row
+        assert interface[3] == (2, 1)  # composed child layer passes through
+
+    def test_composition_stores_layout(self):
+        agent = make_agent(non_leaf=(2, 3), demands_up={2: 1, 3: 1})
+        agent.on_post_interface(PostInterface(
+            src=2, dst=1,
+            interface={Direction.UP: {3: (2, 1)}, Direction.DOWN: {}},
+        ))
+        agent.on_post_interface(PostInterface(
+            src=3, dst=1,
+            interface={Direction.UP: {3: (2, 1)}, Direction.DOWN: {}},
+        ))
+        layout = agent.state.layouts[(Direction.UP, 3)]
+        assert set(layout) == {2, 3}
+        # Equal-width rows stack: composed block is 2 slots x 2 channels.
+        assert agent.state.own_interface[Direction.UP][3] == (2, 2)
+
+
+class TestTopDown:
+    def test_partition_grant_schedules_links(self):
+        agent = make_agent(demands_up={2: 2, 3: 1})
+        agent.start()
+        replies = agent.on_post_partitions(
+            PostPartitions(
+                src=0, dst=1,
+                partitions={(Direction.UP, 2): (10, 0, 3, 1)},
+            )
+        )
+        updates = [m for m in replies if isinstance(m, ScheduleUpdate)]
+        assert {m.dst for m in updates} == {2, 3}
+        cells = agent.state.cell_assignments[Direction.UP]
+        assert len(cells[2]) == 2 and len(cells[3]) == 1
+        all_cells = cells[2] + cells[3]
+        assert all(10 <= c.slot < 13 and c.channel == 0 for c in all_cells)
+
+    def test_partition_grant_forwards_child_shares(self):
+        agent = make_agent(non_leaf=(2,), demands_up={2: 1, 3: 1})
+        agent.on_post_interface(PostInterface(
+            src=2, dst=1,
+            interface={Direction.UP: {3: (2, 1)}, Direction.DOWN: {}},
+        ))
+        replies = agent.on_post_partitions(
+            PostPartitions(
+                src=0, dst=1,
+                partitions={
+                    (Direction.UP, 2): (10, 0, 2, 1),
+                    (Direction.UP, 3): (5, 0, 2, 1),
+                },
+            )
+        )
+        grants = [m for m in replies if isinstance(m, PostPartitions)]
+        assert len(grants) == 1
+        assert grants[0].dst == 2
+        assert grants[0].partitions[(Direction.UP, 3)] == (5, 0, 2, 1)
+
+
+class TestDynamicHandlers:
+    def _granted_agent(self):
+        agent = make_agent(demands_up={2: 1, 3: 1})
+        agent.start()
+        agent.on_post_partitions(
+            PostPartitions(
+                src=0, dst=1,
+                partitions={(Direction.UP, 2): (10, 0, 4, 1)},
+            )
+        )
+        return agent
+
+    def test_local_absorption_inside_region(self):
+        agent = self._granted_agent()  # region 4 wide, demand 2
+        replies = agent.request_demand_increase(2, Direction.UP, 3)
+        assert all(isinstance(m, ScheduleUpdate) for m in replies)
+        assert len(agent.state.cell_assignments[Direction.UP][2]) == 3
+
+    def test_escalation_when_region_full(self):
+        agent = self._granted_agent()
+        replies = agent.request_demand_increase(2, Direction.UP, 5)
+        put = [m for m in replies if isinstance(m, PutInterface)]
+        assert len(put) == 1
+        assert put[0].dst == 0
+        assert put[0].n_slots == 6  # 5 + sibling's 1
+
+    def test_put_partition_triggers_reschedule(self):
+        agent = self._granted_agent()
+        replies = agent.on_put_partition(
+            PutPartition(
+                src=0, dst=1, layer=2, direction=Direction.UP,
+                start_slot=40, start_channel=2, n_slots=4, n_channels=1,
+            )
+        )
+        assert any(isinstance(m, ScheduleUpdate) for m in replies)
+        cells = agent.state.cell_assignments[Direction.UP]
+        assert all(c.slot >= 40 and c.channel == 2
+                   for cs in cells.values() for c in cs)
+
+    def test_unknown_message_type_rejected(self):
+        agent = self._granted_agent()
+
+        class Strange:
+            dst = 1
+
+        with pytest.raises(TypeError):
+            agent.handle(Strange())

@@ -1,0 +1,161 @@
+"""Unit tests for top-down partition allocation (Sec. IV-C)."""
+
+import pytest
+
+from repro.core.allocation import (
+    InsufficientResourcesError,
+    allocate_partitions,
+    gateway_layer_order,
+)
+from repro.core.interface_gen import generate_interfaces
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, TreeTopology, balanced_tree_with_layers
+
+
+@pytest.fixture
+def tree():
+    # 0 -> {1, 2}; 1 -> {3, 4}; 2 -> 5; 3 -> 6
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3})
+
+
+def build_tables(topology, config, slack=0):
+    demands = e2e_task_per_node(topology, rate=1.0).link_demands(topology)
+    return {
+        d: generate_interfaces(topology, demands, d, config.num_channels, slack)
+        for d in (Direction.UP, Direction.DOWN)
+    }
+
+
+class TestGatewayLayerOrder:
+    def test_compliant_order(self):
+        order = gateway_layer_order(3)
+        assert order == [
+            (Direction.UP, 3), (Direction.UP, 2), (Direction.UP, 1),
+            (Direction.DOWN, 1), (Direction.DOWN, 2), (Direction.DOWN, 3),
+        ]
+
+
+class TestStaticAllocation:
+    def test_partitions_isolated(self, tree):
+        config = SlotframeConfig(num_slots=60, num_channels=16)
+        tables = build_tables(tree, config)
+        partitions, report = allocate_partitions(tree, tables, config)
+        partitions.validate_isolation(tree)
+        assert report.total_slots_used <= config.data_slots
+
+    def test_every_nonleaf_gets_scheduling_block(self, tree):
+        config = SlotframeConfig(num_slots=60, num_channels=16)
+        tables = build_tables(tree, config)
+        partitions, _ = allocate_partitions(tree, tables, config)
+        for node in tree.non_leaf_nodes():
+            part = partitions.get(node, tree.node_layer(node), Direction.UP)
+            assert part is not None, node
+            assert part.n_channels == 1  # Case-1 blocks are one row
+
+    def test_gateway_partitions_slot_disjoint(self, tree):
+        config = SlotframeConfig(num_slots=60, num_channels=16)
+        tables = build_tables(tree, config)
+        partitions, _ = allocate_partitions(tree, tables, config)
+        gateway_parts = partitions.of_node(0)
+        spans = sorted((p.region.x, p.region.x2) for p in gateway_parts)
+        for (a1, a2), (b1, b2) in zip(spans, spans[1:]):
+            assert a2 <= b1
+
+    def test_uplink_layers_descend_downlink_ascend(self, tree):
+        config = SlotframeConfig(num_slots=60, num_channels=16)
+        tables = build_tables(tree, config)
+        partitions, _ = allocate_partitions(tree, tables, config)
+        up = sorted(
+            (p for p in partitions.of_node(0) if p.direction is Direction.UP),
+            key=lambda p: p.region.x,
+        )
+        assert [p.layer for p in up] == sorted(
+            [p.layer for p in up], reverse=True
+        )
+        down = sorted(
+            (p for p in partitions.of_node(0) if p.direction is Direction.DOWN),
+            key=lambda p: p.region.x,
+        )
+        assert [p.layer for p in down] == sorted(p.layer for p in down)
+        # Uplink super-partition entirely before downlink super-partition.
+        assert max(p.region.x2 for p in up) <= min(p.region.x for p in down)
+
+    def test_message_counts(self, tree):
+        config = SlotframeConfig(num_slots=60, num_channels=16)
+        tables = build_tables(tree, config)
+        _, report = allocate_partitions(tree, tables, config)
+        # Non-leaf device nodes: 1, 2, 3.
+        assert report.post_part_messages == 3
+
+    def test_insufficient_resources_raises(self, tree):
+        config = SlotframeConfig(num_slots=10, num_channels=16)
+        tables = build_tables(tree, config)
+        with pytest.raises(InsufficientResourcesError) as exc:
+            allocate_partitions(tree, tables, config)
+        assert exc.value.needed_slots > exc.value.available_slots
+
+    def test_overflow_mode_reports_overflow(self, tree):
+        config = SlotframeConfig(num_slots=10, num_channels=16)
+        tables = build_tables(tree, config)
+        partitions, report = allocate_partitions(
+            tree, tables, config, allow_overflow=True
+        )
+        assert report.overflowed
+        assert report.overflow_slots == report.total_slots_used - 10
+
+
+class TestDistributeSlack:
+    def test_regions_grow_but_stay_isolated(self, tree):
+        config = SlotframeConfig(num_slots=80, num_channels=16)
+        tables_tight = build_tables(tree, config)
+        tight, _ = allocate_partitions(tree, tables_tight, config)
+        tables_loose = build_tables(tree, config)
+        loose, _ = allocate_partitions(
+            tree, tables_loose, config, distribute_slack=True
+        )
+        loose.validate_isolation(tree)
+        for part in tight:
+            stretched = loose.get(part.owner, part.layer, part.direction)
+            assert stretched is not None
+            assert stretched.region.width >= part.region.width
+
+    def test_case1_rows_stay_single_channel(self, tree):
+        config = SlotframeConfig(num_slots=80, num_channels=16)
+        tables = build_tables(tree, config)
+        partitions, _ = allocate_partitions(
+            tree, tables, config, distribute_slack=True
+        )
+        for node in tree.non_leaf_nodes():
+            part = partitions.get(node, tree.node_layer(node), Direction.UP)
+            assert part.n_channels == 1
+
+    def test_testbed_scale(self):
+        topo = balanced_tree_with_layers([8, 12, 12, 10, 8])
+        config = SlotframeConfig()
+        tables = build_tables(topo, config)
+        partitions, report = allocate_partitions(
+            topo, tables, config, distribute_slack=True
+        )
+        partitions.validate_isolation(topo)
+        assert len(partitions) > 50
+
+
+class TestLayerOrdering:
+    def test_reversed_order_still_collision_free(self, tree):
+        config = SlotframeConfig(num_slots=60, num_channels=16)
+        from repro.core.manager import HarpNetwork
+        from repro.net.tasks import e2e_task_per_node as make_tasks
+
+        harp = HarpNetwork(
+            tree, make_tasks(tree), config, compliant_ordering=False
+        )
+        harp.allocate()
+        harp.validate()
+
+    def test_order_helper_shapes(self):
+        compliant = gateway_layer_order(3, compliant=True)
+        reversed_order = gateway_layer_order(3, compliant=False)
+        assert compliant[0] == (Direction.UP, 3)
+        assert reversed_order[0] == (Direction.UP, 1)
+        assert set(compliant) == set(reversed_order)

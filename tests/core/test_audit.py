@@ -1,0 +1,112 @@
+"""Tests for the deep consistency auditor."""
+
+import pytest
+
+from repro.core.audit import audit_network
+from repro.core.manager import HarpNetwork
+from repro.core.dynamics import TopologyManager
+from repro.net.slotframe import Cell, SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, LinkRef, TreeTopology
+
+
+@pytest.fixture
+def harp():
+    topo = TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 3})
+    network = HarpNetwork(
+        topo, e2e_task_per_node(topo), SlotframeConfig(num_slots=80),
+        case1_slack=1, distribute_slack=True,
+    )
+    network.allocate()
+    return network
+
+
+class TestCleanStates:
+    def test_fresh_allocation_is_clean(self, harp):
+        assert audit_network(harp) == []
+
+    def test_after_rate_changes(self, harp):
+        for task_id, rate in [(5, 3.0), (4, 2.0), (5, 1.0)]:
+            report = harp.request_rate_change(task_id, rate)
+            assert report.success
+            assert audit_network(harp) == [], (task_id, rate)
+
+    def test_after_topology_dynamics(self, harp):
+        manager = TopologyManager(harp)
+        manager.reparent(3, 2)
+        assert audit_network(harp) == []
+        manager.detach(4)
+        assert audit_network(harp) == []
+
+    def test_after_component_adjustments(self, harp):
+        table = harp.tables[Direction.UP]
+        comp = table.component(1, 2)
+        outcome = harp.adjuster.request_component_increase(
+            1, 2, Direction.UP, comp.n_slots + 2
+        )
+        assert outcome.success
+        findings = audit_network(harp)
+        # Component growth beyond demand is deliberate headroom: the
+        # demand checks stay clean, the component/partition checks too.
+        assert findings == []
+
+
+class TestCorruptionDetection:
+    def test_demand_tampering_detected(self, harp):
+        harp.link_demands[LinkRef(5, Direction.UP)] += 3
+        findings = audit_network(harp)
+        assert any("demand mismatch" in f for f in findings)
+
+    def test_phantom_demand_detected(self, harp):
+        harp.link_demands[LinkRef(99, Direction.UP)] = 2
+        findings = audit_network(harp)
+        assert any("not implied by any task" in f for f in findings)
+
+    def test_missing_cells_detected(self, harp):
+        harp.schedule.remove_link(LinkRef(5, Direction.UP))
+        findings = audit_network(harp)
+        assert any("demands" in f for f in findings)
+
+    def test_out_of_partition_cell_detected(self, harp):
+        link = LinkRef(5, Direction.UP)
+        cells = harp.schedule.cells_of(link)
+        harp.schedule.remove_link(link)
+        manager = harp.topology.parent_of(5)
+        partition = harp.partitions.get(
+            manager, harp.topology.node_layer(manager), Direction.UP
+        )
+        # Park the cells just outside the manager's region.
+        outside = Cell((partition.region.x2 + 1) % 80, 15)
+        harp.schedule.assign(outside, link)
+        for cell in cells[1:]:
+            harp.schedule.assign(cell, link)
+        findings = audit_network(harp)
+        assert any("outside manager" in f for f in findings)
+
+    def test_partition_shrunk_below_component_detected(self, harp):
+        from repro.core.partition import Partition
+        from repro.packing.geometry import PlacedRect
+
+        partition = harp.partitions.get(1, 2, Direction.UP)
+        shrunk = Partition(
+            1, 2, Direction.UP,
+            PlacedRect(partition.region.x, partition.region.y, 1, 1),
+        )
+        harp.partitions.set(shrunk)
+        findings = audit_network(harp)
+        assert any("smaller than its component" in f for f in findings)
+
+    def test_layout_desync_detected(self, harp):
+        from repro.packing.geometry import PlacedRect
+
+        table = harp.tables[Direction.UP]
+        key = next(iter(table.layouts))
+        layout = dict(table.layouts[key])
+        child = next(iter(layout))
+        rel = layout[child]
+        layout[child] = PlacedRect(
+            rel.x + 1, rel.y, rel.width, rel.height, rel.tag
+        )
+        table.layouts[key] = layout
+        findings = audit_network(harp)
+        assert any("disagreement" in f for f in findings)

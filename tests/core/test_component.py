@@ -1,0 +1,73 @@
+"""Unit tests for resource components and interfaces (Defs. 1-2)."""
+
+import pytest
+
+from repro.core.component import ResourceComponent, ResourceInterface
+from repro.net.topology import Direction
+
+
+class TestResourceComponent:
+    def test_dimensions_and_area(self):
+        comp = ResourceComponent(owner=5, layer=2, n_slots=3, n_channels=2)
+        assert comp.area == 6
+        assert not comp.is_empty
+
+    def test_empty(self):
+        assert ResourceComponent(1, 1, 0, 1).is_empty
+        assert ResourceComponent(1, 1, 3, 0).is_empty
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceComponent(1, 1, -1, 1)
+
+    def test_to_rect_tags_owner(self):
+        rect = ResourceComponent(7, 3, 4, 2).to_rect()
+        assert (rect.width, rect.height, rect.tag) == (4, 2, 7)
+
+    def test_grown_to(self):
+        comp = ResourceComponent(5, 2, 1, 1)
+        grown = comp.grown_to(3, 1)
+        assert (grown.n_slots, grown.n_channels) == (3, 1)
+        assert (grown.owner, grown.layer) == (5, 2)
+
+    def test_str_matches_paper_notation(self):
+        assert str(ResourceComponent(5, 2, 3, 1)) == "C[5,2]=[3,1]"
+
+
+class TestResourceInterface:
+    def test_add_and_query(self):
+        iface = ResourceInterface(owner=3, direction=Direction.UP)
+        iface.add(ResourceComponent(3, 2, 5, 1))
+        iface.add(ResourceComponent(3, 3, 4, 2))
+        assert iface.layers == [2, 3]
+        assert iface.at_layer(2).n_slots == 5
+        assert iface.has_layer(3)
+        assert not iface.has_layer(4)
+
+    def test_add_replaces_same_layer(self):
+        iface = ResourceInterface(owner=3, direction=Direction.UP)
+        iface.add(ResourceComponent(3, 2, 5, 1))
+        iface.add(ResourceComponent(3, 2, 7, 1))
+        assert iface.at_layer(2).n_slots == 7
+
+    def test_owner_mismatch_rejected(self):
+        iface = ResourceInterface(owner=3, direction=Direction.UP)
+        with pytest.raises(ValueError):
+            iface.add(ResourceComponent(4, 2, 5, 1))
+
+    def test_total_cells(self):
+        iface = ResourceInterface(owner=3, direction=Direction.UP)
+        iface.add(ResourceComponent(3, 2, 5, 1))
+        iface.add(ResourceComponent(3, 3, 4, 2))
+        assert iface.total_cells == 13
+
+    def test_iteration_in_layer_order(self):
+        iface = ResourceInterface(owner=3, direction=Direction.UP)
+        iface.add(ResourceComponent(3, 4, 1, 1))
+        iface.add(ResourceComponent(3, 2, 1, 1))
+        assert [c.layer for c in iface] == [2, 4]
+
+    def test_summary_wire_form(self):
+        iface = ResourceInterface(owner=3, direction=Direction.UP)
+        iface.add(ResourceComponent(3, 2, 5, 1))
+        assert iface.summary() == {2: (5, 1)}

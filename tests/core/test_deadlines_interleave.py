@@ -1,0 +1,152 @@
+"""Tests for deadline tracking and interleaved cell assignment
+(the paper's diverse-deadline future-work scenario)."""
+
+import random
+
+import pytest
+
+from repro.core.link_sched import id_priority, schedule_node_links
+from repro.core.manager import HarpNetwork
+from repro.core.partition import Partition
+from repro.net.sim.engine import TSCHSimulator
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import Task, TaskSet
+from repro.net.topology import Direction, TreeTopology
+from repro.packing.geometry import PlacedRect
+
+
+class TestTaskDeadlines:
+    def test_explicit_deadline(self):
+        task = Task(task_id=1, source=1, rate=2.0, deadline_slotframes=0.3)
+        assert task.effective_deadline_slotframes == 0.3
+
+    def test_implicit_deadline_is_period(self):
+        task = Task(task_id=1, source=1, rate=2.0)
+        assert task.effective_deadline_slotframes == 0.5
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            Task(task_id=1, source=1, deadline_slotframes=0)
+
+
+class TestMissTracking:
+    def _run(self, deadline):
+        topo = TreeTopology({1: 0})
+        tasks = TaskSet([
+            Task(task_id=1, source=1, rate=1.0, echo=False,
+                 deadline_slotframes=deadline),
+        ])
+        config = SlotframeConfig(num_slots=10, num_channels=2)
+        from repro.net.slotframe import Cell, Schedule
+        from repro.net.topology import LinkRef
+
+        schedule = Schedule(config)
+        schedule.assign(Cell(8, 0), LinkRef(1, Direction.UP))  # late cell
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        return sim.run_slotframes(5)
+
+    def test_tight_deadline_missed(self):
+        metrics = self._run(deadline=0.5)  # 5 slots; delivery at slot 9
+        assert metrics.deadline_misses == metrics.delivered > 0
+        assert metrics.deadline_miss_rate() == 1.0
+        assert metrics.deadline_miss_rate(1) == 1.0
+
+    def test_loose_deadline_met(self):
+        metrics = self._run(deadline=1.0)
+        assert metrics.deadline_misses == 0
+        assert metrics.deadline_miss_rate() == 0.0
+
+    def test_miss_rate_empty(self):
+        from repro.net.sim.metrics import MetricsCollector
+
+        metrics = MetricsCollector(SlotframeConfig())
+        assert metrics.deadline_miss_rate() == 0.0
+
+
+class TestInterleavedAssignment:
+    @pytest.fixture
+    def setup(self):
+        topo = TreeTopology({1: 0, 2: 0, 3: 0})
+        config = SlotframeConfig(num_slots=40, num_channels=4)
+        partition = Partition(0, 1, Direction.UP, PlacedRect(0, 0, 30, 1))
+        return topo, config, partition
+
+    def test_demands_met_exactly(self, setup):
+        topo, config, partition = setup
+        assignment = schedule_node_links(
+            topo, 0, Direction.UP, partition, {1: 10, 2: 10, 3: 10},
+            config, id_priority(), interleave=True,
+        )
+        assert all(len(cells) == 10 for cells in assignment.values())
+        all_cells = [c for cells in assignment.values() for c in cells]
+        assert len(set(all_cells)) == 30
+
+    def test_cells_are_spread_not_blocked(self, setup):
+        topo, config, partition = setup
+        contiguous = schedule_node_links(
+            topo, 0, Direction.UP, partition, {1: 10, 2: 10, 3: 10},
+            config, id_priority(),
+        )
+        interleaved = schedule_node_links(
+            topo, 0, Direction.UP, partition, {1: 10, 2: 10, 3: 10},
+            config, id_priority(), interleave=True,
+        )
+        def max_gap(cells):
+            slots = sorted(c.slot for c in cells)
+            return max(b - a for a, b in zip(slots, slots[1:]))
+
+        # Link 3's contiguous block sits at the end: gaps of 1; but its
+        # first cell is late.  Interleaved: cells every ~3 slots.
+        assert max(c.slot for c in interleaved[3]) >= 25
+        assert min(c.slot for c in interleaved[3]) <= 5
+        assert min(c.slot for c in contiguous[3]) >= 20
+
+    def test_proportional_share_for_unequal_demands(self, setup):
+        topo, config, partition = setup
+        assignment = schedule_node_links(
+            topo, 0, Direction.UP, partition, {1: 20, 2: 5, 3: 5},
+            config, id_priority(), interleave=True,
+        )
+        # The heavy link's cells dominate every region of the partition.
+        first_half = [c for c in assignment[1] if c.slot < 15]
+        assert len(first_half) >= 8
+
+    def test_interleaved_network_still_collision_free(self):
+        topo = TreeTopology({1: 0, 2: 0, 3: 1, 4: 1})
+        tasks = TaskSet([
+            Task(task_id=n, source=n, rate=2.0, echo=True)
+            for n in topo.device_nodes
+        ])
+        harp = HarpNetwork(
+            topo, tasks, SlotframeConfig(num_slots=80),
+            interleave_cells=True,
+        )
+        harp.allocate()
+        harp.validate()
+
+
+class TestDeadlineScenario:
+    def test_interleaving_rescues_tight_deadlines(self):
+        """The mixed_deadlines example's claim, as a regression test."""
+        topo = TreeTopology({n: 0 for n in range(1, 9)})
+        tasks = TaskSet([
+            Task(task_id=n, source=n, rate=20.0, echo=False,
+                 deadline_slotframes=0.4 if n in (7, 8) else 1.0)
+            for n in range(1, 9)
+        ])
+        config = SlotframeConfig()
+
+        def run(interleave):
+            harp = HarpNetwork(topo, tasks, config,
+                               interleave_cells=interleave)
+            harp.allocate()
+            harp.validate()
+            sim = TSCHSimulator(topo, harp.schedule, tasks, config,
+                                rng=random.Random(0))
+            return sim.run_slotframes(10)
+
+        contiguous = run(False)
+        interleaved = run(True)
+        assert contiguous.deadline_miss_rate(7) > 0.3
+        assert interleaved.deadline_miss_rate(7) == 0.0
+        assert interleaved.deadline_miss_rate() < contiguous.deadline_miss_rate()

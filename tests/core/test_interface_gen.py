@@ -1,0 +1,122 @@
+"""Unit tests for bottom-up interface generation (Sec. IV-B)."""
+
+import pytest
+
+from repro.core.interface_gen import generate_interfaces, recompose_at
+from repro.net.tasks import e2e_task_per_node, tasks_on_nodes
+from repro.net.topology import Direction, TreeTopology
+
+
+@pytest.fixture
+def tree():
+    # 0 -> 1 -> {2, 3}; 3 -> {4, 5}
+    return TreeTopology({1: 0, 2: 1, 3: 1, 4: 3, 5: 3})
+
+
+@pytest.fixture
+def demands(tree):
+    return e2e_task_per_node(tree, rate=1.0).link_demands(tree)
+
+
+class TestCase1:
+    def test_row_is_sum_of_child_demands(self, tree, demands):
+        table = generate_interfaces(tree, demands, Direction.UP, 16)
+        # Node 3's children 4 and 5 each demand 1 uplink cell.
+        comp = table.component(3, 3)
+        assert (comp.n_slots, comp.n_channels) == (2, 1)
+        # Node 1's children demand 1 (node 2) + 3 (node 3's subtree).
+        comp1 = table.component(1, 2)
+        assert (comp1.n_slots, comp1.n_channels) == (4, 1)
+        # Gateway's single child forwards everything: 5 cells.
+        comp0 = table.component(0, 1)
+        assert (comp0.n_slots, comp0.n_channels) == (5, 1)
+
+    def test_case1_slack_widens_rows(self, tree, demands):
+        table = generate_interfaces(
+            tree, demands, Direction.UP, 16, case1_slack=2
+        )
+        assert table.component(3, 3).n_slots == 4  # 2 demand + 2 slack
+
+    def test_negative_slack_rejected(self, tree, demands):
+        with pytest.raises(ValueError):
+            generate_interfaces(tree, demands, Direction.UP, 16, case1_slack=-1)
+
+    def test_leaves_have_no_interface(self, tree, demands):
+        table = generate_interfaces(tree, demands, Direction.UP, 16)
+        assert 2 not in table.interfaces
+        assert 4 not in table.interfaces
+
+
+class TestCase2:
+    def test_composition_covers_deeper_layers(self, tree, demands):
+        table = generate_interfaces(tree, demands, Direction.UP, 16)
+        # Node 1 composes node 3's layer-3 component; it is the only one,
+        # so it passes through unchanged.
+        comp = table.component(1, 3)
+        assert (comp.n_slots, comp.n_channels) == (2, 1)
+        assert (1, 3) in table.layouts
+        assert set(table.layout(1, 3)) == {3}
+
+    def test_gateway_interface_spans_all_layers(self, tree, demands):
+        table = generate_interfaces(tree, demands, Direction.UP, 16)
+        assert table.interfaces[0].layers == [1, 2, 3]
+
+    def test_layout_placements_sized_like_children(self, tree, demands):
+        table = generate_interfaces(tree, demands, Direction.UP, 16)
+        layout = table.layout(0, 2)
+        child_comp = table.component(1, 2)
+        placed = layout[1]
+        assert (placed.width, placed.height) == (
+            child_comp.n_slots, child_comp.n_channels
+        )
+
+    def test_sibling_components_stack(self):
+        # Gateway with two children, each with two grandchildren: the
+        # layer-2 components of the two subtrees can stack on channels.
+        topo = TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2})
+        demands = e2e_task_per_node(topo, rate=1.0).link_demands(topo)
+        table = generate_interfaces(topo, demands, Direction.UP, 16)
+        comp = table.component(0, 2)
+        assert comp.n_slots == 2  # both 2-wide rows share the slot range
+        assert comp.n_channels == 2
+
+
+class TestMessagesAndDirections:
+    def test_post_intf_counts_non_leaf_non_gateway(self, tree, demands):
+        table = generate_interfaces(tree, demands, Direction.UP, 16)
+        # Non-leaf device nodes: 1 and 3.
+        assert table.post_intf_messages == 2
+
+    def test_down_direction_mirrors_up_for_echo_tasks(self, tree, demands):
+        up = generate_interfaces(tree, demands, Direction.UP, 16)
+        down = generate_interfaces(tree, demands, Direction.DOWN, 16)
+        for node, iface in up.interfaces.items():
+            assert down.interfaces[node].summary() == iface.summary()
+
+    def test_uplink_only_tasks_leave_down_empty(self, tree):
+        demands = tasks_on_nodes([4, 5]).link_demands(tree)
+        down = generate_interfaces(tree, demands, Direction.DOWN, 16)
+        assert not down.interfaces
+
+
+class TestRecompose:
+    def test_recompose_reflects_updated_child(self, tree, demands):
+        table = generate_interfaces(tree, demands, Direction.UP, 16)
+        # Grow node 3's layer-3 row and recompose at node 1.
+        grown = table.component(3, 3).grown_to(5, 1)
+        table.set_component(grown)
+        new_comp = recompose_at(tree, table, 1, 3, 16)
+        assert new_comp.n_slots == 5
+        assert table.component(1, 3).n_slots == 5
+
+    def test_recompose_with_region_sizes_keeps_siblings_wide(self):
+        topo = TreeTopology({1: 0, 2: 0, 3: 1, 4: 2})
+        demands = e2e_task_per_node(topo, rate=1.0).link_demands(topo)
+        table = generate_interfaces(topo, demands, Direction.UP, 16)
+        # Pretend node 2's in-force layer-2 region is 4 wide (stretched).
+        new_comp = recompose_at(
+            topo, table, 0, 2, 16, region_sizes={2: (4, 1)}
+        )
+        layout = table.layout(0, 2)
+        assert layout[2].width == 4
+        assert new_comp.n_slots >= 4

@@ -1,0 +1,256 @@
+"""Tests over the experiment regeneration: the paper's qualitative claims
+must hold on small, fast instances of every figure/table."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig10,
+    run_fig11a,
+    run_fig11b,
+    run_fig12,
+    run_fig9,
+    run_table2,
+)
+from repro.experiments.topologies import (
+    apas_topology,
+    collision_topologies,
+    harp_feasible,
+    leaf_rate_workload,
+    uniform_rate_workload,
+)
+from repro.experiments.topologies import testbed_topology as make_testbed_topology
+from repro.net.slotframe import SlotframeConfig
+
+import random
+
+
+class TestTopologyFactories:
+    def test_testbed_shape(self):
+        topo = make_testbed_topology()
+        assert len(topo.device_nodes) == 50
+        assert topo.max_layer == 5
+
+    def test_collision_ensemble(self):
+        topos = collision_topologies(5, seed=1)
+        assert len(topos) == 5
+        assert all(t.max_layer == 5 for t in topos)
+        # Seeded: regenerating gives identical trees.
+        again = collision_topologies(5, seed=1)
+        assert [t.parent_map for t in topos] == [t.parent_map for t in again]
+
+    def test_apas_shape(self):
+        topo = apas_topology()
+        assert len(topo.device_nodes) == 80
+        assert topo.max_layer == 10
+
+    def test_leaf_workload_feasible(self):
+        config = SlotframeConfig()
+        topo = collision_topologies(1, seed=4)[0]
+        ts = leaf_rate_workload(topo, 8, random.Random(0), config)
+        assert harp_feasible(topo, ts, config)
+        sources = {t.source for t in ts}
+        assert sources == {n for n in topo.device_nodes if topo.is_leaf(n)}
+
+    def test_uniform_workload(self):
+        topo = make_testbed_topology()
+        ts = uniform_rate_workload(topo, 3.0, leaves_only=False)
+        assert len(ts) == 50
+        assert all(t.rate == 3.0 for t in ts)
+
+
+class TestFig9:
+    def test_latency_bounded_by_one_slotframe(self):
+        result = run_fig9(num_slotframes=40)
+        assert result.rows
+        assert result.fraction_within_one_slotframe >= 0.95
+        assert result.delivery_ratio > 0.99
+
+    def test_rows_sorted_by_layer(self):
+        result = run_fig9(num_slotframes=20)
+        layers = [row.layer for row in result.rows]
+        assert layers == sorted(layers)
+
+    def test_latency_weakly_increases_with_layer(self):
+        result = run_fig9(num_slotframes=40)
+        by_layer = {}
+        for row in result.rows:
+            by_layer.setdefault(row.layer, []).append(row.mean_s)
+        means = [sum(v) / len(v) for _, v in sorted(by_layer.items())]
+        assert means[0] < means[-1]
+
+    def test_render(self):
+        text = run_fig9(num_slotframes=10).render()
+        assert "mean latency" in text
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(total_slotframes=100)
+
+    def test_first_step_absorbed_locally(self, result):
+        assert result.steps[0].absorbed_locally
+
+    def test_second_step_needs_partition_adjustment(self, result):
+        assert not result.steps[1].absorbed_locally
+        assert result.steps[1].adjustment_slots > 0
+
+    def test_latency_spike_larger_on_second_step(self, result):
+        sf = result.slotframe_s
+        t1 = result.steps[0].at_slotframe * sf
+        t2 = result.steps[1].at_slotframe * sf
+        baseline = result.max_latency_between(0, t1)
+        spike1 = result.max_latency_between(t1, t2)
+        spike2 = result.max_latency_between(t2, float("inf"))
+        assert spike2 > spike1 >= baseline
+
+
+class TestTable2:
+    def test_rows_and_columns(self):
+        result = run_table2()
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert row.messages >= 2
+            assert row.slotframes >= 1
+            assert row.nodes >= 2
+        text = result.render()
+        assert "Msg." in text
+
+    def test_overheads_modest(self):
+        """HARP's defining claim: adjustment involves a small node subset,
+        not the whole 50-node network."""
+        result = run_table2()
+        assert all(row.nodes <= 10 for row in result.rows)
+        assert all(row.messages <= 15 for row in result.rows)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def fig11a(self):
+        return run_fig11a(num_topologies=4, max_rates=(1, 4, 8))
+
+    @pytest.fixture(scope="class")
+    def fig11b(self):
+        return run_fig11b(num_topologies=4, channels=(16, 8, 2))
+
+    def test_harp_collision_free_across_rates(self, fig11a):
+        assert all(p == 0.0 for p in fig11a.of("harp"))
+
+    def test_baselines_grow_with_rate(self, fig11a):
+        for name in ("random", "msf", "ldsf"):
+            series = fig11a.of(name)
+            assert series[-1] > series[0] > 0.0
+
+    def test_load_grows_with_rate(self, fig11a):
+        assert fig11a.total_cells[-1] > fig11a.total_cells[0]
+
+    def test_baselines_grow_as_channels_shrink(self, fig11b):
+        for name in ("random", "msf", "ldsf"):
+            series = fig11b.of(name)
+            assert series[-1] > series[0] > 0.0
+
+    def test_harp_zero_above_four_channels(self, fig11b):
+        by_channels = dict(zip(fig11b.x_values, fig11b.of("harp")))
+        assert by_channels[16] == 0.0
+        assert by_channels[8] == 0.0
+        # At 2 channels HARP may overflow slightly but stays far below
+        # the baselines.
+        assert by_channels[2] < min(
+            dict(zip(fig11b.x_values, fig11b.of(name)))[2]
+            for name in ("random", "msf", "ldsf")
+        )
+
+    def test_render(self, fig11a):
+        assert "harp" in fig11a.render()
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig12(num_topologies=2, events_per_layer=2)
+
+    def test_apas_follows_three_l_minus_one(self, result):
+        for layer, messages in zip(result.layers, result.apas_messages):
+            assert messages == pytest.approx(3 * layer - 1)
+
+    def test_harp_below_apas_on_most_layers(self, result):
+        below = sum(
+            1
+            for harp, apas in zip(result.harp_messages, result.apas_messages)
+            if harp < apas
+        )
+        assert below >= len(result.layers) * 0.7
+
+    def test_harp_less_sensitive_to_depth(self, result):
+        """APaS grows by 3 per layer; HARP's per-layer growth is smaller
+        on average (the 'relatively more stable' claim)."""
+        apas_slope = (result.apas_messages[-1] - result.apas_messages[0]) / (
+            len(result.layers) - 1
+        )
+        harp_slope = (result.harp_messages[-1] - result.harp_messages[0]) / (
+            len(result.layers) - 1
+        )
+        assert harp_slope < apas_slope * 1.5
+
+    def test_render(self, result):
+        assert "APaS" in result.render()
+
+
+class TestEnsembleStatistics:
+    def test_samples_and_summary(self):
+        result = run_fig11a(num_topologies=5, max_rates=(2,))
+        summary = result.summary_at("random", 2)
+        assert summary.count == 5
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        # Mean series agrees with the raw samples.
+        assert result.of("random")[0] == pytest.approx(summary.mean)
+
+    def test_harp_samples_all_zero(self):
+        result = run_fig11a(num_topologies=5, max_rates=(3,))
+        assert all(v == 0.0 for v in result.samples["harp"][0])
+
+
+class TestEnergyProfile:
+    def test_funnel_and_premium(self):
+        from repro.experiments import run_energy_profile
+
+        result = run_energy_profile(num_slotframes=20)
+        assert [r.layer for r in result.rows] == [1, 2, 3, 4, 5]
+        currents = [r.mean_current_ma for r in result.rows]
+        # The forwarding funnel: shallower layers burn more.
+        assert currents[0] > currents[-1]
+        lives = [r.battery_days_aa for r in result.rows]
+        assert lives[0] < lives[-1]
+        # Headroom costs energy, within reason.
+        assert 0 < result.headroom_premium < 1
+        assert "hottest radio" in result.render()
+
+
+class TestRunnerSmoke:
+    def test_quick_runner_produces_every_section(self, capsys):
+        from repro.experiments import runner
+
+        assert runner.main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        for section in (
+            "Fig. 9", "Fig. 10", "Table II", "Fig. 11(a)", "Fig. 11(b)",
+            "Fig. 12", "management overhead vs network size",
+            "energy profile",
+        ):
+            assert section in out, section
+
+
+class TestInterferenceStudy:
+    def test_hopping_dominates_under_jamming(self):
+        from repro.experiments import run_interference_study
+
+        result = run_interference_study(
+            jammed_counts=(0, 4), num_slotframes=15
+        )
+        # No interferer: both modes deliver everything.
+        assert result.static_delivery[0] > 0.99
+        assert result.hopping_delivery[0] > 0.99
+        # Four jammed channels: static collapses, hopping degrades mildly.
+        assert result.hopping_delivery[1] > 0.85
+        assert result.static_delivery[1] < result.hopping_delivery[1] / 2
+        assert "hopping delivery" in result.render()

@@ -1,0 +1,75 @@
+"""Tests for report formatting and the slotframe renderers."""
+
+from repro.core.manager import HarpNetwork
+from repro.experiments.reporting import (
+    format_series,
+    format_table,
+    render_cell_map,
+    render_gateway_map,
+)
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns align: 'value' header starts where the numbers start.
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.123456,)])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series("n", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "s1" in lines[0] and "s2" in lines[0]
+        assert "10" in lines[2] and "40" in lines[3]
+
+
+class TestRenderers:
+    def _harp(self):
+        topo = TreeTopology({1: 0, 2: 0, 3: 1, 4: 2})
+        harp = HarpNetwork(
+            topo, e2e_task_per_node(topo), SlotframeConfig(num_slots=60)
+        )
+        harp.allocate()
+        return harp
+
+    def test_gateway_map_lists_all_super_partitions(self):
+        harp = self._harp()
+        text = render_gateway_map(harp)
+        assert text.count("up layer") == 2   # layers 1, 2
+        assert text.count("down layer") == 2
+        assert "slots" in text
+
+    def test_cell_map_shape(self):
+        harp = self._harp()
+        text = render_cell_map(harp, max_columns=30)
+        lines = text.splitlines()
+        # one header + one row per channel
+        assert len(lines) == 1 + harp.config.num_channels
+        assert lines[-1].startswith("  ch  0")
+        # Gateway links marked, at least one subtree digit present.
+        body = "".join(lines[1:])
+        assert "G" in body
+        assert any(d in body for d in "12")
+
+    def test_cell_map_marks_only_allocated_cells(self):
+        harp = self._harp()
+        text = render_cell_map(harp, max_columns=60)
+        body = "".join(text.splitlines()[1:])
+        assert "." in body  # idle cells exist in a 60-slot frame

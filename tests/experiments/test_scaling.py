@@ -1,0 +1,48 @@
+"""Tests for the scaling study."""
+
+import random
+
+from repro.experiments.scaling import (
+    centralized_static_messages,
+    run_scaling,
+)
+from repro.net.slotframe import SlotframeConfig
+from repro.net.topology import chain_topology, layered_random_tree
+
+
+class TestCentralizedCost:
+    def test_chain_cost_formula(self):
+        """On a chain of n, demand collection costs sum(1..n) hops and
+        dissemination the same: 2 * n(n+1)/2."""
+        topo = chain_topology(5)
+        config = SlotframeConfig()
+        messages = centralized_static_messages(topo, config)
+        assert messages == 2 * (5 * 6 // 2)
+
+    def test_grows_with_depth_at_fixed_size(self):
+        config = SlotframeConfig()
+        shallow = layered_random_tree(20, 3, random.Random(1))
+        deep = layered_random_tree(20, 6, random.Random(1))
+        assert centralized_static_messages(
+            deep, config
+        ) > centralized_static_messages(shallow, config)
+
+
+class TestRunScaling:
+    def test_shapes_and_claims(self):
+        result = run_scaling(sizes=(20, 40), trials=2)
+        assert result.sizes == [20, 40]
+        assert all(len(series) == 2 for series in (
+            result.harp_static, result.central_static,
+            result.harp_adjust, result.central_adjust,
+        ))
+        # HARP's hop-local phases beat the relayed centralized bootstrap.
+        for harp, central in zip(result.harp_static, result.central_static):
+            assert harp < central
+        # Centralized adjustments follow 3l-1 at the sampled depth.
+        assert result.central_adjust[0] == 3 * 3 - 1  # depth 3 for size 20
+
+    def test_render(self):
+        result = run_scaling(sizes=(20,), trials=1)
+        text = result.render()
+        assert "HARP static" in text and "centralized static" in text

@@ -1,0 +1,201 @@
+"""Integration tests: the full HARP pipeline on realistic networks."""
+
+import random
+
+import pytest
+
+from repro.core.manager import HarpNetwork
+from repro.net.sim.engine import TSCHSimulator
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, layered_random_tree
+from repro.experiments.topologies import testbed_topology as make_testbed_topology
+
+
+class TestTestbedScale:
+    """The Sec. VI testbed setting: 50 devices, 5 layers, e2e echo tasks."""
+
+    @pytest.fixture(scope="class")
+    def harp(self):
+        harp = HarpNetwork(
+            make_testbed_topology(), e2e_task_per_node(make_testbed_topology(), rate=1.0),
+            SlotframeConfig(),
+        )
+        harp.allocate()
+        return harp
+
+    def test_allocation_fits_one_slotframe(self, harp):
+        assert harp.static_report.allocation.total_slots_used <= 199
+
+    def test_collision_free_and_isolated(self, harp):
+        harp.validate()
+
+    def test_static_messages_scale_with_nodes(self, harp):
+        # One POST-intf per non-leaf device per direction + one POST-part
+        # per non-leaf device: linear in network size, not quadratic.
+        report = harp.static_report
+        non_leaves = len(
+            [n for n in harp.topology.non_leaf_nodes() if n != 0]
+        )
+        assert report.post_intf_messages == 2 * non_leaves
+        assert report.post_part_messages == non_leaves
+
+    def test_simulation_delivers_everything(self, harp):
+        sim = TSCHSimulator(
+            harp.topology, harp.schedule.copy(), harp.task_set, harp.config,
+            rng=random.Random(1),
+        )
+        metrics = sim.run_slotframes(30)
+        assert metrics.delivery_ratio > 0.99
+        # E2e latency bounded by ~one slotframe (the Fig. 9 claim).
+        for latency in metrics.latencies_seconds():
+            assert latency <= 2 * harp.config.duration_s
+
+    def test_every_link_in_its_layer_partition(self, harp):
+        for link in harp.schedule.links:
+            parent = harp.topology.parent_of(link.child)
+            part = harp.partitions.get(
+                parent, harp.topology.node_layer(parent), link.direction
+            )
+            assert part is not None
+            for cell in harp.schedule.cells_of(link):
+                assert part.region.contains_cell(cell.slot, cell.channel)
+
+
+class TestDynamicLifecycle:
+    def test_adjust_then_simulate(self):
+        topology = make_testbed_topology()
+        harp = HarpNetwork(
+            topology, e2e_task_per_node(topology, rate=1.0), SlotframeConfig(),
+            case1_slack=1, distribute_slack=True,
+        )
+        harp.allocate()
+        leaf = [n for n in topology.device_nodes if topology.is_leaf(n)][0]
+        report = harp.request_rate_change(leaf, 2.0)
+        assert report.success
+        harp.validate()
+        sim = TSCHSimulator(
+            topology, harp.schedule.copy(), harp.task_set, harp.config,
+            rng=random.Random(2),
+        )
+        metrics = sim.run_slotframes(20)
+        assert metrics.delivery_ratio > 0.99
+
+    def test_adjustment_cheaper_than_centralized(self):
+        """HARP partition messages for one deep single-link change stay
+        below the centralized 3l-1 + full-path overhead."""
+        topology = layered_random_tree(40, 5, random.Random(11))
+        harp = HarpNetwork(
+            topology, e2e_task_per_node(topology, rate=1.0),
+            SlotframeConfig(num_slots=397),
+            case1_slack=1, distribute_slack=True,
+        )
+        harp.allocate()
+        deep = [n for n in topology.device_nodes if topology.depth_of(n) == 5][0]
+        parent = topology.parent_of(deep)
+        table = harp.tables[Direction.UP]
+        comp = table.component(parent, 5)
+        outcome = harp.adjuster.request_component_increase(
+            parent, 5, Direction.UP, comp.n_slots + 1
+        )
+        assert outcome.success
+        # APaS would pay 3*5-1 = 14 packets; HARP should stay in the same
+        # ballpark or below for a one-cell change.
+        assert outcome.total_messages <= 14
+
+
+class TestRandomEnsembles:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_topologies_allocate_and_validate(self, seed):
+        topology = layered_random_tree(30, 4, random.Random(seed))
+        harp = HarpNetwork(
+            topology, e2e_task_per_node(topology, rate=1.0),
+            SlotframeConfig(),
+        )
+        harp.allocate()
+        harp.validate()
+        sim = TSCHSimulator(
+            topology, harp.schedule.copy(), harp.task_set, harp.config,
+            rng=random.Random(seed),
+        )
+        metrics = sim.run_slotframes(10)
+        assert metrics.delivery_ratio > 0.95
+
+
+class TestLargeScale:
+    def test_150_node_network_full_lifecycle(self):
+        """Stress: a 150-device, 7-layer network allocates, validates,
+        audits clean, absorbs adjustments and simulates correctly."""
+        import random as _random
+
+        from repro.core.audit import audit_network
+
+        topology = layered_random_tree(150, 7, _random.Random(42))
+        config = SlotframeConfig(num_slots=997, num_channels=16)
+        harp = HarpNetwork(
+            topology, e2e_task_per_node(topology, rate=1.0), config,
+            case1_slack=1, distribute_slack=True,
+        )
+        harp.allocate()
+        harp.validate()
+        assert audit_network(harp) == []
+
+        # A few adjustments at various depths.
+        rng = _random.Random(7)
+        for _ in range(5):
+            node = rng.choice(topology.device_nodes)
+            report = harp.request_rate_change(node, rng.choice([2.0, 0.5, 1.5]))
+            assert report.success
+            harp.validate()
+        assert audit_network(harp) == []
+
+        sim = TSCHSimulator(
+            topology, harp.schedule.copy(), harp.task_set, config,
+            rng=_random.Random(0),
+        )
+        metrics = sim.run_slotframes(5)
+        assert metrics.delivery_ratio > 0.9
+
+
+class TestLongHaul:
+    @pytest.mark.slow
+    def test_one_simulated_hour_stays_bounded(self):
+        """Stability: an hour of plant time (1800+ slotframes) with
+        periodic disturbances — latency and queues stay bounded, the
+        audit stays clean, delivery keeps pace."""
+        import random as _random
+
+        from repro.core.audit import audit_network
+
+        topology = make_testbed_topology()
+        config = SlotframeConfig()
+        harp = HarpNetwork(
+            topology, e2e_task_per_node(topology, rate=1.0), config,
+            case1_slack=1, distribute_slack=True,
+        )
+        harp.allocate()
+        sim = TSCHSimulator(
+            topology, harp.schedule.copy(), harp.task_set, config,
+            rng=_random.Random(0),
+        )
+        rng = _random.Random(1)
+        leaves = [n for n in topology.device_nodes if topology.is_leaf(n)]
+        frames_per_segment = 180  # ~6 minutes of plant time
+        for segment in range(10):  # ~1 hour total
+            sim.run_slotframes(frames_per_segment)
+            # A disturbance every segment: some leaf's rate wobbles.
+            leaf = rng.choice(leaves)
+            new_rate = rng.choice([0.5, 1.0, 1.5, 2.0])
+            report = harp.request_rate_change(leaf, new_rate)
+            assert report.success
+            harp.validate()
+            assert audit_network(harp) == []
+            sim.set_task_rate(leaf, new_rate)
+            sim.set_schedule(harp.schedule.copy())
+
+        metrics = sim.metrics
+        assert metrics.delivery_ratio > 0.98
+        # No unbounded queue anywhere despite an hour of wobbling.
+        assert metrics.peak_queue_depth() < 60
+        # Latency tail bounded by a handful of slotframes.
+        assert max(metrics.latencies_seconds()) < 10 * config.duration_s

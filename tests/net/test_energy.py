@@ -1,0 +1,159 @@
+"""Tests for per-node energy accounting."""
+
+import random
+
+import pytest
+
+from repro.net.sim import EnergyTracker, NodeEnergy, RadioPowerProfile, TSCHSimulator
+from repro.net.slotframe import Cell, Schedule, SlotframeConfig
+from repro.net.tasks import Task, TaskSet
+from repro.net.topology import Direction, LinkRef, TreeTopology, chain_topology
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=10, num_channels=4)
+
+
+def energised_sim(topology, schedule, tasks, config, **kwargs):
+    sim = TSCHSimulator(topology, schedule, tasks, config, **kwargs)
+    sim.energy = EnergyTracker(config)
+    return sim
+
+
+class TestAccounting:
+    def test_tx_rx_sleep_split(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim = energised_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(5)
+        sender = sim.energy.per_node[1]
+        receiver = sim.energy.per_node[0]
+        assert sender.tx_slots == 5
+        assert sender.sleep_slots == 45
+        assert receiver.rx_slots == 5
+        assert receiver.sleep_slots == 45
+
+    def test_idle_listening_on_unused_cell(self, config):
+        # A scheduled cell whose sender never has a packet: the receiver
+        # idle-listens every frame, the sender sleeps.
+        topo = chain_topology(1)
+        tasks = TaskSet([])  # no traffic at all
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim = energised_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(4)
+        assert sim.energy.per_node[0].idle_slots == 4
+        assert sim.energy.per_node[1].tx_slots == 0
+
+    def test_failed_transmissions_still_cost_tx(self, config):
+        topo = TreeTopology({1: 0, 2: 0, 3: 1})
+        tasks = TaskSet([
+            Task(task_id=2, source=2, rate=1.0, echo=False),
+            Task(task_id=3, source=3, rate=1.0, echo=False),
+        ])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(0, 0), LinkRef(3, Direction.UP))  # jam
+        sim = energised_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(3)
+        assert sim.energy.per_node[2].tx_slots == 3
+        assert sim.energy.per_node[3].tx_slots == 3
+
+    def test_slot_conservation(self, config):
+        topo = chain_topology(2)
+        tasks = TaskSet([Task(task_id=2, source=2, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(1, 0), LinkRef(1, Direction.UP))
+        sim = energised_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(7)
+        for node, energy in sim.energy.per_node.items():
+            assert energy.total_slots == 70, node
+
+
+class TestDerivedQuantities:
+    def test_duty_cycle(self):
+        energy = NodeEnergy(tx_slots=5, rx_slots=5, idle_slots=0, sleep_slots=90)
+        assert energy.duty_cycle == pytest.approx(0.1)
+
+    def test_charge_and_current(self):
+        profile = RadioPowerProfile(tx_ma=10.0, rx_ma=5.0, sleep_ua=0.0)
+        energy = NodeEnergy(tx_slots=1, rx_slots=2, sleep_slots=7)
+        charge = energy.charge_mc(profile, slot_duration_s=0.01)
+        assert charge == pytest.approx(0.01 * (10.0 + 2 * 5.0))
+        assert energy.average_current_ma(profile, 0.01) == pytest.approx(2.0)
+
+    def test_battery_life_scales_inverse_with_current(self):
+        profile = RadioPowerProfile()
+        lazy = NodeEnergy(tx_slots=1, sleep_slots=999)
+        busy = NodeEnergy(tx_slots=100, sleep_slots=900)
+        assert lazy.battery_life_days(profile, 0.01) > busy.battery_life_days(
+            profile, 0.01
+        )
+
+    def test_all_sleep_is_nearly_immortal(self):
+        profile = RadioPowerProfile()
+        idle = NodeEnergy(sleep_slots=1000)
+        assert idle.battery_life_days(profile, 0.01) > 5000
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            RadioPowerProfile().charge_ma("warp")
+
+
+class TestSystemLevel:
+    def test_forwarders_burn_more_than_leaves(self, config):
+        """The funnel effect in joules: depth-1 relays carry every
+        packet and must show higher duty cycles than leaves."""
+        from repro.core.manager import HarpNetwork
+        from repro.net.tasks import e2e_task_per_node
+
+        topo = TreeTopology({1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+        tasks = e2e_task_per_node(topo)
+        cfg = SlotframeConfig(num_slots=60)
+        harp = HarpNetwork(topo, tasks, cfg)
+        harp.allocate()
+        sim = energised_sim(topo, harp.schedule, tasks, cfg,
+                            rng=random.Random(0))
+        sim.run_slotframes(20)
+        assert sim.energy.duty_cycle(1) > sim.energy.duty_cycle(4)
+        assert sim.energy.average_current_ma(1) > sim.energy.average_current_ma(5)
+
+    def test_report_renders(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim = energised_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(2)
+        text = sim.energy.report(topo)
+        assert "duty" in text and "battery" in text
+
+    def test_idle_cell_distribution_costs_energy(self):
+        """The ablation: retransmission headroom = idle listening.  With
+        a clean radio every extra cell is pure idle-listen cost."""
+        from repro.core.manager import HarpNetwork
+        from repro.net.tasks import e2e_task_per_node
+
+        topo = TreeTopology({1: 0, 2: 1, 3: 1})
+        tasks = e2e_task_per_node(topo)
+        cfg = SlotframeConfig(num_slots=60)
+
+        def mean_current(idle_cells):
+            harp = HarpNetwork(
+                topo, tasks, cfg,
+                case1_slack=3 if idle_cells else 0,
+                distribute_idle_cells=idle_cells,
+            )
+            harp.allocate()
+            sim = energised_sim(topo, harp.schedule, tasks, cfg,
+                                rng=random.Random(0))
+            sim.run_slotframes(20)
+            return sum(
+                sim.energy.average_current_ma(n) for n in topo.nodes
+            )
+
+        assert mean_current(True) > mean_current(False)

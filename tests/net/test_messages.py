@@ -1,0 +1,70 @@
+"""Unit tests for HARP protocol messages (the Table I handlers)."""
+
+from repro.net.protocol.messages import (
+    PostInterface,
+    PostPartitions,
+    PutInterface,
+    PutPartition,
+    ScheduleUpdate,
+)
+from repro.net.slotframe import Cell
+from repro.net.topology import Direction
+
+
+class TestTableIEndpoints:
+    """The four CoAP handlers of Table I map to four message classes."""
+
+    def test_post_intf(self):
+        msg = PostInterface(src=4, dst=1)
+        assert msg.endpoint == ("intf", "POST")
+
+    def test_put_intf(self):
+        msg = PutInterface(src=4, dst=1, layer=2, n_slots=3, n_channels=1)
+        assert msg.endpoint == ("intf", "PUT")
+
+    def test_post_part(self):
+        msg = PostPartitions(src=1, dst=4)
+        assert msg.endpoint == ("part", "POST")
+
+    def test_put_part(self):
+        msg = PutPartition(src=1, dst=4, layer=2, start_slot=10, n_slots=3)
+        assert msg.endpoint == ("part", "PUT")
+
+    def test_all_four_endpoints_distinct(self):
+        endpoints = {
+            PostInterface(0, 0).endpoint,
+            PutInterface(0, 0).endpoint,
+            PostPartitions(0, 0).endpoint,
+            PutPartition(0, 0).endpoint,
+        }
+        assert len(endpoints) == 4
+
+
+class TestPayloads:
+    def test_post_intf_carries_interface_summary(self):
+        interface = {Direction.UP: {2: (3, 1), 3: (2, 2)}}
+        msg = PostInterface(src=4, dst=1, interface=interface)
+        assert msg.interface[Direction.UP][2] == (3, 1)
+
+    def test_put_part_carries_region(self):
+        msg = PutPartition(
+            src=1, dst=4, layer=3, direction=Direction.DOWN,
+            start_slot=100, start_channel=2, n_slots=5, n_channels=1,
+        )
+        assert (msg.start_slot, msg.start_channel) == (100, 2)
+        assert (msg.n_slots, msg.n_channels) == (5, 1)
+        assert msg.direction is Direction.DOWN
+
+    def test_schedule_update_cells(self):
+        msg = ScheduleUpdate(src=1, dst=4, cells=(Cell(3, 0), Cell(4, 0)))
+        assert msg.cells == (Cell(3, 0), Cell(4, 0))
+        assert msg.endpoint == ("sched", "PUT")
+
+    def test_messages_are_immutable(self):
+        msg = PutInterface(src=4, dst=1)
+        try:
+            msg.src = 9
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,86 @@
+"""Unit tests for link-quality (PDR) models."""
+
+import random
+
+import pytest
+
+from repro.net.radio import (
+    LayerDegradedPDR,
+    PerLinkPDR,
+    PerfectRadio,
+    UniformPDR,
+)
+from repro.net.topology import Direction, LinkRef, TreeTopology
+
+
+@pytest.fixture
+def tree():
+    return TreeTopology({1: 0, 2: 1, 3: 2})
+
+
+def test_perfect_radio_always_succeeds(tree):
+    model = PerfectRadio()
+    rng = random.Random(0)
+    link = LinkRef(1, Direction.UP)
+    assert all(model.transmission_succeeds(tree, link, rng) for _ in range(50))
+
+
+def test_uniform_pdr_value(tree):
+    model = UniformPDR(0.7)
+    assert model.pdr(tree, LinkRef(2, Direction.UP)) == 0.7
+
+
+def test_uniform_pdr_bounds():
+    with pytest.raises(ValueError):
+        UniformPDR(1.5)
+    with pytest.raises(ValueError):
+        UniformPDR(-0.1)
+
+
+def test_uniform_pdr_statistics(tree):
+    model = UniformPDR(0.5)
+    rng = random.Random(42)
+    link = LinkRef(1, Direction.UP)
+    successes = sum(
+        model.transmission_succeeds(tree, link, rng) for _ in range(2000)
+    )
+    assert 850 < successes < 1150
+
+
+def test_zero_pdr_always_fails(tree):
+    model = UniformPDR(0.0)
+    rng = random.Random(0)
+    assert not model.transmission_succeeds(tree, LinkRef(1, Direction.UP), rng)
+
+
+def test_per_link_pdr_table(tree):
+    link_a = LinkRef(1, Direction.UP)
+    link_b = LinkRef(2, Direction.UP)
+    model = PerLinkPDR({link_a: 0.9}, default=0.5)
+    assert model.pdr(tree, link_a) == 0.9
+    assert model.pdr(tree, link_b) == 0.5
+
+
+def test_layer_degraded_pdr_decreases_with_depth(tree):
+    model = LayerDegradedPDR(base=1.0, decay=0.1, floor=0.5)
+    pdr1 = model.pdr(tree, LinkRef(1, Direction.UP))  # layer 1
+    pdr2 = model.pdr(tree, LinkRef(2, Direction.UP))  # layer 2
+    pdr3 = model.pdr(tree, LinkRef(3, Direction.UP))  # layer 3
+    assert pdr1 == 1.0
+    assert pdr2 == pytest.approx(0.9)
+    assert pdr3 == pytest.approx(0.8)
+    assert pdr1 > pdr2 > pdr3
+
+
+def test_layer_degraded_floor(tree):
+    model = LayerDegradedPDR(base=1.0, decay=0.4, floor=0.7)
+    assert model.pdr(tree, LinkRef(3, Direction.UP)) == 0.7
+
+
+def test_layer_degraded_validation():
+    with pytest.raises(ValueError):
+        LayerDegradedPDR(base=1.5)
+    with pytest.raises(ValueError):
+        LayerDegradedPDR(decay=-1)
+    with pytest.raises(ValueError):
+        LayerDegradedPDR(floor=2.0)

@@ -1,0 +1,233 @@
+"""Unit tests for the TSCH discrete-event simulator."""
+
+import random
+
+import pytest
+
+from repro.net.radio import UniformPDR
+from repro.net.sim.engine import TSCHSimulator
+from repro.net.slotframe import Cell, Schedule, SlotframeConfig
+from repro.net.tasks import Task, TaskSet, e2e_task_per_node
+from repro.net.topology import Direction, LinkRef, TreeTopology, chain_topology
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=10, num_channels=4)
+
+
+def make_chain_schedule(topology, config, direction=Direction.UP):
+    """One cell per link, slot = hop order (deep links first for uplink)."""
+    schedule = Schedule(config)
+    nodes = sorted(topology.device_nodes, reverse=(direction is Direction.UP))
+    for i, child in enumerate(nodes):
+        schedule.assign(Cell(i, 0), LinkRef(child, direction))
+    return schedule
+
+
+class TestBasicDelivery:
+    def test_single_hop_uplink(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(5, 0), LinkRef(1, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(3)
+        assert metrics.generated == 3
+        assert metrics.delivered == 3
+        assert metrics.delivery_ratio == 1.0
+
+    def test_multi_hop_uplink_within_one_frame(self, config):
+        topo = chain_topology(3)
+        tasks = TaskSet([Task(task_id=3, source=3, rate=1.0, echo=False)])
+        schedule = make_chain_schedule(topo, config)
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(4)
+        assert metrics.delivered >= 3
+        # Compliant slot order: the whole journey fits one slotframe.
+        for record in metrics.deliveries:
+            assert record.latency_slots <= config.num_slots
+
+    def test_echo_task_round_trip(self, config):
+        topo = chain_topology(2)
+        tasks = TaskSet([Task(task_id=2, source=2, rate=1.0, echo=True)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(1, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(2, 0), LinkRef(1, Direction.DOWN))
+        schedule.assign(Cell(3, 0), LinkRef(2, Direction.DOWN))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(5)
+        assert metrics.delivered >= 4
+        # Echo deliveries return to the source.
+        assert all(r.source == 2 for r in metrics.deliveries)
+
+    def test_packet_conservation(self, config):
+        topo = chain_topology(3)
+        tasks = TaskSet([Task(task_id=3, source=3, rate=2.0, echo=False)])
+        schedule = make_chain_schedule(topo, config)
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(10)
+        assert (
+            metrics.delivered + metrics.dropped + sim.queued_packets()
+            == metrics.generated
+        )
+
+
+class TestRates:
+    def test_rate_two_generates_two_per_frame(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=2.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign_many([Cell(2, 0), Cell(7, 0)], LinkRef(1, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(5)
+        assert metrics.generated == 10
+        assert metrics.delivered == 10
+
+    def test_fractional_rate(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=0.5, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(10)
+        assert metrics.generated == 5
+
+    def test_set_task_rate_midrun(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign_many(
+            [Cell(0, 0), Cell(3, 0), Cell(6, 0)], LinkRef(1, Direction.UP)
+        )
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        sim.run_slotframes(5)
+        generated_before = sim.metrics.generated
+        sim.set_task_rate(1, 3.0)
+        sim.run_slotframes(5)
+        assert sim.metrics.generated >= generated_before + 14
+
+    def test_set_task_rate_validation(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        sim = TSCHSimulator(topo, Schedule(config), tasks, config)
+        with pytest.raises(ValueError):
+            sim.set_task_rate(1, 0)
+
+
+class TestFailures:
+    def test_cell_conflict_jams_both(self, config):
+        topo = TreeTopology({1: 0, 2: 0, 3: 1})
+        tasks = TaskSet([
+            Task(task_id=2, source=2, rate=1.0, echo=False),
+            Task(task_id=3, source=3, rate=1.0, echo=False),
+        ])
+        schedule = Schedule(config)
+        # Links 2->0 and 3->1 share no node but share a cell: both jam.
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(0, 0), LinkRef(3, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(4)
+        assert metrics.collision_failures > 0
+        assert metrics.delivered == 0  # nothing ever gets through
+
+    def test_half_duplex_node_failure(self, config):
+        topo = TreeTopology({1: 0, 2: 0})
+        tasks = TaskSet([
+            Task(task_id=1, source=1, rate=1.0, echo=False),
+            Task(task_id=2, source=2, rate=1.0, echo=False),
+        ])
+        schedule = Schedule(config)
+        # Same slot, different channels, but the gateway can only hear one.
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(0, 1), LinkRef(2, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(4)
+        assert metrics.half_duplex_failures > 0
+
+    def test_lossy_link_retransmits(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=0.5, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign_many(
+            [Cell(i, 0) for i in range(5)], LinkRef(1, Direction.UP)
+        )
+        sim = TSCHSimulator(
+            topo, schedule, tasks, config,
+            loss_model=UniformPDR(0.5), rng=random.Random(3),
+        )
+        metrics = sim.run_slotframes(40)
+        assert metrics.loss_failures > 0
+        # Plenty of retransmission opportunities: everything delivered.
+        assert metrics.delivered == metrics.generated
+
+    def test_queue_capacity_drops(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=5.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))  # 1 cell/frame
+        sim = TSCHSimulator(topo, schedule, tasks, config, queue_capacity=3)
+        metrics = sim.run_slotframes(10)
+        assert metrics.dropped > 0
+        assert (
+            metrics.delivered + metrics.dropped + sim.queued_packets()
+            == metrics.generated
+        )
+
+
+class TestScheduleSwap:
+    def test_set_schedule_midrun(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        empty = Schedule(config)
+        sim = TSCHSimulator(topo, empty, tasks, config)
+        sim.run_slotframes(3)
+        assert sim.metrics.delivered == 0
+        real = Schedule(config)
+        real.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim.set_schedule(real)
+        sim.run_slotframes(5)
+        assert sim.metrics.delivered >= 5  # backlog drains, one per frame
+
+
+class TestMetricsViews:
+    def test_latency_by_source_and_timeline(self, config):
+        topo = TreeTopology({1: 0, 2: 0})
+        tasks = TaskSet([
+            Task(task_id=1, source=1, rate=1.0, echo=False),
+            Task(task_id=2, source=2, rate=1.0, echo=False),
+        ])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(5, 0), LinkRef(2, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        metrics = sim.run_slotframes(6)
+        stats = metrics.latency_by_source()
+        assert set(stats) == {1, 2}
+        assert stats[1].count >= 5
+        timeline = metrics.latency_timeline(2)
+        assert timeline == sorted(timeline)
+        assert all(lat > 0 for _, lat in timeline)
+
+
+class TestQueueDepth:
+    def test_peak_queue_tracks_backlog(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=3.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))  # 1 cell/frame
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        sim.run_slotframes(10)
+        # Arrivals 3/frame vs service 1/frame: backlog ~2 per frame.
+        assert sim.metrics.peak_queue_depth(1) >= 15
+        assert sim.metrics.peak_queue_depth() == sim.metrics.peak_queue_depth(1)
+
+    def test_balanced_service_keeps_queues_shallow(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        sim.run_slotframes(10)
+        assert sim.metrics.peak_queue_depth(1) <= 2

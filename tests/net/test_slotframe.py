@@ -1,0 +1,172 @@
+"""Unit tests for slotframe, schedule and conflict analysis."""
+
+import pytest
+
+from repro.net.slotframe import (
+    Cell,
+    Schedule,
+    ScheduleConflictError,
+    SlotframeConfig,
+)
+from repro.net.topology import Direction, LinkRef, TreeTopology
+
+
+@pytest.fixture
+def tree():
+    return TreeTopology({1: 0, 2: 0, 3: 1})
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=20, num_channels=4)
+
+
+class TestSlotframeConfig:
+    def test_defaults_match_testbed(self):
+        config = SlotframeConfig()
+        assert config.num_slots == 199
+        assert config.num_channels == 16
+        assert config.duration_s == pytest.approx(1.99)
+        assert config.total_cells == 199 * 16
+
+    def test_management_subframe(self):
+        config = SlotframeConfig(num_slots=20, management_slots=5)
+        assert config.data_slots == 15
+        assert list(config.management_slot_range) == [15, 16, 17, 18, 19]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotframeConfig(num_slots=0)
+        with pytest.raises(ValueError):
+            SlotframeConfig(num_channels=0)
+        with pytest.raises(ValueError):
+            SlotframeConfig(num_slots=10, management_slots=10)
+
+    def test_contains(self, config):
+        assert config.contains(Cell(0, 0))
+        assert config.contains(Cell(19, 3))
+        assert not config.contains(Cell(20, 0))
+        assert not config.contains(Cell(0, 4))
+
+    def test_slot_of_time(self):
+        config = SlotframeConfig(slot_duration_s=0.01)
+        assert config.slot_of_time(0.0) == 0
+        assert config.slot_of_time(1.0) == 100
+
+
+class TestSchedule:
+    def test_assign_and_query(self, config, tree):
+        schedule = Schedule(config)
+        link = LinkRef(1, Direction.UP)
+        schedule.assign(Cell(3, 1), link)
+        schedule.assign(Cell(5, 0), link)
+        assert schedule.cells_of(link) == [Cell(3, 1), Cell(5, 0)]
+        assert schedule.links_in_cell(Cell(3, 1)) == [link]
+        assert schedule.total_assignments == 2
+
+    def test_out_of_frame_rejected(self, config):
+        schedule = Schedule(config)
+        with pytest.raises(ValueError):
+            schedule.assign(Cell(99, 0), LinkRef(1, Direction.UP))
+
+    def test_duplicate_pair_rejected(self, config):
+        schedule = Schedule(config)
+        link = LinkRef(1, Direction.UP)
+        schedule.assign(Cell(0, 0), link)
+        with pytest.raises(ValueError):
+            schedule.assign(Cell(0, 0), link)
+
+    def test_shared_cell_allowed(self, config):
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        assert len(schedule.links_in_cell(Cell(0, 0))) == 2
+
+    def test_remove_link(self, config):
+        schedule = Schedule(config)
+        link = LinkRef(1, Direction.UP)
+        schedule.assign_many([Cell(0, 0), Cell(1, 0)], link)
+        schedule.remove_link(link)
+        assert schedule.cells_of(link) == []
+        assert schedule.total_assignments == 0
+
+    def test_copy_is_independent(self, config):
+        schedule = Schedule(config)
+        link = LinkRef(1, Direction.UP)
+        schedule.assign(Cell(0, 0), link)
+        clone = schedule.copy()
+        clone.assign(Cell(1, 0), link)
+        assert schedule.total_assignments == 1
+        assert clone.total_assignments == 2
+
+    def test_cells_in_slot(self, config):
+        schedule = Schedule(config)
+        schedule.assign(Cell(2, 1), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(2, 3), LinkRef(3, Direction.UP))
+        schedule.assign(Cell(4, 0), LinkRef(2, Direction.UP))
+        entries = schedule.cells_in_slot(2)
+        assert [cell for cell, _ in entries] == [Cell(2, 1), Cell(2, 3)]
+
+
+class TestConflicts:
+    def test_clean_schedule(self, config, tree):
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(1, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(2, 0), LinkRef(3, Direction.UP))
+        report = schedule.conflicts(tree)
+        assert report.is_collision_free
+        assert report.collision_probability == 0.0
+        schedule.validate_collision_free(tree)
+
+    def test_cell_conflict_detected(self, config, tree):
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(0, 0), LinkRef(3, Direction.UP))
+        report = schedule.conflicts(tree)
+        assert report.cell_conflicts == [Cell(0, 0)]
+        assert report.colliding_assignments == 2
+        assert report.collision_probability == 1.0
+
+    def test_half_duplex_conflict_detected(self, config, tree):
+        # Links 1->0 and 2->0 share node 0 in the same slot on different
+        # channels: the gateway cannot receive both.
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(0, 1), LinkRef(2, Direction.UP))
+        report = schedule.conflicts(tree)
+        assert not report.cell_conflicts
+        assert (0, 0) in report.node_conflicts
+        assert report.colliding_assignments == 2
+
+    def test_parent_child_chain_conflict(self, config, tree):
+        # Links 3->1 and 1->0 share node 1.
+        schedule = Schedule(config)
+        schedule.assign(Cell(5, 0), LinkRef(3, Direction.UP))
+        schedule.assign(Cell(5, 2), LinkRef(1, Direction.UP))
+        report = schedule.conflicts(tree)
+        assert (5, 1) in report.node_conflicts
+
+    def test_same_slot_disjoint_nodes_ok(self, config, tree):
+        # Links 3->1 and 2->0 share no node: same slot is fine.
+        schedule = Schedule(config)
+        schedule.assign(Cell(5, 0), LinkRef(3, Direction.UP))
+        schedule.assign(Cell(5, 1), LinkRef(2, Direction.UP))
+        assert schedule.conflicts(tree).is_collision_free
+
+    def test_up_and_down_same_link_conflict(self, config, tree):
+        schedule = Schedule(config)
+        schedule.assign(Cell(5, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(5, 1), LinkRef(1, Direction.DOWN))
+        report = schedule.conflicts(tree)
+        assert not report.is_collision_free
+
+    def test_validate_raises(self, config, tree):
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        with pytest.raises(ScheduleConflictError):
+            schedule.validate_collision_free(tree)
+
+    def test_empty_schedule_probability_zero(self, config, tree):
+        assert Schedule(config).conflicts(tree).collision_probability == 0.0

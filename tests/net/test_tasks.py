@@ -1,0 +1,134 @@
+"""Unit tests for tasks and link-demand derivation."""
+
+import pytest
+
+from repro.net.tasks import (
+    Task,
+    TaskSet,
+    demands_by_parent,
+    e2e_task_per_node,
+    tasks_on_nodes,
+)
+from repro.net.topology import Direction, LinkRef, TreeTopology
+
+
+@pytest.fixture
+def tree():
+    # 0 -> 1 -> {2, 3}; 3 -> 4
+    return TreeTopology({1: 0, 2: 1, 3: 1, 4: 3})
+
+
+class TestTask:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Task(task_id=1, source=2, rate=0)
+
+    def test_period(self):
+        assert Task(task_id=1, source=2, rate=2.0).period_slotframes == 0.5
+
+    def test_downlink_target_defaults_to_source(self):
+        task = Task(task_id=1, source=2)
+        assert task.downlink_target == 2
+        task2 = Task(task_id=1, source=2, destination=4)
+        assert task2.downlink_target == 4
+
+
+class TestTaskSet:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([Task(task_id=1, source=2), Task(task_id=1, source=3)])
+
+    def test_by_id(self, tree):
+        ts = tasks_on_nodes([2, 4])
+        assert ts.by_id(2).source == 2
+        with pytest.raises(KeyError):
+            ts.by_id(99)
+
+    def test_with_rate_replaces_one_task(self):
+        ts = tasks_on_nodes([2, 4])
+        updated = ts.with_rate(2, 3.0)
+        assert updated.by_id(2).rate == 3.0
+        assert updated.by_id(4).rate == 1.0
+        assert ts.by_id(2).rate == 1.0  # original untouched
+
+    def test_with_rate_unknown_task(self):
+        with pytest.raises(KeyError):
+            tasks_on_nodes([2]).with_rate(99, 2.0)
+
+    def test_links_of_uplink_only_task(self, tree):
+        task = Task(task_id=4, source=4, echo=False)
+        links = TaskSet.links_of_task(tree, task)
+        assert links == [
+            LinkRef(4, Direction.UP),
+            LinkRef(3, Direction.UP),
+            LinkRef(1, Direction.UP),
+        ]
+
+    def test_links_of_echo_task(self, tree):
+        task = Task(task_id=4, source=4, echo=True)
+        links = TaskSet.links_of_task(tree, task)
+        assert links[:3] == [
+            LinkRef(4, Direction.UP),
+            LinkRef(3, Direction.UP),
+            LinkRef(1, Direction.UP),
+        ]
+        assert [l.child for l in links[3:]] == [1, 3, 4]
+        assert all(l.direction is Direction.DOWN for l in links[3:])
+
+    def test_tasks_through_link(self, tree):
+        ts = tasks_on_nodes([2, 4])
+        through = ts.tasks_through_link(tree, LinkRef(1, Direction.UP))
+        assert {t.task_id for t in through} == {2, 4}
+        through3 = ts.tasks_through_link(tree, LinkRef(3, Direction.UP))
+        assert {t.task_id for t in through3} == {4}
+
+
+class TestDemands:
+    def test_uplink_demand_accumulates_over_path(self, tree):
+        ts = tasks_on_nodes([2, 4], rate=1.0)
+        demands = ts.link_demands(tree)
+        assert demands[LinkRef(1, Direction.UP)] == 2
+        assert demands[LinkRef(3, Direction.UP)] == 1
+        assert demands[LinkRef(4, Direction.UP)] == 1
+        assert LinkRef(1, Direction.DOWN) not in demands
+
+    def test_fractional_rates_ceil(self, tree):
+        ts = TaskSet([Task(task_id=4, source=4, rate=1.5, echo=False)])
+        demands = ts.link_demands(tree)
+        assert demands[LinkRef(4, Direction.UP)] == 2
+
+    def test_exact_fraction_sum_not_overcounted(self, tree):
+        # Two rate-0.5 tasks through the same link need exactly 1 cell.
+        ts = TaskSet([
+            Task(task_id=2, source=2, rate=0.5, echo=False),
+            Task(task_id=3, source=3, rate=0.5, echo=False),
+        ])
+        demands = ts.link_demands(tree)
+        assert demands[LinkRef(1, Direction.UP)] == 1
+
+    def test_e2e_per_node_demand_equals_subtree_size(self, tree):
+        ts = e2e_task_per_node(tree, rate=1.0)
+        demands = ts.link_demands(tree)
+        for child in (1, 2, 3, 4):
+            expected = tree.subtree_size(child)
+            assert demands[LinkRef(child, Direction.UP)] == expected
+            assert demands[LinkRef(child, Direction.DOWN)] == expected
+
+    def test_total_cells(self, tree):
+        ts = e2e_task_per_node(tree, rate=1.0)
+        # uplink: 4+1+2+1 = 8; downlink mirrors: 16 total
+        assert ts.total_cells(tree) == 16
+
+    def test_demands_by_parent(self, tree):
+        ts = e2e_task_per_node(tree, rate=1.0)
+        demands = ts.link_demands(tree)
+        grouped = demands_by_parent(tree, demands, Direction.UP)
+        assert grouped[0] == {1: 4}
+        assert grouped[1] == {2: 1, 3: 2}
+        assert grouped[3] == {4: 1}
+
+    def test_demands_by_parent_skips_zero(self, tree):
+        grouped = demands_by_parent(
+            tree, {LinkRef(2, Direction.UP): 0}, Direction.UP
+        )
+        assert grouped == {}

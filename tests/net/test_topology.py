@@ -1,0 +1,191 @@
+"""Unit tests for tree topologies and generators."""
+
+import random
+
+import pytest
+
+from repro.net.topology import (
+    Direction,
+    LinkRef,
+    TopologyError,
+    TreeTopology,
+    balanced_tree_with_layers,
+    chain_topology,
+    decompose_forest,
+    layered_random_tree,
+    random_tree,
+    regular_tree,
+)
+
+
+@pytest.fixture
+def paper_tree():
+    """The 12-node, 3-layer topology of Fig. 1(a): gateway 0 with three
+    children, each heading a small subtree."""
+    return TreeTopology({
+        1: 0, 2: 0, 3: 0,
+        4: 1, 5: 1, 6: 2, 7: 3,
+        8: 4, 9: 5, 10: 6, 11: 7,
+    })
+
+
+class TestTreeTopology:
+    def test_nodes_and_devices(self, paper_tree):
+        assert paper_tree.num_nodes == 12
+        assert paper_tree.device_nodes == list(range(1, 12))
+
+    def test_depths_and_layers(self, paper_tree):
+        assert paper_tree.depth_of(0) == 0
+        assert paper_tree.depth_of(3) == 1
+        assert paper_tree.depth_of(7) == 2
+        assert paper_tree.depth_of(11) == 3
+        assert paper_tree.link_layer(11) == 3
+        assert paper_tree.node_layer(7) == 3
+        assert paper_tree.max_layer == 3
+
+    def test_children_sorted(self, paper_tree):
+        assert paper_tree.children_of(0) == [1, 2, 3]
+        assert paper_tree.children_of(1) == [4, 5]
+        assert paper_tree.is_leaf(8)
+        assert not paper_tree.is_leaf(4)
+
+    def test_subtree_queries(self, paper_tree):
+        assert paper_tree.subtree_nodes(1) == [1, 4, 5, 8, 9]
+        assert paper_tree.subtree_size(1) == 5
+        assert paper_tree.subtree_max_layer(1) == 3
+        assert paper_tree.subtree_max_layer(8) == 3
+
+    def test_paths(self, paper_tree):
+        assert paper_tree.path_to_gateway(8) == [8, 4, 1, 0]
+        uplinks = paper_tree.uplink_path(8)
+        assert uplinks == [
+            LinkRef(8, Direction.UP),
+            LinkRef(4, Direction.UP),
+            LinkRef(1, Direction.UP),
+        ]
+        downlinks = paper_tree.downlink_path(8)
+        assert [l.child for l in downlinks] == [1, 4, 8]
+        assert all(l.direction is Direction.DOWN for l in downlinks)
+
+    def test_link_endpoints(self, paper_tree):
+        up = LinkRef(4, Direction.UP)
+        assert up.sender(paper_tree) == 4
+        assert up.receiver(paper_tree) == 1
+        down = LinkRef(4, Direction.DOWN)
+        assert down.sender(paper_tree) == 1
+        assert down.receiver(paper_tree) == 4
+
+    def test_ordering_helpers(self, paper_tree):
+        bottom_up = paper_tree.nodes_bottom_up()
+        assert bottom_up[0] in {8, 9, 10, 11}
+        assert bottom_up[-1] == 0
+        top_down = paper_tree.nodes_top_down()
+        assert top_down[0] == 0
+        assert paper_tree.nodes_at_depth(1) == [1, 2, 3]
+
+    def test_gateway_has_no_parent(self, paper_tree):
+        with pytest.raises(TopologyError):
+            paper_tree.parent_of(0)
+
+    def test_contains_and_iter(self, paper_tree):
+        assert 7 in paper_tree
+        assert 99 not in paper_tree
+        assert list(paper_tree) == paper_tree.nodes
+
+
+class TestValidation:
+    def test_gateway_with_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            TreeTopology({0: 1, 1: 0})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            TreeTopology({1: 99})
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            TreeTopology({1: 1})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TopologyError):
+            TreeTopology({1: 2, 2: 1})
+
+
+class TestGenerators:
+    def test_regular_tree_shape(self):
+        topo = regular_tree(depth=2, fanout=3)
+        assert topo.num_nodes == 1 + 3 + 9
+        assert topo.max_layer == 2
+        assert all(len(topo.children_of(n)) in (0, 3) for n in topo.nodes)
+
+    def test_regular_tree_validation(self):
+        with pytest.raises(ValueError):
+            regular_tree(0, 2)
+        with pytest.raises(ValueError):
+            regular_tree(2, 0)
+
+    def test_chain(self):
+        topo = chain_topology(5)
+        assert topo.max_layer == 5
+        assert topo.num_nodes == 6
+        assert all(len(topo.children_of(n)) <= 1 for n in topo.nodes)
+
+    def test_random_tree_exact_depth_and_size(self):
+        for seed in range(5):
+            topo = random_tree(50, 5, random.Random(seed))
+            assert len(topo.device_nodes) == 50
+            assert topo.max_layer == 5
+
+    def test_random_tree_reproducible(self):
+        a = random_tree(30, 4, random.Random(7))
+        b = random_tree(30, 4, random.Random(7))
+        assert a.parent_map == b.parent_map
+
+    def test_random_tree_max_children(self):
+        topo = random_tree(30, 4, random.Random(1), max_children=3)
+        assert all(len(topo.children_of(n)) <= 3 for n in topo.nodes)
+
+    def test_random_tree_needs_enough_devices(self):
+        with pytest.raises(ValueError):
+            random_tree(3, 5, random.Random(0))
+
+    def test_layered_random_tree(self):
+        for seed in range(5):
+            topo = layered_random_tree(50, 5, random.Random(seed))
+            assert len(topo.device_nodes) == 50
+            assert topo.max_layer == 5
+            # every layer populated
+            for depth in range(1, 6):
+                assert topo.nodes_at_depth(depth)
+
+    def test_balanced_tree_with_layers(self):
+        topo = balanced_tree_with_layers([8, 12, 12, 10, 8])
+        assert len(topo.device_nodes) == 50
+        assert topo.max_layer == 5
+        assert len(topo.nodes_at_depth(2)) == 12
+
+    def test_balanced_tree_validation(self):
+        with pytest.raises(ValueError):
+            balanced_tree_with_layers([])
+        with pytest.raises(ValueError):
+            balanced_tree_with_layers([3, 0])
+
+
+class TestDecomposeForest:
+    def test_shortest_parent_chosen(self):
+        topo = decompose_forest({
+            1: [0],
+            2: [0, 1],
+            3: [1, 2],
+        })
+        assert topo.parent_of(2) == 0
+        assert topo.parent_of(3) in (1, 2)
+        assert topo.depth_of(3) == 2
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(TopologyError):
+            decompose_forest({1: [2], 2: [1]})
+
+    def test_tie_broken_by_id(self):
+        topo = decompose_forest({1: [0], 2: [0], 3: [2, 1]})
+        assert topo.parent_of(3) == 1

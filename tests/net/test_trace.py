@@ -1,0 +1,140 @@
+"""Tests for the transmission trace recorder."""
+
+import random
+
+import pytest
+
+from repro.net.radio import UniformPDR
+from repro.net.sim import TraceRecorder, TSCHSimulator, TxOutcome
+from repro.net.slotframe import Cell, Schedule, SlotframeConfig
+from repro.net.tasks import Task, TaskSet
+from repro.net.topology import Direction, LinkRef, TreeTopology, chain_topology
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=10, num_channels=4)
+
+
+def traced_sim(topology, schedule, tasks, config, **kwargs):
+    sim = TSCHSimulator(topology, schedule, tasks, config, **kwargs)
+    sim.trace = TraceRecorder()
+    return sim
+
+
+class TestRecording:
+    def test_delivered_events(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim = traced_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(3)
+        delivered = sim.trace.events(outcome=TxOutcome.DELIVERED)
+        assert len(delivered) == 3
+        assert all(e.link == LinkRef(1, Direction.UP) for e in delivered)
+        assert [e.seq for e in delivered] == [0, 1, 2]
+
+    def test_collision_events(self, config):
+        topo = TreeTopology({1: 0, 2: 0, 3: 1})
+        tasks = TaskSet([
+            Task(task_id=2, source=2, rate=1.0, echo=False),
+            Task(task_id=3, source=3, rate=1.0, echo=False),
+        ])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(0, 0), LinkRef(3, Direction.UP))
+        sim = traced_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(2)
+        collisions = sim.trace.events(outcome=TxOutcome.COLLISION)
+        assert len(collisions) == 4  # both links, both frames
+
+    def test_half_duplex_events(self, config):
+        topo = TreeTopology({1: 0, 2: 0})
+        tasks = TaskSet([
+            Task(task_id=1, source=1, rate=1.0, echo=False),
+            Task(task_id=2, source=2, rate=1.0, echo=False),
+        ])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        schedule.assign(Cell(0, 1), LinkRef(2, Direction.UP))
+        sim = traced_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(1)
+        assert sim.trace.events(outcome=TxOutcome.HALF_DUPLEX)
+
+    def test_loss_events(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign_many(
+            [Cell(i, 0) for i in range(4)], LinkRef(1, Direction.UP)
+        )
+        sim = traced_sim(
+            topo, schedule, tasks, config,
+            loss_model=UniformPDR(0.3), rng=random.Random(1),
+        )
+        sim.run_slotframes(10)
+        assert sim.trace.events(outcome=TxOutcome.CHANNEL_LOSS)
+
+    def test_trace_matches_metrics(self, config):
+        topo = chain_topology(2)
+        tasks = TaskSet([Task(task_id=2, source=2, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(1, 0), LinkRef(1, Direction.UP))
+        sim = traced_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(5)
+        counts = sim.trace.outcome_counts()
+        assert counts.get(TxOutcome.DELIVERED, 0) == (
+            sim.metrics.transmissions_succeeded
+        )
+        assert len(sim.trace) == sim.metrics.transmissions_attempted
+
+    def test_bounded_capacity_drops_oldest(self, config):
+        topo = chain_topology(1)
+        tasks = TaskSet([Task(task_id=1, source=1, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(1, Direction.UP))
+        sim = TSCHSimulator(topo, schedule, tasks, config)
+        sim.trace = TraceRecorder(max_events=3)
+        sim.run_slotframes(10)
+        assert len(sim.trace) == 3
+        assert min(e.seq for e in sim.trace) == 7
+
+
+class TestViews:
+    def _traced(self, config):
+        topo = chain_topology(2)
+        tasks = TaskSet([Task(task_id=2, source=2, rate=1.0, echo=False)])
+        schedule = Schedule(config)
+        schedule.assign(Cell(0, 0), LinkRef(2, Direction.UP))
+        schedule.assign(Cell(1, 0), LinkRef(1, Direction.UP))
+        sim = traced_sim(topo, schedule, tasks, config)
+        sim.run_slotframes(4)
+        return sim
+
+    def test_filter_by_link_and_slot(self, config):
+        sim = self._traced(config)
+        link = LinkRef(2, Direction.UP)
+        events = sim.trace.events(link=link, since_slot=config.num_slots)
+        assert events
+        assert all(e.link == link and e.slot >= config.num_slots
+                   for e in events)
+
+    def test_link_activity(self, config):
+        sim = self._traced(config)
+        activity = sim.trace.link_activity()
+        attempts, delivered = activity[LinkRef(2, Direction.UP)]
+        assert attempts == delivered == 4
+
+    def test_render(self, config):
+        sim = self._traced(config)
+        text = sim.trace.render(limit=5)
+        assert "outcome" in text
+        assert "delivered" in text
+
+    def test_render_summary(self, config):
+        sim = self._traced(config)
+        text = sim.trace.render_summary()
+        assert "attempts" in text
+        assert "1.000" in text

@@ -1,0 +1,167 @@
+"""Unit tests for the management-plane transport."""
+
+import pytest
+
+from repro.net.protocol.messages import PutInterface, ScheduleUpdate
+from repro.net.protocol.transport import ManagementPlane
+from repro.net.slotframe import SlotframeConfig
+from repro.net.topology import TreeTopology
+
+
+@pytest.fixture
+def tree():
+    # chain: 0 - 1 - 2 - 3, plus sibling 4 under 0
+    return TreeTopology({1: 0, 2: 1, 3: 2, 4: 0})
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=100, num_channels=16)
+
+
+class TestOneHop:
+    def test_clock_advances(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        before = plane.now_slot
+        after = plane.deliver(PutInterface(src=2, dst=1))
+        assert after > before
+        assert plane.now_slot == after
+
+    def test_counters(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        plane.deliver(PutInterface(src=2, dst=1))
+        plane.deliver(PutInterface(src=3, dst=2))
+        assert plane.stats.total_messages == 2
+        assert plane.stats.messages_by_endpoint[("intf", "PUT")] == 2
+        assert plane.stats.messages_by_node[2] == 1
+
+    def test_same_sender_serializes_one_per_slotframe(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        first = plane.deliver(PutInterface(src=2, dst=1))
+        second = plane.deliver(PutInterface(src=2, dst=3))
+        # The second send must wait for node 2's next management cell,
+        # a full slotframe later.
+        assert second - first == config.num_slots
+
+    def test_log_records_messages(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        plane.deliver(PutInterface(src=2, dst=1))
+        assert len(plane.log) == 1
+        assert plane.log[0][1].src == 2
+
+    def test_tx_slot_deterministic(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        assert plane.tx_slot_of(3) == plane.tx_slot_of(3)
+        assert 0 <= plane.tx_slot_of(3) < config.num_slots
+
+
+class TestRouted:
+    def test_hop_count_up_chain(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        plane.deliver_routed(PutInterface(src=3, dst=0))
+        assert plane.stats.total_messages == 3  # 3->2->1->0
+
+    def test_hop_count_down_chain(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        plane.deliver_routed(ScheduleUpdate(src=0, dst=3))
+        assert plane.stats.total_messages == 3
+
+    def test_route_through_common_ancestor(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        plane.deliver_routed(PutInterface(src=3, dst=4))
+        # 3 -> 2 -> 1 -> 0 -> 4
+        assert plane.stats.total_messages == 4
+
+    def test_routed_preserves_endpoint_accounting(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        plane.deliver_routed(PutInterface(src=3, dst=0))
+        assert plane.stats.messages_by_endpoint[("intf", "PUT")] == 3
+
+    def test_routed_requires_topology(self, config):
+        plane = ManagementPlane(config)
+        with pytest.raises(RuntimeError):
+            plane.deliver_routed(PutInterface(src=1, dst=0))
+
+
+class TestTiming:
+    def test_elapsed_helpers(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        start = plane.now_slot
+        plane.deliver(PutInterface(src=1, dst=0))
+        assert plane.elapsed_since(start) > 0
+        assert plane.elapsed_seconds_since(start) == pytest.approx(
+            plane.elapsed_since(start) * config.slot_duration_s
+        )
+        assert plane.elapsed_slotframes_since(start) >= 1
+
+    def test_stats_snapshot_is_independent(self, tree, config):
+        plane = ManagementPlane(config, tree)
+        plane.deliver(PutInterface(src=1, dst=0))
+        snap = plane.stats.snapshot()
+        plane.deliver(PutInterface(src=1, dst=0))
+        assert snap.total_messages == 1
+        assert plane.stats.total_messages == 2
+
+
+class TestLossyPlane:
+    def test_loss_costs_time_not_correctness(self, tree, config):
+        import random as _random
+
+        lossless = ManagementPlane(config, tree)
+        lossy = ManagementPlane(
+            config, tree, loss_probability=0.5, rng=_random.Random(5)
+        )
+        for plane in (lossless, lossy):
+            for _ in range(20):
+                plane.deliver(PutInterface(src=2, dst=1))
+        assert lossy.stats.retransmissions > 0
+        # Every message still delivered (counted), just later.
+        assert lossy.log and len(lossy.log) == len(lossless.log)
+        assert lossy.now_slot > lossless.now_slot
+
+    def test_retransmissions_counted_as_packets(self, tree, config):
+        import random as _random
+
+        plane = ManagementPlane(
+            config, tree, loss_probability=0.6, rng=_random.Random(1)
+        )
+        plane.deliver(PutInterface(src=2, dst=1))
+        assert (
+            plane.stats.total_messages
+            == 1 + plane.stats.retransmissions
+        )
+
+    def test_retry_cap_forces_progress(self, tree, config):
+        import random as _random
+
+        plane = ManagementPlane(
+            config, tree, loss_probability=0.99,
+            rng=_random.Random(0), max_retries=3,
+        )
+        plane.deliver(PutInterface(src=2, dst=1))
+        assert plane.stats.total_messages <= 5  # 1 + at most max_retries+1
+
+    def test_invalid_loss_probability(self, tree, config):
+        with pytest.raises(ValueError):
+            ManagementPlane(config, tree, loss_probability=1.0)
+
+    def test_adjustment_under_lossy_plane_stays_correct(self):
+        """Failure injection: a lossy management plane slows adjustments
+        but never corrupts the partition state."""
+        import random as _random
+
+        from repro.core.manager import HarpNetwork
+        from repro.net.tasks import e2e_task_per_node
+        from repro.net.topology import TreeTopology as _TT
+
+        topo = _TT({1: 0, 2: 0, 3: 1, 4: 1, 5: 3})
+        harp = HarpNetwork(
+            topo, e2e_task_per_node(topo), SlotframeConfig(num_slots=80)
+        )
+        harp.allocate()
+        harp.plane.loss_probability = 0.4
+        harp.plane.rng = _random.Random(9)
+        report = harp.request_rate_change(5, 3.0)
+        assert report.success
+        harp.validate()
+        assert harp.plane.stats.retransmissions >= 0

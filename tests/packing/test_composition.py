@@ -1,0 +1,113 @@
+"""Unit tests for Algorithm 1 (resource component composition)."""
+
+import pytest
+
+from repro.packing.composition import (
+    compose_components,
+    compose_single_rectangle,
+)
+from repro.packing.geometry import PlacedRect, Rect, any_overlap
+from repro.packing.strip import PackingError
+
+
+def assert_contains_all(result, components):
+    """Composite contains every child placement, no overlaps."""
+    composite = PlacedRect(0, 0, result.n_slots, result.n_channels)
+    real = [p for p in result.placements if not p.is_empty]
+    assert not any_overlap(real)
+    for placed in real:
+        assert composite.contains(placed), (placed, composite)
+    assert set(result.layout) == {c.tag for c in components}
+
+
+class TestComposeComponents:
+    def test_single_component_identity(self):
+        result = compose_components([Rect(4, 1, "a")], num_channels=16)
+        assert (result.n_slots, result.n_channels) == (4, 1)
+        assert result.layout["a"] == PlacedRect(0, 0, 4, 1, "a")
+
+    def test_rows_stack_on_channels(self):
+        # Three single-channel rows of equal width: minimum slots is the
+        # row width; channels stack to 3.
+        comps = [Rect(5, 1, i) for i in range(3)]
+        result = compose_components(comps, num_channels=16)
+        assert result.n_slots == 5
+        assert result.n_channels == 3
+        assert_contains_all(result, comps)
+
+    def test_slots_minimized_before_channels(self):
+        # Width-2 and width-3 rows: with 16 channels, minimum slot count
+        # is 3 (the widest row); channels then minimized to 2.
+        comps = [Rect(3, 1, "a"), Rect(2, 1, "b")]
+        result = compose_components(comps, num_channels=16)
+        assert result.n_slots == 3
+        assert result.n_channels == 2
+        assert_contains_all(result, comps)
+
+    def test_channel_budget_forces_wider_composite(self):
+        # Four width-2 rows with only 2 channels: cannot stack all four,
+        # so the composite must widen to 4 slots.
+        comps = [Rect(2, 1, i) for i in range(4)]
+        result = compose_components(comps, num_channels=2)
+        assert result.n_slots == 4
+        assert result.n_channels == 2
+        assert_contains_all(result, comps)
+
+    def test_component_taller_than_medium_rejected(self):
+        with pytest.raises(PackingError):
+            compose_components([Rect(1, 17, "x")], num_channels=16)
+
+    def test_mixed_heights(self):
+        comps = [Rect(4, 2, "a"), Rect(4, 1, "b"), Rect(2, 3, "c")]
+        result = compose_components(comps, num_channels=16)
+        assert_contains_all(result, comps)
+        # Slot extent can never beat the widest child.
+        assert result.n_slots >= 4
+
+    def test_empty_components_preserved_in_layout(self):
+        comps = [Rect(3, 1, "a"), Rect(0, 0, "empty")]
+        result = compose_components(comps, num_channels=4)
+        assert "empty" in result.layout
+        assert result.layout["empty"].is_empty
+
+    def test_all_empty(self):
+        result = compose_components([Rect(0, 0, "e")], num_channels=4)
+        assert (result.n_slots, result.n_channels) == (0, 0)
+
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(ValueError):
+            compose_components([Rect(1, 1, "a"), Rect(2, 1, "a")], 4)
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ValueError):
+            compose_components([Rect(1, 1)], 4)
+
+    def test_bad_channel_count(self):
+        with pytest.raises(ValueError):
+            compose_components([Rect(1, 1, "a")], 0)
+
+    def test_channels_never_exceed_medium(self):
+        comps = [Rect(2, 3, i) for i in range(5)]
+        result = compose_components(comps, num_channels=4)
+        assert result.n_channels <= 4
+        assert_contains_all(result, comps)
+
+
+class TestSingleRectangleAblation:
+    def test_time_axis_concatenation(self):
+        comps = [Rect(3, 1, "a"), Rect(2, 2, "b")]
+        result = compose_single_rectangle(comps, num_channels=16)
+        assert result.n_slots == 5  # widths summed, never stacked
+        assert result.n_channels == 2
+        assert_contains_all(result, comps)
+
+    def test_layered_beats_single_rectangle_on_slots(self):
+        # The Fig. 3 motivation: stacking across channels saves slots.
+        comps = [Rect(4, 1, i) for i in range(4)]
+        layered = compose_components(comps, num_channels=16)
+        single = compose_single_rectangle(comps, num_channels=16)
+        assert layered.n_slots < single.n_slots
+
+    def test_too_tall_rejected(self):
+        with pytest.raises(PackingError):
+            compose_single_rectangle([Rect(1, 5, "x")], num_channels=4)

@@ -1,0 +1,91 @@
+"""Unit tests for the exact branch-and-bound packer."""
+
+import random
+
+import pytest
+
+from repro.packing.exact import (
+    SearchBudgetExceeded,
+    exact_min_height,
+    exact_pack,
+)
+from repro.packing.geometry import PlacedRect, Rect, any_overlap
+from repro.packing.rpp import can_pack
+from repro.packing.strip import strip_pack
+
+
+class TestExactPack:
+    def test_trivial(self):
+        layout = exact_pack([Rect(2, 2, "a")], 4, 4)
+        assert layout is not None
+        assert layout["a"] == PlacedRect(0, 0, 2, 2, "a")
+
+    def test_perfect_tiling(self):
+        rects = [Rect(2, 2, i) for i in range(4)]
+        layout = exact_pack(rects, 4, 4)
+        assert layout is not None
+        assert not any_overlap(list(layout.values()))
+        assert sum(p.area for p in layout.values()) == 16
+
+    def test_provably_infeasible(self):
+        # Two 2x2 cannot be disjoint anywhere in a 3x3 box.
+        assert exact_pack([Rect(2, 2, "a"), Rect(2, 2, "b")], 3, 3) is None
+
+    def test_beats_greedy_heuristics(self):
+        # A tetris-like instance: 3x1, 1x3, 2x2, 1x1, 2x1 exactly tile
+        # nothing simple, but they do fit 3x4 (area 12 = 3+3+4+1+... no:
+        # 3+3+4+1+2 = 13 > 12); use an exact-area instance instead:
+        rects = [Rect(3, 1, "a"), Rect(1, 3, "b"), Rect(2, 2, "c"),
+                 Rect(2, 1, "d"), Rect(1, 1, "e")]  # area 3+3+4+2+1 = 13
+        layout = exact_pack(rects, 4, 4)  # 16 cells, must fit
+        assert layout is not None
+        assert not any_overlap(list(layout.values()))
+
+    def test_empty_rects(self):
+        layout = exact_pack([Rect(0, 0, "e"), Rect(1, 1, "r")], 2, 2)
+        assert layout is not None
+        assert layout["e"].is_empty
+
+    def test_budget_exceeded_raises(self):
+        rects = [Rect(1, 1, i) for i in range(12)]
+        with pytest.raises(SearchBudgetExceeded):
+            exact_pack(rects, 20, 20, node_limit=3)
+
+
+class TestExactMinHeight:
+    def test_matches_obvious_cases(self):
+        assert exact_min_height([Rect(4, 2, "a")], 4) == 2
+        assert exact_min_height([Rect(2, 1, "a"), Rect(2, 1, "b")], 4) == 1
+        assert exact_min_height([], 4) == 0
+
+    def test_area_bound_achieved_when_tileable(self):
+        rects = [Rect(2, 2, i) for i in range(4)]
+        assert exact_min_height(rects, 4) == 4
+
+    def test_never_above_heuristic(self):
+        rng = random.Random(0)
+        for trial in range(15):
+            rects = [
+                Rect(rng.randint(1, 4), rng.randint(1, 3), i)
+                for i in range(rng.randint(2, 6))
+            ]
+            width = rng.randint(4, 8)
+            exact = exact_min_height(rects, width)
+            heuristic = strip_pack(rects, width).height
+            assert exact <= heuristic
+            # And the exact result is actually achievable.
+            assert exact_pack(rects, width, exact) is not None
+            if exact > 0:
+                assert exact_pack(rects, width, exact - 1) is None
+
+    def test_heuristic_feasibility_never_contradicts_exact(self):
+        """can_pack (heuristic) saying feasible implies exact agrees."""
+        rng = random.Random(1)
+        for trial in range(15):
+            rects = [
+                Rect(rng.randint(1, 4), rng.randint(1, 3), i)
+                for i in range(rng.randint(2, 6))
+            ]
+            w, h = rng.randint(3, 8), rng.randint(2, 6)
+            if can_pack(rects, w, h).feasible:
+                assert exact_pack(rects, w, h) is not None

@@ -1,0 +1,95 @@
+"""Unit tests for maximal-free-rectangle tracking and obstacle packing."""
+
+from repro.packing.free_space import FreeSpace, pack_with_obstacles
+from repro.packing.geometry import PlacedRect, Rect, any_overlap
+
+
+class TestFreeSpace:
+    def test_initial_free_is_container(self):
+        space = FreeSpace(PlacedRect(0, 0, 10, 4))
+        assert space.free_rects == [PlacedRect(0, 0, 10, 4)]
+        assert space.idle_cells() == 40
+
+    def test_empty_container(self):
+        space = FreeSpace(PlacedRect(0, 0, 0, 4))
+        assert space.free_rects == []
+        assert space.find_position(Rect(1, 1)) is None
+
+    def test_occupy_splits(self):
+        space = FreeSpace(PlacedRect(0, 0, 10, 4))
+        space.occupy(PlacedRect(0, 0, 4, 4))
+        assert space.idle_cells() == 24
+        assert all(not r.overlaps(PlacedRect(0, 0, 4, 4)) for r in space.free_rects)
+
+    def test_occupy_center_leaves_four_maximal_rects(self):
+        space = FreeSpace(PlacedRect(0, 0, 10, 10))
+        space.occupy(PlacedRect(4, 4, 2, 2))
+        assert len(space.free_rects) == 4
+        assert space.idle_cells() == 96
+
+    def test_occupy_outside_is_noop(self):
+        space = FreeSpace(PlacedRect(0, 0, 4, 4))
+        space.occupy(PlacedRect(10, 10, 2, 2))
+        assert space.idle_cells() == 16
+
+    def test_find_position_best_short_side(self):
+        space = FreeSpace(PlacedRect(0, 0, 10, 4))
+        space.occupy(PlacedRect(0, 0, 9, 3))  # leaves 1x4 column + 10x1 row
+        placed = space.find_position(Rect(10, 1))
+        assert placed == PlacedRect(0, 3, 10, 1)
+
+    def test_place_consumes_space(self):
+        space = FreeSpace(PlacedRect(0, 0, 4, 2))
+        first = space.place(Rect(4, 1, "a"))
+        second = space.place(Rect(4, 1, "b"))
+        third = space.place(Rect(1, 1, "c"))
+        assert first is not None and second is not None
+        assert not first.overlaps(second)
+        assert third is None
+
+    def test_absolute_coordinates_respected(self):
+        space = FreeSpace(PlacedRect(5, 7, 4, 2))
+        placed = space.place(Rect(2, 2))
+        assert placed.x >= 5 and placed.y >= 7
+
+
+class TestPackWithObstacles:
+    def test_simple_fit_around_obstacle(self):
+        container = PlacedRect(0, 0, 10, 2)
+        obstacle = PlacedRect(0, 0, 5, 2)
+        layout = pack_with_obstacles([Rect(5, 2, "a")], container, [obstacle])
+        assert layout is not None
+        assert not layout["a"].overlaps(obstacle)
+        assert container.contains(layout["a"])
+
+    def test_no_fit_returns_none(self):
+        container = PlacedRect(0, 0, 6, 2)
+        obstacle = PlacedRect(0, 0, 4, 2)
+        assert pack_with_obstacles([Rect(4, 2, "a")], container, [obstacle]) is None
+
+    def test_multiple_components(self):
+        container = PlacedRect(0, 0, 8, 4)
+        obstacles = [PlacedRect(0, 0, 4, 2)]
+        layout = pack_with_obstacles(
+            [Rect(4, 2, "a"), Rect(4, 2, "b"), Rect(4, 2, "c")],
+            container,
+            obstacles,
+        )
+        assert layout is not None
+        placements = list(layout.values()) + obstacles
+        assert not any_overlap(placements)
+        for placed in layout.values():
+            assert container.contains(placed)
+
+    def test_empty_component_list(self):
+        assert pack_with_obstacles([], PlacedRect(0, 0, 2, 2)) == {}
+
+    def test_decreasing_area_order_improves_packing(self):
+        # A small-first greedy could strand the large rect; area order
+        # places the 4x2 first and everything fits.
+        container = PlacedRect(0, 0, 6, 2)
+        layout = pack_with_obstacles(
+            [Rect(2, 2, "small"), Rect(4, 2, "large")], container, []
+        )
+        assert layout is not None
+        assert not any_overlap(list(layout.values()))

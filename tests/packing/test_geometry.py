@@ -1,0 +1,145 @@
+"""Unit tests for rectangle primitives."""
+
+import pytest
+
+from repro.packing.geometry import (
+    PlacedRect,
+    Rect,
+    any_overlap,
+    bounding_box,
+    coverage_grid,
+    total_area,
+)
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(3, 4).area == 12
+
+    def test_zero_dimensions_are_empty(self):
+        assert Rect(0, 5).is_empty
+        assert Rect(5, 0).is_empty
+        assert not Rect(1, 1).is_empty
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(-1, 2)
+        with pytest.raises(ValueError):
+            Rect(2, -1)
+
+    def test_fits_in(self):
+        assert Rect(3, 4).fits_in(3, 4)
+        assert not Rect(3, 4).fits_in(2, 4)
+        assert not Rect(3, 4).fits_in(3, 3)
+
+    def test_rotated_swaps_dimensions_and_keeps_tag(self):
+        rect = Rect(3, 4, tag="a")
+        rotated = rect.rotated()
+        assert (rotated.width, rotated.height, rotated.tag) == (4, 3, "a")
+
+    def test_at_produces_placed_rect(self):
+        placed = Rect(2, 3, tag="x").at(5, 7)
+        assert placed == PlacedRect(5, 7, 2, 3, "x")
+
+
+class TestPlacedRect:
+    def test_bounds(self):
+        placed = PlacedRect(2, 3, 4, 5)
+        assert placed.x2 == 6
+        assert placed.y2 == 8
+
+    def test_overlap_positive(self):
+        a = PlacedRect(0, 0, 4, 4)
+        b = PlacedRect(3, 3, 4, 4)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_touching_edges_do_not_overlap(self):
+        a = PlacedRect(0, 0, 4, 4)
+        right = PlacedRect(4, 0, 4, 4)
+        above = PlacedRect(0, 4, 4, 4)
+        assert not a.overlaps(right)
+        assert not a.overlaps(above)
+
+    def test_empty_rect_never_overlaps(self):
+        a = PlacedRect(0, 0, 0, 5)
+        b = PlacedRect(0, 0, 5, 5)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_contains(self):
+        outer = PlacedRect(0, 0, 10, 10)
+        inner = PlacedRect(2, 2, 3, 3)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_contains_empty_anywhere(self):
+        outer = PlacedRect(0, 0, 2, 2)
+        assert outer.contains(PlacedRect(100, 100, 0, 0))
+
+    def test_contains_cell(self):
+        placed = PlacedRect(2, 3, 2, 2)
+        assert placed.contains_cell(2, 3)
+        assert placed.contains_cell(3, 4)
+        assert not placed.contains_cell(4, 3)
+        assert not placed.contains_cell(2, 5)
+
+    def test_intersection(self):
+        a = PlacedRect(0, 0, 4, 4)
+        b = PlacedRect(2, 2, 4, 4)
+        inter = a.intersection(b)
+        assert inter == PlacedRect(2, 2, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        a = PlacedRect(0, 0, 2, 2)
+        b = PlacedRect(5, 5, 2, 2)
+        assert a.intersection(b) is None
+
+    def test_translated(self):
+        placed = PlacedRect(1, 1, 2, 2, "t")
+        moved = placed.translated(3, -1)
+        assert moved == PlacedRect(4, 0, 2, 2, "t")
+
+    def test_cells_enumeration(self):
+        placed = PlacedRect(1, 2, 2, 2)
+        assert sorted(placed.cells()) == [(1, 2), (1, 3), (2, 2), (2, 3)]
+
+    def test_distance_to_touching_is_zero(self):
+        a = PlacedRect(0, 0, 2, 2)
+        b = PlacedRect(2, 0, 2, 2)
+        assert a.distance_to(b) == 0
+
+    def test_distance_to_gap(self):
+        a = PlacedRect(0, 0, 2, 2)
+        b = PlacedRect(5, 0, 2, 2)
+        assert a.distance_to(b) == 3
+        c = PlacedRect(5, 7, 2, 2)
+        assert a.distance_to(c) == 5  # Chebyshev
+
+
+class TestHelpers:
+    def test_any_overlap(self):
+        rects = [PlacedRect(0, 0, 2, 2), PlacedRect(3, 0, 2, 2)]
+        assert not any_overlap(rects)
+        rects.append(PlacedRect(1, 1, 2, 2))
+        assert any_overlap(rects)
+
+    def test_bounding_box(self):
+        box = bounding_box([PlacedRect(1, 2, 2, 2), PlacedRect(5, 0, 1, 1)])
+        assert box == PlacedRect(1, 0, 5, 4)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+        with pytest.raises(ValueError):
+            bounding_box([PlacedRect(0, 0, 0, 0)])
+
+    def test_total_area(self):
+        assert total_area([Rect(2, 2), Rect(3, 1)]) == 7
+
+    def test_coverage_grid_counts(self):
+        grid = coverage_grid(
+            [PlacedRect(0, 0, 2, 1), PlacedRect(1, 0, 2, 1)], width=3, height=1
+        )
+        assert [grid[x][0] for x in range(3)] == [1, 2, 1]

@@ -1,0 +1,71 @@
+"""Unit tests for the rectangle-packing feasibility test (Problem 2)."""
+
+from repro.packing.geometry import PlacedRect, Rect, any_overlap
+from repro.packing.rpp import can_pack
+
+
+def assert_layout_valid(result, n_slots, n_channels):
+    box = PlacedRect(0, 0, n_slots, n_channels)
+    real = [p for p in result.layout.values() if not p.is_empty]
+    assert not any_overlap(real)
+    for placed in real:
+        assert box.contains(placed)
+
+
+class TestCanPack:
+    def test_trivial_fit(self):
+        result = can_pack([Rect(2, 2, "a")], 4, 4)
+        assert result.feasible
+        assert_layout_valid(result, 4, 4)
+
+    def test_exact_fit(self):
+        comps = [Rect(2, 2, i) for i in range(4)]
+        result = can_pack(comps, 4, 4)
+        assert result.feasible
+        assert_layout_valid(result, 4, 4)
+
+    def test_area_rejection(self):
+        comps = [Rect(3, 3, "a"), Rect(3, 3, "b")]
+        assert not can_pack(comps, 4, 4).feasible
+
+    def test_dimension_rejection(self):
+        assert not can_pack([Rect(5, 1, "a")], 4, 4).feasible
+        assert not can_pack([Rect(1, 5, "a")], 4, 4).feasible
+
+    def test_transposed_orientation_helps(self):
+        # Three 1x4 columns in a 4x3 box fit only when the heuristic
+        # tries the channel-first orientation.
+        comps = [Rect(1, 3, i) for i in range(4)]
+        result = can_pack(comps, 4, 3)
+        assert result.feasible
+        assert_layout_valid(result, 4, 3)
+
+    def test_empty_components_always_fit(self):
+        result = can_pack([Rect(0, 0, "e")], 1, 1)
+        assert result.feasible
+        assert result.layout["e"].is_empty
+
+    def test_empty_box_rejects_real_components(self):
+        assert not can_pack([Rect(1, 1, "a")], 0, 4).feasible
+        assert not can_pack([Rect(1, 1, "a")], 4, 0).feasible
+
+    def test_no_components(self):
+        assert can_pack([], 3, 3).feasible
+
+    def test_rows_into_channel_stack(self):
+        comps = [Rect(4, 1, i) for i in range(3)]
+        result = can_pack(comps, 4, 3)
+        assert result.feasible
+        assert_layout_valid(result, 4, 3)
+
+    def test_infeasible_shape_mix(self):
+        # Area fits (8 <= 9) but shapes cannot tile a 3x3 box.
+        comps = [Rect(2, 2, i) for i in range(2)]
+        result = can_pack(comps, 3, 3)
+        # Two 2x2 cannot be disjoint in 3x3? They can: (0,0) and... a 2x2
+        # at (0,0) leaves an L; the other fits at (0,... no: x ranges
+        # 0..3: (0,0,2,2) and... x=1..3 overlaps; actually (0,0) and
+        # nothing else fits: remaining columns are width 1.  Verify the
+        # heuristic correctly reports infeasible-or-feasible consistently
+        # with geometry: it must be infeasible.
+        assert not result.feasible

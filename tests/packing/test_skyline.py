@@ -1,0 +1,128 @@
+"""Unit tests for the best-fit skyline packer."""
+
+import pytest
+
+from repro.packing.geometry import PlacedRect, Rect, any_overlap
+from repro.packing.skyline import SkylinePacker, pack_rects
+
+
+def assert_valid_packing(result, width, max_height=None):
+    """Shared structural assertions over a PackResult."""
+    real = [p for p in result.placements if not p.is_empty]
+    assert not any_overlap(real)
+    for placed in real:
+        assert placed.x >= 0 and placed.y >= 0
+        assert placed.x2 <= width
+        if max_height is not None:
+            assert placed.y2 <= max_height
+
+
+class TestStripMode:
+    def test_single_rectangle_at_origin(self):
+        result = pack_rects([Rect(3, 2, "a")], width=10)
+        assert result.success
+        assert result.placements[0] == PlacedRect(0, 0, 3, 2, "a")
+        assert result.height == 2
+
+    def test_exact_row_fill(self):
+        rects = [Rect(5, 1, i) for i in range(3)]
+        result = pack_rects(rects, width=15)
+        assert result.success
+        assert result.height == 1
+
+    def test_stacking_when_row_is_full(self):
+        rects = [Rect(10, 1, "a"), Rect(10, 1, "b")]
+        result = pack_rects(rects, width=10)
+        assert result.success
+        assert result.height == 2
+
+    def test_perfect_fit_preferred(self):
+        # A 4-wide segment appears after placing the 6-wide rect; best-fit
+        # should put the exactly-4-wide rect there, not the 3-wide one.
+        result = pack_rects(
+            [Rect(6, 2, "big"), Rect(4, 1, "exact"), Rect(3, 1, "small")],
+            width=10,
+        )
+        assert result.success
+        by_tag = {p.tag: p for p in result.placements}
+        assert by_tag["exact"].x == 6
+        assert by_tag["exact"].y == 0
+
+    def test_height_reported(self):
+        result = pack_rects([Rect(2, 3, "a"), Rect(2, 5, "b")], width=2)
+        assert result.height == 8
+
+    def test_too_wide_rect_reported_unplaced(self):
+        result = pack_rects([Rect(11, 1, "w")], width=10)
+        assert not result.success
+        assert result.unplaced[0].tag == "w"
+
+    def test_empty_rects_placed_trivially(self):
+        result = pack_rects([Rect(0, 5, "e"), Rect(2, 2, "r")], width=4)
+        assert result.success
+        assert len(result.placements) == 2
+        assert result.height == 2
+
+    def test_no_rects(self):
+        result = pack_rects([], width=4)
+        assert result.success
+        assert result.height == 0
+
+    def test_no_overlap_on_mixed_sizes(self):
+        rects = [Rect(w, h, i) for i, (w, h) in enumerate(
+            [(3, 2), (4, 1), (2, 5), (5, 2), (1, 1), (2, 2), (3, 3)]
+        )]
+        result = pack_rects(rects, width=7)
+        assert result.success
+        assert len(result.placements) == len(rects)
+        assert_valid_packing(result, width=7)
+
+    def test_waste_raising_progresses(self):
+        # Force a raise: after a tall narrow rect, the remaining low
+        # segment is too narrow for the wide rect, so the skyline must
+        # rise over the waste and still finish.
+        result = pack_rects([Rect(6, 4, "tall"), Rect(7, 1, "wide")], width=8)
+        assert result.success
+        assert_valid_packing(result, width=8)
+
+
+class TestBoundedMode:
+    def test_fits_within_bound(self):
+        result = pack_rects([Rect(3, 2, "a"), Rect(3, 2, "b")], width=3,
+                            max_height=4)
+        assert result.success
+        assert result.height == 4
+
+    def test_exceeding_bound_reports_unplaced(self):
+        result = pack_rects(
+            [Rect(3, 2, "a"), Rect(3, 2, "b"), Rect(3, 2, "c")],
+            width=3,
+            max_height=4,
+        )
+        assert not result.success
+        assert len(result.unplaced) == 1
+        assert len([p for p in result.placements]) == 2
+
+    def test_single_too_tall(self):
+        result = pack_rects([Rect(1, 5, "t")], width=3, max_height=4)
+        assert not result.success
+
+    def test_zero_max_height(self):
+        result = pack_rects([Rect(1, 1, "a")], width=3, max_height=0)
+        assert not result.success
+
+    def test_bound_respected_in_placements(self):
+        rects = [Rect(2, 2, i) for i in range(6)]
+        result = pack_rects(rects, width=4, max_height=6)
+        assert result.success
+        assert_valid_packing(result, width=4, max_height=6)
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            SkylinePacker(0)
+
+    def test_bad_max_height(self):
+        with pytest.raises(ValueError):
+            SkylinePacker(3, max_height=-1)

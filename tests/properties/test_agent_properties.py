@@ -1,0 +1,87 @@
+"""Property-based differential tests: distributed agents vs centralized.
+
+For arbitrary random trees and workloads, the per-node agents must
+converge, satisfy every HARP invariant, and produce the exact schedule
+the centralized reference computes.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import AgentRuntime
+from repro.core.link_sched import id_priority
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import Task, TaskSet
+from repro.net.topology import Direction, layered_random_tree
+
+CONFIG = SlotframeConfig(num_slots=199, num_channels=16)
+
+
+def build(tree_seed, rates, echo_pattern):
+    topology = layered_random_tree(12, 3, random.Random(tree_seed))
+    tasks = TaskSet(
+        [
+            Task(
+                task_id=node,
+                source=node,
+                rate=rates[i % len(rates)],
+                echo=echo_pattern[i % len(echo_pattern)],
+            )
+            for i, node in enumerate(topology.device_nodes)
+        ]
+    )
+    return topology, tasks
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tree_seed=st.integers(0, 500),
+    rates=st.lists(st.sampled_from([0.5, 1.0, 2.0]), min_size=1, max_size=3),
+    echo_pattern=st.lists(st.booleans(), min_size=1, max_size=3),
+)
+def test_distributed_equals_centralized(tree_seed, rates, echo_pattern):
+    topology, tasks = build(tree_seed, rates, echo_pattern)
+    runtime = AgentRuntime(topology, tasks, CONFIG)
+    runtime.run_static_phase()
+    runtime.assert_converged()
+    runtime.validate_isolation()
+    distributed = runtime.build_schedule()
+    distributed.validate_collision_free(topology)
+
+    harp = HarpNetwork(topology, tasks, CONFIG, priority=id_priority())
+    harp.allocate()
+    centralized = harp.schedule
+    assert set(distributed.links) == set(centralized.links)
+    for link in centralized.links:
+        assert sorted(distributed.cells_of(link)) == sorted(
+            centralized.cells_of(link)
+        ), link
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    tree_seed=st.integers(0, 300),
+    bumps=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(1, 3)),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_distributed_adjustments_keep_invariants(tree_seed, bumps):
+    topology, tasks = build(tree_seed, [1.0], [True])
+    runtime = AgentRuntime(topology, tasks, CONFIG)
+    runtime.run_static_phase()
+    devices = topology.device_nodes
+    for node_index, extra in bumps:
+        child = devices[node_index % len(devices)]
+        parent = topology.parent_of(child)
+        current = runtime.agents[parent].state.link_demands[
+            Direction.UP
+        ].get(child, 0)
+        runtime.request_demand_increase(child, Direction.UP, current + extra)
+        schedule = runtime.build_schedule()
+        schedule.validate_collision_free(topology)
+        runtime.validate_isolation()

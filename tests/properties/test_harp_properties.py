@@ -1,0 +1,182 @@
+"""Property-based tests over HARP's core invariants (hypothesis).
+
+These drive the whole pipeline — random trees, random demands, random
+adjustments — and assert the invariants DESIGN.md calls out: isolation,
+collision freedom, demand satisfaction, and adjustment consistency.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import Task, TaskSet
+from repro.net.topology import Direction, layered_random_tree
+
+CONFIG = SlotframeConfig(num_slots=199, num_channels=16)
+
+
+def build_network(tree_seed, rates, slack=0, distribute=False):
+    topology = layered_random_tree(12, 3, random.Random(tree_seed))
+    sources = topology.device_nodes
+    tasks = TaskSet(
+        [
+            Task(
+                task_id=node,
+                source=node,
+                rate=rates[i % len(rates)],
+                echo=bool(i % 2),
+            )
+            for i, node in enumerate(sources)
+        ]
+    )
+    harp = HarpNetwork(
+        topology, tasks, CONFIG,
+        case1_slack=slack, distribute_slack=distribute,
+    )
+    harp.allocate()
+    return harp
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    tree_seed=st.integers(0, 1000),
+    rates=st.lists(st.sampled_from([0.5, 1.0, 2.0, 3.0]), min_size=1, max_size=4),
+    distribute=st.booleans(),
+)
+def test_static_allocation_invariants(tree_seed, rates, distribute):
+    """Isolation, collision freedom, and exact demand satisfaction hold
+    for arbitrary feasible workloads."""
+    harp = build_network(tree_seed, rates, distribute=distribute)
+    harp.validate()
+    for link, demand in harp.link_demands.items():
+        assert len(harp.schedule.cells_of(link)) == demand
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tree_seed=st.integers(0, 500),
+    changes=st.lists(
+        st.tuples(st.integers(0, 11), st.sampled_from([0.5, 1.0, 2.0, 4.0])),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_rate_changes_preserve_invariants(tree_seed, changes):
+    """Any sequence of successful rate changes leaves the network valid
+    and the schedule covering the demands."""
+    harp = build_network(tree_seed, [1.0], slack=1, distribute=True)
+    device_nodes = harp.topology.device_nodes
+    for node_index, rate in changes:
+        task_id = device_nodes[node_index % len(device_nodes)]
+        report = harp.request_rate_change(task_id, rate)
+        harp.validate()
+        if report.success:
+            from repro.core.audit import audit_network
+
+            assert audit_network(harp) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tree_seed=st.integers(0, 500),
+    extra=st.integers(1, 4),
+    owner_index=st.integers(0, 20),
+)
+def test_component_growth_monotone_and_contained(tree_seed, extra, owner_index):
+    """After a successful component growth, the stored component reflects
+    the request and its region contains it; failure restores state."""
+    harp = build_network(tree_seed, [1.0])
+    table = harp.tables[Direction.UP]
+    owners = [
+        (node, harp.topology.node_layer(node))
+        for node in harp.topology.non_leaf_nodes()
+        if node != harp.topology.gateway_id
+        and table.has_component(node, harp.topology.node_layer(node))
+    ]
+    if not owners:
+        return
+    owner, layer = owners[owner_index % len(owners)]
+    before = table.component(owner, layer).n_slots
+    outcome = harp.adjuster.request_component_increase(
+        owner, layer, Direction.UP, before + extra
+    )
+    harp.validate()
+    if outcome.success:
+        assert table.component(owner, layer).n_slots == before + extra
+        region = harp.partitions.get(owner, layer, Direction.UP).region
+        assert region.width >= before + extra
+    else:
+        assert table.component(owner, layer).n_slots == before
+
+
+@settings(max_examples=15, deadline=None)
+@given(tree_seed=st.integers(0, 300), rate=st.sampled_from([2.0, 3.0, 5.0]))
+def test_increase_then_restore_is_stable(tree_seed, rate):
+    """Raising a task's rate and lowering it back keeps the network valid
+    and returns the link demands to their originals."""
+    harp = build_network(tree_seed, [1.0], slack=1, distribute=True)
+    original = dict(harp.link_demands)
+    task_id = harp.topology.device_nodes[-1]
+    up = harp.request_rate_change(task_id, rate)
+    if not up.success:
+        return
+    harp.validate()
+    down = harp.request_rate_change(task_id, 1.0)
+    assert down.success
+    harp.validate()
+    assert harp.link_demands == original
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    tree_seed=st.integers(0, 200),
+    operations=st.lists(
+        st.tuples(st.sampled_from(["reparent", "detach", "attach"]),
+                  st.integers(0, 30)),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_topology_dynamics_keep_network_auditable(tree_seed, operations):
+    """Random attach/detach/reparent sequences leave the network valid
+    and every cross-structure audit clean."""
+    from repro.core.audit import audit_network
+    from repro.core.dynamics import TopologyManager
+    from repro.net.tasks import Task
+
+    harp = build_network(tree_seed, [1.0], slack=1, distribute=True)
+    manager = TopologyManager(harp)
+    rng = random.Random(tree_seed * 7 + 1)
+    next_id = max(harp.topology.nodes) + 1
+
+    for kind, pick in operations:
+        topology = harp.topology
+        devices = topology.device_nodes
+        if not devices:
+            break
+        if kind == "attach":
+            parent = topology.nodes[pick % len(topology.nodes)]
+            report = manager.attach(
+                next_id, parent,
+                Task(task_id=next_id, source=next_id, rate=1.0),
+            )
+            next_id += 1
+        elif kind == "detach":
+            node = devices[pick % len(devices)]
+            report = manager.detach(node)
+        else:  # reparent
+            node = devices[pick % len(devices)]
+            subtree = set(topology.subtree_nodes(node))
+            candidates = [n for n in topology.nodes if n not in subtree]
+            if not candidates:
+                continue
+            new_parent = candidates[pick % len(candidates)]
+            if topology.parent_of(node) == new_parent:
+                continue
+            report = manager.reparent(node, new_parent)
+        assert report.success
+        harp.validate()
+        assert audit_network(harp) == [], (kind, pick)

@@ -1,0 +1,210 @@
+"""Property-based tests for the packing substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packing.composition import compose_components
+from repro.packing.free_space import FreeSpace, pack_with_obstacles
+from repro.packing.geometry import PlacedRect, Rect, any_overlap
+from repro.packing.rpp import can_pack
+from repro.packing.skyline import pack_rects
+from repro.packing.strip import strip_pack
+
+rect_lists = st.lists(
+    st.tuples(st.integers(1, 12), st.integers(1, 6)),
+    min_size=1,
+    max_size=14,
+).map(lambda sizes: [Rect(w, h, i) for i, (w, h) in enumerate(sizes)])
+
+
+@given(rects=rect_lists, width=st.integers(12, 24))
+def test_strip_pack_invariants(rects, width):
+    """All rectangles placed, pairwise disjoint, inside the strip, and
+    the reported height is exact."""
+    result = strip_pack(rects, width)
+    assert len(result.placements) == len(rects)
+    assert not any_overlap(result.placements)
+    for placed in result.placements:
+        assert 0 <= placed.x and placed.x2 <= width
+        assert 0 <= placed.y
+    assert result.height == max(p.y2 for p in result.placements)
+
+
+@given(rects=rect_lists, width=st.integers(6, 20), bound=st.integers(1, 12))
+def test_bounded_skyline_never_violates_bound(rects, width, bound):
+    result = pack_rects(rects, width=width, max_height=bound)
+    for placed in result.placements:
+        if placed.is_empty:
+            continue
+        assert placed.x2 <= width
+        assert placed.y2 <= bound
+    assert not any_overlap([p for p in result.placements if not p.is_empty])
+    assert len(result.placements) + len(result.unplaced) == len(rects)
+
+
+@given(rects=rect_lists, channels=st.integers(6, 16))
+def test_composition_contains_all_children(rects, channels):
+    """The composite contains all child placements, disjointly, and its
+    dimensions equal the layout's bounding extents."""
+    result = compose_components(rects, channels)
+    composite = PlacedRect(0, 0, result.n_slots, result.n_channels)
+    placements = list(result.layout.values())
+    assert not any_overlap(placements)
+    for placed in placements:
+        assert composite.contains(placed)
+    assert result.n_channels <= channels
+    # Composite is no narrower than the widest child and no shorter than
+    # the tallest child.
+    assert result.n_slots >= max(r.width for r in rects)
+    assert result.n_channels >= max(r.height for r in rects)
+
+
+@given(rects=rect_lists, channels=st.integers(6, 16))
+def test_composition_slots_lower_bound(rects, channels):
+    """Minimum-slot objective: n_slots >= ceil(total area / channels)."""
+    result = compose_components(rects, channels)
+    total = sum(r.area for r in rects)
+    assert result.n_slots * channels >= total
+    assert result.n_slots * result.n_channels >= total
+
+
+@given(
+    rects=rect_lists,
+    n_slots=st.integers(1, 30),
+    n_channels=st.integers(1, 16),
+)
+def test_can_pack_layout_is_valid_when_feasible(rects, n_slots, n_channels):
+    result = can_pack(rects, n_slots, n_channels)
+    if not result.feasible:
+        return
+    box = PlacedRect(0, 0, n_slots, n_channels)
+    placements = [p for p in result.layout.values() if not p.is_empty]
+    assert not any_overlap(placements)
+    for placed in placements:
+        assert box.contains(placed)
+
+
+@given(
+    occupied=st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 6),
+                  st.integers(1, 6), st.integers(1, 4)),
+        max_size=6,
+    )
+)
+def test_free_space_never_overlaps_occupied(occupied):
+    container = PlacedRect(0, 0, 16, 10)
+    space = FreeSpace(container)
+    obstacles = [PlacedRect(x, y, w, h) for x, y, w, h in occupied]
+    for rect in obstacles:
+        space.occupy(rect)
+    for free in space.free_rects:
+        assert container.contains(free)
+        for rect in obstacles:
+            assert not free.overlaps(rect)
+
+
+@given(
+    comps=st.lists(
+        st.tuples(st.integers(1, 5), st.integers(1, 3)), min_size=1, max_size=6
+    ).map(lambda sizes: [Rect(w, h, i) for i, (w, h) in enumerate(sizes)]),
+    obstacle_x=st.integers(0, 10),
+)
+def test_pack_with_obstacles_layout_valid(comps, obstacle_x):
+    container = PlacedRect(0, 0, 16, 8)
+    obstacles = [PlacedRect(obstacle_x, 0, 4, 4)]
+    layout = pack_with_obstacles(comps, container, obstacles)
+    if layout is None:
+        return
+    placements = list(layout.values())
+    assert not any_overlap(placements + obstacles)
+    for placed in placements:
+        assert container.contains(placed)
+
+
+@given(
+    tree_seed=st.integers(0, 400),
+    rates=st.lists(st.sampled_from([0.5, 1.0, 2.0]), min_size=1, max_size=3),
+)
+@settings(max_examples=15, deadline=None)
+def test_network_snapshot_round_trip(tree_seed, rates):
+    """Serialization: dump/load of a whole allocated network preserves
+    the schedule, the partitions and every invariant."""
+    import random as _random
+
+    from repro.core.manager import HarpNetwork
+    from repro.net.serialization import dump_network, load_network
+    from repro.net.slotframe import SlotframeConfig
+    from repro.net.tasks import Task, TaskSet
+    from repro.net.topology import layered_random_tree
+
+    topology = layered_random_tree(10, 3, _random.Random(tree_seed))
+    tasks = TaskSet([
+        Task(task_id=n, source=n, rate=rates[i % len(rates)])
+        for i, n in enumerate(topology.device_nodes)
+    ])
+    harp = HarpNetwork(topology, tasks, SlotframeConfig())
+    harp.allocate()
+    topo2, tasks2, partitions2, schedule2 = load_network(dump_network(harp))
+    assert topo2.parent_map == topology.parent_map
+    partitions2.validate_isolation(topo2)
+    schedule2.validate_collision_free(topo2)
+    for link in harp.schedule.links:
+        assert schedule2.cells_of(link) == harp.schedule.cells_of(link)
+
+
+@given(
+    seed=st.integers(0, 300),
+    num_devices=st.integers(5, 25),
+    min_pdr=st.sampled_from([0.6, 0.8, 0.9]),
+)
+@settings(max_examples=20, deadline=None)
+def test_tree_formation_invariants(seed, num_devices, min_pdr):
+    """RPL/ETX tree formation: every tree link meets the PDR floor, ranks
+    decrease toward the gateway, and the tree is reproducible."""
+    import random as _random
+
+    from repro.net.deployment import (
+        UnreachableNodeError,
+        form_tree,
+        random_deployment,
+    )
+
+    deployment = random_deployment(
+        num_devices, area_m=45, rng=_random.Random(seed)
+    )
+    try:
+        topology, loss = form_tree(deployment, min_pdr=min_pdr)
+    except UnreachableNodeError:
+        return  # sparse placements may disconnect; that's a valid outcome
+    assert len(topology.device_nodes) == num_devices
+    for child in topology.device_nodes:
+        parent = topology.parent_of(child)
+        assert deployment.link_pdr(child, parent) >= min_pdr
+    again, _ = form_tree(deployment, min_pdr=min_pdr)
+    assert again.parent_map == topology.parent_map
+
+
+@given(
+    rects=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(1, 3)),
+        min_size=1,
+        max_size=5,
+    ).map(lambda sizes: [Rect(w, h, i) for i, (w, h) in enumerate(sizes)]),
+    width=st.integers(3, 8),
+    height=st.integers(2, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_heuristic_feasible_implies_exactly_feasible(rects, width, height):
+    """The skyline feasibility test is sound: whenever it claims a
+    packing exists, the exact branch-and-bound confirms it (the converse
+    may fail — the heuristic is allowed false negatives, never false
+    positives)."""
+    from repro.packing.exact import SearchBudgetExceeded, exact_pack
+
+    if not can_pack(rects, width, height).feasible:
+        return
+    try:
+        layout = exact_pack(rects, width, height, node_limit=150_000)
+    except SearchBudgetExceeded:
+        return
+    assert layout is not None

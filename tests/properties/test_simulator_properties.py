@@ -1,0 +1,109 @@
+"""Property-based tests for the TSCH simulator (hypothesis).
+
+Randomized schedules and workloads; the engine must conserve packets,
+respect physical lower bounds on latency, and agree with its own trace.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.radio import UniformPDR
+from repro.net.sim import TraceRecorder, TSCHSimulator, TxOutcome
+from repro.net.slotframe import Cell, Schedule, SlotframeConfig
+from repro.net.tasks import Task, TaskSet
+from repro.net.topology import Direction, LinkRef, layered_random_tree
+
+CONFIG = SlotframeConfig(num_slots=20, num_channels=4)
+
+
+def random_setup(tree_seed, cell_seed, rates, pdr):
+    """A random tree with a random (possibly conflicting) schedule."""
+    topology = layered_random_tree(8, 3, random.Random(tree_seed))
+    rng = random.Random(cell_seed)
+    tasks = TaskSet([
+        Task(
+            task_id=node, source=node,
+            rate=rates[i % len(rates)], echo=bool(i % 2),
+        )
+        for i, node in enumerate(topology.device_nodes)
+    ])
+    schedule = Schedule(CONFIG)
+    demands = tasks.link_demands(topology)
+    total_cells = CONFIG.num_slots * CONFIG.num_channels
+    for link, cells in demands.items():
+        # Sample without replacement per link (a node never double-books
+        # one link); distinct links may still share cells (collisions).
+        picks = rng.sample(range(total_cells), min(cells, total_cells))
+        for index in picks:
+            schedule.assign(
+                Cell(index % CONFIG.num_slots, index // CONFIG.num_slots),
+                link,
+            )
+    sim = TSCHSimulator(
+        topology, schedule, tasks, CONFIG,
+        loss_model=UniformPDR(pdr), rng=random.Random(cell_seed + 1),
+    )
+    sim.trace = TraceRecorder(max_events=None)
+    return topology, sim
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    tree_seed=st.integers(0, 200),
+    cell_seed=st.integers(0, 200),
+    rates=st.lists(st.sampled_from([0.5, 1.0, 2.0]), min_size=1, max_size=3),
+    pdr=st.sampled_from([1.0, 0.8, 0.5]),
+    frames=st.integers(2, 8),
+)
+def test_packet_conservation(tree_seed, cell_seed, rates, pdr, frames):
+    """generated == delivered + dropped + still queued, always —
+    even under random colliding schedules and lossy radios."""
+    topology, sim = random_setup(tree_seed, cell_seed, rates, pdr)
+    metrics = sim.run_slotframes(frames)
+    assert (
+        metrics.delivered + metrics.dropped + sim.queued_packets()
+        == metrics.generated
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tree_seed=st.integers(0, 200),
+    cell_seed=st.integers(0, 200),
+    frames=st.integers(2, 6),
+)
+def test_latency_lower_bound_is_hop_count(tree_seed, cell_seed, frames):
+    """A packet can advance at most one hop per slot: e2e latency in
+    slots is at least the path hop count."""
+    topology, sim = random_setup(tree_seed, cell_seed, [1.0], 1.0)
+    metrics = sim.run_slotframes(frames)
+    for record in metrics.deliveries:
+        task = next(
+            t for t in sim._tasks.values() if t.task.task_id == record.task_id
+        ).task
+        hops = topology.depth_of(task.source)
+        if task.echo:
+            hops += topology.depth_of(task.downlink_target)
+        assert record.latency_slots >= hops
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tree_seed=st.integers(0, 200),
+    cell_seed=st.integers(0, 200),
+    pdr=st.sampled_from([1.0, 0.6]),
+    frames=st.integers(2, 6),
+)
+def test_trace_agrees_with_metrics(tree_seed, cell_seed, pdr, frames):
+    """The packet-level trace and the aggregate counters are two views
+    of the same events."""
+    topology, sim = random_setup(tree_seed, cell_seed, [1.0], pdr)
+    metrics = sim.run_slotframes(frames)
+    counts = sim.trace.outcome_counts()
+    assert counts.get(TxOutcome.DELIVERED, 0) == metrics.transmissions_succeeded
+    assert counts.get(TxOutcome.COLLISION, 0) == metrics.collision_failures
+    assert counts.get(TxOutcome.HALF_DUPLEX, 0) == metrics.half_duplex_failures
+    assert counts.get(TxOutcome.CHANNEL_LOSS, 0) == metrics.loss_failures
+    assert len(sim.trace) == metrics.transmissions_attempted

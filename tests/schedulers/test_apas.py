@@ -1,0 +1,68 @@
+"""Unit tests for the APaS centralized baseline."""
+
+import random
+
+import pytest
+
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import chain_topology, layered_random_tree
+from repro.schedulers.apas import APaSManager, APaSScheduler
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=101, num_channels=16)
+
+
+class TestStaticSchedule:
+    def test_collision_free(self, config):
+        topo = layered_random_tree(20, 4, random.Random(0))
+        demands = e2e_task_per_node(topo, rate=1.0).link_demands(topo)
+        schedule = APaSScheduler().build_schedule(
+            topo, demands, config, random.Random(0)
+        )
+        assert schedule.conflicts(topo).is_collision_free
+        for link, demand in demands.items():
+            assert len(schedule.cells_of(link)) == demand
+
+
+class TestAdjustmentMessages:
+    def test_three_l_minus_one(self, config):
+        """The centralized pattern costs exactly 3l-1 packets (Sec. VII-B)."""
+        topo = chain_topology(10)
+        manager = APaSManager(topo, config)
+        for node in topo.device_nodes:
+            layer = topo.depth_of(node)
+            adjustment = manager.adjust(node)
+            assert adjustment.messages == 3 * layer - 1, layer
+            assert adjustment.layer == layer
+
+    def test_layer_one_special_case(self, config):
+        # l=1: request (1 hop) + one update to the node (1 hop); the
+        # parent IS the gateway, so no second update: 2 = 3*1 - 1.
+        topo = chain_topology(1)
+        manager = APaSManager(topo, config)
+        assert manager.adjust(1).messages == 2
+
+    def test_gateway_cannot_request(self, config):
+        topo = chain_topology(2)
+        manager = APaSManager(topo, config)
+        with pytest.raises(ValueError):
+            manager.adjust(0)
+
+    def test_elapsed_time_positive_and_grows_with_layer(self, config):
+        topo = chain_topology(8)
+        manager = APaSManager(topo, config)
+        shallow = manager.adjust(1).elapsed_slots
+        deep = manager.adjust(8).elapsed_slots
+        assert shallow > 0
+        assert deep > shallow
+
+    def test_branching_topology(self, config):
+        topo = layered_random_tree(30, 5, random.Random(3))
+        manager = APaSManager(topo, config)
+        for depth in range(1, 6):
+            nodes = topo.nodes_at_depth(depth)
+            if nodes:
+                assert manager.adjust(nodes[0]).messages == 3 * depth - 1

@@ -1,0 +1,194 @@
+"""Unit tests for the baseline link schedulers."""
+
+import random
+
+import pytest
+
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node, tasks_on_nodes
+from repro.net.topology import (
+    Direction,
+    LinkRef,
+    TreeTopology,
+    balanced_tree_with_layers,
+)
+from repro.schedulers import (
+    HARPScheduler,
+    LDSFScheduler,
+    MSFScheduler,
+    RandomScheduler,
+    active_links,
+    node_eui64,
+    sax_hash,
+)
+
+
+@pytest.fixture
+def tree():
+    return balanced_tree_with_layers([3, 4, 4, 3])
+
+
+@pytest.fixture
+def demands(tree):
+    return tasks_on_nodes(
+        [n for n in tree.device_nodes if tree.is_leaf(n)]
+    ).link_demands(tree)
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=101, num_channels=16)
+
+
+def assert_demands_met(schedule, demands):
+    for link, count in demands.items():
+        if count > 0:
+            assert len(schedule.cells_of(link)) == count, link
+
+
+class TestActiveLinks:
+    def test_filters_and_orders(self):
+        demands = {
+            LinkRef(3, Direction.UP): 1,
+            LinkRef(1, Direction.UP): 2,
+            LinkRef(2, Direction.UP): 0,
+        }
+        links = active_links(demands)
+        assert links == [LinkRef(1, Direction.UP), LinkRef(3, Direction.UP)]
+
+
+class TestRandomScheduler:
+    def test_meets_demands(self, tree, demands, config):
+        schedule = RandomScheduler().build_schedule(
+            tree, demands, config, random.Random(0)
+        )
+        assert_demands_met(schedule, demands)
+
+    def test_deterministic_given_rng(self, tree, demands, config):
+        a = RandomScheduler().build_schedule(tree, demands, config, random.Random(5))
+        b = RandomScheduler().build_schedule(tree, demands, config, random.Random(5))
+        for link in a.links:
+            assert a.cells_of(link) == b.cells_of(link)
+
+    def test_demand_larger_than_frame_rejected(self, tree, config):
+        demands = {LinkRef(1, Direction.UP): config.total_cells + 1}
+        with pytest.raises(ValueError):
+            RandomScheduler().build_schedule(tree, demands, config, random.Random(0))
+
+
+class TestMSF:
+    def test_sax_hash_range_and_determinism(self):
+        for node in range(50):
+            value = sax_hash(node_eui64(node), 199)
+            assert 0 <= value < 199
+            assert value == sax_hash(node_eui64(node), 199)
+
+    def test_sax_hash_bad_modulus(self):
+        with pytest.raises(ValueError):
+            sax_hash(b"x", 0)
+
+    def test_meets_demands(self, tree, demands, config):
+        schedule = MSFScheduler().build_schedule(
+            tree, demands, config, random.Random(0)
+        )
+        assert_demands_met(schedule, demands)
+
+    def test_rng_independent(self, tree, demands, config):
+        a = MSFScheduler().build_schedule(tree, demands, config, random.Random(1))
+        b = MSFScheduler().build_schedule(tree, demands, config, random.Random(99))
+        for link in a.links:
+            assert a.cells_of(link) == b.cells_of(link)
+
+    def test_hash_spread(self, config):
+        # Autonomous cells of 60 distinct links should cover many slots.
+        topo = TreeTopology({i: 0 for i in range(1, 61)})
+        demands = {LinkRef(i, Direction.UP): 1 for i in range(1, 61)}
+        schedule = MSFScheduler().build_schedule(
+            topo, demands, config, random.Random(0)
+        )
+        slots = {cell.slot for cell in schedule.occupied_cells}
+        assert len(slots) > 30
+
+
+class TestLDSF:
+    def test_meets_demands(self, tree, demands, config):
+        schedule = LDSFScheduler().build_schedule(
+            tree, demands, config, random.Random(0)
+        )
+        assert_demands_met(schedule, demands)
+
+    def test_layers_use_disjoint_blocks_uplink_only(self, tree, demands, config):
+        schedule = LDSFScheduler().build_schedule(
+            tree, demands, config, random.Random(0)
+        )
+        slots_by_layer = {}
+        for link in schedule.links:
+            layer = tree.link_layer(link.child)
+            slots_by_layer.setdefault(layer, set()).update(
+                c.slot for c in schedule.cells_of(link)
+            )
+        layers = sorted(slots_by_layer)
+        for a, b in zip(layers, layers[1:]):
+            # Blocks only overlap via spilled overflow cells; with this
+            # light demand nothing spills.
+            assert not (slots_by_layer[a] & slots_by_layer[b])
+
+    def test_block_overflow_spills(self, config):
+        topo = TreeTopology({1: 0})
+        block_cells = config.num_slots * config.num_channels  # single layer
+        demands = {LinkRef(1, Direction.UP): min(block_cells, 300)}
+        schedule = LDSFScheduler().build_schedule(
+            topo, demands, config, random.Random(0)
+        )
+        assert len(schedule.cells_of(LinkRef(1, Direction.UP))) == min(
+            block_cells, 300
+        )
+
+    def test_up_and_down_halves(self, tree, config):
+        demands = e2e_task_per_node(tree, rate=1.0).link_demands(tree)
+        schedule = LDSFScheduler().build_schedule(
+            tree, demands, config, random.Random(0)
+        )
+        half = config.num_slots // 2
+        for link in schedule.links:
+            for cell in schedule.cells_of(link):
+                if link.direction is Direction.UP:
+                    assert cell.slot < half
+                else:
+                    assert cell.slot >= half
+
+
+class TestHARPAdapter:
+    def test_collision_free_when_feasible(self, tree, demands, config):
+        schedule = HARPScheduler().build_schedule(
+            tree, demands, config, random.Random(0)
+        )
+        assert schedule.conflicts(tree).is_collision_free
+        assert_demands_met(schedule, demands)
+
+    def test_overflow_mode_still_meets_demands(self, tree, config):
+        tight = SlotframeConfig(num_slots=30, num_channels=2)
+        demands = e2e_task_per_node(tree, rate=1.0).link_demands(tree)
+        schedule = HARPScheduler().build_schedule(
+            tree, demands, tight, random.Random(0)
+        )
+        assert_demands_met(schedule, demands)
+        # Overflow wraps: some collisions are expected but bounded.
+        report = schedule.conflicts(tree)
+        assert report.collision_probability < 1.0
+
+    def test_strict_mode_raises_on_overflow(self, tree, config):
+        from repro.core.allocation import InsufficientResourcesError
+
+        tight = SlotframeConfig(num_slots=20, num_channels=2)
+        demands = e2e_task_per_node(tree, rate=1.0).link_demands(tree)
+        with pytest.raises(InsufficientResourcesError):
+            HARPScheduler(allow_overflow=False).build_schedule(
+                tree, demands, tight, random.Random(0)
+            )
+
+    def test_collision_probability_helper(self, tree, demands, config):
+        prob = HARPScheduler().collision_probability(
+            tree, demands, config, random.Random(0)
+        )
+        assert prob == 0.0

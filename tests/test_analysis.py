@@ -1,0 +1,105 @@
+"""Tests for the statistics and occupancy analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    confidence_interval,
+    layer_load_balance,
+    partition_fragmentation,
+    schedule_occupancy,
+    summarize,
+)
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, TreeTopology
+
+
+@pytest.fixture(scope="module")
+def harp():
+    topo = TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 3})
+    network = HarpNetwork(
+        topo, e2e_task_per_node(topo), SlotframeConfig(num_slots=60)
+    )
+    network.allocate()
+    return network
+
+
+class TestSummarize:
+    def test_mean_and_interval(self):
+        summary = summarize([10.0, 12.0, 11.0, 9.0, 13.0])
+        assert summary.mean == pytest.approx(11.0)
+        assert summary.ci_low < 11.0 < summary.ci_high
+        assert summary.count == 5
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_higher_confidence_widens_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low90, high90 = confidence_interval(data, 0.90)
+        low99, high99 = confidence_interval(data, 0.99)
+        assert high99 - low99 > high90 - low90
+
+    def test_interval_shrinks_with_samples(self):
+        small = summarize([1.0, 2.0, 3.0])
+        large = summarize([1.0, 2.0, 3.0] * 20)
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestOccupancy:
+    def test_counts_match_schedule(self, harp):
+        report = schedule_occupancy(harp.schedule, harp.topology)
+        assert report.scheduled_cells == harp.schedule.total_assignments
+        assert 0 < report.utilization < 1
+        assert sum(report.per_layer.values()) == report.scheduled_cells
+        assert sum(report.per_direction.values()) == report.scheduled_cells
+
+    def test_layer_one_carries_everything(self, harp):
+        report = schedule_occupancy(harp.schedule, harp.topology)
+        # The funnel: layer 1 aggregates all traffic.
+        assert report.per_layer[1] >= max(
+            count for layer, count in report.per_layer.items() if layer > 1
+        )
+
+    def test_load_balance_funnel(self, harp):
+        balance = layer_load_balance(harp.schedule, harp.topology)
+        # Cells per link shrink with depth (leaves carry only their own).
+        assert balance[1] >= balance[max(balance)]
+
+
+class TestFragmentation:
+    def test_exact_allocation_has_no_idle(self, harp):
+        reports = partition_fragmentation(
+            harp.partitions, harp.schedule, harp.topology
+        )
+        assert reports
+        for key, report in reports.items():
+            assert report.used + report.idle == report.capacity
+            # Tight allocation: scheduling partitions are fully used.
+            assert report.idle == 0, key
+
+    def test_slack_shows_up_as_idle(self):
+        topo = TreeTopology({1: 0, 2: 0, 3: 1})
+        network = HarpNetwork(
+            topo, e2e_task_per_node(topo), SlotframeConfig(num_slots=60),
+            case1_slack=2,
+        )
+        network.allocate()
+        reports = partition_fragmentation(
+            network.partitions, network.schedule, network.topology
+        )
+        assert any(r.idle >= 2 for r in reports.values())
+        for report in reports.values():
+            if report.idle:
+                assert report.largest_free_rect >= 1
+                assert report.slack_ratio > 0

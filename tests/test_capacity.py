@@ -1,0 +1,141 @@
+"""Tests for capacity planning (admission, headroom, max rate)."""
+
+import pytest
+
+from repro.capacity import (
+    admission_check,
+    max_uniform_rate,
+    network_headroom,
+    node_headroom,
+)
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node, tasks_on_nodes
+from repro.net.topology import Direction, TreeTopology
+from repro.experiments.topologies import testbed_topology as make_testbed
+
+
+@pytest.fixture
+def tree():
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 3})
+
+
+class TestAdmission:
+    def test_light_workload_admitted(self, tree):
+        report = admission_check(
+            tree, e2e_task_per_node(tree), SlotframeConfig(num_slots=60)
+        )
+        assert report.feasible
+        assert report.bottleneck is None
+        assert report.slots_needed <= report.slots_available
+        assert 0 < report.slot_utilization < 1
+
+    def test_gateway_row_bottleneck(self, tree):
+        # Rate 20 e2e tasks: gateway row = 2 * 5 nodes * 20 = 200 > 60.
+        report = admission_check(
+            tree, e2e_task_per_node(tree, rate=20.0),
+            SlotframeConfig(num_slots=60),
+        )
+        assert not report.feasible
+        assert report.bottleneck == "gateway-row"
+        assert report.slot_utilization > 1
+
+    def test_slotframe_bottleneck(self, tree):
+        # Small channel budget: components fit per-row but layers overflow.
+        report = admission_check(
+            tree, e2e_task_per_node(tree, rate=3.0),
+            SlotframeConfig(num_slots=34, num_channels=16),
+        )
+        assert not report.feasible
+        assert report.bottleneck in ("slotframe", "gateway-row")
+
+    def test_admission_matches_allocation(self, tree):
+        """admission_check must agree with actually allocating."""
+        config = SlotframeConfig(num_slots=60)
+        for rate in (0.5, 1.0, 2.0, 4.0):
+            tasks = e2e_task_per_node(tree, rate=rate)
+            report = admission_check(tree, tasks, config)
+            harp = HarpNetwork(tree, tasks, config)
+            if report.feasible:
+                harp.allocate()
+                harp.validate()
+            else:
+                with pytest.raises(Exception):
+                    harp.allocate()
+
+
+class TestHeadroom:
+    def test_exact_allocation_has_zero_headroom(self, tree):
+        harp = HarpNetwork(
+            tree, e2e_task_per_node(tree), SlotframeConfig(num_slots=60)
+        )
+        harp.allocate()
+        report = node_headroom(harp, 1)
+        assert report.free_cells == 0
+        assert report.capacity == report.demand
+
+    def test_slack_appears_as_headroom(self, tree):
+        harp = HarpNetwork(
+            tree, e2e_task_per_node(tree), SlotframeConfig(num_slots=60),
+            case1_slack=2,
+        )
+        harp.allocate()
+        report = node_headroom(harp, 1)
+        assert report.free_cells == 2
+
+    def test_headroom_predicts_local_absorption(self, tree):
+        """free_cells > 0 must mean the next +1 demand is absorbed with
+        zero partition messages — the quantity's whole point."""
+        harp = HarpNetwork(
+            tree, e2e_task_per_node(tree), SlotframeConfig(num_slots=60),
+            case1_slack=1,
+        )
+        harp.allocate()
+        assert node_headroom(harp, 3).free_cells > 0
+        outcome = harp.adjuster.release_component(
+            3, harp.topology.node_layer(3), Direction.UP,
+            node_headroom(harp, 3).capacity,
+        )
+        assert outcome.partition_messages == 0
+
+    def test_network_headroom_covers_managers(self, tree):
+        harp = HarpNetwork(
+            tree, e2e_task_per_node(tree), SlotframeConfig(num_slots=60)
+        )
+        harp.allocate()
+        reports = network_headroom(harp)
+        assert set(reports) == set(tree.non_leaf_nodes())
+
+
+class TestMaxUniformRate:
+    def test_monotone_in_slotframe_size(self, tree):
+        small = max_uniform_rate(tree, SlotframeConfig(num_slots=60))
+        large = max_uniform_rate(tree, SlotframeConfig(num_slots=240))
+        assert large > small > 0
+
+    def test_capacity_rate_is_actually_feasible(self, tree):
+        config = SlotframeConfig(num_slots=100)
+        rate = max_uniform_rate(tree, config, precision=0.1)
+        report = admission_check(
+            tree, e2e_task_per_node(tree, rate=rate), config
+        )
+        assert report.feasible
+        # ...and meaningfully above it is not.
+        beyond = admission_check(
+            tree, e2e_task_per_node(tree, rate=rate + 0.5), config
+        )
+        assert not beyond.feasible
+
+    def test_testbed_capacity_consistent_with_paper_setting(self):
+        """The testbed runs rate 1 comfortably; capacity sits above 1
+        but the gateway funnel bounds it well below the leaf count."""
+        topo = make_testbed()
+        rate = max_uniform_rate(topo, SlotframeConfig(), precision=0.1)
+        assert rate >= 1.0
+        assert rate < 4.0
+
+    def test_uplink_only_capacity_higher_than_echo(self, tree):
+        config = SlotframeConfig(num_slots=100)
+        echo = max_uniform_rate(tree, config, echo=True, precision=0.1)
+        uplink = max_uniform_rate(tree, config, echo=False, precision=0.1)
+        assert uplink > echo

@@ -1,0 +1,165 @@
+"""Tests for band-level coordination of co-existing networks."""
+
+import random
+
+import pytest
+
+from repro.coexistence import BandAllocationError, CoexistenceCoordinator
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology, layered_random_tree
+
+
+def small_tree(seed=0):
+    return layered_random_tree(8, 3, random.Random(seed))
+
+
+def register_small(coordinator, name, channels, seed=0):
+    topo = small_tree(seed)
+    return coordinator.register(
+        name, topo, e2e_task_per_node(topo), num_channels=channels
+    )
+
+
+class TestRegistration:
+    def test_two_networks_get_disjoint_ranges(self):
+        coordinator = CoexistenceCoordinator()
+        a = register_small(coordinator, "plant-a", 8, seed=1)
+        b = register_small(coordinator, "plant-b", 8, seed=2)
+        assert set(a.channel_range).isdisjoint(b.channel_range)
+        coordinator.validate()
+
+    def test_each_network_collision_free_internally(self):
+        coordinator = CoexistenceCoordinator()
+        a = register_small(coordinator, "a", 6, seed=1)
+        b = register_small(coordinator, "b", 6, seed=2)
+        a.harp.validate()
+        b.harp.validate()
+
+    def test_band_exhaustion_rejected(self):
+        coordinator = CoexistenceCoordinator(band_channels=8)
+        register_small(coordinator, "a", 6, seed=1)
+        with pytest.raises(BandAllocationError):
+            register_small(coordinator, "b", 6, seed=2)
+
+    def test_duplicate_name_rejected(self):
+        coordinator = CoexistenceCoordinator()
+        register_small(coordinator, "a", 4)
+        with pytest.raises(ValueError):
+            register_small(coordinator, "a", 4)
+
+    def test_three_networks_pack_the_band(self):
+        coordinator = CoexistenceCoordinator(band_channels=16)
+        for i, channels in enumerate((6, 6, 4)):
+            register_small(coordinator, f"net-{i}", channels, seed=i)
+        coordinator.validate()
+        ranges = coordinator.band_occupancy()
+        covered = sorted(c for r in ranges.values() for c in r)
+        assert covered == list(range(16))
+
+
+class TestPhysicalSchedules:
+    def test_channels_shifted_into_range(self):
+        coordinator = CoexistenceCoordinator()
+        register_small(coordinator, "a", 8, seed=1)
+        b = register_small(coordinator, "b", 8, seed=2)
+        physical = coordinator.physical_schedule("b")
+        for cell in physical.occupied_cells:
+            assert cell.channel in b.channel_range
+
+    def test_cross_network_cells_disjoint(self):
+        coordinator = CoexistenceCoordinator()
+        register_small(coordinator, "a", 8, seed=1)
+        register_small(coordinator, "b", 8, seed=2)
+        cells_a = coordinator.physical_schedule("a").occupied_cells
+        cells_b = coordinator.physical_schedule("b").occupied_cells
+        assert cells_a.isdisjoint(cells_b)
+
+
+class TestBandDynamics:
+    def test_grow_into_free_channels(self):
+        coordinator = CoexistenceCoordinator(band_channels=16)
+        a = register_small(coordinator, "a", 6, seed=1)
+        assert coordinator.request_channels("a", 10)
+        assert coordinator.slices["a"].num_channels == 10
+        coordinator.validate()
+        coordinator.slices["a"].harp.validate()
+
+    def test_grow_blocked_by_neighbor(self):
+        coordinator = CoexistenceCoordinator(band_channels=16)
+        register_small(coordinator, "a", 8, seed=1)
+        register_small(coordinator, "b", 8, seed=2)
+        assert not coordinator.request_channels("a", 10)
+        assert coordinator.slices["a"].num_channels == 8
+        coordinator.validate()
+
+    def test_shrink_frees_channels_for_neighbor(self):
+        coordinator = CoexistenceCoordinator(band_channels=16)
+        register_small(coordinator, "a", 8, seed=1)
+        register_small(coordinator, "b", 8, seed=2)
+        assert coordinator.request_channels("a", 4)
+        assert coordinator.request_channels("b", 12)
+        coordinator.validate()
+        assert coordinator.slices["b"].num_channels == 12
+
+    def test_relocation_when_extension_impossible(self):
+        coordinator = CoexistenceCoordinator(band_channels=16)
+        a = register_small(coordinator, "a", 4, seed=1)   # channels 0-3
+        b = register_small(coordinator, "b", 4, seed=2)   # channels 4-7
+        # 'a' wants 8: extending collides with 'b', but 8-15 are free.
+        assert coordinator.request_channels("a", 8)
+        coordinator.validate()
+        assert set(coordinator.slices["a"].channel_range).isdisjoint(
+            coordinator.slices["b"].channel_range
+        )
+
+    def test_noop_resize(self):
+        coordinator = CoexistenceCoordinator()
+        register_small(coordinator, "a", 6)
+        assert coordinator.request_channels("a", 6)
+
+    def test_failed_resize_keeps_old_network_running(self):
+        coordinator = CoexistenceCoordinator(band_channels=16)
+        register_small(coordinator, "a", 8, seed=1)
+        register_small(coordinator, "b", 8, seed=2)
+        before = coordinator.physical_schedule("a").total_assignments
+        assert not coordinator.request_channels("a", 12)
+        assert coordinator.physical_schedule("a").total_assignments == before
+
+
+class TestSlotMode:
+    def test_slot_ranges_disjoint(self):
+        coordinator = CoexistenceCoordinator(
+            num_slots=200, band_channels=16, mode="slots"
+        )
+        register_small(coordinator, "a", 100, seed=1)
+        register_small(coordinator, "b", 100, seed=2)
+        coordinator.validate()
+        cells_a = coordinator.physical_schedule("a").occupied_cells
+        cells_b = coordinator.physical_schedule("b").occupied_cells
+        assert cells_a.isdisjoint(cells_b)
+        assert max(c.slot for c in cells_a) < 100
+        assert min(c.slot for c in cells_b) >= 100
+
+    def test_slot_mode_keeps_full_channel_budget(self):
+        coordinator = CoexistenceCoordinator(
+            num_slots=200, band_channels=16, mode="slots"
+        )
+        s = register_small(coordinator, "a", 100, seed=1)
+        assert s.harp.config.num_channels == 16
+
+    def test_slot_mode_resize(self):
+        coordinator = CoexistenceCoordinator(
+            num_slots=240, band_channels=16, mode="slots"
+        )
+        register_small(coordinator, "a", 80, seed=1)   # slots 0-79
+        register_small(coordinator, "b", 80, seed=2)   # slots 80-159
+        # Growing past the free tail fails...
+        assert not coordinator.request_channels("a", 180)
+        # ...but after b shrinks, a relocates into the freed span.
+        assert coordinator.request_channels("b", 60)
+        assert coordinator.request_channels("a", 100)
+        coordinator.validate()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CoexistenceCoordinator(mode="time-travel")

@@ -1,0 +1,89 @@
+"""Smoke tests: every example script must run end to end.
+
+Heavier examples get trimmed via their module-level knobs where
+possible; each one's observable claims are asserted on captured output.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "collision-free" in out
+        assert "delivered" in out
+
+    def test_partition_layout(self, capsys):
+        out = run_example("partition_layout", capsys)
+        assert "gateway super-partitions" in out
+        assert "slotframe map" in out
+
+    def test_mixed_deadlines(self, capsys):
+        out = run_example("mixed_deadlines", capsys)
+        assert "RM, contiguous cells" in out
+        assert "EDF, interleaved" in out
+
+    def test_distributed_agents(self, capsys):
+        out = run_example("distributed_agents", capsys)
+        assert "identical to the centralized computation: True" in out
+
+    def test_traffic_burst(self, capsys):
+        out = run_example("traffic_burst", capsys)
+        assert "absorbed locally" in out
+        assert "partition adjustment" in out
+
+    def test_interference_reroute(self, capsys):
+        out = run_example("interference_reroute", capsys)
+        assert "reparents" in out
+        assert "collision-free" in out
+
+
+@pytest.mark.slow
+class TestHeavyExamples:
+    def test_factory_monitoring(self, capsys):
+        out = run_example("factory_monitoring", capsys)
+        assert "delivery ratio" in out
+
+    def test_collision_comparison(self, capsys):
+        out = run_example("collision_comparison", capsys)
+        assert "harp" in out and "0.000" in out
+
+    def test_site_survey(self, capsys):
+        out = run_example("site_survey", capsys)
+        assert "RPL tree formed" in out
+
+    def test_over_the_air(self, capsys):
+        out = run_example("over_the_air", capsys)
+        assert "bootstrap over the air" in out
+        assert "collision-free" in out
+
+    def test_coexistence_wifi(self, capsys):
+        out = run_example("coexistence_wifi", capsys)
+        assert "channel hopping" in out
+        assert "static channels" in out
+
+    def test_two_plants(self, capsys):
+        out = run_example("two_plants", capsys)
+        assert "rebalanced the band" in out
+        assert "disjoint: True" in out
+
+    def test_battery_planning(self, capsys):
+        out = run_example("battery_planning", capsys)
+        assert "maintenance pacer" in out
+        assert "radio current" in out
