@@ -10,13 +10,33 @@ reconfiguration, and the staggered application of schedule changes all
 emerge from the same slot-accurate simulation, exactly as on the
 testbed.
 
+Failures are first-class citizens: a :class:`~repro.net.sim.faults.
+FaultPlan` crashes nodes, collapses links and drops management bursts
+mid-run, and the live network *self-heals* — children detect a dead
+parent through missed management-cell keepalives, the orphaned subtrees
+re-attach under an alternate parent at the same layer (preserving every
+link layer, so partitions stay meaningful — the alternate-parent
+recovery of arXiv:2308.09847), and HARP's own dynamic-adjustment
+machinery re-carves the partitions over the air.  When no same-layer
+alternate exists the network falls back to a full re-bootstrap.
+
+Determinism contract
+--------------------
+One seeded :class:`random.Random` (the ``rng`` argument) drives *every*
+stochastic choice of a run: data-plane loss sampling inside the
+simulator **and** management-plane loss (baseline ``management_loss``
+plus any :class:`~repro.net.sim.faults.MgmtLossBurst`).  Two runs with
+the same topology, task set, config, fault plan and seed are
+slot-for-slot identical; fault injection itself is declarative and
+consumes no randomness.
+
 Usage::
 
-    live = LiveHarpNetwork(topology, tasks, config_with_mgmt_subframe)
+    live = LiveHarpNetwork(topology, tasks, config_with_mgmt_subframe,
+                           fault_plan=plan)
     live.bootstrap()                       # static phase over the air
-    live.run_slotframes(40)                # steady state
-    live.change_rate(node, 3.0)            # traffic change + adjustment
-    live.run_slotframes(40)
+    live.run_slotframes(40)                # faults fire per the plan;
+                                           # healing runs over the air
     live.sim.metrics ...                   # everything observable
 """
 
@@ -25,11 +45,12 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set
 
-from ..net.protocol.messages import HarpMessage, ScheduleUpdate
+from ..net.protocol.messages import HarpMessage, PutInterface, ScheduleUpdate
 from ..net.sim.engine import TSCHSimulator
+from ..net.sim.faults import FaultPlan
 from ..net.slotframe import Schedule, SlotframeConfig
 from ..net.tasks import TaskSet
 from ..net.topology import Direction, LinkRef, TreeTopology
@@ -45,10 +66,44 @@ class LiveStats:
     schedule_updates_applied: int = 0
     last_adjustment_slots: int = 0
     bootstrap_slots: int = 0
+    #: Messages abandoned after the per-message retry budget (sustained
+    #: loss or a crashed receiver).
+    messages_dead_lettered: int = 0
+    #: Fault/recovery bookkeeping.
+    node_crashes: int = 0
+    node_recoveries: int = 0
+    parents_declared_dead: int = 0
+    subtrees_reparented: int = 0
+    heals_completed: int = 0
+    rebootstraps: int = 0
+    #: Slots from fault detection to protocol quiescence of the last
+    #: completed heal (schedule re-wired and verified collision-free).
+    last_heal_slots: int = 0
 
 
 class LiveHarpNetwork:
-    """Agents, protocol transport and data plane in one simulation."""
+    """Agents, protocol transport, data plane and failures in one
+    simulation.
+
+    Parameters
+    ----------
+    rng:
+        The run's single random stream (see the module docstring's
+        determinism contract).  Defaults to ``random.Random(0)``.
+    fault_plan:
+        Declarative failure schedule, shared with the simulator.
+    keepalive_miss_limit:
+        Consecutive slotframes of missed parent keepalives before the
+        children declare the parent dead and healing starts (detection
+        latency, in slotframes).
+    mgmt_max_retries:
+        Per-message retry budget on the management plane: a message that
+        keeps failing (loss or crashed receiver) is dead-lettered after
+        this many retries, freeing its sender's outbox.
+    self_healing:
+        When False, crashes degrade the network but no re-parenting is
+        attempted (the paper's original, failure-oblivious behaviour).
+    """
 
     def __init__(
         self,
@@ -60,6 +115,11 @@ class LiveHarpNetwork:
         case1_slack: int = 1,
         start_traffic_after_bootstrap: bool = True,
         management_loss: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        keepalive_miss_limit: int = 3,
+        mgmt_max_retries: int = 8,
+        self_healing: bool = True,
+        max_packet_age_slots: Optional[int] = None,
     ) -> None:
         self.topology = topology
         self.config = config or SlotframeConfig(
@@ -72,25 +132,47 @@ class LiveHarpNetwork:
             )
         self.task_set = task_set
         self.start_traffic_after_bootstrap = start_traffic_after_bootstrap
+        self.case1_slack = case1_slack
         self.runtime = AgentRuntime(
             topology, task_set, self.config, case1_slack=case1_slack
         )
         self.schedule = Schedule(self.config)
+        #: The single seeded stream behind both planes (determinism
+        #: contract in the module docstring).
+        self.rng = rng or random.Random(0)
+        self.fault_plan = fault_plan or FaultPlan()
         self.sim = TSCHSimulator(
             topology, self.schedule, task_set, self.config,
-            rng=rng or random.Random(0), loss_model=loss_model,
+            rng=self.rng, loss_model=loss_model,
+            fault_plan=self.fault_plan,
+            max_packet_age_slots=max_packet_age_slots,
         )
         if not 0.0 <= management_loss < 1.0:
             raise ValueError(
                 f"management_loss must be in [0, 1), got {management_loss}"
             )
         self.management_loss = management_loss
-        self._mgmt_rng = random.Random(12345)
+        if keepalive_miss_limit < 1:
+            raise ValueError(
+                f"keepalive_miss_limit must be >= 1, got {keepalive_miss_limit}"
+            )
+        self.keepalive_miss_limit = keepalive_miss_limit
+        self.mgmt_max_retries = mgmt_max_retries
+        self.self_healing = self_healing
         self.stats = LiveStats()
         #: Per-node FIFO of outgoing protocol messages.
         self._outboxes: Dict[int, Deque[HarpMessage]] = {
             n: deque() for n in topology.nodes
         }
+        #: Delivery attempts already spent on each node's head message.
+        self._head_attempts: Dict[int, int] = {}
+        #: Consecutive slotframes each parent's keepalive went unheard.
+        self._keepalive_misses: Dict[int, int] = {}
+        #: Nodes already healed around (never heal twice).
+        self._healed: Set[int] = set()
+        #: Reentrancy guard: while a heal drains its transactions with
+        #: nested stepping, boundary monitoring is suppressed.
+        self._healing_now = False
 
     # ------------------------------------------------------------------
     # management-cell geometry (same shape the ManagementPlane uses)
@@ -101,6 +183,35 @@ class LiveHarpNetwork:
         return self.config.data_slots + (2 * node) % span
 
     # ------------------------------------------------------------------
+    # fault state
+    # ------------------------------------------------------------------
+
+    def node_down(self, node: int) -> bool:
+        """Whether ``node`` is crashed at the current slot (healed-away
+        nodes stay down forever from this layer's point of view)."""
+        return node in self._healed or self.fault_plan.node_down(
+            node, self.sim.current_slot
+        )
+
+    def _apply_live_fault_events(self) -> None:
+        """Management-plane side of crash/recovery events (the simulator
+        flushes the data-plane queues itself)."""
+        slot = self.sim.current_slot
+        for crash in self.fault_plan.crashes_at(slot):
+            self.stats.node_crashes += 1
+            self.sim.metrics.mark_phase(slot, f"fault@{crash.node}")
+            outbox = self._outboxes.get(crash.node)
+            if outbox:
+                # A crash loses the node's queued protocol messages.
+                self.stats.messages_dead_lettered += len(outbox)
+                outbox.clear()
+            self._head_attempts.pop(crash.node, None)
+        for crash in self.fault_plan.recoveries_at(slot):
+            if crash.node not in self._healed:
+                self.stats.node_recoveries += 1
+                self._keepalive_misses.pop(crash.node, None)
+
+    # ------------------------------------------------------------------
     # protocol plumbing
     # ------------------------------------------------------------------
 
@@ -108,28 +219,57 @@ class LiveHarpNetwork:
         for message in messages:
             self._outboxes[message.src].append(message)
 
+    def _effective_mgmt_loss(self) -> float:
+        return max(
+            self.management_loss,
+            self.fault_plan.mgmt_loss(self.sim.current_slot),
+        )
+
     def _service_management_cells(self) -> None:
         """Deliver at most one queued message per node whose management
-        cell is the current slot."""
+        cell is the current slot.
+
+        HARP messages ride CoAP confirmable exchanges: a failed
+        transmission (channel loss or a crashed receiver, which never
+        acks) stays at the head of the outbox and is retried in the
+        node's next management cell — costing a slotframe per retry —
+        until the per-message budget runs out and it is dead-lettered.
+        """
         frame_slot = self.sim.current_slot % self.config.num_slots
         if frame_slot < self.config.data_slots:
             return
+        loss = self._effective_mgmt_loss()
         for node in self.topology.nodes:
             if self._mgmt_tx_slot(node) != frame_slot:
                 continue
+            if self.node_down(node):
+                continue  # a crashed sender transmits nothing
             outbox = self._outboxes[node]
             if not outbox:
                 continue
-            # HARP messages ride CoAP confirmable exchanges: a lost
-            # frame stays at the head of the outbox and is retried in
-            # the node's next management cell (costing a slotframe).
-            if (
-                self.management_loss > 0.0
-                and self._mgmt_rng.random() < self.management_loss
-            ):
-                self.stats.messages_lost += 1
+            message = outbox[0]
+            if message.dst not in self.runtime.agents:
+                # The destination was healed away — it will never come
+                # back, so retrying is pointless.
+                outbox.popleft()
+                self._head_attempts.pop(node, None)
+                self.stats.messages_dead_lettered += 1
                 continue
-            message = outbox.popleft()
+            failed = self.node_down(message.dst) or (
+                loss > 0.0 and self.rng.random() < loss
+            )
+            if failed:
+                self.stats.messages_lost += 1
+                attempts = self._head_attempts.get(node, 0) + 1
+                if attempts > self.mgmt_max_retries:
+                    outbox.popleft()
+                    self._head_attempts.pop(node, None)
+                    self.stats.messages_dead_lettered += 1
+                else:
+                    self._head_attempts[node] = attempts
+                continue
+            outbox.popleft()
+            self._head_attempts.pop(node, None)
             self.stats.messages_sent += 1
             replies = self.runtime.agents[message.dst].handle(message)
             self._post(replies)
@@ -146,8 +286,18 @@ class LiveHarpNetwork:
 
     @property
     def pending_messages(self) -> int:
-        """Protocol messages still queued network-wide."""
-        return sum(len(q) for q in self._outboxes.values())
+        """Protocol messages still queued network-wide (unreachable
+        queues of crashed nodes excluded)."""
+        return sum(
+            len(q)
+            for node, q in self._outboxes.items()
+            if not self.node_down(node)
+        )
+
+    @property
+    def healing_in_progress(self) -> bool:
+        """Whether a self-healing transaction is still running."""
+        return self._healing_now
 
     # ------------------------------------------------------------------
     # execution
@@ -156,8 +306,11 @@ class LiveHarpNetwork:
     def step_slots(self, num_slots: int) -> None:
         """Advance the co-simulation slot by slot."""
         for _ in range(num_slots):
+            self._apply_live_fault_events()
             self._service_management_cells()
             self.sim.run_slots(1)
+            if self.sim.current_slot % self.config.num_slots == 0:
+                self._on_slotframe_boundary()
 
     def run_slotframes(self, num_slotframes: int) -> None:
         """Advance by whole slotframes."""
@@ -177,6 +330,374 @@ class LiveHarpNetwork:
                     f"slotframes ({self.pending_messages} pending)"
                 )
         return self.sim.current_slot - start
+
+    def _on_slotframe_boundary(self) -> None:
+        """Once per slotframe: keepalive monitoring (suppressed while a
+        heal is already draining with nested stepping)."""
+        if not self._healing_now:
+            self._monitor_keepalives()
+
+    # ------------------------------------------------------------------
+    # keepalive monitoring and self-healing
+    # ------------------------------------------------------------------
+
+    def _monitor_keepalives(self) -> None:
+        """Children listen for their parent's management-cell beacon
+        every slotframe; a crashed parent goes silent and the miss
+        counter climbs until the subtree declares it dead.
+
+        Parents crossing the miss limit at the same boundary (a
+        simultaneous multi-router crash) are declared as one batch: the
+        heals run serially, but the collision-freedom check only makes
+        sense after the last one — while an undeclared dead router is
+        still in the topology, its stale cells cannot be re-assigned
+        over the air, so intermediate schedules may overlap regions the
+        pending heal is about to release."""
+        newly_dead: List[int] = []
+        for parent in self.topology.non_leaf_nodes():
+            if parent in self._healed:
+                continue
+            if self.node_down(parent):
+                misses = self._keepalive_misses.get(parent, 0) + 1
+                self._keepalive_misses[parent] = misses
+                if misses >= self.keepalive_miss_limit and self.self_healing:
+                    newly_dead.append(parent)
+            else:
+                self._keepalive_misses.pop(parent, None)
+        for index, parent in enumerate(newly_dead):
+            self._declare_parent_dead(
+                parent, last_in_batch=index == len(newly_dead) - 1
+            )
+        if len(newly_dead) > 1:
+            # A non-final heal skipped its own validation; certify the
+            # batch as a whole.
+            self.schedule.validate_collision_free(self.topology)
+
+    def _declare_parent_dead(
+        self, dead: int, last_in_batch: bool = True
+    ) -> None:
+        """The orphaned children give up on ``dead`` and run the healing
+        transaction (alternate-parent re-attachment).
+
+        The heal drains each adjustment transaction to quiescence with
+        nested stepping — the data plane keeps moving packets the whole
+        time, so time, queue growth and packet loss during healing all
+        show up in the metrics."""
+        if dead in self._healed or dead not in self.topology:
+            return
+        if dead == self.topology.gateway_id:
+            raise RuntimeError(
+                "gateway crashed: gateway failover is not supported "
+                "(see ROADMAP open items)"
+            )
+        self.stats.parents_declared_dead += 1
+        self._healed.add(dead)
+        declared_slot = self.sim.current_slot
+        self.sim.metrics.mark_phase(declared_slot, f"healing@{dead}")
+
+        dead_depth = self.topology.depth_of(dead)
+        grand = self.topology.parent_of(dead)
+        dead_agent = self.runtime.agents[dead]
+        orphans = [
+            c for c in self.topology.children_of(dead)
+            if not self.node_down(c)
+        ]
+        #: Demand each orphan link carried, from the dead manager's
+        #: authoritative local state (fallback: derive from the tasks).
+        orphan_demands: Dict[int, Dict[Direction, int]] = {}
+        for orphan in orphans:
+            demands = {}
+            for direction in (Direction.UP, Direction.DOWN):
+                cells = dead_agent.state.link_demands.get(direction, {}).get(
+                    orphan, 0
+                )
+                if cells <= 0:
+                    cells = self._subtree_demand(orphan, direction)
+                if cells > 0:
+                    demands[direction] = cells
+            orphan_demands[orphan] = demands
+        dead_link_demand = {
+            direction: self.runtime.agents[grand].state.link_demands.get(
+                direction, {}
+            ).get(dead, 0)
+            for direction in (Direction.UP, Direction.DOWN)
+        }
+
+        # Pick a same-depth alternate parent per orphan so every link
+        # layer in the orphan's subtree is preserved (partition layers
+        # stay meaningful).  Prefer siblings of the dead parent.
+        placements: Dict[int, int] = {}
+        lost_subtree = set(self.topology.subtree_nodes(dead))
+        for orphan in orphans:
+            candidates = [
+                n
+                for n in self.topology.nodes_at_depth(dead_depth)
+                if n not in lost_subtree
+                and not self.node_down(n)
+                and n not in self._healed
+            ]
+            if not candidates:
+                self._full_rebootstrap(
+                    dead, orphans, grand, last_in_batch=last_in_batch
+                )
+                return
+            candidates.sort(
+                key=lambda n: (
+                    0 if self.topology.parent_of(n) == grand else 1, n
+                )
+            )
+            placements[orphan] = candidates[0]
+
+        self._healing_now = True
+        try:
+            self._execute_reparenting(
+                dead, grand, placements, orphan_demands, dead_link_demand
+            )
+            if last_in_batch:
+                self.schedule.validate_collision_free(self.topology)
+        finally:
+            self._healing_now = False
+        self.stats.heals_completed += 1
+        self.stats.last_heal_slots = self.sim.current_slot - declared_slot
+        if last_in_batch:
+            self.sim.metrics.mark_phase(self.sim.current_slot, "recovered")
+
+    def _subtree_demand(self, root: int, direction: Direction) -> int:
+        """Cells the link above ``root`` needs, derived from the tasks
+        sourced in its subtree."""
+        subtree = set(self.topology.subtree_nodes(root))
+        cells = 0
+        for task in self.task_set:
+            if task.source not in subtree:
+                continue
+            if direction is Direction.DOWN and not task.echo:
+                continue
+            cells += int(math.ceil(task.rate))
+        return cells
+
+    def _execute_reparenting(
+        self,
+        dead: int,
+        grand: int,
+        placements: Dict[int, int],
+        orphan_demands: Dict[int, Dict[Direction, int]],
+        dead_link_demand: Dict[Direction, int],
+    ) -> None:
+        """Apply the topology surgery immediately (the routing layer
+        reacts at RPL speed) and run the HARP partition adjustments as
+        serialized over-the-air transactions, each drained to
+        quiescence."""
+        topology = self.topology
+        for orphan, new_parent in placements.items():
+            topology = topology.with_reparented(orphan, new_parent)
+        removed = topology.subtree_nodes(dead)
+        topology = topology.with_detached(dead)
+        self._install_topology(topology)
+        self._drop_nodes(removed)
+
+        # Stale cells: the dead node's own links and the orphans' links
+        # (their new parent re-grants cells via ScheduleUpdate).
+        for child in list(removed) + list(placements):
+            for direction in (Direction.UP, Direction.DOWN):
+                self.schedule.remove_link(LinkRef(child, direction))
+        self.sim.set_schedule(self.schedule)
+
+        # The old path releases the dead subtree's demand *now*: every
+        # node on it detected the loss locally (its own missed
+        # keepalives / unacked transmissions), so no message is needed
+        # to trigger the local bookkeeping — only the resulting
+        # reschedules travel over the air.
+        self._post(self._release_old_path(dead, grand, dead_link_demand))
+        self._drain_heal()
+        # One serialized transaction per orphan re-attach, then the
+        # forwarding ripple up the new parent's ancestor chain.
+        for orphan, new_parent in sorted(placements.items()):
+            demands = orphan_demands[orphan]
+            self._post(self._attach_orphan(orphan, new_parent, demands))
+            self._drain_heal()
+            chain = [new_parent] + [
+                n
+                for n in self.topology.path_to_gateway(new_parent)
+                if n != new_parent
+            ]
+            for child_on_path, manager in zip(chain, chain[1:]):
+                self._post(
+                    self._ripple_demand(manager, child_on_path, demands)
+                )
+                self._drain_heal()
+            self.stats.subtrees_reparented += 1
+
+    def _drain_heal(self, max_slotframes: int = 150) -> None:
+        """Step until the current healing transaction quiesces; the data
+        plane keeps running underneath."""
+        frames = 0
+        while self.pending_messages:
+            self.step_slots(self.config.num_slots)
+            frames += 1
+            if frames > max_slotframes:
+                raise RuntimeError(
+                    f"healing transaction did not quiesce within "
+                    f"{max_slotframes} slotframes "
+                    f"({self.pending_messages} pending)"
+                )
+
+    def _release_old_path(
+        self, dead: int, grand: int, dead_link_demand: Dict[Direction, int]
+    ) -> List[HarpMessage]:
+        """The grandparent evicts the dead child; ancestors release the
+        forwarding share (the paper's decrease rule: local reschedules,
+        partitions untouched)."""
+        out: List[HarpMessage] = []
+        grand_agent = self.runtime.agents.get(grand)
+        if grand_agent is not None and dead in grand_agent.state.children:
+            out.extend(grand_agent.evict_child(dead))
+        ancestors = [
+            n for n in self.topology.path_to_gateway(grand) if n != grand
+        ]
+        chain = [grand] + ancestors
+        for child_on_path, manager in zip(chain, chain[1:]):
+            agent = self.runtime.agents[manager]
+            for direction, released in dead_link_demand.items():
+                if released <= 0:
+                    continue
+                current = agent.state.link_demands.get(direction, {}).get(
+                    child_on_path, 0
+                )
+                out.extend(
+                    agent.request_demand_increase(
+                        child_on_path, direction, max(0, current - released)
+                    )
+                )
+        return out
+
+    def _attach_orphan(
+        self, orphan: int, new_parent: int, demands: Dict[Direction, int]
+    ) -> List[HarpMessage]:
+        """Messages re-attaching one orphan under its alternate parent."""
+        orphan_agent = self.runtime.agents[orphan]
+        np_agent = self.runtime.agents[new_parent]
+        orphan_agent.state.parent = new_parent
+        out = list(np_agent.admit_child(orphan, demands))
+        if orphan_agent.state.children:
+            np_agent.state.non_leaf_children.add(orphan)
+            # The orphan re-advertises its composed interface so the new
+            # parent can compose (and escalate) at every layer the moved
+            # subtree occupies.
+            for direction in (Direction.UP, Direction.DOWN):
+                summary = orphan_agent.state.own_interface.get(direction, {})
+                for layer in sorted(summary):
+                    if layer <= np_agent.state.own_layer:
+                        continue
+                    slots, channels = summary[layer]
+                    if slots <= 0 or channels <= 0:
+                        continue
+                    out.append(
+                        PutInterface(
+                            src=orphan,
+                            dst=new_parent,
+                            layer=layer,
+                            direction=direction,
+                            n_slots=slots,
+                            n_channels=channels,
+                        )
+                    )
+        return out
+
+    def _ripple_demand(
+        self, manager: int, child_on_path: int, demands: Dict[Direction, int]
+    ) -> List[HarpMessage]:
+        """One forwarding-demand increase on the new parent's ancestor
+        chain."""
+        agent = self.runtime.agents.get(manager)
+        if agent is None:
+            return []
+        out: List[HarpMessage] = []
+        for direction, extra in demands.items():
+            current = agent.state.link_demands.get(direction, {}).get(
+                child_on_path, 0
+            )
+            out.extend(
+                agent.request_demand_increase(
+                    child_on_path, direction, current + extra
+                )
+            )
+        return out
+
+    def _full_rebootstrap(
+        self,
+        dead: int,
+        orphans: List[int],
+        grand: int,
+        last_in_batch: bool = True,
+    ) -> None:
+        """No same-layer alternate parent exists: re-attach the orphans
+        under the grandparent (their depth shrinks) and rebuild the
+        whole protocol state from scratch, over the air."""
+        declared_slot = self.sim.current_slot
+        topology = self.topology
+        for orphan in orphans:
+            topology = topology.with_reparented(orphan, grand)
+        removed = topology.subtree_nodes(dead)
+        topology = topology.with_detached(dead)
+        self._drop_nodes(removed)
+        self._install_topology(topology)
+
+        self._healing_now = True
+        try:
+            self.stats.rebootstraps += 1
+            self.runtime = AgentRuntime(
+                self.topology, self.task_set, self.config,
+                case1_slack=self.case1_slack,
+            )
+            self.schedule = Schedule(self.config)
+            self.sim.set_schedule(self.schedule)
+            for node in self.topology.nodes_bottom_up():
+                self._post(self.runtime.agents[node].start())
+            self._drain_heal()
+            if last_in_batch:
+                self.schedule.validate_collision_free(self.topology)
+        finally:
+            self._healing_now = False
+        self.stats.heals_completed += 1
+        self.stats.last_heal_slots = self.sim.current_slot - declared_slot
+        if last_in_batch:
+            self.sim.metrics.mark_phase(self.sim.current_slot, "recovered")
+
+    def _install_topology(self, topology: TreeTopology) -> None:
+        self.topology = topology
+        self.runtime.topology = topology
+        self.sim.set_topology(topology)
+        for node in topology.nodes:
+            self._outboxes.setdefault(node, deque())
+
+    def _drop_nodes(self, nodes: List[int]) -> None:
+        """Remove crashed nodes (and their tasks/packets/agents) from
+        every plane."""
+        gone = set(nodes)
+        survivors = [t for t in self.task_set if t.source not in gone]
+        for task in self.task_set:
+            if task.source in gone:
+                self.sim.remove_task(task.task_id)
+        self.task_set = TaskSet(survivors)
+        for node in gone:
+            self.runtime.agents.pop(node, None)
+            outbox = self._outboxes.pop(node, None)
+            if outbox:
+                self.stats.messages_dead_lettered += len(outbox)
+            self._head_attempts.pop(node, None)
+            self._keepalive_misses.pop(node, None)
+        # Purge queued messages addressed to the removed nodes: their
+        # senders would otherwise burn a retry budget per message on
+        # destinations that can never answer.
+        for sender, outbox in self._outboxes.items():
+            doomed = [m for m in outbox if m.dst in gone]
+            if doomed:
+                kept = [m for m in outbox if m.dst not in gone]
+                outbox.clear()
+                outbox.extend(kept)
+                self.stats.messages_dead_lettered += len(doomed)
+                if self._head_attempts.get(sender) and doomed:
+                    self._head_attempts.pop(sender, None)
 
     def bootstrap(self) -> int:
         """Run the static phase over the air; returns slots consumed.
@@ -209,8 +730,6 @@ class LiveHarpNetwork:
         starts generating once its cells are granted.  Returns the slots
         the network needed to absorb the join.
         """
-        from collections import deque as _deque
-
         from ..net.tasks import Task
         from .node import HarpNodeAgent
         from .state import LocalState
@@ -236,12 +755,7 @@ class LiveHarpNetwork:
         self.runtime.agents[node] = HarpNodeAgent(
             state, self.config.num_channels
         )
-        self.topology = self.topology.with_attached(node, parent)
-        self.runtime.topology = self.topology
-        self.sim.topology = self.topology
-        self.sim._uplink_q.setdefault(node, _deque())
-        self.sim._downlink_q.setdefault(node, _deque())
-        self._outboxes.setdefault(node, _deque())
+        self._install_topology(self.topology.with_attached(node, parent))
 
         self._post(self.runtime.agents[parent].admit_child(node, demands))
         self.run_until_quiescent()

@@ -365,6 +365,14 @@ class HarpNodeAgent:
         for direction in (Direction.UP, Direction.DOWN):
             state.link_demands.get(direction, {}).pop(child, None)
             state.child_interfaces.get(direction, {}).pop(child, None)
+        # Scrub granted regions too: a stale layout entry would re-grant
+        # a partition to the departed child on the next recompose (fatal
+        # when the eviction is a crash — the grant would dead-letter and
+        # the region stay reserved forever).
+        for key in list(state.layouts):
+            state.layouts[key].pop(child, None)
+        for key in list(state.child_partitions):
+            state.child_partitions[key].pop(child, None)
         out.extend(self._schedule_links())
         return out
 

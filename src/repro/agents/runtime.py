@@ -195,7 +195,12 @@ class AgentRuntime:
 
     def _enqueue_all(self, messages: List[HarpMessage]) -> None:
         for message in messages:
-            self.plane.deliver(message)
+            if self.plane.deliver(message) is None:
+                # Dead-lettered after the plane's retry budget: the
+                # receiver never sees it.  The transaction may stall
+                # (observable via stats.dead_letters) but never corrupts
+                # state — exactly the failure the fault studies probe.
+                continue
             self._queue.append(message)
 
     def _drain(self) -> None:

@@ -21,6 +21,9 @@ Commands
 ``audit [--snapshot FILE]``
     Deep cross-structure consistency audit of the demo network (or of a
     snapshot's schedule/partition consistency).
+``faults [--crashes N ...] [--seeds N] [--post-slotframes N]``
+    Crash routers mid-run and tabulate the self-healing recovery
+    latency (detection, healing, delivery-ratio dip and recovery).
 """
 
 from __future__ import annotations
@@ -210,6 +213,20 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .experiments.fault_study import run_fault_study
+
+    result = run_fault_study(
+        crash_counts=tuple(args.crashes),
+        seeds=tuple(range(args.seeds)),
+        keepalive_miss_limit=args.miss_limit,
+        post_slotframes=args.post_slotframes,
+    )
+    print("Self-healing recovery latency (simultaneous router crashes)")
+    print(result.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="HARP reproduction toolkit"
@@ -249,6 +266,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("audit", help="deep consistency audit")
     p.add_argument("--snapshot", default=None)
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("faults", help="self-healing recovery latency")
+    p.add_argument(
+        "--crashes", type=int, nargs="+", default=[1, 2],
+        help="simultaneous router crash counts to sweep",
+    )
+    p.add_argument("--seeds", type=int, default=1)
+    p.add_argument("--miss-limit", type=int, default=3)
+    p.add_argument("--post-slotframes", type=int, default=60)
+    p.set_defaults(func=cmd_faults)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,239 @@
+"""Beyond the paper — fault injection and self-healing recovery.
+
+The paper's testbed never kills a router mid-run; this study does.  On a
+layered tree running the full co-simulation (protocol + data plane), a
+configurable number of non-leaf routers crash simultaneously.  Their
+children detect the silence through missed management-cell keepalives,
+re-attach the orphaned subtrees under same-layer alternates, and HARP's
+own dynamic-adjustment machinery re-carves partitions over the air.
+
+Per crash count the study reports the recovery-latency table: detection
+latency, healing time (detection to protocol quiescence with a verified
+collision-free schedule), the delivery ratio before / during / after the
+outage, packets lost in the healing window, and the end-to-end
+time-to-recover of the delivery ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..agents.live import LiveHarpNetwork
+from ..net.sim.faults import FaultPlan
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import e2e_task_per_node
+from ..net.topology import TreeTopology, regular_tree
+from .reporting import format_table
+
+#: Small slotframe so the co-simulated sweep stays fast.
+FAULT_CONFIG = SlotframeConfig(
+    num_slots=100, num_channels=16, management_slots=30
+)
+
+#: Packet lifetime used by the study: backlog stranded by an outage ages
+#: out (as a real stack's TTL would) instead of delaying fresh traffic
+#: forever, so the post-heal delivery ratio reflects the healed network.
+PACKET_LIFETIME_SLOTS = 500
+
+
+@dataclass
+class FaultStudyRow:
+    """Aggregated recovery metrics for one crash count."""
+
+    crashes: int
+    runs: int
+    detect_slotframes: float
+    heal_slotframes: float
+    ratio_before: float
+    ratio_during: float
+    ratio_after: float
+    packets_lost: float
+    recover_slotframes: Optional[float]
+
+
+@dataclass
+class FaultStudyResult:
+    """The recovery-latency table."""
+
+    rows: List[FaultStudyRow] = field(default_factory=list)
+    keepalive_miss_limit: int = 3
+    skipped_counts: List[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII rendering of the recovery-latency table."""
+        table = format_table(
+            [
+                "Crashes", "Runs", "Detect(SF)", "Heal(SF)",
+                "DR before", "DR outage", "DR after", "Lost", "Recover(SF)",
+            ],
+            [
+                (
+                    r.crashes,
+                    r.runs,
+                    f"{r.detect_slotframes:.0f}",
+                    f"{r.heal_slotframes:.1f}",
+                    f"{r.ratio_before:.3f}",
+                    f"{r.ratio_during:.3f}",
+                    f"{r.ratio_after:.3f}",
+                    f"{r.packets_lost:.1f}",
+                    (
+                        f"{r.recover_slotframes:.1f}"
+                        if r.recover_slotframes is not None
+                        else "never"
+                    ),
+                )
+                for r in self.rows
+            ],
+        )
+        if self.skipped_counts:
+            skipped = ", ".join(str(c) for c in self.skipped_counts)
+            table += (
+                f"\n(skipped crash counts {skipped}: crashing that many"
+                " routers leaves no same-layer alternate parent)"
+            )
+        return table
+
+
+def crash_candidates(topology: TreeTopology) -> List[int]:
+    """Routers eligible to crash: non-leaf device nodes at the deepest
+    depth that hosts more than one of them, so a same-layer alternate
+    parent survives any partial crash."""
+    by_depth = {}
+    for node in topology.non_leaf_nodes():
+        if node == topology.gateway_id:
+            continue
+        by_depth.setdefault(topology.depth_of(node), []).append(node)
+    eligible = {d: nodes for d, nodes in by_depth.items() if len(nodes) > 1}
+    if not eligible:
+        return []
+    return sorted(eligible[max(eligible)])
+
+
+@dataclass
+class SingleFaultOutcome:
+    """Raw metrics of one crash-and-heal run."""
+
+    heal_slots: int
+    ratio_before: float
+    ratio_during: float
+    ratio_after: float
+    packets_lost: int
+    recover_slots: Optional[int]
+    rebootstraps: int
+
+
+def run_single_fault(
+    topology: TreeTopology,
+    crash_nodes: Sequence[int],
+    config: Optional[SlotframeConfig] = None,
+    seed: int = 0,
+    keepalive_miss_limit: int = 3,
+    warmup_slotframes: int = 10,
+    post_slotframes: int = 60,
+) -> SingleFaultOutcome:
+    """Bootstrap, run a warm-up, crash ``crash_nodes`` simultaneously,
+    and observe the self-healing recovery."""
+    config = config or FAULT_CONFIG
+    live = LiveHarpNetwork(
+        topology,
+        e2e_task_per_node(topology),
+        config,
+        rng=random.Random(seed),
+        keepalive_miss_limit=keepalive_miss_limit,
+        max_packet_age_slots=PACKET_LIFETIME_SLOTS,
+    )
+    live.bootstrap()
+    warmup_start = live.sim.current_slot
+    live.run_slotframes(warmup_slotframes)
+
+    crash_slot = live.sim.current_slot + config.num_slots // 2
+    live.fault_plan = FaultPlan.crash_nodes(crash_nodes, at_slot=crash_slot)
+    live.sim.fault_plan = live.fault_plan
+    live.run_slotframes(post_slotframes)
+
+    metrics = live.sim.metrics
+    heal_slots = live.stats.last_heal_slots
+    heal_end = crash_slot + heal_slots
+    # The tail window is still draining at run end; exclude one packet
+    # lifetime so "after" reflects packets that had a chance to arrive.
+    after_end = live.sim.current_slot - PACKET_LIFETIME_SLOTS
+    before = metrics.delivery_ratio_between(warmup_start, crash_slot)
+    during = metrics.delivery_ratio_between(crash_slot, heal_end)
+    after = metrics.delivery_ratio_between(heal_end, max(after_end, heal_end))
+    live.schedule.validate_collision_free(live.topology)
+    return SingleFaultOutcome(
+        heal_slots=heal_slots,
+        ratio_before=before,
+        ratio_during=during,
+        ratio_after=after,
+        packets_lost=metrics.packets_lost_during(crash_slot, heal_end),
+        recover_slots=metrics.time_to_recover(
+            crash_slot, before, end_slot=max(after_end, heal_end)
+        ),
+        rebootstraps=live.stats.rebootstraps,
+    )
+
+
+def run_fault_study(
+    crash_counts: Sequence[int] = (1, 2, 3),
+    seeds: Sequence[int] = (0, 1, 2),
+    topology: Optional[TreeTopology] = None,
+    config: Optional[SlotframeConfig] = None,
+    keepalive_miss_limit: int = 3,
+    post_slotframes: int = 60,
+) -> FaultStudyResult:
+    """Sweep simultaneous crash counts and tabulate recovery latency."""
+    topology = topology or regular_tree(depth=3, fanout=2)
+    config = config or FAULT_CONFIG
+    candidates = crash_candidates(topology)
+    result = FaultStudyResult(keepalive_miss_limit=keepalive_miss_limit)
+
+    for count in crash_counts:
+        if count >= len(candidates):
+            # Crashing every router at that depth leaves no alternate;
+            # the fallback path (full re-bootstrap) is exercised by the
+            # tests, not the sweep.
+            result.skipped_counts.append(count)
+            continue
+        outcomes = [
+            run_single_fault(
+                topology,
+                candidates[:count],
+                config=config,
+                seed=seed,
+                keepalive_miss_limit=keepalive_miss_limit,
+                post_slotframes=post_slotframes,
+            )
+            for seed in seeds
+        ]
+        recovers = [
+            o.recover_slots for o in outcomes if o.recover_slots is not None
+        ]
+        result.rows.append(
+            FaultStudyRow(
+                crashes=count,
+                runs=len(outcomes),
+                detect_slotframes=float(keepalive_miss_limit),
+                heal_slotframes=_mean(
+                    [o.heal_slots / config.num_slots for o in outcomes]
+                ),
+                ratio_before=_mean([o.ratio_before for o in outcomes]),
+                ratio_during=_mean([o.ratio_during for o in outcomes]),
+                ratio_after=_mean([o.ratio_after for o in outcomes]),
+                packets_lost=_mean(
+                    [float(o.packets_lost) for o in outcomes]
+                ),
+                recover_slotframes=(
+                    _mean([r / config.num_slots for r in recovers])
+                    if len(recovers) == len(outcomes)
+                    else None
+                ),
+            )
+        )
+    return result
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -19,6 +19,7 @@ from .adjustment_overhead import run_fig12, run_table2
 from .collision_sweep import run_fig11a, run_fig11b
 from .dynamic_latency import run_fig10
 from .energy_profile import run_energy_profile
+from .fault_study import run_fault_study
 from .interference_study import run_interference_study
 from .scaling import run_scaling
 from .static_latency import run_fig9
@@ -107,6 +108,14 @@ def main(argv=None) -> int:
         num_slotframes=15 if args.quick else 40
     )
     print(interference.render())
+
+    banner("Beyond the paper — self-healing recovery after router crashes")
+    faults = run_fault_study(
+        crash_counts=(1,) if args.quick else (1, 2, 3),
+        seeds=(0,) if args.quick else (0, 1, 2),
+        post_slotframes=60 if args.quick else 120,
+    )
+    print(faults.render())
 
     print(f"\nTotal: {time.time() - start:.1f} s")
     return 0

@@ -40,7 +40,15 @@ class TransportStats:
     messages_by_node: Counter = field(default_factory=Counter)
     total_messages: int = 0
     total_hops: int = 0
+    #: Re-sends after a missing acknowledgement (each also counted as a
+    #: packet in ``total_messages``).
     retransmissions: int = 0
+    #: Ack timeouts observed (every lost transmission costs one, whether
+    #: or not a retry budget remained).
+    timeouts: int = 0
+    #: Messages abandoned after the retry budget was exhausted — the
+    #: only way a delivery can permanently fail.
+    dead_letters: int = 0
 
     def snapshot(self) -> "TransportStats":
         """An independent copy (for before/after deltas in experiments)."""
@@ -50,6 +58,8 @@ class TransportStats:
         clone.total_messages = self.total_messages
         clone.total_hops = self.total_hops
         clone.retransmissions = self.retransmissions
+        clone.timeouts = self.timeouts
+        clone.dead_letters = self.dead_letters
         return clone
 
 
@@ -67,6 +77,22 @@ class ManagementPlane:
         Needed only for multi-hop routing (:meth:`deliver_routed`).
     start_slot:
         Initial virtual-clock value (absolute slot index).
+    loss_probability:
+        Per-transmission loss of the management link.  HARP messages
+        ride CoAP confirmable exchanges, so every send is acknowledged:
+        a lost transmission costs an ack timeout plus a retransmission.
+    max_retries:
+        Retry budget per message.  When it is exhausted the message is
+        *dead-lettered* (counted in ``stats.dead_letters``) and
+        :meth:`deliver` returns ``None`` — the caller decides whether to
+        escalate, re-issue, or give the node up for dead.
+    ack_timeout_slots:
+        Slots the sender waits for an acknowledgement before declaring
+        a transmission lost.
+    backoff_cap:
+        Bound on the exponential backoff multiplier: the wait before
+        retry ``k`` is ``ack_timeout_slots * min(2**(k-1), backoff_cap)``
+        on top of the wait for the sender's next management cell.
     """
 
     def __init__(
@@ -77,11 +103,21 @@ class ManagementPlane:
         loss_probability: float = 0.0,
         rng: Optional["random.Random"] = None,
         max_retries: int = 8,
+        ack_timeout_slots: int = 2,
+        backoff_cap: int = 8,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
                 f"loss_probability must be in [0, 1), got {loss_probability}"
             )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if ack_timeout_slots < 0:
+            raise ValueError(
+                f"ack_timeout_slots must be >= 0, got {ack_timeout_slots}"
+            )
+        if backoff_cap < 1:
+            raise ValueError(f"backoff_cap must be >= 1, got {backoff_cap}")
         self.config = config
         self.topology = topology
         self.now_slot = start_slot
@@ -90,6 +126,8 @@ class ManagementPlane:
         self.loss_probability = loss_probability
         self.rng = rng or random.Random(0)
         self.max_retries = max_retries
+        self.ack_timeout_slots = ack_timeout_slots
+        self.backoff_cap = backoff_cap
 
     # ------------------------------------------------------------------
     # management-cell geometry
@@ -110,18 +148,20 @@ class ManagementPlane:
     # delivery
     # ------------------------------------------------------------------
 
-    def deliver(self, message: HarpMessage) -> int:
-        """Deliver a one-hop message; returns the delivery slot.
+    def deliver(self, message: HarpMessage) -> Optional[int]:
+        """Deliver a one-hop message; returns the delivery slot, or
+        ``None`` when the message is dead-lettered.
 
         Advances the virtual clock to the sender's next management cell
         (messages from the same epoch serialize, one slotframe apart when
         they share a sender).  With a lossy management plane
-        (``loss_probability > 0``), failed transmissions are retried in
-        the sender's next management cell — HARP messages ride CoAP
-        confirmable exchanges, so loss costs time, never correctness.
-        After ``max_retries`` consecutive losses the delivery is forced
-        through (modelling link-layer ARQ exhaustion falling back to a
-        route the transport layer recovers on).
+        (``loss_probability > 0``) every transmission is a confirmable
+        exchange: a loss costs an ack timeout, then a retry after a
+        bounded exponential backoff, until the ``max_retries`` budget is
+        exhausted — at which point the message is dead-lettered
+        (``stats.dead_letters``) and the method returns ``None``.  Loss
+        therefore costs time, and only a sustained outage can cost
+        correctness — which the caller can now observe and react to.
         """
         attempts = 0
         while True:
@@ -131,34 +171,45 @@ class ManagementPlane:
             self.now_slot += wait + 1  # +1: the transmission occupies its slot
             self._count(message)
             attempts += 1
-            if (
-                self.loss_probability <= 0.0
-                or attempts > self.max_retries
-                or self.rng.random() >= self.loss_probability
-            ):
-                break
+            lost = (
+                self.loss_probability > 0.0
+                and self.rng.random() < self.loss_probability
+            )
+            if not lost:
+                self.log.append((self.now_slot, message))
+                return self.now_slot
+            self.stats.timeouts += 1
+            self.now_slot += self.ack_timeout_slots
+            if attempts > self.max_retries:
+                self.stats.dead_letters += 1
+                return None
             self.stats.retransmissions += 1
-        self.log.append((self.now_slot, message))
-        return self.now_slot
+            self.now_slot += self.ack_timeout_slots * min(
+                2 ** (attempts - 1), self.backoff_cap
+            )
 
-    def deliver_routed(self, message: HarpMessage) -> int:
+    def deliver_routed(self, message: HarpMessage) -> Optional[int]:
         """Deliver ``message`` from ``src`` to ``dst`` along the tree,
         counting one packet per hop (centralized-scheduler pattern).
 
         Routing goes up from ``src`` to the lowest common ancestor and
         down to ``dst``; each relay is modelled as a fresh one-hop send
-        from the relaying node.  Returns the final delivery slot.
+        from the relaying node.  Returns the final delivery slot, or
+        ``None`` when any hop dead-letters (the remaining hops are not
+        attempted — the packet died mid-route).
         """
         if self.topology is None:
             raise RuntimeError("deliver_routed requires a topology")
         route = self._route(message.src, message.dst)
-        delivery = self.now_slot
+        delivery: Optional[int] = self.now_slot
         for hop_src, hop_dst in zip(route, route[1:]):
             hop = HarpMessage(src=hop_src, dst=hop_dst)
             # Preserve the original endpoint identity for accounting.
             object.__setattr__(hop, "URI", message.URI)
             object.__setattr__(hop, "METHOD", message.METHOD)
             delivery = self.deliver(hop)
+            if delivery is None:
+                return None
         return delivery
 
     def _route(self, src: int, dst: int) -> List[int]:

@@ -63,6 +63,17 @@ class PerLinkPDR(LossModel):
     table: Mapping[LinkRef, float]
     default: float = 1.0
 
+    def __post_init__(self) -> None:
+        for link, value in self.table.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"PDR must be in [0, 1], got {value} for {link}"
+                )
+        if not 0.0 <= self.default <= 1.0:
+            raise ValueError(
+                f"default PDR must be in [0, 1], got {self.default}"
+            )
+
     def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
         return self.table.get(link, self.default)
 

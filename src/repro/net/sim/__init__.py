@@ -2,12 +2,17 @@
 
 from .energy import EnergyTracker, NodeEnergy, RadioPowerProfile
 from .engine import Packet, TSCHSimulator
+from .faults import FaultPlan, LinkPdrCollapse, MgmtLossBurst, NodeCrash
 from .metrics import DeliveryRecord, LatencyStats, MetricsCollector
 from .trace import TraceRecorder, TxEvent, TxOutcome
 
 __all__ = [
     "DeliveryRecord",
     "EnergyTracker",
+    "FaultPlan",
+    "LinkPdrCollapse",
+    "MgmtLossBurst",
+    "NodeCrash",
     "NodeEnergy",
     "RadioPowerProfile",
     "LatencyStats",

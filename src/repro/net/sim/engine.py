@@ -32,6 +32,7 @@ from ..radio import LossModel, PerfectRadio
 from ..slotframe import Cell, Schedule, SlotframeConfig
 from ..tasks import Task, TaskSet
 from ..topology import Direction, LinkRef, TreeTopology
+from .faults import FaultPlan
 from .metrics import DeliveryRecord, MetricsCollector
 from .trace import TraceRecorder, TxEvent, TxOutcome
 
@@ -84,6 +85,19 @@ class TSCHSimulator:
     queue_capacity:
         Per-node, per-direction queue bound; overflowing packets are
         dropped and counted.  ``None`` = unbounded.
+    max_packet_age_slots:
+        Packet lifetime, as in real TSCH stacks: a queued packet older
+        than this many slots is expired and dropped (counted in
+        ``metrics.expired_drops``).  ``None`` = packets never expire.
+        Fault studies set this so the backlog accumulated during an
+        outage drains instead of delaying fresh traffic forever.
+    fault_plan:
+        Optional :class:`~repro.net.sim.faults.FaultPlan`.  Crash and
+        link-collapse events fire slot-accurately: a crashed node
+        neither generates nor transmits nor receives (its queues are
+        flushed at crash time and counted as ``fault_drops``), and a
+        collapsed link's PDR is capped for the window.  Management-loss
+        bursts are consumed by the live co-simulation layer, not here.
     """
 
     def __init__(
@@ -95,16 +109,26 @@ class TSCHSimulator:
         loss_model: Optional[LossModel] = None,
         rng: Optional[random.Random] = None,
         queue_capacity: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_packet_age_slots: Optional[int] = None,
     ) -> None:
+        if max_packet_age_slots is not None and max_packet_age_slots < 1:
+            raise ValueError(
+                f"max_packet_age_slots must be >= 1, got {max_packet_age_slots}"
+            )
         self.topology = topology
         self.schedule = schedule
         self.config = config
         self.loss_model = loss_model or PerfectRadio()
         self.rng = rng or random.Random(0)
         self.queue_capacity = queue_capacity
+        self.max_packet_age_slots = max_packet_age_slots
+        self.fault_plan = fault_plan or FaultPlan()
         self.metrics = MetricsCollector(config)
         self.current_slot = 0
         self.traffic_enabled = True
+        #: Nodes currently crashed by the fault plan.
+        self.down_nodes: set = set()
         #: Optional transmission trace (attach a TraceRecorder to record
         #: every attempt with its outcome).
         self.trace = None
@@ -136,6 +160,35 @@ class TSCHSimulator:
         """Replace the active schedule (takes effect next slot)."""
         self.schedule = schedule
         self._rebuild_slot_index()
+
+    def set_topology(self, topology: TreeTopology) -> None:
+        """Replace the routing topology (self-healing re-parenting).
+
+        Downlink next hops are derived from the topology, so the route
+        cache is invalidated; queues for new nodes are created lazily
+        and queues of removed nodes simply go unreferenced.
+        """
+        self.topology = topology
+        self._next_hop_cache = {}
+        for node in topology.nodes:
+            self._uplink_q.setdefault(node, deque())
+            self._downlink_q.setdefault(node, deque())
+
+    def remove_task(self, task_id: int) -> int:
+        """Stop a task and purge its in-flight packets (a crashed
+        source); returns the number of packets destroyed."""
+        self._tasks.pop(task_id, None)
+        purged = 0
+        for queues in (self._uplink_q, self._downlink_q):
+            for node, queue in queues.items():
+                keep = [p for p in queue if p.task_id != task_id]
+                purged += len(queue) - len(keep)
+                if len(keep) != len(queue):
+                    queue.clear()
+                    queue.extend(keep)
+        self.metrics.fault_drops += purged
+        self.metrics.dropped += purged
+        return purged
 
     def set_task_rate(self, task_id: int, rate: float) -> None:
         """Change a task's generation rate from now on (Fig. 10)."""
@@ -170,9 +223,59 @@ class TSCHSimulator:
         return self.run_slots(num_slotframes * self.config.num_slots)
 
     def _step(self) -> None:
+        self._apply_fault_events()
+        self._expire_stale_packets()
         self._generate_packets()
         self._transmit()
         self.current_slot += 1
+
+    def _expire_stale_packets(self) -> None:
+        """Enforce the packet lifetime: queued packets whose age reached
+        ``max_packet_age_slots`` are dropped, as a real stack's
+        time-to-live would.  The bound is inclusive — a packet at the
+        lifetime edge still needs at least one slot per remaining hop,
+        so transmitting it would only waste cells downstream."""
+        if self.max_packet_age_slots is None:
+            return
+        horizon = self.current_slot - self.max_packet_age_slots
+        if horizon < 0:
+            return
+        expired = 0
+        for queues in (self._uplink_q, self._downlink_q):
+            for queue in queues.values():
+                if not queue:
+                    continue
+                keep = [p for p in queue if p.created_slot > horizon]
+                expired += len(queue) - len(keep)
+                if len(keep) != len(queue):
+                    queue.clear()
+                    queue.extend(keep)
+        self.metrics.expired_drops += expired
+        self.metrics.dropped += expired
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def _apply_fault_events(self) -> None:
+        if self.fault_plan.is_empty:
+            return
+        for crash in self.fault_plan.crashes_at(self.current_slot):
+            self.down_nodes.add(crash.node)
+            self._flush_node_queues(crash.node)
+        for crash in self.fault_plan.recoveries_at(self.current_slot):
+            self.down_nodes.discard(crash.node)
+
+    def _flush_node_queues(self, node: int) -> None:
+        """A crash destroys the node's RAM: every queued packet is lost."""
+        lost = 0
+        for queues in (self._uplink_q, self._downlink_q):
+            queue = queues.get(node)
+            if queue:
+                lost += len(queue)
+                queue.clear()
+        self.metrics.fault_drops += lost
+        self.metrics.dropped += lost
 
     # ------------------------------------------------------------------
     # packet generation
@@ -195,6 +298,13 @@ class TSCHSimulator:
         if not self.traffic_enabled:
             return
         for state in self._tasks.values():
+            if state.task.source in self.down_nodes:
+                # A crashed source generates nothing; its phase resumes
+                # from the recovery slot if it ever comes back.
+                state.next_generation = max(
+                    state.next_generation, float(self.current_slot + 1)
+                )
+                continue
             period = self.config.num_slots / state.task.rate
             while state.next_generation <= self.current_slot:
                 packet = Packet(
@@ -208,7 +318,7 @@ class TSCHSimulator:
                 )
                 state.next_seq += 1
                 state.next_generation += period
-                self.metrics.generated += 1
+                self.metrics.record_generation(self.current_slot)
                 self._enqueue(packet, state.task.source, Direction.UP)
 
     def _enqueue(self, packet: Packet, node: int, direction: Direction) -> None:
@@ -249,6 +359,11 @@ class TSCHSimulator:
         attempts: List[Tuple[Cell, LinkRef, Packet]] = []
         claimed: Dict[int, List[int]] = {}  # packet id -> guard vs double-claim
         for cell, link in sorted(entries, key=lambda e: (e[0], e[1].child)):
+            if (
+                self.down_nodes
+                and link.sender(self.topology) in self.down_nodes
+            ):
+                continue  # a crashed sender is silent: no attempt at all
             packet = self._eligible_packet(link, claimed)
             if packet is not None:
                 attempts.append((cell, link, packet))
@@ -305,6 +420,22 @@ class TSCHSimulator:
         for idx, (cell, link, packet) in enumerate(attempts):
             if idx in failed:
                 self._record_trace(cell, link, packet, failed[idx])
+                continue
+            if (
+                self.down_nodes
+                and link.receiver(self.topology) in self.down_nodes
+            ):
+                self.metrics.fault_failures += 1
+                self._record_trace(cell, link, packet, TxOutcome.NODE_DOWN)
+                continue
+            fault_cap = self.fault_plan.link_pdr_cap(
+                link.child, self.current_slot
+            )
+            if fault_cap < 1.0 and not (
+                fault_cap > 0.0 and self.rng.random() < fault_cap
+            ):
+                self.metrics.fault_failures += 1
+                self._record_trace(cell, link, packet, TxOutcome.FAULT_LOSS)
                 continue
             if observe is not None:
                 # Frequency-selective models (channel hopping + external

@@ -1,0 +1,214 @@
+"""Declarative fault injection for the TSCH co-simulation.
+
+The paper evaluates HARP under *benign* dynamics only — traffic-rate
+changes and planned joins.  Real industrial deployments also lose nodes
+(battery death, hardware faults), see links collapse under transient
+interference, and drop management packets in bursts.  A
+:class:`FaultPlan` describes those failures declaratively, in absolute
+slot time, so both :class:`~repro.net.sim.engine.TSCHSimulator` (data
+plane) and :class:`~repro.agents.live.LiveHarpNetwork` (management
+plane + self-healing) can fire them slot-accurately during one
+co-simulated run.
+
+Three fault families are modelled:
+
+:class:`NodeCrash`
+    A node powers off at ``at_slot``: it stops generating, forwarding
+    and acknowledging, and its queued packets are lost.  With
+    ``recover_slot`` set the node powers back on (fresh queues); without
+    it the crash is permanent and the live network's self-healing layer
+    re-parents the orphaned subtree.
+
+:class:`LinkPdrCollapse`
+    The PDR of one tree link (identified by its child endpoint, both
+    directions) is capped during a slot window — a burst of external
+    interference on top of whatever environmental
+    :class:`~repro.net.radio.LossModel` is active.
+
+:class:`MgmtLossBurst`
+    Management-plane transmissions during a slot window are lost with
+    the given probability, stressing the ack/retry machinery of the
+    protocol transport.
+
+All parameters are validated at construction; querying the plan is
+pure — the consuming layers keep whatever runtime state they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_window(kind: str, start_slot: int, end_slot: int) -> None:
+    if start_slot < 0:
+        raise ValueError(f"{kind}.start_slot must be >= 0, got {start_slot}")
+    if end_slot <= start_slot:
+        raise ValueError(
+            f"{kind} window must be non-empty, got "
+            f"[{start_slot}, {end_slot})"
+        )
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` powers off at ``at_slot``.
+
+    ``recover_slot`` (exclusive of the down window) restores the node
+    with empty queues; ``None`` means the crash is permanent.
+    """
+
+    node: int
+    at_slot: int
+    recover_slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_slot < 0:
+            raise ValueError(f"at_slot must be >= 0, got {self.at_slot}")
+        if self.recover_slot is not None and self.recover_slot <= self.at_slot:
+            raise ValueError(
+                f"recover_slot ({self.recover_slot}) must be after "
+                f"at_slot ({self.at_slot})"
+            )
+
+    def down_at(self, slot: int) -> bool:
+        """Whether the node is down during ``slot``."""
+        if slot < self.at_slot:
+            return False
+        return self.recover_slot is None or slot < self.recover_slot
+
+
+@dataclass(frozen=True)
+class LinkPdrCollapse:
+    """The link to ``child`` (both directions) has its PDR capped at
+    ``pdr`` during ``[start_slot, end_slot)``."""
+
+    child: int
+    start_slot: int
+    end_slot: int
+    pdr: float
+
+    def __post_init__(self) -> None:
+        _check_window("LinkPdrCollapse", self.start_slot, self.end_slot)
+        _check_probability("LinkPdrCollapse.pdr", self.pdr)
+
+    def active_at(self, slot: int) -> bool:
+        return self.start_slot <= slot < self.end_slot
+
+
+@dataclass(frozen=True)
+class MgmtLossBurst:
+    """Management transmissions during ``[start_slot, end_slot)`` are
+    lost with probability ``loss``."""
+
+    start_slot: int
+    end_slot: int
+    loss: float
+
+    def __post_init__(self) -> None:
+        _check_window("MgmtLossBurst", self.start_slot, self.end_slot)
+        _check_probability("MgmtLossBurst.loss", self.loss)
+
+    def active_at(self, slot: int) -> bool:
+        return self.start_slot <= slot < self.end_slot
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative failure schedule for one co-simulated run."""
+
+    crashes: Tuple[NodeCrash, ...] = ()
+    link_collapses: Tuple[LinkPdrCollapse, ...] = ()
+    mgmt_bursts: Tuple[MgmtLossBurst, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable; store tuples so the plan stays hashable
+        # and immutable (it is shared by two consuming layers).
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(
+            self, "link_collapses", tuple(self.link_collapses)
+        )
+        object.__setattr__(self, "mgmt_bursts", tuple(self.mgmt_bursts))
+        seen = set()
+        for crash in self.crashes:
+            if crash.node in seen:
+                raise ValueError(
+                    f"node {crash.node} has more than one crash event"
+                )
+            seen.add(crash.node)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single_crash(
+        cls, node: int, at_slot: int, recover_slot: Optional[int] = None
+    ) -> "FaultPlan":
+        """Plan with one node crash and nothing else."""
+        return cls(crashes=(NodeCrash(node, at_slot, recover_slot),))
+
+    @classmethod
+    def crash_nodes(cls, nodes: Iterable[int], at_slot: int) -> "FaultPlan":
+        """Plan crashing several nodes permanently at the same slot."""
+        return cls(
+            crashes=tuple(NodeCrash(node, at_slot) for node in nodes)
+        )
+
+    # ------------------------------------------------------------------
+    # queries (pure; called once per slot by the consuming layers)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.crashes or self.link_collapses or self.mgmt_bursts)
+
+    def node_down(self, node: int, slot: int) -> bool:
+        """Whether ``node`` is crashed during ``slot``."""
+        return any(
+            c.node == node and c.down_at(slot) for c in self.crashes
+        )
+
+    def down_nodes(self, slot: int) -> List[int]:
+        """All nodes crashed during ``slot``, ascending."""
+        return sorted(c.node for c in self.crashes if c.down_at(slot))
+
+    def crashes_at(self, slot: int) -> List[NodeCrash]:
+        """Crash events firing exactly at ``slot``."""
+        return [c for c in self.crashes if c.at_slot == slot]
+
+    def recoveries_at(self, slot: int) -> List[NodeCrash]:
+        """Recovery events firing exactly at ``slot``."""
+        return [c for c in self.crashes if c.recover_slot == slot]
+
+    def link_pdr_cap(self, child: int, slot: int) -> float:
+        """Tightest PDR cap on the link to ``child`` during ``slot``
+        (1.0 when no collapse window is active)."""
+        cap = 1.0
+        for collapse in self.link_collapses:
+            if collapse.child == child and collapse.active_at(slot):
+                cap = min(cap, collapse.pdr)
+        return cap
+
+    def mgmt_loss(self, slot: int) -> float:
+        """Worst management-loss probability active during ``slot``
+        (0.0 when no burst window is active)."""
+        loss = 0.0
+        for burst in self.mgmt_bursts:
+            if burst.active_at(slot):
+                loss = max(loss, burst.loss)
+        return loss
+
+    def last_event_slot(self) -> int:
+        """The latest slot any event of the plan touches."""
+        bounds = [0]
+        for crash in self.crashes:
+            bounds.append(crash.recover_slot or crash.at_slot)
+        bounds.extend(c.end_slot for c in self.link_collapses)
+        bounds.extend(b.end_slot for b in self.mgmt_bursts)
+        return max(bounds)

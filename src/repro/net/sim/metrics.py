@@ -74,6 +74,23 @@ class MetricsCollector:
     misses_by_source: Dict[int, int] = field(default_factory=dict)
     #: Peak queue depth observed per node (uplink + downlink queues).
     max_queue_depth: Dict[int, int] = field(default_factory=dict)
+    #: Transmission attempts that failed because an endpoint was crashed
+    #: or the link's PDR was collapsed by an injected fault.
+    fault_failures: int = 0
+    #: Packets destroyed by node crashes (queue contents at crash time
+    #: plus in-flight packets purged with their task); also counted in
+    #: ``dropped`` so delivery accounting stays closed.
+    fault_drops: int = 0
+    #: Packets dropped because they outlived the stack's packet lifetime
+    #: (``max_packet_age_slots``); also counted in ``dropped``.
+    expired_drops: int = 0
+    #: Creation slot of every generated packet (drives windowed
+    #: delivery-ratio views: per-phase ratios and time-to-recover).
+    generation_slots: List[int] = field(default_factory=list)
+    #: Phase marks ``(slot, label)`` recorded by the caller; each phase
+    #: spans from its mark to the next one (see
+    #: :meth:`phase_delivery_ratios`).
+    phase_marks: List[Tuple[int, str]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording (called by the engine)
@@ -88,6 +105,15 @@ class MetricsCollector:
             self.misses_by_source[record.source] = (
                 self.misses_by_source.get(record.source, 0) + 1
             )
+
+    def record_generation(self, slot: int) -> None:
+        self.generated += 1
+        self.generation_slots.append(slot)
+
+    def mark_phase(self, slot: int, label: str) -> None:
+        """Start a named phase at ``slot`` (e.g. "pre-fault", "healing",
+        "recovered") for :meth:`phase_delivery_ratios`."""
+        self.phase_marks.append((slot, label))
 
     # ------------------------------------------------------------------
     # derived views
@@ -161,3 +187,102 @@ class MetricsCollector:
         if self.generated == 0:
             return 1.0
         return self.delivered / self.generated
+
+    # ------------------------------------------------------------------
+    # degradation / recovery views (fault studies)
+    # ------------------------------------------------------------------
+
+    def delivery_ratio_between(self, start_slot: int, end_slot: float) -> float:
+        """Eventual delivery ratio of the packets *created* in
+        ``[start_slot, end_slot)`` (1.0 when none were created).
+
+        A packet created during a degradation window counts as delivered
+        even if its delivery happened after the window closed — the
+        question the fault studies ask is "did traffic originated here
+        ever make it end to end".
+        """
+        created = sum(
+            1 for s in self.generation_slots if start_slot <= s < end_slot
+        )
+        if created == 0:
+            return 1.0
+        delivered = sum(
+            1
+            for r in self.deliveries
+            if start_slot <= r.created_slot < end_slot
+        )
+        return delivered / created
+
+    def phase_delivery_ratios(
+        self, end_slot: Optional[int] = None
+    ) -> Dict[str, float]:
+        """Delivery ratio per marked phase (see :meth:`mark_phase`).
+
+        Each phase spans from its mark to the next mark; the last phase
+        ends at ``end_slot`` (default: after the final recorded event).
+        Duplicate labels keep the last occurrence.
+        """
+        if not self.phase_marks:
+            return {}
+        if end_slot is None:
+            end_slot = max(
+                [s for s, _ in self.phase_marks]
+                + self.generation_slots[-1:]
+                + [r.delivered_slot for r in self.deliveries[-1:]]
+            ) + 1
+        marks = sorted(self.phase_marks)
+        out: Dict[str, float] = {}
+        for (slot, label), nxt in zip(
+            marks, [m[0] for m in marks[1:]] + [end_slot]
+        ):
+            out[label] = self.delivery_ratio_between(slot, nxt)
+        return out
+
+    def time_to_recover(
+        self,
+        fault_slot: int,
+        baseline_ratio: float,
+        window_slots: Optional[int] = None,
+        threshold: float = 0.95,
+        end_slot: Optional[int] = None,
+    ) -> Optional[int]:
+        """Slots from ``fault_slot`` until end-to-end delivery is
+        restored, or ``None`` if it never recovers.
+
+        Recovery is declared at the end of the first ``window_slots``
+        window (default: one slotframe) after the fault whose eventual
+        delivery ratio reaches ``threshold * baseline_ratio``.
+        """
+        window = window_slots or self.config.num_slots
+        if end_slot is None:
+            end_slot = max(
+                self.generation_slots[-1:]
+                + [r.created_slot for r in self.deliveries[-1:]]
+                + [fault_slot]
+            ) + 1
+        target = threshold * baseline_ratio
+        start = fault_slot
+        while start < end_slot:
+            created = sum(
+                1 for s in self.generation_slots if start <= s < start + window
+            )
+            if created > 0 and (
+                self.delivery_ratio_between(start, start + window) >= target
+            ):
+                return start + window - fault_slot
+            start += window
+        return None
+
+    def packets_lost_during(self, start_slot: int, end_slot: float) -> int:
+        """Packets created in ``[start_slot, end_slot)`` that were never
+        delivered (dropped or still stranded) — the cost of a healing
+        window."""
+        created = sum(
+            1 for s in self.generation_slots if start_slot <= s < end_slot
+        )
+        delivered = sum(
+            1
+            for r in self.deliveries
+            if start_slot <= r.created_slot < end_slot
+        )
+        return created - delivered

@@ -29,6 +29,11 @@ class TxOutcome(Enum):
     COLLISION = "collision"
     HALF_DUPLEX = "half-duplex"
     CHANNEL_LOSS = "loss"
+    #: Receiver (or sender, for packets stranded mid-purge) was crashed
+    #: by an injected fault.
+    NODE_DOWN = "node-down"
+    #: Lost to an injected link-PDR collapse window.
+    FAULT_LOSS = "fault-loss"
 
     def __repr__(self) -> str:
         return self.value

@@ -58,12 +58,12 @@ def exact_pack(
     state = _SearchState()
     placed: List[PlacedRect] = []
 
-    def candidates() -> List[Tuple[int, int]]:
-        # Any packing can be normalized by pushing every rectangle left
-        # and down until blocked; in normal form each x-coordinate is 0
-        # or some placed rectangle's right edge, and each y-coordinate is
-        # 0 or some top edge — so the cross product is a complete
-        # candidate set.
+    def corner_candidates() -> List[Tuple[int, int]]:
+        # The classic bottom-left candidate set: fast, and sound when it
+        # finds a packing — but NOT complete under a fixed placement
+        # order.  A normalized packing's coordinates are edges of *any*
+        # other rectangle, including ones this order places later, so a
+        # miss here proves nothing (see the grid pass below).
         xs: Set[int] = {0}
         ys: Set[int] = {0}
         for p in placed:
@@ -73,13 +73,18 @@ def exact_pack(
             ((x, y) for x in xs for y in ys), key=lambda xy: (xy[1], xy[0])
         )
 
+    def grid_candidates() -> List[Tuple[int, int]]:
+        # Every integer position.  Exhaustive for integral instances,
+        # so this pass is complete: failure proves infeasibility.
+        return [(x, y) for y in range(height) for x in range(width)]
+
     def fits(rect: Rect, x: int, y: int) -> bool:
         if x + rect.width > width or y + rect.height > height:
             return False
         trial = rect.at(x, y)
         return all(not trial.overlaps(p) for p in placed)
 
-    def solve(index: int) -> bool:
+    def solve(index: int, candidates) -> bool:
         state.nodes += 1
         if state.nodes > node_limit:
             raise SearchBudgetExceeded(
@@ -102,12 +107,18 @@ def exact_pack(
             if not fits(rect, x, y):
                 continue
             placed.append(rect.at(x, y))
-            if solve(index + 1):
+            if solve(index + 1, candidates):
                 return True
             placed.pop()
         return False
 
-    if not solve(0):
+    # Fast pass first: corner candidates find most feasible packings
+    # cheaply.  Only a miss needs the complete (and costlier) grid pass.
+    found = solve(0, corner_candidates)
+    if not found:
+        placed.clear()
+        found = solve(0, grid_candidates)
+    if not found:
         return None
     layout = {p.tag: p for p in placed}
     for r in empties:

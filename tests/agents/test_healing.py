@@ -1,0 +1,214 @@
+"""Self-healing: keepalive detection, re-parenting, recovery.
+
+A crashed router goes silent in its management cell; its children count
+the missed keepalives, declare it dead, and re-attach under a same-layer
+alternate parent — driving HARP's own partition adjustment over the air
+while the data plane keeps running.
+"""
+
+import random
+
+import pytest
+
+from repro.agents.live import LiveHarpNetwork
+from repro.net.sim.faults import FaultPlan
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=60, num_channels=8, management_slots=20)
+
+
+@pytest.fixture
+def tree():
+    # depth 1: routers 1, 2 — depth 2: routers 3, 4 (under 1), 5
+    # (under 2) — leaves 6, 7, 8.
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3, 7: 4, 8: 5})
+
+
+def make_live(tree, config, **kwargs):
+    kwargs.setdefault("rng", random.Random(0))
+    kwargs.setdefault("max_packet_age_slots", 300)
+    live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config, **kwargs)
+    live.bootstrap()
+    return live
+
+
+def crash(live, nodes, in_slots=10):
+    at_slot = live.sim.current_slot + in_slots
+    plan = FaultPlan.crash_nodes(nodes, at_slot=at_slot)
+    live.fault_plan = plan
+    live.sim.fault_plan = plan
+    return at_slot
+
+
+class TestDetection:
+    def test_dead_parent_declared_after_miss_limit(self, tree, config):
+        live = make_live(tree, config, keepalive_miss_limit=3)
+        live.run_slotframes(4)
+        crash(live, [3])
+        # One slotframe in, the parent is silent but not yet declared.
+        live.run_slotframes(2)
+        assert live.stats.parents_declared_dead == 0
+        live.run_slotframes(3)
+        assert live.stats.parents_declared_dead == 1
+
+    def test_no_false_positive_without_fault(self, tree, config):
+        live = make_live(tree, config, keepalive_miss_limit=1)
+        live.run_slotframes(10)
+        assert live.stats.parents_declared_dead == 0
+
+    def test_self_healing_disabled_never_declares(self, tree, config):
+        live = make_live(tree, config, self_healing=False)
+        crash(live, [3])
+        live.run_slotframes(12)
+        assert live.stats.parents_declared_dead == 0
+        assert 3 in live.topology.nodes
+
+    def test_transient_outage_resets_miss_counter(self, tree, config):
+        live = make_live(tree, config, keepalive_miss_limit=4)
+        # Down for two slotframes only — recovers before the limit.
+        at = live.sim.current_slot + 5
+        plan = FaultPlan.single_crash(
+            3, at_slot=at, recover_slot=at + 2 * config.num_slots
+        )
+        live.fault_plan = plan
+        live.sim.fault_plan = plan
+        live.run_slotframes(12)
+        assert live.stats.parents_declared_dead == 0
+        assert live.stats.node_recoveries == 1
+
+
+class TestReparenting:
+    def test_orphan_reattached_at_same_depth(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        dead_depth = tree.depth_of(3)
+        crash(live, [3])
+        live.run_slotframes(20)
+        assert 3 not in live.topology.nodes
+        new_parent = live.topology.parent_of(6)
+        assert new_parent != 3
+        assert live.topology.depth_of(new_parent) == dead_depth
+        # Sibling of the dead router preferred over a cousin.
+        assert new_parent == 4
+
+    def test_dead_node_scrubbed_from_every_plane(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        crash(live, [3])
+        live.run_slotframes(20)
+        assert 3 not in live.runtime.agents
+        assert all(t.source != 3 for t in live.task_set)
+        assert all(link.child != 3 for link in live.schedule.links)
+
+    def test_healed_schedule_collision_free(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        crash(live, [3])
+        live.run_slotframes(20)
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_healed_schedule_meets_demands(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        crash(live, [3])
+        live.run_slotframes(20)
+        for link, demand in live.task_set.link_demands(
+            live.topology
+        ).items():
+            assert len(live.schedule.cells_of(link)) >= demand, link
+
+    def test_simultaneous_crash_heals_as_batch(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        crash(live, [3, 4])
+        live.run_slotframes(40)
+        assert live.stats.parents_declared_dead == 2
+        assert live.stats.heals_completed == 2
+        assert 3 not in live.topology.nodes
+        assert 4 not in live.topology.nodes
+        # Both orphans landed on the only surviving depth-2 router.
+        assert live.topology.parent_of(6) == 5
+        assert live.topology.parent_of(7) == 5
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_gateway_crash_is_fatal(self, tree, config):
+        live = make_live(tree, config)
+        crash(live, [0])
+        with pytest.raises(RuntimeError, match="gateway"):
+            live.run_slotframes(12)
+
+
+class TestRebootstrapFallback:
+    def test_no_same_depth_alternate_triggers_rebootstrap(self, config):
+        # Chain 0 - 1 - 2 - 3: router 2 has no same-depth alternate.
+        chain = TreeTopology({1: 0, 2: 1, 3: 2})
+        live = make_live(chain, config)
+        live.run_slotframes(4)
+        crash(live, [2])
+        live.run_slotframes(30)
+        assert live.stats.rebootstraps == 1
+        assert 2 not in live.topology.nodes
+        # The orphan moved up under the grandparent.
+        assert live.topology.parent_of(3) == 1
+        live.schedule.validate_collision_free(live.topology)
+
+
+class TestRecovery:
+    def test_delivery_ratio_dips_then_recovers(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(2)
+        steady_start = live.sim.current_slot
+        live.run_slotframes(10)
+        crash_slot = crash(live, [3])
+        live.run_slotframes(80)
+        m = live.sim.metrics
+        heal_end = crash_slot + live.stats.last_heal_slots
+        # Packets created within one lifetime of the crash may die in
+        # the victim's queue; judge "before" on the settled window.
+        before = m.delivery_ratio_between(steady_start, crash_slot - 300)
+        during = m.delivery_ratio_between(crash_slot, heal_end)
+        tail_start = live.sim.current_slot - 20 * config.num_slots
+        late = m.delivery_ratio_between(
+            tail_start, live.sim.current_slot - 300
+        )
+        assert before == pytest.approx(1.0)
+        assert during < before
+        assert late == pytest.approx(1.0)
+
+    def test_heal_time_is_bounded_and_reported(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        crash(live, [3])
+        live.run_slotframes(20)
+        assert 0 < live.stats.last_heal_slots <= 100 * config.num_slots
+        # Phase marks bracket the healing window for the metrics layer.
+        labels = [label for _, label in live.sim.metrics.phase_marks]
+        assert any(label.startswith("fault@") for label in labels)
+        assert any(label.startswith("healing@") for label in labels)
+        assert "recovered" in labels
+
+    def test_mgmt_loss_burst_absorbed_by_retries(self, tree, config):
+        from repro.net.sim.faults import MgmtLossBurst
+
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        now = live.sim.current_slot
+        plan = FaultPlan(
+            mgmt_bursts=(
+                MgmtLossBurst(now, now + 6 * config.num_slots, loss=0.6),
+            )
+        )
+        live.fault_plan = plan
+        live.sim.fault_plan = plan
+        # A rate change negotiated through the burst: slower, but it
+        # completes and the schedule stays sound.
+        live.change_rate(8, 2.0)
+        assert live.stats.messages_lost > 0
+        live.schedule.validate_collision_free(live.topology)
+        live.run_slotframes(6)
+        assert live.pending_messages == 0

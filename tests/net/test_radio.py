@@ -84,3 +84,49 @@ def test_layer_degraded_validation():
         LayerDegradedPDR(decay=-1)
     with pytest.raises(ValueError):
         LayerDegradedPDR(floor=2.0)
+
+
+def test_per_link_pdr_validation(tree):
+    with pytest.raises(ValueError):
+        PerLinkPDR({LinkRef(1, Direction.UP): 1.2})
+    with pytest.raises(ValueError):
+        PerLinkPDR({LinkRef(1, Direction.UP): 0.5}, default=-0.1)
+
+
+class _CountingRandom(random.Random):
+    """Counts how often the models actually sample randomness."""
+
+    def __init__(self):
+        super().__init__(0)
+        self.calls = 0
+
+    def random(self):
+        self.calls += 1
+        return super().random()
+
+
+def test_pdr_one_never_samples_rng(tree):
+    rng = _CountingRandom()
+    model = UniformPDR(1.0)
+    link = LinkRef(1, Direction.UP)
+    assert all(model.transmission_succeeds(tree, link, rng) for _ in range(20))
+    assert rng.calls == 0
+
+
+def test_pdr_zero_never_samples_rng(tree):
+    rng = _CountingRandom()
+    model = UniformPDR(0.0)
+    link = LinkRef(1, Direction.UP)
+    assert not any(
+        model.transmission_succeeds(tree, link, rng) for _ in range(20)
+    )
+    assert rng.calls == 0
+
+
+def test_fractional_pdr_samples_rng(tree):
+    rng = _CountingRandom()
+    model = UniformPDR(0.5)
+    link = LinkRef(1, Direction.UP)
+    for _ in range(20):
+        model.transmission_succeeds(tree, link, rng)
+    assert rng.calls == 20

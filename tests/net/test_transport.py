@@ -102,6 +102,25 @@ class TestTiming:
         assert snap.total_messages == 1
         assert plane.stats.total_messages == 2
 
+    def test_stats_snapshot_covers_reliability_counters(self, tree, config):
+        import random as _random
+
+        plane = ManagementPlane(
+            config, tree, loss_probability=0.9,
+            rng=_random.Random(3), max_retries=2,
+        )
+        for _ in range(10):
+            plane.deliver(PutInterface(src=2, dst=1))
+        snap = plane.stats.snapshot()
+        assert snap.retransmissions == plane.stats.retransmissions
+        assert snap.timeouts == plane.stats.timeouts
+        assert snap.dead_letters == plane.stats.dead_letters
+        before = snap.total_messages
+        plane.deliver(PutInterface(src=2, dst=1))
+        # The snapshot is frozen; the live stats keep moving.
+        assert snap.total_messages == before
+        assert plane.stats.total_messages > before
+
 
 class TestLossyPlane:
     def test_loss_costs_time_not_correctness(self, tree, config):
@@ -144,6 +163,49 @@ class TestLossyPlane:
     def test_invalid_loss_probability(self, tree, config):
         with pytest.raises(ValueError):
             ManagementPlane(config, tree, loss_probability=1.0)
+
+    def test_exhausted_retries_dead_letter(self, tree, config):
+        import random as _random
+
+        plane = ManagementPlane(
+            config, tree, loss_probability=0.95,
+            rng=_random.Random(11), max_retries=1,
+        )
+        outcomes = [
+            plane.deliver(PutInterface(src=2, dst=1)) for _ in range(30)
+        ]
+        assert plane.stats.dead_letters > 0
+        # A dead-lettered delivery reports None instead of an arrival slot.
+        assert outcomes.count(None) == plane.stats.dead_letters
+        # Timeouts count every lost transmission, delivered or not.
+        assert plane.stats.timeouts >= plane.stats.dead_letters
+
+    def test_backoff_grows_and_is_capped(self, tree, config):
+        import random as _random
+
+        # Loss high enough that retries happen; measure that a retried
+        # delivery lands strictly later than a lossless one would, and
+        # that the backoff never exceeds its cap.
+        base = ManagementPlane(config, tree)
+        lossless_arrival = base.deliver(PutInterface(src=2, dst=1))
+        plane = ManagementPlane(
+            config, tree, loss_probability=0.9,
+            rng=_random.Random(4), max_retries=6, backoff_cap=4,
+        )
+        arrival = plane.deliver(PutInterface(src=2, dst=1))
+        if arrival is not None and plane.stats.retransmissions > 0:
+            assert arrival > lossless_arrival
+        # Worst-case wait per retry is bounded by the cap.
+        worst = plane.ack_timeout_slots * plane.backoff_cap
+        assert worst == 2 * 4
+
+    def test_invalid_reliability_params(self, tree, config):
+        with pytest.raises(ValueError):
+            ManagementPlane(config, tree, max_retries=-1)
+        with pytest.raises(ValueError):
+            ManagementPlane(config, tree, ack_timeout_slots=-1)
+        with pytest.raises(ValueError):
+            ManagementPlane(config, tree, backoff_cap=0)
 
     def test_adjustment_under_lossy_plane_stays_correct(self):
         """Failure injection: a lossy management plane slows adjustments

@@ -1,0 +1,129 @@
+"""Property-based tests for fault injection + self-healing (hypothesis).
+
+Whatever fault plan hits the live network — crashed routers, management
+loss bursts, link-PDR collapses, in any combination — once healing has
+run its course the surviving schedule must be collision-free (no shared
+(slot, channel) cells, no half-duplex violations) and must still cover
+every surviving task's link demands.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.live import LiveHarpNetwork
+from repro.net.sim.faults import (
+    FaultPlan,
+    LinkPdrCollapse,
+    MgmtLossBurst,
+    NodeCrash,
+)
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology
+
+CONFIG = SlotframeConfig(num_slots=60, num_channels=8, management_slots=20)
+
+#: depth 1: routers 1, 2 — depth 2: routers 3, 4, 5 — leaves 6, 7, 8.
+#: Every depth-2 router has a same-depth alternate, so any single or
+#: double crash at depth 2 heals by re-parenting.
+PARENT_MAP = {1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3, 7: 4, 8: 5}
+CRASHABLE = [3, 4, 5]
+
+
+@st.composite
+def fault_plans(draw):
+    """A small but adversarial fault plan, in relative slot time."""
+    crash_count = draw(st.integers(min_value=0, max_value=2))
+    victims = draw(
+        st.permutations(CRASHABLE).map(lambda p: sorted(p[:crash_count]))
+    )
+    crash_offset = draw(st.integers(min_value=1, max_value=120))
+    crashes = tuple(NodeCrash(node, crash_offset) for node in victims)
+
+    bursts = ()
+    if draw(st.booleans()):
+        start = draw(st.integers(min_value=0, max_value=200))
+        length = draw(st.integers(min_value=30, max_value=400))
+        loss = draw(
+            st.floats(min_value=0.1, max_value=0.7, allow_nan=False)
+        )
+        bursts = (MgmtLossBurst(start, start + length, loss),)
+
+    collapses = ()
+    if draw(st.booleans()):
+        child = draw(st.sampled_from(sorted(PARENT_MAP)))
+        start = draw(st.integers(min_value=0, max_value=200))
+        length = draw(st.integers(min_value=30, max_value=400))
+        pdr = draw(
+            st.floats(min_value=0.0, max_value=0.9, allow_nan=False)
+        )
+        collapses = (LinkPdrCollapse(child, start, start + length, pdr),)
+
+    return FaultPlan(
+        crashes=crashes, link_collapses=collapses, mgmt_bursts=bursts
+    )
+
+
+def shift_plan(plan: FaultPlan, base_slot: int) -> FaultPlan:
+    """Re-anchor a relative-time plan at ``base_slot``."""
+    return FaultPlan(
+        crashes=tuple(
+            NodeCrash(c.node, c.at_slot + base_slot, c.recover_slot)
+            for c in plan.crashes
+        ),
+        link_collapses=tuple(
+            LinkPdrCollapse(
+                c.child, c.start_slot + base_slot,
+                c.end_slot + base_slot, c.pdr,
+            )
+            for c in plan.link_collapses
+        ),
+        mgmt_bursts=tuple(
+            MgmtLossBurst(
+                b.start_slot + base_slot, b.end_slot + base_slot, b.loss
+            )
+            for b in plan.mgmt_bursts
+        ),
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=2**16))
+def test_post_healing_schedule_is_collision_free(plan, seed):
+    topology = TreeTopology(dict(PARENT_MAP))
+    live = LiveHarpNetwork(
+        topology,
+        e2e_task_per_node(topology),
+        CONFIG,
+        rng=random.Random(seed),
+        keepalive_miss_limit=2,
+        max_packet_age_slots=300,
+    )
+    live.bootstrap()
+    live.run_slotframes(2)
+    anchored = shift_plan(plan, live.sim.current_slot)
+    live.fault_plan = anchored
+    live.sim.fault_plan = anchored
+
+    # Run well past the last injected event plus the healing horizon.
+    horizon = anchored.last_event_slot() - live.sim.current_slot
+    live.run_slotframes(horizon // CONFIG.num_slots + 20)
+
+    # Healing (if any was needed) has finished: no half-healed state.
+    assert not live.healing_in_progress
+    assert live.pending_messages == 0
+
+    # The surviving schedule shares no (slot, channel) cell between
+    # links and violates no half-duplex constraint...
+    live.schedule.validate_collision_free(live.topology)
+
+    # ...and still provisions every surviving task end to end.
+    for link, demand in live.task_set.link_demands(live.topology).items():
+        assert len(live.schedule.cells_of(link)) >= demand, link
+
+    # Crashed-and-healed routers are gone from every plane.
+    for node in live._healed:
+        assert node not in live.topology.nodes
+        assert node not in live.runtime.agents

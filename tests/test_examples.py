@@ -87,3 +87,9 @@ class TestHeavyExamples:
         out = run_example("battery_planning", capsys)
         assert "maintenance pacer" in out
         assert "radio current" in out
+
+    def test_node_failure(self, capsys):
+        out = run_example("node_failure", capsys)
+        assert "declared node 3 dead" in out
+        assert "<- the dip" in out
+        assert "verified collision-free" in out
