@@ -20,6 +20,16 @@ recovery of arXiv:2308.09847), and HARP's own dynamic-adjustment
 machinery re-carves the partitions over the air.  When no same-layer
 alternate exists the network falls back to a full re-bootstrap.
 
+The recovery lifecycle is complete: a condemned *gateway* triggers
+failover to a standby root (configurable; default the deepest-demand
+depth-1 router) with a fresh bottom-up composition rooted at the
+standby; a crashed node that powers back on *after* the network healed
+around it rejoins ``join_leaf``-style with its task restored; a crash
+condemned *mid-heal* that invalidates the in-flight transaction aborts
+and restarts the heal instead of committing a stale topology; and an
+optional *elastic drain* temporarily over-provisions the re-parented
+paths so the outage backlog clears faster than TTL pace.
+
 Determinism contract
 --------------------
 One seeded :class:`random.Random` (the ``rng`` argument) drives *every*
@@ -79,6 +89,46 @@ class LiveStats:
     #: Slots from fault detection to protocol quiescence of the last
     #: completed heal (schedule re-wired and verified collision-free).
     last_heal_slots: int = 0
+    #: Recovery-lifecycle bookkeeping.
+    gateway_failovers: int = 0
+    rejoins: int = 0
+    heals_aborted: int = 0
+    elastic_grants: int = 0
+    elastic_releases: int = 0
+    #: Slots the last gateway failover took (detection to the certified
+    #: re-bootstrap rooted at the standby).
+    last_failover_slots: int = 0
+
+
+class _HealInvalidated(Exception):
+    """A crash condemned mid-heal invalidated the in-flight healing
+    transaction (internal control flow; never escapes the live layer)."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"heal invalidated by condemned node {node}")
+        self.node = node
+
+
+@dataclass(frozen=True)
+class _RemovedNode:
+    """What rejoin needs to re-admit a healed-away node: where it was
+    attached and what it sourced (``rate=None`` for task-less nodes)."""
+
+    parent: int
+    depth: int
+    rate: Optional[float] = None
+    echo: bool = True
+
+
+@dataclass(frozen=True)
+class _ElasticGrant:
+    """One temporary post-heal cell boost on one directed link."""
+
+    manager: int
+    child: int
+    direction: Direction
+    cells: int
+    expires_slot: int
 
 
 class LiveHarpNetwork:
@@ -103,6 +153,16 @@ class LiveHarpNetwork:
     self_healing:
         When False, crashes degrade the network but no re-parenting is
         attempted (the paper's original, failure-oblivious behaviour).
+    standby_gateway:
+        Designated failover root, a depth-1 router.  ``None`` (default)
+        elects the surviving depth-1 router whose subtree sources the
+        most demand at failover time.
+    elastic_drain_cells:
+        Extra cells granted per re-parented link (and its forwarding
+        chain) after a heal, so the outage backlog drains faster than
+        TTL pace.  0 disables elastic drain.
+    elastic_drain_slotframes:
+        How long an elastic boost lasts before it is released.
     """
 
     def __init__(
@@ -120,6 +180,9 @@ class LiveHarpNetwork:
         mgmt_max_retries: int = 8,
         self_healing: bool = True,
         max_packet_age_slots: Optional[int] = None,
+        standby_gateway: Optional[int] = None,
+        elastic_drain_cells: int = 0,
+        elastic_drain_slotframes: int = 8,
     ) -> None:
         self.topology = topology
         self.config = config or SlotframeConfig(
@@ -159,6 +222,26 @@ class LiveHarpNetwork:
         self.keepalive_miss_limit = keepalive_miss_limit
         self.mgmt_max_retries = mgmt_max_retries
         self.self_healing = self_healing
+        if standby_gateway is not None and (
+            standby_gateway not in topology
+            or topology.depth_of(standby_gateway) != 1
+        ):
+            raise ValueError(
+                f"standby_gateway must be a depth-1 router, "
+                f"got {standby_gateway}"
+            )
+        self.standby_gateway = standby_gateway
+        if elastic_drain_cells < 0:
+            raise ValueError(
+                f"elastic_drain_cells must be >= 0, got {elastic_drain_cells}"
+            )
+        if elastic_drain_slotframes < 1:
+            raise ValueError(
+                f"elastic_drain_slotframes must be >= 1, "
+                f"got {elastic_drain_slotframes}"
+            )
+        self.elastic_drain_cells = elastic_drain_cells
+        self.elastic_drain_slotframes = elastic_drain_slotframes
         self.stats = LiveStats()
         #: Per-node FIFO of outgoing protocol messages.
         self._outboxes: Dict[int, Deque[HarpMessage]] = {
@@ -168,10 +251,26 @@ class LiveHarpNetwork:
         self._head_attempts: Dict[int, int] = {}
         #: Consecutive slotframes each parent's keepalive went unheard.
         self._keepalive_misses: Dict[int, int] = {}
-        #: Nodes already healed around (never heal twice).
+        #: Nodes currently healed around (cleared when a recovery event
+        #: rejoins the node).
         self._healed: Set[int] = set()
+        #: Rejoin bookkeeping for healed-away nodes: where they were
+        #: attached and what task they sourced (popped on rejoin).
+        self._healed_info: Dict[int, _RemovedNode] = {}
+        #: Recovered-but-removed nodes awaiting re-admission at the next
+        #: quiet slotframe boundary.
+        self._pending_rejoins: List[int] = []
+        #: Parents condemned while a heal was draining, picked up by the
+        #: in-flight heal's validity checks or the next quiet boundary.
+        self._deferred_dead: List[int] = []
+        #: Active post-heal over-provisioning grants.
+        self._elastic: List[_ElasticGrant] = []
+        #: Boost specs accumulated during a heal batch, applied after
+        #: the batch's final collision-freedom certificate.
+        self._pending_elastic: List = []
         #: Reentrancy guard: while a heal drains its transactions with
-        #: nested stepping, boundary monitoring is suppressed.
+        #: nested stepping, no *new* heal starts (monitoring still
+        #: counts misses so mid-heal crashes can abort the transaction).
         self._healing_now = False
 
     # ------------------------------------------------------------------
@@ -188,7 +287,7 @@ class LiveHarpNetwork:
 
     def node_down(self, node: int) -> bool:
         """Whether ``node`` is crashed at the current slot (healed-away
-        nodes stay down forever from this layer's point of view)."""
+        nodes stay down until a recovery event rejoins them)."""
         return node in self._healed or self.fault_plan.node_down(
             node, self.sim.current_slot
         )
@@ -207,9 +306,13 @@ class LiveHarpNetwork:
                 outbox.clear()
             self._head_attempts.pop(crash.node, None)
         for crash in self.fault_plan.recoveries_at(slot):
-            if crash.node not in self._healed:
-                self.stats.node_recoveries += 1
-                self._keepalive_misses.pop(crash.node, None)
+            self.stats.node_recoveries += 1
+            self._keepalive_misses.pop(crash.node, None)
+            if crash.node in self._healed:
+                # The node returns *after* the network healed around it:
+                # queue a join_leaf-style re-admission for the next
+                # quiet slotframe boundary.
+                self._pending_rejoins.append(crash.node)
 
     # ------------------------------------------------------------------
     # protocol plumbing
@@ -332,46 +435,81 @@ class LiveHarpNetwork:
         return self.sim.current_slot - start
 
     def _on_slotframe_boundary(self) -> None:
-        """Once per slotframe: keepalive monitoring (suppressed while a
-        heal is already draining with nested stepping)."""
-        if not self._healing_now:
-            self._monitor_keepalives()
+        """Once per slotframe: keepalive monitoring, condemned-parent
+        healing, rejoins of recovered nodes and elastic-grant expiry.
+
+        While a heal drains with nested stepping, monitoring still
+        *counts* misses — a parent condemned mid-heal is deferred, and
+        the in-flight heal aborts if the newcomer invalidates it — but
+        no new heal starts until the current one ends."""
+        if self._healing_now:
+            self._deferred_dead.extend(self._update_keepalive_misses())
+            return
+        self._monitor_keepalives()
+        self._process_rejoins()
+        self._release_expired_elastic()
 
     # ------------------------------------------------------------------
     # keepalive monitoring and self-healing
     # ------------------------------------------------------------------
 
-    def _monitor_keepalives(self) -> None:
-        """Children listen for their parent's management-cell beacon
-        every slotframe; a crashed parent goes silent and the miss
-        counter climbs until the subtree declares it dead.
-
-        Parents crossing the miss limit at the same boundary (a
-        simultaneous multi-router crash) are declared as one batch: the
-        heals run serially, but the collision-freedom check only makes
-        sense after the last one — while an undeclared dead router is
-        still in the topology, its stale cells cannot be re-assigned
-        over the air, so intermediate schedules may overlap regions the
-        pending heal is about to release."""
-        newly_dead: List[int] = []
+    def _update_keepalive_misses(self) -> List[int]:
+        """Advance every parent's miss counter by one slotframe; returns
+        the parents newly crossing the limit (condemned)."""
+        condemned: List[int] = []
         for parent in self.topology.non_leaf_nodes():
-            if parent in self._healed:
+            if parent in self._healed or parent in self._deferred_dead:
                 continue
             if self.node_down(parent):
                 misses = self._keepalive_misses.get(parent, 0) + 1
                 self._keepalive_misses[parent] = misses
                 if misses >= self.keepalive_miss_limit and self.self_healing:
-                    newly_dead.append(parent)
+                    condemned.append(parent)
             else:
                 self._keepalive_misses.pop(parent, None)
-        for index, parent in enumerate(newly_dead):
-            self._declare_parent_dead(
-                parent, last_in_batch=index == len(newly_dead) - 1
+        return condemned
+
+    def _monitor_keepalives(self) -> None:
+        """Children listen for their parent's management-cell beacon
+        every slotframe; a crashed parent goes silent and the miss
+        counter climbs until the subtree declares it dead."""
+        self._deferred_dead.extend(self._update_keepalive_misses())
+        self._handle_condemned()
+
+    def _handle_condemned(self) -> None:
+        """Heal every condemned parent — the boundary batch plus any
+        deferred mid-heal condemnations.
+
+        A condemned gateway routes to failover, which folds the rest of
+        the batch into its surgery.  Parents condemned at the same
+        boundary (a simultaneous multi-router crash) heal as one
+        serialized batch: the collision-freedom check only makes sense
+        after the last one — while an undeclared dead router is still in
+        the topology, its stale cells cannot be re-assigned over the
+        air, so intermediate schedules may overlap regions the pending
+        heal is about to release."""
+        batch = [
+            n
+            for n in dict.fromkeys(self._deferred_dead)
+            if n in self.topology and n not in self._healed
+        ]
+        self._deferred_dead = []
+        if not batch:
+            return
+        if self.topology.gateway_id in batch:
+            self._gateway_failover(
+                [n for n in batch if n != self.topology.gateway_id]
             )
-        if len(newly_dead) > 1:
+            return
+        for index, parent in enumerate(batch):
+            self._declare_parent_dead(
+                parent, last_in_batch=index == len(batch) - 1
+            )
+        if len(batch) > 1:
             # A non-final heal skipped its own validation; certify the
             # batch as a whole.
             self.schedule.validate_collision_free(self.topology)
+        self._apply_pending_elastic()
 
     def _declare_parent_dead(
         self, dead: int, last_in_batch: bool = True
@@ -386,10 +524,8 @@ class LiveHarpNetwork:
         if dead in self._healed or dead not in self.topology:
             return
         if dead == self.topology.gateway_id:
-            raise RuntimeError(
-                "gateway crashed: gateway failover is not supported "
-                "(see ROADMAP open items)"
-            )
+            self._gateway_failover([])
+            return
         self.stats.parents_declared_dead += 1
         self._healed.add(dead)
         declared_slot = self.sim.current_slot
@@ -448,17 +584,50 @@ class LiveHarpNetwork:
             )
             placements[orphan] = candidates[0]
 
+        # Elastic drain folds the boost into the heal itself: the very
+        # first cells granted on the re-parented paths are already
+        # over-provisioned, so the outage backlog starts draining the
+        # moment the new links exist (granting the boost afterwards in
+        # separate transactions would land slotframes too late to help).
+        attach_demands = orphan_demands
+        if self.elastic_drain_cells > 0:
+            attach_demands = {
+                orphan: {
+                    direction: cells + self.elastic_drain_cells
+                    for direction, cells in demands.items()
+                }
+                for orphan, demands in orphan_demands.items()
+            }
+
         self._healing_now = True
         try:
             self._execute_reparenting(
-                dead, grand, placements, orphan_demands, dead_link_demand
+                dead, grand, placements, attach_demands, dead_link_demand
             )
             if last_in_batch:
                 self.schedule.validate_collision_free(self.topology)
+        except _HealInvalidated as invalid:
+            # A participant of this transaction was condemned mid-drain.
+            # The committed part of the surgery is NOT rolled back:
+            # declaring the condemned participant dead through the
+            # normal path re-parents whatever this heal half-moved, and
+            # the demand bookkeeping stays consistent because every
+            # adjustment sets absolute values read from live agent
+            # state.
+            self._healing_now = False
+            self.stats.heals_aborted += 1
+            self.sim.metrics.mark_phase(
+                self.sim.current_slot, f"heal-aborted@{dead}"
+            )
+            self._deferred_dead.append(invalid.node)
+            self._handle_condemned()
+            return
         finally:
             self._healing_now = False
         self.stats.heals_completed += 1
         self.stats.last_heal_slots = self.sim.current_slot - declared_slot
+        for moved in placements:
+            self._pending_elastic.append((moved, orphan_demands[moved]))
         if last_in_batch:
             self.sim.metrics.mark_phase(self.sim.current_slot, "recovered")
 
@@ -492,6 +661,7 @@ class LiveHarpNetwork:
             topology = topology.with_reparented(orphan, new_parent)
         removed = topology.subtree_nodes(dead)
         topology = topology.with_detached(dead)
+        self._record_removed(removed)
         self._install_topology(topology)
         self._drop_nodes(removed)
 
@@ -513,6 +683,7 @@ class LiveHarpNetwork:
         # forwarding ripple up the new parent's ancestor chain.
         for orphan, new_parent in sorted(placements.items()):
             demands = orphan_demands[orphan]
+            self._check_heal_valid(new_parent)
             self._post(self._attach_orphan(orphan, new_parent, demands))
             self._drain_heal()
             chain = [new_parent] + [
@@ -521,11 +692,21 @@ class LiveHarpNetwork:
                 if n != new_parent
             ]
             for child_on_path, manager in zip(chain, chain[1:]):
+                self._check_heal_valid(manager)
                 self._post(
                     self._ripple_demand(manager, child_on_path, demands)
                 )
                 self._drain_heal()
             self.stats.subtrees_reparented += 1
+
+    def _check_heal_valid(self, participant: int) -> None:
+        """Abort the in-flight heal if ``participant`` went down (or was
+        condemned) mid-drain — committing a transaction onto a dead
+        parent would strand the moved subtree.  A failed transaction is
+        direct evidence of death, so the restart declares the
+        participant dead without waiting out the keepalive miss limit."""
+        if participant in self._deferred_dead or self.node_down(participant):
+            raise _HealInvalidated(participant)
 
     def _drain_heal(self, max_slotframes: int = 150) -> None:
         """Step until the current healing transaction quiesces; the data
@@ -639,8 +820,13 @@ class LiveHarpNetwork:
             topology = topology.with_reparented(orphan, grand)
         removed = topology.subtree_nodes(dead)
         topology = topology.with_detached(dead)
+        self._record_removed(removed)
         self._drop_nodes(removed)
         self._install_topology(topology)
+        # A rebootstrap re-provisions the whole schedule from scratch;
+        # boosts tied to the old runtime are meaningless against it.
+        self._elastic = []
+        self._pending_elastic = []
 
         self._healing_now = True
         try:
@@ -662,6 +848,283 @@ class LiveHarpNetwork:
         self.stats.last_heal_slots = self.sim.current_slot - declared_slot
         if last_in_batch:
             self.sim.metrics.mark_phase(self.sim.current_slot, "recovered")
+
+    # ------------------------------------------------------------------
+    # gateway failover
+    # ------------------------------------------------------------------
+
+    def _choose_standby(self) -> Optional[int]:
+        """The failover root: the configured standby while it lives,
+        else the surviving depth-1 router whose subtree sources the most
+        demand (ties to the lowest id); ``None`` when no depth-1 node
+        survives."""
+        if (
+            self.standby_gateway is not None
+            and self.standby_gateway in self.topology
+            and not self.node_down(self.standby_gateway)
+        ):
+            return self.standby_gateway
+        candidates = [
+            n
+            for n in self.topology.children_of(self.topology.gateway_id)
+            if not self.node_down(n)
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda n: (
+                sum(
+                    self._subtree_demand(n, direction)
+                    for direction in (Direction.UP, Direction.DOWN)
+                ),
+                -n,
+            ),
+        )
+
+    def _gateway_failover(self, condemned: List[int]) -> None:
+        """The gateway itself was condemned: the standby takes over as
+        root.
+
+        Routers condemned in the same batch fold into one surgery —
+        their living children move under the nearest surviving ancestor
+        before the tree re-roots at the standby.  Every node's depth
+        (and with it every link layer) changes under a new root, so the
+        protocol state rebuilds bottom-up *rooted at the standby* — a
+        fresh interface composition and re-issued super-partitions — and
+        the rebuilt schedule is certified collision-free before traffic
+        settles on it."""
+        old_gateway = self.topology.gateway_id
+        declared_slot = self.sim.current_slot
+        self.sim.metrics.mark_phase(declared_slot, f"failover@{old_gateway}")
+        standby = self._choose_standby()
+        if standby is None:
+            raise RuntimeError(
+                "gateway crashed with no surviving depth-1 router: "
+                "the network cannot re-root"
+            )
+
+        topology = self.topology
+        removed: List[int] = []
+        routers = [
+            r
+            for r in condemned
+            if r in topology and r not in self._healed and r != standby
+        ]
+        self.stats.parents_declared_dead += 1 + len(routers)
+        # Deepest first, so a condemned router nested under another
+        # condemned router hands its living children upward before its
+        # own parent is detached.
+        for router in sorted(
+            routers, key=self.topology.depth_of, reverse=True
+        ):
+            parent = topology.parent_of(router)
+            for orphan in [
+                c
+                for c in topology.children_of(router)
+                if not self.node_down(c)
+            ]:
+                topology = topology.with_reparented(orphan, parent)
+            removed.extend(topology.subtree_nodes(router))
+            topology = topology.with_detached(router)
+        removed.append(old_gateway)
+        topology = topology.rerooted(standby)
+        self._record_removed(removed)
+        self._install_topology(topology)
+        self._drop_nodes(removed)
+        # A gateway sources nothing: the standby's own task retires with
+        # the promotion (its uplink would have nowhere to go).
+        for task in [t for t in self.task_set if t.source == standby]:
+            self.sim.remove_task(task.task_id)
+        self.task_set = TaskSet(
+            [t for t in self.task_set if t.source != standby]
+        )
+        self._elastic = []
+        self._pending_elastic = []
+
+        self._healing_now = True
+        try:
+            self.stats.rebootstraps += 1
+            self.runtime = AgentRuntime(
+                self.topology, self.task_set, self.config,
+                case1_slack=self.case1_slack,
+            )
+            self.schedule = Schedule(self.config)
+            self.sim.set_schedule(self.schedule)
+            for node in self.topology.nodes_bottom_up():
+                self._post(self.runtime.agents[node].start())
+            self._drain_heal()
+            self.schedule.validate_collision_free(self.topology)
+        finally:
+            self._healing_now = False
+        self.stats.gateway_failovers += 1
+        self.stats.heals_completed += 1
+        self.stats.last_heal_slots = self.sim.current_slot - declared_slot
+        self.stats.last_failover_slots = self.sim.current_slot - declared_slot
+        self.sim.metrics.mark_phase(self.sim.current_slot, "recovered")
+
+    # ------------------------------------------------------------------
+    # rejoin after heal
+    # ------------------------------------------------------------------
+
+    def _record_removed(self, removed: List[int]) -> None:
+        """Every healed-away node stays marked down and remembers where
+        it was attached and what it sourced, so a later recovery event
+        can re-admit it ``join_leaf``-style instead of leaving a revived
+        node stranded outside the network.  Must run against the
+        pre-surgery topology and task set."""
+        for node in removed:
+            self._healed.add(node)
+            if node == self.topology.gateway_id:
+                continue  # a deposed gateway rejoins under the new root
+            task = next(
+                (t for t in self.task_set if t.source == node), None
+            )
+            self._healed_info[node] = _RemovedNode(
+                parent=self.topology.parent_of(node),
+                depth=self.topology.depth_of(node),
+                rate=None if task is None else task.rate,
+                echo=True if task is None else task.echo,
+            )
+
+    def _rejoin_parent(
+        self, node: int, info: Optional[_RemovedNode]
+    ) -> int:
+        """Where a recovered node re-attaches: its old parent while that
+        parent lives, else a living node at the old parent's depth, else
+        the (possibly new) gateway."""
+        if (
+            info is not None
+            and info.parent in self.topology
+            and not self.node_down(info.parent)
+        ):
+            return info.parent
+        if info is not None:
+            candidates = [
+                n
+                for n in self.topology.nodes_at_depth(info.depth - 1)
+                if not self.node_down(n)
+            ]
+            if candidates:
+                return min(candidates)
+        return self.topology.gateway_id
+
+    def _process_rejoins(self) -> None:
+        """Re-admit recovered nodes the network healed around: the
+        normal admission machinery restores the node's demand (and its
+        task) without a full re-bootstrap."""
+        if not self._pending_rejoins:
+            return
+        pending, self._pending_rejoins = self._pending_rejoins, []
+        readmitted = False
+        self._healing_now = True
+        try:
+            for node in dict.fromkeys(pending):
+                if node in self.topology or node not in self._healed:
+                    continue
+                if self.fault_plan.node_down(node, self.sim.current_slot):
+                    continue  # crashed again before the rejoin ran
+                info = self._healed_info.pop(node, None)
+                self._healed.discard(node)
+                parent = self._rejoin_parent(node, info)
+                self._admit_leaf(
+                    node,
+                    parent,
+                    rate=None if info is None else info.rate,
+                    echo=True if info is None else info.echo,
+                    drain=self._drain_heal,
+                )
+                self.stats.rejoins += 1
+                self.sim.metrics.mark_phase(
+                    self.sim.current_slot, f"rejoin@{node}"
+                )
+                readmitted = True
+        finally:
+            self._healing_now = False
+        if readmitted:
+            self.schedule.validate_collision_free(self.topology)
+
+    # ------------------------------------------------------------------
+    # elastic post-heal drain
+    # ------------------------------------------------------------------
+
+    def _apply_pending_elastic(self) -> None:
+        """Book the batch's elastic boosts for release.
+
+        The extra cells themselves were granted *inside* the heal (the
+        attach/ripple demands were inflated by ``elastic_drain_cells``),
+        so every re-parented link and its forwarding chain is already
+        over-provisioned and the outage backlog drains faster than the
+        exactly-provisioned schedule would allow (service normally
+        equals arrival, so without the boost the backlog only shrinks by
+        packet-lifetime expiry).  This records one grant per link and
+        direction on each moved subtree's path; shared ancestor links
+        carry one boost — and one grant — per subtree, matching the
+        per-orphan ripple inflation."""
+        pending, self._pending_elastic = self._pending_elastic, []
+        if self.elastic_drain_cells <= 0 or not pending:
+            return
+        expires = self.sim.current_slot + (
+            self.elastic_drain_slotframes * self.config.num_slots
+        )
+        for moved, demands in pending:
+            if moved not in self.topology or self.node_down(moved):
+                continue
+            chain = self.topology.path_to_gateway(moved)
+            for child_on_path, manager in zip(chain, chain[1:]):
+                agent = self.runtime.agents.get(manager)
+                if agent is None:
+                    continue
+                for direction in demands:
+                    current = agent.state.link_demands.get(
+                        direction, {}
+                    ).get(child_on_path, 0)
+                    if current <= 0:
+                        continue
+                    self._elastic.append(
+                        _ElasticGrant(
+                            manager, child_on_path, direction,
+                            self.elastic_drain_cells, expires,
+                        )
+                    )
+                    self.stats.elastic_grants += 1
+
+    def _release_expired_elastic(self) -> None:
+        """Release elastic boosts whose window ended (the paper's
+        decrease rule: a demand decrease reschedules locally and never
+        escalates, so releases are cheap)."""
+        if not self._elastic:
+            return
+        now = self.sim.current_slot
+        due = [g for g in self._elastic if g.expires_slot <= now]
+        if not due:
+            return
+        self._elastic = [g for g in self._elastic if g.expires_slot > now]
+        self._healing_now = True
+        try:
+            for grant in due:
+                agent = self.runtime.agents.get(grant.manager)
+                if (
+                    agent is None
+                    or grant.child not in self.topology
+                    or grant.child == self.topology.gateway_id
+                    or self.topology.parent_of(grant.child) != grant.manager
+                ):
+                    continue  # the link healed away in the meantime
+                current = agent.state.link_demands.get(
+                    grant.direction, {}
+                ).get(grant.child, 0)
+                self._post(
+                    agent.request_demand_increase(
+                        grant.child,
+                        grant.direction,
+                        max(0, current - grant.cells),
+                    )
+                )
+                self._drain_heal()
+                self.stats.elastic_releases += 1
+        finally:
+            self._healing_now = False
 
     def _install_topology(self, topology: TreeTopology) -> None:
         self.topology = topology
@@ -730,61 +1193,71 @@ class LiveHarpNetwork:
         starts generating once its cells are granted.  Returns the slots
         the network needed to absorb the join.
         """
+        if node in self.runtime.agents:
+            raise ValueError(f"node {node} already in the network")
+        start = self.sim.current_slot
+        self._admit_leaf(
+            node, parent, rate=rate, echo=echo,
+            drain=self.run_until_quiescent,
+        )
+        return self.sim.current_slot - start
+
+    def _admit_leaf(
+        self,
+        node: int,
+        parent: int,
+        rate: Optional[float],
+        echo: bool,
+        drain,
+    ) -> None:
+        """Shared admission path for planned joins and post-recovery
+        rejoins: the parent admits the link, forwarding demand ripples
+        up the path (deepest manager first), and — when ``rate`` is
+        set — the node's application task starts generating."""
         from ..net.tasks import Task
         from .node import HarpNodeAgent
         from .state import LocalState
 
-        if node in self.runtime.agents:
-            raise ValueError(f"node {node} already in the network")
-        start = self.sim.current_slot
-
-        cells = int(math.ceil(rate))
-        demands = {Direction.UP: cells}
-        if echo:
-            demands[Direction.DOWN] = cells
+        demands: Dict[Direction, int] = {}
+        if rate is not None:
+            cells = int(math.ceil(rate))
+            demands[Direction.UP] = cells
+            if echo:
+                demands[Direction.DOWN] = cells
         parent_state = self.runtime.agents[parent].state
-        state = LocalState(
-            node_id=node,
-            parent=parent,
-            children=[],
-            non_leaf_children=set(),
-            depth=parent_state.depth + 1,
-            case1_slack=parent_state.case1_slack,
-            link_demands={Direction.UP: {}, Direction.DOWN: {}},
-        )
         self.runtime.agents[node] = HarpNodeAgent(
-            state, self.config.num_channels
+            LocalState.for_new_leaf(node, parent_state),
+            self.config.num_channels,
         )
         self._install_topology(self.topology.with_attached(node, parent))
 
         self._post(self.runtime.agents[parent].admit_child(node, demands))
-        self.run_until_quiescent()
-        # Forwarding demand ripples up the path, deepest manager first.
-        ancestors = [
-            n for n in self.topology.path_to_gateway(parent) if n != parent
-        ]
-        chain = [parent] + ancestors
-        for child_on_path, manager in zip(chain, chain[1:]):
-            agent = self.runtime.agents[manager]
-            for direction, extra in demands.items():
-                current = agent.state.link_demands.get(direction, {}).get(
-                    child_on_path, 0
-                )
-                self._post(
-                    agent.request_demand_increase(
-                        child_on_path, direction, current + extra
+        drain()
+        if demands:
+            ancestors = [
+                n
+                for n in self.topology.path_to_gateway(parent)
+                if n != parent
+            ]
+            chain = [parent] + ancestors
+            for child_on_path, manager in zip(chain, chain[1:]):
+                agent = self.runtime.agents[manager]
+                for direction, extra in demands.items():
+                    current = agent.state.link_demands.get(
+                        direction, {}
+                    ).get(child_on_path, 0)
+                    self._post(
+                        agent.request_demand_increase(
+                            child_on_path, direction, current + extra
+                        )
                     )
-                )
-                self.run_until_quiescent()
+                    drain()
 
-        # The newcomer's application starts now.
-        task = Task(task_id=node, source=node, rate=rate, echo=echo)
-        self.task_set = TaskSet(list(self.task_set) + [task])
-        task_state_cls = type(next(iter(self.sim._tasks.values())))
-        self.sim._tasks[node] = task_state_cls(
-            task=task, next_generation=float(self.sim.current_slot)
-        )
-        return self.sim.current_slot - start
+        if rate is not None:
+            # The (re)joined node's application starts now.
+            task = Task(task_id=node, source=node, rate=rate, echo=echo)
+            self.task_set = TaskSet(list(self.task_set) + [task])
+            self.sim.add_task(task)
 
     def change_rate(self, task_id: int, new_rate: float) -> int:
         """A task's rate changes at runtime: data traffic adapts now,

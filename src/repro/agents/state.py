@@ -77,6 +77,23 @@ class LocalState:
         default_factory=dict
     )
 
+    @classmethod
+    def for_new_leaf(
+        cls, node_id: int, parent_state: "LocalState"
+    ) -> "LocalState":
+        """Blank state for a node joining (or rejoining after a crash)
+        under ``parent_state``'s node as a childless leaf — the shape
+        every over-the-air admission starts from."""
+        return cls(
+            node_id=node_id,
+            parent=parent_state.node_id,
+            children=[],
+            non_leaf_children=set(),
+            depth=parent_state.depth + 1,
+            case1_slack=parent_state.case1_slack,
+            link_demands={Direction.UP: {}, Direction.DOWN: {}},
+        )
+
     @property
     def own_layer(self) -> int:
         """``l(V_i)``: the layer of this node's child links."""

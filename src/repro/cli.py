@@ -21,9 +21,11 @@ Commands
 ``audit [--snapshot FILE]``
     Deep cross-structure consistency audit of the demo network (or of a
     snapshot's schedule/partition consistency).
-``faults [--crashes N ...] [--seeds N] [--post-slotframes N]``
+``faults [--crashes N ...] [--seeds N] [--seed BASE] [--out FILE]``
     Crash routers mid-run and tabulate the self-healing recovery
     latency (detection, healing, delivery-ratio dip and recovery).
+    ``--elastic-cells``/``--elastic-slotframes`` enable the elastic
+    post-heal drain; ``--out`` exports the table as JSON.
 """
 
 from __future__ import annotations
@@ -214,16 +216,25 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
     from .experiments.fault_study import run_fault_study
 
     result = run_fault_study(
         crash_counts=tuple(args.crashes),
-        seeds=tuple(range(args.seeds)),
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
         keepalive_miss_limit=args.miss_limit,
         post_slotframes=args.post_slotframes,
+        elastic_drain_cells=args.elastic_cells,
+        elastic_drain_slotframes=args.elastic_slotframes,
     )
     print("Self-healing recovery latency (simultaneous router crashes)")
     print(result.render())
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -273,8 +284,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="simultaneous router crash counts to sweep",
     )
     p.add_argument("--seeds", type=int, default=1)
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; the study runs seeds [seed, seed + seeds)",
+    )
     p.add_argument("--miss-limit", type=int, default=3)
     p.add_argument("--post-slotframes", type=int, default=60)
+    p.add_argument(
+        "--elastic-cells", type=int, default=0,
+        help="elastic post-heal drain: extra cells per re-parented link",
+    )
+    p.add_argument(
+        "--elastic-slotframes", type=int, default=8,
+        help="slotframes an elastic boost lasts before release",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the study result as JSON to this file",
+    )
     p.set_defaults(func=cmd_faults)
 
     args = parser.parse_args(argv)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..agents.live import LiveHarpNetwork
 from ..net.sim.faults import FaultPlan
@@ -52,6 +52,20 @@ class FaultStudyRow:
     packets_lost: float
     recover_slotframes: Optional[float]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form of one table row."""
+        return {
+            "crashes": self.crashes,
+            "runs": self.runs,
+            "detect_slotframes": self.detect_slotframes,
+            "heal_slotframes": self.heal_slotframes,
+            "ratio_before": self.ratio_before,
+            "ratio_during": self.ratio_during,
+            "ratio_after": self.ratio_after,
+            "packets_lost": self.packets_lost,
+            "recover_slotframes": self.recover_slotframes,
+        }
+
 
 @dataclass
 class FaultStudyResult:
@@ -60,6 +74,21 @@ class FaultStudyResult:
     rows: List[FaultStudyRow] = field(default_factory=list)
     keepalive_miss_limit: int = 3
     skipped_counts: List[int] = field(default_factory=list)
+    seeds: List[int] = field(default_factory=list)
+    elastic_drain_cells: int = 0
+    elastic_drain_slotframes: int = 8
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form of the whole study (the shape the
+        ``repro faults --out`` export and the CI artifact carry)."""
+        return {
+            "keepalive_miss_limit": self.keepalive_miss_limit,
+            "seeds": list(self.seeds),
+            "elastic_drain_cells": self.elastic_drain_cells,
+            "elastic_drain_slotframes": self.elastic_drain_slotframes,
+            "skipped_counts": list(self.skipped_counts),
+            "rows": [row.to_dict() for row in self.rows],
+        }
 
     def render(self) -> str:
         """ASCII rendering of the recovery-latency table."""
@@ -132,6 +161,8 @@ def run_single_fault(
     keepalive_miss_limit: int = 3,
     warmup_slotframes: int = 10,
     post_slotframes: int = 60,
+    elastic_drain_cells: int = 0,
+    elastic_drain_slotframes: int = 8,
 ) -> SingleFaultOutcome:
     """Bootstrap, run a warm-up, crash ``crash_nodes`` simultaneously,
     and observe the self-healing recovery."""
@@ -143,6 +174,8 @@ def run_single_fault(
         rng=random.Random(seed),
         keepalive_miss_limit=keepalive_miss_limit,
         max_packet_age_slots=PACKET_LIFETIME_SLOTS,
+        elastic_drain_cells=elastic_drain_cells,
+        elastic_drain_slotframes=elastic_drain_slotframes,
     )
     live.bootstrap()
     warmup_start = live.sim.current_slot
@@ -183,12 +216,19 @@ def run_fault_study(
     config: Optional[SlotframeConfig] = None,
     keepalive_miss_limit: int = 3,
     post_slotframes: int = 60,
+    elastic_drain_cells: int = 0,
+    elastic_drain_slotframes: int = 8,
 ) -> FaultStudyResult:
     """Sweep simultaneous crash counts and tabulate recovery latency."""
     topology = topology or regular_tree(depth=3, fanout=2)
     config = config or FAULT_CONFIG
     candidates = crash_candidates(topology)
-    result = FaultStudyResult(keepalive_miss_limit=keepalive_miss_limit)
+    result = FaultStudyResult(
+        keepalive_miss_limit=keepalive_miss_limit,
+        seeds=list(seeds),
+        elastic_drain_cells=elastic_drain_cells,
+        elastic_drain_slotframes=elastic_drain_slotframes,
+    )
 
     for count in crash_counts:
         if count >= len(candidates):
@@ -205,6 +245,8 @@ def run_fault_study(
                 seed=seed,
                 keepalive_miss_limit=keepalive_miss_limit,
                 post_slotframes=post_slotframes,
+                elastic_drain_cells=elastic_drain_cells,
+                elastic_drain_slotframes=elastic_drain_slotframes,
             )
             for seed in seeds
         ]

@@ -174,6 +174,15 @@ class TSCHSimulator:
             self._uplink_q.setdefault(node, deque())
             self._downlink_q.setdefault(node, deque())
 
+    def add_task(self, task: Task) -> None:
+        """Register a task at runtime (a membership join or a recovered
+        node rejoining); generation starts from the current slot."""
+        if task.task_id in self._tasks:
+            raise ValueError(f"task {task.task_id} already registered")
+        self._tasks[task.task_id] = _TaskState(
+            task=task, next_generation=float(self.current_slot)
+        )
+
     def remove_task(self, task_id: int) -> int:
         """Stop a task and purge its in-flight packets (a crashed
         source); returns the number of packets destroyed."""

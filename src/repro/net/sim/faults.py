@@ -160,6 +160,15 @@ class FaultPlan:
             crashes=tuple(NodeCrash(node, at_slot) for node in nodes)
         )
 
+    @classmethod
+    def staggered_crashes(
+        cls, events: Iterable[Tuple[int, ...]]
+    ) -> "FaultPlan":
+        """Plan from ``(node, at_slot)`` or ``(node, at_slot,
+        recover_slot)`` tuples — crashes landing at *different* slots,
+        the shape interleaved-healing scenarios need."""
+        return cls(crashes=tuple(NodeCrash(*event) for event in events))
+
     # ------------------------------------------------------------------
     # queries (pure; called once per slot by the consuming layers)
     # ------------------------------------------------------------------

@@ -273,6 +273,38 @@ class MetricsCollector:
             start += window
         return None
 
+    def recovery_curve(
+        self,
+        fault_slot: int,
+        window_slots: Optional[int] = None,
+        end_slot: Optional[int] = None,
+    ) -> List[Tuple[int, float]]:
+        """``(window_start, eventual delivery ratio)`` per window after
+        ``fault_slot`` — the raw series behind :meth:`time_to_recover`,
+        for plotting the dip-and-recover shape of a healing run.
+
+        Windows in which nothing was generated are omitted.
+        """
+        window = window_slots or self.config.num_slots
+        if end_slot is None:
+            end_slot = max(
+                self.generation_slots[-1:]
+                + [r.created_slot for r in self.deliveries[-1:]]
+                + [fault_slot]
+            ) + 1
+        curve: List[Tuple[int, float]] = []
+        start = fault_slot
+        while start < end_slot:
+            created = sum(
+                1 for s in self.generation_slots if start <= s < start + window
+            )
+            if created > 0:
+                curve.append(
+                    (start, self.delivery_ratio_between(start, start + window))
+                )
+            start += window
+        return curve
+
     def packets_lost_during(self, start_slot: int, end_slot: float) -> int:
         """Packets created in ``[start_slot, end_slot)`` that were never
         delivered (dropped or still stranded) — the cost of a healing

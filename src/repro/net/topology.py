@@ -262,6 +262,32 @@ class TreeTopology:
         }
         return TreeTopology(parent_map, gateway_id=self.gateway_id)
 
+    def rerooted(self, new_gateway: int) -> "TreeTopology":
+        """Gateway-failover surgery: the old gateway is removed and one
+        of its children becomes the root.
+
+        ``new_gateway`` (the standby) loses its parent link; every other
+        child of the old gateway re-attaches directly under the standby,
+        so the survivors stay one connected tree.  Depths shift by at
+        most one: the standby's former siblings keep their depth, the
+        standby's own subtree rises one layer.
+        """
+        if new_gateway not in self._depth:
+            raise TopologyError(f"standby {new_gateway} not in the network")
+        if self.parent_map.get(new_gateway) != self.gateway_id:
+            raise TopologyError(
+                f"standby {new_gateway} must be a direct child of the "
+                f"gateway {self.gateway_id}"
+            )
+        parent_map: Dict[int, int] = {}
+        for child, parent in self.parent_map.items():
+            if child == new_gateway:
+                continue
+            parent_map[child] = (
+                new_gateway if parent == self.gateway_id else parent
+            )
+        return TreeTopology(parent_map, gateway_id=new_gateway)
+
     def with_reparented(self, node: int, new_parent: int) -> "TreeTopology":
         """A new topology with ``node``'s subtree moved under
         ``new_parent`` (a link-quality-driven parent switch)."""

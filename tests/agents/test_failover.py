@@ -1,0 +1,148 @@
+"""Gateway failover: losing the root is survivable.
+
+A condemned gateway no longer kills the run — a standby depth-1 router
+(configured, or elected by subtree demand) takes over as root, the tree
+re-roots under it, the whole protocol state rebuilds bottom-up rooted at
+the standby, and the rebuilt schedule is certified collision-free.
+"""
+
+import random
+
+import pytest
+
+from repro.agents.live import LiveHarpNetwork
+from repro.net.sim.faults import FaultPlan
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=60, num_channels=8, management_slots=20)
+
+
+@pytest.fixture
+def tree():
+    # depth 1: routers 1, 2 — depth 2: routers 3, 4 (under 1), 5
+    # (under 2) — leaves 6, 7, 8.
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3, 7: 4, 8: 5})
+
+
+def make_live(tree, config, **kwargs):
+    kwargs.setdefault("rng", random.Random(0))
+    kwargs.setdefault("max_packet_age_slots", 300)
+    live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config, **kwargs)
+    live.bootstrap()
+    return live
+
+
+def crash(live, nodes, in_slots=10):
+    at_slot = live.sim.current_slot + in_slots
+    plan = FaultPlan.crash_nodes(nodes, at_slot=at_slot)
+    live.fault_plan = plan
+    live.sim.fault_plan = plan
+    return at_slot
+
+
+class TestFailover:
+    def test_gateway_crash_promotes_elected_standby(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(10)
+        crash(live, [0])
+        live.run_slotframes(60)
+        assert live.stats.gateway_failovers == 1
+        # Election by subtree demand: router 1 forwards five sources
+        # (1, 3, 4, 6, 7), router 2 only three (2, 5, 8).
+        assert live.topology.gateway_id == 1
+        assert 0 not in live.topology
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_configured_standby_takes_over(self, tree, config):
+        live = make_live(tree, config, standby_gateway=2)
+        live.run_slotframes(10)
+        crash(live, [0])
+        live.run_slotframes(60)
+        assert live.topology.gateway_id == 2
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_standby_must_be_depth_one(self, tree, config):
+        for bad in (6, 99):
+            with pytest.raises(ValueError, match="standby"):
+                LiveHarpNetwork(
+                    tree, e2e_task_per_node(tree), config,
+                    standby_gateway=bad,
+                )
+
+    def test_dead_configured_standby_falls_back_to_election(
+        self, tree, config
+    ):
+        live = make_live(tree, config, standby_gateway=2)
+        live.run_slotframes(10)
+        crash(live, [0, 2])
+        live.run_slotframes(60)
+        assert live.topology.gateway_id == 1
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_delivery_recovers_to_95_percent_of_baseline(
+        self, tree, config
+    ):
+        live = make_live(tree, config)
+        live.run_slotframes(2)
+        steady_start = live.sim.current_slot
+        live.run_slotframes(10)
+        at = crash(live, [0])
+        live.run_slotframes(80)
+        m = live.sim.metrics
+        before = m.delivery_ratio_between(steady_start, at - 300)
+        tail = m.delivery_ratio_between(
+            live.sim.current_slot - 15 * config.num_slots,
+            live.sim.current_slot - 300,
+        )
+        assert before == pytest.approx(1.0)
+        assert tail >= 0.95 * before
+        # And the windowed view confirms a finite time-to-recover.
+        assert (
+            m.time_to_recover(
+                at, before, end_slot=live.sim.current_slot - 300
+            )
+            is not None
+        )
+
+    def test_router_condemned_with_gateway_folds_into_surgery(
+        self, tree, config
+    ):
+        live = make_live(tree, config)
+        live.run_slotframes(10)
+        crash(live, [0, 3])
+        live.run_slotframes(60)
+        assert live.stats.gateway_failovers == 1
+        assert live.stats.parents_declared_dead == 2
+        assert 0 not in live.topology
+        assert 3 not in live.topology
+        # Router 3's living orphan moved under 3's parent (the standby).
+        assert live.topology.parent_of(6) == 1
+        assert live.topology.gateway_id == 1
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_failover_stats_and_phases_recorded(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(10)
+        crash(live, [0])
+        live.run_slotframes(60)
+        assert live.stats.last_failover_slots > 0
+        labels = [label for _, label in live.sim.metrics.phase_marks]
+        assert "failover@0" in labels
+        assert "recovered" in labels
+
+    def test_promoted_standby_sources_no_traffic(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(10)
+        at = crash(live, [0])
+        live.run_slotframes(60)
+        # A gateway sources nothing: the standby's task retired.
+        assert all(t.source != 1 for t in live.task_set)
+        assert not any(
+            r.source == 1 and r.created_slot > at + 600
+            for r in live.sim.metrics.deliveries
+        )

@@ -136,9 +136,11 @@ class TestReparenting:
         assert live.topology.parent_of(7) == 5
         live.schedule.validate_collision_free(live.topology)
 
-    def test_gateway_crash_is_fatal(self, tree, config):
+    def test_gateway_crash_without_survivors_is_fatal(self, tree, config):
+        # Every depth-1 router dies with the gateway: no standby exists
+        # and the network cannot re-root.
         live = make_live(tree, config)
-        crash(live, [0])
+        crash(live, [0, 1, 2])
         with pytest.raises(RuntimeError, match="gateway"):
             live.run_slotframes(12)
 
@@ -156,6 +158,77 @@ class TestRebootstrapFallback:
         # The orphan moved up under the grandparent.
         assert live.topology.parent_of(3) == 1
         live.schedule.validate_collision_free(live.topology)
+
+
+class TestInterleavedHealing:
+    def test_second_crash_mid_heal_aborts_and_restarts(self, tree, config):
+        # Router 4 dies while the heal triggered by router 3's death is
+        # still in flight — and 4 is exactly where 3's orphan was being
+        # re-attached.  The in-flight heal must abort and restart with
+        # both routers condemned, not commit a transaction addressed to
+        # a dead manager.
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        base = live.sim.current_slot
+        plan = FaultPlan.staggered_crashes([
+            (3, base + 10),
+            (4, base + 10 + 3 * config.num_slots),
+        ])
+        live.fault_plan = plan
+        live.sim.fault_plan = plan
+        live.run_slotframes(50)
+        assert live.stats.heals_aborted >= 1
+        assert 3 not in live.topology.nodes
+        assert 4 not in live.topology.nodes
+        # Both orphans ended up on the only surviving depth-2 router.
+        assert live.topology.parent_of(6) == 5
+        assert live.topology.parent_of(7) == 5
+        for link, demand in live.task_set.link_demands(
+            live.topology
+        ).items():
+            assert len(live.schedule.cells_of(link)) >= demand, link
+        live.schedule.validate_collision_free(live.topology)
+
+
+class TestElasticDrain:
+    def test_grants_issued_and_released(self, tree, config):
+        live = make_live(
+            tree, config, elastic_drain_cells=1, elastic_drain_slotframes=4
+        )
+        live.run_slotframes(4)
+        crash(live, [3])
+        live.run_slotframes(40)
+        assert live.stats.elastic_grants > 0
+        assert live.stats.elastic_releases == live.stats.elastic_grants
+        assert not live._elastic
+        assert not live._pending_elastic
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_boost_released_back_to_exact_demand(self, tree, config):
+        from repro.net.topology import Direction, LinkRef
+
+        live = make_live(
+            tree, config, elastic_drain_cells=2, elastic_drain_slotframes=4
+        )
+        live.run_slotframes(4)
+        crash(live, [3])
+        live.run_slotframes(40)
+        # Orphan 6 was re-attached with a +2 boost on every link of its
+        # new path; after the window the schedule is back to exactly
+        # what the task demands.
+        demands = live.task_set.link_demands(live.topology)
+        moved_link = LinkRef(6, Direction.UP)
+        assert (
+            len(live.schedule.cells_of(moved_link)) == demands[moved_link]
+        )
+
+    def test_disabled_by_default(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(4)
+        crash(live, [3])
+        live.run_slotframes(30)
+        assert live.stats.elastic_grants == 0
+        assert live.stats.elastic_releases == 0
 
 
 class TestRecovery:

@@ -1,0 +1,126 @@
+"""Rejoin after heal: a healed-away node that powers back on is
+re-admitted.
+
+Crash-with-recovery events (``NodeCrash.recover_slot``) used to leave
+the node orphaned forever once self-healing had cut it out of the tree.
+Now the live network remembers every removed node's attachment point,
+depth and task, and re-admits it ``join_leaf``-style at the first quiet
+slotframe boundary after it powers back on.
+"""
+
+import random
+
+import pytest
+
+from repro.agents.live import LiveHarpNetwork
+from repro.net.sim.faults import FaultPlan
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=60, num_channels=8, management_slots=20)
+
+
+@pytest.fixture
+def tree():
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3, 7: 4, 8: 5})
+
+
+def make_live(tree, config, **kwargs):
+    kwargs.setdefault("rng", random.Random(0))
+    kwargs.setdefault("max_packet_age_slots", 300)
+    live = LiveHarpNetwork(tree, e2e_task_per_node(tree), config, **kwargs)
+    live.bootstrap()
+    return live
+
+
+def install(live, plan):
+    live.fault_plan = plan
+    live.sim.fault_plan = plan
+
+
+def assert_demand_covered(live):
+    for link, cells in live.task_set.link_demands(live.topology).items():
+        assert len(live.schedule.cells_of(link)) >= cells, link
+
+
+class TestRejoin:
+    def test_crashed_router_rejoins_with_task_restored(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(5)
+        at = live.sim.current_slot + 10
+        install(live, FaultPlan.single_crash(
+            3, at, recover_slot=at + 20 * config.num_slots
+        ))
+        live.run_slotframes(50)
+        assert live.stats.rejoins >= 1
+        assert 3 in live.topology
+        assert live.topology.parent_of(3) == 1
+        assert any(t.source == 3 for t in live.task_set)
+        assert not live._healed
+        assert not live._healed_info
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_rejoined_coverage_equals_pre_fault(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(5)
+        pre_sources = sorted(t.source for t in live.task_set)
+        at = live.sim.current_slot + 10
+        install(live, FaultPlan.single_crash(
+            3, at, recover_slot=at + 20 * config.num_slots
+        ))
+        live.run_slotframes(50)
+        assert sorted(t.source for t in live.task_set) == pre_sources
+        assert_demand_covered(live)
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_leaves_follow_their_router_back(self, tree, config):
+        # Router 3 and its leaf 6 both crash; 3 recovers first, then 6.
+        # 6's old parent is alive again by the time 6 powers on, so the
+        # subtree reassembles in its original shape.
+        live = make_live(tree, config)
+        live.run_slotframes(5)
+        at = live.sim.current_slot + 10
+        install(live, FaultPlan.staggered_crashes([
+            (3, at, at + 20 * config.num_slots),
+            (6, at, at + 30 * config.num_slots),
+        ]))
+        live.run_slotframes(60)
+        assert live.stats.rejoins == 2
+        assert live.topology.parent_of(3) == 1
+        assert live.topology.parent_of(6) == 3
+        assert_demand_covered(live)
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_recovery_before_detection_is_noop(self, tree, config):
+        # Down for a single slotframe: fewer keepalives missed than the
+        # condemnation limit, so the outage must leave no trace — no
+        # heal, no rejoin, node still in place.
+        live = make_live(tree, config, keepalive_miss_limit=3)
+        live.run_slotframes(5)
+        at = live.sim.current_slot + 10
+        install(live, FaultPlan.single_crash(
+            3, at, recover_slot=at + config.num_slots
+        ))
+        live.run_slotframes(20)
+        assert live.stats.parents_declared_dead == 0
+        assert live.stats.heals_completed == 0
+        assert live.stats.rejoins == 0
+        assert 3 in live.topology
+        assert live.topology.parent_of(6) == 3
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_rejoined_node_delivers_traffic_again(self, tree, config):
+        live = make_live(tree, config)
+        live.run_slotframes(5)
+        at = live.sim.current_slot + 10
+        recover = at + 20 * config.num_slots
+        install(live, FaultPlan.single_crash(3, at, recover_slot=recover))
+        live.run_slotframes(60)
+        assert any(
+            r.source == 3 and r.created_slot > recover
+            for r in live.sim.metrics.deliveries
+        )

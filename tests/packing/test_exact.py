@@ -31,6 +31,23 @@ class TestExactPack:
         # Two 2x2 cannot be disjoint anywhere in a 3x3 box.
         assert exact_pack([Rect(2, 2, "a"), Rect(2, 2, "b")], 3, 3) is None
 
+    def test_grid_pass_rescues_corner_pass_miss(self):
+        # Regression: the fast corner-candidate pass is incomplete under
+        # the fixed area-sorted placement order.  Here it places the 2x2
+        # first and no corner-anchored continuation fits the 3x1 and
+        # 1x4 — yet a packing exists (found by brute-force search): the
+        # complete integer-grid pass must rescue the instance instead of
+        # exact_pack declaring it infeasible.
+        rects = [Rect(2, 2, "a"), Rect(3, 1, "b"), Rect(1, 4, "c")]
+        layout = exact_pack(rects, 5, 4)
+        assert layout is not None
+        placed = list(layout.values())
+        assert not any_overlap(placed)
+        assert all(
+            0 <= p.x and p.x2 <= 5 and 0 <= p.y and p.y2 <= 4
+            for p in placed
+        )
+
     def test_beats_greedy_heuristics(self):
         # A tetris-like instance: 3x1, 1x3, 2x2, 1x1, 2x1 exactly tile
         # nothing simple, but they do fit 3x4 (area 12 = 3+3+4+1+... no:

@@ -112,3 +112,29 @@ class TestAudit:
             json.dump(doc, handle)
         assert main(["audit", "--snapshot", path]) == 1
         assert "under-provisioned" in capsys.readouterr().out
+
+
+class TestFaults:
+    def test_faults_renders_table(self, capsys):
+        assert main([
+            "faults", "--crashes", "1", "--seeds", "1",
+            "--post-slotframes", "25",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovery latency" in out
+        assert "Detect(SF)" in out
+
+    def test_faults_seed_and_out_export_json(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "fault-study.json")
+        assert main([
+            "faults", "--crashes", "1", "--seeds", "1", "--seed", "3",
+            "--post-slotframes", "25", "--out", path,
+        ]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["seeds"] == [3]
+        assert doc["rows"][0]["crashes"] == 1
+        assert doc["rows"][0]["runs"] == 1

@@ -53,6 +53,11 @@ class TestFastExamples:
         assert "reparents" in out
         assert "collision-free" in out
 
+    def test_gateway_failover(self, capsys):
+        out = run_example("gateway_failover", capsys)
+        assert "promoted router 1 to gateway" in out
+        assert "re-rooted schedule verified collision-free" in out
+
 
 @pytest.mark.slow
 class TestHeavyExamples:
