@@ -1,0 +1,79 @@
+"""Performance smoke benchmark with a regression guard.
+
+Runs the ``repro bench`` hot-path timings (shortened horizons), writes a
+fresh ``BENCH_perf.json`` for the CI artifact, and fails when engine
+throughput regresses more than 30% against the committed baseline.
+
+The committed ``BENCH_perf.json`` at the repo root carries absolute
+numbers from the reference box; raw wall-clock comparisons across
+machines are noisy, so the guard scales the committed fast-path number
+by how the *slow reference path* performs on the current machine —
+the fast/slow ratio is hardware-independent, making the 30% tolerance
+about the code, not the host.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import run_benchmarks, write_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+COMMITTED = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+#: Allowed engine-throughput regression vs the committed baseline.
+TOLERANCE = 0.30
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Short horizons: this is a smoke guard, not the tracked measurement.
+    result = run_benchmarks(slotframes=100, include_sweeps=False)
+    write_report(result, os.path.join(os.getcwd(), "BENCH_perf.json"))
+    return result
+
+
+def test_engine_fast_path_beats_reference(report):
+    """The event-skipping core must crush slot-by-slot stepping on the
+    idle-heavy workload (hardware-independent ratio; the win there is
+    ~7x, so 3.0 leaves ample noise headroom).  On the busier standard
+    workload skipping engages rarely, so only require no regression."""
+    assert report["engine_idle"]["skip_speedup"] > 3.0
+    assert report["engine"]["skip_speedup"] > 0.85
+
+
+def test_composition_cache_speedup(report):
+    """A warm composition cache must beat cold packing handily."""
+    assert report["composition"]["cache_speedup"] > 2.0
+    assert report["composition"]["cached"]["hit_rate"] > 0.9
+
+
+def test_engine_outcomes_identical_across_paths(report):
+    """Fast and slow path must agree on what the simulation computed."""
+    for section in ("engine", "engine_idle"):
+        fast = report[section]["fast_path"]
+        slow = report[section]["slow_path"]
+        assert fast["delivered"] == slow["delivered"]
+        assert fast["generated"] == slow["generated"]
+
+
+def test_engine_throughput_vs_committed_baseline(report):
+    """Engine slots/sec must stay within 30% of the committed baseline,
+    hardware-normalized via the slow-path ratio."""
+    if not os.path.exists(COMMITTED):
+        pytest.skip("no committed BENCH_perf.json baseline")
+    with open(COMMITTED, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    committed_fast = committed["engine"]["fast_path"]["slots_per_sec"]
+    committed_slow = committed["engine"]["slow_path"]["slots_per_sec"]
+    measured_slow = report["engine"]["slow_path"]["slots_per_sec"]
+    # Scale the committed expectation to this machine's speed.
+    hardware_scale = measured_slow / committed_slow
+    expected = committed_fast * hardware_scale
+    measured = report["engine"]["fast_path"]["slots_per_sec"]
+    assert measured >= expected * (1.0 - TOLERANCE), (
+        f"engine fast path regressed: {measured:,.0f} slots/s vs "
+        f"hardware-scaled baseline {expected:,.0f} slots/s "
+        f"(committed {committed_fast:,.0f} at scale {hardware_scale:.2f})"
+    )

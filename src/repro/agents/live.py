@@ -402,6 +402,12 @@ class LiveHarpNetwork:
         """Whether a self-healing transaction is still running."""
         return self._healing_now
 
+    @property
+    def composition_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss counters of the agents' shared Algorithm-1 layout
+        cache (see :class:`~repro.packing.composition.CompositionCache`)."""
+        return self.runtime.composition_cache.stats()
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -1228,6 +1234,7 @@ class LiveHarpNetwork:
         self.runtime.agents[node] = HarpNodeAgent(
             LocalState.for_new_leaf(node, parent_state),
             self.config.num_channels,
+            self.runtime.composition_cache,
         )
         self._install_topology(self.topology.with_attached(node, parent))
 

@@ -35,7 +35,7 @@ from ..net.protocol.messages import (
 )
 from ..net.slotframe import Cell
 from ..net.topology import Direction
-from ..packing.composition import compose_components
+from ..packing.composition import CompositionCache, compose_components
 from ..packing.free_space import pack_with_obstacles
 from ..packing.geometry import PlacedRect, Rect
 from ..packing.rpp import can_pack
@@ -46,11 +46,23 @@ PartitionTuple = Tuple[int, int, int, int]
 
 
 class HarpNodeAgent:
-    """One network node running the HARP protocol."""
+    """One network node running the HARP protocol.
 
-    def __init__(self, state: LocalState, num_channels: int) -> None:
+    ``composition_cache`` memoizes Algorithm-1 layouts by child size
+    multiset; the runtime shares one cache across all its agents (a
+    real deployment would hold one per node — sharing only widens the
+    hit surface, results are identical either way).
+    """
+
+    def __init__(
+        self,
+        state: LocalState,
+        num_channels: int,
+        composition_cache: Optional[CompositionCache] = None,
+    ) -> None:
         self.state = state
         self.num_channels = num_channels
+        self.composition_cache = composition_cache
 
     # ------------------------------------------------------------------
     # static phase, bottom-up
@@ -118,7 +130,9 @@ class HarpNodeAgent:
             ]
             if not rects:
                 continue
-            composed = compose_components(rects, self.num_channels)
+            composed = compose_components(
+                rects, self.num_channels, self.composition_cache
+            )
             summary[layer] = (composed.n_slots, composed.n_channels)
             state.layouts[(direction, layer)] = {
                 int(child): rect for child, rect in composed.layout.items()

@@ -23,6 +23,7 @@ from ..net.protocol.transport import ManagementPlane
 from ..net.slotframe import Schedule, SlotframeConfig
 from ..net.tasks import TaskSet, demands_by_parent
 from ..net.topology import Direction, LinkRef, TreeTopology
+from ..packing.composition import CompositionCache
 from .node import HarpNodeAgent
 from .state import LocalState
 
@@ -43,6 +44,9 @@ class AgentRuntime:
         self.plane = plane or ManagementPlane(self.config, topology)
         self.agents: Dict[int, HarpNodeAgent] = {}
         self._queue: Deque[HarpMessage] = deque()
+        #: Shared across all agents: re-bootstraps and heals re-present
+        #: the same subtree size multisets over and over.
+        self.composition_cache = CompositionCache()
 
         link_demands = task_set.link_demands(topology)
         per_parent = {
@@ -71,7 +75,7 @@ class AgentRuntime:
                 case1_slack=case1_slack,
             )
             self.agents[node] = HarpNodeAgent(
-                state, self.config.num_channels
+                state, self.config.num_channels, self.composition_cache
             )
 
     # ------------------------------------------------------------------
@@ -130,7 +134,9 @@ class AgentRuntime:
             case1_slack=self.agents[parent].state.case1_slack,
             link_demands={Direction.UP: {}, Direction.DOWN: {}},
         )
-        self.agents[node] = HarpNodeAgent(state, self.config.num_channels)
+        self.agents[node] = HarpNodeAgent(
+            state, self.config.num_channels, self.composition_cache
+        )
         self.topology = self.topology.with_attached(node, parent)
         self.plane.topology = self.topology
 

@@ -1,0 +1,283 @@
+"""Performance benchmarks with a tracked baseline (``repro bench``).
+
+The ROADMAP's north star is "as fast as the hardware allows"; this
+module is where that claim is measured instead of asserted.  Three hot
+paths are timed:
+
+* **engine** — slot throughput of :class:`~repro.net.sim.engine.
+  TSCHSimulator` on two workloads over the same 40-node tree: the
+  *standard* load (rate 0.2 — moderately busy, the seed baseline's
+  workload) and an *idle-heavy* load (rate 0.02 — mostly empty slots,
+  exactly where the event-skipping core pays off).  Both the fast path
+  and the slot-by-slot reference path are timed on each so the skip
+  win is visible in isolation.
+* **composition** — Algorithm-1 compositions per second over a mixed
+  pool of child multisets, cold (no cache) and with the
+  :class:`~repro.packing.composition.CompositionCache` warm.
+* **sweeps** — wall time of the scaling study and the co-simulated
+  fault study, the two heaviest experiment loops.
+
+``run_benchmarks`` returns a plain dict; ``repro bench --out`` and the
+benchmark test write it as ``BENCH_perf.json`` next to the *committed*
+numbers, giving the repo a performance trajectory: every entry keeps
+``seed_baseline`` (the pre-optimization code measured on the reference
+box) so regressions and wins stay visible across PRs.
+
+Machine variance caveat: all numbers are wall-clock on whatever box
+runs them.  The committed reference numbers come from one machine;
+cross-machine comparisons (e.g. CI) should use generous tolerances (the
+CI smoke job allows 30%) or compare ratios (fast vs slow path) which
+are hardware-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, Optional
+
+from .core.manager import HarpNetwork
+from .net.sim.engine import TSCHSimulator
+from .net.slotframe import SlotframeConfig
+from .net.tasks import e2e_task_per_node
+from .net.topology import regular_tree
+from .packing.composition import CompositionCache, compose_components
+from .packing.geometry import Rect
+
+#: Pre-optimization numbers: the seed code (PR 2) measured on the
+#: reference box with exactly the workloads below.  Kept in the report
+#: so every future BENCH_perf.json carries its own before/after story.
+SEED_BASELINE: Dict[str, float] = {
+    "engine_slots_per_sec": 110881.0,
+    "engine_idle_slots_per_sec": 159006.0,
+    "composition_ops_per_sec": 19983.0,
+    "scaling_sweep_seconds": 1.541,
+    "fault_sweep_seconds": 1.475,
+}
+
+
+def _engine_sim(event_skipping: bool, rate: float = 0.2) -> TSCHSimulator:
+    """The engine workload: 40 nodes, e2e traffic at ``rate`` packets
+    per task per slotframe, TTL tracking on.  Rate 0.2 is the standard
+    (seed-comparable) load; rate 0.02 is the idle-heavy variant."""
+    topology = regular_tree(depth=3, fanout=3)
+    config = SlotframeConfig(num_slots=199, num_channels=16)
+    tasks = e2e_task_per_node(topology, rate=rate)
+    network = HarpNetwork(topology, tasks, config)
+    network.allocate()
+    return TSCHSimulator(
+        topology,
+        network.schedule,
+        tasks,
+        config,
+        rng=random.Random(7),
+        max_packet_age_slots=1000,
+        event_skipping=event_skipping,
+    )
+
+
+def bench_engine(
+    slotframes: int = 400,
+    event_skipping: bool = True,
+    repeats: int = 3,
+    rate: float = 0.2,
+) -> Dict[str, float]:
+    """Engine throughput in slots/second (plus outcome checksums).
+
+    Best of ``repeats`` fresh runs: wall-clock on a shared box is noisy
+    and the fastest run is the closest estimate of the code's cost.
+    """
+    best = None
+    for _ in range(repeats):
+        sim = _engine_sim(event_skipping, rate)
+        slots = slotframes * sim.config.num_slots
+        start = time.perf_counter()
+        sim.run_slots(slots)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            metrics = sim.metrics
+    return {
+        "slots_per_sec": slots / best,
+        "seconds": best,
+        "delivered": float(len(metrics.deliveries)),
+        "generated": float(metrics.generated),
+    }
+
+
+def _composition_pool(pool_size: int = 200, seed: int = 11):
+    rng = random.Random(seed)
+    return [
+        [
+            Rect(rng.randint(1, 12), rng.randint(1, 3), (i, j))
+            for j in range(rng.randint(2, 8))
+        ]
+        for i in range(pool_size)
+    ]
+
+
+def bench_composition(
+    ops: int = 5000, cached: bool = False, repeats: int = 3
+) -> Dict[str, float]:
+    """Algorithm-1 compositions per second over a mixed multiset pool.
+
+    With ``cached`` a shared :class:`CompositionCache` serves repeats
+    (the adjustment-heavy access pattern); without it every call packs
+    from scratch (the bootstrap pattern, and the seed behaviour).
+    Best of ``repeats`` timed passes, each cached pass on a fresh cache.
+    """
+    pool = _composition_pool()
+    for rects in pool[:50]:   # warmup: exclude cold-start noise
+        compose_components(rects, 16)
+    best = None
+    for _ in range(repeats):
+        cache = CompositionCache() if cached else None
+        start = time.perf_counter()
+        for k in range(ops):
+            compose_components(pool[k % len(pool)], 16, cache)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            best_cache = cache
+    out = {"ops_per_sec": ops / best, "seconds": best}
+    if cached:
+        out["hit_rate"] = best_cache.hit_rate
+    return out
+
+
+def bench_scaling_sweep(workers: Optional[int] = None) -> Dict[str, float]:
+    """Wall time of the scaling study (sizes 40/80/120, 3 trials)."""
+    from .experiments.scaling import run_scaling
+
+    start = time.perf_counter()
+    run_scaling(sizes=(40, 80, 120), trials=3, seed=5, workers=workers)
+    return {"seconds": time.perf_counter() - start}
+
+
+def bench_fault_sweep(workers: Optional[int] = None) -> Dict[str, float]:
+    """Wall time of the co-simulated fault study (2 counts x 2 seeds)."""
+    from .experiments.fault_study import run_fault_study
+
+    start = time.perf_counter()
+    run_fault_study(
+        crash_counts=(1, 2), seeds=(0, 1), post_slotframes=40,
+        workers=workers,
+    )
+    return {"seconds": time.perf_counter() - start}
+
+
+def run_benchmarks(
+    slotframes: int = 400,
+    include_sweeps: bool = True,
+    workers: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the full benchmark set and assemble the report dict."""
+    engine_fast = bench_engine(slotframes, event_skipping=True)
+    engine_slow = bench_engine(slotframes, event_skipping=False)
+    idle_fast = bench_engine(slotframes, event_skipping=True, rate=0.02)
+    idle_slow = bench_engine(slotframes, event_skipping=False, rate=0.02)
+    comp_cold = bench_composition(cached=False)
+    comp_cached = bench_composition(cached=True)
+
+    report: Dict[str, object] = {
+        "schema": 1,
+        "seed_baseline": dict(SEED_BASELINE),
+        "engine": {
+            "fast_path": engine_fast,
+            "slow_path": engine_slow,
+            "skip_speedup": (
+                engine_fast["slots_per_sec"] / engine_slow["slots_per_sec"]
+            ),
+        },
+        "engine_idle": {
+            "fast_path": idle_fast,
+            "slow_path": idle_slow,
+            "skip_speedup": (
+                idle_fast["slots_per_sec"] / idle_slow["slots_per_sec"]
+            ),
+        },
+        "composition": {
+            "uncached": comp_cold,
+            "cached": comp_cached,
+            "cache_speedup": (
+                comp_cached["ops_per_sec"] / comp_cold["ops_per_sec"]
+            ),
+        },
+        "speedup_vs_seed": {
+            "engine": (
+                engine_fast["slots_per_sec"]
+                / SEED_BASELINE["engine_slots_per_sec"]
+            ),
+            "engine_idle": (
+                idle_fast["slots_per_sec"]
+                / SEED_BASELINE["engine_idle_slots_per_sec"]
+            ),
+            "composition_uncached": (
+                comp_cold["ops_per_sec"]
+                / SEED_BASELINE["composition_ops_per_sec"]
+            ),
+            "composition_cached": (
+                comp_cached["ops_per_sec"]
+                / SEED_BASELINE["composition_ops_per_sec"]
+            ),
+        },
+    }
+    if include_sweeps:
+        scaling = bench_scaling_sweep(workers=workers)
+        fault = bench_fault_sweep(workers=workers)
+        report["sweeps"] = {"scaling": scaling, "fault_study": fault}
+        speedups = report["speedup_vs_seed"]
+        assert isinstance(speedups, dict)
+        speedups["scaling_sweep"] = (
+            SEED_BASELINE["scaling_sweep_seconds"] / scaling["seconds"]
+        )
+        speedups["fault_sweep"] = (
+            SEED_BASELINE["fault_sweep_seconds"] / fault["seconds"]
+        )
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a benchmark report."""
+    engine = report["engine"]
+    idle = report["engine_idle"]
+    comp = report["composition"]
+    lines = [
+        "benchmark                      result",
+        "-----------------------------  ----------------",
+        f"engine fast path               "
+        f"{engine['fast_path']['slots_per_sec']:>12,.0f} slots/s",
+        f"engine slow-path reference     "
+        f"{engine['slow_path']['slots_per_sec']:>12,.0f} slots/s",
+        f"event-skip speedup             {engine['skip_speedup']:>12.2f} x",
+        f"engine fast path (idle-heavy)  "
+        f"{idle['fast_path']['slots_per_sec']:>12,.0f} slots/s",
+        f"engine slow path (idle-heavy)  "
+        f"{idle['slow_path']['slots_per_sec']:>12,.0f} slots/s",
+        f"event-skip speedup (idle)      {idle['skip_speedup']:>12.2f} x",
+        f"composition uncached           "
+        f"{comp['uncached']['ops_per_sec']:>12,.0f} ops/s",
+        f"composition cached             "
+        f"{comp['cached']['ops_per_sec']:>12,.0f} ops/s",
+        f"cache speedup                  {comp['cache_speedup']:>12.2f} x",
+    ]
+    sweeps = report.get("sweeps")
+    if sweeps:
+        lines += [
+            f"scaling sweep                  "
+            f"{sweeps['scaling']['seconds']:>12.3f} s",
+            f"fault-study sweep              "
+            f"{sweeps['fault_study']['seconds']:>12.3f} s",
+        ]
+    lines.append("")
+    lines.append("speedup vs seed baseline (same workloads, reference box):")
+    for name, value in sorted(report["speedup_vs_seed"].items()):
+        lines.append(f"  {name:<28} {value:>8.2f} x")
+    return "\n".join(lines)

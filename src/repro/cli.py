@@ -26,6 +26,11 @@ Commands
     latency (detection, healing, delivery-ratio dip and recovery).
     ``--elastic-cells``/``--elastic-slotframes`` enable the elastic
     post-heal drain; ``--out`` exports the table as JSON.
+``bench [--slotframes N] [--no-sweeps] [--workers W] [--out FILE]``
+    Time the hot paths (engine slots/sec fast vs slow path, Algorithm-1
+    compositions/sec cold vs cached, sweep wall times) against the
+    tracked seed baseline; ``--out BENCH_perf.json`` records the
+    trajectory point.
 """
 
 from __future__ import annotations
@@ -238,6 +243,21 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import render_report, run_benchmarks, write_report
+
+    report = run_benchmarks(
+        slotframes=args.slotframes,
+        include_sweeps=not args.no_sweeps,
+        workers=args.workers,
+    )
+    print(render_report(report))
+    if args.out is not None:
+        write_report(report, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="HARP reproduction toolkit"
@@ -303,6 +323,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the study result as JSON to this file",
     )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "bench", help="performance benchmarks with tracked baseline"
+    )
+    p.add_argument(
+        "--slotframes", type=int, default=400,
+        help="engine-benchmark horizon in slotframes",
+    )
+    p.add_argument(
+        "--no-sweeps", action="store_true",
+        help="skip the (slower) scaling / fault-study sweep timings",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sweep benchmarks (default: cpu count)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the benchmark report as JSON (e.g. BENCH_perf.json)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

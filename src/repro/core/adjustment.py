@@ -36,6 +36,7 @@ from ..net.protocol.messages import PutInterface, PutPartition
 from ..net.protocol.transport import ManagementPlane
 from ..net.slotframe import SlotframeConfig
 from ..net.topology import Direction, TreeTopology
+from ..packing.composition import CompositionCache
 from ..packing.free_space import pack_with_obstacles
 from ..packing.geometry import PlacedRect, Rect
 from ..packing.rpp import can_pack
@@ -124,6 +125,7 @@ class PartitionAdjuster:
         allow_overflow: bool = False,
         eviction_policy: str = "closest",
         rng: Optional[random.Random] = None,
+        composition_cache: Optional[CompositionCache] = None,
     ) -> None:
         if eviction_policy not in self.EVICTION_POLICIES:
             raise ValueError(
@@ -139,6 +141,7 @@ class PartitionAdjuster:
         self.allow_overflow = allow_overflow
         self.eviction_policy = eviction_policy
         self.rng = rng or random.Random(0)
+        self.composition_cache = composition_cache
 
     # ------------------------------------------------------------------
     # entry point
@@ -255,6 +258,7 @@ class PartitionAdjuster:
             component = recompose_at(
                 self.topology, table, parent, layer,
                 self.config.num_channels, region_sizes,
+                cache=self.composition_cache,
             )
             comp_rect = component.to_rect()
             current = parent
@@ -535,6 +539,7 @@ class PartitionAdjuster:
             recompose_at(
                 self.topology, table, gateway, trigger_layer,
                 self.config.num_channels, region_sizes,
+                cache=self.composition_cache,
             )
 
         component = table.component(gateway, trigger_layer)

@@ -25,7 +25,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ..net.tasks import demands_by_parent
 from ..net.topology import Direction, LinkRef, TreeTopology
-from ..packing.composition import compose_components
+from ..packing.composition import CompositionCache, compose_components
 from ..packing.geometry import PlacedRect, Rect
 from .component import ResourceComponent, ResourceInterface
 
@@ -75,6 +75,7 @@ def generate_interfaces(
     direction: Direction,
     num_channels: int,
     case1_slack: int = 0,
+    cache: Optional[CompositionCache] = None,
 ) -> InterfaceTable:
     """Run the bottom-up interface-generation phase for one direction.
 
@@ -116,7 +117,7 @@ def generate_interfaces(
             child_rects = _child_component_rects(topology, table, node, layer)
             if not child_rects:
                 continue
-            composed = compose_components(child_rects, num_channels)
+            composed = compose_components(child_rects, num_channels, cache)
             interface.add(
                 ResourceComponent(
                     node, layer, composed.n_slots, composed.n_channels
@@ -138,6 +139,7 @@ def recompose_at(
     layer: int,
     num_channels: int,
     region_sizes: Optional[Mapping[int, Tuple[int, int]]] = None,
+    cache: Optional[CompositionCache] = None,
 ) -> ResourceComponent:
     """Re-run Algorithm 1 for ``node`` at ``layer`` using the currently
     stored child components, updating the table in place.
@@ -163,7 +165,7 @@ def recompose_at(
             else:
                 widened.append(rect)
         child_rects = widened
-    composed = compose_components(child_rects, num_channels)
+    composed = compose_components(child_rects, num_channels, cache)
     component = ResourceComponent(node, layer, composed.n_slots, composed.n_channels)
     if node not in table.interfaces:
         table.interfaces[node] = ResourceInterface(owner=node, direction=table.direction)

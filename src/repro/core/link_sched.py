@@ -18,6 +18,7 @@ integration tests and Fig. 11 verify.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -37,14 +38,38 @@ class ScheduleGenerationError(RuntimeError):
 
 def rate_monotonic_priority(task_set: TaskSet) -> PriorityFn:
     """RM priority: ascending minimum task period through the link
-    (higher-rate links first), ties broken by child id."""
+    (higher-rate links first), ties broken by child id.
+
+    The per-link minimum period is memoized per topology: one pass over
+    every task's routing path builds the whole link->period map, instead
+    of re-walking all paths for every link queried (the dominant cost of
+    schedule builds on large trees).  Topologies are treated as
+    immutable — the repo's mutation APIs always produce a *new*
+    TreeTopology — so the memo keys on object identity and keeps a
+    strong reference to guard against id reuse.
+    """
+    memo: "OrderedDict[int, Tuple[TreeTopology, Dict[LinkRef, float]]]" = (
+        OrderedDict()
+    )
+
+    def min_periods(topology: TreeTopology) -> Dict[LinkRef, float]:
+        entry = memo.get(id(topology))
+        if entry is not None and entry[0] is topology:
+            return entry[1]
+        table: Dict[LinkRef, float] = {}
+        for task in task_set:
+            period = task.period_slotframes
+            for link in TaskSet.links_of_task(topology, task):
+                best = table.get(link)
+                if best is None or period < best:
+                    table[link] = period
+        memo[id(topology)] = (topology, table)
+        while len(memo) > 4:   # heals/failovers retire old topologies
+            memo.popitem(last=False)
+        return table
 
     def priority(topology: TreeTopology, link: LinkRef) -> Tuple:
-        periods = [
-            t.period_slotframes
-            for t in task_set.tasks_through_link(topology, link)
-        ]
-        return (min(periods) if periods else math.inf, link.child)
+        return (min_periods(topology).get(link, math.inf), link.child)
 
     return priority
 

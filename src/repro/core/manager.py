@@ -26,6 +26,7 @@ from ..net.protocol.transport import ManagementPlane
 from ..net.slotframe import ConflictReport, Schedule, SlotframeConfig
 from ..net.tasks import TaskSet, demands_by_parent
 from ..net.topology import Direction, LinkRef, TreeTopology
+from ..packing.composition import CompositionCache
 from .adjustment import AdjustmentOutcome, PartitionAdjuster
 from .allocation import (
     AllocationReport,
@@ -122,6 +123,14 @@ class HarpNetwork:
         so the extra cells are free); keeps lossy links from building
         unbounded queues.  Default off so scheduler comparisons stay
         demand-for-demand fair.
+    composition_cache:
+        Memoization of Algorithm-1 compositions by child size multiset,
+        shared across the static phase, every dynamic adjustment and
+        :meth:`rebootstrap`.  Pass an existing
+        :class:`~repro.packing.composition.CompositionCache` to share it
+        wider (e.g. across the networks of a sweep), or ``None``
+        (default) for a private per-network cache.  Hit/miss counters
+        are exposed as ``network.composition_cache.stats()``.
     """
 
     def __init__(
@@ -137,6 +146,7 @@ class HarpNetwork:
         eviction_policy: str = "closest",
         interleave_cells: bool = False,
         compliant_ordering: bool = True,
+        composition_cache: Optional[CompositionCache] = None,
     ) -> None:
         self.topology = topology
         self.task_set = task_set
@@ -149,6 +159,10 @@ class HarpNetwork:
         self.eviction_policy = eviction_policy
         self.interleave_cells = interleave_cells
         self.compliant_ordering = compliant_ordering
+        self.composition_cache = (
+            composition_cache if composition_cache is not None
+            else CompositionCache()
+        )
 
         self.link_demands: Dict[LinkRef, int] = dict(
             task_set.link_demands(topology)
@@ -176,6 +190,7 @@ class HarpNetwork:
                 direction,
                 self.config.num_channels,
                 self.case1_slack,
+                cache=self.composition_cache,
             )
             self.tables[direction] = table
             report.post_intf_messages += table.post_intf_messages
@@ -207,6 +222,7 @@ class HarpNetwork:
             self._reschedule_node,
             self.allow_overflow,
             self.eviction_policy,
+            composition_cache=self.composition_cache,
         )
         self.static_report = report
         return report

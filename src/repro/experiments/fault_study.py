@@ -209,6 +209,26 @@ def run_single_fault(
     )
 
 
+def _fault_point(args) -> SingleFaultOutcome:
+    """One (crash set, seed) sweep point — a pure function of its
+    argument tuple (module-level so
+    :func:`~repro.experiments.runner.parallel_map` can pickle it)."""
+    (
+        topology, crash_nodes, config, seed, keepalive_miss_limit,
+        post_slotframes, elastic_drain_cells, elastic_drain_slotframes,
+    ) = args
+    return run_single_fault(
+        topology,
+        crash_nodes,
+        config=config,
+        seed=seed,
+        keepalive_miss_limit=keepalive_miss_limit,
+        post_slotframes=post_slotframes,
+        elastic_drain_cells=elastic_drain_cells,
+        elastic_drain_slotframes=elastic_drain_slotframes,
+    )
+
+
 def run_fault_study(
     crash_counts: Sequence[int] = (1, 2, 3),
     seeds: Sequence[int] = (0, 1, 2),
@@ -218,8 +238,17 @@ def run_fault_study(
     post_slotframes: int = 60,
     elastic_drain_cells: int = 0,
     elastic_drain_slotframes: int = 8,
+    workers: Optional[int] = None,
 ) -> FaultStudyResult:
-    """Sweep simultaneous crash counts and tabulate recovery latency."""
+    """Sweep simultaneous crash counts and tabulate recovery latency.
+
+    Every (crash count, seed) run is independent and internally seeded,
+    so the sweep goes through
+    :func:`~repro.experiments.runner.parallel_map`; results are
+    identical whatever the worker count (``workers=1`` = serial loop).
+    """
+    from .runner import parallel_map
+
     topology = topology or regular_tree(depth=3, fanout=2)
     config = config or FAULT_CONFIG
     candidates = crash_candidates(topology)
@@ -230,26 +259,26 @@ def run_fault_study(
         elastic_drain_slotframes=elastic_drain_slotframes,
     )
 
-    for count in crash_counts:
-        if count >= len(candidates):
-            # Crashing every router at that depth leaves no alternate;
-            # the fallback path (full re-bootstrap) is exercised by the
-            # tests, not the sweep.
-            result.skipped_counts.append(count)
-            continue
-        outcomes = [
-            run_single_fault(
-                topology,
-                candidates[:count],
-                config=config,
-                seed=seed,
-                keepalive_miss_limit=keepalive_miss_limit,
-                post_slotframes=post_slotframes,
-                elastic_drain_cells=elastic_drain_cells,
-                elastic_drain_slotframes=elastic_drain_slotframes,
-            )
-            for seed in seeds
-        ]
+    runnable = [c for c in crash_counts if c < len(candidates)]
+    result.skipped_counts.extend(
+        # Crashing every router at that depth leaves no alternate; the
+        # fallback path (full re-bootstrap) is exercised by the tests,
+        # not the sweep.
+        c for c in crash_counts if c >= len(candidates)
+    )
+    points = [
+        (
+            topology, candidates[:count], config, seed,
+            keepalive_miss_limit, post_slotframes,
+            elastic_drain_cells, elastic_drain_slotframes,
+        )
+        for count in runnable
+        for seed in seeds
+    ]
+    all_outcomes = parallel_map(_fault_point, points, workers=workers)
+
+    for i, count in enumerate(runnable):
+        outcomes = all_outcomes[i * len(seeds):(i + 1) * len(seeds)]
         recovers = [
             o.recover_slots for o in outcomes if o.recover_slots is not None
         ]

@@ -12,9 +12,54 @@ match the paper's (100 topologies, ~30-minute simulated runs).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
 
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: Optional[int] = None,
+) -> List[_R]:
+    """Order-preserving map over independent sweep points.
+
+    The sweeps this serves (per-seed fault runs, per-(size, trial)
+    scaling points) are pure functions of their argument tuple — every
+    RNG is seeded inside the point — so farming them to worker
+    processes yields results bitwise-identical to the serial loop, in
+    the same order (``executor.map`` preserves input order).
+
+    ``workers=None`` uses the CPU count; any resolution to <= 1 (or a
+    single item) runs the plain serial loop so single-core machines pay
+    no process overhead.  ``fn`` and the items must be picklable, which
+    is why the experiment modules define their trial functions at
+    module level.  If the platform cannot spawn workers (sandboxes
+    without semaphores), the map silently degrades to serial — the
+    functions are pure, so a retry from scratch is safe.
+    """
+    items = list(items)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError):
+        return [fn(item) for item in items]
+
+
+# parallel_map is defined above these imports on purpose: the experiment
+# modules import it lazily inside their sweep functions, and keeping the
+# definition first means `import repro.experiments.runner` is safe from
+# either direction.
 from .adjustment_overhead import run_fig12, run_table2
 from .collision_sweep import run_fig11a, run_fig11b
 from .dynamic_latency import run_fig10

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.manager import HarpNetwork
 from ..net.protocol.messages import PostInterface, ScheduleUpdate
@@ -73,53 +73,81 @@ def centralized_static_messages(
     return plane.stats.total_messages
 
 
+def _scaling_point(
+    args: Tuple[int, int, int, int],
+) -> Tuple[float, float, float, float]:
+    """One (size, trial) sweep point — a pure function of its argument
+    tuple (module-level so :func:`~repro.experiments.runner.parallel_map`
+    can pickle it to worker processes)."""
+    size, depth, trial, seed = args
+    config = SlotframeConfig(num_slots=max(199, 8 * size))
+    topology = layered_random_tree(
+        size, depth, random.Random(seed + size * 31 + trial)
+    )
+    tasks = e2e_task_per_node(topology, rate=1.0)
+
+    harp = HarpNetwork(
+        topology, tasks, config,
+        case1_slack=1, distribute_slack=True,
+    )
+    report = harp.allocate()
+    harp_static = float(report.total_messages)
+    central_static = float(centralized_static_messages(topology, config))
+
+    # One traffic change at the deepest populated layer.
+    deep_nodes = topology.nodes_at_depth(depth)
+    node = deep_nodes[trial % len(deep_nodes)]
+    parent = topology.parent_of(node)
+    layer = topology.depth_of(node)
+    table = harp.tables[Direction.UP]
+    current = (
+        table.component(parent, layer).n_slots
+        if table.has_component(parent, layer)
+        else 0
+    )
+    outcome = harp.adjuster.request_component_increase(
+        parent, layer, Direction.UP, current + 1
+    )
+    harp_adj = float(outcome.total_messages)
+    central_adj = float(APaSManager(topology, config).adjust(node).messages)
+    return harp_static, central_static, harp_adj, central_adj
+
+
 def run_scaling(
     sizes: Sequence[int] = (20, 40, 60, 80),
     depth_for: Optional[Dict[int, int]] = None,
     trials: int = 3,
     seed: int = 5,
+    workers: Optional[int] = None,
 ) -> ScalingResult:
     """Measure both managers across network sizes.
 
     ``depth_for`` maps device count to tree depth (default: ~size/10,
     at least 3), mirroring how real deployments deepen as they grow.
+    Sweep points run through
+    :func:`~repro.experiments.runner.parallel_map` (``workers=1``
+    forces the serial loop; results are identical either way).
     """
+    from .runner import parallel_map
+
     result = ScalingResult()
-    for size in sizes:
-        depth = (depth_for or {}).get(size, max(3, size // 10))
-        config = SlotframeConfig(num_slots=max(199, 8 * size))
+    points = [
+        (size, (depth_for or {}).get(size, max(3, size // 10)), trial, seed)
+        for size in sizes
+        for trial in range(trials)
+    ]
+    outcomes = parallel_map(_scaling_point, points, workers=workers)
+
+    for i, size in enumerate(sizes):
+        per_size = outcomes[i * trials:(i + 1) * trials]
+        # Sum trial results in trial order, exactly as the serial
+        # accumulation did, so the float means are bit-identical.
         harp_static = central_static = harp_adj = central_adj = 0.0
-        for trial in range(trials):
-            topology = layered_random_tree(
-                size, depth, random.Random(seed + size * 31 + trial)
-            )
-            tasks = e2e_task_per_node(topology, rate=1.0)
-
-            harp = HarpNetwork(
-                topology, tasks, config,
-                case1_slack=1, distribute_slack=True,
-            )
-            report = harp.allocate()
-            harp_static += report.total_messages
-            central_static += centralized_static_messages(topology, config)
-
-            # One traffic change at the deepest populated layer.
-            deep_nodes = topology.nodes_at_depth(depth)
-            node = deep_nodes[trial % len(deep_nodes)]
-            parent = topology.parent_of(node)
-            layer = topology.depth_of(node)
-            table = harp.tables[Direction.UP]
-            current = (
-                table.component(parent, layer).n_slots
-                if table.has_component(parent, layer)
-                else 0
-            )
-            outcome = harp.adjuster.request_component_increase(
-                parent, layer, Direction.UP, current + 1
-            )
-            harp_adj += outcome.total_messages
-            central_adj += APaSManager(topology, config).adjust(node).messages
-
+        for hs, cs, ha, ca in per_size:
+            harp_static += hs
+            central_static += cs
+            harp_adj += ha
+            central_adj += ca
         result.sizes.append(size)
         result.harp_static.append(harp_static / trials)
         result.central_static.append(central_static / trials)

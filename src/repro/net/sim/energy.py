@@ -155,6 +155,16 @@ class EnergyTracker:
             else:
                 energy.sleep_slots += 1
 
+    def account_sleep_slots(self, all_nodes, count: int) -> None:
+        """Charge every node for ``count`` consecutive all-sleep slots.
+
+        Exactly equivalent to ``count`` calls of :meth:`account_slot`
+        with empty activity sets; lets the event-skipping engine charge
+        a jumped idle stretch in one call.
+        """
+        for node in all_nodes:
+            self._node(node).sleep_slots += count
+
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------

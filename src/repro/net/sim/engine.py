@@ -19,14 +19,26 @@ The engine supports runtime mutation — task-rate changes and schedule
 replacement — which the dynamic experiments (Fig. 10, Table II) use to
 model traffic changes plus the adjustment delay reported by the
 management plane.
+
+Performance: the engine is *event-skipping*.  ``run_slots`` advances
+slot by slot only through slots where something can happen — an
+occupied cell with traffic queued, a task generation, a fault event, a
+packet-lifetime expiry — and jumps over idle stretches in bulk while
+keeping metrics and energy accounting slot-exact (skipped slots are
+sleep slots by construction).  Set ``event_skipping=False`` to force
+the slot-by-slot reference path; both paths produce bit-identical
+results (see ``tests/net/test_engine_fastpath.py``).
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import random
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..radio import LossModel, PerfectRadio
 from ..slotframe import Cell, Schedule, SlotframeConfig
@@ -50,6 +62,9 @@ class Packet:
     echo: bool
 
     current_node: int = field(default=-1)
+    #: Whether the packet currently sits in some node's queue (maintained
+    #: by the engine; lets the TTL heap validate lazily-deleted entries).
+    in_queue: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.current_node == -1:
@@ -62,11 +77,8 @@ class _TaskState:
 
     task: Task
     next_generation: float
+    period_slots: float
     next_seq: int = 0
-
-    @property
-    def period_slots(self) -> float:
-        return 1.0  # overwritten below; kept for dataclass symmetry
 
 
 class TSCHSimulator:
@@ -98,6 +110,10 @@ class TSCHSimulator:
         flushed at crash time and counted as ``fault_drops``), and a
         collapsed link's PDR is capped for the window.  Management-loss
         bursts are consumed by the live co-simulation layer, not here.
+    event_skipping:
+        When True (default) ``run_slots`` jumps over provably idle
+        slots in bulk; when False every slot is stepped individually
+        (the slow reference path).  Both produce identical results.
     """
 
     def __init__(
@@ -111,6 +127,7 @@ class TSCHSimulator:
         queue_capacity: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         max_packet_age_slots: Optional[int] = None,
+        event_skipping: bool = True,
     ) -> None:
         if max_packet_age_slots is not None and max_packet_age_slots < 1:
             raise ValueError(
@@ -123,7 +140,7 @@ class TSCHSimulator:
         self.rng = rng or random.Random(0)
         self.queue_capacity = queue_capacity
         self.max_packet_age_slots = max_packet_age_slots
-        self.fault_plan = fault_plan or FaultPlan()
+        self.event_skipping = event_skipping
         self.metrics = MetricsCollector(config)
         self.current_slot = 0
         self.traffic_enabled = True
@@ -141,20 +158,50 @@ class TSCHSimulator:
         self._downlink_q: Dict[int, Deque[Packet]] = {
             n: deque() for n in topology.nodes
         }
+        #: Packets currently queued anywhere (kept exact so the fast
+        #: path can prove occupied slots idle when the network is empty).
+        self._queued_total = 0
         self._tasks: Dict[int, _TaskState] = {}
+        #: node -> number of registered tasks sourced there (the fast
+        #: path steps slot-by-slot while a task source is crashed, to
+        #: reproduce the per-slot generation-phase bump exactly).
+        self._task_sources: Dict[int, int] = {}
+        #: Min-heap of (wake_slot, task_id): the next integer slot at
+        #: which each task may generate.  Entries are lazily validated
+        #: (stale ones re-arm from the task's authoritative state).
+        self._gen_heap: List[Tuple[int, int]] = []
         for task in task_set:
-            self._tasks[task.task_id] = _TaskState(
-                task=task, next_generation=0.0
-            )
-        # Cache: slot-in-frame -> [(cell, link), ...] for fast stepping.
+            self._register_task(task, next_generation=0.0)
+        #: Min-heap of (expiry_slot, serial, packet) for packet-lifetime
+        #: enforcement; entries for already-delivered/dropped packets are
+        #: skipped via ``Packet.in_queue`` (lazy deletion).
+        self._ttl_heap: List[Tuple[int, int, Packet]] = []
+        self._ttl_serial = 0
+        # Cache: slot-in-frame -> [(cell, link), ...], pre-sorted in
+        # deterministic (cell, child) dispatch order.
         self._slot_index: Dict[int, List[Tuple[Cell, LinkRef]]] = {}
+        self._occupied_frame_slots: List[int] = []
         self._rebuild_slot_index()
         # Downlink routing: (current, destination) -> child next hop.
         self._next_hop_cache: Dict[Tuple[int, int], int] = {}
+        # Sorted slots at which the fault plan changes engine state.
+        self.fault_plan = fault_plan or FaultPlan()
 
     # ------------------------------------------------------------------
     # runtime mutation
     # ------------------------------------------------------------------
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        return self._fault_plan
+
+    @fault_plan.setter
+    def fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Install a fault plan (the live layer swaps plans mid-run);
+        re-derives the sorted crash/recovery event slots the fast path
+        must not skip over."""
+        self._fault_plan = plan or FaultPlan()
+        self._fault_event_slots = self._fault_plan.engine_event_slots()
 
     def set_schedule(self, schedule: Schedule) -> None:
         """Replace the active schedule (takes effect next slot)."""
@@ -174,27 +221,49 @@ class TSCHSimulator:
             self._uplink_q.setdefault(node, deque())
             self._downlink_q.setdefault(node, deque())
 
+    def _register_task(self, task: Task, next_generation: float) -> None:
+        self._tasks[task.task_id] = _TaskState(
+            task=task,
+            next_generation=next_generation,
+            period_slots=self.config.num_slots / task.rate,
+        )
+        self._task_sources[task.source] = (
+            self._task_sources.get(task.source, 0) + 1
+        )
+        heapq.heappush(
+            self._gen_heap,
+            (max(0, math.ceil(next_generation)), task.task_id),
+        )
+
     def add_task(self, task: Task) -> None:
         """Register a task at runtime (a membership join or a recovered
         node rejoining); generation starts from the current slot."""
         if task.task_id in self._tasks:
             raise ValueError(f"task {task.task_id} already registered")
-        self._tasks[task.task_id] = _TaskState(
-            task=task, next_generation=float(self.current_slot)
-        )
+        self._register_task(task, next_generation=float(self.current_slot))
 
     def remove_task(self, task_id: int) -> int:
         """Stop a task and purge its in-flight packets (a crashed
         source); returns the number of packets destroyed."""
-        self._tasks.pop(task_id, None)
+        state = self._tasks.pop(task_id, None)
+        if state is not None:
+            count = self._task_sources.get(state.task.source, 0) - 1
+            if count <= 0:
+                self._task_sources.pop(state.task.source, None)
+            else:
+                self._task_sources[state.task.source] = count
         purged = 0
         for queues in (self._uplink_q, self._downlink_q):
             for node, queue in queues.items():
                 keep = [p for p in queue if p.task_id != task_id]
                 purged += len(queue) - len(keep)
                 if len(keep) != len(queue):
+                    for packet in queue:
+                        if packet.task_id == task_id:
+                            packet.in_queue = False
                     queue.clear()
                     queue.extend(keep)
+        self._queued_total -= purged
         self.metrics.fault_drops += purged
         self.metrics.dropped += purged
         return purged
@@ -207,29 +276,115 @@ class TSCHSimulator:
         from dataclasses import replace as dc_replace
 
         state.task = dc_replace(state.task, rate=rate)
+        state.period_slots = self.config.num_slots / rate
         # Next generation keeps its phase; subsequent gaps use the new
         # period.
         state.next_generation = max(state.next_generation, float(self.current_slot))
+        heapq.heappush(
+            self._gen_heap,
+            (math.ceil(state.next_generation), task_id),
+        )
 
     def _rebuild_slot_index(self) -> None:
         self._slot_index = {}
         for link in self.schedule.links:
             for cell in self.schedule.cells_of(link):
                 self._slot_index.setdefault(cell.slot, []).append((cell, link))
+        # Pre-sort each slot's dispatch list once instead of on every
+        # transmission step, and keep the occupied slots sorted for the
+        # fast path's next-event search.
+        for entries in self._slot_index.values():
+            entries.sort(key=lambda e: (e[0], e[1].child))
+        self._occupied_frame_slots = sorted(self._slot_index)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
 
     def run_slots(self, num_slots: int) -> MetricsCollector:
-        """Advance the simulation by ``num_slots`` slots."""
-        for _ in range(num_slots):
-            self._step()
+        """Advance the simulation by ``num_slots`` slots.
+
+        With ``event_skipping`` (the default) idle stretches are jumped
+        in bulk; the observable outcome is identical to stepping every
+        slot, including per-slot energy accounting.
+        """
+        end = self.current_slot + num_slots
+        if not self.event_skipping:
+            while self.current_slot < end:
+                self._step()
+            return self.metrics
+        while self.current_slot < end:
+            nxt = self._next_event_slot(end)
+            if nxt > self.current_slot:
+                self._skip_slots(nxt - self.current_slot)
+            else:
+                self._step()
         return self.metrics
 
     def run_slotframes(self, num_slotframes: int) -> MetricsCollector:
         """Advance by whole slotframes."""
         return self.run_slots(num_slotframes * self.config.num_slots)
+
+    def _next_event_slot(self, end: int) -> int:
+        """Earliest slot in ``[current_slot, end)`` that needs full
+        processing (``end`` when the rest of the window is idle).
+
+        A slot must be processed when any of these may fire:
+
+        * a crash/recovery event of the fault plan,
+        * a task generation (integer ceiling of the earliest due time),
+        * a packet-lifetime expiry,
+        * an occupied cell *while traffic is queued* — or, when an
+          energy tracker is attached, any occupied cell at all, since a
+          scheduled-but-silent cell still charges its receiver for idle
+          listening.
+
+        While a registered task's source is crashed the engine refuses
+        to skip: the reference path re-phases such tasks every slot and
+        the fast path must reproduce that bookkeeping exactly.
+        """
+        cur = self.current_slot
+        if self.down_nodes and not self.down_nodes.isdisjoint(
+            self._task_sources
+        ):
+            return cur
+        nxt = end
+        if self._fault_event_slots:
+            i = bisect_left(self._fault_event_slots, cur)
+            if i < len(self._fault_event_slots):
+                nxt = min(nxt, self._fault_event_slots[i])
+        if self.traffic_enabled and self._gen_heap:
+            nxt = min(nxt, self._gen_heap[0][0])
+        if self._ttl_heap:
+            nxt = min(nxt, self._ttl_heap[0][0])
+        if self._queued_total > 0 or self.energy is not None:
+            occ = self._next_occupied_slot(cur)
+            if occ is not None:
+                nxt = min(nxt, occ)
+        return max(cur, min(nxt, end))
+
+    def _next_occupied_slot(self, slot: int) -> Optional[int]:
+        """Absolute slot >= ``slot`` whose frame slot has scheduled
+        cells (``None`` for an empty schedule)."""
+        occupied = self._occupied_frame_slots
+        if not occupied:
+            return None
+        num_slots = self.config.num_slots
+        frame_slot = slot % num_slots
+        i = bisect_left(occupied, frame_slot)
+        if i < len(occupied):
+            return slot - frame_slot + occupied[i]
+        return slot - frame_slot + num_slots + occupied[0]
+
+    def _skip_slots(self, count: int) -> None:
+        """Advance ``count`` provably idle slots at once.
+
+        Nothing observable happens in a skipped slot except that every
+        node sleeps, so the only accounting is the bulk sleep charge.
+        """
+        if self.energy is not None:
+            self.energy.account_sleep_slots(self.topology.nodes, count)
+        self.current_slot += count
 
     def _step(self) -> None:
         self._apply_fault_events()
@@ -243,22 +398,30 @@ class TSCHSimulator:
         ``max_packet_age_slots`` are dropped, as a real stack's
         time-to-live would.  The bound is inclusive — a packet at the
         lifetime edge still needs at least one slot per remaining hop,
-        so transmitting it would only waste cells downstream."""
-        if self.max_packet_age_slots is None:
-            return
-        horizon = self.current_slot - self.max_packet_age_slots
-        if horizon < 0:
+        so transmitting it would only waste cells downstream.
+
+        The expiry slot of a packet is fixed at creation (hops and the
+        gateway echo preserve ``created_slot``), so a min-heap ordered
+        by expiry replaces the full queue scan; entries whose packet
+        already left the network are dropped lazily.
+        """
+        heap = self._ttl_heap
+        if not heap or heap[0][0] > self.current_slot:
             return
         expired = 0
-        for queues in (self._uplink_q, self._downlink_q):
-            for queue in queues.values():
-                if not queue:
-                    continue
-                keep = [p for p in queue if p.created_slot > horizon]
-                expired += len(queue) - len(keep)
-                if len(keep) != len(queue):
-                    queue.clear()
-                    queue.extend(keep)
+        while heap and heap[0][0] <= self.current_slot:
+            _, _, packet = heapq.heappop(heap)
+            if not packet.in_queue:
+                continue
+            queue = (
+                self._uplink_q[packet.current_node]
+                if packet.direction is Direction.UP
+                else self._downlink_q[packet.current_node]
+            )
+            queue.remove(packet)
+            packet.in_queue = False
+            self._queued_total -= 1
+            expired += 1
         self.metrics.expired_drops += expired
         self.metrics.dropped += expired
 
@@ -281,8 +444,11 @@ class TSCHSimulator:
         for queues in (self._uplink_q, self._downlink_q):
             queue = queues.get(node)
             if queue:
+                for packet in queue:
+                    packet.in_queue = False
                 lost += len(queue)
                 queue.clear()
+        self._queued_total -= lost
         self.metrics.fault_drops += lost
         self.metrics.dropped += lost
 
@@ -298,37 +464,67 @@ class TSCHSimulator:
     def enable_traffic(self) -> None:
         """Resume packet generation from the current slot."""
         self.traffic_enabled = True
-        for state in self._tasks.values():
+        for task_id, state in self._tasks.items():
             state.next_generation = max(
                 state.next_generation, float(self.current_slot)
+            )
+            heapq.heappush(
+                self._gen_heap,
+                (math.ceil(state.next_generation), task_id),
             )
 
     def _generate_packets(self) -> None:
         if not self.traffic_enabled:
             return
-        for state in self._tasks.values():
+        heap = self._gen_heap
+        cur = self.current_slot
+        while heap and heap[0][0] <= cur:
+            _, task_id = heapq.heappop(heap)
+            state = self._tasks.get(task_id)
+            if state is None:
+                continue  # task removed; stale heap entry
             if state.task.source in self.down_nodes:
                 # A crashed source generates nothing; its phase resumes
                 # from the recovery slot if it ever comes back.
                 state.next_generation = max(
-                    state.next_generation, float(self.current_slot + 1)
+                    state.next_generation, float(cur + 1)
+                )
+                heapq.heappush(heap, (cur + 1, task_id))
+                continue
+            if state.next_generation > cur:
+                # Stale entry (e.g. a rate change re-armed the task):
+                # re-file at the authoritative wake slot.
+                heapq.heappush(
+                    heap, (math.ceil(state.next_generation), task_id)
                 )
                 continue
-            period = self.config.num_slots / state.task.rate
-            while state.next_generation <= self.current_slot:
+            while state.next_generation <= cur:
                 packet = Packet(
                     task_id=state.task.task_id,
                     seq=state.next_seq,
                     source=state.task.source,
                     destination=state.task.downlink_target,
                     direction=Direction.UP,
-                    created_slot=self.current_slot,
+                    created_slot=cur,
                     echo=state.task.echo,
                 )
                 state.next_seq += 1
-                state.next_generation += period
-                self.metrics.record_generation(self.current_slot)
+                state.next_generation += state.period_slots
+                self.metrics.record_generation(cur)
+                if self.max_packet_age_slots is not None:
+                    self._ttl_serial += 1
+                    heapq.heappush(
+                        self._ttl_heap,
+                        (
+                            cur + self.max_packet_age_slots,
+                            self._ttl_serial,
+                            packet,
+                        ),
+                    )
                 self._enqueue(packet, state.task.source, Direction.UP)
+            heapq.heappush(
+                heap, (math.ceil(state.next_generation), task_id)
+            )
 
     def _enqueue(self, packet: Packet, node: int, direction: Direction) -> None:
         queue = (
@@ -340,11 +536,14 @@ class TSCHSimulator:
             self.queue_capacity is not None
             and len(queue) >= self.queue_capacity
         ):
+            packet.in_queue = False
             self.metrics.dropped += 1
             return
         packet.current_node = node
         packet.direction = direction
+        packet.in_queue = True
         queue.append(packet)
+        self._queued_total += 1
         depth = len(queue)
         if depth > self.metrics.max_queue_depth.get(node, 0):
             self.metrics.max_queue_depth[node] = depth
@@ -364,10 +563,11 @@ class TSCHSimulator:
             return
 
         # Gather attempts: (cell, link, packet) for links whose sender
-        # has an eligible packet.
+        # has an eligible packet.  Entries are pre-sorted in dispatch
+        # order by _rebuild_slot_index.
         attempts: List[Tuple[Cell, LinkRef, Packet]] = []
-        claimed: Dict[int, List[int]] = {}  # packet id -> guard vs double-claim
-        for cell, link in sorted(entries, key=lambda e: (e[0], e[1].child)):
+        claimed: Set[int] = set()  # packet ids, guard vs double-claim
+        for cell, link in entries:
             if (
                 self.down_nodes
                 and link.sender(self.topology) in self.down_nodes
@@ -376,7 +576,7 @@ class TSCHSimulator:
             packet = self._eligible_packet(link, claimed)
             if packet is not None:
                 attempts.append((cell, link, packet))
-                claimed.setdefault(id(packet), []).append(1)
+                claimed.add(id(packet))
 
         if self.energy is not None:
             transmitters = {
@@ -474,7 +674,7 @@ class TSCHSimulator:
             )
 
     def _eligible_packet(
-        self, link: LinkRef, claimed: Dict[int, List[int]]
+        self, link: LinkRef, claimed: Set[int]
     ) -> Optional[Packet]:
         """Head-of-line packet the sender would transmit on ``link``."""
         sender = link.sender(self.topology)
@@ -515,6 +715,8 @@ class TSCHSimulator:
             else self._downlink_q[sender]
         )
         queue.remove(packet)
+        packet.in_queue = False
+        self._queued_total -= 1
 
         if link.direction is Direction.UP:
             if receiver == self.topology.gateway_id:

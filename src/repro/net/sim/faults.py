@@ -213,6 +213,22 @@ class FaultPlan:
                 loss = max(loss, burst.loss)
         return loss
 
+    def engine_event_slots(self) -> List[int]:
+        """Sorted slots at which the *data-plane* engine's state changes
+        (crashes and recoveries).
+
+        Link collapses and management bursts are stateless windows
+        queried at transmission time, so they impose no wake-ups of
+        their own; the event-skipping engine must only refuse to jump
+        over the slots returned here.
+        """
+        slots = set()
+        for crash in self.crashes:
+            slots.add(crash.at_slot)
+            if crash.recover_slot is not None:
+                slots.add(crash.recover_slot)
+        return sorted(slots)
+
     def last_event_slot(self) -> int:
         """The latest slot any event of the plan touches."""
         bounds = [0]

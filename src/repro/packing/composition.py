@@ -24,8 +24,9 @@ so callers can translate child placements directly into the slotframe.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .geometry import PlacedRect, Rect
 from .strip import PackingError, strip_pack
@@ -51,14 +52,124 @@ class CompositionResult:
         return list(self.layout.values())
 
 
+def _canonical_order(real: Sequence[Rect]) -> List[Rect]:
+    """Deterministic order aligning a component list with its size
+    multiset.
+
+    Rectangles of identical ``(width, height)`` are interchangeable to
+    the packer — every decision the two strip-packing passes make
+    depends only on dimensions, with ties broken by ``repr(tag)``, the
+    same tiebreak used here.  Sorting by size therefore maps the i-th
+    rect of one run onto the i-th rect of any run with the same size
+    multiset, which is what lets :class:`CompositionCache` replay a
+    stored layout onto fresh tags positionally.
+    """
+    return sorted(real, key=lambda r: (-r.height, -r.width, repr(r.tag)))
+
+
+class CompositionCache:
+    """Memoizes composition results across adjustments.
+
+    HARP re-runs Algorithm 1 for a node's resource components on every
+    partition adjustment, but an unchanged subtree presents the same
+    child-interface *sizes* again and again — and the packer's output is
+    a pure function of the size multiset plus the channel budget.  The
+    cache keys on exactly that: ``(num_channels, sorted (width, height)
+    multiset)``, storing placements positionally (aligned with
+    :func:`_canonical_order`) so a hit is replayed onto the current tags
+    without re-packing.  Cache-on and cache-off runs produce identical
+    layouts (see ``tests/packing/test_composition_cache.py``).
+
+    ``hits`` / ``misses`` counters make cache effectiveness observable
+    from the manager and the live agent layer.  ``max_entries`` bounds
+    memory (LRU eviction); ``None`` = unbounded.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, Tuple[int, int, List[Tuple[int, int]]]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters snapshot (for LiveStats / reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @staticmethod
+    def key(real: Sequence[Rect], num_channels: int, kind: str) -> Tuple:
+        """Canonical key: channel budget + size multiset (+ algorithm)."""
+        return (
+            kind,
+            num_channels,
+            tuple(sorted((r.width, r.height) for r in real)),
+        )
+
+    def lookup(
+        self, key: Tuple, real: Sequence[Rect]
+    ) -> Optional[CompositionResult]:
+        """Replay a stored layout onto the current tags, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        n_slots, n_channels, positions = entry
+        layout = {
+            rect.tag: PlacedRect(x, y, rect.width, rect.height, rect.tag)
+            for rect, (x, y) in zip(_canonical_order(real), positions)
+        }
+        return CompositionResult(n_slots, n_channels, layout)
+
+    def store(
+        self, key: Tuple, real: Sequence[Rect], result: CompositionResult
+    ) -> None:
+        positions = [
+            (result.layout[rect.tag].x, result.layout[rect.tag].y)
+            for rect in _canonical_order(real)
+        ]
+        self._entries[key] = (result.n_slots, result.n_channels, positions)
+        if (
+            self.max_entries is not None
+            and len(self._entries) > self.max_entries
+        ):
+            self._entries.popitem(last=False)
+
+
 def compose_components(
-    components: Sequence[Rect], num_channels: int
+    components: Sequence[Rect],
+    num_channels: int,
+    cache: Optional[CompositionCache] = None,
 ) -> CompositionResult:
     """Run Algorithm 1 over ``components`` with ``num_channels`` available.
 
     Each input rectangle is interpreted as ``width`` = slots,
     ``height`` = channels, and must carry a unique ``tag`` identifying the
-    child subtree it belongs to.
+    child subtree it belongs to.  With ``cache`` set, results are
+    memoized by the child size multiset (see :class:`CompositionCache`);
+    the returned layout is identical either way.
 
     Raises
     ------
@@ -84,6 +195,14 @@ def compose_components(
                 f"but only {num_channels} exist"
             )
 
+    key = None
+    if cache is not None:
+        key = CompositionCache.key(real, num_channels, "alg1")
+        hit = cache.lookup(key, real)
+        if hit is not None:
+            _fill_empty(hit.layout, components)
+            return hit
+
     # Pass 1: strip width = M channels, minimize slots.  Rectangles are
     # rotated so the slot extent becomes the strip height.
     pass1 = strip_pack([c.rotated() for c in real], width=num_channels)
@@ -103,16 +222,29 @@ def compose_components(
         }
         n_channels_used = max(p.y2 for p in layout.values())
 
+    result = CompositionResult(
+        n_slots=n_slots_min, n_channels=n_channels_used, layout=layout
+    )
+    if cache is not None:
+        cache.store(key, real, result)
+    _fill_empty(layout, components)
+    return result
+
+
+def _fill_empty(
+    layout: Dict[Hashable, PlacedRect], components: Sequence[Rect]
+) -> None:
+    """Empty components sit at the origin; they carry no cells, so they
+    stay outside the cached (size-multiset-keyed) part of the layout."""
     for comp in components:
         if comp.is_empty and comp.tag not in layout:
             layout[comp.tag] = comp.at(0, 0)
-    return CompositionResult(
-        n_slots=n_slots_min, n_channels=n_channels_used, layout=layout
-    )
 
 
 def compose_single_rectangle(
-    components: Sequence[Rect], num_channels: int
+    components: Sequence[Rect],
+    num_channels: int,
+    cache: Optional[CompositionCache] = None,
 ) -> CompositionResult:
     """Ablation baseline: compose *without* the layered interface design.
 
@@ -120,14 +252,28 @@ def compose_single_rectangle(
     stacked purely along the time axis (each child's full per-layer block
     occupies its own slot range), wasting the channel dimension.  Used by
     the ablation benchmark to quantify the benefit of Alg. 1.
+
+    Children are stacked in canonical (descending-size) order so the
+    layout, like Alg. 1's, is a pure function of the child size multiset
+    and shares :class:`CompositionCache`.
     """
     if num_channels <= 0:
         raise ValueError(f"num_channels must be positive, got {num_channels}")
     _check_tags(components)
+    real = [c for c in components if not c.is_empty]
+
+    key = None
+    if cache is not None and real:
+        key = CompositionCache.key(real, num_channels, "single")
+        hit = cache.lookup(key, real)
+        if hit is not None:
+            _fill_empty(hit.layout, components)
+            return hit
+
     layout: Dict[Hashable, PlacedRect] = {}
     cursor = 0
     height = 0
-    for comp in sorted(components, key=lambda c: repr(c.tag)):
+    for comp in _canonical_order(real):
         if comp.height > num_channels:
             raise PackingError(
                 f"component {comp.tag!r} needs {comp.height} channels "
@@ -136,7 +282,13 @@ def compose_single_rectangle(
         layout[comp.tag] = comp.at(cursor, 0)
         cursor += comp.width
         height = max(height, comp.height)
-    return CompositionResult(n_slots=cursor, n_channels=height, layout=layout)
+    result = CompositionResult(
+        n_slots=cursor, n_channels=height, layout=layout
+    )
+    if cache is not None and key is not None:
+        cache.store(key, real, result)
+    _fill_empty(layout, components)
+    return result
 
 
 def _check_tags(components: Sequence[Rect]) -> None:

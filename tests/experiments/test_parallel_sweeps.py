@@ -1,0 +1,39 @@
+"""Parallel experiment sweeps must be bitwise-identical to serial runs:
+each sweep point is seeded independently and results are reduced in
+submission order, so worker count can never change the science."""
+
+from repro.experiments.fault_study import run_fault_study
+from repro.experiments.runner import parallel_map
+from repro.experiments.scaling import run_scaling
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=2) == [
+            x * x for x in items
+        ]
+
+    def test_serial_fallback_for_one_worker(self):
+        items = [3, 1, 2]
+        assert parallel_map(_square, items, workers=1) == [9, 1, 4]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+class TestSweepDeterminism:
+    def test_scaling_identical_across_worker_counts(self):
+        serial = run_scaling(sizes=(20, 40), trials=2, seed=5, workers=1)
+        parallel = run_scaling(sizes=(20, 40), trials=2, seed=5, workers=2)
+        assert serial.__dict__ == parallel.__dict__
+
+    def test_fault_study_identical_across_worker_counts(self):
+        kwargs = dict(crash_counts=(1, 2), seeds=(0, 1), post_slotframes=30)
+        serial = run_fault_study(workers=1, **kwargs)
+        parallel = run_fault_study(workers=2, **kwargs)
+        assert serial.to_dict() == parallel.to_dict()

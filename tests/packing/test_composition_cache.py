@@ -1,0 +1,195 @@
+"""CompositionCache: hits replay the exact layout a cold pack would
+produce — cache-on and cache-off are observationally identical, from a
+single compose call up to a full HarpNetwork bootstrap + adjustment."""
+
+import random
+
+import pytest
+
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import Direction, layered_random_tree
+from repro.packing.composition import (
+    CompositionCache,
+    compose_components,
+    compose_single_rectangle,
+)
+from repro.packing.geometry import Rect
+
+
+class NullCache(CompositionCache):
+    """Counts lookups like the real cache but never stores or hits —
+    the cache-off control with identical plumbing."""
+
+    def lookup(self, key, real):
+        self.misses += 1
+        return None
+
+    def store(self, key, real, result):
+        pass
+
+
+def random_components(rng, count=None):
+    count = count if count is not None else rng.randint(2, 8)
+    return [
+        Rect(rng.randint(1, 12), rng.randint(1, 3), ("c", i))
+        for i in range(count)
+    ]
+
+
+def layout_snapshot(result):
+    return (
+        result.n_slots,
+        result.n_channels,
+        {tag: (p.x, p.y, p.width, p.height) for tag, p in result.layout.items()},
+    )
+
+
+class TestCacheEquivalence:
+    def test_hit_replays_cold_layout_exactly(self):
+        rng = random.Random(3)
+        cache = CompositionCache()
+        for _ in range(100):
+            comps = random_components(rng)
+            cold = compose_components(comps, 16)
+            warm = compose_components(comps, 16, cache)
+            assert layout_snapshot(warm) == layout_snapshot(cold)
+
+    def test_repeat_calls_hit_and_stay_identical(self):
+        rng = random.Random(5)
+        cache = CompositionCache()
+        comps = random_components(rng, count=6)
+        first = compose_components(comps, 16, cache)
+        assert cache.misses == 1
+        second = compose_components(comps, 16, cache)
+        assert cache.hits == 1
+        assert layout_snapshot(first) == layout_snapshot(second)
+
+    def test_fresh_tags_same_sizes_replayed_positionally(self):
+        """A hit keyed by the size multiset must map placements onto the
+        *current* tags, whatever they are."""
+        cache = CompositionCache()
+        sizes = [(5, 2), (3, 1), (5, 2), (2, 3)]
+        a = [Rect(w, h, ("a", i)) for i, (w, h) in enumerate(sizes)]
+        b = [Rect(w, h, ("b", i)) for i, (w, h) in enumerate(reversed(sizes))]
+        ra = compose_components(a, 16, cache)
+        rb = compose_components(b, 16, cache)
+        assert cache.hits == 1
+        assert set(ra.layout) == {r.tag for r in a}
+        assert set(rb.layout) == {r.tag for r in b}
+        # Same size multiset -> same composite and same placement
+        # multiset, just attached to different tags.
+        assert (ra.n_slots, ra.n_channels) == (rb.n_slots, rb.n_channels)
+        placements = lambda r: sorted(
+            (p.x, p.y, p.width, p.height) for p in r.layout.values()
+        )
+        assert placements(ra) == placements(rb)
+        # And rb is exactly what a cold pack of b would produce.
+        assert layout_snapshot(rb) == layout_snapshot(
+            compose_components(b, 16)
+        )
+
+    def test_channel_budget_is_part_of_the_key(self):
+        cache = CompositionCache()
+        comps = [Rect(2, 1, i) for i in range(4)]
+        wide = compose_components(comps, 16, cache)
+        narrow = compose_components(comps, 2, cache)
+        assert cache.hits == 0
+        assert wide.n_channels == 4
+        assert narrow.n_channels == 2
+
+    def test_single_rectangle_cached_separately(self):
+        """Alg-1 and the single-rectangle ablation share the cache but
+        never each other's entries."""
+        cache = CompositionCache()
+        comps = [Rect(4, 2, "a"), Rect(3, 1, "b")]
+        alg1 = compose_components(comps, 16, cache)
+        single = compose_single_rectangle(comps, 16, cache)
+        assert cache.hits == 0 and cache.misses == 2
+        assert single.n_slots == 7  # pure time-axis stacking
+        assert alg1.n_slots <= single.n_slots
+        again = compose_single_rectangle(comps, 16, cache)
+        assert cache.hits == 1
+        assert layout_snapshot(again) == layout_snapshot(single)
+
+    def test_empty_components_stay_out_of_the_key(self):
+        cache = CompositionCache()
+        real = [Rect(4, 2, "a"), Rect(3, 1, "b")]
+        with_empty = real + [Rect(0, 0, "ghost")]
+        r1 = compose_components(real, 16, cache)
+        r2 = compose_components(with_empty, 16, cache)
+        assert cache.hits == 1
+        assert r2.layout["ghost"].is_empty
+        assert {t: p for t, p in r2.layout.items() if t != "ghost"} == r1.layout
+
+
+class TestCacheBookkeeping:
+    def test_lru_bound_evicts_oldest(self):
+        cache = CompositionCache(max_entries=2)
+        sets = [[Rect(w, 1, "x")] for w in (3, 4, 5)]
+        for comps in sets:
+            compose_components(comps, 16, cache)
+        assert len(cache) == 2
+        compose_components(sets[0], 16, cache)  # evicted -> miss again
+        assert cache.hits == 0 and cache.misses == 4
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            CompositionCache(max_entries=0)
+
+    def test_stats_snapshot(self):
+        cache = CompositionCache()
+        comps = [Rect(3, 1, "a")]
+        compose_components(comps, 16, cache)
+        compose_components(comps, 16, cache)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5 and stats["entries"] == 1
+
+
+class TestNetworkLevelEquivalence:
+    def build(self, cache):
+        topology = layered_random_tree(40, 4, random.Random(17))
+        config = SlotframeConfig(num_slots=331)
+        tasks = e2e_task_per_node(topology, rate=1.0)
+        network = HarpNetwork(
+            topology, tasks, config,
+            case1_slack=1, distribute_slack=True,
+            composition_cache=cache,
+        )
+        network.allocate()
+        return topology, network
+
+    @staticmethod
+    def schedule_snapshot(network):
+        sched = network.schedule
+        return {
+            link: sorted(sched.cells_of(link))
+            for link in sched.links
+        }
+
+    def test_cache_on_vs_off_identical_network(self):
+        """Full bootstrap + one escalating adjustment: the memoized run
+        must produce the same partition tree and cell schedule as the
+        cache-off control, while actually hitting the cache."""
+        topo_on, net_on = self.build(CompositionCache())
+        topo_off, net_off = self.build(NullCache())
+        assert net_on.composition_cache.hits > 0
+        assert net_off.composition_cache.hits == 0
+        assert self.schedule_snapshot(net_on) == self.schedule_snapshot(
+            net_off
+        )
+
+        for topology, network in ((topo_on, net_on), (topo_off, net_off)):
+            node = topology.nodes_at_depth(4)[0]
+            parent = topology.parent_of(node)
+            layer = topology.depth_of(node)
+            table = network.tables[Direction.UP]
+            current = table.component(parent, layer).n_slots
+            network.adjuster.request_component_increase(
+                parent, layer, Direction.UP, current + 1
+            )
+        assert self.schedule_snapshot(net_on) == self.schedule_snapshot(
+            net_off
+        )
