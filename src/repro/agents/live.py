@@ -861,9 +861,16 @@ class LiveHarpNetwork:
 
     def _choose_standby(self) -> Optional[int]:
         """The failover root: the configured standby while it lives,
-        else the surviving depth-1 router whose subtree sources the most
-        demand (ties to the lowest id); ``None`` when no depth-1 node
-        survives."""
+        else the surviving depth-1 router elected by re-root look-ahead.
+
+        The election simulates the re-root for every candidate and
+        picks the one minimizing the total depth of the re-rooted tree
+        (the sum of every survivor's hop count, which bounds both the
+        rebuilt schedule's size and post-failover latency: re-rooting
+        at ``n`` lifts ``n``'s own subtree one layer while its former
+        siblings keep their depth).  Ties break to the candidate whose
+        subtree sources the most demand, then to the lowest id.
+        Returns ``None`` when no depth-1 node survives."""
         if (
             self.standby_gateway is not None
             and self.standby_gateway in self.topology
@@ -877,16 +884,23 @@ class LiveHarpNetwork:
         ]
         if not candidates:
             return None
-        return max(
+        return min(
             candidates,
             key=lambda n: (
-                sum(
+                self._rerooted_depth_cost(n),
+                -sum(
                     self._subtree_demand(n, direction)
                     for direction in (Direction.UP, Direction.DOWN)
                 ),
-                -n,
+                n,
             ),
         )
+
+    def _rerooted_depth_cost(self, candidate: int) -> int:
+        """Look-ahead: total node depth of the tree re-rooted at
+        ``candidate`` (smaller = shallower network after failover)."""
+        rerooted = self.topology.rerooted(candidate)
+        return sum(rerooted.depth_of(n) for n in rerooted.nodes)
 
     def _gateway_failover(self, condemned: List[int]) -> None:
         """The gateway itself was condemned: the standby takes over as

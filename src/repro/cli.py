@@ -31,6 +31,12 @@ Commands
     compositions/sec cold vs cached, sweep wall times) against the
     tracked seed baseline; ``--out BENCH_perf.json`` records the
     trajectory point.
+``fuzz [--cases N] [--seed S] [--budget SECONDS] [--out FILE]``
+    Conformance fuzzing: generated scenarios through every invariant
+    and differential oracle; failing cases are shrunk and written to a
+    JSON counterexample corpus.  ``--replay-seed N`` re-runs one case
+    from its seed; ``--replay FILE`` re-checks a saved corpus.  Exit 1
+    when any violation survives.
 """
 
 from __future__ import annotations
@@ -243,6 +249,40 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify import generate_scenario, run_case, run_fuzz
+    from .verify.fuzz import replay_corpus, save_report
+
+    if args.replay_seed is not None:
+        result = run_case(generate_scenario(args.replay_seed))
+        print(f"seed {args.replay_seed}: {result.outcome} "
+              f"({result.elapsed_s:.2f}s)")
+        for violation in result.violations:
+            print(f"  {violation.oracle}: {violation.message}")
+        return 1 if result.failed else 0
+
+    if args.replay is not None:
+        results = replay_corpus(args.replay)
+        failed = [r for r in results if r.failed]
+        print(f"replayed {len(results)} counterexample(s): "
+              f"{len(failed)} still failing")
+        for result in failed:
+            for violation in result.violations:
+                print(f"  seed {result.seed} {violation.oracle}: "
+                      f"{violation.message}")
+        return 1 if failed else 0
+
+    report = run_fuzz(
+        cases=args.cases, seed=args.seed, budget_s=args.budget,
+        shrink=not args.no_shrink,
+    )
+    print(report.render())
+    if args.out is not None:
+        save_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.clean else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import render_report, run_benchmarks, write_report
 
@@ -344,6 +384,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the benchmark report as JSON (e.g. BENCH_perf.json)",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz", help="conformance fuzzing with invariant oracles"
+    )
+    p.add_argument(
+        "--cases", type=int, default=100,
+        help="number of generated scenarios (seeds seed..seed+cases)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="first seed")
+    p.add_argument(
+        "--budget", type=float, default=None,
+        help="wall-clock budget in seconds (stops before the next case)",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip shrinking failing scenarios to minimal counterexamples",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the report + counterexample corpus as JSON",
+    )
+    p.add_argument(
+        "--replay-seed", type=int, default=None,
+        help="re-run the single scenario generated from this seed",
+    )
+    p.add_argument(
+        "--replay", default=None,
+        help="re-run every counterexample of a saved corpus file",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -14,30 +14,40 @@ state-bookkeeping bugs long before they surface as collisions:
 * partitions vs. interfaces — each partition is at least as large as
   its owner's stored component;
 * layouts vs. partitions — every stored composition layout entry agrees
-  with the child's actual partition.
+  with the child's actual partition;
+* composition interiors — the child rectangles of every stored layout
+  are pairwise disjoint and fit the rectangle they were composed into.
 
-The audit returns human-readable findings instead of raising, so it
-doubles as a debugging tool (`findings = audit_network(harp)`), and a
-clean network must produce none — enforced across the test suite.
+Each check is registered by name in :data:`AUDIT_CHECKS` so callers can
+run them individually — the fuzzing harness (``repro.verify``) promotes
+them into its oracle layer and attributes violations to the specific
+invariant that broke.  The audit returns human-readable findings instead
+of raising, so it doubles as a debugging tool
+(`findings = audit_network(harp)`), and a clean network must produce
+none — enforced across the test suite.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..net.tasks import demands_by_parent
 from ..net.topology import Direction, LinkRef
 from .manager import HarpNetwork
 
+#: One audit check: network in, human-readable findings out (empty = clean).
+AuditCheck = Callable[[HarpNetwork], List[str]]
 
-def audit_network(harp: HarpNetwork) -> List[str]:
-    """Run every cross-structure check; returns findings (empty = clean)."""
+
+def audit_network(
+    harp: HarpNetwork, checks: Optional[Iterable[str]] = None
+) -> List[str]:
+    """Run every cross-structure check (or the named subset); returns
+    findings (empty = clean)."""
     findings: List[str] = []
-    findings.extend(_audit_demands(harp))
-    findings.extend(_audit_schedule_vs_demands(harp))
-    findings.extend(_audit_schedule_vs_partitions(harp))
-    findings.extend(_audit_partitions_vs_interfaces(harp))
-    findings.extend(_audit_layouts_vs_partitions(harp))
+    names = list(checks) if checks is not None else list(AUDIT_CHECKS)
+    for name in names:
+        findings.extend(AUDIT_CHECKS[name](harp))
     return findings
 
 
@@ -167,3 +177,65 @@ def _audit_layouts_vs_partitions(harp: HarpNetwork) -> List[str]:
                         f"{expected}, table says {child_partition.region}"
                     )
     return findings
+
+
+def _audit_composition_interiors(harp: HarpNetwork) -> List[str]:
+    """Interface/composition consistency: within every stored layout the
+    child rectangles are pairwise disjoint, and they fit the rectangle
+    they were composed into — the live partition when one is in force
+    (slack distribution stretches layouts past the tight component), the
+    stored composite component otherwise."""
+    findings = []
+    for direction, table in harp.tables.items():
+        for (node, layer), layout in table.layouts.items():
+            if node not in harp.topology:
+                continue
+            entries = sorted(
+                ((child, rel) for child, rel in layout.items()
+                 if not rel.is_empty),
+                key=lambda item: int(item[0]),
+            )
+            partition = harp.partitions.get(node, layer, direction)
+            if partition is not None:
+                bound_w = partition.region.width
+                bound_h = partition.region.height
+                bound_of = f"partition {partition}"
+            elif table.has_component(node, layer):
+                component = table.component(node, layer)
+                bound_w = component.n_slots
+                bound_h = component.n_channels
+                bound_of = f"component {component}"
+            else:
+                findings.append(
+                    f"layout stored at ({node}, {layer}, {direction.value}) "
+                    "without a component or partition to bound it"
+                )
+                continue
+            for child, rel in entries:
+                if rel.x < 0 or rel.y < 0 or rel.x2 > bound_w or rel.y2 > bound_h:
+                    findings.append(
+                        f"child {child} rectangle {rel} escapes its "
+                        f"composed {bound_of} at "
+                        f"({node}, {layer}, {direction.value})"
+                    )
+            for i, (child_a, a) in enumerate(entries):
+                for child_b, b in entries[i + 1:]:
+                    if a.overlaps(b):
+                        findings.append(
+                            f"children {child_a}/{child_b} overlap inside "
+                            f"the ({node}, {layer}, {direction.value}) "
+                            "composition layout"
+                        )
+    return findings
+
+
+#: Named registry of every audit check, in report order.  The fuzzing
+#: oracle layer iterates this to attribute findings per invariant.
+AUDIT_CHECKS: Dict[str, AuditCheck] = {
+    "demands-vs-tasks": _audit_demands,
+    "schedule-vs-demands": _audit_schedule_vs_demands,
+    "schedule-vs-partitions": _audit_schedule_vs_partitions,
+    "partitions-vs-interfaces": _audit_partitions_vs_interfaces,
+    "layouts-vs-partitions": _audit_layouts_vs_partitions,
+    "composition-interiors": _audit_composition_interiors,
+}

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..net.protocol.transport import ManagementPlane
 from ..net.slotframe import ConflictReport, Schedule, SlotframeConfig
@@ -272,6 +272,7 @@ class HarpNetwork:
                 -self.topology.link_layer(link.child),
             ),
         )
+        applied: List[Tuple[LinkRef, int]] = []
         for link in ordered:
             old_demand = self.link_demands.get(link, 0)
             new_demand = new_demands.get(link, 0)
@@ -282,12 +283,20 @@ class HarpNetwork:
             report.outcomes.append(outcome)
             if not outcome.success:
                 # Roll the demand back so state matches the (restored)
-                # partitions; remaining links are left untouched.
+                # partitions — on this link and on every link already
+                # moved to the rejected rate, whose managing nodes then
+                # release the extra cells through the normal shrink
+                # path.  The task set keeps the old rate, so demands
+                # must end where they started.
                 self.link_demands[link] = old_demand
                 self._reschedule_node(
                     self.topology.parent_of(link.child), link.direction
                 )
+                for prev_link, prev_demand in reversed(applied):
+                    self.link_demands[prev_link] = prev_demand
+                    self._adjust_managing_node(prev_link)
                 return report
+            applied.append((link, old_demand))
 
         self.task_set = new_task_set
         self.priority = rate_monotonic_priority(self.task_set)

@@ -537,6 +537,7 @@ class TSCHSimulator:
             and len(queue) >= self.queue_capacity
         ):
             packet.in_queue = False
+            self.metrics.queue_overflow_drops += 1
             self.metrics.dropped += 1
             return
         packet.current_node = node
@@ -759,3 +760,18 @@ class TSCHSimulator:
         return sum(len(q) for q in self._uplink_q.values()) + sum(
             len(q) for q in self._downlink_q.values()
         )
+
+    def conservation_findings(self) -> List[str]:
+        """The engine's conservation laws as audit findings (empty =
+        clean): every generated packet is delivered, dropped, or queued
+        exactly once; every drop is attributed to a cause; and the fast
+        path's ``_queued_total`` bookkeeping matches the real queues.
+        """
+        queued = self.queued_packets()
+        findings = self.metrics.conservation_findings(queued=queued)
+        if queued != self._queued_total:
+            findings.append(
+                f"queued-total cache open: counter says "
+                f"{self._queued_total} but queues hold {queued}"
+            )
+        return findings

@@ -84,6 +84,9 @@ class MetricsCollector:
     #: Packets dropped because they outlived the stack's packet lifetime
     #: (``max_packet_age_slots``); also counted in ``dropped``.
     expired_drops: int = 0
+    #: Packets dropped at enqueue time because the node's queue was full
+    #: (``queue_capacity``); also counted in ``dropped``.
+    queue_overflow_drops: int = 0
     #: Creation slot of every generated packet (drives windowed
     #: delivery-ratio views: per-phase ratios and time-to-recover).
     generation_slots: List[int] = field(default_factory=list)
@@ -128,6 +131,37 @@ class MetricsCollector:
     def in_flight(self) -> int:
         """Packets generated but neither delivered nor dropped."""
         return self.generated - self.delivered - self.dropped
+
+    def conservation_findings(self, queued: Optional[int] = None) -> List[str]:
+        """Check the engine's conservation laws; returns findings
+        (empty = accounting closed).
+
+        Every generated packet must end up delivered, dropped, or still
+        queued — exactly once — and every drop must be attributed to one
+        of the drop causes (crash flush / task purge, lifetime expiry,
+        queue overflow).  Pass the simulator's live queue occupancy as
+        ``queued`` to close the balance over an unfinished run; without
+        it only the drop attribution is checked.
+        """
+        findings: List[str] = []
+        attributed = (
+            self.fault_drops + self.expired_drops + self.queue_overflow_drops
+        )
+        if attributed != self.dropped:
+            findings.append(
+                f"drop attribution open: {self.dropped} dropped but "
+                f"{self.fault_drops} fault + {self.expired_drops} expired "
+                f"+ {self.queue_overflow_drops} overflow = {attributed}"
+            )
+        if queued is not None:
+            balance = self.delivered + self.dropped + queued
+            if balance != self.generated:
+                findings.append(
+                    f"packet conservation open: generated {self.generated} "
+                    f"!= delivered {self.delivered} + dropped {self.dropped} "
+                    f"+ queued {queued}"
+                )
+        return findings
 
     def latencies_seconds(
         self, source: Optional[int] = None

@@ -1,0 +1,57 @@
+"""Conformance fuzzing harness for the HARP stack.
+
+The paper's headline claim — hierarchical partitioning keeps distributed
+scheduling collision-free *by construction*, even under dynamics — is a
+universally quantified statement, and scripted tests only sample it.
+This package certifies it mechanically at scale:
+
+* :mod:`generators` — seeded generators for tree topologies, task sets
+  and dynamics scripts (join/leave/reroute/rate-change interleavings),
+  with greedy shrinking to minimal counterexamples;
+* :mod:`oracles` — composable invariant checkers promoted from
+  :mod:`repro.core.audit`: cell-level collision freedom, partition
+  isolation and containment, interface/composition consistency, RM
+  feasibility, and the engine's packet-conservation laws;
+* :mod:`differential` — the same scenario run through the centralized
+  manager and the distributed agent runtime (schedules must be equal),
+  and through HARP vs. the baseline schedulers (HARP must dominate);
+* :mod:`fuzz` — the driver behind ``repro fuzz``: case/time budgets,
+  JSON counterexample corpus, replay by seed.
+"""
+
+from .differential import diff_manager_vs_agents, diff_schedulers
+from .generators import (
+    DynamicsOp,
+    Scenario,
+    generate_scenario,
+    shrink_scenario,
+)
+from .fuzz import (
+    CaseResult,
+    Counterexample,
+    FuzzReport,
+    replay_corpus,
+    run_case,
+    run_fuzz,
+    save_report,
+)
+from .oracles import Violation, check_scenario_network, run_conservation
+
+__all__ = [
+    "CaseResult",
+    "Counterexample",
+    "DynamicsOp",
+    "FuzzReport",
+    "save_report",
+    "Scenario",
+    "Violation",
+    "check_scenario_network",
+    "diff_manager_vs_agents",
+    "diff_schedulers",
+    "generate_scenario",
+    "replay_corpus",
+    "run_case",
+    "run_conservation",
+    "run_fuzz",
+    "shrink_scenario",
+]

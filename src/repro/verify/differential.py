@@ -1,0 +1,234 @@
+"""Differential oracles: two implementations, one scenario, one answer.
+
+Structural invariants catch states that are wrong in themselves; the
+differential oracles catch states that are wrong *relative to an
+independent implementation of the same specification*:
+
+* :func:`diff_manager_vs_agents` — the centralized
+  :class:`~repro.core.manager.HarpNetwork` and the message-driven
+  :class:`~repro.agents.runtime.AgentRuntime` (strictly local state)
+  must produce cell-for-cell identical schedules for the same scenario.
+  Any divergence means one of the two mis-implements the paper's
+  bottom-up interface generation or top-down allocation.
+* :func:`diff_schedulers` — HARP against the Sec. VII baselines
+  (``apas``, ``ldsf``, ``msf``, ``random``): every scheduler must cover
+  every demand, and whenever the scenario is strictly feasible HARP
+  must be exactly collision-free and therefore dominate every baseline
+  on collision probability.  Infeasible (overflow) scenarios skip the
+  dominance claim — wrapped cells collide by design.
+
+Both return :class:`~repro.verify.oracles.Violation` lists so the fuzz
+driver treats them uniformly with the structural oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..agents.runtime import AgentRuntime
+from ..core.allocation import InsufficientResourcesError
+from ..core.link_sched import id_priority
+from ..core.manager import HarpNetwork
+from ..net.slotframe import Schedule
+from ..schedulers import (
+    APaSScheduler,
+    HARPScheduler,
+    LDSFScheduler,
+    MSFScheduler,
+    RandomScheduler,
+)
+from .generators import Scenario
+from .oracles import Violation
+
+#: The baseline schedulers every differential sweep covers.
+BASELINES = (APaSScheduler, LDSFScheduler, MSFScheduler, RandomScheduler)
+
+
+def schedules_equal(a: Schedule, b: Schedule) -> bool:
+    """Cell-for-cell equality over the links of two schedules."""
+    if set(a.links) != set(b.links):
+        return False
+    return all(
+        sorted(a.cells_of(link)) == sorted(b.cells_of(link))
+        for link in a.links
+    )
+
+
+def describe_divergence(a: Schedule, b: Schedule) -> str:
+    """A short human-readable account of where two schedules differ."""
+    only_a = set(a.links) - set(b.links)
+    only_b = set(b.links) - set(a.links)
+    if only_a or only_b:
+        return (
+            f"link sets differ: {sorted(only_a, key=str)} only in first, "
+            f"{sorted(only_b, key=str)} only in second"
+        )
+    for link in sorted(a.links, key=str):
+        cells_a = sorted(a.cells_of(link))
+        cells_b = sorted(b.cells_of(link))
+        if cells_a != cells_b:
+            return f"{link}: {cells_a} vs {cells_b}"
+    return "schedules identical"
+
+
+def diff_manager_vs_agents(scenario: Scenario) -> List[Violation]:
+    """Centralized manager vs. distributed agent runtime.
+
+    Both sides run with the deterministic id-priority policy and without
+    slack distribution (the agent runtime implements the paper's exact
+    protocol, which has neither RM tie-breaking state nor the testbed's
+    slack stretching); the scenario's ``case1_slack`` is honoured on
+    both sides.  An infeasible scenario is a non-result, not a
+    violation — both sides must agree it is infeasible.
+    """
+    topology = scenario.topology()
+    task_set = scenario.task_set()
+    config = scenario.config()
+
+    central_error: Optional[str] = None
+    harp = HarpNetwork(
+        topology,
+        task_set,
+        config,
+        priority=id_priority(),
+        case1_slack=scenario.case1_slack,
+    )
+    try:
+        harp.allocate()
+    except InsufficientResourcesError as exc:
+        central_error = str(exc)
+
+    agent_error: Optional[str] = None
+    runtime = AgentRuntime(
+        topology, task_set, config, case1_slack=scenario.case1_slack
+    )
+    try:
+        runtime.run_static_phase()
+    except InsufficientResourcesError as exc:
+        agent_error = str(exc)
+
+    if central_error is not None or agent_error is not None:
+        if (central_error is None) != (agent_error is None):
+            return [
+                Violation(
+                    "diff:manager-vs-agents",
+                    "feasibility disagreement: centralized said "
+                    f"{central_error or 'feasible'}, agents said "
+                    f"{agent_error or 'feasible'}",
+                )
+            ]
+        return []
+
+    out: List[Violation] = []
+    try:
+        runtime.assert_converged()
+        runtime.validate_isolation()
+    except AssertionError as exc:
+        out.append(
+            Violation(
+                "diff:manager-vs-agents",
+                f"agent runtime failed its own invariants: {exc}",
+            )
+        )
+        return out
+
+    distributed = runtime.build_schedule()
+    if not schedules_equal(harp.schedule, distributed):
+        out.append(
+            Violation(
+                "diff:manager-vs-agents",
+                "schedule divergence: "
+                + describe_divergence(harp.schedule, distributed),
+            )
+        )
+    return out
+
+
+def diff_schedulers(scenario: Scenario) -> List[Violation]:
+    """HARP vs. the baseline schedulers on one scenario's demands.
+
+    Checks, per scheduler: every positive link demand is covered by
+    exactly that many cells, and every cell lies inside the slotframe.
+    When the scenario is strictly feasible for HARP (no overflow), HARP
+    must be collision-free and hence dominate every baseline's collision
+    probability.
+    """
+    topology = scenario.topology()
+    demands = scenario.task_set().link_demands(topology)
+    config = scenario.config()
+    out: List[Violation] = []
+
+    try:
+        harp_schedule = HARPScheduler(allow_overflow=False).build_schedule(
+            topology, demands, config, random.Random(scenario.seed)
+        )
+        feasible = True
+    except InsufficientResourcesError:
+        harp_schedule = HARPScheduler(allow_overflow=True).build_schedule(
+            topology, demands, config, random.Random(scenario.seed)
+        )
+        feasible = False
+
+    harp_prob = harp_schedule.conflicts(topology).collision_probability
+    if feasible and harp_prob != 0.0:
+        out.append(
+            Violation(
+                "diff:schedulers",
+                f"harp collision probability {harp_prob} on a strictly "
+                "feasible scenario",
+            )
+        )
+
+    schedules = {"harp": harp_schedule}
+    for baseline_cls in BASELINES:
+        scheduler = baseline_cls()
+        try:
+            schedules[scheduler.name] = scheduler.build_schedule(
+                topology, demands, config, random.Random(scenario.seed)
+            )
+        except (InsufficientResourcesError, ValueError):
+            # A baseline rejecting a scenario is a capacity difference,
+            # not a conformance violation; it simply drops out of the
+            # coverage and dominance comparisons for this case.
+            continue
+
+    for name, schedule in schedules.items():
+        for link, count in demands.items():
+            if count <= 0:
+                continue
+            held = len(schedule.cells_of(link))
+            if held < count:
+                out.append(
+                    Violation(
+                        "diff:schedulers",
+                        f"{name} covers {held}/{count} cells of {link}",
+                    )
+                )
+        for link in schedule.links:
+            for cell in schedule.cells_of(link):
+                if not config.contains(cell):
+                    out.append(
+                        Violation(
+                            "diff:schedulers",
+                            f"{name} placed {cell} outside the "
+                            f"{config.num_slots}x{config.num_channels} "
+                            "slotframe",
+                        )
+                    )
+                    break
+
+    if feasible:
+        for name, schedule in schedules.items():
+            if name == "harp":
+                continue
+            prob = schedule.conflicts(topology).collision_probability
+            if harp_prob > prob:
+                out.append(
+                    Violation(
+                        "diff:schedulers",
+                        f"harp collision probability {harp_prob} exceeds "
+                        f"{name}'s {prob}",
+                    )
+                )
+    return out

@@ -1,0 +1,500 @@
+"""Seeded scenario generation and shrinking for the fuzzing harness.
+
+A :class:`Scenario` is a fully deterministic description of one fuzz
+case: a tree topology, a task set, slotframe parameters, manager knobs,
+and a *dynamics script* — an interleaving of rate changes, joins,
+leaves and reroutes applied to the live network.  Scenarios serialize
+to plain JSON so counterexamples can be committed to a corpus and
+replayed bit-for-bit.
+
+Generation is biased toward feasibility (rates are scaled down until
+the implied demand plausibly fits the data sub-frame) because an
+infeasible scenario exercises only the admission-rejection path; a
+deliberate minority of heavy scenarios is kept to cover it.
+
+Shrinking is greedy delta-debugging: drop dynamics ops, drop tasks,
+prune childless subtrees, normalize rates — re-testing the predicate
+after each candidate and keeping every reduction that still fails,
+until a fixed point (or the attempt budget) is reached.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import Task, TaskSet
+from ..net.topology import TreeTopology
+
+#: Topology families the generator draws from (name, weight).
+_FAMILIES: Tuple[Tuple[str, int], ...] = (
+    ("layered", 4),
+    ("uniform", 2),
+    ("chain", 1),
+    ("star", 1),
+)
+
+#: Rates the generator draws from (packets per slotframe).
+_RATES: Tuple[float, ...] = (0.5, 1.0, 1.0, 1.5, 2.0)
+
+#: Kinds of dynamics ops and their weights.
+_OP_KINDS: Tuple[Tuple[str, int], ...] = (
+    ("rate_change", 4),
+    ("attach", 3),
+    ("detach", 2),
+    ("reparent", 2),
+)
+
+
+@dataclass(frozen=True)
+class DynamicsOp:
+    """One step of a scenario's dynamics script.
+
+    ``kind`` is one of ``rate_change`` (task ``node``'s rate becomes
+    ``rate``), ``attach`` (new node ``node`` joins under ``parent`` with
+    a task of ``rate``), ``detach`` (node ``node``'s subtree leaves) or
+    ``reparent`` (node ``node`` moves under ``parent``).
+    """
+
+    kind: str
+    node: int
+    parent: int = 0
+    rate: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "parent": self.parent,
+            "rate": self.rate,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "DynamicsOp":
+        return cls(
+            kind=doc["kind"],
+            node=int(doc["node"]),
+            parent=int(doc.get("parent", 0)),
+            rate=float(doc.get("rate", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """JSON-friendly description of one task."""
+
+    task_id: int
+    source: int
+    rate: float
+    echo: bool
+    deadline_slotframes: Optional[float] = None
+
+    def to_task(self) -> Task:
+        return Task(
+            task_id=self.task_id,
+            source=self.source,
+            rate=self.rate,
+            echo=self.echo,
+            deadline_slotframes=self.deadline_slotframes,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "source": self.source,
+            "rate": self.rate,
+            "echo": self.echo,
+            "deadline_slotframes": self.deadline_slotframes,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TaskSpec":
+        deadline = doc.get("deadline_slotframes")
+        return cls(
+            task_id=int(doc["task_id"]),
+            source=int(doc["source"]),
+            rate=float(doc["rate"]),
+            echo=bool(doc["echo"]),
+            deadline_slotframes=None if deadline is None else float(deadline),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deterministic fuzz case (see module docstring)."""
+
+    seed: int
+    parent_map: Dict[int, int]
+    tasks: Tuple[TaskSpec, ...]
+    num_slots: int = 199
+    num_channels: int = 16
+    case1_slack: int = 0
+    distribute_slack: bool = False
+    ops: Tuple[DynamicsOp, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "ops", tuple(self.ops))
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+
+    def topology(self) -> TreeTopology:
+        return TreeTopology(dict(self.parent_map))
+
+    def task_set(self) -> TaskSet:
+        return TaskSet([spec.to_task() for spec in self.tasks])
+
+    def config(self) -> SlotframeConfig:
+        return SlotframeConfig(
+            num_slots=self.num_slots, num_channels=self.num_channels
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (corpus round-trip)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "parent_map": {str(c): p for c, p in sorted(self.parent_map.items())},
+            "tasks": [spec.to_dict() for spec in self.tasks],
+            "num_slots": self.num_slots,
+            "num_channels": self.num_channels,
+            "case1_slack": self.case1_slack,
+            "distribute_slack": self.distribute_slack,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Scenario":
+        return cls(
+            seed=int(doc["seed"]),
+            parent_map={
+                int(c): int(p) for c, p in doc["parent_map"].items()
+            },
+            tasks=tuple(
+                TaskSpec.from_dict(entry) for entry in doc["tasks"]
+            ),
+            num_slots=int(doc["num_slots"]),
+            num_channels=int(doc["num_channels"]),
+            case1_slack=int(doc.get("case1_slack", 0)),
+            distribute_slack=bool(doc.get("distribute_slack", False)),
+            ops=tuple(DynamicsOp.from_dict(entry) for entry in doc["ops"]),
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"seed={self.seed} nodes={len(self.parent_map) + 1} "
+            f"tasks={len(self.tasks)} ops={len(self.ops)} "
+            f"frame={self.num_slots}x{self.num_channels} "
+            f"slack={self.case1_slack}"
+            f"{'+distribute' if self.distribute_slack else ''}"
+        )
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+
+
+def _weighted_choice(rng: random.Random, table: Tuple[Tuple[str, int], ...]) -> str:
+    total = sum(weight for _, weight in table)
+    mark = rng.randrange(total)
+    for value, weight in table:
+        if mark < weight:
+            return value
+        mark -= weight
+    return table[-1][0]
+
+
+def _generate_topology(rng: random.Random) -> Dict[int, int]:
+    """A random tree's parent map, drawn from one of the families."""
+    family = _weighted_choice(rng, _FAMILIES)
+    devices = rng.randint(4, 18)
+    depth = rng.randint(2, min(4, devices))
+    if family == "chain":
+        return {i + 1: i for i in range(rng.randint(3, 8))}
+    if family == "star":
+        return {i: 0 for i in range(1, devices + 1)}
+    if family == "uniform":
+        from ..net.topology import random_tree
+
+        return dict(random_tree(devices, depth, rng).parent_map)
+    from ..net.topology import layered_random_tree
+
+    return dict(layered_random_tree(devices, depth, rng).parent_map)
+
+
+def _generate_tasks(
+    rng: random.Random, topology: TreeTopology
+) -> List[TaskSpec]:
+    specs: List[TaskSpec] = []
+    for node in topology.device_nodes:
+        if rng.random() < 0.55:
+            deadline = None
+            if rng.random() < 0.2:
+                # Generous explicit deadline — covers the diverse-deadline
+                # bookkeeping without asserting tight schedulability.
+                deadline = float(rng.randint(2, 6))
+            specs.append(
+                TaskSpec(
+                    task_id=node,
+                    source=node,
+                    rate=rng.choice(_RATES),
+                    echo=rng.random() < 0.6,
+                    deadline_slotframes=deadline,
+                )
+            )
+    if not specs:
+        node = rng.choice(topology.device_nodes)
+        specs.append(TaskSpec(task_id=node, source=node, rate=1.0, echo=True))
+    return specs
+
+
+def _demand_budget(specs: List[TaskSpec], topology: TreeTopology, num_slots: int) -> bool:
+    """Heuristic feasibility screen: the summed per-link demand must
+    plausibly fit the data sub-frame (gateway components never share
+    time slots, so total demand is a good proxy for the slot budget)."""
+    total = TaskSet([s.to_task() for s in specs]).total_cells(topology)
+    return total <= int(num_slots * 0.6)
+
+
+def _generate_ops(
+    rng: random.Random,
+    topology: TreeTopology,
+    specs: List[TaskSpec],
+) -> List[DynamicsOp]:
+    """A valid dynamics script, tracked against the evolving topology."""
+    ops: List[DynamicsOp] = []
+    live = topology
+    live_tasks = {spec.task_id for spec in specs}
+    next_id = max(live.nodes) + 1
+    for _ in range(rng.randint(0, 4)):
+        kind = _weighted_choice(rng, _OP_KINDS)
+        if kind == "rate_change" and live_tasks:
+            task_id = rng.choice(sorted(live_tasks))
+            ops.append(
+                DynamicsOp("rate_change", task_id, rate=rng.choice(_RATES))
+            )
+        elif kind == "attach":
+            parent = rng.choice(live.nodes)
+            ops.append(
+                DynamicsOp(
+                    "attach", next_id, parent=parent, rate=rng.choice(_RATES)
+                )
+            )
+            live = live.with_attached(next_id, parent)
+            live_tasks.add(next_id)
+            next_id += 1
+        elif kind == "detach" and len(live.device_nodes) > 2:
+            node = rng.choice(live.device_nodes)
+            removed = set(live.subtree_nodes(node))
+            if len(live.device_nodes) - len(removed) < 1:
+                continue
+            ops.append(DynamicsOp("detach", node))
+            live = live.with_detached(node)
+            live_tasks -= removed
+        elif kind == "reparent":
+            candidates = [
+                (n, p)
+                for n in live.device_nodes
+                for p in live.nodes
+                if p != n
+                and p != live.parent_of(n)
+                and p not in live.subtree_nodes(n)
+            ]
+            if not candidates:
+                continue
+            node, parent = candidates[rng.randrange(len(candidates))]
+            ops.append(DynamicsOp("reparent", node, parent=parent))
+            live = live.with_reparented(node, parent)
+    return ops
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """The deterministic scenario for one seed."""
+    rng = random.Random(seed)
+    parent_map = _generate_topology(rng)
+    topology = TreeTopology(dict(parent_map))
+
+    num_slots = rng.choice((101, 151, 199))
+    num_channels = rng.choice((4, 8, 16))
+
+    specs = _generate_tasks(rng, topology)
+    # Feasibility bias: scale rates down (then drop tasks) until the
+    # implied demand plausibly fits; 1 in 8 scenarios skips the screen
+    # to keep the admission-rejection path covered.
+    if rng.random() >= 0.125:
+        attempts = 0
+        while not _demand_budget(specs, topology, num_slots) and attempts < 6:
+            specs = [
+                replace(s, rate=max(0.5, s.rate / 2)) for s in specs
+            ]
+            if attempts >= 2 and len(specs) > 1:
+                specs = specs[: max(1, len(specs) // 2)]
+            attempts += 1
+
+    ops = _generate_ops(rng, topology, specs)
+    return Scenario(
+        seed=seed,
+        parent_map=parent_map,
+        tasks=tuple(specs),
+        num_slots=num_slots,
+        num_channels=num_channels,
+        case1_slack=rng.choice((0, 0, 1, 2)),
+        distribute_slack=rng.random() < 0.35,
+        ops=tuple(ops),
+    )
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+
+def _op_nodes_alive(scenario: Scenario) -> bool:
+    """Whether the dynamics script is still self-consistent (every op's
+    operands exist when the op fires) — replayed against the evolving
+    topology exactly as :func:`repro.verify.fuzz.run_case` applies it."""
+    try:
+        live = scenario.topology()
+    except Exception:
+        return False
+    live_tasks = {spec.task_id for spec in scenario.tasks}
+    if any(spec.source not in live for spec in scenario.tasks):
+        return False
+    for op in scenario.ops:
+        if op.kind == "rate_change":
+            if op.node not in live_tasks:
+                return False
+        elif op.kind == "attach":
+            if op.node in live or op.parent not in live:
+                return False
+            live = live.with_attached(op.node, op.parent)
+            live_tasks.add(op.node)
+        elif op.kind == "detach":
+            if op.node not in live or op.node == live.gateway_id:
+                return False
+            removed = set(live.subtree_nodes(op.node))
+            if len(live.device_nodes) - len(removed) < 1:
+                return False
+            live = live.with_detached(op.node)
+            live_tasks -= removed
+        elif op.kind == "reparent":
+            if (
+                op.node not in live
+                or op.parent not in live
+                or op.node == live.gateway_id
+                or op.parent in live.subtree_nodes(op.node)
+            ):
+                return False
+            live = live.with_reparented(op.node, op.parent)
+        else:
+            return False
+    return True
+
+
+def _shrink_candidates(scenario: Scenario) -> List[Scenario]:
+    """Structurally smaller variants, most aggressive first."""
+    out: List[Scenario] = []
+
+    # Drop dynamics ops (suffixes first, then single ops).
+    if scenario.ops:
+        out.append(replace(scenario, ops=()))
+        for i in reversed(range(len(scenario.ops))):
+            out.append(replace(scenario, ops=scenario.ops[:i]))
+        for i in range(len(scenario.ops)):
+            out.append(
+                replace(
+                    scenario,
+                    ops=scenario.ops[:i] + scenario.ops[i + 1:],
+                )
+            )
+
+    # Drop tasks.
+    for i in range(len(scenario.tasks)):
+        if len(scenario.tasks) > 1:
+            out.append(
+                replace(
+                    scenario,
+                    tasks=scenario.tasks[:i] + scenario.tasks[i + 1:],
+                )
+            )
+
+    # Prune leaf subtrees that neither source a task nor anchor an op.
+    try:
+        topology = scenario.topology()
+    except Exception:
+        topology = None
+    if topology is not None:
+        needed = {spec.source for spec in scenario.tasks}
+        for op in scenario.ops:
+            needed.add(op.node)
+            needed.add(op.parent)
+        for leaf in topology.device_nodes:
+            if topology.is_leaf(leaf) and leaf not in needed:
+                parent_map = {
+                    c: p for c, p in scenario.parent_map.items() if c != leaf
+                }
+                out.append(replace(scenario, parent_map=parent_map))
+
+    # Normalize knobs toward the simplest configuration.
+    if scenario.case1_slack:
+        out.append(replace(scenario, case1_slack=0))
+    if scenario.distribute_slack:
+        out.append(replace(scenario, distribute_slack=False))
+    for i, spec in enumerate(scenario.tasks):
+        if spec.rate != 1.0 or spec.deadline_slotframes is not None or not spec.echo:
+            simplified = replace(
+                spec, rate=1.0, deadline_slotframes=None, echo=True
+            )
+            out.append(
+                replace(
+                    scenario,
+                    tasks=scenario.tasks[:i]
+                    + (simplified,)
+                    + scenario.tasks[i + 1:],
+                )
+            )
+    return [c for c in out if _op_nodes_alive(c)]
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    max_attempts: int = 400,
+) -> Scenario:
+    """Greedy delta-debugging toward a minimal failing scenario.
+
+    ``still_fails`` must return True for the original scenario's failure
+    (the caller is expected to have checked); every candidate reduction
+    that still fails is adopted, restarting the candidate sweep, until a
+    full sweep finds no adoptable reduction or ``max_attempts``
+    predicate evaluations are spent.
+    """
+    current = scenario
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            try:
+                fails = still_fails(candidate)
+            except Exception:
+                # A candidate that crashes the predicate is itself a
+                # failing case — prefer it only if the caller's
+                # predicate treats crashes as failures; here we skip.
+                fails = False
+            if fails:
+                current = candidate
+                improved = True
+                break
+    return current

@@ -1,9 +1,10 @@
 """Gateway failover: losing the root is survivable.
 
 A condemned gateway no longer kills the run — a standby depth-1 router
-(configured, or elected by subtree demand) takes over as root, the tree
-re-roots under it, the whole protocol state rebuilds bottom-up rooted at
-the standby, and the rebuilt schedule is certified collision-free.
+(configured, or elected by re-root look-ahead) takes over as root, the
+tree re-roots under it, the whole protocol state rebuilds bottom-up
+rooted at the standby, and the rebuilt schedule is certified
+collision-free.
 """
 
 import random
@@ -13,8 +14,8 @@ import pytest
 from repro.agents.live import LiveHarpNetwork
 from repro.net.sim.faults import FaultPlan
 from repro.net.slotframe import SlotframeConfig
-from repro.net.tasks import e2e_task_per_node
-from repro.net.topology import TreeTopology
+from repro.net.tasks import Task, TaskSet, e2e_task_per_node
+from repro.net.topology import Direction, TreeTopology
 
 
 @pytest.fixture
@@ -52,8 +53,9 @@ class TestFailover:
         crash(live, [0])
         live.run_slotframes(60)
         assert live.stats.gateway_failovers == 1
-        # Election by subtree demand: router 1 forwards five sources
-        # (1, 3, 4, 6, 7), router 2 only three (2, 5, 8).
+        # Re-root look-ahead: router 1's five-node subtree (1, 3, 4,
+        # 6, 7) rises one layer when it roots, leaving a shallower tree
+        # than rooting at router 2 (subtree 2, 5, 8).
         assert live.topology.gateway_id == 1
         assert 0 not in live.topology
         live.schedule.validate_collision_free(live.topology)
@@ -134,6 +136,63 @@ class TestFailover:
         labels = [label for _, label in live.sim.metrics.phase_marks]
         assert "failover@0" in labels
         assert "recovered" in labels
+
+    def test_election_minimizes_rerooted_depth_on_asymmetric_tree(
+        self, config
+    ):
+        # Asymmetric tree built so the two election criteria disagree:
+        # router 1 anchors a four-node chain (large, deep subtree),
+        # router 2 only a single busy leaf.  Demand-greedy election
+        # would pick 2 (rate-3.0 tasks beat four rate-0.5 tasks); the
+        # look-ahead picks 1, because re-rooting there lifts the deep
+        # chain one layer and yields the smaller total re-rooted depth.
+        tree = TreeTopology({1: 0, 2: 0, 3: 1, 4: 3, 5: 4, 6: 2})
+        tasks = TaskSet(
+            [
+                Task(task_id=n, source=n, rate=0.5) for n in (1, 3, 4, 5)
+            ]
+            + [Task(task_id=n, source=n, rate=3.0) for n in (2, 6)]
+        )
+        live = LiveHarpNetwork(
+            tree, tasks, config,
+            rng=random.Random(0), max_packet_age_slots=300,
+        )
+        live.bootstrap()
+        def demand(n):
+            return sum(
+                live._subtree_demand(n, d)
+                for d in (Direction.UP, Direction.DOWN)
+            )
+
+        assert demand(2) > demand(1)  # the old criterion favoured 2
+        assert live._choose_standby() == 1
+
+        live.run_slotframes(10)
+        crash(live, [0])
+        live.run_slotframes(60)
+        assert live.stats.gateway_failovers == 1
+        assert live.topology.gateway_id == 1
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_election_tie_breaks_on_subtree_demand(self, config):
+        # Equal subtree sizes (equal re-rooted depth): the busier
+        # subtree's root must win, not the lower id.
+        tree = TreeTopology({1: 0, 2: 0, 3: 1, 4: 2})
+        tasks = TaskSet(
+            [
+                Task(task_id=1, source=1, rate=0.5),
+                Task(task_id=3, source=3, rate=0.5),
+                Task(task_id=2, source=2, rate=2.0),
+                Task(task_id=4, source=4, rate=2.0),
+            ]
+        )
+        live = LiveHarpNetwork(
+            tree, tasks, config,
+            rng=random.Random(0), max_packet_age_slots=300,
+        )
+        live.bootstrap()
+        assert live._rerooted_depth_cost(1) == live._rerooted_depth_cost(2)
+        assert live._choose_standby() == 2
 
     def test_promoted_standby_sources_no_traffic(self, tree, config):
         live = make_live(tree, config)

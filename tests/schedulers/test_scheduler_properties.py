@@ -1,0 +1,144 @@
+"""Property tests over every link scheduler.
+
+The baselines are *allowed* to collide across links — that is the
+measured phenomenon of Fig. 11 — but no scheduler may ever double-book
+one link into the same (slot, channel) cell, place a cell outside the
+slotframe, or under-cover a positive demand.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import TaskSet, Task
+from repro.net.topology import layered_random_tree
+from repro.schedulers import (
+    APaSScheduler,
+    HARPScheduler,
+    LDSFScheduler,
+    MSFScheduler,
+    RandomScheduler,
+)
+
+SCHEDULERS = (
+    APaSScheduler,
+    HARPScheduler,
+    LDSFScheduler,
+    MSFScheduler,
+    RandomScheduler,
+)
+
+
+def build_case(tree_seed, rate, echo, num_slots, num_channels):
+    topology = layered_random_tree(10, 3, random.Random(tree_seed))
+    tasks = TaskSet(
+        [
+            Task(task_id=node, source=node, rate=rate, echo=echo)
+            for node in topology.device_nodes
+        ]
+    )
+    config = SlotframeConfig(num_slots=num_slots, num_channels=num_channels)
+    return topology, tasks.link_demands(topology), config
+
+
+case_strategy = dict(
+    tree_seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.sampled_from([0.5, 1.0, 2.0]),
+    echo=st.booleans(),
+    num_slots=st.sampled_from([101, 151, 199]),
+    num_channels=st.sampled_from([4, 8, 16]),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(**case_strategy)
+def test_no_per_link_double_booking(
+    tree_seed, rate, echo, num_slots, num_channels
+):
+    topology, demands, config = build_case(
+        tree_seed, rate, echo, num_slots, num_channels
+    )
+    for scheduler_cls in SCHEDULERS:
+        schedule = scheduler_cls().build_schedule(
+            topology, demands, config, random.Random(tree_seed)
+        )
+        for link in schedule.links:
+            cells = schedule.cells_of(link)
+            assert len(cells) == len(set(cells)), (
+                f"{scheduler_cls.name} double-booked {link}"
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(**case_strategy)
+def test_cells_respect_slotframe_bounds(
+    tree_seed, rate, echo, num_slots, num_channels
+):
+    topology, demands, config = build_case(
+        tree_seed, rate, echo, num_slots, num_channels
+    )
+    for scheduler_cls in SCHEDULERS:
+        schedule = scheduler_cls().build_schedule(
+            topology, demands, config, random.Random(tree_seed)
+        )
+        for link in schedule.links:
+            for cell in schedule.cells_of(link):
+                assert config.contains(cell), (
+                    f"{scheduler_cls.name} placed {cell} outside the "
+                    f"{config.num_slots}x{config.num_channels} frame "
+                    f"for {link}"
+                )
+
+
+@settings(max_examples=25, deadline=None)
+@given(**case_strategy)
+def test_every_positive_demand_covered(
+    tree_seed, rate, echo, num_slots, num_channels
+):
+    topology, demands, config = build_case(
+        tree_seed, rate, echo, num_slots, num_channels
+    )
+    for scheduler_cls in SCHEDULERS:
+        schedule = scheduler_cls().build_schedule(
+            topology, demands, config, random.Random(tree_seed)
+        )
+        for link, count in demands.items():
+            if count > 0:
+                held = len(schedule.cells_of(link))
+                assert held >= count, (
+                    f"{scheduler_cls.name} covered {held}/{count} "
+                    f"cells of {link}"
+                )
+
+
+@settings(max_examples=15, deadline=None)
+@given(**case_strategy)
+def test_harp_and_apas_collision_free_on_feasible_cases(
+    tree_seed, rate, echo, num_slots, num_channels
+):
+    from repro.core.allocation import InsufficientResourcesError
+
+    topology, demands, config = build_case(
+        tree_seed, rate, echo, num_slots, num_channels
+    )
+    # Feasibility probe: strict HARP raises when the allocation cannot
+    # fit without wrapping.  APaS shares the same partition allocator,
+    # so a strict-feasible case is overflow-free for both.
+    try:
+        HARPScheduler(allow_overflow=False).build_schedule(
+            topology, demands, config, random.Random(tree_seed)
+        )
+    except InsufficientResourcesError:
+        return  # infeasible: neither scheduler claims collision freedom
+    for scheduler in (HARPScheduler(), APaSScheduler()):
+        schedule = scheduler.build_schedule(
+            topology, demands, config, random.Random(tree_seed)
+        )
+        report = schedule.conflicts(topology)
+        assert report.is_collision_free, (
+            f"{scheduler.name}: {len(report.cell_conflicts)} cell / "
+            f"{len(report.node_conflicts)} node conflicts on a feasible "
+            "case"
+        )

@@ -114,6 +114,112 @@ class TestAudit:
         assert "under-provisioned" in capsys.readouterr().out
 
 
+class TestBench:
+    def test_bench_renders_and_exports(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "bench.json")
+        assert main([
+            "bench", "--slotframes", "5", "--no-sweeps", "--out", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine fast path" in out
+        assert f"wrote {path}" in out
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["schema"] == 1
+        assert "sweeps" not in doc  # --no-sweeps honoured
+        assert doc["engine"]["fast_path"]["slots_per_sec"] > 0
+        assert "composition" in doc and "speedup_vs_seed" in doc
+
+    def test_bench_rejects_bad_slotframes(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--slotframes", "many"])
+        assert exc.value.code == 2
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--cases", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 cases" in out
+        assert "0 violations, 0 errors" in out
+
+    def test_out_exports_report_json(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "fuzz.json")
+        assert main([
+            "fuzz", "--cases", "4", "--seed", "7", "--out", path,
+        ]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["cases_run"] == 4
+        assert doc["first_seed"] == 7
+        assert doc["counterexamples"] == []
+
+    def test_budget_flag_is_respected(self, capsys):
+        assert main(["fuzz", "--cases", "100000", "--budget", "0"]) == 0
+        assert "budget exhausted" in capsys.readouterr().out
+
+    def test_replay_seed_reruns_one_case(self, capsys):
+        assert main(["fuzz", "--replay-seed", "0"]) == 0
+        assert "seed 0: ok" in capsys.readouterr().out
+
+    def test_replay_corpus_round_trip(self, capsys, tmp_path):
+        from repro.verify.fuzz import Counterexample, FuzzReport, save_report
+        from repro.verify.generators import generate_scenario
+        from repro.verify.oracles import Violation
+
+        path = str(tmp_path / "corpus.json")
+        report = FuzzReport(
+            cases_run=1,
+            violations=1,
+            counterexamples=[
+                Counterexample(
+                    scenario=generate_scenario(0),
+                    violations=[Violation("collision-freedom", "synthetic")],
+                )
+            ],
+        )
+        save_report(report, path)
+        # The scenario passes on current code, so the replay exits 0.
+        assert main(["fuzz", "--replay", path]) == 0
+        assert "replayed 1 counterexample(s): 0 still failing" in (
+            capsys.readouterr().out
+        )
+
+    def test_violations_exit_one(self, capsys, monkeypatch):
+        import repro.verify as verify
+        from repro.verify.fuzz import Counterexample, FuzzReport
+        from repro.verify.generators import generate_scenario
+        from repro.verify.oracles import Violation
+
+        def fake_run_fuzz(**kwargs):
+            return FuzzReport(
+                cases_run=1,
+                violations=1,
+                counterexamples=[
+                    Counterexample(
+                        scenario=generate_scenario(0),
+                        violations=[Violation("collision-freedom", "boom")],
+                    )
+                ],
+            )
+
+        monkeypatch.setattr(verify, "run_fuzz", fake_run_fuzz)
+        assert main(["fuzz", "--cases", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "counterexample" in out
+        assert "collision-freedom: boom" in out
+
+    def test_bad_cases_argument_errors(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--cases", "lots"])
+        assert exc.value.code == 2
+
+
 class TestFaults:
     def test_faults_renders_table(self, capsys):
         assert main([

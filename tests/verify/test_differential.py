@@ -1,0 +1,86 @@
+"""Differential oracles, including the CI conformance sweep.
+
+``test_conformance_sweep_200_scenarios`` is the acceptance gate: 200
+generated scenarios, each certifying manager-vs-agent schedule equality
+and checking HARP against all four baseline schedulers.
+"""
+
+import pytest
+
+from repro.verify.differential import (
+    BASELINES,
+    describe_divergence,
+    diff_manager_vs_agents,
+    diff_schedulers,
+    schedules_equal,
+)
+from repro.verify.generators import generate_scenario
+
+#: The sweep size the acceptance criterion asks for.
+SWEEP_CASES = 200
+
+
+class TestManagerVsAgents:
+    def test_single_scenario_equivalence(self):
+        assert diff_manager_vs_agents(generate_scenario(0)) == []
+
+    def test_divergence_description_names_the_link(self):
+        scenario = generate_scenario(1)
+        from repro.core.link_sched import id_priority
+        from repro.core.manager import HarpNetwork
+
+        harp = HarpNetwork(
+            scenario.topology(),
+            scenario.task_set(),
+            scenario.config(),
+            priority=id_priority(),
+        )
+        harp.allocate()
+        tampered = harp.schedule.copy()
+        victim = sorted(tampered.links, key=str)[0]
+        tampered.remove_link(victim)
+        assert not schedules_equal(harp.schedule, tampered)
+        assert "only in" in describe_divergence(harp.schedule, tampered)
+
+    def test_identical_schedules_compare_equal(self):
+        scenario = generate_scenario(2)
+        from repro.core.link_sched import id_priority
+        from repro.core.manager import HarpNetwork
+
+        harp = HarpNetwork(
+            scenario.topology(),
+            scenario.task_set(),
+            scenario.config(),
+            priority=id_priority(),
+        )
+        harp.allocate()
+        assert schedules_equal(harp.schedule, harp.schedule.copy())
+        assert (
+            describe_divergence(harp.schedule, harp.schedule.copy())
+            == "schedules identical"
+        )
+
+
+class TestSchedulerDifferential:
+    def test_covers_at_least_three_baselines(self):
+        names = {cls.name for cls in BASELINES}
+        assert len(names) >= 3
+        assert {"apas", "ldsf", "msf"} <= names
+
+    def test_single_scenario_clean(self):
+        assert diff_schedulers(generate_scenario(0)) == []
+
+
+@pytest.mark.slow
+class TestConformanceSweep:
+    def test_conformance_sweep_200_scenarios(self):
+        """Manager-vs-agent equality and baseline dominance over 200
+        generated scenarios — the PR's differential acceptance gate."""
+        failures = []
+        for seed in range(SWEEP_CASES):
+            scenario = generate_scenario(seed)
+            for violation in diff_manager_vs_agents(scenario):
+                failures.append((seed, violation))
+            for violation in diff_schedulers(scenario):
+                failures.append((seed, violation))
+        assert not failures, failures[:5]

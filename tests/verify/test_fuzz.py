@@ -1,0 +1,128 @@
+"""The fuzz campaign driver: clean runs, budgets, corpus round-trips."""
+
+import json
+
+from repro.verify.fuzz import (
+    CaseResult,
+    Counterexample,
+    FuzzReport,
+    replay_corpus,
+    run_case,
+    run_fuzz,
+    save_report,
+)
+from repro.verify.generators import Scenario, TaskSpec, generate_scenario
+from repro.verify.oracles import Violation
+
+
+class TestRunCase:
+    def test_seed_zero_is_ok(self):
+        result = run_case(generate_scenario(0))
+        assert result.outcome == "ok"
+        assert result.violations == []
+        assert not result.failed
+
+    def test_infeasible_scenario_is_a_non_result(self):
+        # 6 devices on a 5-slot frame cannot allocate.
+        scenario = Scenario(
+            seed=0,
+            parent_map={n: (0 if n <= 2 else 1) for n in range(1, 7)},
+            tasks=tuple(
+                TaskSpec(task_id=n, source=n, rate=2.0, echo=True)
+                for n in range(1, 7)
+            ),
+            num_slots=5,
+            num_channels=2,
+        )
+        result = run_case(scenario)
+        assert result.outcome == "infeasible"
+        assert not result.failed
+
+    def test_result_serializes(self):
+        doc = run_case(generate_scenario(1)).to_dict()
+        json.dumps(doc)  # must be JSON-clean
+        assert doc["outcome"] == "ok"
+        assert doc["seed"] == 1
+
+
+class TestRunFuzz:
+    def test_small_campaign_is_clean(self):
+        report = run_fuzz(cases=30, seed=0)
+        assert report.clean
+        assert report.cases_run == 30
+        assert report.ok + report.infeasible == 30
+        assert report.violations == 0
+        assert report.errors == 0
+
+    def test_budget_stops_the_campaign(self):
+        report = run_fuzz(cases=10_000, seed=0, budget_s=0.0)
+        assert report.budget_exhausted
+        assert report.cases_run < 10_000
+
+    def test_on_case_hook_sees_every_case(self):
+        seen = []
+        run_fuzz(cases=5, seed=3, on_case=seen.append)
+        assert [r.seed for r in seen] == [3, 4, 5, 6, 7]
+        assert all(isinstance(r, CaseResult) for r in seen)
+
+    def test_render_summarizes(self):
+        report = run_fuzz(cases=3, seed=0)
+        text = report.render()
+        assert "3 cases" in text
+        assert "0 violations" in text
+
+
+class TestCorpus:
+    def _failing_report(self):
+        scenario = generate_scenario(0)
+        report = FuzzReport(
+            cases_run=1,
+            violations=1,
+            counterexamples=[
+                Counterexample(
+                    scenario=scenario,
+                    violations=[Violation("collision-freedom", "synthetic")],
+                    shrunk=None,
+                )
+            ],
+        )
+        return report
+
+    def test_report_round_trips_through_json(self, tmp_path):
+        report = self._failing_report()
+        path = tmp_path / "corpus.json"
+        save_report(report, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["cases_run"] == 1
+        restored = Counterexample.from_dict(doc["counterexamples"][0])
+        assert restored.scenario == report.counterexamples[0].scenario
+        assert restored.violations[0].oracle == "collision-freedom"
+
+    def test_replay_corpus_reruns_witnesses(self, tmp_path):
+        # Seed 0 passes today, so replaying its "counterexample" yields
+        # ok — what matters is that the corpus round-trips into runs.
+        path = tmp_path / "corpus.json"
+        save_report(self._failing_report(), str(path))
+        results = replay_corpus(str(path))
+        assert len(results) == 1
+        assert results[0].outcome == "ok"
+
+    def test_replay_prefers_shrunken_form(self, tmp_path):
+        big = generate_scenario(0)
+        small = Scenario(
+            seed=0,
+            parent_map={1: 0},
+            tasks=(TaskSpec(task_id=1, source=1, rate=1.0, echo=True),),
+        )
+        report = FuzzReport(
+            cases_run=1,
+            violations=1,
+            counterexamples=[
+                Counterexample(scenario=big, violations=[], shrunk=small)
+            ],
+        )
+        path = tmp_path / "corpus.json"
+        save_report(report, str(path))
+        results = replay_corpus(str(path))
+        assert results[0].seed == small.seed
+        assert results[0].outcome == "ok"

@@ -1,0 +1,118 @@
+"""Scenario generation: determinism, validity, serialization, shrinking."""
+
+import json
+import random
+
+from repro.verify.generators import (
+    DynamicsOp,
+    Scenario,
+    TaskSpec,
+    _op_nodes_alive,
+    generate_scenario,
+    shrink_scenario,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario(self):
+        for seed in range(30):
+            assert generate_scenario(seed) == generate_scenario(seed)
+
+    def test_different_seeds_differ(self):
+        scenarios = {
+            json.dumps(generate_scenario(seed).to_dict(), sort_keys=True)
+            for seed in range(30)
+        }
+        assert len(scenarios) > 25  # near-total diversity
+
+
+class TestValidity:
+    def test_topologies_build(self):
+        for seed in range(50):
+            scenario = generate_scenario(seed)
+            topology = scenario.topology()
+            assert topology.num_nodes >= 2
+            assert topology.max_layer >= 1
+
+    def test_tasks_source_live_nodes(self):
+        for seed in range(50):
+            scenario = generate_scenario(seed)
+            topology = scenario.topology()
+            assert scenario.tasks  # at least one task always
+            for spec in scenario.tasks:
+                assert spec.source in topology
+                assert spec.rate > 0
+
+    def test_dynamics_scripts_are_self_consistent(self):
+        # Every op must be applicable at its position in the script.
+        for seed in range(80):
+            scenario = generate_scenario(seed)
+            assert _op_nodes_alive(scenario), seed
+
+    def test_attach_ops_introduce_fresh_ids(self):
+        for seed in range(80):
+            scenario = generate_scenario(seed)
+            topology = scenario.topology()
+            for op in scenario.ops:
+                if op.kind == "attach":
+                    assert op.node not in topology
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        for seed in range(30):
+            scenario = generate_scenario(seed)
+            doc = json.loads(json.dumps(scenario.to_dict()))
+            assert Scenario.from_dict(doc) == scenario
+
+    def test_parent_map_keys_survive_json(self):
+        scenario = generate_scenario(3)
+        doc = json.loads(json.dumps(scenario.to_dict()))
+        restored = Scenario.from_dict(doc)
+        assert restored.parent_map == scenario.parent_map
+        assert all(isinstance(k, int) for k in restored.parent_map)
+
+    def test_describe_mentions_seed(self):
+        assert "seed=7" in generate_scenario(7).describe()
+
+
+class TestShrinking:
+    def test_shrinks_ops_away_when_irrelevant(self):
+        scenario = generate_scenario(0)
+        assert scenario.ops  # seed 0 has a dynamics script
+        # Predicate ignores ops entirely: shrinking must drop them all.
+        small = shrink_scenario(scenario, lambda s: True)
+        assert small.ops == ()
+        assert len(small.tasks) == 1
+
+    def test_keeps_what_the_predicate_needs(self):
+        scenario = Scenario(
+            seed=0,
+            parent_map={1: 0, 2: 0, 3: 1},
+            tasks=(
+                TaskSpec(task_id=1, source=1, rate=1.0, echo=True),
+                TaskSpec(task_id=3, source=3, rate=2.0, echo=True),
+            ),
+            ops=(DynamicsOp("rate_change", 3, rate=0.5),),
+        )
+
+        def needs_task_3(candidate):
+            return any(t.task_id == 3 for t in candidate.tasks)
+
+        small = shrink_scenario(scenario, needs_task_3)
+        assert [t.task_id for t in small.tasks] == [3]
+
+    def test_result_is_still_valid(self):
+        for seed in range(10):
+            scenario = generate_scenario(seed)
+            small = shrink_scenario(scenario, lambda s: True)
+            assert _op_nodes_alive(small)
+            small.topology()  # must construct
+
+    def test_fixed_point_unchanged_when_nothing_shrinks(self):
+        scenario = Scenario(
+            seed=0,
+            parent_map={1: 0},
+            tasks=(TaskSpec(task_id=1, source=1, rate=1.0, echo=True),),
+        )
+        assert shrink_scenario(scenario, lambda s: True) == scenario

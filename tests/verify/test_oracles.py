@@ -1,0 +1,181 @@
+"""Invariant oracles: silent on clean networks, loud on seeded corruptions."""
+
+import random
+
+import pytest
+
+from repro.core.manager import HarpNetwork
+from repro.net.slotframe import Cell, SlotframeConfig
+from repro.net.sim.engine import TSCHSimulator
+from repro.net.sim.metrics import MetricsCollector
+from repro.net.tasks import Task, TaskSet, e2e_task_per_node
+from repro.net.topology import Direction, LinkRef, TreeTopology
+from repro.verify.oracles import (
+    check_audits,
+    check_collision_freedom,
+    check_isolation,
+    check_rm_feasibility,
+    check_scenario_network,
+    run_conservation,
+)
+
+
+@pytest.fixture
+def config():
+    return SlotframeConfig(num_slots=101, num_channels=8)
+
+
+@pytest.fixture
+def tree():
+    return TreeTopology({1: 0, 2: 0, 3: 1, 4: 1, 5: 2})
+
+
+def make_network(tree, config, **kwargs):
+    harp = HarpNetwork(tree, e2e_task_per_node(tree), config, **kwargs)
+    harp.allocate()
+    return harp
+
+
+class TestCleanNetworks:
+    def test_all_oracles_silent(self, tree, config):
+        harp = make_network(tree, config)
+        assert check_scenario_network(harp) == []
+
+    def test_silent_with_slack_and_distribution(self, tree, config):
+        harp = make_network(
+            tree, config, case1_slack=2, distribute_slack=True
+        )
+        assert check_scenario_network(harp) == []
+
+    def test_conservation_silent(self, tree, config):
+        harp = make_network(tree, config)
+        assert run_conservation(harp, seed=0) == []
+
+
+class TestCorruptions:
+    def test_double_booked_cell_trips_collision_oracle(self, tree, config):
+        harp = make_network(tree, config)
+        link_a = LinkRef(1, Direction.UP)
+        cell = harp.schedule.cells_of(link_a)[0]
+        harp.schedule.assign(cell, LinkRef(2, Direction.UP))
+        violations = check_collision_freedom(harp)
+        assert violations
+        assert violations[0].oracle == "collision-freedom"
+
+    def test_collision_oracle_vacuous_in_overflow_mode(self, config):
+        # A frame too small for the demand: overflow wraps cells and
+        # collisions are accepted by design.
+        tree = TreeTopology({1: 0, 2: 1, 3: 2, 4: 3})
+        harp = HarpNetwork(
+            tree,
+            e2e_task_per_node(tree, rate=3.0),
+            SlotframeConfig(num_slots=20, num_channels=2),
+            allow_overflow=True,
+        )
+        harp.allocate()
+        assert check_collision_freedom(harp) == []
+
+    def test_demand_tampering_trips_audit(self, tree, config):
+        harp = make_network(tree, config)
+        link = LinkRef(1, Direction.UP)
+        harp.link_demands[link] += 1
+        violations = check_audits(harp)
+        assert any(
+            v.oracle == "audit:demands-vs-tasks" for v in violations
+        )
+
+    def test_stripped_link_trips_schedule_audit(self, tree, config):
+        harp = make_network(tree, config)
+        harp.schedule.remove_link(LinkRef(5, Direction.UP))
+        violations = check_audits(harp)
+        assert any(
+            v.oracle == "audit:schedule-vs-demands" for v in violations
+        )
+
+    def test_isolation_clean_after_allocate(self, tree, config):
+        assert check_isolation(make_network(tree, config)) == []
+
+    def test_impossible_deadline_trips_rm_oracle(self, config):
+        # A 3-hop chain with echo: 6 hops end to end, but the deadline
+        # allows ~1 slot.  No schedule can meet it.
+        tree = TreeTopology({1: 0, 2: 1, 3: 2})
+        tasks = TaskSet(
+            [
+                Task(
+                    task_id=3,
+                    source=3,
+                    rate=1.0,
+                    echo=True,
+                    deadline_slotframes=0.01,
+                )
+            ]
+        )
+        harp = HarpNetwork(tree, tasks, config)
+        harp.allocate()
+        violations = check_rm_feasibility(harp)
+        assert violations
+        assert violations[0].oracle == "rm-feasibility"
+        assert "hop" in violations[0].message
+
+
+class TestConservationLaws:
+    """Unit tests for the engine's conservation hooks."""
+
+    def test_metrics_drop_attribution_open(self, config):
+        metrics = MetricsCollector(config)
+        metrics.dropped = 3
+        metrics.fault_drops = 1
+        findings = metrics.conservation_findings()
+        assert len(findings) == 1
+        assert "drop attribution" in findings[0]
+
+    def test_metrics_balance_closed_and_open(self, config):
+        metrics = MetricsCollector(config)
+        metrics.generated = 5
+        metrics.dropped = 1
+        metrics.fault_drops = 1
+        assert metrics.conservation_findings(queued=4) == []
+        findings = metrics.conservation_findings(queued=2)
+        assert len(findings) == 1
+        assert "packet conservation" in findings[0]
+
+    def test_simulator_closes_on_perfect_run(self, tree, config):
+        harp = make_network(tree, config)
+        sim = TSCHSimulator(
+            harp.topology, harp.schedule, harp.task_set, harp.config
+        )
+        sim.run_slotframes(4)
+        assert sim.metrics.generated > 0
+        assert sim.conservation_findings() == []
+
+    def test_simulator_attributes_queue_overflow(self, config):
+        # One uplink cell for a rate-3 task: the source queue overflows
+        # and every overflow drop must be attributed.
+        tree = TreeTopology({1: 0})
+        tasks = TaskSet([Task(task_id=1, source=1, rate=3.0, echo=False)])
+        harp = HarpNetwork(tree, tasks, config)
+        harp.allocate()
+        # Strip down to a single cell to force queue pressure.
+        link = LinkRef(1, Direction.UP)
+        cells = harp.schedule.cells_of(link)
+        harp.schedule.remove_link(link)
+        harp.schedule.assign(cells[0], link)
+        sim = TSCHSimulator(
+            harp.topology, harp.schedule, harp.task_set, harp.config,
+            queue_capacity=1,
+        )
+        sim.run_slotframes(5)
+        assert sim.metrics.queue_overflow_drops > 0
+        assert sim.conservation_findings() == []
+
+    def test_queued_total_cache_check_fires_on_corruption(self, tree, config):
+        harp = make_network(tree, config)
+        sim = TSCHSimulator(
+            harp.topology, harp.schedule, harp.task_set, harp.config
+        )
+        sim.run_slots(30)
+        sim._queued_total += 1
+        assert any(
+            "queued-total cache" in finding
+            for finding in sim.conservation_findings()
+        )

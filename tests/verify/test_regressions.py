@@ -1,0 +1,70 @@
+"""Shrunken fuzz counterexamples, committed as permanent regressions.
+
+Each scenario here was found by ``repro fuzz`` (under a stress sweep of
+the generator), shrunk to a minimal witness, and fixed.  Keep them
+byte-stable: they replay the exact state that once broke.
+"""
+
+from repro.core.manager import HarpNetwork
+from repro.verify.fuzz import run_case
+from repro.verify.generators import DynamicsOp, Scenario, TaskSpec
+from repro.verify.oracles import check_audits, check_scenario_network
+
+#: Stress seed 340, shrunk: a 6-deep chain on a tight 71x4 frame where
+#: the second rate change is rejected partway down the routing path.
+#: Before the fix, ``request_rate_change`` rolled back only the failing
+#: link, leaving earlier links' demands at the rejected rate — the
+#: ``audit:demands-vs-tasks`` oracle fired after op 1.
+RATE_CHANGE_ROLLBACK = Scenario(
+    seed=340,
+    parent_map={1: 0, 2: 1, 3: 2, 4: 3, 5: 4, 6: 5},
+    tasks=(
+        TaskSpec(task_id=2, source=2, rate=3.0, echo=False),
+        TaskSpec(task_id=3, source=3, rate=1.0, echo=True),
+        TaskSpec(
+            task_id=5, source=5, rate=3.0, echo=True,
+            deadline_slotframes=5.0,
+        ),
+        TaskSpec(task_id=6, source=6, rate=1.0, echo=True),
+    ),
+    num_slots=71,
+    num_channels=4,
+    case1_slack=1,
+    distribute_slack=True,
+    ops=(
+        DynamicsOp("rate_change", 3, rate=1.5),
+        DynamicsOp("rate_change", 6, rate=2.0),
+    ),
+)
+
+
+class TestRateChangeRollback:
+    def test_shrunken_counterexample_replays_clean(self):
+        result = run_case(RATE_CHANGE_ROLLBACK)
+        assert result.outcome == "ok", result.violations
+
+    def test_rejected_rate_change_restores_demands(self):
+        """Direct manager-level form of the same defect: a rejected
+        rate change must leave ``link_demands`` exactly matching the
+        (unchanged) task set on every link of the path, not just the
+        one that failed."""
+        harp = HarpNetwork(
+            RATE_CHANGE_ROLLBACK.topology(),
+            RATE_CHANGE_ROLLBACK.task_set(),
+            RATE_CHANGE_ROLLBACK.config(),
+            case1_slack=RATE_CHANGE_ROLLBACK.case1_slack,
+            distribute_slack=RATE_CHANGE_ROLLBACK.distribute_slack,
+        )
+        harp.allocate()
+        first = harp.request_rate_change(3, 1.5)
+        assert first.success
+
+        second = harp.request_rate_change(6, 2.0)
+        assert not second.success  # the witness hinges on this rejection
+        # The task keeps its old rate, so demands must match it again.
+        assert harp.task_set.by_id(6).rate == 1.0
+        expected = harp.task_set.link_demands(harp.topology)
+        for link, demand in harp.link_demands.items():
+            assert demand == expected.get(link, 0), link
+        assert check_audits(harp) == []
+        assert check_scenario_network(harp) == []
