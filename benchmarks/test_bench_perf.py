@@ -77,3 +77,47 @@ def test_engine_throughput_vs_committed_baseline(report):
         f"hardware-scaled baseline {expected:,.0f} slots/s "
         f"(committed {committed_fast:,.0f} at scale {hardware_scale:.2f})"
     )
+
+
+# ----------------------------------------------------------------------
+# scaling suite gate
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scale_report():
+    from repro.bench import run_scale_benchmarks
+
+    # N=100 only: the gate checks the speedup ratios, which are already
+    # visible at small scale; the nightly job runs the full ladder.
+    return run_scale_benchmarks(sizes=(100,))
+
+
+def test_scale_report_shape(scale_report):
+    point = scale_report["points"]["100"]
+    assert point["static"]["seconds"] > 0
+    assert point["storm"]["ops_per_sec"] > 0
+    assert point["engine"]["slots_per_sec"] > 0
+    assert scale_report["baseline"]["storm_seconds"]["100"] > 0
+
+
+def test_scale_speedup_vs_committed_baseline(scale_report):
+    """Static allocation and the dynamics storm must stay well ahead of
+    the committed pre-optimization numbers.
+
+    Raw wall-clock is hardware-dependent, so the speedups are
+    normalized by the engine-throughput ratio (the engine is untouched
+    by the indexed-topology work, making it a hardware proxy).
+    """
+    per = scale_report["speedup_vs_baseline"]["100"]
+    hardware = per["engine"]
+    assert per["storm"] / hardware > 1.5, per
+    assert per["static"] / hardware > 1.2, per
+
+
+def test_scale_meta_block_present():
+    from repro.bench import collect_meta
+
+    meta = collect_meta(seed=7)
+    for key in ("python", "platform", "machine", "timestamp", "seed"):
+        assert key in meta

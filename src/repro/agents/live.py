@@ -281,6 +281,25 @@ class LiveHarpNetwork:
         span = self.config.management_slots
         return self.config.data_slots + (2 * node) % span
 
+    def _mgmt_buckets(self) -> Dict[int, List[int]]:
+        """Nodes grouped by management tx slot.
+
+        Rebuilt only when the topology instance changes (every mutation
+        produces a new one), so servicing a management slot touches the
+        handful of nodes whose cell it is instead of scanning the whole
+        network once per slot.  Bucket order follows ``topology.nodes``,
+        matching the scan it replaces.
+        """
+        cached = getattr(self, "_mgmt_bucket_cache", None)
+        topo = self.topology
+        if cached is None or cached[0] is not topo:
+            buckets: Dict[int, List[int]] = {}
+            for node in topo.nodes:
+                buckets.setdefault(self._mgmt_tx_slot(node), []).append(node)
+            cached = (topo, buckets)
+            self._mgmt_bucket_cache = cached
+        return cached[1]
+
     # ------------------------------------------------------------------
     # fault state
     # ------------------------------------------------------------------
@@ -341,10 +360,11 @@ class LiveHarpNetwork:
         frame_slot = self.sim.current_slot % self.config.num_slots
         if frame_slot < self.config.data_slots:
             return
+        nodes = self._mgmt_buckets().get(frame_slot)
+        if not nodes:
+            return
         loss = self._effective_mgmt_loss()
-        for node in self.topology.nodes:
-            if self._mgmt_tx_slot(node) != frame_slot:
-                continue
+        for node in nodes:
             if self.node_down(node):
                 continue  # a crashed sender transmits nothing
             outbox = self._outboxes[node]

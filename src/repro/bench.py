@@ -33,15 +33,18 @@ are hardware-independent.
 from __future__ import annotations
 
 import json
+import platform
 import random
+import subprocess
+import sys
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from .core.manager import HarpNetwork
 from .net.sim.engine import TSCHSimulator
 from .net.slotframe import SlotframeConfig
-from .net.tasks import e2e_task_per_node
-from .net.topology import regular_tree
+from .net.tasks import Task, e2e_task_per_node
+from .net.topology import layered_random_tree, regular_tree
 from .packing.composition import CompositionCache, compose_components
 from .packing.geometry import Rect
 
@@ -167,6 +170,278 @@ def bench_fault_sweep(workers: Optional[int] = None) -> Dict[str, float]:
     return {"seconds": time.perf_counter() - start}
 
 
+# ----------------------------------------------------------------------
+# scaling suite: the same pipeline at 100 .. 10k nodes
+# ----------------------------------------------------------------------
+
+#: Tree depth of every scale-suite topology: deep enough that the
+#: hierarchy matters, constant so per-size numbers are comparable.
+SCALE_DEPTH = 8
+
+#: Pre-optimization numbers for the scale suite (the PR-5 code measured
+#: on the reference box with exactly the scenarios below: storm_ops=12,
+#: engine_slotframes=3, seed=7).  ``None`` marks sizes the naive code
+#: was never measured at.
+SCALE_BASELINE: Dict[str, Dict[str, Optional[float]]] = {
+    "static_seconds": {"100": 0.028, "1000": 0.222, "5000": 1.717},
+    "storm_seconds": {"100": 0.152, "1000": 1.794, "5000": 18.918},
+    "engine_slots_per_sec": {
+        "100": 749622.0, "1000": 1018910.0, "5000": 789032.0,
+    },
+}
+
+
+def _scale_network(n: int, seed: int = 7, rate: float = 1.0):
+    """The scale-suite workload at ``n`` devices: a depth-8 layered
+    random tree, a slotframe wide enough for the demand, one e2e task
+    per device."""
+    topology = layered_random_tree(n, SCALE_DEPTH, random.Random(seed + n))
+    config = SlotframeConfig(num_slots=max(199, 8 * n), num_channels=16)
+    tasks = e2e_task_per_node(topology, rate=rate)
+    return topology, tasks, config
+
+
+def bench_scale_static(n: int, seed: int = 7) -> Dict[str, float]:
+    """Static allocation + invariant validation wall time at ``n`` nodes."""
+    topology, tasks, config = _scale_network(n, seed)
+    start = time.perf_counter()
+    harp = HarpNetwork(
+        topology, tasks, config, case1_slack=1, distribute_slack=True
+    )
+    harp.allocate()
+    harp.validate()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "nodes_per_sec": n / elapsed,
+        "cells": float(harp.schedule.total_assignments),
+    }
+
+
+def bench_scale_storm(
+    n: int, ops: int = 12, seed: int = 7
+) -> Dict[str, float]:
+    """A scripted dynamics storm: rate changes, joins, parent switches
+    and leaves interleaved on one allocated network.
+
+    The op script is a pure function of (n, ops, seed) and of the
+    network state it evolves, so pre- and post-optimization code does
+    the identical semantic work — the numbers compare like for like.
+    """
+    from .core.dynamics import TopologyManager
+
+    topology, tasks, config = _scale_network(n, seed)
+    harp = HarpNetwork(
+        topology, tasks, config, case1_slack=1, distribute_slack=True
+    )
+    harp.allocate()
+    manager = TopologyManager(harp)
+    rng = random.Random(seed * 1000 + n)
+    next_id = max(harp.topology.nodes) + 1
+    succeeded = 0
+
+    start = time.perf_counter()
+    for i in range(ops):
+        kind = ("rate", "attach", "reparent", "detach")[i % 4]
+        topo = harp.topology
+        if kind == "rate":
+            node = rng.choice(list(topo.device_nodes))
+            task_ids = [t.task_id for t in harp.task_set if t.source == node]
+            if not task_ids:
+                continue
+            old = harp.task_set.by_id(task_ids[0]).rate
+            report = harp.request_rate_change(
+                task_ids[0], 1.5 if old <= 1.0 else 1.0
+            )
+            succeeded += bool(report.success)
+        elif kind == "attach":
+            parent = rng.choice(list(topo.device_nodes))
+            report = manager.attach(
+                next_id, parent,
+                Task(task_id=next_id, source=next_id, rate=1.0),
+            )
+            next_id += 1
+            succeeded += bool(report.success)
+        else:
+            leaves = [d for d in topo.device_nodes if topo.is_leaf(d)]
+            if not leaves:
+                continue
+            leaf = rng.choice(leaves)
+            if kind == "reparent":
+                candidates = [
+                    d for d in topo.device_nodes
+                    if d != leaf and topo.depth_of(d) < topo.max_layer
+                ]
+                if not candidates:
+                    continue
+                report = manager.reparent(leaf, rng.choice(candidates))
+            else:
+                report = manager.detach(leaf)
+            succeeded += bool(report.success)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "ops": float(ops),
+        "ops_per_sec": ops / elapsed,
+        "succeeded": float(succeeded),
+    }
+
+
+def bench_scale_engine(
+    n: int, slotframes: int = 3, seed: int = 7
+) -> Dict[str, float]:
+    """Engine burst at ``n`` nodes: light traffic over a wide slotframe,
+    exactly where the event-skipping core should shine."""
+    topology, tasks, config = _scale_network(n, seed, rate=0.05)
+    harp = HarpNetwork(
+        topology, tasks, config, case1_slack=1, distribute_slack=True
+    )
+    harp.allocate()
+    sim = TSCHSimulator(
+        topology, harp.schedule, tasks, config,
+        rng=random.Random(seed),
+        max_packet_age_slots=10 * config.num_slots,
+        event_skipping=True,
+    )
+    slots = slotframes * config.num_slots
+    start = time.perf_counter()
+    sim.run_slots(slots)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "slots_per_sec": slots / elapsed,
+        "delivered": float(len(sim.metrics.deliveries)),
+        "generated": float(sim.metrics.generated),
+    }
+
+
+def run_scale_benchmarks(
+    sizes: Sequence[int] = (100, 1000, 5000, 10000),
+    storm_ops: int = 12,
+    engine_slotframes: int = 3,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Run the full scaling suite and assemble its report section.
+
+    Per size: static allocation, the dynamics storm and the engine
+    burst.  ``speedup_vs_baseline`` compares against the committed
+    pre-optimization :data:`SCALE_BASELINE` where that was measured.
+    """
+    points: Dict[str, Dict[str, Dict[str, float]]] = {}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        static = bench_scale_static(n, seed)
+        storm = bench_scale_storm(n, storm_ops, seed)
+        engine = bench_scale_engine(n, engine_slotframes, seed)
+        points[str(n)] = {
+            "static": static, "storm": storm, "engine": engine,
+        }
+        point_speedups: Dict[str, float] = {}
+        base_static = SCALE_BASELINE["static_seconds"].get(str(n))
+        if base_static:
+            point_speedups["static"] = base_static / static["seconds"]
+        base_storm = SCALE_BASELINE["storm_seconds"].get(str(n))
+        if base_storm:
+            point_speedups["storm"] = base_storm / storm["seconds"]
+        base_engine = SCALE_BASELINE["engine_slots_per_sec"].get(str(n))
+        if base_engine:
+            point_speedups["engine"] = (
+                engine["slots_per_sec"] / base_engine
+            )
+        if point_speedups:
+            speedups[str(n)] = point_speedups
+    return {
+        "sizes": list(sizes),
+        "storm_ops": storm_ops,
+        "engine_slotframes": engine_slotframes,
+        "seed": seed,
+        "points": points,
+        "baseline": {k: dict(v) for k, v in SCALE_BASELINE.items()},
+        "speedup_vs_baseline": speedups,
+    }
+
+
+def render_scale_report(scale: Dict[str, object]) -> str:
+    """Human-readable scaling table."""
+    lines = [
+        "   nodes   static s     storm s    storm op/s   engine slots/s",
+        "  ------  ----------  ----------  -----------  ---------------",
+    ]
+    for n in scale["sizes"]:
+        p = scale["points"][str(n)]
+        lines.append(
+            f"  {n:>6}  {p['static']['seconds']:>10.3f}  "
+            f"{p['storm']['seconds']:>10.3f}  "
+            f"{p['storm']['ops_per_sec']:>11.2f}  "
+            f"{p['engine']['slots_per_sec']:>15,.0f}"
+        )
+    speedups = scale.get("speedup_vs_baseline") or {}
+    if speedups:
+        lines.append("")
+        lines.append("speedup vs pre-optimization baseline (same scenarios):")
+        for n, per in sorted(speedups.items(), key=lambda kv: int(kv[0])):
+            parts = ", ".join(
+                f"{name} {value:.2f}x" for name, value in sorted(per.items())
+            )
+            lines.append(f"  N={n:<6} {parts}")
+    return "\n".join(lines)
+
+
+def collect_meta(seed: Optional[int] = None) -> Dict[str, object]:
+    """Provenance block for benchmark JSON: what ran where, when.
+
+    Makes ``BENCH_perf.json`` points comparable across machines and
+    PRs — a number without its python version, platform and git sha is
+    just a number.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    meta: Dict[str, object] = {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": sha,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if seed is not None:
+        meta["seed"] = seed
+    return meta
+
+
+def profile_scenario(
+    scenario: str, size: int = 1000, top: int = 25, seed: int = 7
+) -> str:
+    """cProfile one scale scenario; returns the top-``top`` cumulative
+    hot spots as text (the ``repro profile`` command)."""
+    import cProfile
+    import io
+    import pstats
+
+    runners = {
+        "static": lambda: bench_scale_static(size, seed),
+        "storm": lambda: bench_scale_storm(size, seed=seed),
+        "engine": lambda: bench_scale_engine(size, seed=seed),
+    }
+    if scenario not in runners:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; pick one of {sorted(runners)}"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runners[scenario]()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
 def run_benchmarks(
     slotframes: int = 400,
     include_sweeps: bool = True,
@@ -181,7 +456,8 @@ def run_benchmarks(
     comp_cached = bench_composition(cached=True)
 
     report: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
+        "meta": collect_meta(),
         "seed_baseline": dict(SEED_BASELINE),
         "engine": {
             "fast_path": engine_fast,
@@ -242,6 +518,22 @@ def write_report(report: Dict[str, object], path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def merge_report(path: str, updates: Dict[str, object]) -> Dict[str, object]:
+    """Merge ``updates`` into the JSON report at ``path`` (creating it
+    when absent) — how ``repro bench --scale`` appends the scaling
+    section to an existing ``BENCH_perf.json`` without clobbering the
+    hot-path numbers."""
+    report: Dict[str, object] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {}
+    report.update(updates)
+    write_report(report, path)
+    return report
 
 
 def render_report(report: Dict[str, object]) -> str:

@@ -284,7 +284,27 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import render_report, run_benchmarks, write_report
+    from .bench import (
+        collect_meta,
+        merge_report,
+        render_report,
+        render_scale_report,
+        run_benchmarks,
+        run_scale_benchmarks,
+        write_report,
+    )
+
+    if args.scale:
+        sizes = args.sizes or [100, 1000, 5000, 10000]
+        scale = run_scale_benchmarks(sizes=sizes, seed=args.seed)
+        print(render_scale_report(scale))
+        if args.out is not None:
+            merge_report(
+                args.out,
+                {"scale": scale, "meta": collect_meta(seed=args.seed)},
+            )
+            print(f"\nmerged scale section into {args.out}")
+        return 0
 
     report = run_benchmarks(
         slotframes=args.slotframes,
@@ -295,6 +315,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.out is not None:
         write_report(report, args.out)
         print(f"\nwrote {args.out}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .bench import profile_scenario
+
+    print(
+        profile_scenario(
+            args.scenario, size=args.size, top=args.top, seed=args.seed
+        )
+    )
     return 0
 
 
@@ -383,7 +414,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None,
         help="write the benchmark report as JSON (e.g. BENCH_perf.json)",
     )
+    p.add_argument(
+        "--scale", action="store_true",
+        help="run the scaling suite (static / storm / engine per size) "
+        "instead of the hot-path benchmarks; --out merges the scale "
+        "section into an existing report",
+    )
+    p.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="network sizes for --scale (default: 100 1000 5000 10000)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=7,
+        help="workload seed for --scale scenarios",
+    )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "profile", help="cProfile one scaling scenario"
+    )
+    p.add_argument(
+        "scenario", choices=("static", "storm", "engine"),
+        help="which scale scenario to profile",
+    )
+    p.add_argument("--size", type=int, default=1000, help="network size")
+    p.add_argument(
+        "--top", type=int, default=25,
+        help="number of cumulative hot spots to print",
+    )
+    p.add_argument("--seed", type=int, default=7, help="workload seed")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "fuzz", help="conformance fuzzing with invariant oracles"

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..net.tasks import Task, TaskSet, demands_by_parent
+from ..net.tasks import Task, TaskSet, demands_by_parent, demands_for_parent
 from ..net.topology import Direction, LinkRef, TreeTopology
 from .adjustment import AdjustmentOutcome
 from .interface_gen import generate_interfaces
@@ -103,7 +103,7 @@ class TopologyManager:
     def detach(self, node: int) -> TopologyChangeReport:
         """Remove ``node``'s subtree (and every task it sources)."""
         harp = self.harp
-        removed = set(harp.topology.subtree_nodes(node))
+        removed = set(harp.topology.subtree_span(node))
         new_topology = harp.topology.with_detached(node)
         tasks = TaskSet(
             [
@@ -134,7 +134,7 @@ class TopologyManager:
         harp = self.harp
         report = TopologyChangeReport(kind=kind, node=node)
         moved = (
-            set(harp.topology.subtree_nodes(node))
+            set(harp.topology.subtree_span(node))
             if node in harp.topology
             else {node}
         )
@@ -146,7 +146,9 @@ class TopologyManager:
         # 1. Free the moved subtree's footprint: schedule entries,
         #    partitions, interface state, and its slots in ancestors'
         #    layouts (the freed cells become idle holes — release rule).
-        self._purge_subtree(moved)
+        self._purge_subtree(
+            moved, node, old_managers[0] if old_managers else None
+        )
 
         # 2. Swap the network state.
         harp.topology = new_topology
@@ -160,7 +162,7 @@ class TopologyManager:
             # 3. Re-register the subtree's interfaces with their new
             #    layer indices (reparent/attach only).
             if kind in ("attach", "reparent") and node in new_topology:
-                self._register_subtree_interfaces(moved)
+                self._register_subtree_interfaces(node, moved)
                 self._request_subtree_partitions(node, report)
                 self._grow_new_path(node, report)
             # 4. Shrink the old path: each former ancestor releases the
@@ -185,7 +187,9 @@ class TopologyManager:
             harp.validate()
         return report
 
-    def _purge_subtree(self, moved: Set[int]) -> None:
+    def _purge_subtree(
+        self, moved: Set[int], root: int, old_parent: Optional[int]
+    ) -> None:
         harp = self.harp
         schedule = harp.schedule
         for member in moved:
@@ -199,19 +203,32 @@ class TopologyManager:
                     harp.partitions.remove(
                         partition.owner, partition.layer, partition.direction
                     )
-            table.layouts = {
-                key: {
-                    child: rect
-                    for child, rect in layout.items()
-                    if int(child) not in moved
-                }
-                for key, layout in table.layouts.items()
-                if key[0] not in moved
-            }
+            # Drop the subtree's own layouts; the only layouts *outside*
+            # the subtree referencing a moved node belong to the old
+            # parent (the single tree edge into the subtree), and the
+            # referenced tag is the subtree root — so the full
+            # layouts-dict rebuild reduces to these targeted edits.
+            stale = [key for key in table.layouts if key[0] in moved]
+            for key in stale:
+                del table.layouts[key]
+            if old_parent is not None and old_parent not in moved:
+                for key, layout in table.layouts.items():
+                    if key[0] == old_parent:
+                        table.layouts[key] = {
+                            child: rect
+                            for child, rect in layout.items()
+                            if int(child) != root
+                        }
 
-    def _register_subtree_interfaces(self, moved: Set[int]) -> None:
+    def _register_subtree_interfaces(self, root: int, moved: Set[int]) -> None:
         """Regenerate the moved subtree's interfaces (fresh layer
-        indices) and merge them into the live tables."""
+        indices) and merge them into the live tables.
+
+        Generation is restricted to ``root``'s subtree — a member's
+        interface depends only on demands and child interfaces inside
+        the subtree, so the results match a full-tree regeneration —
+        and reuses the network's composition cache.
+        """
         harp = self.harp
         for direction in (Direction.UP, Direction.DOWN):
             fresh = generate_interfaces(
@@ -220,6 +237,8 @@ class TopologyManager:
                 direction,
                 harp.config.num_channels,
                 harp.case1_slack,
+                cache=harp.composition_cache,
+                root=root,
             )
             table = harp.tables[direction]
             for member in moved:
@@ -262,11 +281,10 @@ class TopologyManager:
             n for n in topology.path_to_gateway(node) if n != node
         ]
         for direction in (Direction.UP, Direction.DOWN):
-            per_parent = demands_by_parent(
-                topology, harp.link_demands, direction
-            )
             for manager in path_managers:  # deepest first already
-                demands = per_parent.get(manager, {})
+                demands = demands_for_parent(
+                    topology, harp.link_demands, manager, direction
+                )
                 if not demands:
                     continue
                 new_total = sum(demands.values())

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
-from ..net.tasks import demands_by_parent
+from ..net.tasks import demands_by_parent, demands_for_parent
 from ..net.topology import Direction, LinkRef, TreeTopology
 from ..packing.composition import CompositionCache, compose_components
 from ..packing.geometry import PlacedRect, Rect
@@ -76,6 +76,7 @@ def generate_interfaces(
     num_channels: int,
     case1_slack: int = 0,
     cache: Optional[CompositionCache] = None,
+    root: Optional[int] = None,
 ) -> InterfaceTable:
     """Run the bottom-up interface-generation phase for one direction.
 
@@ -88,13 +89,27 @@ def generate_interfaces(
     small traffic increases be absorbed locally (the first rate step in
     Fig. 10); slack reproduces that headroom and is ablated in the
     benchmarks.
+
+    ``root`` restricts generation to the subtree rooted there — the
+    dynamics fast path, since a moved subtree's interfaces depend only
+    on demands and interfaces *inside* the subtree.  The per-node
+    results are identical to a full-tree run; ``post_intf_messages``
+    then counts the subtree's messages only.
     """
     if case1_slack < 0:
         raise ValueError(f"case1_slack must be >= 0, got {case1_slack}")
     table = InterfaceTable(direction=direction)
-    per_parent = demands_by_parent(topology, link_demands, direction)
+    if root is None:
+        scope = topology.nodes_bottom_up()
+        per_parent = demands_by_parent(topology, link_demands, direction)
+    else:
+        scope = sorted(
+            topology.subtree_span(root),
+            key=lambda n: (-topology.depth_of(n), n),
+        )
+        per_parent = None
 
-    for node in topology.nodes_bottom_up():
+    for node in scope:
         if topology.is_leaf(node):
             continue
         interface = ResourceInterface(owner=node, direction=direction)
@@ -102,7 +117,13 @@ def generate_interfaces(
 
         # Case 1: the node's own child links share the node, hence one
         # channel row of the accumulated width.
-        total = sum(per_parent.get(node, {}).values())
+        if per_parent is not None:
+            demands = per_parent.get(node, {})
+        else:
+            demands = demands_for_parent(
+                topology, link_demands, node, direction
+            )
+        total = sum(demands.values())
         if total > 0:
             interface.add(
                 ResourceComponent(

@@ -24,7 +24,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..net.protocol.transport import ManagementPlane
 from ..net.slotframe import ConflictReport, Schedule, SlotframeConfig
-from ..net.tasks import TaskSet, demands_by_parent
+from ..net.tasks import TaskSet, demands_for_parent
 from ..net.topology import Direction, LinkRef, TreeTopology
 from ..packing.composition import CompositionCache
 from .adjustment import AdjustmentOutcome, PartitionAdjuster
@@ -307,10 +307,11 @@ class HarpNetwork:
         ``self.link_demands`` has been updated."""
         manager = self.topology.parent_of(link.child)
         layer = self.topology.link_layer(link.child)
-        per_parent = demands_by_parent(
-            self.topology, self.link_demands, link.direction
+        new_total = sum(
+            demands_for_parent(
+                self.topology, self.link_demands, manager, link.direction
+            ).values()
         )
-        new_total = sum(per_parent.get(manager, {}).values())
         old_component = None
         table = self.tables[link.direction]
         if table.has_component(manager, layer):
@@ -331,10 +332,9 @@ class HarpNetwork:
         moved) partition; returns schedule-update message count."""
         if self._schedule is None:
             return 0
-        per_parent = demands_by_parent(
-            self.topology, self.link_demands, direction
+        demands = demands_for_parent(
+            self.topology, self.link_demands, node, direction
         )
-        demands = per_parent.get(node, {})
         old_cells = {
             child: self._schedule.cells_of(LinkRef(child, direction))
             for child in self.topology.children_of(node)

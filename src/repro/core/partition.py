@@ -20,6 +20,42 @@ from ..packing.geometry import PlacedRect
 PartitionKey = Tuple[int, int, Direction]
 
 
+def _check_group_disjoint(group: List["Partition"]) -> None:
+    """Raise when any two partitions in ``group`` overlap.
+
+    Sweep-line over the slot axis: after sorting by start slot, each
+    partition is only compared to the still-active ones (start slot
+    reached, end slot not passed).  On the disjoint tilings produced by
+    allocation the active set stays tiny, so wide sibling groups (e.g.
+    the gateway's at a breadth-heavy layer) cost O(k log k) rather than
+    the all-pairs O(k²).
+    """
+    if len(group) < 2:
+        return
+    ordered = sorted(
+        (p for p in group if not p.region.is_empty),
+        key=lambda p: p.region.x,
+    )
+    active: List[Partition] = []
+    for part in ordered:
+        region = part.region
+        still: List[Partition] = []
+        for other in active:
+            o_region = other.region
+            if o_region.x + o_region.width <= region.x:
+                continue  # ends before this one starts: retire it
+            still.append(other)
+            if (
+                region.y < o_region.y + o_region.height
+                and o_region.y < region.y + region.height
+            ):
+                raise PartitionIsolationError(
+                    f"sibling partitions overlap: {other} vs {part}"
+                )
+        still.append(part)
+        active = still
+
+
 @dataclass(frozen=True)
 class Partition:
     """A placed resource block dedicated to subtree ``G_owner`` at one
@@ -81,10 +117,17 @@ class PartitionTable:
 
     def __init__(self) -> None:
         self._table: Dict[PartitionKey, Partition] = {}
+        # Secondary index: owner -> {(layer, direction): partition}.
+        # Keeps ``of_node`` O(own partitions) instead of O(table); the
+        # dynamics purge path calls it once per moved subtree member.
+        self._by_owner: Dict[int, Dict[Tuple[int, Direction], Partition]] = {}
 
     def set(self, partition: Partition) -> None:
         """Insert or replace a partition."""
         self._table[partition.key] = partition
+        self._by_owner.setdefault(partition.owner, {})[
+            (partition.layer, partition.direction)
+        ] = partition
 
     def get(
         self, owner: int, layer: int, direction: Direction
@@ -98,13 +141,20 @@ class PartitionTable:
 
     def remove(self, owner: int, layer: int, direction: Direction) -> None:
         """Delete a partition if present."""
-        self._table.pop((owner, layer, direction), None)
+        removed = self._table.pop((owner, layer, direction), None)
+        if removed is not None:
+            owned = self._by_owner[owner]
+            del owned[(layer, direction)]
+            if not owned:
+                del self._by_owner[owner]
 
     def of_node(self, owner: int) -> List[Partition]:
         """All partitions owned by ``owner``, sorted by (direction, layer)."""
+        owned = self._by_owner.get(owner)
+        if not owned:
+            return []
         return sorted(
-            (p for p in self._table.values() if p.owner == owner),
-            key=lambda p: (p.direction.value, p.layer),
+            owned.values(), key=lambda p: (p.direction.value, p.layer)
         )
 
     def at_layer(self, layer: int, direction: Direction) -> List[Partition]:
@@ -128,6 +178,9 @@ class PartitionTable:
         """Shallow copy (partitions are immutable)."""
         clone = PartitionTable()
         clone._table = dict(self._table)
+        clone._by_owner = {
+            owner: dict(owned) for owner, owned in self._by_owner.items()
+        }
         return clone
 
     # ------------------------------------------------------------------
@@ -144,7 +197,7 @@ class PartitionTable:
            across layers and directions.
         """
         gateway = topology.gateway_id
-        top = [p for p in self._table.values() if p.owner == gateway]
+        top = list(self._by_owner.get(gateway, {}).values())
         for i, a in enumerate(top):
             for b in top[i + 1:]:
                 if a.region.overlaps(b.region):
@@ -152,12 +205,22 @@ class PartitionTable:
                         f"gateway partitions overlap: {a} vs {b}"
                     )
 
+        # Group non-gateway partitions by (parent, layer, direction) so
+        # the sibling-disjointness check compares each sibling group
+        # pairwise once, instead of re-walking ``children_of(parent)``
+        # with table lookups for every partition.
+        parent_map = topology.parent_map
+        sibling_groups: Dict[
+            Tuple[int, int, Direction], List[Partition]
+        ] = {}
         for partition in self._table.values():
             owner = partition.owner
             if owner == gateway:
                 continue
-            parent = topology.parent_of(owner)
-            parent_part = self.get(parent, partition.layer, partition.direction)
+            parent = parent_map[owner]
+            parent_part = self._table.get(
+                (parent, partition.layer, partition.direction)
+            )
             if parent_part is None:
                 raise PartitionIsolationError(
                     f"{partition} has no parent partition at "
@@ -167,11 +230,8 @@ class PartitionTable:
                 raise PartitionIsolationError(
                     f"{partition} escapes parent {parent_part}"
                 )
-            for sibling in topology.children_of(parent):
-                if sibling == owner:
-                    continue
-                sib_part = self.get(sibling, partition.layer, partition.direction)
-                if sib_part and sib_part.region.overlaps(partition.region):
-                    raise PartitionIsolationError(
-                        f"sibling partitions overlap: {partition} vs {sib_part}"
-                    )
+            sibling_groups.setdefault(
+                (parent, partition.layer, partition.direction), []
+            ).append(partition)
+        for group in sibling_groups.values():
+            _check_group_disjoint(group)

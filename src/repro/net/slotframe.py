@@ -221,11 +221,18 @@ class Schedule:
                 report.cell_conflicts.append(cell)
                 colliding.update((cell, link) for link in users)
 
-        # Node activity per slot: node -> list of (cell, link).
+        # Node activity per slot: node -> list of (cell, link).  A link
+        # appears in one cell per demand unit, so memoize its endpoints
+        # instead of re-deriving them per assignment.
+        endpoint_memo: Dict[LinkRef, Tuple[int, int]] = {}
         by_slot_node: Dict[Tuple[int, int], List[Tuple[Cell, LinkRef]]] = {}
         for cell, users in self._by_cell.items():
             for link in users:
-                for node in link.endpoints(topology):
+                endpoints = endpoint_memo.get(link)
+                if endpoints is None:
+                    endpoints = link.endpoints(topology)
+                    endpoint_memo[link] = endpoints
+                for node in endpoints:
                     by_slot_node.setdefault((cell.slot, node), []).append(
                         (cell, link)
                     )
@@ -246,7 +253,36 @@ class Schedule:
         return report
 
     def validate_collision_free(self, topology: TreeTopology) -> None:
-        """Raise :class:`ScheduleConflictError` on any conflict."""
+        """Raise :class:`ScheduleConflictError` on any conflict.
+
+        A single certifying scan handles the (overwhelmingly common)
+        clean case: every cell hosts one link and no node is active in
+        two distinct cells of one slot — which is exactly
+        ``conflicts().is_collision_free``.  Only when the scan trips
+        does the full :meth:`conflicts` reporter run to build the error.
+        """
+        endpoint_memo: Dict[LinkRef, Tuple[int, int]] = {}
+        seen: Dict[Tuple[int, int], Cell] = {}
+        clean = True
+        for cell, users in self._by_cell.items():
+            if len(users) != 1:
+                clean = False
+                break
+            link = users[0]
+            endpoints = endpoint_memo.get(link)
+            if endpoints is None:
+                endpoints = link.endpoints(topology)
+                endpoint_memo[link] = endpoints
+            slot = cell.slot
+            for node in endpoints:
+                prev = seen.setdefault((slot, node), cell)
+                if prev != cell:
+                    clean = False
+                    break
+            if not clean:
+                break
+        if clean:
+            return
         report = self.conflicts(topology)
         if not report.is_collision_free:
             raise ScheduleConflictError(report)

@@ -85,10 +85,12 @@ class TaskSet:
     """A collection of tasks plus the demand-derivation logic."""
 
     tasks: List[Task] = field(default_factory=list)
+    _index: Dict[int, Task] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        ids = [t.task_id for t in self.tasks]
-        if len(set(ids)) != len(ids):
+        self._index = {t.task_id: t for t in self.tasks}
+        if len(self._index) != len(self.tasks):
+            ids = [t.task_id for t in self.tasks]
             raise ValueError(f"duplicate task ids: {ids}")
 
     def __iter__(self):
@@ -98,11 +100,11 @@ class TaskSet:
         return len(self.tasks)
 
     def by_id(self, task_id: int) -> Task:
-        """Look up a task by id."""
-        for task in self.tasks:
-            if task.task_id == task_id:
-                return task
-        raise KeyError(f"no task with id {task_id}")
+        """Look up a task by id (O(1))."""
+        try:
+            return self._index[task_id]
+        except KeyError:
+            raise KeyError(f"no task with id {task_id}") from None
 
     def with_rate(self, task_id: int, rate: float) -> "TaskSet":
         """A copy of the task set with one task's rate replaced.
@@ -110,12 +112,12 @@ class TaskSet:
         This is how the dynamic experiments (Fig. 10, Table II) model a
         runtime traffic change.
         """
+        if task_id not in self._index:
+            raise KeyError(f"no task with id {task_id}")
         updated = [
             replace(t, rate=rate) if t.task_id == task_id else t
             for t in self.tasks
         ]
-        if all(t.task_id != task_id for t in self.tasks):
-            raise KeyError(f"no task with id {task_id}")
         return TaskSet(updated)
 
     def tasks_through_link(
@@ -131,17 +133,26 @@ class TaskSet:
     @staticmethod
     def links_of_task(topology: TreeTopology, task: Task) -> List[LinkRef]:
         """The ordered links a packet of ``task`` traverses."""
-        links = topology.uplink_path(task.source)
+        links = list(topology.uplink_refs(task.source))
         if task.echo:
-            links = links + topology.downlink_path(task.downlink_target)
+            links.extend(topology.downlink_refs(task.downlink_target))
         return links
 
     def link_rates(self, topology: TreeTopology) -> Dict[LinkRef, float]:
-        """Accumulated packet rate per link (packets/slotframe)."""
+        """Accumulated packet rate per link (packets/slotframe).
+
+        Iterates the topology's cached path tuples directly (same links,
+        same order as :meth:`links_of_task`, minus one list per task).
+        """
         rates: Dict[LinkRef, float] = {}
+        get = rates.get
         for task in self.tasks:
-            for link in self.links_of_task(topology, task):
-                rates[link] = rates.get(link, 0.0) + task.rate
+            rate = task.rate
+            for link in topology.uplink_refs(task.source):
+                rates[link] = get(link, 0.0) + rate
+            if task.echo:
+                for link in topology.downlink_refs(task.downlink_target):
+                    rates[link] = get(link, 0.0) + rate
         return rates
 
     def link_demands(self, topology: TreeTopology) -> Dict[LinkRef, int]:
@@ -204,3 +215,25 @@ def demands_by_parent(
         parent = topology.parent_of(link.child)
         grouped.setdefault(parent, {})[link.child] = cells
     return grouped
+
+
+def demands_for_parent(
+    topology: TreeTopology,
+    demands: Mapping[LinkRef, int],
+    parent: int,
+    direction: Direction,
+) -> Dict[int, int]:
+    """One parent's slice of :func:`demands_by_parent`.
+
+    ``{child_id: r(e)}`` for ``parent``'s child links in ``direction``,
+    computed in O(children) instead of grouping all L links — the hot
+    path of per-node rescheduling during dynamics.  The result equals
+    ``demands_by_parent(...).get(parent, {})`` up to key order (callers
+    re-sort by priority anyway).
+    """
+    out: Dict[int, int] = {}
+    for child in topology.children_of(parent):
+        cells = demands.get(LinkRef(child, direction), 0)
+        if cells > 0:
+            out[child] = cells
+    return out

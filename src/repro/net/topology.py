@@ -18,7 +18,17 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 #: Conventional identifier of the gateway / root node.
 GATEWAY_ID = 0
@@ -46,6 +56,18 @@ class LinkRef:
 
     child: int
     direction: Direction
+    # Hash cached at construction: LinkRefs key every demand/schedule
+    # dict on the hot paths, so recomputing the field-tuple hash per
+    # probe is measurable at scale.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((LinkRef, self.child, self.direction))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def sender(self, topology: "TreeTopology") -> int:
         """Node that transmits on this link."""
@@ -82,6 +104,41 @@ class TreeTopology:
     gateway_id: int = GATEWAY_ID
     _children: Dict[int, List[int]] = field(init=False, repr=False)
     _depth: Dict[int, int] = field(init=False, repr=False)
+    # Immutable indices, built once per instance.  TreeTopology is
+    # never mutated in place — every mutation surface (``rerooted``,
+    # dynamics attach/detach/reparent) constructs a *new* instance, so
+    # ``__post_init__`` is the single rebuild point and the indices can
+    # never go stale.  ``verify_indices`` is the equivalence oracle.
+    _nodes: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _device_nodes: Tuple[int, ...] = field(
+        init=False, repr=False, compare=False
+    )
+    _preorder: List[int] = field(init=False, repr=False, compare=False)
+    _tin: Dict[int, int] = field(init=False, repr=False, compare=False)
+    _subtree_sizes: Dict[int, int] = field(
+        init=False, repr=False, compare=False
+    )
+    _subtree_max_depth: Dict[int, int] = field(
+        init=False, repr=False, compare=False
+    )
+    _max_layer: int = field(init=False, repr=False, compare=False)
+    _bottom_up: Tuple[int, ...] = field(
+        init=False, repr=False, compare=False
+    )
+    _top_down: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _non_leaf: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _by_depth: Dict[int, Tuple[int, ...]] = field(
+        init=False, repr=False, compare=False
+    )
+    _links_cache: Dict[Optional[Direction], Tuple["LinkRef", ...]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    _up_paths: Dict[int, Tuple["LinkRef", ...]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    _down_paths: Dict[int, Tuple["LinkRef", ...]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.gateway_id in self.parent_map:
@@ -111,20 +168,92 @@ class TreeTopology:
             raise TopologyError(
                 f"nodes unreachable from gateway (cycle?): {unreachable}"
             )
+        self._build_indices()
+
+    def _build_indices(self) -> None:
+        """Precompute the query indices (one O(n log n) pass).
+
+        * sorted node tuples (``nodes``/``device_nodes``/orderings),
+        * a preorder array with per-node subtree spans (Euler-tour style)
+          making ``subtree_nodes``/``subtree_size``/``is_ancestor``
+          index lookups instead of traversals,
+        * per-node deepest-descendant depths for ``subtree_max_layer``.
+        """
+        depth = self._depth
+        children = self._children
+        self._nodes = tuple(sorted(depth))
+        gateway = self.gateway_id
+        self._device_nodes = tuple(
+            n for n in self._nodes if n != gateway
+        )
+        self._max_layer = (
+            max(depth.values()) if len(depth) > 1 else 0
+        )
+
+        # Preorder (children visited ascending) + subtree spans.
+        preorder: List[int] = []
+        stack = [gateway]
+        while stack:
+            node = stack.pop()
+            preorder.append(node)
+            stack.extend(reversed(children[node]))
+        tin = {node: i for i, node in enumerate(preorder)}
+        sizes: Dict[int, int] = {}
+        deepest: Dict[int, int] = {}
+        for node in reversed(preorder):
+            size = 1
+            deep = depth[node]
+            for child in children[node]:
+                size += sizes[child]
+                if deepest[child] > deep:
+                    deep = deepest[child]
+            sizes[node] = size
+            deepest[node] = deep
+        self._preorder = preorder
+        self._tin = tin
+        self._subtree_sizes = sizes
+        self._subtree_max_depth = deepest
+
+        self._bottom_up = tuple(
+            sorted(self._nodes, key=lambda n: (-depth[n], n))
+        )
+        self._top_down = tuple(
+            sorted(self._nodes, key=lambda n: (depth[n], n))
+        )
+        self._non_leaf = tuple(
+            n for n in self._nodes if children[n]
+        )
+        by_depth: Dict[int, List[int]] = {}
+        for node in self._nodes:   # ascending ids -> sorted buckets
+            by_depth.setdefault(depth[node], []).append(node)
+        self._by_depth = {d: tuple(ns) for d, ns in by_depth.items()}
+        self._links_cache = {}
+        self._up_paths = {}
+        self._down_paths = {}
 
     # ------------------------------------------------------------------
     # structure queries
     # ------------------------------------------------------------------
 
     @property
-    def nodes(self) -> List[int]:
-        """All node ids including the gateway, ascending."""
-        return sorted(self._depth)
+    def nodes(self) -> Tuple[int, ...]:
+        """All node ids including the gateway, ascending (an immutable
+        tuple, computed once; use :meth:`nodes_list` for a fresh list)."""
+        return self._nodes
 
     @property
-    def device_nodes(self) -> List[int]:
-        """All node ids except the gateway, ascending."""
-        return sorted(n for n in self._depth if n != self.gateway_id)
+    def device_nodes(self) -> Tuple[int, ...]:
+        """All node ids except the gateway, ascending (immutable tuple;
+        use :meth:`device_nodes_list` for a fresh list)."""
+        return self._device_nodes
+
+    def nodes_list(self) -> List[int]:
+        """Mutable copy of :attr:`nodes` for callers that edit it."""
+        return list(self._nodes)
+
+    def device_nodes_list(self) -> List[int]:
+        """Mutable copy of :attr:`device_nodes`."""
+        return list(self._device_nodes)
 
     @property
     def num_nodes(self) -> int:
@@ -161,25 +290,34 @@ class TreeTopology:
     @property
     def max_layer(self) -> int:
         """Deepest link layer in the tree."""
-        return max(self._depth.values()) if len(self._depth) > 1 else 0
+        return self._max_layer
 
     def subtree_nodes(self, root: int) -> List[int]:
-        """All nodes of the subtree rooted at ``root`` (inclusive)."""
-        out: List[int] = []
-        frontier = [root]
-        while frontier:
-            node = frontier.pop()
-            out.append(node)
-            frontier.extend(self._children[node])
-        return sorted(out)
+        """All nodes of the subtree rooted at ``root`` (inclusive),
+        ascending — a sorted slice of the precomputed preorder span."""
+        start = self._tin[root]
+        return sorted(self._preorder[start:start + self._subtree_sizes[root]])
+
+    def subtree_span(self, root: int) -> Sequence[int]:
+        """The subtree's nodes in *preorder* (no sort) — the cheapest
+        way to iterate a subtree when order does not matter."""
+        start = self._tin[root]
+        return self._preorder[start:start + self._subtree_sizes[root]]
 
     def subtree_size(self, root: int) -> int:
-        """Number of nodes in the subtree rooted at ``root``."""
-        return len(self.subtree_nodes(root))
+        """Number of nodes in the subtree rooted at ``root`` (O(1))."""
+        return self._subtree_sizes[root]
 
     def subtree_max_layer(self, root: int) -> int:
-        """``l(G_{V_i})``: the deepest link layer within the subtree."""
-        return max(self._depth[n] for n in self.subtree_nodes(root))
+        """``l(G_{V_i})``: the deepest link layer within the subtree
+        (O(1) via the precomputed deepest-descendant index)."""
+        return self._subtree_max_depth[root]
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """True when ``node`` lies in ``ancestor``'s subtree (inclusive)
+        — an O(1) preorder-span containment test."""
+        start = self._tin[ancestor]
+        return start <= self._tin[node] < start + self._subtree_sizes[ancestor]
 
     def path_to_gateway(self, node: int) -> List[int]:
         """Node ids from ``node`` up to and including the gateway."""
@@ -188,45 +326,128 @@ class TreeTopology:
             path.append(self.parent_map[path[-1]])
         return path
 
+    def uplink_refs(self, node: int) -> Tuple[LinkRef, ...]:
+        """Uplink links from ``node`` to the gateway, as a lazily cached
+        immutable tuple (LinkRef construction dominates repeated
+        per-task path walks on large trees)."""
+        cached = self._up_paths.get(node)
+        if cached is None:
+            cached = tuple(
+                LinkRef(n, Direction.UP)
+                for n in self.path_to_gateway(node)
+                if n != self.gateway_id
+            )
+            self._up_paths[node] = cached
+        return cached
+
+    def downlink_refs(self, node: int) -> Tuple[LinkRef, ...]:
+        """Downlink links from the gateway to ``node`` (cached tuple)."""
+        cached = self._down_paths.get(node)
+        if cached is None:
+            cached = tuple(
+                LinkRef(link.child, Direction.DOWN)
+                for link in reversed(self.uplink_refs(node))
+            )
+            self._down_paths[node] = cached
+        return cached
+
     def uplink_path(self, node: int) -> List[LinkRef]:
         """Uplink links traversed by a packet from ``node`` to gateway."""
-        return [
-            LinkRef(n, Direction.UP)
-            for n in self.path_to_gateway(node)
-            if n != self.gateway_id
-        ]
+        return list(self.uplink_refs(node))
 
     def downlink_path(self, node: int) -> List[LinkRef]:
         """Downlink links traversed from the gateway to ``node``."""
-        hops = [n for n in self.path_to_gateway(node) if n != self.gateway_id]
-        return [LinkRef(n, Direction.DOWN) for n in reversed(hops)]
+        return list(self.downlink_refs(node))
 
-    def links(self, direction: Optional[Direction] = None) -> List[LinkRef]:
-        """All links in the tree, optionally filtered by direction."""
-        directions = [direction] if direction else [Direction.UP, Direction.DOWN]
-        return [
-            LinkRef(child, d)
-            for d in directions
-            for child in sorted(self.parent_map)
-        ]
+    def links(self, direction: Optional[Direction] = None) -> Tuple[LinkRef, ...]:
+        """All links in the tree, optionally filtered by direction.
 
-    def non_leaf_nodes(self) -> List[int]:
-        """Nodes with at least one child, ascending."""
-        return sorted(n for n in self._depth if self._children[n])
+        Returns a lazily built, cached immutable tuple; use
+        :meth:`links_list` for a fresh mutable list.
+        """
+        cached = self._links_cache.get(direction)
+        if cached is None:
+            directions = (
+                (direction,) if direction else (Direction.UP, Direction.DOWN)
+            )
+            cached = tuple(
+                LinkRef(child, d)
+                for d in directions
+                for child in self._device_nodes
+            )
+            self._links_cache[direction] = cached
+        return cached
 
-    def nodes_bottom_up(self) -> List[int]:
+    def links_list(self, direction: Optional[Direction] = None) -> List[LinkRef]:
+        """Mutable copy of :meth:`links` for callers that edit it."""
+        return list(self.links(direction))
+
+    def non_leaf_nodes(self) -> Tuple[int, ...]:
+        """Nodes with at least one child, ascending (cached tuple)."""
+        return self._non_leaf
+
+    def nodes_bottom_up(self) -> Tuple[int, ...]:
         """Nodes ordered by decreasing depth (ties by id) — the order in
-        which resource interfaces are generated."""
-        return sorted(self._depth, key=lambda n: (-self._depth[n], n))
+        which resource interfaces are generated (cached tuple)."""
+        return self._bottom_up
 
-    def nodes_top_down(self) -> List[int]:
+    def nodes_top_down(self) -> Tuple[int, ...]:
         """Nodes ordered by increasing depth (ties by id) — the order in
-        which partitions are propagated."""
-        return sorted(self._depth, key=lambda n: (self._depth[n], n))
+        which partitions are propagated (cached tuple)."""
+        return self._top_down
 
-    def nodes_at_depth(self, depth: int) -> List[int]:
-        """Node ids at an exact hop count."""
-        return sorted(n for n, d in self._depth.items() if d == depth)
+    def nodes_at_depth(self, depth: int) -> Tuple[int, ...]:
+        """Node ids at an exact hop count, ascending (cached tuple)."""
+        return self._by_depth.get(depth, ())
+
+    def verify_indices(self) -> None:
+        """Equivalence oracle: recompute every index naively and assert
+        it matches the precomputed answer.  Used by the property tests
+        guarding against cache-invalidation bugs on the mutation
+        surfaces (attach/detach/reparent/reroot)."""
+        depth = self._depth
+        children = self._children
+        assert self._nodes == tuple(sorted(depth))
+        assert self._device_nodes == tuple(
+            n for n in sorted(depth) if n != self.gateway_id
+        )
+        naive_max = max(depth.values()) if len(depth) > 1 else 0
+        assert self._max_layer == naive_max
+        assert self._bottom_up == tuple(
+            sorted(depth, key=lambda n: (-depth[n], n))
+        )
+        assert self._top_down == tuple(
+            sorted(depth, key=lambda n: (depth[n], n))
+        )
+        assert self._non_leaf == tuple(
+            sorted(n for n in depth if children[n])
+        )
+        for d in range(naive_max + 1):
+            assert self.nodes_at_depth(d) == tuple(
+                sorted(n for n in depth if depth[n] == d)
+            )
+        for node in self._nodes:
+            naive_subtree: List[int] = []
+            frontier = [node]
+            while frontier:
+                cur = frontier.pop()
+                naive_subtree.append(cur)
+                frontier.extend(children[cur])
+            assert self.subtree_nodes(node) == sorted(naive_subtree)
+            assert self.subtree_size(node) == len(naive_subtree)
+            assert self.subtree_max_layer(node) == max(
+                depth[n] for n in naive_subtree
+            )
+            member_set = set(naive_subtree)
+            for other in self._nodes:
+                assert self.is_ancestor(node, other) == (other in member_set)
+        for d in (None, Direction.UP, Direction.DOWN):
+            directions = (d,) if d else (Direction.UP, Direction.DOWN)
+            assert self.links(d) == tuple(
+                LinkRef(child, dd)
+                for dd in directions
+                for child in sorted(self.parent_map)
+            )
 
     def __contains__(self, node: int) -> bool:
         return node in self._depth
@@ -238,6 +459,28 @@ class TreeTopology:
     # derived topologies (network dynamics)
     # ------------------------------------------------------------------
 
+    def _with_paths_from(
+        self, old: "TreeTopology", moved: Iterable[int] = ()
+    ) -> "TreeTopology":
+        """Seed this topology's lazy path caches from ``old``.
+
+        A node's gateway path (as a LinkRef sequence) only changes when
+        an ancestor link of that node changes — i.e. for nodes inside
+        the ``moved`` subtree of a mutation.  Everyone else can reuse
+        the already-built tuples, which removes the dominant LinkRef
+        reconstruction cost of per-operation demand recomputation on
+        large trees.  Nodes absent from this topology are skipped.
+        """
+        moved_set = set(moved)
+        depth = self._depth
+        for n, refs in old._up_paths.items():
+            if n in depth and n not in moved_set:
+                self._up_paths[n] = refs
+        for n, refs in old._down_paths.items():
+            if n in depth and n not in moved_set:
+                self._down_paths[n] = refs
+        return self
+
     def with_attached(self, node: int, parent: int) -> "TreeTopology":
         """A new topology with ``node`` joined under ``parent``."""
         if node in self._depth:
@@ -246,7 +489,9 @@ class TreeTopology:
             raise TopologyError(f"parent {parent} not in the network")
         parent_map = dict(self.parent_map)
         parent_map[node] = parent
-        return TreeTopology(parent_map, gateway_id=self.gateway_id)
+        return TreeTopology(
+            parent_map, gateway_id=self.gateway_id
+        )._with_paths_from(self)
 
     def with_detached(self, node: int) -> "TreeTopology":
         """A new topology with ``node``'s whole subtree removed."""
@@ -254,13 +499,15 @@ class TreeTopology:
             raise TopologyError("cannot detach the gateway")
         if node not in self._depth:
             raise TopologyError(f"node {node} not in the network")
-        removed = set(self.subtree_nodes(node))
+        removed = set(self.subtree_span(node))
         parent_map = {
             child: parent
             for child, parent in self.parent_map.items()
             if child not in removed
         }
-        return TreeTopology(parent_map, gateway_id=self.gateway_id)
+        return TreeTopology(
+            parent_map, gateway_id=self.gateway_id
+        )._with_paths_from(self)
 
     def rerooted(self, new_gateway: int) -> "TreeTopology":
         """Gateway-failover surgery: the old gateway is removed and one
@@ -295,13 +542,15 @@ class TreeTopology:
             raise TopologyError("cannot reparent the gateway")
         if node not in self._depth or new_parent not in self._depth:
             raise TopologyError(f"unknown node in reparent({node}, {new_parent})")
-        if new_parent in self.subtree_nodes(node):
+        if self.is_ancestor(node, new_parent):
             raise TopologyError(
                 f"new parent {new_parent} lies inside {node}'s own subtree"
             )
         parent_map = dict(self.parent_map)
         parent_map[node] = new_parent
-        return TreeTopology(parent_map, gateway_id=self.gateway_id)
+        return TreeTopology(
+            parent_map, gateway_id=self.gateway_id
+        )._with_paths_from(self, moved=self.subtree_span(node))
 
 
 # ----------------------------------------------------------------------

@@ -117,14 +117,19 @@ class CompositionCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    #: Interning pool for size-multiset tuples.  Composition keys for an
+    #: unchanged subtree recur on every adjustment; sharing one tuple
+    #: object per distinct multiset makes later dict probes hit the
+    #: identity fast path instead of element-wise tuple comparison.
+    _interned: Dict[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]] = {}
+
     @staticmethod
     def key(real: Sequence[Rect], num_channels: int, kind: str) -> Tuple:
-        """Canonical key: channel budget + size multiset (+ algorithm)."""
-        return (
-            kind,
-            num_channels,
-            tuple(sorted((r.width, r.height) for r in real)),
-        )
+        """Canonical key: channel budget + interned size multiset
+        (+ algorithm)."""
+        sizes = tuple(sorted((r.width, r.height) for r in real))
+        sizes = CompositionCache._interned.setdefault(sizes, sizes)
+        return (kind, num_channels, sizes)
 
     def lookup(
         self, key: Tuple, real: Sequence[Rect]

@@ -15,7 +15,7 @@ heuristic and the dynamic local-update path use.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .geometry import PlacedRect, Rect
 
@@ -55,16 +55,43 @@ class FreeSpace:
         return len(seen)
 
     def occupy(self, rect: PlacedRect) -> None:
-        """Mark ``rect`` as occupied, splitting free space around it."""
+        """Mark ``rect`` as occupied, splitting free space around it.
+
+        Only freshly split pieces can be non-maximal: the surviving
+        (untouched) rectangles were already mutually containment-free,
+        and a piece is a strict subset of its overlapping parent, so it
+        can never contain an untouched rectangle.  Pruning therefore
+        checks each new piece against the full list instead of running
+        the all-pairs :func:`_prune` — same survivors, same order.
+        """
         if rect.is_empty:
             return
-        updated: List[PlacedRect] = []
+        entries: List[Tuple[PlacedRect, bool]] = []
+        any_new = False
         for free in self._free:
             if not free.overlaps(rect):
-                updated.append(free)
+                entries.append((free, False))
                 continue
-            updated.extend(_split(free, rect))
-        self._free = _prune(updated)
+            any_new = True
+            for piece in _split(free, rect):
+                entries.append((piece, True))
+        if not any_new:
+            return
+        kept: List[PlacedRect] = []
+        for i, (a, is_new) in enumerate(entries):
+            if not is_new:
+                kept.append(a)
+                continue
+            contained = False
+            for j, (b, _) in enumerate(entries):
+                if i == j:
+                    continue
+                if b.contains(a) and not (a.contains(b) and i < j):
+                    contained = True
+                    break
+            if not contained:
+                kept.append(a)
+        self._free = kept
 
     def find_position(self, rect: Rect) -> Optional[PlacedRect]:
         """Best-short-side-fit position for ``rect``, or None.
@@ -131,6 +158,57 @@ def _prune(rects: List[PlacedRect]) -> List[PlacedRect]:
     return kept
 
 
+#: Obstacle-count cutoff for the O(k²) disjointness check guarding the
+#: area bound in :func:`_rejected_by_bounds`.
+_DISJOINT_CHECK_MAX = 32
+
+
+def _rejected_by_bounds(
+    components: Sequence[Rect],
+    container: PlacedRect,
+    obstacles: Sequence[PlacedRect],
+) -> bool:
+    """Cheap, outcome-identical infeasibility bounds.
+
+    True only when the greedy placement below is *guaranteed* to fail:
+    a component exceeds the container's dimensions, or total component
+    area exceeds the available free area.  The obstacle-adjusted area
+    bound is applied only when the (container-clipped) obstacles are
+    pairwise disjoint — the usual case, by the isolation invariant —
+    since overlapping obstacles would make the subtraction overcount.
+    """
+    demand = 0
+    for comp in components:
+        if comp.is_empty:
+            continue
+        if comp.width > container.width or comp.height > container.height:
+            return True
+        demand += comp.area
+    if demand > container.area:
+        return True
+    if obstacles and len(obstacles) <= _DISJOINT_CHECK_MAX:
+        clipped = []
+        for obs in obstacles:
+            x = max(obs.x, container.x)
+            y = max(obs.y, container.y)
+            w = min(obs.x2, container.x2) - x
+            h = min(obs.y2, container.y2) - y
+            if w > 0 and h > 0:
+                clipped.append((x, y, w, h))
+        for i, a in enumerate(clipped):
+            for b in clipped[:i]:
+                if (
+                    a[0] < b[0] + b[2]
+                    and b[0] < a[0] + a[2]
+                    and a[1] < b[1] + b[3]
+                    and b[1] < a[1] + a[3]
+                ):
+                    return False  # overlapping obstacles: skip the bound
+        if demand > container.area - sum(w * h for _, _, w, h in clipped):
+            return True
+    return False
+
+
 def pack_with_obstacles(
     components: Sequence[Rect],
     container: PlacedRect,
@@ -144,6 +222,8 @@ def pack_with_obstacles(
     coordinates) or ``None`` when some component could not be placed.
     This is a heuristic: ``None`` does not prove infeasibility.
     """
+    if _rejected_by_bounds(components, container, obstacles):
+        return None
     space = FreeSpace(container)
     for obstacle in obstacles:
         space.occupy(obstacle)

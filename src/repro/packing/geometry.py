@@ -106,14 +106,23 @@ class PlacedRect:
         return Rect(self.width, self.height, self.tag)
 
     def overlaps(self, other: "PlacedRect") -> bool:
-        """Whether the two rectangles share at least one cell."""
-        if self.is_empty or other.is_empty:
+        """Whether the two rectangles share at least one cell.
+
+        Field arithmetic is inlined (no ``x2``/``is_empty`` property
+        hops): this predicate runs millions of times per validation
+        sweep on large networks.
+        """
+        sw = self.width
+        sh = self.height
+        ow = other.width
+        oh = other.height
+        if sw == 0 or sh == 0 or ow == 0 or oh == 0:
             return False
         return (
-            self.x < other.x2
-            and other.x < self.x2
-            and self.y < other.y2
-            and other.y < self.y2
+            self.x < other.x + ow
+            and other.x < self.x + sw
+            and self.y < other.y + oh
+            and other.y < self.y + sh
         )
 
     def contains(self, other: "PlacedRect") -> bool:
@@ -121,13 +130,15 @@ class PlacedRect:
 
         An empty ``other`` is contained anywhere by convention.
         """
-        if other.is_empty:
+        ow = other.width
+        oh = other.height
+        if ow == 0 or oh == 0:
             return True
         return (
             self.x <= other.x
-            and other.x2 <= self.x2
+            and other.x + ow <= self.x + self.width
             and self.y <= other.y
-            and other.y2 <= self.y2
+            and other.y + oh <= self.y + self.height
         )
 
     def contains_cell(self, x: int, y: int) -> bool:

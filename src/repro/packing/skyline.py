@@ -27,6 +27,8 @@ Two usage modes:
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -73,6 +75,16 @@ class PackResult:
 class SkylinePacker:
     """Best-fit skyline packer over a strip of fixed ``width``.
 
+    Fast-path implementation: the lowest segment is tracked with a
+    lazily invalidated ``(y, x)`` min-heap (column heights only ever
+    rise, so a heap entry matching the current segment is always
+    correct), best-fit candidates are scanned from a pre-sorted
+    width-descending order via bisect, and skyline merges are local to
+    the mutated segment instead of rebuilding the whole list.  The
+    placement policy is byte-identical to :class:`ReferenceSkylinePacker`
+    (the original O(rects × segments) implementation, kept as the
+    equivalence oracle).
+
     Parameters
     ----------
     width:
@@ -92,6 +104,8 @@ class SkylinePacker:
         self.max_height = max_height
         self._limit = _UNBOUNDED if max_height is None else max_height
         self._skyline: List[_Segment] = [_Segment(0, width, 0)]
+        self._xs: List[int] = [0]            # segment start columns, sorted
+        self._heap: List[Tuple[int, int]] = [(0, 0)]  # (y, x) candidates
         self._placements: List[PlacedRect] = []
 
     # ------------------------------------------------------------------
@@ -114,24 +128,43 @@ class SkylinePacker:
 
         unplaced: List[Rect] = []
         # Rectangles wider than the strip can never fit; fail them upfront.
-        for rect in list(pending):
+        fitting: List[Rect] = []
+        for rect in pending:
             if rect.width > self.width or rect.height > self._limit:
-                pending.remove(rect)
                 unplaced.append(rect)
+            else:
+                fitting.append(rect)
+        pending = fitting
 
-        while pending:
+        # Best-fit order: width desc, height desc, input order.  The
+        # reference policy maximizes (exact-width, width, height) with
+        # earliest-index ties; an exact-width match is necessarily the
+        # widest eligible rectangle, so the reference's pick is exactly
+        # the first surviving entry of this order that fits.
+        order = sorted(
+            range(len(pending)),
+            key=lambda i: (-pending[i].width, -pending[i].height, i),
+        )
+        neg_widths = [-pending[i].width for i in order]
+        alive = [True] * len(pending)
+        remaining = len(pending)
+
+        while remaining:
             seg_idx = self._lowest_segment_index()
             seg = self._skyline[seg_idx]
-            choice = self._best_fit(pending, seg)
+            choice = self._best_fit(pending, order, neg_widths, alive, seg)
             if choice is None:
                 if not self._raise_segment(seg_idx):
                     # The skyline is a single segment already at the
                     # height limit: nothing else can ever be placed.
-                    unplaced.extend(pending)
+                    unplaced.extend(
+                        rect for i, rect in enumerate(pending) if alive[i]
+                    )
                     break
                 continue
-            rect = pending.pop(choice)
-            placements.append(self._place(rect, seg_idx))
+            alive[choice] = False
+            remaining -= 1
+            placements.append(self._place(pending[choice], seg_idx))
 
         self._placements = placements
         height = max((p.y2 for p in placements if not p.is_empty), default=0)
@@ -142,34 +175,45 @@ class SkylinePacker:
     # ------------------------------------------------------------------
 
     def _lowest_segment_index(self) -> int:
-        """Index of the lowest skyline segment, leftmost on ties."""
-        best = 0
-        for i, seg in enumerate(self._skyline):
-            cur = self._skyline[best]
-            if seg.y < cur.y or (seg.y == cur.y and seg.x < cur.x):
-                best = i
-        return best
+        """Index of the lowest skyline segment, leftmost on ties.
 
-    def _best_fit(self, pending: Sequence[Rect], seg: _Segment) -> Optional[int]:
+        Pops stale heap entries (segments since raised, split, or
+        merged away) until one matches the live skyline.  Every segment
+        mutation pushes the segment's current ``(y, x)``, so a valid
+        entry for the true minimum always exists.
+        """
+        heap = self._heap
+        xs = self._xs
+        skyline = self._skyline
+        while True:
+            y, x = heap[0]
+            idx = bisect_left(xs, x)
+            if idx < len(xs) and xs[idx] == x and skyline[idx].y == y:
+                return idx
+            heapq.heappop(heap)
+
+    def _best_fit(
+        self,
+        pending: Sequence[Rect],
+        order: Sequence[int],
+        neg_widths: Sequence[int],
+        alive: Sequence[bool],
+        seg: _Segment,
+    ) -> Optional[int]:
         """Index into ``pending`` of the best rectangle for ``seg``.
 
-        Best-fit policy: among rectangles that fit the segment width and
-        the height bound, prefer an exact width match; otherwise the
-        widest; ties broken by the tallest.  Returns ``None`` when no
-        pending rectangle fits.
+        Best-fit policy (same as the reference): among rectangles that
+        fit the segment width and the height bound, prefer an exact
+        width match; otherwise the widest; ties broken by the tallest,
+        then earliest input order.  Returns ``None`` when nothing fits.
         """
-        best_idx: Optional[int] = None
-        best_key: Tuple[int, int, int] = (-1, -1, -1)
-        for i, rect in enumerate(pending):
-            if rect.width > seg.width:
-                continue
-            if seg.y + rect.height > self._limit:
-                continue
-            key = (1 if rect.width == seg.width else 0, rect.width, rect.height)
-            if key > best_key:
-                best_key = key
-                best_idx = i
-        return best_idx
+        budget = self._limit - seg.y
+        start = bisect_left(neg_widths, -seg.width)
+        for j in range(start, len(order)):
+            i = order[j]
+            if alive[i] and pending[i].height <= budget:
+                return i
+        return None
 
     def _place(self, rect: Rect, seg_idx: int) -> PlacedRect:
         """Place ``rect`` left-justified on segment ``seg_idx``."""
@@ -181,7 +225,9 @@ class SkylinePacker:
         else:
             remainder = _Segment(seg.x + rect.width, seg.width - rect.width, seg.y)
             self._skyline[seg_idx:seg_idx + 1] = [new_top, remainder]
-        self._merge_adjacent()
+            self._xs.insert(seg_idx + 1, remainder.x)
+            heapq.heappush(self._heap, (remainder.y, remainder.x))
+        self._merge_around(seg_idx)
         return placed
 
     def _raise_segment(self, seg_idx: int) -> bool:
@@ -205,11 +251,138 @@ class SkylinePacker:
             seg.y = left_y
         else:
             seg.y = min(left_y, right_y)
+        self._merge_around(seg_idx)
+        return True
+
+    def _merge_around(self, idx: int) -> None:
+        """Coalesce segment ``idx`` with equal-height neighbours.
+
+        Adjacent segments never share a height between operations, so
+        the only merges a mutation can enable are with the mutated
+        segment's immediate neighbours — a local fix-up equivalent to
+        the reference's full-skyline rebuild.
+        """
+        skyline = self._skyline
+        seg = skyline[idx]
+        if idx + 1 < len(skyline) and skyline[idx + 1].y == seg.y:
+            seg.width += skyline[idx + 1].width
+            del skyline[idx + 1]
+            del self._xs[idx + 1]
+        if idx > 0 and skyline[idx - 1].y == seg.y:
+            skyline[idx - 1].width += seg.width
+            del skyline[idx]
+            del self._xs[idx]
+            idx -= 1
+            seg = skyline[idx]
+        heapq.heappush(self._heap, (seg.y, seg.x))
+
+
+class ReferenceSkylinePacker:
+    """The original straightforward skyline packer.
+
+    Kept verbatim as the equivalence oracle for :class:`SkylinePacker`:
+    the fast packer must produce byte-identical :class:`PackResult`
+    contents for every input.  Linear scans everywhere — O(segments)
+    lowest-segment search, O(pending) best-fit, full-list merges.
+    """
+
+    def __init__(self, width: int, max_height: Optional[int] = None) -> None:
+        if width <= 0:
+            raise ValueError(f"strip width must be positive, got {width}")
+        if max_height is not None and max_height < 0:
+            raise ValueError(f"max_height must be non-negative, got {max_height}")
+        self.width = width
+        self.max_height = max_height
+        self._limit = _UNBOUNDED if max_height is None else max_height
+        self._skyline: List[_Segment] = [_Segment(0, width, 0)]
+        self._placements: List[PlacedRect] = []
+
+    def pack(self, rects: Sequence[Rect]) -> PackResult:
+        """Pack ``rects`` into the strip and return the layout."""
+        pending: List[Rect] = []
+        placements: List[PlacedRect] = []
+        for rect in rects:
+            if rect.is_empty:
+                placements.append(rect.at(0, 0))
+            else:
+                pending.append(rect)
+
+        unplaced: List[Rect] = []
+        for rect in list(pending):
+            if rect.width > self.width or rect.height > self._limit:
+                pending.remove(rect)
+                unplaced.append(rect)
+
+        while pending:
+            seg_idx = self._lowest_segment_index()
+            seg = self._skyline[seg_idx]
+            choice = self._best_fit(pending, seg)
+            if choice is None:
+                if not self._raise_segment(seg_idx):
+                    unplaced.extend(pending)
+                    break
+                continue
+            rect = pending.pop(choice)
+            placements.append(self._place(rect, seg_idx))
+
+        self._placements = placements
+        height = max((p.y2 for p in placements if not p.is_empty), default=0)
+        return PackResult(placements=placements, unplaced=unplaced, height=height)
+
+    def _lowest_segment_index(self) -> int:
+        best = 0
+        for i, seg in enumerate(self._skyline):
+            cur = self._skyline[best]
+            if seg.y < cur.y or (seg.y == cur.y and seg.x < cur.x):
+                best = i
+        return best
+
+    def _best_fit(self, pending: Sequence[Rect], seg: _Segment) -> Optional[int]:
+        best_idx: Optional[int] = None
+        best_key: Tuple[int, int, int] = (-1, -1, -1)
+        for i, rect in enumerate(pending):
+            if rect.width > seg.width:
+                continue
+            if seg.y + rect.height > self._limit:
+                continue
+            key = (1 if rect.width == seg.width else 0, rect.width, rect.height)
+            if key > best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+    def _place(self, rect: Rect, seg_idx: int) -> PlacedRect:
+        seg = self._skyline[seg_idx]
+        placed = rect.at(seg.x, seg.y)
+        new_top = _Segment(seg.x, rect.width, seg.y + rect.height)
+        if rect.width == seg.width:
+            self._skyline[seg_idx] = new_top
+        else:
+            remainder = _Segment(seg.x + rect.width, seg.width - rect.width, seg.y)
+            self._skyline[seg_idx:seg_idx + 1] = [new_top, remainder]
+        self._merge_adjacent()
+        return placed
+
+    def _raise_segment(self, seg_idx: int) -> bool:
+        seg = self._skyline[seg_idx]
+        left_y = self._skyline[seg_idx - 1].y if seg_idx > 0 else None
+        right_y = (
+            self._skyline[seg_idx + 1].y
+            if seg_idx + 1 < len(self._skyline)
+            else None
+        )
+        if left_y is None and right_y is None:
+            return False
+        if left_y is None:
+            seg.y = right_y  # type: ignore[assignment]
+        elif right_y is None:
+            seg.y = left_y
+        else:
+            seg.y = min(left_y, right_y)
         self._merge_adjacent()
         return True
 
     def _merge_adjacent(self) -> None:
-        """Coalesce neighbouring segments that share the same height."""
         merged: List[_Segment] = []
         for seg in self._skyline:
             if merged and merged[-1].y == seg.y:

@@ -32,7 +32,7 @@ def paper_tree():
 class TestTreeTopology:
     def test_nodes_and_devices(self, paper_tree):
         assert paper_tree.num_nodes == 12
-        assert paper_tree.device_nodes == list(range(1, 12))
+        assert list(paper_tree.device_nodes) == list(range(1, 12))
 
     def test_depths_and_layers(self, paper_tree):
         assert paper_tree.depth_of(0) == 0
@@ -81,7 +81,7 @@ class TestTreeTopology:
         assert bottom_up[-1] == 0
         top_down = paper_tree.nodes_top_down()
         assert top_down[0] == 0
-        assert paper_tree.nodes_at_depth(1) == [1, 2, 3]
+        assert list(paper_tree.nodes_at_depth(1)) == [1, 2, 3]
 
     def test_gateway_has_no_parent(self, paper_tree):
         with pytest.raises(TopologyError):
@@ -90,7 +90,7 @@ class TestTreeTopology:
     def test_contains_and_iter(self, paper_tree):
         assert 7 in paper_tree
         assert 99 not in paper_tree
-        assert list(paper_tree) == paper_tree.nodes
+        assert list(paper_tree) == list(paper_tree.nodes)
 
 
 class TestValidation:

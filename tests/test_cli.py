@@ -127,7 +127,7 @@ class TestBench:
         assert f"wrote {path}" in out
         with open(path) as handle:
             doc = json.load(handle)
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert "sweeps" not in doc  # --no-sweeps honoured
         assert doc["engine"]["fast_path"]["slots_per_sec"] > 0
         assert "composition" in doc and "speedup_vs_seed" in doc
@@ -244,3 +244,34 @@ class TestFaults:
         assert doc["seeds"] == [3]
         assert doc["rows"][0]["crashes"] == 1
         assert doc["rows"][0]["runs"] == 1
+
+
+class TestScaleBench:
+    def test_bench_scale_merges_section(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "bench.json")
+        with open(path, "w") as handle:
+            json.dump({"schema": 2, "keepme": True}, handle)
+        assert main([
+            "bench", "--scale", "--sizes", "60", "--out", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "storm" in out
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["keepme"] is True  # merge, not clobber
+        assert doc["scale"]["sizes"] == [60]
+        assert doc["scale"]["points"]["60"]["static"]["seconds"] > 0
+        assert doc["meta"]["python"]
+
+    def test_profile_prints_hotspots(self, capsys):
+        assert main(["profile", "static", "--size", "60", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "bench_scale_static" in out
+
+    def test_profile_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "everything"])
+        assert exc.value.code == 2
