@@ -55,7 +55,7 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Deque, Dict, List, Optional, Set
 
 from ..net.protocol.messages import HarpMessage, PutInterface, ScheduleUpdate
@@ -65,6 +65,7 @@ from ..net.slotframe import Schedule, SlotframeConfig
 from ..net.tasks import TaskSet
 from ..net.topology import Direction, LinkRef, TreeTopology
 from .runtime import AgentRuntime
+from .watchdog import LinkQualityWatchdog, WatchdogFeed
 
 
 @dataclass
@@ -98,6 +99,20 @@ class LiveStats:
     #: Slots the last gateway failover took (detection to the certified
     #: re-bootstrap rooted at the standby).
     last_failover_slots: int = 0
+    #: Graceful-degradation bookkeeping (link-quality watchdog and the
+    #: overload/admission-control path).
+    #: Same-layer reparents triggered by the watchdog *before* hard
+    #: loss (a roaming node moved to a closer parent while still up).
+    proactive_reparents: int = 0
+    #: Watchdog recommendations suppressed by the post-move cooldown —
+    #: the flap storms hysteresis prevented.
+    flaps_suppressed: int = 0
+    #: Elastic grants released early to make room for new demand
+    #: (overload shedding, lowest RM priority first).
+    grants_shed: int = 0
+    #: Optional demand (elastic boosts, proactive moves) refused
+    #: because not even shedding could cover it.
+    admission_rejects: int = 0
 
 
 class _HealInvalidated(Exception):
@@ -112,12 +127,18 @@ class _HealInvalidated(Exception):
 @dataclass(frozen=True)
 class _RemovedNode:
     """What rejoin needs to re-admit a healed-away node: where it was
-    attached and what it sourced (``rate=None`` for task-less nodes)."""
+    attached and what it sourced (``rate=None`` for task-less nodes).
+
+    ``regroup`` records which alternate parent adopted the node's
+    healed subtree (its siblings' placement), so a later recovery
+    re-admits the node *under its healed subtree* instead of under an
+    arbitrary survivor."""
 
     parent: int
     depth: int
     rate: Optional[float] = None
     echo: bool = True
+    regroup: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -158,11 +179,26 @@ class LiveHarpNetwork:
         elects the surviving depth-1 router whose subtree sources the
         most demand at failover time.
     elastic_drain_cells:
-        Extra cells granted per re-parented link (and its forwarding
-        chain) after a heal, so the outage backlog drains faster than
-        TTL pace.  0 disables elastic drain.
+        Upper bound on the extra cells granted per re-parented link
+        (and its forwarding chain) after a heal, so the outage backlog
+        drains faster than TTL pace.  The actual boost is sized from
+        the *measured* per-link backlog (``ceil(backlog /
+        elastic_drain_slotframes)``, at least 1 while any backlog
+        exists) and capped here.  0 disables elastic drain.
     elastic_drain_slotframes:
-        How long an elastic boost lasts before it is released.
+        How long an elastic boost lasts before it is released (also
+        the drain horizon the backlog-sized boost targets).
+    watchdog:
+        Optional :class:`~repro.agents.watchdog.LinkQualityWatchdog`.
+        When set, every data-plane transmission attempt feeds its PDR
+        estimator and each slotframe boundary polls it; children whose
+        link is confirmed degraded are *proactively* re-parented to a
+        same-layer alternate before the link is lost entirely.
+        Overload is survived, not crashed into: optional demand (the
+        move, elastic boosts) passes an admission probe that sheds
+        lowest-RM-priority elastic grants first and defers what still
+        does not fit (``LiveStats.grants_shed`` /
+        ``admission_rejects``).
     """
 
     def __init__(
@@ -183,6 +219,7 @@ class LiveHarpNetwork:
         standby_gateway: Optional[int] = None,
         elastic_drain_cells: int = 0,
         elastic_drain_slotframes: int = 8,
+        watchdog: Optional[LinkQualityWatchdog] = None,
     ) -> None:
         self.topology = topology
         self.config = config or SlotframeConfig(
@@ -242,6 +279,18 @@ class LiveHarpNetwork:
             )
         self.elastic_drain_cells = elastic_drain_cells
         self.elastic_drain_slotframes = elastic_drain_slotframes
+        self.watchdog = watchdog
+        if watchdog is not None:
+            # Every data-plane attempt feeds the estimator; any trace
+            # recorder already installed keeps seeing events through
+            # the chain.
+            self.sim.trace = WatchdogFeed(
+                watchdog.estimator, inner=self.sim.trace
+            )
+        #: Mobility-aware loss models expose a clock the boundary
+        #: handler advances (idle links see no transmissions, so the
+        #: per-attempt ``observe_cell`` hook alone would lag).
+        self._loss_clock = getattr(self.sim.loss_model, "advance_to", None)
         self.stats = LiveStats()
         #: Per-node FIFO of outgoing protocol messages.
         self._outboxes: Dict[int, Deque[HarpMessage]] = {
@@ -328,10 +377,14 @@ class LiveHarpNetwork:
             self.stats.node_recoveries += 1
             self._keepalive_misses.pop(crash.node, None)
             if crash.node in self._healed:
-                # The node returns *after* the network healed around it:
-                # queue a join_leaf-style re-admission for the next
-                # quiet slotframe boundary.
+                # The node returns *after* the network healed around
+                # it: re-admit it join_leaf-style.  When no heal is in
+                # flight that happens *immediately* — under sustained
+                # churn the next quiet slotframe boundary may never
+                # come, and a recovered node must not wait on it.
                 self._pending_rejoins.append(crash.node)
+                if not self._healing_now:
+                    self._process_rejoins()
 
     # ------------------------------------------------------------------
     # protocol plumbing
@@ -468,11 +521,14 @@ class LiveHarpNetwork:
         *counts* misses — a parent condemned mid-heal is deferred, and
         the in-flight heal aborts if the newcomer invalidates it — but
         no new heal starts until the current one ends."""
+        if self._loss_clock is not None:
+            self._loss_clock(self.sim.current_slot)
         if self._healing_now:
             self._deferred_dead.extend(self._update_keepalive_misses())
             return
         self._monitor_keepalives()
         self._process_rejoins()
+        self._monitor_link_quality()
         self._release_expired_elastic()
 
     # ------------------------------------------------------------------
@@ -504,7 +560,7 @@ class LiveHarpNetwork:
 
     def _handle_condemned(self) -> None:
         """Heal every condemned parent — the boundary batch plus any
-        deferred mid-heal condemnations.
+        deferred mid-heal condemnations — then certify the result.
 
         A condemned gateway routes to failover, which folds the rest of
         the batch into its surgery.  Parents condemned at the same
@@ -513,29 +569,50 @@ class LiveHarpNetwork:
         after the last one — while an undeclared dead router is still in
         the topology, its stale cells cannot be re-assigned over the
         air, so intermediate schedules may overlap regions the pending
-        heal is about to release."""
-        batch = [
-            n
-            for n in dict.fromkeys(self._deferred_dead)
-            if n in self.topology and n not in self._healed
-        ]
-        self._deferred_dead = []
-        if not batch:
-            return
-        if self.topology.gateway_id in batch:
-            self._gateway_failover(
-                [n for n in batch if n != self.topology.gateway_id]
-            )
-            return
-        for index, parent in enumerate(batch):
-            self._declare_parent_dead(
-                parent, last_in_batch=index == len(batch) - 1
-            )
-        if len(batch) > 1:
-            # A non-final heal skipped its own validation; certify the
-            # batch as a whole.
+        heal is about to release.
+
+        The loop drains to a fixed point before certifying: a *new*
+        condemnation recorded while the batch healed (a bystander crash
+        mid-drain) joins the next round instead of being left for the
+        next boundary — a dead manager cannot have applied the
+        reschedules the batch's partition adjustments sent it, so
+        certifying around its stale cells would be a false alarm.  For
+        the same reason the final sweep condemns managers that are
+        *down right now* but whose children's miss counters have not
+        reached the limit yet: their dead-lettered schedule updates are
+        the same direct evidence of death that aborts an in-flight
+        heal."""
+        healed_any = False
+        while True:
+            batch = [
+                n
+                for n in dict.fromkeys(self._deferred_dead)
+                if n in self.topology and n not in self._healed
+            ]
+            self._deferred_dead = []
+            if not batch and healed_any:
+                batch = [
+                    n
+                    for n in self.topology.nodes
+                    if n != self.topology.gateway_id
+                    and self.topology.children_of(n)
+                    and n not in self._healed
+                    and self.node_down(n)
+                ]
+            if not batch:
+                break
+            healed_any = True
+            if self.topology.gateway_id in batch:
+                self._gateway_failover(
+                    [n for n in batch if n != self.topology.gateway_id]
+                )
+                continue
+            for parent in batch:
+                self._declare_parent_dead(parent, last_in_batch=False)
+        if healed_any:
             self.schedule.validate_collision_free(self.topology)
-        self._apply_pending_elastic()
+            self.sim.metrics.mark_phase(self.sim.current_slot, "recovered")
+            self._apply_pending_elastic()
 
     def _declare_parent_dead(
         self, dead: int, last_in_batch: bool = True
@@ -615,15 +692,31 @@ class LiveHarpNetwork:
         # over-provisioned, so the outage backlog starts draining the
         # moment the new links exist (granting the boost afterwards in
         # separate transactions would land slotframes too late to help).
+        # Each link's boost is sized from the backlog *measured* behind
+        # it, and the whole batch passes the admission probe — under
+        # overload the boost shrinks to what shedding can cover (or to
+        # nothing) instead of over-committing the gateway layer.
         attach_demands = orphan_demands
+        boosts: Dict[int, Dict[Direction, int]] = {}
         if self.elastic_drain_cells > 0:
-            attach_demands = {
-                orphan: {
-                    direction: cells + self.elastic_drain_cells
-                    for direction, cells in demands.items()
-                }
+            boosts = {
+                orphan: self._elastic_boost(orphan, demands)
                 for orphan, demands in orphan_demands.items()
             }
+            total_boost = sum(
+                cells for per in boosts.values() for cells in per.values()
+            )
+            if total_boost > 0 and not self._admission_probe(total_boost):
+                boosts = {}
+            if any(boosts.values()):
+                attach_demands = {
+                    orphan: {
+                        direction: cells
+                        + boosts.get(orphan, {}).get(direction, 0)
+                        for direction, cells in demands.items()
+                    }
+                    for orphan, demands in orphan_demands.items()
+                }
 
         self._healing_now = True
         try:
@@ -653,7 +746,17 @@ class LiveHarpNetwork:
         self.stats.heals_completed += 1
         self.stats.last_heal_slots = self.sim.current_slot - declared_slot
         for moved in placements:
-            self._pending_elastic.append((moved, orphan_demands[moved]))
+            self._pending_elastic.append((moved, boosts.get(moved, {})))
+        # Down children of the dead router (not re-parented — they are
+        # crashed themselves) remember where their siblings went, so a
+        # later recovery re-admits them under the healed subtree instead
+        # of an arbitrary survivor (rejoin affinity).
+        adopter = min(placements.values()) if placements else grand
+        for healed_node, healed_info in list(self._healed_info.items()):
+            if healed_info.parent == dead:
+                self._healed_info[healed_node] = replace(
+                    healed_info, regroup=adopter
+                )
         if last_in_batch:
             self.sim.metrics.mark_phase(self.sim.current_slot, "recovered")
 
@@ -669,6 +772,268 @@ class LiveHarpNetwork:
                 continue
             cells += int(math.ceil(task.rate))
         return cells
+
+    def _elastic_boost(
+        self, orphan: int, demands: Dict[Direction, int]
+    ) -> Dict[Direction, int]:
+        """Per-direction elastic boost for one re-parented link, sized
+        from the backlog actually stranded behind it: enough extra
+        cells to drain it within ``elastic_drain_slotframes``, at least
+        one while any backlog exists, capped at ``elastic_drain_cells``.
+        Must run against the pre-surgery topology (the orphan's subtree
+        is still intact).
+
+        The two directions queue in different places: uplink backlog
+        sits *inside* the subtree (packets stuck under the dead
+        parent), while downlink backlog piles up at ancestors on the
+        way down — so UP is measured by holder (``queued_at``) and
+        DOWN by destination (``queued_into``).  The DOWN boost also
+        counts the uplink backlog: for echo tasks its drained packets
+        come straight back down, and a downlink leg provisioned for
+        exactly the arrival rate would strand that surge until TTL
+        expiry (non-echo packets make this an over-count, but the cap
+        and the admission probe bound the optimism)."""
+        boost: Dict[Direction, int] = {}
+        subtree = self.topology.subtree_nodes(orphan)
+        up_backlog = self.sim.queued_at(subtree, Direction.UP)
+        for direction in demands:
+            if direction is Direction.UP:
+                backlog = up_backlog
+            else:
+                backlog = self.sim.queued_into(subtree) + up_backlog
+            if backlog <= 0:
+                continue
+            boost[direction] = min(
+                self.elastic_drain_cells,
+                max(
+                    1,
+                    math.ceil(backlog / self.elastic_drain_slotframes),
+                ),
+            )
+        return boost
+
+    # ------------------------------------------------------------------
+    # admission control (graceful degradation under overload)
+    # ------------------------------------------------------------------
+
+    def _gateway_width(self) -> int:
+        """Data slots the gateway layer currently occupies: the right
+        edge of the widest partition the gateway has placed."""
+        gw_agent = self.runtime.agents.get(self.topology.gateway_id)
+        if gw_agent is None:
+            return 0
+        width = 0
+        for rects in gw_agent.state.child_partitions.values():
+            for rect in rects.values():
+                width = max(width, rect.x2)
+        return width
+
+    def _gateway_headroom(self) -> int:
+        """Data slots the gateway layer has left before new demand
+        spills into the management sub-frame."""
+        return max(0, self.config.data_slots - self._gateway_width())
+
+    def _admission_probe(self, extra_cells: int) -> bool:
+        """Decide whether ``extra_cells`` of *optional* demand (elastic
+        boosts, a proactive roam move) may enter the network.
+
+        Partitions never shrink (the paper's decrease rule), so
+        admission must be preventive: once the gateway layer fills the
+        data sub-frame, further escalations silently spill into the
+        management sub-frame.  The probe admits outright while the
+        gateway layer has headroom; otherwise it sheds existing elastic
+        grants — lowest RM priority first, i.e. fewest cells, the proxy
+        for the lowest-rate flow — treating the freed cells as
+        reclaimable capacity (the decrease makes room *inside* the
+        existing partition envelopes, so the subsequent increase
+        reschedules locally instead of escalating).  Demand that not
+        even shedding can cover is refused and counted."""
+        if extra_cells <= 0:
+            return True
+        headroom = self._gateway_headroom()
+        if extra_cells <= headroom:
+            return True
+        shortfall = extra_cells - headroom
+        shedable = sorted(
+            self._elastic, key=lambda g: (g.cells, g.child, g.manager)
+        )
+        to_shed: List[_ElasticGrant] = []
+        freed = 0
+        for grant in shedable:
+            if freed >= shortfall:
+                break
+            to_shed.append(grant)
+            freed += grant.cells
+        if freed < shortfall:
+            self.stats.admission_rejects += 1
+            return False
+        self._shed_grants(to_shed)
+        return True
+
+    def _shed_grants(self, grants: List[_ElasticGrant]) -> None:
+        """Release the chosen elastic grants early (overload shedding).
+        The same decrease path as expiry, just ahead of schedule."""
+        if not grants:
+            return
+        shed_ids = {id(g) for g in grants}
+        self._elastic = [
+            g for g in self._elastic if id(g) not in shed_ids
+        ]
+        was_healing = self._healing_now
+        self._healing_now = True
+        try:
+            for grant in grants:
+                self.stats.grants_shed += 1
+                agent = self.runtime.agents.get(grant.manager)
+                if (
+                    agent is None
+                    or self.node_down(grant.manager)
+                    or grant.child not in self.topology
+                    or grant.child == self.topology.gateway_id
+                    or self.topology.parent_of(grant.child) != grant.manager
+                ):
+                    continue  # the link healed away in the meantime
+                current = agent.state.link_demands.get(
+                    grant.direction, {}
+                ).get(grant.child, 0)
+                self._post(
+                    agent.request_demand_increase(
+                        grant.child,
+                        grant.direction,
+                        max(0, current - grant.cells),
+                    )
+                )
+                self._drain_heal()
+        finally:
+            self._healing_now = was_healing
+
+    # ------------------------------------------------------------------
+    # proactive reparenting (link-quality watchdog)
+    # ------------------------------------------------------------------
+
+    def _monitor_link_quality(self) -> None:
+        """Poll the watchdog and proactively move children whose link is
+        confirmed degraded — *before* the link is lost entirely."""
+        if self.watchdog is None or not self.self_healing:
+            return
+        decision = self.watchdog.poll(self.sim.current_slot)
+        self.stats.flaps_suppressed += decision.suppressed
+        for child in decision.degraded:
+            if self._healing_now:
+                break
+            self._proactive_move(child)
+
+    def _candidate_distance(
+        self, child: int, candidate: int, slot: int
+    ) -> float:
+        """Distance-based candidate ranking when the loss model knows
+        node positions (mobility-aware models expose ``mobility``);
+        neutral otherwise, so ties fall back to the id order."""
+        mobility = getattr(self.sim.loss_model, "mobility", None)
+        if mobility is None:
+            return 0.0
+        try:
+            return mobility.distance(child, candidate, slot)
+        except KeyError:
+            return math.inf
+
+    def _proactive_move(self, child: int) -> bool:
+        """Move one degraded child to a same-layer alternate parent
+        while the old link still (barely) works.
+
+        The same surgery as a heal — release the old path, attach under
+        the alternate, ripple the forwarding demand — except the old
+        parent is alive, so its eviction runs through live agent state
+        rather than loss inference.  The move is optional demand: it
+        passes the admission probe first and is deferred (with a
+        watchdog cooldown) when the network cannot absorb it."""
+        if child not in self.topology or child == self.topology.gateway_id:
+            return False
+        if self.node_down(child) or child in self._healed:
+            return False
+        old_parent = self.topology.parent_of(child)
+        if self.node_down(old_parent) or old_parent in self._healed:
+            return False  # reactive healing owns dead parents
+        slot = self.sim.current_slot
+        depth = self.topology.depth_of(old_parent)
+        subtree = set(self.topology.subtree_nodes(child))
+        candidates = [
+            n
+            for n in self.topology.nodes_at_depth(depth)
+            if n != old_parent
+            and n not in subtree
+            and not self.node_down(n)
+            and n not in self._healed
+        ]
+        if not candidates:
+            return False
+        candidates.sort(
+            key=lambda n: (self._candidate_distance(child, n, slot), n)
+        )
+        new_parent = candidates[0]
+
+        old_agent = self.runtime.agents[old_parent]
+        demands: Dict[Direction, int] = {}
+        for direction in (Direction.UP, Direction.DOWN):
+            cells = old_agent.state.link_demands.get(direction, {}).get(
+                child, 0
+            )
+            if cells <= 0:
+                cells = self._subtree_demand(child, direction)
+            if cells > 0:
+                demands[direction] = cells
+        if not self._admission_probe(sum(demands.values())):
+            self.watchdog.note_rejected(child, slot)
+            return False
+
+        self.sim.metrics.mark_phase(slot, f"roam-move@{child}")
+        self._healing_now = True
+        try:
+            self._install_topology(
+                self.topology.with_reparented(child, new_parent)
+            )
+            for direction in (Direction.UP, Direction.DOWN):
+                self.schedule.remove_link(LinkRef(child, direction))
+            self.sim.set_schedule(self.schedule)
+            # The old path releases the moved link's demand; unlike a
+            # heal this runs against a live parent, but the bookkeeping
+            # is identical (evict + ancestor decreases).
+            self._post(self._release_old_path(child, old_parent, demands))
+            self._drain_heal()
+            self._check_heal_valid(new_parent)
+            self._post(self._attach_orphan(child, new_parent, demands))
+            self._drain_heal()
+            chain = [new_parent] + [
+                n
+                for n in self.topology.path_to_gateway(new_parent)
+                if n != new_parent
+            ]
+            for child_on_path, manager in zip(chain, chain[1:]):
+                self._check_heal_valid(manager)
+                self._post(
+                    self._ripple_demand(manager, child_on_path, demands)
+                )
+                self._drain_heal()
+            self.schedule.validate_collision_free(self.topology)
+        except _HealInvalidated as invalid:
+            # A participant died mid-move; the reactive path takes over
+            # exactly as it does for an aborted heal.
+            self._healing_now = False
+            self.stats.heals_aborted += 1
+            self.sim.metrics.mark_phase(
+                self.sim.current_slot, f"roam-aborted@{child}"
+            )
+            self._deferred_dead.append(invalid.node)
+            self._handle_condemned()
+            return False
+        finally:
+            self._healing_now = False
+        self.stats.proactive_reparents += 1
+        self.watchdog.note_moved(child, self.sim.current_slot)
+        self.sim.metrics.mark_phase(
+            self.sim.current_slot, f"roam-moved@{child}"
+        )
+        return True
 
     def _execute_reparenting(
         self,
@@ -847,6 +1212,13 @@ class LiveHarpNetwork:
         removed = topology.subtree_nodes(dead)
         topology = topology.with_detached(dead)
         self._record_removed(removed)
+        # The orphans regrouped under the grandparent: point later
+        # recoveries of the dead router's crashed children there.
+        for healed_node, healed_info in list(self._healed_info.items()):
+            if healed_info.parent == dead:
+                self._healed_info[healed_node] = replace(
+                    healed_info, regroup=grand
+                )
         self._drop_nodes(removed)
         self._install_topology(topology)
         # A rebootstrap re-provisions the whole schedule from scratch;
@@ -1026,19 +1398,37 @@ class LiveHarpNetwork:
                 rate=None if task is None else task.rate,
                 echo=True if task is None else task.echo,
             )
+            if not self.fault_plan.node_down(node, self.sim.current_slot):
+                # The node is *up right now* — it recovered while the
+                # condemnation was still in flight (its recovery event
+                # already fired and will never fire again), or it was
+                # condemned falsely.  Queue the rejoin here or it waits
+                # forever.
+                self._pending_rejoins.append(node)
 
     def _rejoin_parent(
         self, node: int, info: Optional[_RemovedNode]
     ) -> int:
         """Where a recovered node re-attaches: its old parent while that
-        parent lives, else a living node at the old parent's depth, else
-        the (possibly new) gateway."""
-        if (
-            info is not None
-            and info.parent in self.topology
-            and not self.node_down(info.parent)
-        ):
-            return info.parent
+        parent lives, else the parent that *adopted* its old subtree
+        (following the ``regroup`` chain through however many heals
+        happened while the node was down), else a living node at the old
+        parent's depth, else the (possibly new) gateway."""
+        seen: Set[int] = set()
+        current = info
+        while current is not None:
+            if (
+                current.parent in self.topology
+                and not self.node_down(current.parent)
+            ):
+                return current.parent
+            target = current.regroup
+            if target is None or target in seen:
+                break
+            seen.add(target)
+            if target in self.topology and not self.node_down(target):
+                return target
+            current = self._healed_info.get(target)
         if info is not None:
             candidates = [
                 n
@@ -1057,9 +1447,21 @@ class LiveHarpNetwork:
             return
         pending, self._pending_rejoins = self._pending_rejoins, []
         readmitted = False
+        # Recorded-depth order: a recovered router re-admits before its
+        # recovered former children, so the children find their old
+        # parent alive and regroup under it instead of scattering.
+        order = sorted(
+            dict.fromkeys(pending),
+            key=lambda n: (
+                self._healed_info[n].depth
+                if n in self._healed_info
+                else 1 << 30,
+                n,
+            ),
+        )
         self._healing_now = True
         try:
-            for node in dict.fromkeys(pending):
+            for node in order:
                 if node in self.topology or node not in self._healed:
                     continue
                 if self.fault_plan.node_down(node, self.sim.current_slot):
@@ -1092,22 +1494,25 @@ class LiveHarpNetwork:
         """Book the batch's elastic boosts for release.
 
         The extra cells themselves were granted *inside* the heal (the
-        attach/ripple demands were inflated by ``elastic_drain_cells``),
-        so every re-parented link and its forwarding chain is already
-        over-provisioned and the outage backlog drains faster than the
-        exactly-provisioned schedule would allow (service normally
-        equals arrival, so without the boost the backlog only shrinks by
-        packet-lifetime expiry).  This records one grant per link and
-        direction on each moved subtree's path; shared ancestor links
-        carry one boost — and one grant — per subtree, matching the
-        per-orphan ripple inflation."""
+        attach/ripple demands were inflated by the per-link boost sized
+        from the measured backlog), so every re-parented link and its
+        forwarding chain is already over-provisioned and the outage
+        backlog drains faster than the exactly-provisioned schedule
+        would allow (service normally equals arrival, so without the
+        boost the backlog only shrinks by packet-lifetime expiry).
+        This records one grant per link and direction on each moved
+        subtree's path, carrying the boost that link actually received;
+        shared ancestor links carry one boost — and one grant — per
+        subtree, matching the per-orphan ripple inflation."""
         pending, self._pending_elastic = self._pending_elastic, []
         if self.elastic_drain_cells <= 0 or not pending:
             return
         expires = self.sim.current_slot + (
             self.elastic_drain_slotframes * self.config.num_slots
         )
-        for moved, demands in pending:
+        for moved, boost in pending:
+            if not boost:
+                continue  # no backlog (or admission refused the boost)
             if moved not in self.topology or self.node_down(moved):
                 continue
             chain = self.topology.path_to_gateway(moved)
@@ -1115,7 +1520,7 @@ class LiveHarpNetwork:
                 agent = self.runtime.agents.get(manager)
                 if agent is None:
                     continue
-                for direction in demands:
+                for direction, cells in boost.items():
                     current = agent.state.link_demands.get(
                         direction, {}
                     ).get(child_on_path, 0)
@@ -1124,7 +1529,7 @@ class LiveHarpNetwork:
                     self._elastic.append(
                         _ElasticGrant(
                             manager, child_on_path, direction,
-                            self.elastic_drain_cells, expires,
+                            cells, expires,
                         )
                     )
                     self.stats.elastic_grants += 1

@@ -1,0 +1,214 @@
+"""Link-quality watchdog: windowed PDR estimation with flap hysteresis.
+
+Reactive healing (:mod:`repro.agents.live`) only fires when a parent
+goes *silent* — a node that is alive but roaming away degrades its link
+toward uselessness without ever tripping the keepalive detector.  The
+watchdog closes that gap on the data plane: it estimates each child
+link's delivery ratio over a sliding window of transmission attempts
+and recommends a *proactive* same-layer reparent before the link is
+lost entirely.
+
+The state machine is deliberately conservative, because a partition
+move costs an over-the-air adjustment transaction and a marginal link
+oscillating around the threshold must not trigger a flap storm:
+
+* a link is only *suspected* once its estimate has at least
+  ``min_samples`` attempts behind it;
+* it must stay below ``degrade_below`` for ``confirm_polls``
+  consecutive polls (one poll per slotframe boundary) to be
+  recommended — an estimate recovering above ``restore_above`` resets
+  the confirmation count, and the band between the two thresholds
+  holds it (classic Schmitt-trigger hysteresis);
+* after a move (or a rejected move) the child enters a cooldown of
+  ``cooldown_slots``; recommendations during cooldown are *suppressed*
+  and counted, surfacing as ``LiveStats.flaps_suppressed``.
+
+Everything here is pure bookkeeping over observed outcomes — no
+randomness, no wall clock — so watchdog behaviour replays exactly with
+the co-simulation's determinism contract.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class PdrEstimator:
+    """Sliding-window delivery-ratio estimate per child link.
+
+    One window per child pools both directions of the child's tree link
+    (the radio path is the same); ``observe`` feeds it one attempt at a
+    time and ``estimate`` answers ``None`` until ``min_samples``
+    attempts have been seen — an estimate from two packets is noise,
+    not evidence.
+    """
+
+    def __init__(self, window: int = 64, min_samples: int = 16) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if min_samples > window:
+            raise ValueError(
+                f"min_samples ({min_samples}) cannot exceed the window "
+                f"({window})"
+            )
+        self.window = window
+        self.min_samples = min_samples
+        self._samples: Dict[int, Deque[bool]] = {}
+        self._delivered: Dict[int, int] = {}
+
+    def observe(self, child: int, delivered: bool) -> None:
+        """Record one transmission attempt on ``child``'s link."""
+        window = self._samples.get(child)
+        if window is None:
+            window = self._samples[child] = deque(maxlen=self.window)
+            self._delivered[child] = 0
+        if len(window) == self.window and window[0]:
+            self._delivered[child] -= 1
+        window.append(delivered)
+        if delivered:
+            self._delivered[child] += 1
+
+    def estimate(self, child: int) -> Optional[float]:
+        """Windowed PDR of ``child``'s link, or ``None`` below
+        ``min_samples``."""
+        window = self._samples.get(child)
+        if window is None or len(window) < self.min_samples:
+            return None
+        return self._delivered[child] / len(window)
+
+    def sample_count(self, child: int) -> int:
+        window = self._samples.get(child)
+        return 0 if window is None else len(window)
+
+    def reset(self, child: int) -> None:
+        """Forget ``child``'s history (after a reparent the samples
+        describe a link that no longer exists)."""
+        self._samples.pop(child, None)
+        self._delivered.pop(child, None)
+
+    def children(self) -> List[int]:
+        """Children with any samples, ascending."""
+        return sorted(self._samples)
+
+
+@dataclass(frozen=True)
+class WatchdogDecision:
+    """Outcome of one watchdog poll."""
+
+    #: Children confirmed degraded and out of cooldown, ascending —
+    #: candidates for a proactive reparent.
+    degraded: Tuple[int, ...] = ()
+    #: Recommendations suppressed by a cooldown this poll.
+    suppressed: int = 0
+
+
+@dataclass
+class LinkQualityWatchdog:
+    """The hysteresis state machine over a :class:`PdrEstimator`.
+
+    Poll once per slotframe boundary with the current slot; feed the
+    estimator continuously (see :class:`WatchdogFeed`).  ``note_moved``
+    marks a child as acted-upon (estimator reset + cooldown);
+    ``note_rejected`` starts the same cooldown without resetting the
+    estimator, so a deferred move retries once capacity may have
+    changed rather than every boundary.
+    """
+
+    estimator: PdrEstimator = field(default_factory=PdrEstimator)
+    degrade_below: float = 0.5
+    restore_above: float = 0.75
+    confirm_polls: int = 3
+    cooldown_slots: int = 800
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degrade_below <= 1.0:
+            raise ValueError(
+                f"degrade_below must be in (0, 1], got {self.degrade_below}"
+            )
+        if self.restore_above < self.degrade_below:
+            raise ValueError(
+                f"restore_above ({self.restore_above}) must be >= "
+                f"degrade_below ({self.degrade_below})"
+            )
+        if self.confirm_polls < 1:
+            raise ValueError(
+                f"confirm_polls must be >= 1, got {self.confirm_polls}"
+            )
+        if self.cooldown_slots < 0:
+            raise ValueError(
+                f"cooldown_slots must be >= 0, got {self.cooldown_slots}"
+            )
+        self._below: Dict[int, int] = {}
+        self._cooldown_until: Dict[int, int] = {}
+
+    def poll(self, current_slot: int) -> WatchdogDecision:
+        """Advance every link's confirmation state by one poll."""
+        degraded: List[int] = []
+        suppressed = 0
+        for child in self.estimator.children():
+            estimate = self.estimator.estimate(child)
+            if estimate is None:
+                continue
+            if estimate >= self.restore_above:
+                self._below.pop(child, None)
+                continue
+            if estimate >= self.degrade_below:
+                continue  # hysteresis band: hold the count
+            count = self._below.get(child, 0) + 1
+            self._below[child] = count
+            if count < self.confirm_polls:
+                continue
+            if self._cooldown_until.get(child, 0) > current_slot:
+                suppressed += 1
+                continue
+            degraded.append(child)
+        return WatchdogDecision(
+            degraded=tuple(sorted(degraded)), suppressed=suppressed
+        )
+
+    def note_moved(self, child: int, current_slot: int) -> None:
+        """A proactive move happened: forget the dead link's samples and
+        hold off re-judging the new link while it warms up."""
+        self.estimator.reset(child)
+        self._below.pop(child, None)
+        self._cooldown_until[child] = current_slot + self.cooldown_slots
+
+    def note_rejected(self, child: int, current_slot: int) -> None:
+        """Admission deferred the move: back off without forgetting the
+        evidence."""
+        self._cooldown_until[child] = current_slot + self.cooldown_slots
+
+    def in_cooldown(self, child: int, current_slot: int) -> bool:
+        return self._cooldown_until.get(child, 0) > current_slot
+
+
+class WatchdogFeed:
+    """Duck-typed trace recorder feeding a :class:`PdrEstimator`.
+
+    Attach as ``sim.trace`` (optionally chaining an inner recorder):
+    the engine hands it every transmission attempt; delivered attempts
+    and channel/fault losses are evidence about link quality, while
+    collisions, half-duplex conflicts and crashed-receiver drops say
+    nothing about the radio path and are ignored.
+    """
+
+    def __init__(self, estimator: PdrEstimator, inner=None) -> None:
+        from ..net.sim.trace import TxOutcome
+
+        self.estimator = estimator
+        self.inner = inner
+        self._good = TxOutcome.DELIVERED
+        self._bad = (TxOutcome.CHANNEL_LOSS, TxOutcome.FAULT_LOSS)
+
+    def record(self, event) -> None:
+        outcome = event.outcome
+        if outcome is self._good:
+            self.estimator.observe(event.link.child, True)
+        elif outcome in self._bad:
+            self.estimator.observe(event.link.child, False)
+        if self.inner is not None:
+            self.inner.record(event)

@@ -34,9 +34,17 @@ Commands
 ``fuzz [--cases N] [--seed S] [--budget SECONDS] [--out FILE]``
     Conformance fuzzing: generated scenarios through every invariant
     and differential oracle; failing cases are shrunk and written to a
-    JSON counterexample corpus.  ``--replay-seed N`` re-runs one case
-    from its seed; ``--replay FILE`` re-checks a saved corpus.  Exit 1
-    when any violation survives.
+    JSON counterexample corpus.  ``--live`` chaos-fuzzes the live
+    co-simulation layer instead (crash/heal/roam/degrade
+    interleavings against :class:`~repro.agents.live.LiveHarpNetwork`).
+    Seed scheduling is coverage-guided unless ``--no-coverage``.
+    ``--replay-seed N`` re-runs one case from its seed; ``--replay
+    FILE`` re-checks a saved corpus (mixed static/live).  Exit 1 when
+    any violation survives.
+``roam [--frames N] [--seeds N] [--out FILE]``
+    Mobility churn study: identical roam traces with the link-quality
+    watchdog enabled vs. disabled; tabulates delivery ratio, proactive
+    vs. reactive reparents and flap suppression.
 """
 
 from __future__ import annotations
@@ -249,12 +257,59 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_roam(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.roam_study import run_roam_study
+
+    result = run_roam_study(
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        roamers=args.roamers,
+        post_slotframes=args.post_slotframes,
+        workers=args.workers,
+    )
+    print("Mobility churn: proactive vs. reactive-only reparenting")
+    print(result.render())
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.bench is not None:
+        from .bench import collect_meta, merge_report
+
+        merge_report(
+            args.bench,
+            {
+                "churn": {
+                    "meta": collect_meta(seed=args.seed),
+                    **result.to_dict(),
+                }
+            },
+        )
+        print(f"merged churn section into {args.bench}")
+    # The study's contract: proactive reparenting must win on every
+    # seed with a collision-free final schedule.
+    regressed = any(delta <= 0 for delta in result.deltas) or any(
+        row.collisions for row in result.rows
+    )
+    return 1 if regressed else 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .verify import generate_scenario, run_case, run_fuzz
     from .verify.fuzz import replay_corpus, save_report
+    from .verify.live_fuzz import (
+        generate_live_scenario,
+        run_live_case,
+        run_live_fuzz,
+    )
 
     if args.replay_seed is not None:
-        result = run_case(generate_scenario(args.replay_seed))
+        if args.live:
+            result = run_live_case(generate_live_scenario(args.replay_seed))
+        else:
+            result = run_case(generate_scenario(args.replay_seed))
         print(f"seed {args.replay_seed}: {result.outcome} "
               f"({result.elapsed_s:.2f}s)")
         for violation in result.violations:
@@ -262,6 +317,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 1 if result.failed else 0
 
     if args.replay is not None:
+        # The corpus replayer dispatches per entry: live scenarios
+        # (marked ``"live": true``) re-run through the co-simulation,
+        # the rest through the static pipeline.
         results = replay_corpus(args.replay)
         failed = [r for r in results if r.failed]
         print(f"replayed {len(results)} counterexample(s): "
@@ -272,10 +330,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                       f"{violation.message}")
         return 1 if failed else 0
 
-    report = run_fuzz(
-        cases=args.cases, seed=args.seed, budget_s=args.budget,
-        shrink=not args.no_shrink,
-    )
+    if args.live:
+        report = run_live_fuzz(
+            cases=args.cases, seed=args.seed, budget_s=args.budget,
+            shrink=not args.no_shrink,
+            coverage_guided=not args.no_coverage,
+        )
+    else:
+        report = run_fuzz(
+            cases=args.cases, seed=args.seed, budget_s=args.budget,
+            shrink=not args.no_shrink,
+            coverage_guided=not args.no_coverage,
+        )
     print(report.render())
     if args.out is not None:
         save_report(report, args.out)
@@ -446,6 +512,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
+        "roam", help="mobility churn: proactive vs. reactive reparenting"
+    )
+    p.add_argument("--seeds", type=int, default=3)
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; the study runs seeds [seed, seed + seeds)",
+    )
+    p.add_argument(
+        "--roamers", type=int, default=2,
+        help="number of leaves that roam across the deployment",
+    )
+    p.add_argument("--post-slotframes", type=int, default=90)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sweep (default: cpu count)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the study result as JSON to this file",
+    )
+    p.add_argument(
+        "--bench", default=None,
+        help="merge a churn section into this benchmark report "
+        "(e.g. BENCH_perf.json)",
+    )
+    p.set_defaults(func=cmd_roam)
+
+    p = sub.add_parser(
         "fuzz", help="conformance fuzzing with invariant oracles"
     )
     p.add_argument(
@@ -458,8 +552,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="wall-clock budget in seconds (stops before the next case)",
     )
     p.add_argument(
+        "--live", action="store_true",
+        help="chaos-fuzz the live co-simulation layer "
+        "(crash/heal/roam/degrade interleavings) instead of the "
+        "static allocation pipeline",
+    )
+    p.add_argument(
         "--no-shrink", action="store_true",
         help="skip shrinking failing scenarios to minimal counterexamples",
+    )
+    p.add_argument(
+        "--no-coverage", action="store_true",
+        help="disable coverage-guided seed scheduling (run the plain "
+        "sequential seed stream)",
     )
     p.add_argument(
         "--out", default=None,

@@ -1,0 +1,355 @@
+"""Beyond the paper — mobility churn and proactive reparenting.
+
+The paper's testbed is static: devices never move, so links only die
+abruptly (crash) and the dynamic machinery only ever reacts.  Real
+industrial deployments roam — an AGV drives its sensor cluster across
+the hall, and the link to its parent *degrades* long before it breaks.
+This study measures what the link-quality watchdog buys on exactly that
+trace: on a positioned tree under the distance-driven radio model
+(:class:`~repro.net.mobility.DistancePDR`), a few leaves roam from
+their home routers to the far side of the network, and the identical
+run is executed twice —
+
+* **proactive** — the watchdog arm: windowed PDR estimation per child
+  link, hysteresis against flapping, same-layer reparenting through the
+  normal partition machinery *before* the link bottoms out;
+* **reactive** — no watchdog: the leaf stays glued to its home parent
+  and its traffic takes whatever the degrading link still delivers
+  (keepalive condemnation never fires — the node is alive, just far).
+
+Both arms share seed, traffic and roam trace, so the delivery-ratio
+delta in the roam window is attributable to proactive reparenting
+alone.  Every run re-validates cell-level collision freedom at the
+horizon: a move that trades delivery for a colliding schedule counts as
+a failure, not a win.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..agents.live import LiveHarpNetwork
+from ..agents.watchdog import LinkQualityWatchdog, PdrEstimator
+from ..net.deployment import Position, RadioModel
+from ..net.mobility import DistancePDR, WaypointMobility, roam_path
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import e2e_task_per_node
+from ..net.topology import TreeTopology, regular_tree
+from .reporting import format_table
+
+#: Same compact slotframe as the fault study, for the same reason.
+ROAM_CONFIG = SlotframeConfig(
+    num_slots=100, num_channels=16, management_slots=30
+)
+
+#: Packet lifetime (slots): stranded backlog ages out as a real TTL
+#: would, so the measured ratios reflect the link, not an eternal queue.
+PACKET_LIFETIME_SLOTS = 500
+
+
+def study_positions(
+    topology: TreeTopology,
+    sibling_gap: float = 24.0,
+    depth_gap: float = 10.0,
+) -> Dict[int, Position]:
+    """Deterministic home positions with a *wide* fan: siblings spread
+    ``sibling_gap`` metres apart per index so same-depth routers under
+    different grandparents end up tens of metres apart.  Every static
+    tree link stays a good radio link (~10–16 m); crossing the hall to
+    the far router is what degrades it."""
+    positions: Dict[int, Position] = {topology.gateway_id: (0.0, 0.0)}
+    for node in topology.nodes_top_down():
+        if node == topology.gateway_id:
+            continue
+        parent = topology.parent_of(node)
+        px, py = positions[parent]
+        siblings = sorted(topology.children_of(parent))
+        index = siblings.index(node)
+        offset = (index - (len(siblings) - 1) / 2.0) * sibling_gap
+        positions[node] = (px + offset, py + depth_gap)
+    return positions
+
+
+def roam_trace(
+    topology: TreeTopology,
+    positions: Dict[int, Position],
+    roamers: int = 2,
+) -> List[Tuple[int, Position]]:
+    """Pick ``roamers`` leaves and a destination for each: the
+    neighbourhood of the same-depth router *farthest* from the leaf's
+    home parent, overshot by ~20 m so the old link bottoms out well
+    below the watchdog's degrade threshold (far enough that per-frame
+    retries stop masking the loss).  Candidates are ranked by how far
+    their best alternate is — leaves whose every alternate sits nearby
+    would never degrade and are skipped.  Deterministic — both study
+    arms replay the identical trace."""
+    candidates: List[Tuple[float, int, int]] = []
+    for leaf in topology.device_nodes:
+        if not topology.is_leaf(leaf):
+            continue
+        parent = topology.parent_of(leaf)
+        depth = topology.depth_of(parent)
+        alternates = [
+            n
+            for n in topology.nodes
+            if n != parent and topology.depth_of(n) == depth
+        ]
+        if not alternates:
+            continue
+        px, py = positions[parent]
+
+        def _dist2(node: int) -> float:
+            nx, ny = positions[node]
+            return (nx - px) ** 2 + (ny - py) ** 2
+
+        target = max(alternates, key=_dist2)
+        candidates.append((_dist2(target), leaf, target))
+
+    candidates.sort(key=lambda entry: (-entry[0], entry[1]))
+    picked: List[Tuple[int, Position]] = []
+    used_parents: set = set()
+    for _, leaf, target in candidates:
+        if len(picked) >= roamers:
+            break
+        parent = topology.parent_of(leaf)
+        if parent in used_parents:
+            continue
+        px, _ = positions[parent]
+        tx, ty = positions[target]
+        away = 20.0 if tx >= px else -20.0
+        picked.append((leaf, (tx + away, ty + 8.0)))
+        used_parents.add(parent)
+    return picked
+
+
+@dataclass
+class RoamOutcome:
+    """Raw metrics of one (seed, arm) run."""
+
+    ratio_roam: float
+    ratio_overall: float
+    proactive_reparents: int
+    reactive_reparents: int
+    flaps_suppressed: int
+    grants_shed: int
+    admission_rejects: int
+    collision_free: bool
+
+
+def run_single_roam(
+    seed: int = 0,
+    proactive: bool = True,
+    topology: Optional[TreeTopology] = None,
+    config: Optional[SlotframeConfig] = None,
+    roamers: int = 2,
+    warmup_slotframes: int = 8,
+    travel_slotframes: int = 10,
+    post_slotframes: int = 90,
+    elastic_drain_cells: int = 2,
+) -> RoamOutcome:
+    """Bootstrap, warm up, start the roam trace, observe the outcome.
+
+    ``proactive=False`` runs the identical trace without the watchdog —
+    the reactive-only baseline arm.
+    """
+    topology = topology or regular_tree(depth=3, fanout=2)
+    config = config or ROAM_CONFIG
+    home = study_positions(topology)
+    mobility = WaypointMobility(dict(home))
+    live = LiveHarpNetwork(
+        topology,
+        e2e_task_per_node(topology),
+        config,
+        rng=random.Random(seed),
+        loss_model=DistancePDR(mobility, RadioModel()),
+        # A leaf link only carries ~2 attempts per slotframe, so the
+        # watchdog's default 64-sample window would lag the roam by
+        # ~30 slotframes; the study sizes the window to detect within
+        # a handful of slotframes of arrival instead.
+        watchdog=(
+            LinkQualityWatchdog(
+                PdrEstimator(window=16, min_samples=8), confirm_polls=2
+            )
+            if proactive
+            else None
+        ),
+        elastic_drain_cells=elastic_drain_cells,
+        max_packet_age_slots=PACKET_LIFETIME_SLOTS,
+    )
+    live.bootstrap()
+    warmup_start = live.sim.current_slot
+    live.run_slotframes(warmup_slotframes)
+
+    roam_start = live.sim.current_slot + config.num_slots // 2
+    for leaf, destination in roam_trace(topology, home, roamers=roamers):
+        mobility.paths[leaf] = roam_path(
+            home[leaf],
+            roam_start,
+            travel_slotframes * config.num_slots,
+            destination,
+        )
+    live.run_slotframes(post_slotframes)
+
+    metrics = live.sim.metrics
+    window_end = max(
+        live.sim.current_slot - PACKET_LIFETIME_SLOTS, roam_start
+    )
+    collision_free = True
+    try:
+        live.schedule.validate_collision_free(live.topology)
+    except Exception:
+        collision_free = False
+    return RoamOutcome(
+        ratio_roam=metrics.delivery_ratio_between(roam_start, window_end),
+        ratio_overall=metrics.delivery_ratio_between(
+            warmup_start, window_end
+        ),
+        proactive_reparents=live.stats.proactive_reparents,
+        reactive_reparents=live.stats.subtrees_reparented,
+        flaps_suppressed=live.stats.flaps_suppressed,
+        grants_shed=live.stats.grants_shed,
+        admission_rejects=live.stats.admission_rejects,
+        collision_free=collision_free,
+    )
+
+
+@dataclass
+class RoamStudyRow:
+    """One study arm, averaged over seeds."""
+
+    arm: str
+    runs: int
+    ratio_roam: float
+    ratio_overall: float
+    proactive_reparents: float
+    reactive_reparents: float
+    flaps_suppressed: float
+    collisions: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "arm": self.arm,
+            "runs": self.runs,
+            "ratio_roam": self.ratio_roam,
+            "ratio_overall": self.ratio_overall,
+            "proactive_reparents": self.proactive_reparents,
+            "reactive_reparents": self.reactive_reparents,
+            "flaps_suppressed": self.flaps_suppressed,
+            "collisions": self.collisions,
+        }
+
+
+@dataclass
+class RoamStudyResult:
+    """Proactive vs. reactive arms on the shared roam trace."""
+
+    rows: List[RoamStudyRow] = field(default_factory=list)
+    seeds: List[int] = field(default_factory=list)
+    roamers: int = 2
+    deltas: List[float] = field(default_factory=list)
+
+    @property
+    def delta_mean(self) -> float:
+        """Mean per-seed delivery-ratio gain (roam window) of the
+        proactive arm over the reactive arm."""
+        return _mean(self.deltas)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seeds": list(self.seeds),
+            "roamers": self.roamers,
+            "delta_mean": self.delta_mean,
+            "deltas": list(self.deltas),
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def render(self) -> str:
+        table = format_table(
+            [
+                "Arm", "Runs", "DR roam", "DR overall",
+                "Proactive", "Reactive", "Flaps supp.", "Collisions",
+            ],
+            [
+                (
+                    r.arm,
+                    r.runs,
+                    f"{r.ratio_roam:.3f}",
+                    f"{r.ratio_overall:.3f}",
+                    f"{r.proactive_reparents:.1f}",
+                    f"{r.reactive_reparents:.1f}",
+                    f"{r.flaps_suppressed:.1f}",
+                    r.collisions,
+                )
+                for r in self.rows
+            ],
+        )
+        return (
+            table
+            + f"\nmean roam-window delivery gain from proactive "
+            f"reparenting: {self.delta_mean:+.3f}"
+        )
+
+
+def _roam_point(args) -> RoamOutcome:
+    """One (seed, arm) sweep point — module-level so
+    :func:`~repro.experiments.runner.parallel_map` can pickle it."""
+    seed, proactive, roamers, post_slotframes = args
+    return run_single_roam(
+        seed=seed,
+        proactive=proactive,
+        roamers=roamers,
+        post_slotframes=post_slotframes,
+    )
+
+
+def run_roam_study(
+    seeds: Sequence[int] = (0, 1, 2),
+    roamers: int = 2,
+    post_slotframes: int = 90,
+    workers: Optional[int] = None,
+) -> RoamStudyResult:
+    """Run both arms over every seed and tabulate the comparison."""
+    from .runner import parallel_map
+
+    points = [
+        (seed, proactive, roamers, post_slotframes)
+        for proactive in (True, False)
+        for seed in seeds
+    ]
+    outcomes = parallel_map(_roam_point, points, workers=workers)
+    half = len(seeds)
+    by_arm = {
+        "proactive": outcomes[:half],
+        "reactive": outcomes[half:],
+    }
+    result = RoamStudyResult(seeds=list(seeds), roamers=roamers)
+    for arm, runs in by_arm.items():
+        result.rows.append(
+            RoamStudyRow(
+                arm=arm,
+                runs=len(runs),
+                ratio_roam=_mean([o.ratio_roam for o in runs]),
+                ratio_overall=_mean([o.ratio_overall for o in runs]),
+                proactive_reparents=_mean(
+                    [float(o.proactive_reparents) for o in runs]
+                ),
+                reactive_reparents=_mean(
+                    [float(o.reactive_reparents) for o in runs]
+                ),
+                flaps_suppressed=_mean(
+                    [float(o.flaps_suppressed) for o in runs]
+                ),
+                collisions=sum(1 for o in runs if not o.collision_free),
+            )
+        )
+    result.deltas = [
+        pro.ratio_roam - rea.ratio_roam
+        for pro, rea in zip(by_arm["proactive"], by_arm["reactive"])
+    ]
+    return result
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,212 @@
+"""Node mobility: waypoint motion and a distance-driven loss model.
+
+The deployment layer (:mod:`repro.net.deployment`) places nodes once
+and freezes their link PDRs; real industrial floors have tool carts,
+AGVs and handheld terminals that *roam* — exactly the regime the
+Monaas line of work targets — so link quality is a function of time.
+This module adds that missing axis:
+
+* a :class:`Waypoint` path per node — positions are interpolated
+  linearly between waypoints (constant speed per segment), held at the
+  last waypoint afterwards and at the home position before the first;
+* :class:`WaypointMobility` answers ``position_of(node, slot)`` for
+  every node, falling back to the static home position for nodes
+  without a path;
+* :class:`DistancePDR` — a :class:`~repro.net.radio.LossModel` that
+  re-derives each tree link's PDR from the *current* distance between
+  its endpoints through the deployment's
+  :class:`~repro.net.deployment.RadioModel`, so a roaming node's links
+  continuously degrade and restore as it moves.
+
+``DistancePDR`` learns the current slot two ways: the simulator calls
+the optional ``observe_cell(slot, cell)`` hook before sampling each
+transmission, and the live layer calls :meth:`DistancePDR.advance_to`
+at every slotframe boundary (covering idle links, which see no
+transmissions).  Both are monotone: time never moves backwards.
+
+Everything here is deterministic — motion is a pure function of the
+slot — so co-simulated runs keep the live layer's replay contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .deployment import Position, RadioModel
+from .radio import LossModel
+from .topology import LinkRef, TreeTopology
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One point of a node's motion path: be at ``(x, y)`` at ``slot``."""
+
+    slot: int
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError(f"waypoint slot must be >= 0, got {self.slot}")
+
+    @property
+    def position(self) -> Position:
+        return (self.x, self.y)
+
+
+def _interpolate(a: Waypoint, b: Waypoint, slot: int) -> Position:
+    """Linear interpolation between two waypoints at ``slot``."""
+    if b.slot <= a.slot:
+        return b.position
+    t = (slot - a.slot) / (b.slot - a.slot)
+    return (a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+
+
+@dataclass
+class WaypointMobility:
+    """Per-node waypoint paths over static home positions.
+
+    ``home`` gives every node's resting position; ``paths`` optionally
+    gives some nodes a motion schedule.  A node without a path never
+    moves.  A node with a path holds its *first* waypoint's position
+    until that waypoint's slot (paths therefore carry their own
+    departure anchor — :func:`roam_path` emits one at the home
+    position), moves linearly from waypoint to waypoint, and holds the
+    last waypoint's position forever after.
+    """
+
+    home: Dict[int, Position]
+    paths: Dict[int, Tuple[Waypoint, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalized: Dict[int, Tuple[Waypoint, ...]] = {}
+        for node, path in self.paths.items():
+            if node not in self.home:
+                raise ValueError(
+                    f"path for node {node} without a home position"
+                )
+            ordered = tuple(sorted(path, key=lambda w: w.slot))
+            for earlier, later in zip(ordered, ordered[1:]):
+                if later.slot == earlier.slot:
+                    raise ValueError(
+                        f"node {node} has two waypoints at slot "
+                        f"{later.slot}"
+                    )
+            normalized[node] = ordered
+        self.paths = normalized
+
+    def position_of(self, node: int, slot: int) -> Position:
+        """Where ``node`` is at ``slot`` (its home when it never moves
+        or is unknown to the model)."""
+        path = self.paths.get(node)
+        if not path:
+            home = self.home.get(node)
+            if home is None:
+                raise KeyError(f"node {node} has no home position")
+            return home
+        if slot <= path[0].slot:
+            return path[0].position
+        for a, b in zip(path, path[1:]):
+            if slot <= b.slot:
+                return _interpolate(a, b, slot)
+        return path[-1].position
+
+    def distance(self, a: int, b: int, slot: int) -> float:
+        """Euclidean distance between two nodes at ``slot`` (meters)."""
+        (xa, ya) = self.position_of(a, slot)
+        (xb, yb) = self.position_of(b, slot)
+        return math.hypot(xa - xb, ya - yb)
+
+    def moving_nodes(self) -> Tuple[int, ...]:
+        """Nodes with a non-empty motion path, ascending."""
+        return tuple(sorted(n for n, p in self.paths.items() if p))
+
+
+def roam_path(
+    home: Position,
+    start_slot: int,
+    travel_slots: int,
+    destination: Position,
+    dwell_slots: int = 0,
+    return_home: bool = False,
+) -> Tuple[Waypoint, ...]:
+    """A common path shape: hold ``home`` until ``start_slot``, arrive
+    at ``destination`` after ``travel_slots``, optionally dwell there
+    and travel back home at the same speed."""
+    if travel_slots <= 0:
+        raise ValueError(f"travel_slots must be > 0, got {travel_slots}")
+    if dwell_slots < 0:
+        raise ValueError(f"dwell_slots must be >= 0, got {dwell_slots}")
+    arrive = start_slot + travel_slots
+    waypoints = [
+        Waypoint(start_slot, home[0], home[1]),
+        Waypoint(arrive, destination[0], destination[1]),
+    ]
+    if return_home or dwell_slots:
+        depart = arrive + dwell_slots
+        if dwell_slots:
+            waypoints.append(
+                Waypoint(depart, destination[0], destination[1])
+            )
+        if return_home:
+            waypoints.append(
+                Waypoint(depart + travel_slots, home[0], home[1])
+            )
+    return tuple(waypoints)
+
+
+@dataclass
+class DistancePDR(LossModel):
+    """Link PDR from the *current* endpoint distance.
+
+    For a tree link the relevant distance is child <-> parent; the
+    parent is read from the topology the simulator passes in, so the
+    model follows reparenting automatically — a node moved under a
+    closer parent immediately sees the better link.  Nodes the mobility
+    model does not know fall back to ``default_pdr``.
+
+    ``floor`` clamps the curve from below so a fully-roamed-away link
+    still delivers the occasional packet (pure zero would starve the
+    watchdog's estimator of samples).
+    """
+
+    mobility: WaypointMobility
+    radio: RadioModel = field(default_factory=RadioModel)
+    default_pdr: float = 1.0
+    floor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_pdr <= 1.0:
+            raise ValueError(
+                f"default_pdr must be in [0, 1], got {self.default_pdr}"
+            )
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValueError(f"floor must be in [0, 1], got {self.floor}")
+        self._slot = 0
+
+    @property
+    def current_slot(self) -> int:
+        """The slot the model currently evaluates positions at."""
+        return self._slot
+
+    def advance_to(self, slot: int) -> None:
+        """Move the model's clock forward (idempotent, monotone)."""
+        if slot > self._slot:
+            self._slot = slot
+
+    def observe_cell(self, slot: int, cell) -> None:
+        """Simulator hook: called before each transmission attempt."""
+        self.advance_to(slot)
+
+    def pdr(self, topology: TreeTopology, link: LinkRef) -> float:
+        child = link.child
+        if child not in topology or child == topology.gateway_id:
+            return self.default_pdr
+        parent = topology.parent_of(child)
+        try:
+            distance = self.mobility.distance(child, parent, self._slot)
+        except KeyError:
+            return self.default_pdr
+        return max(self.floor, min(1.0, self.radio.pdr(distance)))

@@ -5,6 +5,12 @@ environmental interference", which mostly affects nodes multiple hops
 from the gateway.  The simulator reproduces this with pluggable per-link
 packet-delivery-ratio (PDR) models: a transmission that is not lost to a
 schedule collision still fails with probability ``1 - pdr(link)``.
+
+The models here are static or scripted per link.  For loss that is a
+*consequence of geometry* — nodes that physically roam while the
+network runs — use :class:`repro.net.mobility.DistancePDR`, which
+derives each link's PDR from the current distance between its
+endpoints under a waypoint mobility model.
 """
 
 from __future__ import annotations

@@ -38,7 +38,7 @@ import random
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..radio import LossModel, PerfectRadio
 from ..slotframe import Cell, Schedule, SlotframeConfig
@@ -759,6 +759,36 @@ class TSCHSimulator:
         """Packets currently waiting in any queue."""
         return sum(len(q) for q in self._uplink_q.values()) + sum(
             len(q) for q in self._downlink_q.values()
+        )
+
+    def queued_at(
+        self, nodes: Iterable[int], direction: Direction
+    ) -> int:
+        """Packets currently queued at any of ``nodes`` in one
+        direction — the measured backlog behind a set of links (the
+        live layer sizes its elastic post-heal boosts from this)."""
+        queues = (
+            self._uplink_q if direction is Direction.UP else self._downlink_q
+        )
+        total = 0
+        for node in nodes:
+            queue = queues.get(node)
+            if queue:
+                total += len(queue)
+        return total
+
+    def queued_into(self, nodes: Iterable[int]) -> int:
+        """Downlink packets *destined* into any of ``nodes``, wherever
+        they currently sit.  Downlink backlog queues at ancestors on
+        the way down, so measuring by holder (``queued_at``) misses it
+        entirely for a subtree — this is the per-destination view the
+        live layer sizes its downlink elastic boosts from."""
+        wanted = set(nodes)
+        return sum(
+            1
+            for queue in self._downlink_q.values()
+            for packet in queue
+            if packet.destination in wanted
         )
 
     def conservation_findings(self) -> List[str]:

@@ -16,7 +16,13 @@ This package certifies it mechanically at scale:
   manager and the distributed agent runtime (schedules must be equal),
   and through HARP vs. the baseline schedulers (HARP must dominate);
 * :mod:`fuzz` — the driver behind ``repro fuzz``: case/time budgets,
-  JSON counterexample corpus, replay by seed.
+  JSON counterexample corpus, replay by seed, optional coverage-guided
+  seed scheduling;
+* :mod:`live_fuzz` — chaos fuzzing of the *live* co-simulation layer:
+  crash/heal/roam/degrade/failover interleavings against
+  :class:`~repro.agents.live.LiveHarpNetwork`, with livelock,
+  bounded-reattach, move-count and collision-freedom oracles and
+  delta-debug shrinking over the event interleaving.
 """
 
 from .differential import diff_manager_vs_agents, diff_schedulers
@@ -30,10 +36,20 @@ from .fuzz import (
     CaseResult,
     Counterexample,
     FuzzReport,
+    SeedScheduler,
     replay_corpus,
     run_case,
     run_fuzz,
     save_report,
+)
+from .live_fuzz import (
+    LiveEvent,
+    LiveScenario,
+    generate_live_scenario,
+    replay_live_corpus,
+    run_live_case,
+    run_live_fuzz,
+    shrink_live_scenario,
 )
 from .oracles import Violation, check_scenario_network, run_conservation
 
@@ -42,16 +58,24 @@ __all__ = [
     "Counterexample",
     "DynamicsOp",
     "FuzzReport",
+    "LiveEvent",
+    "LiveScenario",
+    "SeedScheduler",
     "save_report",
     "Scenario",
     "Violation",
     "check_scenario_network",
     "diff_manager_vs_agents",
     "diff_schedulers",
+    "generate_live_scenario",
     "generate_scenario",
     "replay_corpus",
+    "replay_live_corpus",
     "run_case",
     "run_conservation",
     "run_fuzz",
+    "run_live_case",
+    "run_live_fuzz",
+    "shrink_live_scenario",
     "shrink_scenario",
 ]

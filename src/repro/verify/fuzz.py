@@ -49,18 +49,25 @@ class CaseResult:
     outcome: str  # ok | infeasible | violation | error
     violations: List[Violation] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: Live-layer counters when the case ran against the co-simulation
+    #: (``repro.verify.live_fuzz``); None for conformance cases.  Feeds
+    #: the coverage-guided seed scheduler's feature extraction.
+    live_stats: Optional[Dict[str, int]] = None
 
     @property
     def failed(self) -> bool:
         return self.outcome in ("violation", "error")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "seed": self.seed,
             "outcome": self.outcome,
             "violations": [v.to_dict() for v in self.violations],
             "elapsed_s": round(self.elapsed_s, 4),
         }
+        if self.live_stats is not None:
+            doc["live_stats"] = dict(self.live_stats)
+        return doc
 
 
 @dataclass
@@ -245,6 +252,83 @@ def run_case(scenario: Scenario, conservation: bool = True) -> CaseResult:
 
 
 # ----------------------------------------------------------------------
+# coverage-guided seed scheduling
+# ----------------------------------------------------------------------
+
+
+class SeedScheduler:
+    """Coverage-guided seed frontier over a deterministic base stream.
+
+    The base stream is ``first_seed, first_seed + 1, ...`` — exactly
+    what the plain sequential campaign would run.  When the caller
+    reports that a case lit up a *new* coverage feature (an oracle
+    branch, a dynamics-op kind, a live-layer state transition), the
+    scheduler derives child seeds from it and explores those ahead of
+    the base stream, concentrating the budget around inputs that reach
+    rare behaviour.  Derivation is pure integer arithmetic (no
+    ``hash()``, no randomness), so a campaign replays bit-for-bit:
+    ``child = parent * 1_000_003 + k``.
+    """
+
+    #: Children derived from each novelty-bearing seed.
+    children_per_hit: int = 3
+
+    def __init__(self, first_seed: int = 0) -> None:
+        self._next_base = first_seed
+        self._frontier: List[int] = []
+        self._seen_seeds: set = set()
+        self._seen_features: set = set()
+
+    def next_seed(self) -> int:
+        """The next seed to run: frontier (novelty-derived) first, base
+        stream otherwise."""
+        while self._frontier:
+            candidate = self._frontier.pop(0)
+            if candidate not in self._seen_seeds:
+                self._seen_seeds.add(candidate)
+                return candidate
+        while self._next_base in self._seen_seeds:
+            self._next_base += 1
+        seed = self._next_base
+        self._seen_seeds.add(seed)
+        self._next_base += 1
+        return seed
+
+    def record(self, seed: int, features: List[str]) -> int:
+        """Report a finished case's coverage features; returns how many
+        were new.  Novelty queues derived seeds onto the frontier."""
+        new = [f for f in features if f not in self._seen_features]
+        self._seen_features.update(new)
+        if new:
+            for k in range(1, self.children_per_hit + 1):
+                self._frontier.append(seed * 1_000_003 + k)
+        return len(new)
+
+    @property
+    def features_seen(self) -> int:
+        return len(self._seen_features)
+
+
+def _case_features(scenario: Scenario, result: CaseResult) -> List[str]:
+    """Coverage features of one conformance case: its outcome, the
+    oracle branches that fired, the dynamics-op kinds it ran, and
+    coarse shape buckets of the generated input."""
+    features = [f"outcome:{result.outcome}"]
+    for violation in result.violations:
+        features.append(f"oracle:{violation.oracle}")
+    for op in scenario.ops:
+        features.append(f"op:{op.kind}")
+    features.append(f"slots:{scenario.num_slots}")
+    features.append(f"channels:{scenario.num_channels}")
+    features.append(f"size:{min(len(scenario.parent_map) // 5, 4)}")
+    if scenario.case1_slack:
+        features.append("knob:slack")
+    if scenario.distribute_slack:
+        features.append("knob:distribute")
+    return features
+
+
+# ----------------------------------------------------------------------
 # the campaign driver
 # ----------------------------------------------------------------------
 
@@ -255,6 +339,7 @@ def run_fuzz(
     budget_s: Optional[float] = None,
     shrink: bool = True,
     conservation: bool = True,
+    coverage_guided: bool = False,
     on_case: Optional[Callable[[CaseResult], None]] = None,
 ) -> FuzzReport:
     """Run a fuzz campaign over seeds ``[seed, seed + cases)``.
@@ -262,16 +347,26 @@ def run_fuzz(
     ``budget_s`` bounds wall-clock time: the campaign stops before the
     next case once exceeded.  Failing scenarios are shrunk (bounded by
     the same budget) and collected as counterexamples.
+
+    With ``coverage_guided`` the seed order is adaptive: cases that
+    reach new oracle branches or op kinds spawn derived seeds explored
+    ahead of the sequential stream (see :class:`SeedScheduler`).  The
+    default stays the plain sequential sweep so existing campaigns and
+    their replay-by-seed semantics are unchanged.
     """
     started = time.monotonic()
     report = FuzzReport(first_seed=seed)
+    scheduler = SeedScheduler(first_seed=seed) if coverage_guided else None
     for i in range(cases):
         if budget_s is not None and time.monotonic() - started >= budget_s:
             report.budget_exhausted = True
             break
-        scenario = generate_scenario(seed + i)
+        case_seed = seed + i if scheduler is None else scheduler.next_seed()
+        scenario = generate_scenario(case_seed)
         result = run_case(scenario, conservation=conservation)
         report.cases_run += 1
+        if scheduler is not None:
+            scheduler.record(case_seed, _case_features(scenario, result))
         if on_case is not None:
             on_case(result)
         if result.outcome == "ok":
@@ -323,11 +418,21 @@ def save_report(report: FuzzReport, path: str) -> None:
 
 def replay_corpus(path: str, conservation: bool = True) -> List[CaseResult]:
     """Re-run every counterexample of a saved corpus (shrunken form
-    preferred); returns one result per counterexample."""
+    preferred); returns one result per counterexample.  Live-layer
+    corpus entries (marked ``"live": true`` by
+    :mod:`repro.verify.live_fuzz`) replay through the live pipeline."""
     with open(path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
     results: List[CaseResult] = []
     for entry in doc.get("counterexamples", []):
+        if entry["scenario"].get("live"):
+            from .live_fuzz import LiveScenario, run_live_case
+
+            witness_doc = entry.get("shrunk") or entry["scenario"]
+            results.append(
+                run_live_case(LiveScenario.from_dict(witness_doc))
+            )
+            continue
         ce = Counterexample.from_dict(entry)
         witness = ce.shrunk or ce.scenario
         results.append(run_case(witness, conservation=conservation))

@@ -1,0 +1,712 @@
+"""Chaos fuzzing for the *live* co-simulation layer.
+
+The conformance fuzzer (:mod:`repro.verify.fuzz`) exercises the
+centralized manager and the message-free agent runtime; the live layer
+— over-the-air protocol transport, keepalive detection, self-healing,
+elastic drain, proactive roaming — stayed unfuzzed.  This module closes
+that gap: a :class:`LiveScenario` interleaves node crashes (with and
+without recovery), link-PDR collapses, waypoint *roams* and a gateway
+failover against :class:`~repro.agents.live.LiveHarpNetwork`, then
+checks oracles the scripted tests only sample:
+
+``live-livelock``
+    After the last fault event the protocol must quiesce within a
+    bounded number of slotframes (no heal livelock, no rejoin storm
+    that never converges).
+``live-reattach``
+    Every node whose crash recovered (with margin before the horizon)
+    must be back in the topology — bounded time-to-reattach, including
+    the rejoin race where a leaf recovers before its crashed router.
+``live-move-sanity``
+    The total number of partition moves (reactive subtree reparents +
+    proactive roam moves + rejoins) is bounded by a generous linear
+    function of the injected events — a flap storm or reparenting
+    livelock blows through it.
+``live-collision`` / ``live-isolation``
+    Cell-level collision freedom and partition isolation of the final
+    healed state (the live layer also self-checks after every heal; a
+    raised check surfaces as a ``crash`` violation mid-run).
+
+Failing scenarios shrink by greedy delta-debugging over the *event
+interleaving* (drop events, drop tasks, disable knobs), mirroring the
+conformance shrinker.  Everything is seeded and wall-clock free, so a
+corpus entry replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..agents.live import LiveHarpNetwork
+from ..agents.watchdog import LinkQualityWatchdog
+from ..net.deployment import Position, RadioModel
+from ..net.mobility import DistancePDR, WaypointMobility, roam_path
+from ..net.sim.faults import FaultPlan, LinkPdrCollapse, NodeCrash
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import TaskSet
+from ..net.topology import TreeTopology
+from .fuzz import CaseResult, Counterexample, FuzzReport
+from .generators import TaskSpec
+from .oracles import Violation
+
+#: Event kinds and generator weights.
+_EVENT_KINDS: Tuple[Tuple[str, int], ...] = (
+    ("crash", 4),
+    ("degrade", 3),
+    ("roam", 3),
+    ("gateway_crash", 1),
+)
+
+#: Slotframes the post-horizon quiescence drain may take before the
+#: livelock oracle fires (generous: a full re-bootstrap of the largest
+#: generated tree converges an order of magnitude faster).
+_LIVELOCK_BOUND_FRAMES = 250
+
+#: A recovery later than this many slotframes before the horizon is not
+#: asserted on (the rejoin may legitimately still be in flight).
+_REATTACH_MARGIN_FRAMES = 12
+
+
+@dataclass(frozen=True)
+class LiveEvent:
+    """One chaos event, in slotframes relative to the end of bootstrap.
+
+    ``kind`` is one of:
+
+    * ``crash`` — ``node`` powers off at ``at_frame``; with
+      ``frames > 0`` it recovers that many slotframes later, else the
+      crash is permanent;
+    * ``degrade`` — the link to ``node`` has its PDR capped at ``pdr``
+      for ``frames`` slotframes;
+    * ``roam`` — ``node`` travels from its home position to ``target``'s
+      neighbourhood over ``frames`` slotframes (requires the scenario's
+      mobility geometry);
+    * ``gateway_crash`` — the gateway powers off at ``at_frame``
+      (permanent; exercises failover).
+    """
+
+    kind: str
+    node: int
+    at_frame: int
+    frames: int = 0
+    pdr: float = 0.2
+    target: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "at_frame": self.at_frame,
+            "frames": self.frames,
+            "pdr": self.pdr,
+            "target": self.target,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "LiveEvent":
+        return cls(
+            kind=doc["kind"],
+            node=int(doc["node"]),
+            at_frame=int(doc["at_frame"]),
+            frames=int(doc.get("frames", 0)),
+            pdr=float(doc.get("pdr", 0.2)),
+            target=int(doc.get("target", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class LiveScenario:
+    """One deterministic live-layer chaos case."""
+
+    seed: int
+    parent_map: Dict[int, int]
+    tasks: Tuple[TaskSpec, ...]
+    events: Tuple[LiveEvent, ...] = ()
+    num_slots: int = 100
+    num_channels: int = 16
+    management_slots: int = 30
+    run_frames: int = 60
+    watchdog: bool = True
+    elastic_drain_cells: int = 2
+    management_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def topology(self) -> TreeTopology:
+        return TreeTopology(dict(self.parent_map))
+
+    def task_set(self) -> TaskSet:
+        return TaskSet([spec.to_task() for spec in self.tasks])
+
+    def config(self) -> SlotframeConfig:
+        return SlotframeConfig(
+            num_slots=self.num_slots,
+            num_channels=self.num_channels,
+            management_slots=self.management_slots,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "live": True,
+            "seed": self.seed,
+            "parent_map": {
+                str(c): p for c, p in sorted(self.parent_map.items())
+            },
+            "tasks": [spec.to_dict() for spec in self.tasks],
+            "events": [event.to_dict() for event in self.events],
+            "num_slots": self.num_slots,
+            "num_channels": self.num_channels,
+            "management_slots": self.management_slots,
+            "run_frames": self.run_frames,
+            "watchdog": self.watchdog,
+            "elastic_drain_cells": self.elastic_drain_cells,
+            "management_loss": self.management_loss,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "LiveScenario":
+        return cls(
+            seed=int(doc["seed"]),
+            parent_map={
+                int(c): int(p) for c, p in doc["parent_map"].items()
+            },
+            tasks=tuple(
+                TaskSpec.from_dict(entry) for entry in doc["tasks"]
+            ),
+            events=tuple(
+                LiveEvent.from_dict(entry) for entry in doc["events"]
+            ),
+            num_slots=int(doc.get("num_slots", 100)),
+            num_channels=int(doc.get("num_channels", 16)),
+            management_slots=int(doc.get("management_slots", 30)),
+            run_frames=int(doc.get("run_frames", 60)),
+            watchdog=bool(doc.get("watchdog", True)),
+            elastic_drain_cells=int(doc.get("elastic_drain_cells", 2)),
+            management_loss=float(doc.get("management_loss", 0.0)),
+        )
+
+    def describe(self) -> str:
+        kinds = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        script = ",".join(f"{k}x{v}" for k, v in sorted(kinds.items()))
+        return (
+            f"live seed={self.seed} nodes={len(self.parent_map) + 1} "
+            f"tasks={len(self.tasks)} events=[{script or 'none'}] "
+            f"frames={self.run_frames}"
+            f"{' watchdog' if self.watchdog else ''}"
+        )
+
+
+# ----------------------------------------------------------------------
+# deterministic geometry
+# ----------------------------------------------------------------------
+
+
+def synthetic_positions(topology: TreeTopology) -> Dict[int, Position]:
+    """Deterministic home positions: each node sits ~10–18 m from its
+    parent (fanned out by sibling index), so every static tree link is
+    a good radio link under the default :class:`RadioModel` and roaming
+    *away* from the parent is what degrades it."""
+    positions: Dict[int, Position] = {topology.gateway_id: (0.0, 0.0)}
+    for node in topology.nodes_top_down():
+        if node == topology.gateway_id:
+            continue
+        parent = topology.parent_of(node)
+        px, py = positions[parent]
+        siblings = sorted(topology.children_of(parent))
+        index = siblings.index(node)
+        offset = (index - (len(siblings) - 1) / 2.0) * 8.0
+        positions[node] = (px + offset, py + 10.0)
+    return positions
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+
+
+def _weighted_kind(rng: random.Random) -> str:
+    total = sum(weight for _, weight in _EVENT_KINDS)
+    mark = rng.randrange(total)
+    for value, weight in _EVENT_KINDS:
+        if mark < weight:
+            return value
+        mark -= weight
+    return _EVENT_KINDS[-1][0]
+
+
+def generate_live_scenario(seed: int) -> LiveScenario:
+    """The deterministic live chaos case for one seed.
+
+    Trees stay small (the live layer steps slot by slot, so a case must
+    run in seconds) and rates stay feasible by construction — the point
+    here is surviving chaos, not admission rejection.  Constraints the
+    generator maintains so every scenario is *survivable*:
+
+    * at most one gateway crash, and then no depth-1 router crashes
+      (failover needs a surviving depth-1 root);
+    * at most one crash per node (the fault plan's invariant);
+    * crash windows leave at least one live same-depth alternate for
+      every crashed router when possible (small trees make this best
+      effort — the full-rebootstrap fallback covers the rest).
+    """
+    rng = random.Random(seed)
+
+    # Small layered tree: 2-3 depth-1 routers, each with 1-3 children,
+    # some of which have 1-2 leaves of their own.
+    parent_map: Dict[int, int] = {}
+    next_id = 1
+    routers = []
+    for _ in range(rng.randint(2, 3)):
+        parent_map[next_id] = 0
+        routers.append(next_id)
+        next_id += 1
+    mids = []
+    for router in routers:
+        for _ in range(rng.randint(1, 3)):
+            parent_map[next_id] = router
+            mids.append(next_id)
+            next_id += 1
+    for mid in mids:
+        if rng.random() < 0.4:
+            for _ in range(rng.randint(1, 2)):
+                parent_map[next_id] = mid
+                next_id += 1
+    topology = TreeTopology(dict(parent_map))
+
+    tasks = []
+    for node in topology.device_nodes:
+        if rng.random() < 0.6:
+            tasks.append(
+                TaskSpec(
+                    task_id=node,
+                    source=node,
+                    rate=rng.choice((0.5, 1.0, 1.0)),
+                    echo=rng.random() < 0.5,
+                )
+            )
+    if not tasks:
+        node = topology.device_nodes[0]
+        tasks.append(TaskSpec(task_id=node, source=node, rate=1.0, echo=True))
+
+    run_frames = rng.randint(50, 80)
+    events: List[LiveEvent] = []
+    crashed: set = set()
+    gateway_crashed = False
+    for _ in range(rng.randint(1, 4)):
+        kind = _weighted_kind(rng)
+        at_frame = rng.randint(2, max(3, run_frames - 25))
+        if kind == "gateway_crash" and not gateway_crashed:
+            gateway_crashed = True
+            events.append(LiveEvent("gateway_crash", 0, at_frame))
+        elif kind == "crash":
+            candidates = [
+                n
+                for n in topology.device_nodes
+                if n not in crashed
+                and not (gateway_crashed and topology.depth_of(n) == 1)
+            ]
+            if not candidates:
+                continue
+            node = rng.choice(candidates)
+            crashed.add(node)
+            frames = rng.choice((0, rng.randint(8, 20)))
+            events.append(LiveEvent("crash", node, at_frame, frames=frames))
+        elif kind == "degrade":
+            node = rng.choice(topology.device_nodes)
+            events.append(
+                LiveEvent(
+                    "degrade",
+                    node,
+                    at_frame,
+                    frames=rng.randint(6, 15),
+                    pdr=rng.choice((0.05, 0.15, 0.3)),
+                )
+            )
+        else:  # roam
+            leaves = [
+                n for n in topology.device_nodes if topology.is_leaf(n)
+            ]
+            if not leaves:
+                continue
+            node = rng.choice(leaves)
+            others = [
+                n
+                for n in topology.nodes
+                if n != node and n != topology.parent_of(node)
+            ]
+            if not others:
+                continue
+            events.append(
+                LiveEvent(
+                    "roam",
+                    node,
+                    at_frame,
+                    frames=rng.randint(10, 25),
+                    target=rng.choice(others),
+                )
+            )
+    # A gateway crash drawn after node crashes could coexist with a
+    # depth-1 crash; drop it rather than risk an unsurvivable scenario.
+    if gateway_crashed and any(
+        e.kind == "crash" and topology.depth_of(e.node) == 1 for e in events
+    ):
+        events = [e for e in events if e.kind != "gateway_crash"]
+
+    events.sort(key=lambda e: (e.at_frame, e.kind, e.node))
+    return LiveScenario(
+        seed=seed,
+        parent_map=parent_map,
+        tasks=tuple(tasks),
+        events=tuple(events),
+        run_frames=run_frames,
+        watchdog=rng.random() < 0.7,
+        elastic_drain_cells=rng.choice((0, 2, 3)),
+        management_loss=rng.choice((0.0, 0.0, 0.05)),
+    )
+
+
+# ----------------------------------------------------------------------
+# one case through the live pipeline
+# ----------------------------------------------------------------------
+
+
+def _expected_moves_bound(scenario: LiveScenario) -> int:
+    """Generous linear bound on total partition moves: each event can
+    trigger at most one heal batch over every node it orphans (plus
+    retries after aborts), each roam/degrade at most a handful of
+    watchdog moves between cooldowns, each recovery one rejoin."""
+    nodes = len(scenario.parent_map) + 1
+    return 4 * nodes * (len(scenario.events) + 1)
+
+
+def run_live_case(scenario: LiveScenario) -> CaseResult:
+    """Run one chaos scenario against the live layer (see module
+    docstring for the oracle catalogue)."""
+    started = time.monotonic()
+    violations: List[Violation] = []
+    outcome = "ok"
+    live_stats: Optional[Dict[str, int]] = None
+    try:
+        topology = scenario.topology()
+        config = scenario.config()
+        home = synthetic_positions(topology)
+        needs_mobility = any(e.kind == "roam" for e in scenario.events)
+        mobility = WaypointMobility(dict(home)) if needs_mobility else None
+        loss_model = (
+            DistancePDR(mobility, RadioModel())
+            if mobility is not None
+            else None
+        )
+        live = LiveHarpNetwork(
+            topology,
+            scenario.task_set(),
+            config,
+            rng=random.Random(scenario.seed),
+            loss_model=loss_model,
+            management_loss=scenario.management_loss,
+            watchdog=LinkQualityWatchdog() if scenario.watchdog else None,
+            elastic_drain_cells=scenario.elastic_drain_cells,
+            max_packet_age_slots=5 * config.num_slots,
+        )
+        live.bootstrap()
+
+        base = live.sim.current_slot
+        frame = config.num_slots
+        crashes: List[NodeCrash] = []
+        collapses: List[LinkPdrCollapse] = []
+        recoveries: Dict[int, int] = {}
+        for event in scenario.events:
+            at_slot = base + event.at_frame * frame
+            if event.kind == "crash":
+                recover = (
+                    at_slot + event.frames * frame if event.frames else None
+                )
+                crashes.append(NodeCrash(event.node, at_slot, recover))
+                if recover is not None:
+                    recoveries[event.node] = event.at_frame + event.frames
+            elif event.kind == "gateway_crash":
+                crashes.append(NodeCrash(event.node, at_slot, None))
+            elif event.kind == "degrade":
+                collapses.append(
+                    LinkPdrCollapse(
+                        event.node,
+                        at_slot,
+                        at_slot + event.frames * frame,
+                        event.pdr,
+                    )
+                )
+            elif event.kind == "roam" and mobility is not None:
+                tx, ty = home.get(event.target, (0.0, 0.0))
+                mobility.paths[event.node] = roam_path(
+                    home[event.node],
+                    at_slot,
+                    event.frames * frame,
+                    (tx + 3.0, ty + 5.0),
+                )
+        plan = FaultPlan(crashes=crashes, link_collapses=collapses)
+        live.fault_plan = plan
+        live.sim.fault_plan = plan
+
+        live.run_slotframes(scenario.run_frames)
+
+        # Oracle: no heal livelock — the protocol quiesces within a
+        # bound once no further fault events are pending.
+        try:
+            live.run_until_quiescent(max_slotframes=_LIVELOCK_BOUND_FRAMES)
+        except RuntimeError as exc:
+            violations.append(Violation("live-livelock", str(exc)))
+
+        # Oracle: bounded time-to-reattach for recovered nodes.
+        for node, recovered_frame in sorted(recoveries.items()):
+            if recovered_frame > scenario.run_frames - _REATTACH_MARGIN_FRAMES:
+                continue  # recovery too close to the horizon to assert
+            if live.node_down(node):
+                violations.append(
+                    Violation(
+                        "live-reattach",
+                        f"node {node} recovered at frame {recovered_frame} "
+                        f"but is still down at the horizon",
+                    )
+                )
+            elif node not in live.topology:
+                violations.append(
+                    Violation(
+                        "live-reattach",
+                        f"node {node} recovered at frame {recovered_frame} "
+                        f"but never rejoined the topology",
+                    )
+                )
+
+        # Oracle: partition-move count sanity (no reparenting storm).
+        moves = (
+            live.stats.subtrees_reparented
+            + live.stats.proactive_reparents
+            + live.stats.rejoins
+        )
+        bound = _expected_moves_bound(scenario)
+        if moves > bound:
+            violations.append(
+                Violation(
+                    "live-move-sanity",
+                    f"{moves} partition moves for "
+                    f"{len(scenario.events)} events (bound {bound})",
+                )
+            )
+
+        # Oracles: the healed state is collision-free and isolated.
+        try:
+            live.schedule.validate_collision_free(live.topology)
+        except Exception as exc:
+            violations.append(Violation("live-collision", str(exc)))
+        try:
+            live.runtime.validate_isolation()
+        except Exception as exc:
+            violations.append(Violation("live-isolation", str(exc)))
+        live_stats = {
+            key: value
+            for key, value in asdict(live.stats).items()
+            if isinstance(value, int)
+        }
+    except Exception:
+        outcome = "error"
+        violations.append(
+            Violation(
+                "crash",
+                traceback.format_exc(limit=6).strip().splitlines()[-1]
+                + " (live pipeline crash)",
+            )
+        )
+    if violations and outcome == "ok":
+        outcome = "violation"
+    return CaseResult(
+        seed=scenario.seed,
+        outcome=outcome,
+        violations=violations,
+        elapsed_s=time.monotonic() - started,
+        live_stats=live_stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# shrinking over interleavings
+# ----------------------------------------------------------------------
+
+
+def _live_shrink_candidates(scenario: LiveScenario) -> List[LiveScenario]:
+    """Structurally smaller variants, most aggressive first."""
+    out: List[LiveScenario] = []
+    if scenario.events:
+        out.append(replace(scenario, events=()))
+        for i in reversed(range(len(scenario.events))):
+            out.append(replace(scenario, events=scenario.events[:i]))
+        for i in range(len(scenario.events)):
+            out.append(
+                replace(
+                    scenario,
+                    events=scenario.events[:i] + scenario.events[i + 1:],
+                )
+            )
+    for i in range(len(scenario.tasks)):
+        if len(scenario.tasks) > 1:
+            out.append(
+                replace(
+                    scenario,
+                    tasks=scenario.tasks[:i] + scenario.tasks[i + 1:],
+                )
+            )
+    if scenario.watchdog:
+        out.append(replace(scenario, watchdog=False))
+    if scenario.elastic_drain_cells:
+        out.append(replace(scenario, elastic_drain_cells=0))
+    if scenario.management_loss:
+        out.append(replace(scenario, management_loss=0.0))
+    return out
+
+
+def shrink_live_scenario(
+    scenario: LiveScenario,
+    still_fails: Callable[[LiveScenario], bool],
+    max_attempts: int = 120,
+) -> LiveScenario:
+    """Greedy delta-debugging over the event interleaving (the live
+    pipeline is slow, so the attempt budget is tighter than the
+    conformance shrinker's)."""
+    current = scenario
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _live_shrink_candidates(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            try:
+                fails = still_fails(candidate)
+            except Exception:
+                fails = False
+            if fails:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# the campaign driver
+# ----------------------------------------------------------------------
+
+
+def _live_features(scenario: LiveScenario, result: CaseResult) -> List[str]:
+    """Coverage features of one live case, for the seed scheduler:
+    which event kinds ran, which oracles fired, and which live-layer
+    state transitions the run actually exercised."""
+    features = [f"outcome:{result.outcome}"]
+    for event in scenario.events:
+        features.append(f"event:{event.kind}")
+    for violation in result.violations:
+        features.append(f"oracle:{violation.oracle}")
+    stats = result.live_stats or {}
+    for key in (
+        "heals_completed",
+        "heals_aborted",
+        "rebootstraps",
+        "gateway_failovers",
+        "rejoins",
+        "proactive_reparents",
+        "flaps_suppressed",
+        "grants_shed",
+        "admission_rejects",
+        "elastic_grants",
+    ):
+        if stats.get(key, 0) > 0:
+            features.append(f"live:{key}")
+    return features
+
+
+def run_live_fuzz(
+    cases: int = 50,
+    seed: int = 0,
+    budget_s: Optional[float] = None,
+    shrink: bool = True,
+    coverage_guided: bool = True,
+    on_case: Optional[Callable[[CaseResult], None]] = None,
+) -> FuzzReport:
+    """Run a live chaos campaign.
+
+    Seeds are scheduled coverage-guided by default: a case that lights
+    up a new feature (an event kind, an oracle, a live-layer state
+    transition not seen before) spawns derived seeds explored ahead of
+    the base stream — the interesting corners of the crash/heal/roam
+    interleaving space get disproportionate attention.
+    """
+    from .fuzz import SeedScheduler
+
+    started = time.monotonic()
+    report = FuzzReport(first_seed=seed)
+    scheduler = SeedScheduler(first_seed=seed)
+    while report.cases_run < cases:
+        if budget_s is not None and time.monotonic() - started >= budget_s:
+            report.budget_exhausted = True
+            break
+        next_seed = scheduler.next_seed()
+        scenario = generate_live_scenario(next_seed)
+        result = run_live_case(scenario)
+        report.cases_run += 1
+        if coverage_guided:
+            scheduler.record(next_seed, _live_features(scenario, result))
+        if on_case is not None:
+            on_case(result)
+        if result.outcome == "ok":
+            report.ok += 1
+        elif result.outcome == "infeasible":
+            report.infeasible += 1
+        elif result.outcome == "violation":
+            report.violations += 1
+        else:
+            report.errors += 1
+        if result.failed:
+            shrunk = None
+            if shrink:
+
+                def still_fails(candidate: LiveScenario) -> bool:
+                    if (
+                        budget_s is not None
+                        and time.monotonic() - started >= budget_s
+                    ):
+                        return False
+                    return run_live_case(candidate).failed
+
+                shrunk = shrink_live_scenario(scenario, still_fails)
+                if shrunk == scenario:
+                    shrunk = None
+            report.counterexamples.append(
+                Counterexample(
+                    scenario=scenario,
+                    violations=result.violations,
+                    shrunk=shrunk,
+                )
+            )
+    report.duration_s = time.monotonic() - started
+    return report
+
+
+def replay_live_corpus(path: str) -> List[CaseResult]:
+    """Re-run every counterexample of a saved live corpus (shrunken
+    form preferred); returns one result per counterexample."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    results: List[CaseResult] = []
+    for entry in doc.get("counterexamples", []):
+        witness = entry.get("shrunk") or entry["scenario"]
+        results.append(run_live_case(LiveScenario.from_dict(witness)))
+    return results

@@ -1,0 +1,129 @@
+"""Graceful degradation: watchdog-driven proactive reparenting.
+
+A roaming leaf degrades its link long before the keepalive detector
+would ever fire (the parent is alive — the child just left).  These
+tests drive the full co-simulation with the distance-driven loss model
+and check that the watchdog arm moves the child under a closer
+same-layer parent, validates the surgery, and holds still when moving
+again would not help.
+"""
+
+import random
+
+import pytest
+
+from repro.agents.live import LiveHarpNetwork
+from repro.agents.watchdog import LinkQualityWatchdog, PdrEstimator
+from repro.net.deployment import RadioModel
+from repro.net.mobility import DistancePDR, WaypointMobility, roam_path
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology
+
+CONFIG = SlotframeConfig(num_slots=100, num_channels=16, management_slots=30)
+
+#: Two routers 50 m apart, one leaf each.  Leaf 3 is the roamer.
+PARENT_MAP = {1: 0, 2: 0, 3: 1, 4: 2}
+HOME = {
+    0: (0.0, 0.0),
+    1: (-25.0, 10.0),
+    2: (25.0, 10.0),
+    3: (-25.0, 22.0),
+    4: (25.0, 22.0),
+}
+
+
+def fast_watchdog(**kwargs):
+    kwargs.setdefault("confirm_polls", 2)
+    return LinkQualityWatchdog(
+        PdrEstimator(window=16, min_samples=8), **kwargs
+    )
+
+
+def make_live(watchdog, mobility=None, seed=0):
+    mobility = mobility or WaypointMobility(dict(HOME))
+    live = LiveHarpNetwork(
+        TreeTopology(dict(PARENT_MAP)),
+        e2e_task_per_node(TreeTopology(dict(PARENT_MAP))),
+        CONFIG,
+        rng=random.Random(seed),
+        loss_model=DistancePDR(mobility, RadioModel()),
+        watchdog=watchdog,
+        max_packet_age_slots=500,
+    )
+    live.bootstrap()
+    return live, mobility
+
+
+def roam_leaf_3(live, mobility, destination, travel_slots=300):
+    mobility.paths[3] = roam_path(
+        HOME[3],
+        live.sim.current_slot + 50,
+        travel_slots,
+        destination,
+    )
+
+
+class TestProactiveReparenting:
+    def test_roamer_is_moved_before_the_link_dies(self):
+        live, mobility = make_live(fast_watchdog())
+        live.run_slotframes(5)
+        roam_leaf_3(live, mobility, (33.0, 22.0))  # next to router 2
+        live.run_slotframes(25)
+
+        assert live.stats.proactive_reparents == 1
+        assert live.topology.parent_of(3) == 2
+        live.schedule.validate_collision_free(live.topology)
+        live.runtime.validate_isolation()
+        # Not a reactive heal: nobody died, nothing was condemned.
+        assert live.stats.parents_declared_dead == 0
+        assert live.stats.subtrees_reparented == 0
+
+    def test_without_watchdog_the_leaf_stays_glued(self):
+        live, mobility = make_live(None)
+        live.run_slotframes(5)
+        roam_leaf_3(live, mobility, (33.0, 22.0))
+        live.run_slotframes(25)
+
+        assert live.stats.proactive_reparents == 0
+        assert live.topology.parent_of(3) == 1
+
+    def test_proactive_beats_reactive_on_delivery(self):
+        outcomes = {}
+        for label, watchdog in (
+            ("proactive", fast_watchdog()),
+            ("reactive", None),
+        ):
+            live, mobility = make_live(watchdog, seed=3)
+            live.run_slotframes(5)
+            start = live.sim.current_slot
+            roam_leaf_3(live, mobility, (33.0, 22.0))
+            live.run_slotframes(40)
+            end = live.sim.current_slot - 500
+            outcomes[label] = live.sim.metrics.delivery_ratio_between(
+                start, end
+            )
+        assert outcomes["proactive"] > outcomes["reactive"]
+
+    def test_moving_again_is_suppressed_while_nothing_is_closer(self):
+        # The leaf roams away from *everyone*: the first move picks the
+        # least-bad alternate, the still-degraded link keeps confirming,
+        # and the cooldown turns those confirmations into suppressed
+        # flaps instead of a move storm.
+        live, mobility = make_live(fast_watchdog(cooldown_slots=10_000))
+        live.run_slotframes(5)
+        roam_leaf_3(live, mobility, (0.0, 220.0))
+        live.run_slotframes(30)
+
+        assert live.stats.proactive_reparents == 1
+        assert live.stats.flaps_suppressed >= 1
+        live.schedule.validate_collision_free(live.topology)
+
+    def test_watchdog_decision_survives_run_until_quiescent(self):
+        live, mobility = make_live(fast_watchdog())
+        live.run_slotframes(5)
+        roam_leaf_3(live, mobility, (33.0, 22.0))
+        live.run_slotframes(25)
+        live.run_until_quiescent(max_slotframes=50)
+        assert live.topology.parent_of(3) == 2
+        live.schedule.validate_collision_free(live.topology)

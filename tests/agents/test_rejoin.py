@@ -124,3 +124,26 @@ class TestRejoin:
             r.source == 3 and r.created_slot > recover
             for r in live.sim.metrics.deliveries
         )
+
+    def test_recovery_inside_anothers_heal_drain_still_rejoins(
+        self, tree, config
+    ):
+        # Router 3 dies for good; while its heal drains nested
+        # slotframes, router 4 crashes AND recovers entirely inside the
+        # drain.  4's condemnation then lands *after* its recovery event
+        # has fired — there is no future recovery to queue the rejoin,
+        # so the removal itself must queue it (4 is demonstrably up).
+        live = make_live(tree, config)
+        live.run_slotframes(5)
+        at = live.sim.current_slot + 10
+        install(live, FaultPlan.staggered_crashes([
+            (3, at, None),
+            (4, at + 3 * config.num_slots, at + 5 * config.num_slots),
+        ]))
+        live.run_slotframes(60)
+        live.run_until_quiescent(max_slotframes=100)
+        assert 4 in live.topology
+        assert not live.node_down(4)
+        assert 4 not in live._healed
+        assert_demand_covered(live)
+        live.schedule.validate_collision_free(live.topology)

@@ -1,0 +1,234 @@
+"""The link-quality watchdog: estimator, hysteresis, cooldown, feed.
+
+The scripted cases pin the state machine's edges; the hypothesis
+properties certify the two claims the live layer depends on — the
+windowed estimate is exactly the window's mean under any observation
+sequence, and a degrade recommendation requires ``confirm_polls``
+*consecutive* confirmed-degraded polls (no flap can sneak past the
+Schmitt trigger).
+"""
+
+from collections import deque
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.watchdog import (
+    LinkQualityWatchdog,
+    PdrEstimator,
+    WatchdogFeed,
+)
+from repro.net.sim.trace import TxOutcome
+from repro.net.topology import LinkRef
+
+
+class TestPdrEstimator:
+    def test_none_below_min_samples(self):
+        estimator = PdrEstimator(window=8, min_samples=4)
+        for _ in range(3):
+            estimator.observe(1, True)
+        assert estimator.estimate(1) is None
+        estimator.observe(1, False)
+        assert estimator.estimate(1) == pytest.approx(0.75)
+
+    def test_window_evicts_oldest(self):
+        estimator = PdrEstimator(window=4, min_samples=1)
+        for delivered in (False, False, True, True):
+            estimator.observe(1, delivered)
+        assert estimator.estimate(1) == pytest.approx(0.5)
+        estimator.observe(1, True)  # evicts one False
+        assert estimator.estimate(1) == pytest.approx(0.75)
+
+    def test_reset_forgets(self):
+        estimator = PdrEstimator(window=4, min_samples=1)
+        estimator.observe(1, True)
+        estimator.reset(1)
+        assert estimator.estimate(1) is None
+        assert estimator.sample_count(1) == 0
+        assert estimator.children() == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PdrEstimator(window=0)
+        with pytest.raises(ValueError):
+            PdrEstimator(min_samples=0)
+        with pytest.raises(ValueError):
+            PdrEstimator(window=4, min_samples=5)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(st.booleans(), max_size=200),
+        window=st.integers(min_value=1, max_value=32),
+    )
+    def test_estimate_is_window_mean(self, samples, window):
+        """Under any observation sequence the incremental counter
+        matches the window mean computed from scratch."""
+        estimator = PdrEstimator(window=window, min_samples=1)
+        reference = deque(maxlen=window)
+        for delivered in samples:
+            estimator.observe(7, delivered)
+            reference.append(delivered)
+            assert estimator.estimate(7) == pytest.approx(
+                sum(reference) / len(reference)
+            )
+            assert estimator.sample_count(7) == len(reference)
+
+
+def primed(watchdog, child, pdr, samples=None):
+    """Fill the estimator so ``estimate(child)`` is ``pdr`` exactly."""
+    count = samples or watchdog.estimator.min_samples
+    good = round(count * pdr)
+    for i in range(count):
+        watchdog.estimator.observe(child, i < good)
+
+
+class TestHysteresis:
+    def make(self, **kwargs):
+        kwargs.setdefault("estimator", PdrEstimator(window=8, min_samples=4))
+        kwargs.setdefault("confirm_polls", 3)
+        kwargs.setdefault("cooldown_slots", 100)
+        return LinkQualityWatchdog(**kwargs)
+
+    def test_requires_consecutive_confirmations(self):
+        watchdog = self.make()
+        primed(watchdog, 1, 0.0, samples=8)
+        assert watchdog.poll(0).degraded == ()
+        assert watchdog.poll(1).degraded == ()
+        assert watchdog.poll(2).degraded == (1,)
+
+    def test_restore_resets_the_count(self):
+        watchdog = self.make()
+        primed(watchdog, 1, 0.0, samples=8)
+        watchdog.poll(0)
+        watchdog.poll(1)
+        # The link recovers above restore_above: confirmation resets.
+        watchdog.estimator.reset(1)
+        primed(watchdog, 1, 1.0, samples=8)
+        assert watchdog.poll(2).degraded == ()
+        watchdog.estimator.reset(1)
+        primed(watchdog, 1, 0.0, samples=8)
+        assert watchdog.poll(3).degraded == ()
+        assert watchdog.poll(4).degraded == ()
+        assert watchdog.poll(5).degraded == (1,)
+
+    def test_hysteresis_band_holds_the_count(self):
+        # Between degrade_below and restore_above: neither confirm nor
+        # reset — the count freezes.
+        watchdog = self.make()
+        primed(watchdog, 1, 0.0, samples=8)
+        watchdog.poll(0)
+        watchdog.poll(1)
+        watchdog.estimator.reset(1)
+        primed(watchdog, 1, 0.625, samples=8)  # inside (0.5, 0.75)
+        assert watchdog.poll(2).degraded == ()
+        watchdog.estimator.reset(1)
+        primed(watchdog, 1, 0.0, samples=8)
+        assert watchdog.poll(3).degraded == (1,)
+
+    def test_cooldown_suppresses_and_counts(self):
+        watchdog = self.make()
+        primed(watchdog, 1, 0.0, samples=8)
+        for slot in range(3):
+            watchdog.poll(slot)
+        watchdog.note_rejected(1, 10)
+        decision = watchdog.poll(11)
+        assert decision.degraded == ()
+        assert decision.suppressed == 1
+        assert watchdog.in_cooldown(1, 11)
+        # Cooldown over (and the evidence was kept): recommends again.
+        assert watchdog.poll(10 + 100).degraded == (1,)
+
+    def test_note_moved_forgets_the_dead_link(self):
+        watchdog = self.make()
+        primed(watchdog, 1, 0.0, samples=8)
+        for slot in range(3):
+            watchdog.poll(slot)
+        watchdog.note_moved(1, 10)
+        assert watchdog.estimator.sample_count(1) == 0
+        assert watchdog.poll(11).suppressed == 0  # no estimate, no flap
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinkQualityWatchdog(degrade_below=0.0)
+        with pytest.raises(ValueError):
+            LinkQualityWatchdog(degrade_below=0.8, restore_above=0.5)
+        with pytest.raises(ValueError):
+            LinkQualityWatchdog(confirm_polls=0)
+        with pytest.raises(ValueError):
+            LinkQualityWatchdog(cooldown_slots=-1)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        estimates=st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(
+                    min_value=0.0, max_value=1.0, allow_nan=False
+                ),
+            ),
+            max_size=40,
+        ),
+        confirm_polls=st.integers(min_value=1, max_value=5),
+    )
+    def test_degrade_needs_consecutive_low_polls(
+        self, estimates, confirm_polls
+    ):
+        """Whatever the estimate trajectory, a recommendation at poll
+        ``i`` implies the last ``confirm_polls`` polls all saw the
+        estimate strictly below ``degrade_below`` — with resets applied
+        at every crossing of ``restore_above`` in between."""
+        watchdog = LinkQualityWatchdog(
+            estimator=PdrEstimator(window=4, min_samples=4),
+            confirm_polls=confirm_polls,
+            cooldown_slots=0,
+        )
+        consecutive = 0
+        for slot, estimate in enumerate(estimates):
+            watchdog.estimator.reset(1)
+            if estimate is not None:
+                good = round(4 * estimate)
+                for i in range(4):
+                    watchdog.estimator.observe(1, i < good)
+                quantized = good / 4
+            decision = watchdog.poll(slot)
+            if estimate is None:
+                continue  # no samples: state frozen
+            if quantized >= watchdog.restore_above:
+                consecutive = 0
+            elif quantized < watchdog.degrade_below:
+                consecutive += 1
+            degraded = 1 in decision.degraded
+            assert degraded == (
+                quantized < watchdog.degrade_below
+                and consecutive >= confirm_polls
+            )
+
+
+class TestWatchdogFeed:
+    def event(self, child, outcome):
+        return SimpleNamespace(
+            link=LinkRef(child, "up"), outcome=outcome
+        )
+
+    def test_classifies_outcomes(self):
+        estimator = PdrEstimator(window=8, min_samples=1)
+        feed = WatchdogFeed(estimator)
+        feed.record(self.event(1, TxOutcome.DELIVERED))
+        feed.record(self.event(1, TxOutcome.CHANNEL_LOSS))
+        feed.record(self.event(1, TxOutcome.FAULT_LOSS))
+        # Collisions and a crashed receiver say nothing about the
+        # radio path.
+        feed.record(self.event(1, TxOutcome.COLLISION))
+        feed.record(self.event(1, TxOutcome.NODE_DOWN))
+        assert estimator.sample_count(1) == 3
+        assert estimator.estimate(1) == pytest.approx(1 / 3)
+
+    def test_chains_inner_recorder(self):
+        seen = []
+        inner = SimpleNamespace(record=seen.append)
+        feed = WatchdogFeed(PdrEstimator(), inner=inner)
+        event = self.event(2, TxOutcome.COLLISION)
+        feed.record(event)
+        assert seen == [event]

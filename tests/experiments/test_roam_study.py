@@ -1,0 +1,74 @@
+"""The mobility churn study: trace construction and the two arms."""
+
+import math
+
+from repro.experiments.roam_study import (
+    roam_trace,
+    run_roam_study,
+    run_single_roam,
+    study_positions,
+)
+from repro.net.topology import regular_tree
+
+
+class TestTrace:
+    def setup_method(self):
+        self.topology = regular_tree(depth=3, fanout=2)
+        self.positions = study_positions(self.topology)
+
+    def test_static_links_are_short(self):
+        for node in self.topology.device_nodes:
+            parent = self.topology.parent_of(node)
+            nx, ny = self.positions[node]
+            px, py = self.positions[parent]
+            assert math.hypot(nx - px, ny - py) < 20.0
+
+    def test_picks_distinct_parents_and_far_targets(self):
+        trace = roam_trace(self.topology, self.positions, roamers=2)
+        assert len(trace) == 2
+        parents = {self.topology.parent_of(leaf) for leaf, _ in trace}
+        assert len(parents) == 2
+        for leaf, (dx, dy) in trace:
+            px, py = self.positions[self.topology.parent_of(leaf)]
+            # Far enough that the old link bottoms out well below the
+            # watchdog threshold.
+            assert math.hypot(dx - px, dy - py) > 40.0
+
+    def test_deterministic(self):
+        assert roam_trace(self.topology, self.positions) == roam_trace(
+            self.topology, self.positions
+        )
+
+
+class TestSingleRoam:
+    def test_proactive_arm_moves_and_stays_collision_free(self):
+        outcome = run_single_roam(seed=0, proactive=True)
+        assert outcome.proactive_reparents == 2
+        assert outcome.reactive_reparents == 0
+        assert outcome.collision_free
+
+    def test_reactive_arm_never_moves(self):
+        outcome = run_single_roam(seed=0, proactive=False)
+        assert outcome.proactive_reparents == 0
+        assert outcome.collision_free
+
+
+class TestStudy:
+    def test_proactive_wins_with_zero_collisions(self):
+        result = run_roam_study(seeds=(0,), workers=1)
+        assert [row.arm for row in result.rows] == [
+            "proactive", "reactive",
+        ]
+        assert all(row.collisions == 0 for row in result.rows)
+        assert len(result.deltas) == 1
+        assert result.deltas[0] > 0
+        assert result.delta_mean == result.deltas[0]
+
+    def test_serializes_and_renders(self):
+        result = run_roam_study(seeds=(0,), workers=1)
+        doc = result.to_dict()
+        assert doc["roamers"] == 2
+        assert len(doc["rows"]) == 2
+        text = result.render()
+        assert "proactive" in text and "reactive" in text
+        assert "delivery gain" in text

@@ -1,0 +1,169 @@
+"""Waypoint mobility and the distance-driven loss model."""
+
+import math
+
+import pytest
+
+from repro.net.deployment import RadioModel
+from repro.net.mobility import (
+    DistancePDR,
+    Waypoint,
+    WaypointMobility,
+    roam_path,
+)
+from repro.net.topology import LinkRef, TreeTopology
+
+HOME = {0: (0.0, 0.0), 1: (0.0, 10.0), 2: (60.0, 10.0), 3: (0.0, 20.0)}
+
+
+def make_mobility(**paths):
+    return WaypointMobility(dict(HOME), paths=dict(paths))
+
+
+class TestWaypoint:
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Waypoint(-1, 0.0, 0.0)
+
+    def test_position_tuple(self):
+        assert Waypoint(5, 1.0, 2.0).position == (1.0, 2.0)
+
+
+class TestWaypointMobility:
+    def test_static_node_stays_home(self):
+        mobility = make_mobility()
+        assert mobility.position_of(1, 0) == HOME[1]
+        assert mobility.position_of(1, 10_000) == HOME[1]
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            make_mobility().position_of(99, 0)
+
+    def test_path_without_home_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointMobility(
+                {0: (0.0, 0.0)}, paths={7: (Waypoint(0, 0.0, 0.0),)}
+            )
+
+    def test_duplicate_waypoint_slots_rejected(self):
+        with pytest.raises(ValueError):
+            make_mobility(
+                x=(Waypoint(5, 0.0, 0.0), Waypoint(5, 1.0, 1.0))
+            )
+
+    def test_holds_first_waypoint_before_departure(self):
+        # The path's own anchor wins over the home position: paths
+        # carry their departure point explicitly.
+        path = (Waypoint(100, 5.0, 5.0), Waypoint(200, 15.0, 5.0))
+        mobility = WaypointMobility(dict(HOME), paths={3: path})
+        assert mobility.position_of(3, 0) == (5.0, 5.0)
+        assert mobility.position_of(3, 100) == (5.0, 5.0)
+
+    def test_interpolates_and_holds_last(self):
+        path = (Waypoint(100, 0.0, 0.0), Waypoint(200, 10.0, 20.0))
+        mobility = WaypointMobility(dict(HOME), paths={3: path})
+        assert mobility.position_of(3, 150) == (5.0, 10.0)
+        assert mobility.position_of(3, 200) == (10.0, 20.0)
+        assert mobility.position_of(3, 9_999) == (10.0, 20.0)
+
+    def test_waypoints_sorted_on_construction(self):
+        path = (Waypoint(200, 10.0, 0.0), Waypoint(100, 0.0, 0.0))
+        mobility = WaypointMobility(dict(HOME), paths={3: path})
+        assert mobility.position_of(3, 150) == (5.0, 0.0)
+
+    def test_distance(self):
+        mobility = make_mobility()
+        assert mobility.distance(0, 1, 0) == pytest.approx(10.0)
+        assert mobility.distance(1, 2, 0) == pytest.approx(60.0)
+
+    def test_moving_nodes(self):
+        path = (Waypoint(0, 0.0, 0.0), Waypoint(10, 1.0, 1.0))
+        mobility = WaypointMobility(dict(HOME), paths={3: path, 1: ()})
+        assert mobility.moving_nodes() == (3,)
+
+
+class TestRoamPath:
+    def test_basic_shape(self):
+        path = roam_path((0.0, 0.0), 100, 50, (10.0, 0.0))
+        assert path == (
+            Waypoint(100, 0.0, 0.0),
+            Waypoint(150, 10.0, 0.0),
+        )
+
+    def test_dwell_and_return(self):
+        path = roam_path(
+            (0.0, 0.0), 100, 50, (10.0, 0.0),
+            dwell_slots=30, return_home=True,
+        )
+        assert [w.slot for w in path] == [100, 150, 180, 230]
+        assert path[-1].position == (0.0, 0.0)
+
+    def test_travel_slots_validated(self):
+        with pytest.raises(ValueError):
+            roam_path((0.0, 0.0), 0, 0, (1.0, 1.0))
+        with pytest.raises(ValueError):
+            roam_path((0.0, 0.0), 0, 10, (1.0, 1.0), dwell_slots=-1)
+
+
+class TestDistancePDR:
+    def setup_method(self):
+        self.topology = TreeTopology({1: 0, 2: 0, 3: 1})
+        self.radio = RadioModel()
+
+    def make_model(self, paths=None):
+        mobility = WaypointMobility(dict(HOME), paths=paths or {})
+        return mobility, DistancePDR(mobility, self.radio)
+
+    def test_close_link_is_good(self):
+        _, model = self.make_model()
+        assert model.pdr(self.topology, LinkRef(1, "up")) > 0.95
+
+    def test_parameter_validation(self):
+        mobility = WaypointMobility(dict(HOME))
+        with pytest.raises(ValueError):
+            DistancePDR(mobility, self.radio, default_pdr=1.5)
+        with pytest.raises(ValueError):
+            DistancePDR(mobility, self.radio, floor=-0.1)
+
+    def test_clock_is_monotone(self):
+        _, model = self.make_model()
+        model.advance_to(500)
+        model.advance_to(100)  # never backwards
+        assert model.current_slot == 500
+        model.observe_cell(900, None)  # the engine hook advances too
+        assert model.current_slot == 900
+
+    def test_roaming_degrades_then_floor(self):
+        path = roam_path((0.0, 20.0), 0, 100, (200.0, 20.0))
+        _, model = self.make_model(paths={3: path})
+        link = LinkRef(3, "up")
+        near = model.pdr(self.topology, link)
+        model.advance_to(50)
+        mid = model.pdr(self.topology, link)
+        model.advance_to(100)
+        far = model.pdr(self.topology, link)
+        assert near > mid > far
+        assert far == model.floor  # clamped, never fully dark
+
+    def test_follows_reparenting(self):
+        # Node 3 roams next to router 2; under its old parent 1 the
+        # link is bad, but the same model re-reads the topology, so a
+        # reparent under 2 restores it immediately.
+        path = roam_path((0.0, 20.0), 0, 100, (60.0, 20.0))
+        _, model = self.make_model(paths={3: path})
+        model.advance_to(100)
+        assert model.pdr(self.topology, LinkRef(3, "up")) < 0.6
+        moved = TreeTopology({1: 0, 2: 0, 3: 2})
+        assert model.pdr(moved, LinkRef(3, "up")) > 0.95
+
+    def test_unknown_node_falls_back(self):
+        mobility = WaypointMobility({0: (0.0, 0.0)})
+        model = DistancePDR(mobility, self.radio, default_pdr=0.9)
+        assert model.pdr(self.topology, LinkRef(1, "down")) == 0.9
+
+    def test_gateway_link_uses_default(self):
+        _, model = self.make_model()
+        assert (
+            model.pdr(self.topology, LinkRef(0, "down"))
+            == model.default_pdr
+        )

@@ -275,3 +275,44 @@ class TestScaleBench:
         with pytest.raises(SystemExit) as exc:
             main(["profile", "everything"])
         assert exc.value.code == 2
+
+
+class TestLiveFuzz:
+    def test_live_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--live", "--cases", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cases" in out
+        assert "0 violations, 0 errors" in out
+
+    def test_live_replay_seed(self, capsys):
+        assert main(["fuzz", "--live", "--replay-seed", "0"]) == 0
+        assert "seed 0: ok" in capsys.readouterr().out
+
+
+class TestRoam:
+    def test_study_exits_zero_and_exports(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "roam.json")
+        assert main([
+            "roam", "--seeds", "1", "--workers", "1", "--out", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "proactive" in out and "reactive" in out
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["delta_mean"] > 0
+        assert len(doc["rows"]) == 2
+
+    def test_bench_merge_adds_churn_section(self, capsys, tmp_path):
+        import json
+
+        bench = tmp_path / "bench.json"
+        bench.write_text('{"schema": 2}\n')
+        assert main([
+            "roam", "--seeds", "1", "--workers", "1",
+            "--bench", str(bench),
+        ]) == 0
+        doc = json.loads(bench.read_text())
+        assert doc["schema"] == 2  # untouched
+        assert doc["churn"]["delta_mean"] > 0

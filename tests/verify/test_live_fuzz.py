@@ -1,0 +1,174 @@
+"""The live-layer chaos fuzzer: generation, oracles, shrinking,
+scheduling, corpus dispatch."""
+
+import dataclasses
+
+from repro.verify.fuzz import (
+    Counterexample,
+    FuzzReport,
+    SeedScheduler,
+    replay_corpus,
+    save_report,
+)
+from repro.verify.generators import TaskSpec
+from repro.verify.live_fuzz import (
+    LiveEvent,
+    LiveScenario,
+    generate_live_scenario,
+    run_live_case,
+    run_live_fuzz,
+    shrink_live_scenario,
+)
+
+QUIET = LiveScenario(
+    seed=0,
+    parent_map={1: 0, 2: 0, 3: 1, 4: 2},
+    tasks=(TaskSpec(task_id=3, source=3, rate=1.0, echo=True),),
+    events=(),
+    run_frames=12,
+    watchdog=False,
+)
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        assert generate_live_scenario(17) == generate_live_scenario(17)
+        assert generate_live_scenario(17) != generate_live_scenario(18)
+
+    def test_round_trips_through_json_dict(self):
+        scenario = generate_live_scenario(5)
+        doc = scenario.to_dict()
+        assert doc["live"] is True
+        assert LiveScenario.from_dict(doc) == scenario
+
+    def test_gateway_crash_excludes_depth1_crashes(self):
+        for seed in range(120):
+            scenario = generate_live_scenario(seed)
+            topology = scenario.topology()
+            if any(e.kind == "gateway_crash" for e in scenario.events):
+                assert not any(
+                    e.kind == "crash" and topology.depth_of(e.node) == 1
+                    for e in scenario.events
+                )
+
+    def test_describe_mentions_the_script(self):
+        scenario = generate_live_scenario(3)
+        text = scenario.describe()
+        assert "live seed=3" in text
+        assert f"frames={scenario.run_frames}" in text
+
+
+class TestRunLiveCase:
+    def test_quiet_scenario_is_ok(self):
+        result = run_live_case(QUIET)
+        assert result.outcome == "ok", result.violations
+        assert result.live_stats is not None
+        assert result.live_stats["parents_declared_dead"] == 0
+
+    def test_crash_with_recovery_rejoins(self):
+        # Router 1 (it has a child, so its silence is detectable) dies
+        # and comes back: it must be healed away and re-admitted.
+        scenario = dataclasses.replace(
+            QUIET,
+            events=(LiveEvent("crash", 1, 2, frames=6),),
+            run_frames=30,
+        )
+        result = run_live_case(scenario)
+        assert result.outcome == "ok", result.violations
+        assert result.live_stats["rejoins"] >= 1
+
+    def test_result_serializes_with_live_stats(self):
+        doc = run_live_case(QUIET).to_dict()
+        assert doc["outcome"] == "ok"
+        assert "live_stats" in doc
+
+
+class TestShrinking:
+    def test_shrinks_to_the_load_bearing_event(self):
+        scenario = dataclasses.replace(
+            QUIET,
+            events=(
+                LiveEvent("degrade", 3, 2, frames=4, pdr=0.1),
+                LiveEvent("crash", 1, 5, frames=0),
+                LiveEvent("degrade", 4, 7, frames=4, pdr=0.1),
+            ),
+        )
+
+        def still_fails(candidate):
+            return any(e.kind == "crash" for e in candidate.events)
+
+        shrunk = shrink_live_scenario(scenario, still_fails)
+        assert [e.kind for e in shrunk.events] == ["crash"]
+        assert len(shrunk.tasks) == 1
+
+    def test_failing_predicate_exceptions_count_as_pass(self):
+        def explodes(candidate):
+            raise RuntimeError("boom")
+
+        assert shrink_live_scenario(QUIET, explodes) == QUIET
+
+
+class TestSeedScheduler:
+    def test_base_stream_without_novelty(self):
+        scheduler = SeedScheduler(first_seed=10)
+        seeds = [scheduler.next_seed() for _ in range(4)]
+        assert seeds == [10, 11, 12, 13]
+
+    def test_novel_features_spawn_derived_seeds(self):
+        scheduler = SeedScheduler(first_seed=10)
+        seed = scheduler.next_seed()
+        new = scheduler.record(seed, ["outcome:ok", "event:crash"])
+        assert new == 2
+        # Derived children explore ahead of the base stream.
+        child = scheduler.next_seed()
+        assert child == 10 * 1_000_003 + 1
+        # Re-recording the same features is no longer novel.
+        assert scheduler.record(child, ["event:crash"]) == 0
+        assert scheduler.features_seen == 2
+
+    def test_never_repeats_a_seed(self):
+        scheduler = SeedScheduler(first_seed=0)
+        seen = set()
+        for i in range(50):
+            seed = scheduler.next_seed()
+            assert seed not in seen
+            seen.add(seed)
+            if i % 3 == 0:
+                scheduler.record(seed, [f"novel:{i}"])
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean(self):
+        report = run_live_fuzz(cases=6, seed=0)
+        assert report.cases_run == 6
+        assert report.clean, [
+            ce.violations for ce in report.counterexamples
+        ]
+
+    def test_on_case_hook_and_render(self):
+        seen = []
+        report = run_live_fuzz(cases=3, seed=0, on_case=seen.append)
+        assert len(seen) == 3
+        assert "3 cases" in report.render()
+
+    def test_budget_stops_the_campaign(self):
+        report = run_live_fuzz(cases=10_000, seed=0, budget_s=0.0)
+        assert report.cases_run == 0
+        assert report.budget_exhausted
+
+
+class TestCorpusDispatch:
+    def test_replay_routes_live_entries_to_the_live_runner(self, tmp_path):
+        report = FuzzReport(
+            cases_run=1,
+            violations=1,
+            counterexamples=[
+                Counterexample(scenario=QUIET, violations=[])
+            ],
+        )
+        path = tmp_path / "corpus.json"
+        save_report(report, str(path))
+        results = replay_corpus(str(path))
+        assert len(results) == 1
+        assert results[0].outcome == "ok"
+        assert results[0].live_stats is not None  # ran the live pipeline

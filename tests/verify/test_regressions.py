@@ -8,6 +8,7 @@ byte-stable: they replay the exact state that once broke.
 from repro.core.manager import HarpNetwork
 from repro.verify.fuzz import run_case
 from repro.verify.generators import DynamicsOp, Scenario, TaskSpec
+from repro.verify.live_fuzz import LiveEvent, LiveScenario, run_live_case
 from repro.verify.oracles import check_audits, check_scenario_network
 
 #: Stress seed 340, shrunk: a 6-deep chain on a tight 71x4 frame where
@@ -68,3 +69,81 @@ class TestRateChangeRollback:
             assert demand == expected.get(link, 0), link
         assert check_audits(harp) == []
         assert check_scenario_network(harp) == []
+
+#: Live chaos seed 20 (found unshrunk — every event is load-bearing):
+#: router 1 crashes permanently; while its heal drains nested
+#: slotframes, router 2 crashes *and recovers entirely inside the
+#: drain*.  Node 2 was then condemned from the accumulated keepalive
+#: misses after its recovery event had already fired — so no future
+#: recovery could ever queue its rejoin, and it sat healed-away
+#: forever.  The fix: ``_record_removed`` queues the rejoin on the
+#: spot when the node being removed is already up.  The
+#: ``live-reattach`` oracle fired here before the fix.
+RECOVERY_SWALLOWED_BY_DRAIN = LiveScenario(
+    seed=20,
+    parent_map={1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2, 7: 2, 8: 7, 9: 7},
+    tasks=(
+        TaskSpec(task_id=1, source=1, rate=0.5, echo=True),
+        TaskSpec(task_id=2, source=2, rate=1.0, echo=True),
+        TaskSpec(task_id=3, source=3, rate=1.0, echo=False),
+        TaskSpec(task_id=5, source=5, rate=0.5, echo=False),
+        TaskSpec(task_id=7, source=7, rate=0.5, echo=True),
+        TaskSpec(task_id=8, source=8, rate=0.5, echo=True),
+        TaskSpec(task_id=9, source=9, rate=1.0, echo=False),
+    ),
+    events=(
+        LiveEvent("crash", 1, 9, frames=0),
+        LiveEvent("degrade", 6, 10, frames=15, pdr=0.3),
+        LiveEvent("crash", 2, 17, frames=8),
+    ),
+    run_frames=59,
+    watchdog=True,
+    elastic_drain_cells=0,
+    management_loss=0.05,
+)
+
+#: Live chaos seed 96, shrunk to two permanent crashes: router 10 dies
+#: and, while its heal drains, bystander router 5 dies too.  The heal's
+#: elastic-inflated demand ripple moved gateway-layer partitions, but
+#: dead node 5 could neither apply nor relay its reschedules (its
+#: management messages dead-lettered), so its subtree's stale cells
+#: stayed behind exactly where node 3's widened partition now
+#: scheduled — and the heal's *final* collision-freedom certification
+#: exploded with a ``ScheduleConflictError`` (a latent seed-code bug;
+#: the witness replays identically against the pre-fuzzer tree).  The
+#: fix: ``_handle_condemned`` drains deferred condemnations — and
+#: sweeps managers that are down right now — to a fixed point *before*
+#: certifying the batch.
+BYSTANDER_CRASH_MID_HEAL = LiveScenario(
+    seed=96,
+    parent_map={
+        1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 2, 7: 2, 8: 2,
+        9: 3, 10: 3, 11: 5, 12: 5, 13: 8, 14: 8, 15: 10, 16: 10,
+    },
+    tasks=(
+        TaskSpec(task_id=12, source=12, rate=1.0, echo=True),
+        TaskSpec(task_id=15, source=15, rate=1.0, echo=False),
+        TaskSpec(task_id=16, source=16, rate=1.0, echo=False),
+    ),
+    events=(
+        LiveEvent("crash", 10, 4, frames=0),
+        LiveEvent("crash", 5, 13, frames=0),
+    ),
+    run_frames=63,
+    watchdog=False,
+    elastic_drain_cells=2,
+    management_loss=0.05,
+)
+
+
+class TestLiveWitnesses:
+    def test_recovery_swallowed_by_drain_replays_clean(self):
+        result = run_live_case(RECOVERY_SWALLOWED_BY_DRAIN)
+        assert result.outcome == "ok", result.violations
+        assert result.live_stats["rejoins"] >= 1
+
+    def test_bystander_crash_mid_heal_replays_clean(self):
+        result = run_live_case(BYSTANDER_CRASH_MID_HEAL)
+        assert result.outcome == "ok", result.violations
+        # Both dead routers were healed away before certification.
+        assert result.live_stats["parents_declared_dead"] == 2
