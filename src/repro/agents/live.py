@@ -788,19 +788,24 @@ class LiveHarpNetwork:
         parent), while downlink backlog piles up at ancestors on the
         way down — so UP is measured by holder (``queued_at``) and
         DOWN by destination (``queued_into``).  The DOWN boost also
-        counts the uplink backlog: for echo tasks its drained packets
-        come straight back down, and a downlink leg provisioned for
-        exactly the arrival rate would strand that surge until TTL
-        expiry (non-echo packets make this an over-count, but the cap
-        and the admission probe bound the optimism)."""
+        counts the *echo* share of the uplink backlog: an echo task's
+        drained packets come straight back down, and a downlink leg
+        provisioned for exactly the arrival rate would strand that
+        surge until TTL expiry.  Non-echo packets terminate at the
+        gateway, so they are split out of the anticipated return
+        instead of inflating it; the cap stays as the fallback bound
+        either way."""
         boost: Dict[Direction, int] = {}
         subtree = self.topology.subtree_nodes(orphan)
         up_backlog = self.sim.queued_at(subtree, Direction.UP)
+        echo_up_backlog = self.sim.queued_at(
+            subtree, Direction.UP, echo_only=True
+        )
         for direction in demands:
             if direction is Direction.UP:
                 backlog = up_backlog
             else:
-                backlog = self.sim.queued_into(subtree) + up_backlog
+                backlog = self.sim.queued_into(subtree) + echo_up_backlog
             if backlog <= 0:
                 continue
             boost[direction] = min(

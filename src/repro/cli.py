@@ -45,6 +45,13 @@ Commands
     Mobility churn study: identical roam traces with the link-quality
     watchdog enabled vs. disabled; tabulates delivery ratio, proactive
     vs. reactive reparents and flap suppression.
+``fleet [--trees N] [--workers W] [--chaos] [--out FILE]``
+    Fault-tolerant fleet campaign: shard N independent tree scenarios
+    across a supervised process pool with heartbeats, deadlines,
+    retry/backoff, checkpoint/resume and optional seeded chaos kills
+    (``--chaos``, verified against an in-process serial baseline:
+    zero lost trees, completed results bitwise-identical).  ``--bench``
+    merges a fleet section into the benchmark report.
 """
 
 from __future__ import annotations
@@ -296,6 +303,97 @@ def cmd_roam(args: argparse.Namespace) -> int:
     return 1 if regressed else 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .fleet import ChaosPlan, fleet_scenarios, run_fleet
+    from .verify import check_fleet_campaign, run_serial_baseline
+
+    scenarios = fleet_scenarios(
+        args.trees,
+        seed=args.seed,
+        num_devices=args.nodes,
+        depth=args.depth,
+        slotframes=args.slotframes,
+        pdr=args.pdr,
+        optional_every=args.optional_every,
+    )
+    chaos = (
+        ChaosPlan(kills=args.kills, seed=args.seed)
+        if args.chaos
+        else None
+    )
+    ckpt_ctx = (
+        tempfile.TemporaryDirectory()
+        if args.checkpoint_dir is None and args.checkpoint_every
+        else None
+    )
+    checkpoint_dir = args.checkpoint_dir or (
+        ckpt_ctx.name if ckpt_ctx is not None else None
+    )
+    try:
+        report = run_fleet(
+            scenarios,
+            workers=args.workers,
+            retry_budget=args.retry_budget,
+            deadline_s=args.deadline,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            queue_bound=args.queue_bound,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            chaos=chaos,
+        )
+    finally:
+        if ckpt_ctx is not None:
+            ckpt_ctx.cleanup()
+    print(report.stats.render())
+    if report.chaos_kills:
+        print(f"  chaos killed   {', '.join(report.chaos_kills)}")
+    for letter in report.dead_letters:
+        print(
+            f"  dead-letter    {letter.tree_id}: {letter.reason} "
+            f"after {letter.attempts} attempt(s)"
+        )
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.bench is not None:
+        from .bench import collect_meta, merge_report
+
+        merge_report(
+            args.bench,
+            {
+                "fleet": {
+                    "meta": collect_meta(seed=args.seed),
+                    "trees": args.trees,
+                    "nodes": args.nodes,
+                    "slotframes": args.slotframes,
+                    "workers": args.workers,
+                    "chaos_kills": len(report.chaos_kills),
+                    **report.stats.to_dict(),
+                }
+            },
+        )
+        print(f"merged fleet section into {args.bench}")
+    findings = []
+    if args.chaos:
+        # Chaos mode is self-verifying: the campaign must conserve
+        # every tree and match the undisturbed serial baseline.
+        baseline = run_serial_baseline(scenarios)
+        findings = check_fleet_campaign(scenarios, report, baseline)
+        for finding in findings:
+            print(f"  FINDING {finding.oracle}: {finding.message}")
+        if not findings:
+            print(
+                f"  chaos verified: {len(report.results)} tree(s) "
+                "conserved, results bitwise-identical to serial baseline"
+            )
+    return 1 if findings else 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .verify import generate_scenario, run_case, run_fuzz
     from .verify.fuzz import replay_corpus, save_report
@@ -538,6 +636,78 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(e.g. BENCH_perf.json)",
     )
     p.set_defaults(func=cmd_roam)
+
+    p = sub.add_parser(
+        "fleet",
+        help="supervised multi-tree campaign with retry, checkpoint "
+        "resume and optional chaos",
+    )
+    p.add_argument(
+        "--trees", type=int, default=8, help="number of tree scenarios"
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--nodes", type=int, default=24, help="devices per tree"
+    )
+    p.add_argument("--depth", type=int, default=4, help="tree depth")
+    p.add_argument(
+        "--slotframes", type=int, default=40,
+        help="simulation horizon per tree",
+    )
+    p.add_argument(
+        "--pdr", type=float, default=0.9,
+        help="uniform link PDR per tree (1.0 = lossless)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="supervised worker processes"
+    )
+    p.add_argument(
+        "--retry-budget", type=int, default=3,
+        help="attempts per tree before dead-lettering",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=120.0,
+        help="per-attempt wall-clock deadline in seconds (SIGKILL past it)",
+    )
+    p.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0,
+        help="seconds without a heartbeat before a worker is killed as hung",
+    )
+    p.add_argument(
+        "--queue-bound", type=int, default=None,
+        help="admission valve: cap on the pending dispatch queue",
+    )
+    p.add_argument(
+        "--optional-every", type=int, default=0,
+        help="mark every n-th tree sheddable under overload (0 = none)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=10,
+        help="snapshot engine progress every N slotframes (0 = off)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None,
+        help="durable checkpoint directory (default: ephemeral temp dir)",
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="kill workers mid-campaign (seeded) and verify zero lost "
+        "trees with results bitwise-identical to a serial baseline",
+    )
+    p.add_argument(
+        "--kills", type=int, default=2,
+        help="number of chaos kills (with --chaos)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the full fleet report as JSON",
+    )
+    p.add_argument(
+        "--bench", default=None,
+        help="merge a fleet section into this benchmark report "
+        "(e.g. BENCH_perf.json)",
+    )
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "fuzz", help="conformance fuzzing with invariant oracles"

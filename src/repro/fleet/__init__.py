@@ -1,0 +1,49 @@
+"""Fault-tolerant fleet orchestration of independent tree scenarios.
+
+The fleet layer runs many :class:`~repro.fleet.scenario.TreeScenario`
+work units — one HARP tree network each — across a supervised process
+pool with heartbeats, wall-clock deadlines, retry/backoff,
+checkpoint/resume through :mod:`repro.net.serialization`, an admission
+valve with optional-tree load shedding, and seeded fleet-level chaos.
+Its contract: no tree is ever silently lost, and completed trees are
+bitwise-identical to an undisturbed serial run.
+"""
+
+from .chaos import ChaosPlan
+from .checkpoint import CheckpointStore
+from .orchestrator import (
+    DeadLetter,
+    FleetReport,
+    run_fleet,
+    run_fleet_serial,
+)
+from .scenario import (
+    SimulatedWorkerCrash,
+    TreeResult,
+    TreeScenario,
+    build_network,
+    fleet_scenarios,
+    run_tree,
+)
+from .stats import FleetStats, build_stats
+from .supervisor import Supervisor, WorkerEvent, WorkerHandle
+
+__all__ = [
+    "ChaosPlan",
+    "CheckpointStore",
+    "DeadLetter",
+    "FleetReport",
+    "FleetStats",
+    "SimulatedWorkerCrash",
+    "Supervisor",
+    "TreeResult",
+    "TreeScenario",
+    "WorkerEvent",
+    "WorkerHandle",
+    "build_network",
+    "build_stats",
+    "fleet_scenarios",
+    "run_fleet",
+    "run_fleet_serial",
+    "run_tree",
+]

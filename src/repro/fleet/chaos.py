@@ -1,0 +1,68 @@
+"""Fleet-level chaos: seeded SIGKILLs of live workers mid-campaign.
+
+The plan is deterministic given its seed: kills trigger when the
+campaign-wide heartbeat count crosses seeded thresholds, and each
+victim is drawn from the *sorted* list of running tree ids.  What stays
+nondeterministic is the OS — a victim may land its "done" message in
+the pipe before the signal arrives.  Both orders are correct: the
+orchestrator's conservation oracle only requires that every tree ends
+completed or dead-lettered, and the determinism oracle that completed
+trees match the serial baseline bitwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ChaosPlan:
+    """Kill ``kills`` workers over the campaign, seeded by ``seed``.
+
+    ``min_stride``/``max_stride`` bound the heartbeat gap between
+    consecutive kills — small strides kill early (exercising cold
+    restarts), large ones kill deep into runs (exercising checkpoint
+    resume).
+    """
+
+    kills: int = 2
+    seed: int = 0
+    min_stride: int = 5
+    max_stride: int = 40
+    executed: List[str] = field(default_factory=list)
+    _rng: random.Random = field(init=False, repr=False)
+    _next_at: Optional[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._next_at = (
+            self._rng.randint(self.min_stride, self.max_stride)
+            if self.kills > 0
+            else None
+        )
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.kills - len(self.executed))
+
+    def pick_victim(
+        self, total_heartbeats: int, running_tree_ids: List[str]
+    ) -> Optional[str]:
+        """The tree to kill now, or ``None``.  Call once per
+        supervision pass with the campaign's cumulative heartbeat count
+        and the currently running trees (sorted)."""
+        if (
+            self._next_at is None
+            or self.remaining == 0
+            or total_heartbeats < self._next_at
+            or not running_tree_ids
+        ):
+            return None
+        victim = self._rng.choice(sorted(running_tree_ids))
+        self.executed.append(victim)
+        self._next_at = total_heartbeats + self._rng.randint(
+            self.min_stride, self.max_stride
+        )
+        return victim

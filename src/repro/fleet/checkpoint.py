@@ -1,0 +1,91 @@
+"""Durable per-tree checkpoints for the fleet orchestrator.
+
+One JSON run-snapshot file per tree, written atomically (temp file +
+``os.replace``) so a worker killed mid-write can never leave a torn
+checkpoint behind: a retry either sees the previous complete snapshot
+or none at all.  Loads are defensive — missing, unreadable, corrupt,
+version-skewed or fingerprint-mismatched files all return ``None`` (the
+retry falls back to a cold start) rather than raising into the worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..net.serialization import SerializationError, load_run_snapshot
+
+
+def _safe_name(tree_id: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in tree_id
+    )
+
+
+class CheckpointStore:
+    """Filesystem-backed checkpoint store, keyed by tree id."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, tree_id: str) -> str:
+        return os.path.join(self.root, f"{_safe_name(tree_id)}.ckpt.json")
+
+    def save(self, tree_id: str, snapshot: Dict[str, Any]) -> None:
+        """Atomically persist a run snapshot (last write wins)."""
+        target = self.path(tree_id)
+        tmp = f"{target}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(snapshot, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+
+    def load(
+        self, tree_id: str, fingerprint: str = ""
+    ) -> Optional[Dict[str, Any]]:
+        """The latest usable snapshot for ``tree_id``, or ``None``.
+
+        ``fingerprint`` (when given) must match the snapshot's — a
+        checkpoint from a differently-parameterised run of the same
+        tree id is stale and is ignored.
+        """
+        target = self.path(tree_id)
+        try:
+            with open(target) as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            snapshot = load_run_snapshot(document)
+        except SerializationError:
+            return None
+        if fingerprint and snapshot.get("fingerprint") != fingerprint:
+            return None
+        return snapshot
+
+    def discard(self, tree_id: str) -> None:
+        """Drop a tree's checkpoint (after completion or dead-letter),
+        plus any orphaned temp files a killed worker left mid-write."""
+        target = self.path(tree_id)
+        prefix = os.path.basename(target) + ".tmp."
+        try:
+            os.remove(target)
+        except OSError:
+            pass
+        try:
+            for name in os.listdir(self.root):
+                if name.startswith(prefix):
+                    try:
+                        os.remove(os.path.join(self.root, name))
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.root) if name.endswith(".ckpt.json")
+        )

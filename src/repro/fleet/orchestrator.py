@@ -1,0 +1,340 @@
+"""The fleet orchestrator: supervised multi-tree campaigns.
+
+``run_fleet`` shards independent :class:`~repro.fleet.scenario.TreeScenario`
+work units across a pool of supervised worker processes and drives them
+to a *conserved* outcome: every admitted tree either completes (possibly
+after retries and checkpoint resumes) or is explicitly dead-lettered —
+nothing is silently lost, even when workers crash, hang, blow their
+deadlines or get chaos-killed mid-run.
+
+Policy knobs:
+
+* **Retry with bounded backoff** — a disrupted tree re-enters the
+  dispatch queue after ``min(backoff_cap_s, backoff_base_s * 2**(n-1))``
+  and is dead-lettered once its ``retry_budget`` attempts are spent.
+* **Checkpoint resume** — with a checkpoint directory, workers snapshot
+  engine progress every ``checkpoint_every`` slotframes, so a retry
+  resumes mid-simulation instead of re-running the static phase.
+* **Admission valve / load shedding** — ``queue_bound`` caps the
+  pending queue.  Intake is staged (scenarios wait outside the valve),
+  and when a *retry* needs a slot in a full queue, optional trees are
+  shed (dead-lettered as ``shed-optional-overload``) before a required
+  tree is force-admitted.
+
+The conservation and determinism guarantees are machine-checked by
+:mod:`repro.verify.fleet_oracle`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from .chaos import ChaosPlan
+from .scenario import TreeScenario, TreeResult, run_tree
+from .checkpoint import CheckpointStore
+from .stats import FleetStats, build_stats
+from .supervisor import Supervisor
+
+
+@dataclass
+class DeadLetter:
+    """A tree the fleet gave up on, with its full disruption history."""
+
+    tree_id: str
+    reason: str
+    attempts: int
+    history: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tree_id": self.tree_id,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "history": list(self.history),
+        }
+
+
+@dataclass
+class FleetReport:
+    """Everything a campaign produced."""
+
+    results: List[TreeResult]
+    dead_letters: List[DeadLetter]
+    stats: FleetStats
+    chaos_kills: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "results": [r.to_dict() for r in sorted(
+                self.results, key=lambda r: r.tree_id)],
+            "dead_letters": [d.to_dict() for d in sorted(
+                self.dead_letters, key=lambda d: d.tree_id)],
+            "stats": self.stats.to_dict(),
+            "chaos_kills": list(self.chaos_kills),
+        }
+
+
+@dataclass
+class _Pending:
+    scenario: TreeScenario
+    attempt: int
+    ready_at: float  # monotonic time the backoff expires
+
+
+def _fork_available() -> bool:
+    import multiprocessing as mp
+
+    try:
+        mp.get_context("fork")
+    except ValueError:
+        return False
+    import os
+
+    return hasattr(os, "fork")
+
+
+def run_fleet(
+    scenarios: List[TreeScenario],
+    workers: int = 2,
+    retry_budget: int = 3,
+    backoff_base_s: float = 0.05,
+    backoff_cap_s: float = 2.0,
+    deadline_s: Optional[float] = 120.0,
+    heartbeat_timeout_s: Optional[float] = 30.0,
+    queue_bound: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+    chaos: Optional[ChaosPlan] = None,
+    poll_interval_s: float = 0.01,
+) -> FleetReport:
+    """Run a campaign of independent tree scenarios under supervision.
+
+    ``retry_budget`` is the number of *attempts* per tree.  With
+    ``queue_bound`` unset the valve is open (every scenario admitted
+    up-front).  Requires a platform with ``fork``; the caller can fall
+    back to :func:`run_fleet_serial` otherwise.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if retry_budget < 1:
+        raise ValueError("retry_budget must be >= 1")
+    if not _fork_available():
+        raise RuntimeError(
+            "run_fleet needs a fork-capable platform; "
+            "use run_fleet_serial instead"
+        )
+    seen = set()
+    for scenario in scenarios:
+        if scenario.tree_id in seen:
+            raise ValueError(f"duplicate tree_id {scenario.tree_id!r}")
+        seen.add(scenario.tree_id)
+
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    supervisor = Supervisor(
+        deadline_s=deadline_s,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        checkpoint_dir=checkpoint_dir if checkpoint_every else None,
+        checkpoint_every=checkpoint_every,
+    )
+
+    intake: Deque[TreeScenario] = deque(scenarios)
+    pending: Deque[_Pending] = deque()
+    attempts_used: Dict[str, int] = {}
+    history: Dict[str, List[str]] = {s.tree_id: [] for s in scenarios}
+    results: List[TreeResult] = []
+    dead_letters: List[DeadLetter] = []
+    shed_count = 0
+    retries = 0
+    worker_crashes = worker_failures = 0
+    deadline_kills = hung_kills = 0
+    total_heartbeats = 0
+    chaos_killed: List[str] = []
+
+    def queue_full() -> bool:
+        return queue_bound is not None and len(pending) >= queue_bound
+
+    def admit_from_intake() -> None:
+        # Staged intake: fill the valve only as capacity opens up.
+        while intake and not queue_full():
+            scenario = intake.popleft()
+            pending.append(_Pending(scenario, attempt=1, ready_at=0.0))
+
+    def dead_letter(scenario: TreeScenario, reason: str) -> None:
+        if store is not None:
+            store.discard(scenario.tree_id)
+        dead_letters.append(
+            DeadLetter(
+                tree_id=scenario.tree_id,
+                reason=reason,
+                attempts=attempts_used.get(scenario.tree_id, 0),
+                history=history[scenario.tree_id],
+            )
+        )
+
+    def shed_one_optional() -> bool:
+        """Drop the youngest optional pending tree to make room."""
+        nonlocal shed_count
+        for index in range(len(pending) - 1, -1, -1):
+            candidate = pending[index]
+            if candidate.scenario.optional:
+                del pending[index]
+                history[candidate.scenario.tree_id].append("shed")
+                dead_letter(
+                    candidate.scenario, "shed-optional-overload"
+                )
+                shed_count += 1
+                return True
+        return False
+
+    def requeue(scenario: TreeScenario, note: str) -> None:
+        """Retry policy: backoff, budget, valve pressure."""
+        nonlocal retries, shed_count
+        used = attempts_used[scenario.tree_id]
+        history[scenario.tree_id].append(note)
+        if used >= retry_budget:
+            dead_letter(scenario, "retry-budget-exhausted")
+            return
+        if queue_full():
+            if scenario.optional:
+                # An optional tree does not get to displace others.
+                history[scenario.tree_id].append("shed")
+                dead_letter(scenario, "shed-optional-overload")
+                shed_count += 1
+                return
+            # Required trees force their way in: shed an optional
+            # pending tree if possible, overflow the bound if not.
+            shed_one_optional()
+        backoff = min(backoff_cap_s, backoff_base_s * (2 ** (used - 1)))
+        retries += 1
+        pending.append(
+            _Pending(
+                scenario,
+                attempt=used + 1,
+                ready_at=time.monotonic() + backoff,
+            )
+        )
+
+    started = time.perf_counter()
+    admit_from_intake()
+    while pending or intake or supervisor.workers:
+        now = time.monotonic()
+        # Dispatch every ready pending tree into free worker slots.
+        dispatched = True
+        while dispatched and len(supervisor.workers) < workers:
+            dispatched = False
+            for index in range(len(pending)):
+                item = pending[index]
+                if item.ready_at <= now:
+                    del pending[index]
+                    attempts_used[item.scenario.tree_id] = item.attempt
+                    supervisor.spawn(item.scenario, item.attempt)
+                    dispatched = True
+                    break
+            admit_from_intake()
+
+        events = supervisor.poll()
+        for event in events:
+            total_heartbeats += event.slotframes_done
+            if event.kind == "completed":
+                result = TreeResult.from_dict(event.result)
+                results.append(result)
+                if store is not None:
+                    store.discard(result.tree_id)
+            elif event.kind == "failed":
+                worker_failures += 1
+                requeue(event.scenario, f"failed: {event.message}")
+            elif event.kind == "crashed":
+                worker_crashes += 1
+                requeue(event.scenario, f"crashed: {event.message}")
+            elif event.kind == "killed-deadline":
+                deadline_kills += 1
+                requeue(event.scenario, "killed-deadline")
+            elif event.kind == "killed-hung":
+                hung_kills += 1
+                requeue(event.scenario, "killed-hung")
+
+        if chaos is not None and chaos.remaining:
+            heartbeats_live = sum(
+                h.heartbeats for h in supervisor.workers.values()
+            )
+            victim = chaos.pick_victim(
+                total_heartbeats + heartbeats_live,
+                supervisor.running_tree_ids(),
+            )
+            if victim is not None and supervisor.kill(victim):
+                chaos_killed.append(victim)
+
+        # Idle wait: workers still running, or every pending tree is
+        # inside its backoff window.
+        if not events and (supervisor.workers or pending):
+            time.sleep(poll_interval_s)
+
+    wall = time.perf_counter() - started
+    stats = build_stats(
+        trees_total=len(scenarios),
+        results=[r.to_dict() for r in results],
+        dead_letters=[d.to_dict() for d in dead_letters],
+        shed=shed_count,
+        retries=retries,
+        worker_crashes=worker_crashes,
+        worker_failures=worker_failures,
+        deadline_kills=deadline_kills,
+        hung_kills=hung_kills,
+        chaos_kills=len(chaos_killed),
+        wall_seconds=wall,
+    )
+    return FleetReport(
+        results=results,
+        dead_letters=dead_letters,
+        stats=stats,
+        chaos_kills=chaos_killed,
+    )
+
+
+def run_fleet_serial(
+    scenarios: List[TreeScenario],
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+) -> FleetReport:
+    """In-process serial reference: same scenarios, no supervision, no
+    retries.  The determinism oracle compares a supervised (and
+    chaos-disrupted) campaign's results against this baseline; it is
+    also the fallback where ``fork`` is unavailable.
+
+    Failure hooks are ignored (``attempt`` is set past both) — the
+    baseline answers "what should an undisturbed run produce".
+    """
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    started = time.perf_counter()
+    results = []
+    for scenario in scenarios:
+        past_hooks = 1 + max(scenario.crash_attempts, scenario.hang_attempts)
+        results.append(
+            run_tree(
+                scenario,
+                attempt=past_hooks,
+                checkpoint=store,
+                checkpoint_every=checkpoint_every,
+            )
+        )
+        if store is not None:
+            store.discard(scenario.tree_id)
+    wall = time.perf_counter() - started
+    stats = build_stats(
+        trees_total=len(scenarios),
+        results=[r.to_dict() for r in results],
+        dead_letters=[],
+        shed=0,
+        retries=0,
+        worker_crashes=0,
+        worker_failures=0,
+        deadline_kills=0,
+        hung_kills=0,
+        chaos_kills=0,
+        wall_seconds=wall,
+    )
+    return FleetReport(results=results, dead_letters=[], stats=stats)

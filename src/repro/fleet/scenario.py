@@ -1,0 +1,314 @@
+"""Fleet work units: one independent tree network per scenario.
+
+A :class:`TreeScenario` is a pure function of its parameters — the
+topology, task set, schedule and simulated traffic all derive from the
+seed — so running it twice anywhere produces bitwise-identical results.
+That purity is what makes the fleet orchestrator's promises checkable:
+a tree that completed after a crash, a SIGKILL and a checkpoint resume
+must produce the *same* :class:`TreeResult` as an undisturbed serial
+run, and :func:`run_tree`'s checksum is the equality witness.
+
+Scenarios also carry *supervised-failure hooks* (``crash_at_slotframe``,
+``hang_at_slotframe``) used by the orchestrator tests and chaos drills
+to make a worker fail deterministically on its first attempt(s); real
+campaigns leave them unset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.manager import HarpNetwork
+from ..net.radio import UniformPDR
+from ..net.serialization import (
+    dump_network,
+    dump_progress,
+    dump_run_snapshot,
+    load_network,
+    restore_progress,
+)
+from ..net.sim.engine import TSCHSimulator
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import e2e_task_per_node
+from ..net.topology import layered_random_tree
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """Raised by a scenario's crash hook: a deterministic stand-in for
+    a worker process dying mid-tree (tests and chaos drills)."""
+
+
+@dataclass(frozen=True)
+class TreeScenario:
+    """One tree network to allocate and simulate, as a fleet work unit.
+
+    Parameters
+    ----------
+    tree_id:
+        Unique name within the campaign (dead-letter and checkpoint
+        accounting key).
+    seed:
+        Drives topology generation and the engine RNG.
+    num_devices, depth, rate:
+        Workload shape: a layered random tree with one e2e task per
+        device at ``rate`` packets/slotframe.
+    slotframes:
+        Simulation horizon after the static phase.
+    pdr:
+        Uniform link PDR (< 1.0 adds stateless channel loss; the
+        engine RNG is checkpointed, so resumes stay exact).
+    optional:
+        Sheddable under overload: the admission valve may drop the
+        tree (explicitly dead-lettered as shed) instead of queueing it
+        when the dispatch queue is saturated.
+    crash_at_slotframe / crash_attempts:
+        Failure hook: attempts numbered ``<= crash_attempts`` raise
+        :class:`SimulatedWorkerCrash` when reaching this slotframe.
+    hang_at_slotframe / hang_attempts / hang_seconds:
+        Failure hook: attempts numbered ``<= hang_attempts`` stall for
+        ``hang_seconds`` at this slotframe (exercises heartbeat /
+        deadline supervision — the supervisor must SIGKILL them).
+    """
+
+    tree_id: str
+    seed: int = 0
+    num_devices: int = 24
+    depth: int = 4
+    rate: float = 1.0
+    slotframes: int = 40
+    pdr: float = 1.0
+    optional: bool = False
+    crash_at_slotframe: Optional[int] = None
+    crash_attempts: int = 1
+    hang_at_slotframe: Optional[int] = None
+    hang_attempts: int = 1
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 2:
+            raise ValueError("num_devices must be >= 2")
+        if self.slotframes < 1:
+            raise ValueError("slotframes must be >= 1")
+        if not 0.0 < self.pdr <= 1.0:
+            raise ValueError(f"pdr must be in (0, 1], got {self.pdr}")
+
+    def fingerprint(self) -> str:
+        """Digest over everything that affects the *result* (failure
+        hooks excluded: a tree that crashed on attempt 1 must accept
+        its own checkpoint on attempt 2)."""
+        payload = json.dumps(
+            {
+                "tree_id": self.tree_id,
+                "seed": self.seed,
+                "num_devices": self.num_devices,
+                "depth": self.depth,
+                "rate": self.rate,
+                "slotframes": self.slotframes,
+                "pdr": self.pdr,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "TreeScenario":
+        return cls(**document)  # type: ignore[arg-type]
+
+
+def fleet_scenarios(
+    trees: int,
+    seed: int = 0,
+    num_devices: int = 24,
+    depth: int = 4,
+    slotframes: int = 40,
+    pdr: float = 1.0,
+    optional_every: int = 0,
+) -> list:
+    """A seeded campaign: ``trees`` independent scenarios with distinct
+    topology seeds.  ``optional_every`` marks every n-th tree sheddable
+    (0 = none)."""
+    return [
+        TreeScenario(
+            tree_id=f"tree-{seed}-{i:04d}",
+            seed=seed * 10_000 + i,
+            num_devices=num_devices,
+            depth=depth,
+            slotframes=slotframes,
+            pdr=pdr,
+            optional=bool(optional_every and (i + 1) % optional_every == 0),
+        )
+        for i in range(trees)
+    ]
+
+
+@dataclass
+class TreeResult:
+    """What one completed tree produced (deterministic given the
+    scenario — the checksum is the cross-run equality witness)."""
+
+    tree_id: str
+    delivered: int
+    generated: int
+    dropped: int
+    slots: int
+    checksum: str
+    resumed_from: int = 0
+    attempt: int = 1
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "TreeResult":
+        return cls(**document)  # type: ignore[arg-type]
+
+
+def _scenario_config(scenario: TreeScenario) -> SlotframeConfig:
+    return SlotframeConfig(
+        num_slots=max(199, 8 * scenario.num_devices), num_channels=16
+    )
+
+
+def build_network(scenario: TreeScenario) -> HarpNetwork:
+    """The scenario's static phase: topology, tasks, full HARP
+    allocation (the expensive part a checkpoint resume skips)."""
+    topology = layered_random_tree(
+        scenario.num_devices, scenario.depth, random.Random(scenario.seed)
+    )
+    harp = HarpNetwork(
+        topology,
+        e2e_task_per_node(topology, rate=scenario.rate),
+        _scenario_config(scenario),
+        case1_slack=1,
+        distribute_slack=True,
+    )
+    harp.allocate()
+    harp.validate()
+    return harp
+
+
+def _build_simulator(scenario, topology, schedule, task_set, config):
+    return TSCHSimulator(
+        topology,
+        schedule,
+        task_set,
+        config,
+        rng=random.Random(scenario.seed),
+        loss_model=(
+            UniformPDR(scenario.pdr) if scenario.pdr < 1.0 else None
+        ),
+        max_packet_age_slots=8 * config.num_slots,
+    )
+
+
+def result_checksum(sim: TSCHSimulator) -> str:
+    """Digest over the observable outcome of a finished run: the full
+    delivery stream plus every counter the metrics ledger carries.
+    Built from the progress document so any state divergence — not
+    just the headline counts — breaks equality."""
+    document = dump_progress(sim)
+    document.pop("rng")  # huge, and implied by the rest
+    payload = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def run_tree(
+    scenario: TreeScenario,
+    attempt: int = 1,
+    checkpoint=None,
+    checkpoint_every: int = 0,
+    heartbeat: Optional[Callable[[int], None]] = None,
+) -> TreeResult:
+    """Execute one scenario to completion: static phase (or checkpoint
+    resume), then the simulation horizon slotframe by slotframe.
+
+    ``checkpoint`` is a :class:`~repro.fleet.checkpoint.CheckpointStore`
+    (or None); every ``checkpoint_every`` completed slotframes the
+    engine progress is snapshotted atomically, so a retry after a crash
+    or SIGKILL resumes from the last snapshot instead of re-running the
+    static phase.  ``heartbeat(slotframes_done)`` is called after every
+    slotframe — the supervisor's liveness signal.
+    """
+    started = time.perf_counter()
+    resumed_from = 0
+    network_doc = None
+    snapshot = None
+    if checkpoint is not None:
+        snapshot = checkpoint.load(scenario.tree_id, scenario.fingerprint())
+    if snapshot is not None:
+        topology, task_set, _partitions, schedule = load_network(
+            snapshot["network"]
+        )
+        config = schedule.config
+        sim = _build_simulator(scenario, topology, schedule, task_set, config)
+        restore_progress(sim, snapshot["progress"])
+        resumed_from = int(snapshot["slotframes_done"])
+        network_doc = snapshot["network"]
+    else:
+        harp = build_network(scenario)
+        config = harp.config
+        sim = _build_simulator(
+            scenario, harp.topology, harp.schedule, harp.task_set, config
+        )
+        if checkpoint is not None and checkpoint_every:
+            network_doc = dump_network(harp)
+
+    for done in range(resumed_from, scenario.slotframes):
+        if (
+            scenario.hang_at_slotframe is not None
+            and done == scenario.hang_at_slotframe
+            and attempt <= scenario.hang_attempts
+        ):
+            time.sleep(scenario.hang_seconds)
+        if (
+            scenario.crash_at_slotframe is not None
+            and done == scenario.crash_at_slotframe
+            and attempt <= scenario.crash_attempts
+        ):
+            raise SimulatedWorkerCrash(
+                f"{scenario.tree_id}: scripted crash at slotframe {done} "
+                f"(attempt {attempt})"
+            )
+        sim.run_slotframes(1)
+        completed = done + 1
+        if heartbeat is not None:
+            heartbeat(completed)
+        if (
+            checkpoint is not None
+            and checkpoint_every
+            and network_doc is not None
+            and completed % checkpoint_every == 0
+            and completed < scenario.slotframes
+        ):
+            checkpoint.save(
+                scenario.tree_id,
+                dump_run_snapshot(
+                    network_doc,
+                    dump_progress(sim),
+                    label=scenario.tree_id,
+                    slotframes_done=completed,
+                    fingerprint=scenario.fingerprint(),
+                ),
+            )
+
+    metrics = sim.metrics
+    return TreeResult(
+        tree_id=scenario.tree_id,
+        delivered=metrics.delivered,
+        generated=metrics.generated,
+        dropped=metrics.dropped,
+        slots=scenario.slotframes * config.num_slots,
+        checksum=result_checksum(sim),
+        resumed_from=resumed_from,
+        attempt=attempt,
+        wall_seconds=time.perf_counter() - started,
+    )

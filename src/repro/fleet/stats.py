@@ -1,0 +1,100 @@
+"""Aggregate campaign statistics for a fleet run."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty list."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class FleetStats:
+    """Campaign-level outcome counters and throughput figures."""
+
+    trees_total: int = 0
+    completed: int = 0
+    dead_lettered: int = 0
+    shed: int = 0
+    retries: int = 0
+    resumes: int = 0
+    worker_crashes: int = 0
+    worker_failures: int = 0
+    deadline_kills: int = 0
+    hung_kills: int = 0
+    chaos_kills: int = 0
+    wall_seconds: float = 0.0
+    trees_per_sec: float = 0.0
+    events_per_sec: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p99_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def render(self) -> str:
+        lines = [
+            "fleet campaign",
+            f"  trees          {self.completed}/{self.trees_total} completed"
+            f" ({self.dead_lettered} dead-lettered, {self.shed} shed)",
+            f"  retries        {self.retries}"
+            f" (resumed from checkpoint: {self.resumes})",
+            f"  disruptions    crashes={self.worker_crashes}"
+            f" failures={self.worker_failures}"
+            f" deadline-kills={self.deadline_kills}"
+            f" hung-kills={self.hung_kills}"
+            f" chaos-kills={self.chaos_kills}",
+            f"  wall           {self.wall_seconds:.2f}s"
+            f" ({self.trees_per_sec:.2f} trees/s,"
+            f" {self.events_per_sec:,.0f} slots/s)",
+            f"  tree latency   p50={self.latency_p50_s:.2f}s"
+            f" p99={self.latency_p99_s:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+def build_stats(
+    trees_total: int,
+    results: List[dict],
+    dead_letters: List[dict],
+    shed: int,
+    retries: int,
+    worker_crashes: int,
+    worker_failures: int,
+    deadline_kills: int,
+    hung_kills: int,
+    chaos_kills: int,
+    wall_seconds: float,
+) -> FleetStats:
+    """Fold per-tree results into campaign statistics.
+
+    ``events_per_sec`` counts *simulated slots* across all completed
+    trees against campaign wall time — the fleet's useful-work
+    throughput (retried work that never completed does not count).
+    """
+    latencies = [float(r["wall_seconds"]) for r in results]
+    total_slots = sum(int(r["slots"]) for r in results)
+    wall = max(wall_seconds, 1e-9)
+    return FleetStats(
+        trees_total=trees_total,
+        completed=len(results),
+        dead_lettered=len(dead_letters),
+        shed=shed,
+        retries=retries,
+        resumes=sum(1 for r in results if int(r["resumed_from"]) > 0),
+        worker_crashes=worker_crashes,
+        worker_failures=worker_failures,
+        deadline_kills=deadline_kills,
+        hung_kills=hung_kills,
+        chaos_kills=chaos_kills,
+        wall_seconds=wall_seconds,
+        trees_per_sec=len(results) / wall,
+        events_per_sec=total_slots / wall,
+        latency_p50_s=_percentile(latencies, 0.50) if latencies else 0.0,
+        latency_p99_s=_percentile(latencies, 0.99) if latencies else 0.0,
+    )

@@ -1,0 +1,226 @@
+"""Process supervision for the fleet: spawn, watch, kill.
+
+Each tree runs in its own forked worker process that streams
+``("hb", slotframes_done)`` heartbeats over a pipe after every
+simulated slotframe and finishes with ``("done", result_dict)`` or
+``("err", message)``.  The supervisor polls all live workers and turns
+raw process state into a small vocabulary of events:
+
+* ``completed`` — worker returned a result,
+* ``failed`` — worker raised (message captured),
+* ``crashed`` — process died without a final message (real crash or
+  chaos SIGKILL),
+* ``killed-deadline`` — exceeded its wall-clock budget, SIGKILLed,
+* ``killed-hung`` — heartbeats went stale, SIGKILLed.
+
+The orchestrator owns *policy* (retry, backoff, shedding); this module
+owns *mechanism* — nothing here decides what happens to a tree next.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .checkpoint import CheckpointStore
+from .scenario import TreeScenario, run_tree
+
+
+def _worker_entry(conn, scenario_doc, attempt, checkpoint_dir,
+                  checkpoint_every) -> None:
+    """Worker process body: run one tree, stream heartbeats, send the
+    result (or the failure) and exit."""
+    scenario = TreeScenario.from_dict(scenario_doc)
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    try:
+        result = run_tree(
+            scenario,
+            attempt=attempt,
+            checkpoint=store,
+            checkpoint_every=checkpoint_every,
+            heartbeat=lambda done: conn.send(("hb", done)),
+        )
+        conn.send(("done", result.to_dict()))
+    except BaseException as error:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("err", f"{type(error).__name__}: {error}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class WorkerHandle:
+    """One supervised worker and what we know about it."""
+
+    scenario: TreeScenario
+    attempt: int
+    process: mp.process.BaseProcess
+    conn: object
+    started_at: float
+    deadline_at: Optional[float]
+    last_heartbeat_at: float
+    slotframes_done: int = 0
+    heartbeats: int = 0
+
+
+@dataclass
+class WorkerEvent:
+    """A worker leaving the pool, classified."""
+
+    kind: str  # completed | failed | crashed | killed-deadline | killed-hung
+    scenario: TreeScenario
+    attempt: int
+    slotframes_done: int
+    result: Optional[dict] = None
+    message: str = ""
+
+
+@dataclass
+class Supervisor:
+    """Tracks live workers; detects exits, hangs and blown deadlines."""
+
+    deadline_s: Optional[float] = None
+    heartbeat_timeout_s: Optional[float] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 0
+    workers: Dict[str, WorkerHandle] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # fork keeps the already-imported engine warm in workers; the
+        # orchestrator degrades to serial where fork is unavailable.
+        self._ctx = mp.get_context("fork")
+
+    def spawn(self, scenario: TreeScenario, attempt: int) -> WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(
+                child_conn,
+                scenario.to_dict(),
+                attempt,
+                self.checkpoint_dir,
+                self.checkpoint_every,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        handle = WorkerHandle(
+            scenario=scenario,
+            attempt=attempt,
+            process=process,
+            conn=parent_conn,
+            started_at=now,
+            deadline_at=(
+                now + self.deadline_s if self.deadline_s is not None else None
+            ),
+            last_heartbeat_at=now,
+        )
+        self.workers[scenario.tree_id] = handle
+        return handle
+
+    def _drain(self, handle: WorkerHandle) -> Optional[WorkerEvent]:
+        """Pull every pending message off a worker's pipe; return its
+        terminal event if one arrived."""
+        while True:
+            try:
+                if not handle.conn.poll():
+                    return None
+                kind, payload = handle.conn.recv()
+            except (EOFError, OSError):
+                return None
+            if kind == "hb":
+                handle.slotframes_done = int(payload)
+                handle.heartbeats += 1
+                handle.last_heartbeat_at = time.monotonic()
+            elif kind == "done":
+                return WorkerEvent(
+                    kind="completed",
+                    scenario=handle.scenario,
+                    attempt=handle.attempt,
+                    slotframes_done=handle.slotframes_done,
+                    result=payload,
+                )
+            else:  # "err"
+                return WorkerEvent(
+                    kind="failed",
+                    scenario=handle.scenario,
+                    attempt=handle.attempt,
+                    slotframes_done=handle.slotframes_done,
+                    message=str(payload),
+                )
+
+    def _retire(self, handle: WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.process.join(timeout=5.0)
+        del self.workers[handle.scenario.tree_id]
+
+    def kill(self, tree_id: str, reason: str = "chaos") -> bool:
+        """SIGKILL a running worker (chaos injection).  The kill is
+        detected by the next :meth:`poll` as a ``crashed`` event."""
+        handle = self.workers.get(tree_id)
+        if handle is None or not handle.process.is_alive():
+            return False
+        handle.process.kill()
+        return True
+
+    def poll(self) -> List[WorkerEvent]:
+        """One supervision pass over every live worker."""
+        events: List[WorkerEvent] = []
+        now = time.monotonic()
+        for handle in list(self.workers.values()):
+            event = self._drain(handle)
+            if event is None and not handle.process.is_alive():
+                # Exited without a terminal message: crashed or killed.
+                event = WorkerEvent(
+                    kind="crashed",
+                    scenario=handle.scenario,
+                    attempt=handle.attempt,
+                    slotframes_done=handle.slotframes_done,
+                    message=f"exitcode={handle.process.exitcode}",
+                )
+            if event is None and handle.deadline_at is not None \
+                    and now >= handle.deadline_at:
+                handle.process.kill()
+                event = WorkerEvent(
+                    kind="killed-deadline",
+                    scenario=handle.scenario,
+                    attempt=handle.attempt,
+                    slotframes_done=handle.slotframes_done,
+                    message=f"deadline {self.deadline_s}s exceeded",
+                )
+            if event is None and self.heartbeat_timeout_s is not None \
+                    and now - handle.last_heartbeat_at \
+                    >= self.heartbeat_timeout_s:
+                handle.process.kill()
+                event = WorkerEvent(
+                    kind="killed-hung",
+                    scenario=handle.scenario,
+                    attempt=handle.attempt,
+                    slotframes_done=handle.slotframes_done,
+                    message=(
+                        f"no heartbeat for {self.heartbeat_timeout_s}s"
+                    ),
+                )
+            if event is not None:
+                self._retire(handle)
+                events.append(event)
+        return events
+
+    def running_tree_ids(self) -> List[str]:
+        return sorted(self.workers)
+
+    def shutdown(self) -> None:
+        """Kill and reap everything (abnormal teardown path)."""
+        for handle in list(self.workers.values()):
+            if handle.process.is_alive():
+                handle.process.kill()
+            self._retire(handle)

@@ -762,11 +762,17 @@ class TSCHSimulator:
         )
 
     def queued_at(
-        self, nodes: Iterable[int], direction: Direction
+        self, nodes: Iterable[int], direction: Direction,
+        echo_only: bool = False,
     ) -> int:
         """Packets currently queued at any of ``nodes`` in one
         direction — the measured backlog behind a set of links (the
-        live layer sizes its elastic post-heal boosts from this)."""
+        live layer sizes its elastic post-heal boosts from this).
+
+        With ``echo_only`` only packets of echo tasks are counted: the
+        fraction of an uplink backlog that will return downlink after
+        the gateway turns it around (non-echo packets terminate at the
+        gateway and never load the reverse path)."""
         queues = (
             self._uplink_q if direction is Direction.UP else self._downlink_q
         )
@@ -774,7 +780,10 @@ class TSCHSimulator:
         for node in nodes:
             queue = queues.get(node)
             if queue:
-                total += len(queue)
+                if echo_only:
+                    total += sum(1 for packet in queue if packet.echo)
+                else:
+                    total += len(queue)
         return total
 
     def queued_into(self, nodes: Iterable[int]) -> int:

@@ -51,6 +51,12 @@ from .live_fuzz import (
     run_live_fuzz,
     shrink_live_scenario,
 )
+from .fleet_oracle import (
+    check_fleet_campaign,
+    check_fleet_conservation,
+    check_fleet_determinism,
+    run_serial_baseline,
+)
 from .oracles import Violation, check_scenario_network, run_conservation
 
 __all__ = [
@@ -64,6 +70,9 @@ __all__ = [
     "save_report",
     "Scenario",
     "Violation",
+    "check_fleet_campaign",
+    "check_fleet_conservation",
+    "check_fleet_determinism",
     "check_scenario_network",
     "diff_manager_vs_agents",
     "diff_schedulers",
@@ -76,6 +85,7 @@ __all__ = [
     "run_fuzz",
     "run_live_case",
     "run_live_fuzz",
+    "run_serial_baseline",
     "shrink_live_scenario",
     "shrink_scenario",
 ]

@@ -1,0 +1,124 @@
+"""Fleet-level oracles: no tree lost, no result perturbed.
+
+The fleet orchestrator makes two machine-checkable promises:
+
+* **Conservation** — every admitted scenario ends the campaign in
+  exactly one terminal state: completed, or explicitly dead-lettered
+  (which includes shed optional trees).  Crashes, hangs, deadline
+  kills and chaos SIGKILLs may delay a tree, never lose it.
+* **Determinism** — a completed tree's result is bitwise-identical to
+  an undisturbed serial run of the same scenario, even when it was
+  retried from scratch or resumed from a mid-run checkpoint.  The
+  witness is the result checksum, a digest over the engine's full
+  progress state (delivery stream included).
+
+``repro fleet --chaos`` runs both oracles after every campaign and
+fails loudly on any finding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..fleet.orchestrator import FleetReport, run_fleet_serial
+from ..fleet.scenario import TreeScenario
+from .oracles import Violation
+
+
+def check_fleet_conservation(
+    scenarios: List[TreeScenario], report: FleetReport
+) -> List[Violation]:
+    """Every scenario completed XOR dead-lettered, exactly once."""
+    out: List[Violation] = []
+    completed = [r.tree_id for r in report.results]
+    dead = [d.tree_id for d in report.dead_letters]
+    seen_completed = set(completed)
+    seen_dead = set(dead)
+    if len(completed) != len(seen_completed):
+        out.append(
+            Violation("fleet:conservation", "duplicate completed results")
+        )
+    if len(dead) != len(seen_dead):
+        out.append(
+            Violation("fleet:conservation", "duplicate dead letters")
+        )
+    for scenario in scenarios:
+        tid = scenario.tree_id
+        in_completed = tid in seen_completed
+        in_dead = tid in seen_dead
+        if in_completed and in_dead:
+            out.append(
+                Violation(
+                    "fleet:conservation",
+                    f"{tid} both completed and dead-lettered",
+                )
+            )
+        elif not in_completed and not in_dead:
+            out.append(
+                Violation("fleet:conservation", f"{tid} lost by the fleet")
+            )
+    wanted = {s.tree_id for s in scenarios}
+    for tid in seen_completed | seen_dead:
+        if tid not in wanted:
+            out.append(
+                Violation(
+                    "fleet:conservation", f"{tid} reported but never admitted"
+                )
+            )
+    return out
+
+
+def check_fleet_determinism(
+    report: FleetReport, baseline: FleetReport
+) -> List[Violation]:
+    """Completed trees must match the serial baseline bitwise (checksum
+    over the full engine progress state, plus the headline counters)."""
+    out: List[Violation] = []
+    reference: Dict[str, object] = {
+        r.tree_id: r for r in baseline.results
+    }
+    for result in report.results:
+        expected = reference.get(result.tree_id)
+        if expected is None:
+            out.append(
+                Violation(
+                    "fleet:determinism",
+                    f"{result.tree_id} has no serial baseline",
+                )
+            )
+            continue
+        for fld in ("checksum", "delivered", "generated", "dropped", "slots"):
+            got = getattr(result, fld)
+            want = getattr(expected, fld)
+            if got != want:
+                out.append(
+                    Violation(
+                        "fleet:determinism",
+                        f"{result.tree_id} {fld} diverged: "
+                        f"fleet={got!r} serial={want!r}"
+                        + (
+                            f" (resumed_from={result.resumed_from},"
+                            f" attempt={result.attempt})"
+                            if fld == "checksum"
+                            else ""
+                        ),
+                    )
+                )
+    return out
+
+
+def run_serial_baseline(scenarios: List[TreeScenario]) -> FleetReport:
+    """The undisturbed reference campaign (in-process, no supervision,
+    failure hooks ignored)."""
+    return run_fleet_serial(scenarios)
+
+
+def check_fleet_campaign(
+    scenarios: List[TreeScenario],
+    report: FleetReport,
+    baseline: FleetReport,
+) -> List[Violation]:
+    """Both fleet oracles over one finished campaign."""
+    out = check_fleet_conservation(scenarios, report)
+    out.extend(check_fleet_determinism(report, baseline))
+    return out

@@ -230,6 +230,53 @@ class TestElasticDrain:
         assert live.stats.elastic_grants == 0
         assert live.stats.elastic_releases == 0
 
+    def test_down_boost_counts_only_echo_uplink_backlog(self, tree, config):
+        from repro.net.sim.engine import Packet
+        from repro.net.topology import Direction
+
+        live = make_live(
+            tree, config, elastic_drain_cells=8, elastic_drain_slotframes=1
+        )
+        sim = live.sim
+        # Strand a mixed uplink backlog at leaf 6: 3 echo packets that
+        # will return downlink after the gateway, 5 non-echo packets
+        # that terminate at the gateway.
+        for i, echo in enumerate([True] * 3 + [False] * 5):
+            packet = Packet(
+                task_id=6, seq=1000 + i, source=6, destination=6,
+                direction=Direction.UP, created_slot=sim.current_slot,
+                echo=echo,
+            )
+            sim._enqueue(packet, 6, Direction.UP)
+        boost = live._elastic_boost(
+            6, {Direction.UP: 1, Direction.DOWN: 1}
+        )
+        # UP drains the whole stranded backlog; DOWN anticipates only
+        # the echo share instead of the whole uplink queue.
+        assert boost[Direction.UP] == 8
+        assert boost[Direction.DOWN] == 3
+
+    def test_down_boost_cap_still_bounds_echo_surge(self, tree, config):
+        from repro.net.sim.engine import Packet
+        from repro.net.topology import Direction
+
+        live = make_live(
+            tree, config, elastic_drain_cells=4, elastic_drain_slotframes=1
+        )
+        sim = live.sim
+        for i in range(20):
+            packet = Packet(
+                task_id=6, seq=1000 + i, source=6, destination=6,
+                direction=Direction.UP, created_slot=sim.current_slot,
+                echo=True,
+            )
+            sim._enqueue(packet, 6, Direction.UP)
+        boost = live._elastic_boost(
+            6, {Direction.UP: 1, Direction.DOWN: 1}
+        )
+        assert boost[Direction.UP] == 4
+        assert boost[Direction.DOWN] == 4
+
 
 class TestRecovery:
     def test_delivery_ratio_dips_then_recovers(self, tree, config):

@@ -1,0 +1,360 @@
+"""Fleet orchestrator: supervision, retry, checkpoint resume, chaos.
+
+The worker-pool tests fork real processes (the point is real SIGKILLs
+and real pipes); scenarios are kept tiny so the whole module stays in
+the tier-1 time budget.  Platforms without ``fork`` skip the
+process-pool tests and keep the in-process ones.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.fleet import (
+    ChaosPlan,
+    CheckpointStore,
+    SimulatedWorkerCrash,
+    TreeResult,
+    fleet_scenarios,
+    run_fleet,
+    run_fleet_serial,
+    run_tree,
+)
+from repro.fleet.scenario import TreeScenario
+from repro.fleet.stats import _percentile, build_stats
+from repro.verify import (
+    check_fleet_campaign,
+    check_fleet_conservation,
+    check_fleet_determinism,
+    run_serial_baseline,
+)
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fleet pool needs fork"
+)
+
+#: One tiny scenario shape shared across the module.
+SMALL = dict(num_devices=8, depth=3, slotframes=8, pdr=0.9)
+
+
+def small_scenario(tree_id="t0", seed=1, **overrides):
+    params = {**SMALL, **overrides}
+    return TreeScenario(tree_id=tree_id, seed=seed, **params)
+
+
+class TestScenario:
+    def test_fingerprint_ignores_failure_hooks(self):
+        base = small_scenario()
+        hooked = dataclasses.replace(base, crash_at_slotframe=3)
+        other = dataclasses.replace(base, seed=2)
+        assert base.fingerprint() == hooked.fingerprint()
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_round_trips_through_dict(self):
+        scenario = small_scenario(optional=True, crash_at_slotframe=2)
+        assert TreeScenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_scenario(pdr=0.0)
+        with pytest.raises(ValueError):
+            small_scenario(slotframes=0)
+
+    def test_fleet_scenarios_marks_optional(self):
+        scenarios = fleet_scenarios(6, optional_every=3, **SMALL)
+        assert [s.optional for s in scenarios] == [
+            False, False, True, False, False, True,
+        ]
+        assert len({s.tree_id for s in scenarios}) == 6
+
+    def test_run_tree_is_deterministic(self):
+        a = run_tree(small_scenario())
+        b = run_tree(small_scenario())
+        assert a.checksum == b.checksum
+        assert a.delivered == b.delivered
+        assert a.generated > 0
+
+    def test_crash_hook_fires_then_clears(self):
+        scenario = small_scenario(crash_at_slotframe=2)
+        with pytest.raises(SimulatedWorkerCrash):
+            run_tree(scenario, attempt=1)
+        result = run_tree(scenario, attempt=2)
+        assert result.checksum == run_tree(small_scenario()).checksum
+
+
+class TestCheckpointStore:
+    def test_resume_matches_straight_run(self, tmp_path):
+        scenario = small_scenario(crash_at_slotframe=5)
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(SimulatedWorkerCrash):
+            run_tree(scenario, attempt=1, checkpoint=store,
+                     checkpoint_every=2)
+        resumed = run_tree(scenario, attempt=2, checkpoint=store,
+                           checkpoint_every=2)
+        assert resumed.resumed_from == 4
+        assert resumed.checksum == run_tree(small_scenario()).checksum
+
+    def test_fingerprint_mismatch_ignored(self, tmp_path):
+        scenario = small_scenario(crash_at_slotframe=5)
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(SimulatedWorkerCrash):
+            run_tree(scenario, attempt=1, checkpoint=store,
+                     checkpoint_every=2)
+        assert store.load(scenario.tree_id, scenario.fingerprint())
+        assert store.load(scenario.tree_id, "other-fingerprint") is None
+
+    def test_corrupt_checkpoint_degrades_to_cold_start(self, tmp_path):
+        scenario = small_scenario()
+        store = CheckpointStore(str(tmp_path))
+        with open(store.path(scenario.tree_id), "w") as handle:
+            handle.write("{ not json")
+        assert store.load(scenario.tree_id) is None
+        result = run_tree(scenario, checkpoint=store, checkpoint_every=2)
+        assert result.resumed_from == 0
+
+    def test_version_skew_degrades_to_cold_start(self, tmp_path):
+        scenario = small_scenario(crash_at_slotframe=5)
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(SimulatedWorkerCrash):
+            run_tree(scenario, attempt=1, checkpoint=store,
+                     checkpoint_every=2)
+        path = store.path(scenario.tree_id)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["version"] = 999
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        assert store.load(scenario.tree_id, scenario.fingerprint()) is None
+
+    def test_discard_and_len(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("a", _valid_snapshot())
+        assert len(store) == 1
+        store.discard("a")
+        store.discard("never-existed")
+        assert len(store) == 0
+
+
+def _valid_snapshot():
+    from repro.fleet.scenario import build_network, _build_simulator
+    from repro.net.serialization import (
+        dump_network, dump_progress, dump_run_snapshot,
+    )
+
+    scenario = small_scenario()
+    harp = build_network(scenario)
+    sim = _build_simulator(
+        scenario, harp.topology, harp.schedule, harp.task_set, harp.config
+    )
+    sim.run_slotframes(1)
+    return dump_run_snapshot(
+        dump_network(harp), dump_progress(sim), slotframes_done=1,
+        fingerprint=scenario.fingerprint(),
+    )
+
+
+@needs_fork
+class TestRunFleet:
+    def test_clean_campaign_matches_serial(self):
+        scenarios = fleet_scenarios(4, seed=5, **SMALL)
+        report = run_fleet(scenarios, workers=2, deadline_s=60.0,
+                           heartbeat_timeout_s=30.0)
+        baseline = run_serial_baseline(scenarios)
+        assert not check_fleet_campaign(scenarios, report, baseline)
+        assert report.stats.completed == 4
+        assert report.stats.retries == 0
+
+    def test_crashed_worker_is_retried_with_resume(self, tmp_path):
+        scenarios = [
+            small_scenario("crashy", seed=9, crash_at_slotframe=5,
+                           slotframes=8),
+        ]
+        report = run_fleet(
+            scenarios, workers=1, deadline_s=60.0,
+            heartbeat_timeout_s=30.0,
+            checkpoint_dir=str(tmp_path), checkpoint_every=2,
+        )
+        assert not check_fleet_campaign(
+            scenarios, report, run_serial_baseline(scenarios)
+        )
+        (result,) = report.results
+        assert result.attempt == 2
+        assert result.resumed_from == 4
+        assert report.stats.worker_failures == 1
+        # completion discards the checkpoint
+        assert CheckpointStore(str(tmp_path)).load("crashy") is None
+
+    def test_hung_worker_is_killed_and_retried(self):
+        scenarios = [
+            small_scenario("sleepy", seed=3, hang_at_slotframe=2,
+                           hang_seconds=120.0),
+        ]
+        report = run_fleet(
+            scenarios, workers=1, deadline_s=60.0,
+            heartbeat_timeout_s=0.5,
+        )
+        assert not check_fleet_campaign(
+            scenarios, report, run_serial_baseline(scenarios)
+        )
+        assert report.stats.hung_kills == 1
+        assert report.results[0].attempt == 2
+
+    def test_deadline_blown_worker_is_killed(self):
+        scenarios = [
+            small_scenario("slow", seed=3, hang_at_slotframe=2,
+                           hang_seconds=120.0),
+        ]
+        report = run_fleet(
+            scenarios, workers=1, deadline_s=0.7,
+            heartbeat_timeout_s=None, retry_budget=1,
+        )
+        assert report.stats.deadline_kills == 1
+        (letter,) = report.dead_letters
+        assert letter.reason == "retry-budget-exhausted"
+        assert not check_fleet_conservation(scenarios, report)
+
+    def test_retry_budget_exhaustion_dead_letters(self):
+        scenarios = [
+            small_scenario("doomed", seed=2, crash_at_slotframe=1,
+                           crash_attempts=99),
+            small_scenario("fine", seed=4),
+        ]
+        report = run_fleet(scenarios, workers=2, retry_budget=2,
+                           deadline_s=60.0, heartbeat_timeout_s=30.0,
+                           backoff_base_s=0.01)
+        assert not check_fleet_campaign(
+            scenarios, report, run_serial_baseline(scenarios)
+        )
+        (letter,) = report.dead_letters
+        assert letter.tree_id == "doomed"
+        assert letter.reason == "retry-budget-exhausted"
+        assert letter.attempts == 2
+        assert len(letter.history) == 2
+        assert [r.tree_id for r in report.results] == ["fine"]
+
+    def test_admission_valve_sheds_optional_retry(self):
+        # workers=1, queue_bound=1: "opt" dispatches, "req" fills the
+        # valve; when "opt" crashes its retry meets a full queue and,
+        # being optional, is shed — deterministically, no timing.
+        scenarios = [
+            small_scenario("opt", seed=2, optional=True,
+                           crash_at_slotframe=1, crash_attempts=99),
+            small_scenario("req", seed=4),
+        ]
+        report = run_fleet(scenarios, workers=1, queue_bound=1,
+                           retry_budget=5, deadline_s=60.0,
+                           heartbeat_timeout_s=30.0)
+        assert not check_fleet_conservation(scenarios, report)
+        (letter,) = report.dead_letters
+        assert letter.tree_id == "opt"
+        assert letter.reason == "shed-optional-overload"
+        assert report.stats.shed == 1
+        assert [r.tree_id for r in report.results] == ["req"]
+
+    def test_chaos_campaign_loses_nothing(self, tmp_path):
+        scenarios = fleet_scenarios(5, seed=11, **SMALL)
+        chaos = ChaosPlan(kills=2, seed=13, min_stride=3, max_stride=10)
+        report = run_fleet(
+            scenarios, workers=3, deadline_s=60.0,
+            heartbeat_timeout_s=30.0,
+            checkpoint_dir=str(tmp_path), checkpoint_every=3,
+            chaos=chaos,
+        )
+        assert len(report.chaos_kills) == 2
+        baseline = run_serial_baseline(scenarios)
+        assert not check_fleet_campaign(scenarios, report, baseline)
+        assert report.stats.completed == 5
+
+    def test_rejects_duplicate_tree_ids(self):
+        with pytest.raises(ValueError):
+            run_fleet([small_scenario("x"), small_scenario("x", seed=2)])
+
+
+class TestFleetOracles:
+    def _report(self, scenarios):
+        return run_fleet_serial(scenarios)
+
+    def test_lost_tree_is_a_violation(self):
+        scenarios = fleet_scenarios(2, seed=1, **SMALL)
+        report = self._report(scenarios[:1])
+        findings = check_fleet_conservation(scenarios, report)
+        assert any("lost by the fleet" in f.message for f in findings)
+
+    def test_phantom_tree_is_a_violation(self):
+        scenarios = fleet_scenarios(1, seed=1, **SMALL)
+        report = self._report(scenarios)
+        findings = check_fleet_conservation(scenarios[:0], report)
+        assert any("never admitted" in f.message for f in findings)
+
+    def test_checksum_divergence_is_a_violation(self):
+        scenarios = fleet_scenarios(1, seed=1, **SMALL)
+        report = self._report(scenarios)
+        baseline = self._report(scenarios)
+        report.results[0] = dataclasses.replace(
+            report.results[0], checksum="deadbeef"
+        )
+        findings = check_fleet_determinism(report, baseline)
+        assert any("checksum diverged" in f.message for f in findings)
+
+    def test_clean_serial_report_passes(self):
+        scenarios = fleet_scenarios(2, seed=1, **SMALL)
+        report = self._report(scenarios)
+        baseline = self._report(scenarios)
+        assert not check_fleet_campaign(scenarios, report, baseline)
+
+
+class TestStats:
+    def test_percentiles(self):
+        values = [float(v) for v in range(0, 101)]
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile([7.0], 0.99) == 7.0
+        assert _percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_build_stats_counts(self):
+        results = [
+            TreeResult("a", 10, 10, 0, 800, "c1", resumed_from=4,
+                       wall_seconds=0.5).to_dict(),
+            TreeResult("b", 9, 10, 1, 800, "c2",
+                       wall_seconds=1.5).to_dict(),
+        ]
+        stats = build_stats(
+            trees_total=3, results=results,
+            dead_letters=[{"tree_id": "c"}], shed=1, retries=2,
+            worker_crashes=1, worker_failures=0, deadline_kills=0,
+            hung_kills=1, chaos_kills=1, wall_seconds=2.0,
+        )
+        assert stats.completed == 2
+        assert stats.dead_lettered == 1
+        assert stats.resumes == 1
+        assert stats.trees_per_sec == pytest.approx(1.0)
+        assert stats.events_per_sec == pytest.approx(800.0)
+        assert stats.latency_p50_s == pytest.approx(0.5)
+        assert "2/3 completed" in stats.render()
+
+
+@needs_fork
+class TestFleetCli:
+    def test_fleet_chaos_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fleet.json"
+        bench = tmp_path / "bench.json"
+        code = main([
+            "fleet", "--trees", "3", "--nodes", "8", "--depth", "3",
+            "--slotframes", "8", "--workers", "2", "--chaos",
+            "--kills", "1", "--checkpoint-every", "3",
+            "--out", str(out), "--bench", str(bench),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "chaos verified" in captured
+        report = json.loads(out.read_text())
+        assert len(report["results"]) == 3
+        assert report["dead_letters"] == []
+        merged = json.loads(bench.read_text())
+        assert merged["fleet"]["completed"] == 3
+        assert "trees_per_sec" in merged["fleet"]
+        assert "meta" in merged["fleet"]

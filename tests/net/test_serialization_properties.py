@@ -1,0 +1,243 @@
+"""Hypothesis properties for network and progress serialization.
+
+The scripted round-trip tests pin known-good documents; these
+properties quantify over generated workloads and mid-run engine states:
+
+* mutate → dump → load → re-dump must be **byte-identical** (the
+  serialized form is canonical, so equality is string equality);
+* a restored engine must be indistinguishable from the original — the
+  two must stay byte-identical even after running *further* traffic;
+* corrupted and version-skewed documents must raise
+  :class:`SerializationError`, never garbage state.
+"""
+
+import copy
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import HarpNetwork
+from repro.net.radio import UniformPDR
+from repro.net.serialization import (
+    SerializationError,
+    dump_network,
+    dump_partitions,
+    dump_progress,
+    dump_run_snapshot,
+    dump_schedule,
+    dump_task_set,
+    dump_topology,
+    load_network,
+    load_run_snapshot,
+    restore_progress,
+)
+from repro.net.sim.engine import TSCHSimulator
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import layered_random_tree
+
+
+def canonical(document) -> str:
+    return json.dumps(document, sort_keys=True)
+
+
+def build_harp(tree_seed, num_devices, rate, num_slots):
+    topology = layered_random_tree(
+        num_devices, 3, random.Random(tree_seed)
+    )
+    harp = HarpNetwork(
+        topology,
+        e2e_task_per_node(topology, rate=rate),
+        SlotframeConfig(num_slots=num_slots, num_channels=16),
+        case1_slack=1,
+        distribute_slack=True,
+    )
+    harp.allocate()
+    return harp
+
+
+def build_sim(harp, seed, pdr, ttl):
+    return TSCHSimulator(
+        harp.topology,
+        harp.schedule,
+        harp.task_set,
+        harp.config,
+        rng=random.Random(seed),
+        loss_model=UniformPDR(pdr) if pdr < 1.0 else None,
+        max_packet_age_slots=ttl,
+    )
+
+
+network_strategy = dict(
+    tree_seed=st.integers(min_value=0, max_value=10_000),
+    num_devices=st.integers(min_value=4, max_value=14),
+    rate=st.sampled_from([0.5, 1.0, 2.0]),
+    num_slots=st.sampled_from([151, 199]),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mutations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.sampled_from([0.5, 1.0, 2.0]),
+        ),
+        max_size=3,
+    ),
+    **network_strategy,
+)
+def test_network_round_trip_byte_identical(
+    mutations, tree_seed, num_devices, rate, num_slots
+):
+    """Post-mutation network state survives dump → load → re-dump with
+    byte-identical output (rate changes exercise the adjustment path
+    so the snapshot is not just the fresh allocation)."""
+    harp = build_harp(tree_seed, num_devices, rate, num_slots)
+    for node_index, new_rate in mutations:
+        node = sorted(harp.topology.device_nodes)[
+            node_index % len(harp.topology.device_nodes)
+        ]
+        try:
+            harp.request_rate_change(node, new_rate)
+        except Exception:
+            pass  # infeasible requests are allowed to be rejected
+    document = dump_network(harp)
+    text = canonical(document)
+    topology, task_set, partitions, schedule = load_network(
+        json.loads(text)
+    )
+    redump = {
+        "kind": "harp-network",
+        "version": document["version"],
+        "topology": dump_topology(topology),
+        "tasks": dump_task_set(task_set),
+        "partitions": dump_partitions(partitions),
+        "schedule": dump_schedule(schedule),
+    }
+    assert canonical(redump) == text
+
+
+progress_strategy = dict(
+    tree_seed=st.integers(min_value=0, max_value=10_000),
+    engine_seed=st.integers(min_value=0, max_value=10_000),
+    num_devices=st.integers(min_value=4, max_value=12),
+    pdr=st.sampled_from([1.0, 0.9, 0.7]),
+    warm_slotframes=st.integers(min_value=0, max_value=6),
+    extra_slotframes=st.integers(min_value=1, max_value=5),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(**progress_strategy)
+def test_progress_round_trip_is_bitwise_resumable(
+    tree_seed, engine_seed, num_devices, pdr, warm_slotframes,
+    extra_slotframes,
+):
+    """A restored engine re-dumps byte-identically, and *stays*
+    byte-identical to the original after both run further traffic —
+    queue order, generation phase, RNG state and the metrics ledger
+    all survive the round trip."""
+    harp = build_harp(tree_seed, num_devices, 1.0, 199)
+    ttl = 4 * harp.config.num_slots
+    original = build_sim(harp, engine_seed, pdr, ttl)
+    original.run_slotframes(warm_slotframes)
+    document = json.loads(canonical(dump_progress(original)))
+
+    restored = build_sim(harp, engine_seed + 1, pdr, ttl)
+    restore_progress(restored, document)
+    assert canonical(dump_progress(restored)) == canonical(document)
+
+    original.run_slotframes(extra_slotframes)
+    restored.run_slotframes(extra_slotframes)
+    assert canonical(dump_progress(restored)) == canonical(
+        dump_progress(original)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    corruption=st.sampled_from(
+        [
+            "drop-slot",
+            "drop-tasks",
+            "version-skew",
+            "wrong-kind",
+            "truncate-packet",
+            "rng-not-list",
+            "task-not-dict",
+        ]
+    ),
+    tree_seed=st.integers(min_value=0, max_value=1_000),
+    warm_slotframes=st.integers(min_value=1, max_value=4),
+)
+def test_corrupt_progress_documents_raise(
+    corruption, tree_seed, warm_slotframes
+):
+    """Every corruption class surfaces as SerializationError before
+    any engine state is torn down."""
+    harp = build_harp(tree_seed, 6, 1.0, 151)
+    sim = build_sim(harp, tree_seed, 0.9, 4 * harp.config.num_slots)
+    sim.run_slotframes(warm_slotframes)
+    document = copy.deepcopy(dump_progress(sim))
+
+    if corruption == "drop-slot":
+        del document["slot"]
+    elif corruption == "drop-tasks":
+        del document["tasks"]
+    elif corruption == "version-skew":
+        document["version"] = 999
+    elif corruption == "wrong-kind":
+        document["kind"] = "harp-network"
+    elif corruption == "truncate-packet":
+        queues = document["uplink"] or document["downlink"]
+        if not queues:
+            return  # nothing queued this run; vacuous corruption
+        queues[0][1][0] = queues[0][1][0][:2]
+    elif corruption == "rng-not-list":
+        document["rng"] = "not-a-state"
+    elif corruption == "task-not-dict":
+        document["tasks"][0] = [1, 2, 3]
+
+    target = build_sim(harp, tree_seed, 0.9, 4 * harp.config.num_slots)
+    with pytest.raises(SerializationError):
+        restore_progress(target, document)
+
+
+class TestRunSnapshotDocuments:
+    def _snapshot(self):
+        harp = build_harp(3, 6, 1.0, 151)
+        sim = build_sim(harp, 3, 1.0, 4 * harp.config.num_slots)
+        sim.run_slotframes(2)
+        return dump_run_snapshot(
+            dump_network(harp),
+            dump_progress(sim),
+            label="prop",
+            slotframes_done=2,
+            fingerprint="abc123",
+        )
+
+    def test_round_trip_byte_identical(self):
+        snapshot = self._snapshot()
+        text = canonical(snapshot)
+        assert canonical(load_run_snapshot(json.loads(text))) == text
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("network"),
+            lambda d: d.pop("progress"),
+            lambda d: d.__setitem__("version", 999),
+            lambda d: d.__setitem__("slotframes_done", "many"),
+            lambda d: d["network"].__setitem__("kind", "engine-progress"),
+            lambda d: d["progress"].__setitem__("version", 999),
+        ],
+    )
+    def test_malformed_snapshots_raise(self, mutate):
+        snapshot = self._snapshot()
+        mutate(snapshot)
+        with pytest.raises(SerializationError):
+            load_run_snapshot(snapshot)
