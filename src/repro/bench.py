@@ -182,11 +182,25 @@ SCALE_DEPTH = 8
 #: on the reference box with exactly the scenarios below: storm_ops=12,
 #: engine_slotframes=3, seed=7).  ``None`` marks sizes the naive code
 #: was never measured at.
+#:
+#: The 10000/100000 entries were added by the incremental-demand /
+#: array-core PR, measured on *its* reference machine against the
+#: pre-PR code: the storm figure is the naive demand pipeline before
+#: the exact integer-scaled accumulation landed (the
+#: ``incremental=False`` flag alone no longer reproduces it — the
+#: summation rewrite sped the naive path up too), and the engine
+#: figures are the object core's best-of-several peak (re-measurable
+#: via ``bench_scale_engine(n, array_core=False)`` — peak, because a
+#: shared box throttles individual runs far more often than it speeds
+#: them up).
 SCALE_BASELINE: Dict[str, Dict[str, Optional[float]]] = {
     "static_seconds": {"100": 0.028, "1000": 0.222, "5000": 1.717},
-    "storm_seconds": {"100": 0.152, "1000": 1.794, "5000": 18.918},
+    "storm_seconds": {
+        "100": 0.152, "1000": 1.794, "5000": 18.918, "10000": 17.37,
+    },
     "engine_slots_per_sec": {
         "100": 749622.0, "1000": 1018910.0, "5000": 789032.0,
+        "10000": 544309.0, "100000": 115709.0,
     },
 }
 
@@ -219,7 +233,7 @@ def bench_scale_static(n: int, seed: int = 7) -> Dict[str, float]:
 
 
 def bench_scale_storm(
-    n: int, ops: int = 12, seed: int = 7
+    n: int, ops: int = 12, seed: int = 7, incremental: bool = True
 ) -> Dict[str, float]:
     """A scripted dynamics storm: rate changes, joins, parent switches
     and leaves interleaved on one allocated network.
@@ -227,15 +241,19 @@ def bench_scale_storm(
     The op script is a pure function of (n, ops, seed) and of the
     network state it evolves, so pre- and post-optimization code does
     the identical semantic work — the numbers compare like for like.
+    ``incremental=False`` is the ablation: naive full-recompute demand
+    maintenance instead of the :class:`~repro.core.demand.DemandLedger`
+    (byte-identical results, per the equivalence property suite).
     """
     from .core.dynamics import TopologyManager
 
     topology, tasks, config = _scale_network(n, seed)
     harp = HarpNetwork(
-        topology, tasks, config, case1_slack=1, distribute_slack=True
+        topology, tasks, config, case1_slack=1, distribute_slack=True,
+        incremental_demand=incremental,
     )
     harp.allocate()
-    manager = TopologyManager(harp)
+    manager = TopologyManager(harp, incremental=incremental)
     rng = random.Random(seed * 1000 + n)
     next_id = max(harp.topology.nodes) + 1
     succeeded = 0
@@ -288,10 +306,15 @@ def bench_scale_storm(
 
 
 def bench_scale_engine(
-    n: int, slotframes: int = 3, seed: int = 7
+    n: int, slotframes: int = 3, seed: int = 7, array_core: bool = False
 ) -> Dict[str, float]:
     """Engine burst at ``n`` nodes: light traffic over a wide slotframe,
-    exactly where the event-skipping core should shine."""
+    exactly where the event-skipping core should shine.
+
+    ``array_core=True`` selects the struct-of-arrays engine core
+    (bitwise-identical metrics, certified by the oracle suite) — the
+    configuration that makes the N=100000 rung tractable.
+    """
     topology, tasks, config = _scale_network(n, seed, rate=0.05)
     harp = HarpNetwork(
         topology, tasks, config, case1_slack=1, distribute_slack=True
@@ -302,6 +325,7 @@ def bench_scale_engine(
         rng=random.Random(seed),
         max_packet_age_slots=10 * config.num_slots,
         event_skipping=True,
+        array_core=array_core,
     )
     slots = slotframes * config.num_slots
     start = time.perf_counter()
@@ -320,19 +344,24 @@ def run_scale_benchmarks(
     storm_ops: int = 12,
     engine_slotframes: int = 3,
     seed: int = 7,
+    array_core: bool = False,
 ) -> Dict[str, object]:
     """Run the full scaling suite and assemble its report section.
 
     Per size: static allocation, the dynamics storm and the engine
     burst.  ``speedup_vs_baseline`` compares against the committed
     pre-optimization :data:`SCALE_BASELINE` where that was measured.
+    ``array_core=True`` runs the engine burst on the struct-of-arrays
+    core — required for the N=100000 rung to finish in nightly budget.
     """
     points: Dict[str, Dict[str, Dict[str, float]]] = {}
     speedups: Dict[str, Dict[str, float]] = {}
     for n in sizes:
         static = bench_scale_static(n, seed)
         storm = bench_scale_storm(n, storm_ops, seed)
-        engine = bench_scale_engine(n, engine_slotframes, seed)
+        engine = bench_scale_engine(
+            n, engine_slotframes, seed, array_core=array_core
+        )
         points[str(n)] = {
             "static": static, "storm": storm, "engine": engine,
         }
@@ -355,6 +384,7 @@ def run_scale_benchmarks(
         "storm_ops": storm_ops,
         "engine_slotframes": engine_slotframes,
         "seed": seed,
+        "array_core": array_core,
         "points": points,
         "baseline": {k: dict(v) for k, v in SCALE_BASELINE.items()},
         "speedup_vs_baseline": speedups,

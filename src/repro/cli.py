@@ -460,7 +460,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.scale:
         sizes = args.sizes or [100, 1000, 5000, 10000]
-        scale = run_scale_benchmarks(sizes=sizes, seed=args.seed)
+        scale = run_scale_benchmarks(
+            sizes=sizes, seed=args.seed, array_core=args.array_core
+        )
         print(render_scale_report(scale))
         if args.out is not None:
             merge_report(
@@ -591,6 +593,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--seed", type=int, default=7,
         help="workload seed for --scale scenarios",
+    )
+    p.add_argument(
+        "--array-core", action="store_true",
+        help="run the --scale engine burst on the struct-of-arrays "
+        "core (bitwise-identical; required for the N=100000 rung)",
     )
     p.set_defaults(func=cmd_bench)
 

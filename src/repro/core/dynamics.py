@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Set
 from ..net.tasks import Task, TaskSet, demands_by_parent, demands_for_parent
 from ..net.topology import Direction, LinkRef, TreeTopology
 from .adjustment import AdjustmentOutcome
+from .demand import LedgerError
 from .interface_gen import generate_interfaces
 from .manager import HarpNetwork, rate_monotonic_priority
 
@@ -76,10 +77,27 @@ class _IncrementalFailure(RuntimeError):
 
 
 class TopologyManager:
-    """Applies topology changes to a live :class:`HarpNetwork`."""
+    """Applies topology changes to a live :class:`HarpNetwork`.
 
-    def __init__(self, harp: HarpNetwork) -> None:
+    ``incremental`` selects O(affected) demand maintenance through the
+    network's :class:`~repro.core.demand.DemandLedger` plus dirty-set
+    reconciliation (only managers whose demands or schedules an op could
+    have touched are re-checked).  Defaults to whether the network keeps
+    a ledger; ``False`` forces the naive full-recompute/full-scan path,
+    kept as the equivalence oracle — both paths are certified to yield
+    byte-identical demands and schedules by the property suite and the
+    replayed fuzz corpus.
+    """
+
+    def __init__(
+        self, harp: HarpNetwork, incremental: Optional[bool] = None
+    ) -> None:
         self.harp = harp
+        self.incremental = (
+            incremental
+            if incremental is not None
+            else harp.demand_ledger is not None
+        )
 
     # ------------------------------------------------------------------
     # public operations
@@ -133,6 +151,8 @@ class TopologyManager:
     ) -> TopologyChangeReport:
         harp = self.harp
         report = TopologyChangeReport(kind=kind, node=node)
+        old_topology = harp.topology
+        old_tasks = harp.task_set
         moved = (
             set(harp.topology.subtree_span(node))
             if node in harp.topology
@@ -156,7 +176,30 @@ class TopologyManager:
         harp.adjuster.topology = new_topology
         harp.task_set = new_tasks
         harp.priority = rate_monotonic_priority(new_tasks)
-        harp.link_demands = dict(new_tasks.link_demands(new_topology))
+        if self.incremental and harp.demand_ledger is not None:
+            try:
+                harp.demand_ledger.apply_change(
+                    kind, node, old_topology, new_topology,
+                    old_tasks, new_tasks,
+                )
+            except LedgerError:
+                harp.demand_ledger.rebuild(new_topology, new_tasks)
+            harp.link_demands = dict(harp.demand_ledger.demands)
+        else:
+            if harp.demand_ledger is not None:
+                harp.demand_ledger.rebuild(new_topology, new_tasks)
+            harp.link_demands = dict(new_tasks.link_demands(new_topology))
+
+        # Managers whose demands or schedules this op can have touched:
+        # the moved subtree, both paths, and (below) every node an
+        # adjustment involved.  Only these need reconciliation — all
+        # others were left fully covered by the previous op's step 5.
+        dirty: Optional[Set[int]] = None
+        if self.incremental:
+            dirty = set(moved)
+            dirty.update(old_managers)
+            if node in new_topology:
+                dirty.update(new_topology.path_to_gateway(node))
 
         try:
             # 3. Re-register the subtree's interfaces with their new
@@ -172,11 +215,15 @@ class TopologyManager:
                 if manager in harp.topology:
                     for direction in (Direction.UP, Direction.DOWN):
                         harp._reschedule_node(manager, direction)
+            if dirty is not None:
+                for outcome in report.outcomes:
+                    dirty.update(outcome.involved_nodes)
+                    dirty.update(key[0] for key in outcome.moved_partitions)
             # 5. Safety net: every remaining link must cover its demand.
-            self._reconcile_managers(report)
+            self._reconcile_managers(report, dirty)
             if not report.success:
                 raise _IncrementalFailure()
-            self._verify_coverage()
+            self._verify_coverage(dirty)
             harp.validate()
         except Exception:
             # Incremental reconfiguration failed: fall back to the full
@@ -308,20 +355,78 @@ class TopologyManager:
                 if not outcome.success:
                     return
 
-    def _verify_coverage(self) -> None:
+    def _verify_coverage(self, dirty: Optional[Set[int]] = None) -> None:
         """Every link must hold at least its demand, or the incremental
-        path has failed and a re-bootstrap is required."""
-        harp = self.harp
-        for link, demand in harp.link_demands.items():
-            if len(harp.schedule.cells_of(link)) < demand:
-                raise _IncrementalFailure(
-                    f"link {link} holds fewer cells than its demand {demand}"
-                )
+        path has failed and a re-bootstrap is required.
 
-    def _reconcile_managers(self, report: TopologyChangeReport) -> None:
-        """Ensure every link's schedule covers its (new) demand; shrunk
-        managers reschedule inside their unchanged partitions."""
+        With a ``dirty`` set, only links managed by dirty nodes are
+        checked: all other links kept both their demand and their
+        schedule cells (the previous op ended fully covered), so the
+        restricted check certifies the same invariant.
+        """
         harp = self.harp
+        if dirty is None:
+            for link, demand in harp.link_demands.items():
+                if len(harp.schedule.cells_of(link)) < demand:
+                    raise _IncrementalFailure(
+                        f"link {link} holds fewer cells than its "
+                        f"demand {demand}"
+                    )
+            return
+        topology = harp.topology
+        demands = harp.link_demands
+        for manager in dirty:
+            if manager not in topology:
+                continue
+            for child in topology.children_of(manager):
+                for direction in (Direction.UP, Direction.DOWN):
+                    link = LinkRef(child, direction)
+                    demand = demands.get(link, 0)
+                    if demand and len(harp.schedule.cells_of(link)) < demand:
+                        raise _IncrementalFailure(
+                            f"link {link} holds fewer cells than its "
+                            f"demand {demand}"
+                        )
+
+    def _reconcile_managers(
+        self,
+        report: TopologyChangeReport,
+        dirty: Optional[Set[int]] = None,
+    ) -> None:
+        """Ensure every link's schedule covers its (new) demand; shrunk
+        managers reschedule inside their unchanged partitions.
+
+        With a ``dirty`` set only those managers are examined.  Each
+        manager's reschedule depends only on its own demands, partition
+        and the global priority order, so skipping provably-untouched
+        managers leaves the resulting schedule byte-identical to the
+        full scan (asserted by the equivalence property suite).
+        """
+        harp = self.harp
+        if dirty is not None:
+            topology = harp.topology
+            for direction in (Direction.UP, Direction.DOWN):
+                for manager in sorted(dirty):
+                    if manager not in topology:
+                        continue
+                    children = topology.children_of(manager)
+                    if not children:
+                        continue
+                    demands = demands_for_parent(
+                        topology, harp.link_demands, manager, direction
+                    )
+                    if not demands:
+                        # Lost all demand: drop stale cells.
+                        harp._reschedule_node(manager, direction)
+                        continue
+                    satisfied = all(
+                        len(harp.schedule.cells_of(LinkRef(child, direction)))
+                        >= cells
+                        for child, cells in demands.items()
+                    )
+                    if not satisfied:
+                        harp._reschedule_node(manager, direction)
+            return
         for direction in (Direction.UP, Direction.DOWN):
             per_parent = demands_by_parent(
                 harp.topology, harp.link_demands, direction

@@ -33,6 +33,7 @@ from .allocation import (
     InsufficientResourcesError,
     allocate_partitions,
 )
+from .demand import DemandLedger
 from .interface_gen import InterfaceTable, generate_interfaces
 from .link_sched import (
     PriorityFn,
@@ -131,6 +132,13 @@ class HarpNetwork:
         wider (e.g. across the networks of a sweep), or ``None``
         (default) for a private per-network cache.  Hit/miss counters
         are exposed as ``network.composition_cache.stats()``.
+    incremental_demand:
+        Maintain per-link demands incrementally through a
+        :class:`~repro.core.demand.DemandLedger` (O(affected links) per
+        dynamics op) instead of recomputing them from scratch.  Both
+        paths follow the exact summation-order contract of
+        :mod:`repro.net.tasks`, so results are byte-identical; the
+        naive path (``False``) is kept as the equivalence oracle.
     """
 
     def __init__(
@@ -147,6 +155,7 @@ class HarpNetwork:
         interleave_cells: bool = False,
         compliant_ordering: bool = True,
         composition_cache: Optional[CompositionCache] = None,
+        incremental_demand: bool = True,
     ) -> None:
         self.topology = topology
         self.task_set = task_set
@@ -164,9 +173,15 @@ class HarpNetwork:
             else CompositionCache()
         )
 
-        self.link_demands: Dict[LinkRef, int] = dict(
-            task_set.link_demands(topology)
+        self.demand_ledger: Optional[DemandLedger] = (
+            DemandLedger(topology, task_set) if incremental_demand else None
         )
+        if self.demand_ledger is not None:
+            self.link_demands: Dict[LinkRef, int] = dict(
+                self.demand_ledger.demands
+            )
+        else:
+            self.link_demands = dict(task_set.link_demands(topology))
         self.tables: Dict[Direction, InterfaceTable] = {}
         self.partitions = PartitionTable()
         self.plane = ManagementPlane(self.config, topology)
@@ -261,7 +276,14 @@ class HarpNetwork:
             task_id=task_id, old_rate=task.rate, new_rate=new_rate
         )
         new_task_set = self.task_set.with_rate(task_id, new_rate)
-        new_demands = new_task_set.link_demands(self.topology)
+        if self.demand_ledger is not None:
+            # O(path) preview from the ledger's exact sums — identical
+            # to the full recompute under the summation-order contract.
+            new_demands = self.demand_ledger.preview_rate_change(
+                self.topology, task, new_rate
+            )
+        else:
+            new_demands = new_task_set.link_demands(self.topology)
 
         affected = TaskSet.links_of_task(self.topology, task)
         # Deepest managing nodes first within each direction leg.
@@ -298,6 +320,8 @@ class HarpNetwork:
                 return report
             applied.append((link, old_demand))
 
+        if self.demand_ledger is not None:
+            self.demand_ledger.change_rate(self.topology, task, new_rate)
         self.task_set = new_task_set
         self.priority = rate_monotonic_priority(self.task_set)
         return report
@@ -396,7 +420,13 @@ class HarpNetwork:
         The fallback for topology changes the incremental machinery
         cannot absorb; costs a whole static-phase message exchange.
         """
-        self.link_demands = dict(self.task_set.link_demands(self.topology))
+        if self.demand_ledger is not None:
+            self.demand_ledger.rebuild(self.topology, self.task_set)
+            self.link_demands = dict(self.demand_ledger.demands)
+        else:
+            self.link_demands = dict(
+                self.task_set.link_demands(self.topology)
+            )
         self.tables = {}
         self.partitions = PartitionTable()
         self._schedule = None

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from ..net.serialization import SerializationError, load_run_snapshot
 
@@ -89,3 +89,88 @@ class CheckpointStore:
         return sum(
             1 for name in os.listdir(self.root) if name.endswith(".ckpt.json")
         )
+
+    def total_bytes(self) -> int:
+        """On-disk footprint of every snapshot and temp file."""
+        total = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".ckpt.json") or ".ckpt.json.tmp." in name:
+                try:
+                    total += os.path.getsize(os.path.join(self.root, name))
+                except OSError:
+                    pass
+        return total
+
+    def compact(
+        self, live: Mapping[str, str] = ()
+    ) -> Dict[str, int]:
+        """Garbage-collect the store: the campaign-end (or periodic)
+        sweep that bounds its size.
+
+        ``live`` maps tree ids that may still resume to their scenario
+        fingerprints.  Everything else goes: snapshots for trees no
+        longer in flight (completed / dead-lettered trees whose
+        ``discard`` was lost to a crash), snapshots whose fingerprint
+        no longer matches (stale — a differently-parameterised rerun
+        would ignore them anyway), unparseable snapshots, and orphaned
+        ``.tmp.*`` files from writers that died mid-write.
+
+        Returns removal counters plus the surviving footprint.
+        """
+        live = dict(live)
+        keep_files = {
+            os.path.basename(self.path(tree_id)) for tree_id in live
+        }
+        fingerprints = {
+            os.path.basename(self.path(tree_id)): fingerprint
+            for tree_id, fingerprint in live.items()
+        }
+        removed_snapshots = removed_stale = removed_temps = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            names = []
+        for name in sorted(names):
+            full = os.path.join(self.root, name)
+            if ".ckpt.json.tmp." in name:
+                # A finished writer always renames; any temp is a corpse.
+                try:
+                    os.remove(full)
+                    removed_temps += 1
+                except OSError:
+                    pass
+                continue
+            if not name.endswith(".ckpt.json"):
+                continue
+            if name not in keep_files:
+                try:
+                    os.remove(full)
+                    removed_snapshots += 1
+                except OSError:
+                    pass
+                continue
+            wanted = fingerprints.get(name, "")
+            if wanted:
+                try:
+                    with open(full) as handle:
+                        document = json.load(handle)
+                    stale = document.get("fingerprint") != wanted
+                except (OSError, json.JSONDecodeError):
+                    stale = True  # unreadable = unusable = stale
+                if stale:
+                    try:
+                        os.remove(full)
+                        removed_stale += 1
+                    except OSError:
+                        pass
+        return {
+            "removed_snapshots": removed_snapshots,
+            "removed_stale": removed_stale,
+            "removed_temps": removed_temps,
+            "remaining": len(self),
+            "remaining_bytes": self.total_bytes(),
+        }

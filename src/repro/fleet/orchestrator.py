@@ -34,7 +34,13 @@ from typing import Deque, Dict, List, Optional
 from collections import deque
 
 from .chaos import ChaosPlan
-from .scenario import TreeScenario, TreeResult, run_tree
+from .scenario import (
+    TreeScenario,
+    TreeResult,
+    build_network,
+    process_composition_cache,
+    run_tree,
+)
 from .checkpoint import CheckpointStore
 from .stats import FleetStats, build_stats
 from .supervisor import Supervisor
@@ -110,6 +116,7 @@ def run_fleet(
     checkpoint_every: int = 0,
     chaos: Optional[ChaosPlan] = None,
     poll_interval_s: float = 0.01,
+    warm_cache: bool = True,
 ) -> FleetReport:
     """Run a campaign of independent tree scenarios under supervision.
 
@@ -117,6 +124,12 @@ def run_fleet(
     ``queue_bound`` unset the valve is open (every scenario admitted
     up-front).  Requires a platform with ``fork``; the caller can fall
     back to :func:`run_fleet_serial` otherwise.
+
+    ``warm_cache`` pre-runs the first scenario's static phase in the
+    parent so every forked worker inherits a warm Algorithm-1
+    composition cache: one extra allocation up front buys cross-tree
+    packing reuse in the whole pool (layouts are unaffected — cache-on
+    and cache-off packing is certified identical).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -141,6 +154,11 @@ def run_fleet(
         checkpoint_every=checkpoint_every,
     )
 
+    if warm_cache and len(scenarios) > 1:
+        # Warm the process cache before the first fork; workers inherit
+        # the entries through copy-on-write for free.
+        build_network(scenarios[0])
+
     intake: Deque[TreeScenario] = deque(scenarios)
     pending: Deque[_Pending] = deque()
     attempts_used: Dict[str, int] = {}
@@ -153,6 +171,8 @@ def run_fleet(
     deadline_kills = hung_kills = 0
     total_heartbeats = 0
     chaos_killed: List[str] = []
+    disrupted_at: Dict[str, float] = {}
+    heal_latencies: List[float] = []
 
     def queue_full() -> bool:
         return queue_bound is not None and len(pending) >= queue_bound
@@ -195,6 +215,9 @@ def run_fleet(
         nonlocal retries, shed_count
         used = attempts_used[scenario.tree_id]
         history[scenario.tree_id].append(note)
+        # Heal clock: latency runs from the *latest* disruption to the
+        # eventual completion (backoff + queue wait + re-run).
+        disrupted_at[scenario.tree_id] = time.monotonic()
         if used >= retry_budget:
             dead_letter(scenario, "retry-budget-exhausted")
             return
@@ -242,6 +265,10 @@ def run_fleet(
             if event.kind == "completed":
                 result = TreeResult.from_dict(event.result)
                 results.append(result)
+                if result.tree_id in disrupted_at:
+                    heal_latencies.append(
+                        time.monotonic() - disrupted_at.pop(result.tree_id)
+                    )
                 if store is not None:
                     store.discard(result.tree_id)
             elif event.kind == "failed":
@@ -274,6 +301,13 @@ def run_fleet(
             time.sleep(poll_interval_s)
 
     wall = time.perf_counter() - started
+    if store is not None:
+        # Campaign-end GC: every tree is now completed or dead-lettered
+        # (both discard their snapshot on the happy path), so anything
+        # left — snapshots whose discard was lost to a crash, temp
+        # files from killed writers — is garbage.  The sweep bounds the
+        # store's size across campaigns sharing a checkpoint directory.
+        store.compact()
     stats = build_stats(
         trees_total=len(scenarios),
         results=[r.to_dict() for r in results],
@@ -286,6 +320,7 @@ def run_fleet(
         hung_kills=hung_kills,
         chaos_kills=len(chaos_killed),
         wall_seconds=wall,
+        heal_latencies=heal_latencies,
     )
     return FleetReport(
         results=results,

@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Optional
 
 from ..core.manager import HarpNetwork
+from ..packing.composition import CompositionCache
 from ..net.radio import UniformPDR
 from ..net.serialization import (
     dump_network,
@@ -163,6 +164,12 @@ class TreeResult:
     resumed_from: int = 0
     attempt: int = 1
     wall_seconds: float = 0.0
+    #: Shared-composition-cache traffic during this tree's static phase
+    #: (zero on a checkpoint resume, which skips allocation).  Not part
+    #: of the determinism contract: a warm inherited cache changes these
+    #: counters, never the layout.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -178,6 +185,20 @@ def _scenario_config(scenario: TreeScenario) -> SlotframeConfig:
     )
 
 
+#: Process-wide Algorithm-1 composition cache, shared across every tree
+#: this process allocates.  Trees in a campaign present near-identical
+#: child-interface size multisets, so packings computed for one tree
+#: replay for the next (cache-on layouts are certified identical to
+#: cache-off).  The orchestrator warms it in the parent before forking
+#: workers, so each forked worker inherits the warm entries for free.
+_PROCESS_CACHE = CompositionCache()
+
+
+def process_composition_cache() -> CompositionCache:
+    """The per-process shared composition cache (see above)."""
+    return _PROCESS_CACHE
+
+
 def build_network(scenario: TreeScenario) -> HarpNetwork:
     """The scenario's static phase: topology, tasks, full HARP
     allocation (the expensive part a checkpoint resume skips)."""
@@ -190,6 +211,7 @@ def build_network(scenario: TreeScenario) -> HarpNetwork:
         _scenario_config(scenario),
         case1_slack=1,
         distribute_slack=True,
+        composition_cache=_PROCESS_CACHE,
     )
     harp.allocate()
     harp.validate()
@@ -239,6 +261,8 @@ def run_tree(
     slotframe — the supervisor's liveness signal.
     """
     started = time.perf_counter()
+    cache_hits0 = _PROCESS_CACHE.hits
+    cache_misses0 = _PROCESS_CACHE.misses
     resumed_from = 0
     network_doc = None
     snapshot = None
@@ -311,4 +335,6 @@ def run_tree(
         resumed_from=resumed_from,
         attempt=attempt,
         wall_seconds=time.perf_counter() - started,
+        cache_hits=_PROCESS_CACHE.hits - cache_hits0,
+        cache_misses=_PROCESS_CACHE.misses - cache_misses0,
     )

@@ -33,6 +33,19 @@ class FleetStats:
     events_per_sec: float = 0.0
     latency_p50_s: float = 0.0
     latency_p99_s: float = 0.0
+    #: Shared composition-cache traffic summed over completed trees.
+    #: The cache is process-wide (warmed pre-fork by the orchestrator),
+    #: so hits measure *cross-tree* packing reuse.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    #: Heal throughput: trees that completed after at least one
+    #: disruption (crash / failure / kill).  Latency runs from the
+    #: tree's most recent disruption to its completion — backoff wait,
+    #: queue time and the re-run itself all count.
+    heals: int = 0
+    heals_per_sec: float = 0.0
+    heal_latency_mean_s: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -54,7 +67,16 @@ class FleetStats:
             f" {self.events_per_sec:,.0f} slots/s)",
             f"  tree latency   p50={self.latency_p50_s:.2f}s"
             f" p99={self.latency_p99_s:.2f}s",
+            f"  pack cache     {self.cache_hits} hits /"
+            f" {self.cache_misses} misses"
+            f" (hit rate {self.cache_hit_rate:.2f})",
         ]
+        if self.heals:
+            lines.append(
+                f"  heals          {self.heals}"
+                f" ({self.heals_per_sec:.2f}/s,"
+                f" mean latency {self.heal_latency_mean_s:.2f}s)"
+            )
         return "\n".join(lines)
 
 
@@ -70,15 +92,22 @@ def build_stats(
     hung_kills: int,
     chaos_kills: int,
     wall_seconds: float,
+    heal_latencies: List[float] = (),
 ) -> FleetStats:
     """Fold per-tree results into campaign statistics.
 
     ``events_per_sec`` counts *simulated slots* across all completed
     trees against campaign wall time — the fleet's useful-work
     throughput (retried work that never completed does not count).
+    ``heal_latencies`` carries one entry per tree that completed after
+    a disruption (seconds from its last disruption to completion).
     """
     latencies = [float(r["wall_seconds"]) for r in results]
     total_slots = sum(int(r["slots"]) for r in results)
+    cache_hits = sum(int(r.get("cache_hits", 0)) for r in results)
+    cache_misses = sum(int(r.get("cache_misses", 0)) for r in results)
+    cache_total = cache_hits + cache_misses
+    heal_latencies = list(heal_latencies)
     wall = max(wall_seconds, 1e-9)
     return FleetStats(
         trees_total=trees_total,
@@ -97,4 +126,13 @@ def build_stats(
         events_per_sec=total_slots / wall,
         latency_p50_s=_percentile(latencies, 0.50) if latencies else 0.0,
         latency_p99_s=_percentile(latencies, 0.99) if latencies else 0.0,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_hit_rate=cache_hits / cache_total if cache_total else 0.0,
+        heals=len(heal_latencies),
+        heals_per_sec=len(heal_latencies) / wall,
+        heal_latency_mean_s=(
+            sum(heal_latencies) / len(heal_latencies)
+            if heal_latencies else 0.0
+        ),
     )

@@ -1,0 +1,844 @@
+"""Struct-of-arrays engine core (the ``array_core=True`` fast path).
+
+The object engine in :mod:`repro.net.sim.engine` spends its time on
+per-packet object churn: ``LinkRef.sender()`` method dispatch per
+scheduled cell, deque scans per eligibility probe, a ``Packet``
+allocation per generation, and dict-of-list rebuilds per transmission
+step.  At 100k nodes those costs dominate the slot loop.
+
+:class:`ArrayEngineCore` replaces the hot-path state with preallocated
+column storage behind the same :class:`~repro.net.sim.engine.TSCHSimulator`
+interface:
+
+* **Task phase**: numpy ``float64`` next-generation / period columns
+  plus ``int64`` sequence and precomputed deadline columns, one slot
+  per registered task.
+* **Queue depth**: a numpy ``int64 [2, n_nodes]`` head/tail/depth
+  family over a dense node index; the queues themselves are intrusive
+  doubly-linked lists threaded through the packet pool, giving O(1)
+  append and O(1) arbitrary removal (TTL expiry, crash flush, task
+  purge).
+* **TTL**: packet lifetimes ride the simulator's existing expiry heap,
+  but entries carry ``(expiry, serial, pool_index, generation)``; a
+  per-slot generation column, bumped on every pool free, makes lazy
+  deletion safe under slot reuse.
+* **Per-cell schedule lookup**: a CSR layout over frame slots (numpy
+  ``int64`` offset/column arrays) with precomputed integer
+  sender/receiver/child/channel columns — the per-attempt
+  ``link.sender(topology)`` / ``endpoints()`` method calls of the
+  object path become indexed reads.
+
+The packet pool is struct-of-arrays over plain Python lists, and the
+CSR integer columns are mirrored into lists after each rebuild: CPython
+reads a list element ~2x faster than a numpy scalar, and the slot loop
+is scalar element access, not vectorized math.  The numpy arrays remain
+authoritative for the bulk operations (CSR construction, occupied-slot
+derivation, depth sums) where vectorization does win.
+
+Bitwise identity with the object engine is a hard contract, certified
+by the fast-vs-naive oracle suite (``tests/net/test_engine_array.py``):
+the core preserves the object path's attempt dispatch order (CSR
+entries sorted exactly like ``_rebuild_slot_index``), its RNG draw
+sequence (fault caps and loss-model calls in identical order), and its
+metrics/trace/energy bookkeeping call-for-call.  Serialization round
+trips through :meth:`materialize_object_state` /
+:meth:`ingest_object_state`, so progress documents are byte-identical
+to the object core's and runs resume across core flavors.
+
+numpy is required; the import is gated so environments without it can
+still use the object engine (``array_core=False``, the default).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional, Set, Tuple
+
+try:  # gated: the object engine must keep working without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only sans numpy
+    np = None  # type: ignore[assignment]
+
+from ..slotframe import Cell
+from ..tasks import Task
+from ..topology import Direction, LinkRef
+from .trace import TxEvent, TxOutcome
+
+#: Direction -> queue-family row (UP=0, DOWN=1).
+_UP, _DOWN = 0, 1
+
+_POOL_CAP0 = 1024
+_TASK_CAP0 = 256
+_NODE_CAP0 = 256
+
+#: Packet-pool columns (all plain-int lists except the two link
+#: pointers, which use -1 as null).
+_POOL_COLUMNS = (
+    "p_task", "p_seq", "p_source", "p_dest", "p_created",
+    "p_node", "p_dir", "p_echo", "p_inq", "p_gen", "p_nhop",
+)
+
+
+def _grown(arr: "np.ndarray", new_cap: int) -> "np.ndarray":
+    """Return ``arr`` copied into a freshly allocated array of
+    ``new_cap`` elements (tail zero-initialised)."""
+    out = np.zeros(new_cap, dtype=arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+class ArrayEngineCore:
+    """Array-backed drop-in for the simulator's hot-path state.
+
+    The owning :class:`TSCHSimulator` keeps the public surface (RNG,
+    metrics, fault plan, generation heap, TTL heap, event-skipping
+    loop) and delegates generation, transmission, expiry, flushes and
+    queue introspection here when constructed with ``array_core=True``.
+    """
+
+    def __init__(self, sim) -> None:
+        if np is None:
+            raise RuntimeError(
+                "TSCHSimulator(array_core=True) requires numpy; "
+                "install it or use the object engine (array_core=False)"
+            )
+        self.sim = sim
+
+        # -- dense node index + queue-depth family ---------------------
+        self._nidx: Dict[int, int] = {}
+        self._node_ids: List[int] = []
+        cap = max(_NODE_CAP0, len(sim.topology.nodes))
+        self.q_head = np.full((2, cap), -1, dtype=np.int64)
+        self.q_tail = np.full((2, cap), -1, dtype=np.int64)
+        self.q_depth = np.zeros((2, cap), dtype=np.int64)
+        for node in sim.topology.nodes:
+            self._ensure_node(node)
+
+        # -- packet pool (struct-of-arrays + free list) ----------------
+        self._init_pool(_POOL_CAP0)
+
+        # -- task-phase family -----------------------------------------
+        self._init_tasks(_TASK_CAP0)
+
+        # -- CSR per-cell schedule lookup ------------------------------
+        self.csr_starts = np.zeros(sim.config.num_slots + 1, dtype=np.int64)
+        self.e_channel = np.zeros(0, dtype=np.int64)
+        self.e_child = np.zeros(0, dtype=np.int64)
+        self.e_sender = np.zeros(0, dtype=np.int64)
+        self.e_receiver = np.zeros(0, dtype=np.int64)
+        self.e_is_up = np.zeros(0, dtype=np.int8)
+        self.e_cell: List[Cell] = []
+        self.e_link: List[LinkRef] = []
+        self._refresh_entry_mirrors()
+        #: Set when the topology changed under the current schedule; the
+        #: sender/receiver columns are recomputed lazily at the next
+        #: transmission step (the object path resolves endpoints per
+        #: attempt, so it tolerates the same window).
+        self._endpoints_stale = False
+
+    # ------------------------------------------------------------------
+    # storage management
+    # ------------------------------------------------------------------
+
+    def _init_pool(self, cap: int) -> None:
+        for name in _POOL_COLUMNS:
+            setattr(self, name, [0] * cap)
+        self.p_nxt: List[int] = [-1] * cap
+        self.p_prv: List[int] = [-1] * cap
+        self._p_free: List[int] = list(range(cap - 1, -1, -1))
+
+    def _init_tasks(self, cap: int) -> None:
+        self.t_next_gen = np.zeros(cap, dtype=np.float64)
+        self.t_period = np.zeros(cap, dtype=np.float64)
+        self.t_next_seq = np.zeros(cap, dtype=np.int64)
+        self.t_source = np.zeros(cap, dtype=np.int64)
+        self.t_dest = np.zeros(cap, dtype=np.int64)
+        self.t_echo = np.zeros(cap, dtype=np.int8)
+        self.t_deadline = np.zeros(cap, dtype=np.int64)
+        self._tslot: Dict[int, int] = {}
+        self._t_free: List[int] = list(range(cap - 1, -1, -1))
+
+    def _ensure_node(self, node: int) -> int:
+        idx = self._nidx.get(node)
+        if idx is not None:
+            return idx
+        idx = len(self._node_ids)
+        cap = self.q_head.shape[1]
+        if idx >= cap:
+            new_cap = cap * 2
+            for name in ("q_head", "q_tail", "q_depth"):
+                arr = getattr(self, name)
+                fill = 0 if name == "q_depth" else -1
+                out = np.full((2, new_cap), fill, dtype=arr.dtype)
+                out[:, :cap] = arr
+                setattr(self, name, out)
+        self._nidx[node] = idx
+        self._node_ids.append(node)
+        return idx
+
+    def _alloc_packet(self) -> int:
+        free = self._p_free
+        if not free:
+            cap = len(self.p_task)
+            for name in _POOL_COLUMNS:
+                getattr(self, name).extend([0] * cap)
+            self.p_nxt.extend([-1] * cap)
+            self.p_prv.extend([-1] * cap)
+            free.extend(range(2 * cap - 1, cap - 1, -1))
+        return free.pop()
+
+    def _free_packet(self, i: int) -> None:
+        self.p_inq[i] = 0
+        self.p_gen[i] += 1
+        self._p_free.append(i)
+
+    def _alloc_task_slot(self) -> int:
+        free = self._t_free
+        if not free:
+            cap = self.t_next_gen.shape[0]
+            new_cap = cap * 2
+            for name in (
+                "t_next_gen", "t_period", "t_next_seq", "t_source",
+                "t_dest", "t_echo", "t_deadline",
+            ):
+                setattr(self, name, _grown(getattr(self, name), new_cap))
+            free.extend(range(new_cap - 1, cap - 1, -1))
+        return free.pop()
+
+    # ------------------------------------------------------------------
+    # intrusive queue primitives
+    # ------------------------------------------------------------------
+
+    def _q_push(self, d: int, nidx: int, i: int) -> None:
+        tail = self.q_tail[d, nidx]
+        if tail < 0:
+            self.q_head[d, nidx] = i
+        else:
+            self.p_nxt[tail] = i
+        self.p_prv[i] = int(tail)
+        self.p_nxt[i] = -1
+        self.q_tail[d, nidx] = i
+        self.q_depth[d, nidx] += 1
+
+    def _q_remove(self, d: int, nidx: int, i: int) -> None:
+        prv = self.p_prv[i]
+        nxt = self.p_nxt[i]
+        if prv < 0:
+            self.q_head[d, nidx] = nxt
+        else:
+            self.p_nxt[prv] = nxt
+        if nxt < 0:
+            self.q_tail[d, nidx] = prv
+        else:
+            self.p_prv[nxt] = prv
+        self.q_depth[d, nidx] -= 1
+
+    # ------------------------------------------------------------------
+    # task registration / mutation (mirrors engine semantics)
+    # ------------------------------------------------------------------
+
+    def register_task(
+        self, task: Task, next_generation: float, next_seq: int = 0
+    ) -> None:
+        ts = self._alloc_task_slot()
+        self._tslot[task.task_id] = ts
+        num_slots = self.sim.config.num_slots
+        self.t_next_gen[ts] = next_generation
+        self.t_period[ts] = num_slots / task.rate
+        self.t_next_seq[ts] = next_seq
+        self.t_source[ts] = task.source
+        self.t_dest[ts] = task.downlink_target
+        self.t_echo[ts] = 1 if task.echo else 0
+        self.t_deadline[ts] = int(
+            task.effective_deadline_slotframes * num_slots
+        )
+
+    def purge_task(self, task_id: int) -> int:
+        """Drop the task's array slot and every queued packet of it;
+        returns the purge count (metrics applied by the caller)."""
+        ts = self._tslot.pop(task_id, None)
+        if ts is not None:
+            self._t_free.append(ts)
+        p_task, p_nxt = self.p_task, self.p_nxt
+        purged = 0
+        for nidx in range(len(self._node_ids)):
+            for d in (_UP, _DOWN):
+                i = int(self.q_head[d, nidx])
+                while i >= 0:
+                    nxt = p_nxt[i]
+                    if p_task[i] == task_id:
+                        self._q_remove(d, nidx, i)
+                        self._free_packet(i)
+                        purged += 1
+                    i = nxt
+        return purged
+
+    def set_task_rate(self, task_id: int, rate: float) -> None:
+        sim = self.sim
+        state = sim._tasks[task_id]
+        state.task = dc_replace(state.task, rate=rate)
+        state.period_slots = sim.config.num_slots / rate
+        ts = self._tslot[task_id]
+        self.t_period[ts] = state.period_slots
+        # The implicit deadline tracks the period, so a rate change can
+        # move it (explicit deadlines are unaffected).
+        self.t_deadline[ts] = int(
+            state.task.effective_deadline_slotframes * sim.config.num_slots
+        )
+        next_gen = max(float(self.t_next_gen[ts]), float(sim.current_slot))
+        self.t_next_gen[ts] = next_gen
+        heapq.heappush(sim._gen_heap, (math.ceil(next_gen), task_id))
+
+    def enable_traffic(self) -> None:
+        sim = self.sim
+        sim.traffic_enabled = True
+        cur = float(sim.current_slot)
+        for task_id, ts in self._tslot.items():
+            next_gen = max(float(self.t_next_gen[ts]), cur)
+            self.t_next_gen[ts] = next_gen
+            heapq.heappush(sim._gen_heap, (math.ceil(next_gen), task_id))
+
+    # ------------------------------------------------------------------
+    # schedule / topology changes
+    # ------------------------------------------------------------------
+
+    def rebuild_schedule(self) -> List[int]:
+        """Rebuild the CSR lookup; returns the sorted occupied frame
+        slots for the simulator's event-skipping search."""
+        sim = self.sim
+        rows: List[Tuple[int, int, int, Cell, LinkRef]] = []
+        for link in sim.schedule.links:
+            for cell in sim.schedule.cells_of(link):
+                rows.append((cell.slot, cell.channel, link.child, cell, link))
+        # Same dispatch order as the object path's _rebuild_slot_index:
+        # per frame slot, sorted by (cell, child); Cell is (slot,
+        # channel), so a stable global (slot, channel, child) sort gives
+        # the identical sequence.
+        rows.sort(key=lambda r: (r[0], r[1], r[2]))
+        n = len(rows)
+        num_slots = sim.config.num_slots
+        self.csr_starts = np.zeros(num_slots + 1, dtype=np.int64)
+        self.e_channel = np.fromiter(
+            (r[1] for r in rows), dtype=np.int64, count=n
+        )
+        self.e_child = np.fromiter(
+            (r[2] for r in rows), dtype=np.int64, count=n
+        )
+        self.e_is_up = np.fromiter(
+            (1 if r[4].direction is Direction.UP else 0 for r in rows),
+            dtype=np.int8,
+            count=n,
+        )
+        self.e_cell = [r[3] for r in rows]
+        self.e_link = [r[4] for r in rows]
+        counts = np.bincount(
+            np.fromiter((r[0] for r in rows), dtype=np.int64, count=n),
+            minlength=num_slots,
+        )
+        self.csr_starts[1:] = np.cumsum(counts)
+        self.e_sender = np.zeros(n, dtype=np.int64)
+        self.e_receiver = np.zeros(n, dtype=np.int64)
+        self._recompute_endpoints()
+        occupied = np.nonzero(counts)[0]
+        return [int(s) for s in occupied]
+
+    def _refresh_entry_mirrors(self) -> None:
+        """Materialise plain-list views of the CSR integer columns.
+
+        The transmission loop reads these element-wise; CPython list
+        indexing is about twice as fast as numpy scalar extraction, and
+        the columns only change on rebuild, so the mirrors are free to
+        keep coherent."""
+        self._starts = self.csr_starts.tolist()
+        self._channel = self.e_channel.tolist()
+        self._child = self.e_child.tolist()
+        self._sender = self.e_sender.tolist()
+        self._receiver = self.e_receiver.tolist()
+        self._is_up = self.e_is_up.tolist()
+
+    def _recompute_endpoints(self) -> None:
+        """Refresh the precomputed endpoint columns from the current
+        topology (UP: child -> parent; DOWN: parent -> child)."""
+        topology = self.sim.topology
+        parent_of = topology.parent_of
+        for e, link in enumerate(self.e_link):
+            child = link.child
+            parent = parent_of(child)
+            if link.direction is Direction.UP:
+                self.e_sender[e] = child
+                self.e_receiver[e] = parent
+            else:
+                self.e_sender[e] = parent
+                self.e_receiver[e] = child
+            self._ensure_node(child)
+            self._ensure_node(parent)
+        self._endpoints_stale = False
+        self._refresh_entry_mirrors()
+
+    def on_topology_change(self) -> None:
+        sim = self.sim
+        for node in sim.topology.nodes:
+            self._ensure_node(node)
+        # Defer the endpoint refresh: the live layer replaces the
+        # topology first and the schedule right after; recomputing here
+        # would resolve parents of a schedule about to be discarded.
+        self._endpoints_stale = True
+        # Re-route queued downlink packets under the new tree (the
+        # cached per-packet next hops bind to the old parent map).
+        next_hop = sim._downlink_next_hop
+        node_ids = self._node_ids
+        for i, inq in enumerate(self.p_inq):
+            if inq and self.p_dir[i] == _DOWN:
+                holder = node_ids[self.p_node[i]]
+                nhop = next_hop(holder, self.p_dest[i])
+                self.p_nhop[i] = -1 if nhop is None else nhop
+
+    # ------------------------------------------------------------------
+    # the slot loop
+    # ------------------------------------------------------------------
+
+    def generate(self) -> None:
+        sim = self.sim
+        if not sim.traffic_enabled:
+            return
+        heap = sim._gen_heap
+        cur = sim.current_slot
+        if not heap or heap[0][0] > cur:
+            return
+        t_next_gen = self.t_next_gen
+        t_period = self.t_period
+        t_next_seq = self.t_next_seq
+        max_age = sim.max_packet_age_slots
+        metrics = sim.metrics
+        while heap and heap[0][0] <= cur:
+            _, task_id = heapq.heappop(heap)
+            ts = self._tslot.get(task_id)
+            if ts is None:
+                continue  # task removed; stale heap entry
+            source = int(self.t_source[ts])
+            if source in sim.down_nodes:
+                # A crashed source generates nothing; its phase resumes
+                # from the recovery slot if it ever comes back.
+                t_next_gen[ts] = max(t_next_gen[ts], float(cur + 1))
+                heapq.heappush(heap, (cur + 1, task_id))
+                continue
+            if t_next_gen[ts] > cur:
+                # Stale entry (e.g. a rate change re-armed the task).
+                heapq.heappush(
+                    heap, (math.ceil(t_next_gen[ts]), task_id)
+                )
+                continue
+            dest = int(self.t_dest[ts])
+            echo = int(self.t_echo[ts])
+            while t_next_gen[ts] <= cur:
+                i = self._alloc_packet()
+                self.p_task[i] = task_id
+                self.p_seq[i] = int(t_next_seq[ts])
+                self.p_source[i] = source
+                self.p_dest[i] = dest
+                self.p_created[i] = cur
+                self.p_echo[i] = echo
+                t_next_seq[ts] += 1
+                t_next_gen[ts] += t_period[ts]
+                metrics.record_generation(cur)
+                if max_age is not None:
+                    sim._ttl_serial += 1
+                    heapq.heappush(
+                        sim._ttl_heap,
+                        (cur + max_age, sim._ttl_serial, i, self.p_gen[i]),
+                    )
+                self._enqueue(i, source, _UP)
+            heapq.heappush(heap, (math.ceil(t_next_gen[ts]), task_id))
+
+    def _enqueue(self, i: int, node: int, d: int) -> None:
+        sim = self.sim
+        nidx = self._nidx.get(node)
+        if nidx is None:
+            nidx = self._ensure_node(node)
+        if (
+            sim.queue_capacity is not None
+            and self.q_depth[d, nidx] >= sim.queue_capacity
+        ):
+            self._free_packet(i)
+            sim.metrics.queue_overflow_drops += 1
+            sim.metrics.dropped += 1
+            return
+        self.p_node[i] = nidx
+        self.p_dir[i] = d
+        self.p_inq[i] = 1
+        if d == _DOWN:
+            # A queued packet's next hop from its holder is fixed until
+            # the topology changes; caching it per packet replaces the
+            # per-attempt route lookup of the object path.
+            nhop = sim._downlink_next_hop(node, self.p_dest[i])
+            self.p_nhop[i] = -1 if nhop is None else nhop
+        self._q_push(d, nidx, i)
+        sim._queued_total += 1
+        depth = int(self.q_depth[d, nidx])
+        if depth > sim.metrics.max_queue_depth.get(node, 0):
+            sim.metrics.max_queue_depth[node] = depth
+
+    def expire_stale(self) -> None:
+        sim = self.sim
+        heap = sim._ttl_heap
+        cur = sim.current_slot
+        if not heap or heap[0][0] > cur:
+            return
+        expired = 0
+        while heap and heap[0][0] <= cur:
+            _, _, i, gen = heapq.heappop(heap)
+            if self.p_gen[i] != gen or not self.p_inq[i]:
+                continue  # the slot was freed (and possibly recycled)
+            self._q_remove(self.p_dir[i], self.p_node[i], i)
+            self._free_packet(i)
+            sim._queued_total -= 1
+            expired += 1
+        sim.metrics.expired_drops += expired
+        sim.metrics.dropped += expired
+
+    def flush_node_queues(self, node: int) -> None:
+        """A crash destroys the node's RAM: every queued packet is lost."""
+        sim = self.sim
+        nidx = self._nidx.get(node)
+        if nidx is None:
+            return
+        lost = 0
+        for d in (_UP, _DOWN):
+            i = int(self.q_head[d, nidx])
+            while i >= 0:
+                nxt = self.p_nxt[i]
+                self._free_packet(i)
+                lost += 1
+                i = nxt
+            self.q_head[d, nidx] = -1
+            self.q_tail[d, nidx] = -1
+            self.q_depth[d, nidx] = 0
+        sim._queued_total -= lost
+        sim.metrics.fault_drops += lost
+        sim.metrics.dropped += lost
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def transmit(self) -> None:
+        sim = self.sim
+        if self._endpoints_stale:
+            self._recompute_endpoints()
+        cur = sim.current_slot
+        frame_slot = cur % sim.config.num_slots
+        starts = self._starts
+        lo = starts[frame_slot]
+        hi = starts[frame_slot + 1]
+        if lo == hi:
+            if sim.energy is not None:
+                sim.energy.account_slot(
+                    sim.topology.nodes, set(), set(), set()
+                )
+            return
+
+        e_sender = self._sender
+        e_receiver = self._receiver
+        down = sim.down_nodes
+        metrics = sim.metrics
+
+        # Gather attempts: entry index + eligible pool index, in the
+        # same pre-sorted dispatch order as the object path.
+        attempts: List[Tuple[int, int]] = []
+        claimed: Set[int] = set()
+        for e in range(lo, hi):
+            if down and e_sender[e] in down:
+                continue  # a crashed sender is silent: no attempt at all
+            i = self._eligible(e, claimed)
+            if i >= 0:
+                attempts.append((e, i))
+                claimed.add(i)
+
+        if sim.energy is not None:
+            transmitters = {e_sender[e] for e, _ in attempts}
+            receivers = {e_receiver[e] for e, _ in attempts}
+            attempted_cells = {self.e_cell[e] for e, _ in attempts}
+            idle_listeners = {
+                e_receiver[e]
+                for e in range(lo, hi)
+                if self.e_cell[e] not in attempted_cells
+            }
+            sim.energy.account_slot(
+                sim.topology.nodes, transmitters, receivers, idle_listeners
+            )
+        if not attempts:
+            return
+        metrics.transmissions_attempted += len(attempts)
+
+        # Conflict detection; a single attempt cannot conflict, so the
+        # common sparse-traffic case skips the grouping dicts entirely.
+        failed: Dict[int, TxOutcome] = {}
+        if len(attempts) > 1:
+            by_cell: Dict[int, List[int]] = {}
+            for a, (e, _) in enumerate(attempts):
+                by_cell.setdefault(self._channel[e], []).append(a)
+            for idxs in by_cell.values():
+                if len(idxs) > 1:
+                    for a in idxs:
+                        failed[a] = TxOutcome.COLLISION
+                    metrics.collision_failures += len(idxs)
+            by_node: Dict[int, List[int]] = {}
+            for a, (e, _) in enumerate(attempts):
+                if a in failed:
+                    continue
+                by_node.setdefault(e_sender[e], []).append(a)
+                by_node.setdefault(e_receiver[e], []).append(a)
+            for idxs in by_node.values():
+                if len(idxs) > 1:
+                    for a in idxs:
+                        if a not in failed:
+                            failed[a] = TxOutcome.HALF_DUPLEX
+                            metrics.half_duplex_failures += 1
+
+        observe = getattr(sim.loss_model, "observe_cell", None)
+        trace = sim.trace
+        fault_plan = sim.fault_plan
+        for a, (e, i) in enumerate(attempts):
+            if a in failed:
+                if trace is not None:
+                    self._trace(e, i, failed[a])
+                continue
+            if down and e_receiver[e] in down:
+                metrics.fault_failures += 1
+                if trace is not None:
+                    self._trace(e, i, TxOutcome.NODE_DOWN)
+                continue
+            fault_cap = fault_plan.link_pdr_cap(self._child[e], cur)
+            if fault_cap < 1.0 and not (
+                fault_cap > 0.0 and sim.rng.random() < fault_cap
+            ):
+                metrics.fault_failures += 1
+                if trace is not None:
+                    self._trace(e, i, TxOutcome.FAULT_LOSS)
+                continue
+            if observe is not None:
+                observe(cur, self.e_cell[e])
+            if not sim.loss_model.transmission_succeeds(
+                sim.topology, self.e_link[e], sim.rng
+            ):
+                metrics.loss_failures += 1
+                if trace is not None:
+                    self._trace(e, i, TxOutcome.CHANNEL_LOSS)
+                continue
+            metrics.transmissions_succeeded += 1
+            if trace is not None:
+                self._trace(e, i, TxOutcome.DELIVERED)
+            self._complete_hop(e, i)
+
+    def _eligible(self, e: int, claimed: Set[int]) -> int:
+        """Pool index of the head-of-line packet the sender would
+        transmit on entry ``e`` (-1 when it has none)."""
+        sender = self._sender[e]
+        nidx = self._nidx[sender]
+        p_nxt = self.p_nxt
+        if self._is_up[e]:
+            i = int(self.q_head[_UP, nidx])
+            while i >= 0:
+                if i not in claimed:
+                    return i
+                i = p_nxt[i]
+            return -1
+        # Downlink: the sender relays the first queued packet whose next
+        # hop toward its destination is this link's child.
+        child = self._child[e]
+        p_nhop = self.p_nhop
+        i = int(self.q_head[_DOWN, nidx])
+        while i >= 0:
+            if i not in claimed and p_nhop[i] == child:
+                return i
+            i = p_nxt[i]
+        return -1
+
+    def _trace(self, e: int, i: int, outcome: TxOutcome) -> None:
+        self.sim.trace.record(
+            TxEvent(
+                slot=self.sim.current_slot,
+                cell=self.e_cell[e],
+                link=self.e_link[e],
+                task_id=self.p_task[i],
+                seq=self.p_seq[i],
+                outcome=outcome,
+            )
+        )
+
+    def _complete_hop(self, e: int, i: int) -> None:
+        sim = self.sim
+        receiver = self._receiver[e]
+        if self._is_up[e]:
+            self._q_remove(_UP, self.p_node[i], i)
+            self.p_inq[i] = 0
+            sim._queued_total -= 1
+            if receiver == sim.topology.gateway_id:
+                if self.p_echo[i]:
+                    # Gateway echoes the packet downlink (same identity
+                    # and creation time, per the testbed e2e tasks).
+                    self._enqueue(i, receiver, _DOWN)
+                else:
+                    self._deliver(i)
+            else:
+                self._enqueue(i, receiver, _UP)
+        else:
+            self._q_remove(_DOWN, self.p_node[i], i)
+            self.p_inq[i] = 0
+            sim._queued_total -= 1
+            if receiver == self.p_dest[i]:
+                self._deliver(i)
+            else:
+                self._enqueue(i, receiver, _DOWN)
+
+    def _deliver(self, i: int) -> None:
+        from .metrics import DeliveryRecord
+
+        sim = self.sim
+        ts = self._tslot[self.p_task[i]]
+        sim.metrics.record_delivery(
+            DeliveryRecord(
+                task_id=self.p_task[i],
+                seq=self.p_seq[i],
+                source=self.p_source[i],
+                created_slot=self.p_created[i],
+                delivered_slot=sim.current_slot + 1,
+            ),
+            deadline_slots=int(self.t_deadline[ts]),
+        )
+        self._free_packet(i)
+
+    # ------------------------------------------------------------------
+    # introspection (array-backed versions of the engine's queries)
+    # ------------------------------------------------------------------
+
+    def queued_packets(self) -> int:
+        return int(self.q_depth.sum())
+
+    def queued_at(self, nodes, direction: Direction, echo_only: bool) -> int:
+        d = _UP if direction is Direction.UP else _DOWN
+        total = 0
+        for node in nodes:
+            nidx = self._nidx.get(node)
+            if nidx is None:
+                continue
+            if echo_only:
+                i = int(self.q_head[d, nidx])
+                while i >= 0:
+                    if self.p_echo[i]:
+                        total += 1
+                    i = self.p_nxt[i]
+            else:
+                total += int(self.q_depth[d, nidx])
+        return total
+
+    def queued_into(self, nodes) -> int:
+        wanted = set(nodes)
+        p_dir, p_dest = self.p_dir, self.p_dest
+        return sum(
+            1
+            for i, inq in enumerate(self.p_inq)
+            if inq and p_dir[i] == _DOWN and p_dest[i] in wanted
+        )
+
+    # ------------------------------------------------------------------
+    # serialization bridge (object-state materialize / ingest)
+    # ------------------------------------------------------------------
+
+    def materialize_object_state(self) -> None:
+        """Project the array state back onto the simulator's object
+        mirrors (``_tasks`` counters and the per-node packet deques) so
+        ``dump_progress`` emits byte-identical documents regardless of
+        which core produced the state."""
+        from .engine import Packet
+
+        sim = self.sim
+        for task_id, ts in self._tslot.items():
+            state = sim._tasks.get(task_id)
+            if state is not None:
+                state.next_generation = float(self.t_next_gen[ts])
+                state.next_seq = int(self.t_next_seq[ts])
+        uplink: Dict[int, deque] = {n: deque() for n in sim.topology.nodes}
+        downlink: Dict[int, deque] = {n: deque() for n in sim.topology.nodes}
+        for node, nidx in self._nidx.items():
+            for d, target in ((_UP, uplink), (_DOWN, downlink)):
+                i = int(self.q_head[d, nidx])
+                if i < 0:
+                    continue
+                queue = target.setdefault(node, deque())
+                direction = Direction.UP if d == _UP else Direction.DOWN
+                while i >= 0:
+                    queue.append(
+                        Packet(
+                            task_id=self.p_task[i],
+                            seq=self.p_seq[i],
+                            source=self.p_source[i],
+                            destination=self.p_dest[i],
+                            direction=direction,
+                            created_slot=self.p_created[i],
+                            echo=bool(self.p_echo[i]),
+                            current_node=node,
+                            in_queue=True,
+                        )
+                    )
+                    i = self.p_nxt[i]
+        sim._uplink_q = uplink
+        sim._downlink_q = downlink
+
+    def ingest_object_state(self) -> None:
+        """Rebuild the array state from freshly restored object state
+        (the inverse of :meth:`materialize_object_state`, run after
+        ``restore_progress`` repopulates the object mirrors)."""
+        sim = self.sim
+        self._init_tasks(max(_TASK_CAP0, 2 * len(sim._tasks)))
+        for task_id, state in sim._tasks.items():
+            self.register_task(
+                state.task,
+                next_generation=state.next_generation,
+                next_seq=state.next_seq,
+            )
+        total = sum(len(q) for q in sim._uplink_q.values()) + sum(
+            len(q) for q in sim._downlink_q.values()
+        )
+        self._init_pool(max(_POOL_CAP0, 2 * total))
+        self.q_head[:, :] = -1
+        self.q_tail[:, :] = -1
+        self.q_depth[:, :] = 0
+        packet_to_idx: Dict[int, int] = {}
+        for d, queues in ((_UP, sim._uplink_q), (_DOWN, sim._downlink_q)):
+            for node, queue in queues.items():
+                if not queue:
+                    continue
+                nidx = self._ensure_node(node)
+                for packet in queue:
+                    i = self._alloc_packet()
+                    self.p_task[i] = packet.task_id
+                    self.p_seq[i] = packet.seq
+                    self.p_source[i] = packet.source
+                    self.p_dest[i] = packet.destination
+                    self.p_created[i] = packet.created_slot
+                    self.p_echo[i] = 1 if packet.echo else 0
+                    self.p_inq[i] = 1
+                    self.p_node[i] = nidx
+                    self.p_dir[i] = d
+                    if d == _DOWN:
+                        nhop = sim._downlink_next_hop(
+                            node, packet.destination
+                        )
+                        self.p_nhop[i] = -1 if nhop is None else nhop
+                    self._q_push(d, nidx, i)
+                    packet_to_idx[id(packet)] = i
+        # Translate TTL entries to pool references.  (expiry, serial)
+        # prefixes are unique, so swapping the payload preserves the
+        # heap invariant without a re-heapify.
+        translated = []
+        for entry in sim._ttl_heap:
+            expiry, serial, packet = entry[0], entry[1], entry[2]
+            i = packet_to_idx.get(id(packet))
+            if i is None:
+                continue  # packet left the network; stale entry
+            translated.append((expiry, serial, i, self.p_gen[i]))
+        sim._ttl_heap = translated

@@ -11,15 +11,58 @@ Rates are expressed in packets per slotframe and may be fractional
 (Fig. 10 increases node 15's rate to 1.5 packets/slotframe); per-link
 demands are the ceiling of the accumulated rate, matching a schedule
 that must cover the worst-case slotframe.
+
+Summation-order contract
+------------------------
+Per-link rate sums are accumulated as exact fixed-point integers
+(:func:`scaled_rate`), not floats: every finite float is a dyadic
+rational ``num / 2**m`` with ``m <= 1074``, so shifting by
+:data:`DEMAND_SHIFT` bits turns any task rate into an exact integer.
+Integer sums are associative and exactly reversible, which makes the
+derived demands independent of summation order — the property the
+incremental :class:`~repro.core.demand.DemandLedger` relies on to stay
+byte-identical to this from-scratch recompute while adding and removing
+individual task contributions in any order.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from .topology import Direction, LinkRef, TreeTopology
+
+#: Fixed-point scale (in bits) for exact rate accumulation.  1075 covers
+#: the largest denominator exponent of any finite float (subnormals have
+#: ``m <= 1074``), so :func:`scaled_rate` is exact for every valid rate.
+DEMAND_SHIFT = 1075
+
+_SCALED_RATE_CACHE: Dict[float, int] = {}
+
+
+def scaled_rate(rate: float) -> int:
+    """``rate`` as an exact integer in units of ``2**-DEMAND_SHIFT``."""
+    try:
+        return _SCALED_RATE_CACHE[rate]
+    except KeyError:
+        num, den = rate.as_integer_ratio()
+        scaled = num << (DEMAND_SHIFT - (den.bit_length() - 1))
+        if len(_SCALED_RATE_CACHE) < 65536:
+            _SCALED_RATE_CACHE[rate] = scaled
+        return scaled
+
+
+#: The seed's ceil guard (``ceil(rate - 1e-9)``) as an exact scaled int.
+_DEMAND_EPS_SCALED = scaled_rate(1e-9)
+
+
+def demand_from_scaled(scaled: int) -> int:
+    """``ceil(scaled / 2**DEMAND_SHIFT - 1e-9)`` without float rounding.
+
+    ``-((-v) >> s)`` is exact ceiling division by ``2**s`` (Python's
+    right shift floors toward minus infinity).
+    """
+    return -(-(scaled - _DEMAND_EPS_SCALED) >> DEMAND_SHIFT)
 
 
 @dataclass(frozen=True)
@@ -99,6 +142,9 @@ class TaskSet:
     def __len__(self) -> int:
         return len(self.tasks)
 
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._index
+
     def by_id(self, task_id: int) -> Task:
         """Look up a task by id (O(1))."""
         try:
@@ -155,11 +201,30 @@ class TaskSet:
                     rates[link] = get(link, 0.0) + rate
         return rates
 
+    def link_scaled_rates(self, topology: TreeTopology) -> Dict[LinkRef, int]:
+        """Accumulated per-link rate as exact scaled integers.
+
+        Same links and traversal order as :meth:`link_rates`, but summed
+        under the module's summation-order contract: the resulting
+        values (and the demands derived from them) are independent of
+        the order task contributions were added in.
+        """
+        sums: Dict[LinkRef, int] = {}
+        get = sums.get
+        for task in self.tasks:
+            scaled = scaled_rate(task.rate)
+            for link in topology.uplink_refs(task.source):
+                sums[link] = get(link, 0) + scaled
+            if task.echo:
+                for link in topology.downlink_refs(task.downlink_target):
+                    sums[link] = get(link, 0) + scaled
+        return sums
+
     def link_demands(self, topology: TreeTopology) -> Dict[LinkRef, int]:
         """Per-link cell requirement ``r(e)``: ceil of the summed rate."""
         return {
-            link: int(math.ceil(rate - 1e-9))
-            for link, rate in self.link_rates(topology).items()
+            link: demand_from_scaled(scaled)
+            for link, scaled in self.link_scaled_rates(topology).items()
         }
 
     def total_cells(self, topology: TreeTopology) -> int:

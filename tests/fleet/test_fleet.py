@@ -136,6 +136,38 @@ class TestCheckpointStore:
         store.discard("never-existed")
         assert len(store) == 0
 
+    def test_compact_sweeps_orphans_and_stale_snapshots(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        snapshot = _valid_snapshot()
+        store.save("finished", snapshot)  # discard lost to a crash
+        store.save("live", snapshot)      # may still resume
+        store.save("stale", snapshot)     # scenario re-parameterised
+        orphan = store.path("killed") + ".tmp.12345"
+        with open(orphan, "w") as handle:
+            handle.write("{ torn mid-write")
+        live_fp = snapshot["fingerprint"]
+        swept = store.compact(
+            {"live": live_fp, "stale": "rotated-fingerprint"}
+        )
+        assert swept["removed_snapshots"] == 1
+        assert swept["removed_stale"] == 1
+        assert swept["removed_temps"] == 1
+        assert swept["remaining"] == 1
+        assert swept["remaining_bytes"] == store.total_bytes() > 0
+        assert store.load("live", live_fp) is not None
+        assert store.load("stale") is None
+        assert not os.path.exists(orphan)
+
+    def test_compact_without_live_set_empties_the_store(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        snapshot = _valid_snapshot()
+        for i in range(4):
+            store.save(f"leak-{i}", snapshot)
+        swept = store.compact()
+        assert swept["removed_snapshots"] == 4
+        assert len(store) == 0
+        assert store.total_bytes() == 0
+
 
 def _valid_snapshot():
     from repro.fleet.scenario import build_network, _build_simulator
@@ -185,6 +217,29 @@ class TestRunFleet:
         assert report.stats.worker_failures == 1
         # completion discards the checkpoint
         assert CheckpointStore(str(tmp_path)).load("crashy") is None
+        # ... and the tree healed: one disruption-to-completion cycle.
+        assert report.stats.heals == 1
+        assert report.stats.heals_per_sec > 0
+        assert report.stats.heal_latency_mean_s > 0
+
+    def test_campaign_end_sweep_clears_leftover_checkpoints(
+        self, tmp_path
+    ):
+        # Junk an earlier crashed campaign left behind must not survive
+        # the next campaign's end-of-run compaction.
+        store = CheckpointStore(str(tmp_path))
+        store.save("zombie", _valid_snapshot())
+        with open(store.path("torn") + ".tmp.999", "w") as handle:
+            handle.write("{ torn")
+        scenarios = [small_scenario("t0", seed=1)]
+        report = run_fleet(
+            scenarios, workers=1, deadline_s=60.0,
+            heartbeat_timeout_s=30.0,
+            checkpoint_dir=str(tmp_path), checkpoint_every=2,
+        )
+        assert report.stats.completed == 1
+        assert len(store) == 0
+        assert store.total_bytes() == 0
 
     def test_hung_worker_is_killed_and_retried(self):
         scenarios = [
@@ -256,11 +311,14 @@ class TestRunFleet:
     def test_chaos_campaign_loses_nothing(self, tmp_path):
         scenarios = fleet_scenarios(5, seed=11, **SMALL)
         chaos = ChaosPlan(kills=2, seed=13, min_stride=3, max_stride=10)
+        # warm_cache off: pre-warmed workers finish so fast the chaos
+        # plan can run out of live victims before landing both kills,
+        # and this test pins the exact kill count.
         report = run_fleet(
             scenarios, workers=3, deadline_s=60.0,
             heartbeat_timeout_s=30.0,
             checkpoint_dir=str(tmp_path), checkpoint_every=3,
-            chaos=chaos,
+            chaos=chaos, warm_cache=False,
         )
         assert len(report.chaos_kills) == 2
         baseline = run_serial_baseline(scenarios)
@@ -333,6 +391,69 @@ class TestStats:
         assert stats.events_per_sec == pytest.approx(800.0)
         assert stats.latency_p50_s == pytest.approx(0.5)
         assert "2/3 completed" in stats.render()
+
+    def test_build_stats_cache_and_heal_figures(self):
+        results = [
+            TreeResult("a", 10, 10, 0, 800, "c1", wall_seconds=0.5,
+                       cache_hits=6, cache_misses=2).to_dict(),
+            TreeResult("b", 9, 10, 1, 800, "c2", wall_seconds=1.5,
+                       cache_hits=8, cache_misses=0).to_dict(),
+        ]
+        stats = build_stats(
+            trees_total=2, results=results,
+            dead_letters=[], shed=0, retries=1,
+            worker_crashes=1, worker_failures=0, deadline_kills=0,
+            hung_kills=0, chaos_kills=0, wall_seconds=4.0,
+            heal_latencies=[0.5, 1.5],
+        )
+        assert stats.cache_hits == 14
+        assert stats.cache_misses == 2
+        assert stats.cache_hit_rate == pytest.approx(14 / 16)
+        assert stats.heals == 2
+        assert stats.heals_per_sec == pytest.approx(0.5)
+        assert stats.heal_latency_mean_s == pytest.approx(1.0)
+        rendered = stats.render()
+        assert "hit rate" in rendered
+        assert "heals" in rendered
+
+    def test_stats_survive_results_without_cache_fields(self):
+        # Results serialized by an older fleet have no cache counters.
+        results = [{"tree_id": "a", "wall_seconds": 1.0, "slots": 100,
+                    "resumed_from": 0}]
+        stats = build_stats(
+            trees_total=1, results=results, dead_letters=[], shed=0,
+            retries=0, worker_crashes=0, worker_failures=0,
+            deadline_kills=0, hung_kills=0, chaos_kills=0,
+            wall_seconds=1.0,
+        )
+        assert stats.cache_hit_rate == 0.0
+        assert stats.heals == 0
+
+
+class TestSharedCompositionCache:
+    def test_cross_tree_hits_in_serial_campaign(self):
+        scenarios = fleet_scenarios(3, seed=11, **SMALL)
+        report = run_fleet_serial(scenarios)
+        stats = report.stats
+        # All three trees share one process-level cache: same campaign
+        # shape means later trees replay earlier trees' packings.
+        assert stats.cache_hits > 0
+        assert 0.0 < stats.cache_hit_rate <= 1.0
+        per_tree = {r.tree_id: r for r in report.results}
+        assert all(
+            r.cache_hits + r.cache_misses > 0 for r in per_tree.values()
+        )
+
+    def test_shared_cache_does_not_perturb_results(self):
+        from repro.fleet.scenario import process_composition_cache
+
+        scenarios = fleet_scenarios(2, seed=13, **SMALL)
+        warm = run_fleet_serial(scenarios)
+        process_composition_cache().clear()
+        cold = run_fleet_serial(scenarios)
+        assert [r.checksum for r in warm.results] == [
+            r.checksum for r in cold.results
+        ]
 
 
 @needs_fork

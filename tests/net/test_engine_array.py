@@ -1,0 +1,266 @@
+"""Fast-vs-naive oracle for the struct-of-arrays engine core.
+
+``TSCHSimulator(array_core=True)`` must be *bitwise* identical to the
+object engine: every metrics field, the conservation ledgers, the RNG
+stream, traces, energy accounting and serialized progress documents.
+Each test runs the same scenario through both cores and compares the
+full observable state.
+"""
+
+import json
+import random
+from dataclasses import fields
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.manager import HarpNetwork
+from repro.net.radio import UniformPDR
+from repro.net.serialization import dump_progress, restore_progress
+from repro.net.sim.energy import EnergyTracker
+from repro.net.sim.engine import TSCHSimulator
+from repro.net.sim.faults import FaultPlan, LinkPdrCollapse, NodeCrash
+from repro.net.sim.trace import TraceRecorder
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import Task, TaskSet, e2e_task_per_node
+from repro.net.topology import Direction, TreeTopology, regular_tree
+
+
+def build_pair(
+    fanout=3,
+    rate=0.7,
+    seed=7,
+    tasks=None,
+    **kwargs,
+):
+    """The same scenario once per core flavor."""
+    sims = []
+    for array_core in (False, True):
+        topology = regular_tree(depth=3, fanout=fanout)
+        config = SlotframeConfig(num_slots=101, num_channels=16)
+        task_set = tasks or e2e_task_per_node(topology, rate=rate)
+        network = HarpNetwork(topology, task_set, config)
+        network.allocate()
+        sims.append(
+            TSCHSimulator(
+                topology,
+                network.schedule,
+                task_set,
+                config,
+                rng=random.Random(seed),
+                array_core=array_core,
+                **kwargs,
+            )
+        )
+    return sims
+
+
+def full_state(sim):
+    out = {
+        f.name: getattr(sim.metrics, f.name)
+        for f in fields(sim.metrics)
+        if f.name != "config"
+    }
+    out["current_slot"] = sim.current_slot
+    out["queued"] = sim.queued_packets()
+    out["rng_state"] = sim.rng.getstate()
+    out["conservation"] = sim.conservation_findings()
+    return out
+
+
+def assert_identical(obj, arr):
+    state_obj, state_arr = full_state(obj), full_state(arr)
+    assert state_obj == state_arr
+    assert state_obj["conservation"] == []
+
+
+def test_basic_traffic_identical():
+    obj, arr = build_pair()
+    obj.run_slotframes(40)
+    arr.run_slotframes(40)
+    assert_identical(obj, arr)
+    assert len(obj.metrics.deliveries) > 0
+
+
+def test_lossy_channel_identical():
+    """Loss draws consume the shared RNG per attempt; the array core
+    must issue them in the exact same order."""
+    obj, arr = build_pair(loss_model=UniformPDR(0.8))
+    obj.run_slotframes(40)
+    arr.run_slotframes(40)
+    assert_identical(obj, arr)
+    assert obj.metrics.loss_failures > 0
+
+
+def test_ttl_expiry_identical():
+    obj, arr = build_pair(rate=1.5, fanout=2, max_packet_age_slots=150)
+    obj.run_slotframes(40)
+    arr.run_slotframes(40)
+    assert_identical(obj, arr)
+    assert obj.metrics.expired_drops > 0
+
+
+def test_queue_capacity_identical():
+    obj, arr = build_pair(
+        rate=1.9,
+        fanout=2,
+        queue_capacity=2,
+        loss_model=UniformPDR(0.6),
+    )
+    obj.run_slotframes(40)
+    arr.run_slotframes(40)
+    assert_identical(obj, arr)
+    assert obj.metrics.queue_overflow_drops > 0
+
+
+def test_fault_plan_identical():
+    plan = FaultPlan(
+        crashes=(
+            NodeCrash(node=2, at_slot=707, recover_slot=1513),
+            NodeCrash(node=5, at_slot=1201),
+        ),
+        link_collapses=(
+            LinkPdrCollapse(child=3, start_slot=900, end_slot=1600, pdr=0.3),
+        ),
+    )
+    obj, arr = build_pair(fanout=2, fault_plan=plan, max_packet_age_slots=400)
+    obj.run_slotframes(40)
+    arr.run_slotframes(40)
+    assert_identical(obj, arr)
+    assert obj.metrics.fault_drops > 0
+
+
+def test_energy_accounting_identical():
+    obj, arr = build_pair()
+    obj.energy = EnergyTracker(obj.config)
+    arr.energy = EnergyTracker(arr.config)
+    obj.run_slotframes(20)
+    arr.run_slotframes(20)
+    assert_identical(obj, arr)
+    state = lambda sim: {
+        node: (e.tx_slots, e.rx_slots, e.idle_slots, e.sleep_slots)
+        for node, e in sim.energy.per_node.items()
+    }
+    assert state(obj) == state(arr)
+
+
+def test_trace_identical():
+    obj, arr = build_pair(loss_model=UniformPDR(0.7))
+    obj.trace = TraceRecorder()
+    arr.trace = TraceRecorder()
+    obj.run_slotframes(15)
+    arr.run_slotframes(15)
+    assert_identical(obj, arr)
+    assert list(obj.trace) == list(arr.trace)
+    assert len(obj.trace) > 0
+
+
+def test_non_echo_tasks_identical():
+    """Uplink-terminating tasks exercise the gateway-delivery branch."""
+    topology = regular_tree(depth=3, fanout=2)
+    tasks = TaskSet(
+        tasks=[
+            Task(task_id=n, source=n, rate=0.9, echo=(n % 2 == 0))
+            for n in sorted(topology.device_nodes)
+        ]
+    )
+    obj, arr = build_pair(fanout=2, tasks=tasks)
+    obj.run_slotframes(30)
+    arr.run_slotframes(30)
+    assert_identical(obj, arr)
+
+
+def test_runtime_mutation_identical():
+    """Rate changes, add/remove task and traffic toggles mid-run."""
+    obj, arr = build_pair()
+    for sim in (obj, arr):
+        sim.run_slotframes(8)
+        sim.set_task_rate(3, 1.5)
+        sim.run_slotframes(8)
+        sim.add_task(Task(task_id=901, source=5, rate=1.0))
+        sim.run_slotframes(8)
+        sim.remove_task(901)
+        sim.remove_task(4)
+        sim.run_slotframes(4)
+        sim.disable_traffic()
+        sim.run_slots(303)
+        sim.enable_traffic()
+        sim.run_slotframes(8)
+    assert_identical(obj, arr)
+    assert obj.metrics.fault_drops > 0  # remove_task purged packets
+
+
+def test_reschedule_and_retopology_identical():
+    """Schedule replacement and re-parenting mid-run (the live layer's
+    heal path): CSR rebuild + cached next-hop invalidation."""
+    obj, arr = build_pair(rate=1.1, fanout=2)
+    for sim in (obj, arr):
+        sim.run_slotframes(10)
+        # Reparent leaf 6 under node 2 and reallocate.
+        parents = dict(sim.topology.parent_map)
+        parents[6] = 2
+        new_topology = TreeTopology(
+            parent_map=parents, gateway_id=sim.topology.gateway_id
+        )
+        sim.set_topology(new_topology)
+        harp = HarpNetwork(
+            new_topology,
+            TaskSet(tasks=[s.task for _, s in sorted(sim._tasks.items())]),
+            sim.config,
+        )
+        harp.allocate()
+        sim.set_schedule(harp.schedule)
+        sim.run_slotframes(20)
+    assert_identical(obj, arr)
+
+
+def test_queue_queries_identical():
+    obj, arr = build_pair(rate=1.5, fanout=2)
+    obj.run_slotframes(7)
+    arr.run_slotframes(7)
+    nodes = sorted(obj.topology.nodes)
+    for direction in (Direction.UP, Direction.DOWN):
+        for echo_only in (False, True):
+            assert obj.queued_at(nodes, direction, echo_only=echo_only) == (
+                arr.queued_at(nodes, direction, echo_only=echo_only)
+            )
+    subtree = nodes[len(nodes) // 2 :]
+    assert obj.queued_into(subtree) == arr.queued_into(subtree)
+
+
+def test_progress_documents_byte_identical():
+    obj, arr = build_pair(rate=1.3, fanout=2, max_packet_age_slots=300)
+    obj.run_slotframes(17)
+    arr.run_slotframes(17)
+    doc_obj = json.dumps(dump_progress(obj), sort_keys=True)
+    doc_arr = json.dumps(dump_progress(arr), sort_keys=True)
+    assert doc_obj == doc_arr
+    # Materializing must not perturb the live run.
+    obj.run_slotframes(13)
+    arr.run_slotframes(13)
+    assert_identical(obj, arr)
+
+
+def test_cross_core_resume_identical():
+    """A snapshot written by either core resumes bitwise on both."""
+    writer_obj, writer_arr = build_pair(rate=1.3, fanout=2,
+                                        max_packet_age_slots=300)
+    writer_obj.run_slotframes(17)
+    writer_arr.run_slotframes(17)
+    for doc in (dump_progress(writer_obj), dump_progress(writer_arr)):
+        doc = json.loads(json.dumps(doc))
+        resumed = []
+        for flavor_pair in (build_pair(rate=1.3, fanout=2,
+                                       max_packet_age_slots=300),):
+            for sim in flavor_pair:
+                restore_progress(sim, doc)
+                sim.run_slotframes(15)
+                resumed.append(full_state(sim))
+        assert resumed[0] == resumed[1]
+
+
+def test_array_core_flag_default_off():
+    obj, arr = build_pair()
+    assert obj._core is None
+    assert arr._core is not None
