@@ -1738,3 +1738,13 @@ class LiveHarpNetwork:
         slots = self.run_until_quiescent()
         self.stats.last_adjustment_slots = slots
         return slots
+
+    def run_workload(self, events, run_frames: int):
+        """Run ``run_frames`` slotframes under a workload event stream
+        (rate changes and joins over the air, detaches as permanent
+        crash faults) — see :func:`repro.workload.drivers.drive_live`.
+        Call after :meth:`bootstrap`; replaces any installed fault plan.
+        Returns the drive report."""
+        from ..workload.drivers import drive_live
+
+        return drive_live(self, events, run_frames)

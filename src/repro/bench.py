@@ -417,6 +417,90 @@ def render_scale_report(scale: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def run_workload_benchmark(
+    preset: str = "mixed",
+    seed: int = 7,
+    frames: float = 200.0,
+    devices: int = 24,
+    depth: int = 4,
+    sim_frames: int = 20,
+) -> Dict[str, object]:
+    """Sustained-load section for ``BENCH_perf.json``: the workload
+    engine's generation throughput (merged events/sec), trace
+    write/read throughput, and how fast the merged stream drives an
+    allocated network (applied dynamics events/sec, plus an engine
+    horizon under the final state).  The drive digest rides along so a
+    benchmark run doubles as a replay-equivalence spot check."""
+    import os
+    import tempfile
+
+    from .workload import preset_spec, read_events, write_trace
+    from .workload.drivers import drive_network, network_for_spec
+
+    spec = preset_spec(
+        preset, seed=seed, frames=frames, devices=devices, depth=depth
+    )
+    started = time.perf_counter()
+    events = list(spec.events())
+    generate_s = time.perf_counter() - started
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="bench-workload-")
+    os.close(fd)
+    try:
+        started = time.perf_counter()
+        write_trace(path, iter(events), spec=spec)
+        write_s = time.perf_counter() - started
+        started = time.perf_counter()
+        replayed = read_events(path)
+        read_s = time.perf_counter() - started
+    finally:
+        os.unlink(path)
+    assert replayed == events, "trace round-trip diverged"
+
+    harp = network_for_spec(spec)
+    started = time.perf_counter()
+    report = drive_network(harp, iter(events), sim_frames=sim_frames)
+    drive_s = time.perf_counter() - started
+
+    count = max(1, len(events))
+    return {
+        "preset": preset,
+        "seed": seed,
+        "frames": frames,
+        "devices": devices,
+        "events": len(events),
+        "events_per_sec": count / max(generate_s, 1e-9),
+        "trace_write_per_sec": count / max(write_s, 1e-9),
+        "trace_read_per_sec": count / max(read_s, 1e-9),
+        "drive_seconds": drive_s,
+        "applied": report.applied,
+        "applied_per_sec": report.applied / max(drive_s, 1e-9),
+        "skipped": report.skipped,
+        "rejected": report.rejected,
+        "rebootstraps": report.rebootstraps,
+        "digest": report.digest,
+        "metrics_digest": report.metrics,
+    }
+
+
+def render_workload_report(section: Dict[str, object]) -> str:
+    """Human-readable summary of one workload benchmark section."""
+    return "\n".join(
+        [
+            f"workload '{section['preset']}' "
+            f"({section['events']} events over {section['frames']:g} "
+            f"frames, {section['devices']} devices):",
+            f"  generate   {section['events_per_sec']:>12,.0f} events/s",
+            f"  trace out  {section['trace_write_per_sec']:>12,.0f} events/s",
+            f"  trace in   {section['trace_read_per_sec']:>12,.0f} events/s",
+            f"  drive      {section['applied_per_sec']:>12,.1f} applied/s "
+            f"({section['applied']} applied, {section['skipped']} skipped, "
+            f"{section['rejected']} rejected)",
+            f"  digest     {section['digest']}",
+        ]
+    )
+
+
 def collect_meta(seed: Optional[int] = None) -> Dict[str, object]:
     """Provenance block for benchmark JSON: what ran where, when.
 

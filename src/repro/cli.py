@@ -310,6 +310,37 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from .fleet import ChaosPlan, fleet_scenarios, run_fleet
     from .verify import check_fleet_campaign, run_serial_baseline
 
+    workload = None
+    if args.workload is not None:
+        import os
+
+        from .workload import PRESETS, preset_spec, read_trace, trace_spec
+
+        if os.path.exists(args.workload):
+            header, events = read_trace(args.workload)
+            spec = trace_spec(header)
+            # A self-describing trace reseeds per tree; a bare event
+            # log drives every tree with the same schedule.
+            workload = spec if spec is not None else list(events)
+            source = f"trace {args.workload}"
+        elif args.workload in PRESETS:
+            workload = preset_spec(
+                args.workload,
+                seed=args.seed,
+                frames=float(args.slotframes),
+                devices=args.nodes,
+                depth=args.depth,
+            )
+            source = f"preset {args.workload}"
+        else:
+            print(
+                f"--workload {args.workload!r} is neither a trace file "
+                f"nor a preset ({', '.join(PRESETS)})",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"workload: {source}")
+
     scenarios = fleet_scenarios(
         args.trees,
         seed=args.seed,
@@ -318,7 +349,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         slotframes=args.slotframes,
         pdr=args.pdr,
         optional_every=args.optional_every,
+        workload=workload,
     )
+    if workload is not None:
+        rate_events = sum(len(s.workload) for s in scenarios)
+        print(f"workload: {rate_events} rate event(s) across "
+              f"{len(scenarios)} tree(s)")
     chaos = (
         ChaosPlan(kills=args.kills, seed=args.seed)
         if args.chaos
@@ -373,6 +409,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                     "slotframes": args.slotframes,
                     "workers": args.workers,
                     "chaos_kills": len(report.chaos_kills),
+                    "workload": args.workload,
                     **report.stats.to_dict(),
                 }
             },
@@ -422,10 +459,19 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         failed = [r for r in results if r.failed]
         print(f"replayed {len(results)} counterexample(s): "
               f"{len(failed)} still failing")
+        # Mixed corpora triage per pipeline: one kind-tagged line each,
+        # so a nightly artifact shows *which* layer is still failing.
+        kinds = sorted({r.kind for r in results})
+        if len(kinds) > 1:
+            for kind in kinds:
+                of_kind = [r for r in results if r.kind == kind]
+                kind_failed = [r for r in of_kind if r.failed]
+                print(f"  {kind}: {len(of_kind)} replayed, "
+                      f"{len(kind_failed)} still failing")
         for result in failed:
             for violation in result.violations:
-                print(f"  seed {result.seed} {violation.oracle}: "
-                      f"{violation.message}")
+                print(f"  seed {result.seed} [{result.kind}] "
+                      f"{violation.oracle}: {violation.message}")
         return 1 if failed else 0
 
     if args.live:
@@ -445,6 +491,125 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         save_report(report, args.out)
         print(f"wrote {args.out}")
     return 0 if report.clean else 1
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from .workload import (
+        PRESETS,
+        preset_spec,
+        read_events,
+        read_header,
+        render_summary,
+        summarize_events,
+        trace_spec,
+        verify_trace,
+        write_trace,
+    )
+
+    if args.action == "synthesize":
+        spec = preset_spec(
+            args.preset,
+            seed=args.seed,
+            frames=args.frames,
+            devices=args.devices,
+            depth=args.depth,
+        )
+        events = list(spec.events())
+        print(f"{spec.name}: seed {spec.seed}, {spec.frames:g} frames, "
+              f"{len(spec.generators)} generator(s)")
+        print(render_summary(summarize_events(events)))
+        if args.out is not None:
+            count = write_trace(args.out, iter(events), spec=spec)
+            print(f"wrote {args.out} ({count} events)")
+        return 0
+
+    if args.action == "bench":
+        from .bench import (
+            collect_meta,
+            merge_report,
+            render_workload_report,
+            run_workload_benchmark,
+        )
+
+        section = run_workload_benchmark(
+            preset=args.preset,
+            seed=args.seed,
+            frames=args.frames,
+            devices=args.devices,
+            depth=args.depth,
+        )
+        print(render_workload_report(section))
+        if args.bench is not None:
+            merge_report(
+                args.bench,
+                {
+                    "workload": {
+                        "meta": collect_meta(seed=args.seed),
+                        **section,
+                    }
+                },
+            )
+            print(f"merged workload section into {args.bench}")
+        return 0
+
+    if args.trace is None:
+        print(f"workload {args.action} needs --trace FILE", file=sys.stderr)
+        return 2
+
+    if args.action == "describe":
+        header = read_header(args.trace)
+        spec = trace_spec(header)
+        if spec is not None:
+            kinds = ", ".join(g.get("kind", "?") for g in spec.generators)
+            print(f"spec '{spec.name}': seed {spec.seed}, "
+                  f"{spec.frames:g} frames, generators [{kinds}]")
+            if spec.network:
+                print(f"network hint: {spec.network}")
+        else:
+            print("no embedded spec (bare event log)")
+        print(render_summary(summarize_events(read_events(args.trace))))
+        return 0
+
+    if args.action == "replay":
+        # The replay certificate: structural checks + byte-identical
+        # read→write round-trip + regeneration equality (trace.py), and
+        # — when the spec carries a network hint — byte-identical drive
+        # outcomes of the recorded vs regenerated streams.
+        certificate = verify_trace(args.trace)
+        print(f"{args.trace}: {certificate['events']} event(s)")
+        for failure in certificate["failures"]:
+            print(f"  FAIL {failure}")
+        ok = certificate["ok"]
+        spec = trace_spec(read_header(args.trace))
+        if spec is not None and spec.network and not args.no_drive:
+            from .workload.drivers import drive_network, network_for_spec
+
+            recorded = drive_network(
+                network_for_spec(spec),
+                iter(read_events(args.trace)),
+                sim_frames=args.sim_frames,
+            )
+            regenerated = drive_network(
+                network_for_spec(spec),
+                spec.events(),
+                sim_frames=args.sim_frames,
+            )
+            if recorded.to_dict() == regenerated.to_dict():
+                print("drive: trace vs regeneration byte-identical")
+                print("  " + recorded.render().replace("\n", "\n  "))
+            else:
+                print("drive: trace vs regeneration DIVERGED")
+                print("  trace:        " + recorded.render().splitlines()[-1])
+                print("  regeneration: "
+                      + regenerated.render().splitlines()[-1])
+                ok = False
+        if ok:
+            print("replay certificate: ok")
+        return 0 if ok else 1
+
+    print(f"unknown workload action {args.action!r} "
+          f"(presets: {', '.join(PRESETS)})", file=sys.stderr)
+    return 2
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -706,6 +871,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="number of chaos kills (with --chaos)",
     )
     p.add_argument(
+        "--workload", default=None,
+        help="feed each tree a workload-engine rate schedule: a preset "
+        "name (per-tree reseeded streams) or a trace file (every tree "
+        "driven by the same recorded schedule)",
+    )
+    p.add_argument(
         "--out", default=None,
         help="write the full fleet report as JSON",
     )
@@ -715,6 +886,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(e.g. BENCH_perf.json)",
     )
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "workload",
+        help="synthesize, inspect and replay-certify workload traces",
+    )
+    p.add_argument(
+        "action", choices=("synthesize", "describe", "replay", "bench"),
+        help="synthesize a preset to a trace; describe a trace; "
+        "replay-certify a trace (byte-identity + drive equivalence); "
+        "bench the engine's sustained-load throughput",
+    )
+    p.add_argument(
+        "--preset", default="mixed",
+        help="preset for synthesize/bench: steady, burst, shift_change, "
+        "churn, diurnal, mixed",
+    )
+    p.add_argument("--seed", type=int, default=0, help="spec seed")
+    p.add_argument(
+        "--frames", type=float, default=60.0,
+        help="horizon in slotframes",
+    )
+    p.add_argument(
+        "--devices", type=int, default=12,
+        help="device count of the target network shape",
+    )
+    p.add_argument("--depth", type=int, default=3, help="tree depth")
+    p.add_argument(
+        "--trace", default=None,
+        help="trace file for describe/replay",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the synthesized trace to this file (JSONL)",
+    )
+    p.add_argument(
+        "--no-drive", action="store_true",
+        help="replay: skip the drive-equivalence check (structural + "
+        "byte-identity certificate only)",
+    )
+    p.add_argument(
+        "--sim-frames", type=int, default=10,
+        help="replay: engine horizon for the metrics digest (0 = none)",
+    )
+    p.add_argument(
+        "--bench", default=None,
+        help="bench: merge the workload section into this benchmark "
+        "report (e.g. BENCH_perf.json)",
+    )
+    p.set_defaults(func=cmd_workload)
 
     p = sub.add_parser(
         "fuzz", help="conformance fuzzing with invariant oracles"

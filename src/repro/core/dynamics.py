@@ -118,6 +118,34 @@ class TopologyManager:
             tasks.append(task)
         return self._apply("attach", node, new_topology, TaskSet(tasks))
 
+    def apply_event(
+        self, kind: str, node: int, parent: int = 0, rate: float = 1.0
+    ) -> object:
+        """Dispatch one dynamics stimulus by kind — the shared entry
+        point for the fuzz driver's :class:`~repro.verify.generators.
+        DynamicsOp` scripts and the workload engine's event streams.
+
+        ``rate_change`` routes through the network's Sec. V procedure
+        (returns its :class:`~repro.core.manager.RateChangeReport` —
+        a rejection is a legitimate, rolled-back outcome); the topology
+        kinds return this manager's :class:`TopologyChangeReport`.
+        """
+        if kind == "rate_change":
+            return self.harp.request_rate_change(node, rate)
+        if kind == "attach":
+            from ..net.tasks import Task
+
+            return self.attach(
+                node,
+                parent,
+                Task(task_id=node, source=node, rate=rate, echo=True),
+            )
+        if kind == "detach":
+            return self.detach(node)
+        if kind == "reparent":
+            return self.reparent(node, parent)
+        raise ValueError(f"unknown dynamics op kind {kind!r}")
+
     def detach(self, node: int) -> TopologyChangeReport:
         """Remove ``node``'s subtree (and every task it sources)."""
         harp = self.harp

@@ -1,0 +1,265 @@
+"""Shift-change study: floor-wide rate envelopes through the manager.
+
+The paper's dynamic evaluation (Fig. 10) steps *one* node's rate and
+watches the partition machinery absorb it.  An industrial floor's
+harder case is the shift change: at the whistle, every machine steps
+its reporting rate at once — quiet night shift, normal day shift, peak
+shift — and the adjustment requests all land in the same slotframe.
+
+This study drives that scenario end to end through the workload
+engine's :class:`~repro.workload.generators.ShiftEnvelope` (the same
+stream ``repro workload synthesize --preset shift_change`` writes to a
+trace): at each shift boundary the whole floor's tasks step to
+``base_rate * factor``, the HARP manager adapts, and the simulator
+queues traffic through the adjustment window.  Reported per boundary:
+how many changes were absorbed vs rejected, the management-plane cost
+(partition vs schedule-update messages), and the adaptation delay.
+Reported per shift window: the latency distribution and delivery
+ratio, showing the quiet/day/peak staircase and the transient spikes
+at the whistles.
+
+Run:  python -m repro.experiments.shift_change [--quick]
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dynamics import TopologyManager
+from ..core.manager import HarpNetwork
+from ..net.sim.engine import TSCHSimulator
+from ..net.sim.metrics import LatencyStats
+from ..net.slotframe import SlotframeConfig
+from ..net.tasks import e2e_task_per_node
+from ..net.topology import layered_random_tree
+from ..workload.generators import ShiftEnvelope
+
+
+@dataclass
+class ShiftBoundaryRecord:
+    """Adaptation cost of one whistle (all nodes stepping together)."""
+
+    at_slotframe: int
+    factor: float
+    requested: int
+    applied: int
+    rejected: int
+    partition_messages: int
+    schedule_update_messages: int
+    #: Longest single adjustment at this boundary, in slots.
+    adjustment_slots: int
+
+    @property
+    def absorbed_locally(self) -> bool:
+        """True when no partition had to move anywhere on the floor."""
+        return self.partition_messages == 0
+
+
+@dataclass
+class ShiftWindowRecord:
+    """Steady-state behaviour of one shift between whistles."""
+
+    label: str
+    factor: float
+    start_frame: int
+    end_frame: int
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    delivery_ratio: float = 0.0
+
+
+@dataclass
+class ShiftChangeResult:
+    """Everything the study measured."""
+
+    devices: int
+    period: int
+    factors: Sequence[float]
+    boundaries: List[ShiftBoundaryRecord] = field(default_factory=list)
+    windows: List[ShiftWindowRecord] = field(default_factory=list)
+    slotframe_s: float = 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"{self.devices} devices, shift period {self.period} "
+            f"slotframes, factors {tuple(self.factors)}",
+            "",
+            "whistles (all tasks step together):",
+        ]
+        for b in self.boundaries:
+            kind = (
+                "absorbed locally"
+                if b.absorbed_locally
+                else "partition adjustment"
+            )
+            lines.append(
+                f"  frame {b.at_slotframe:>3}  -> x{b.factor:<4g} "
+                f"{b.applied}/{b.requested} applied "
+                f"({b.rejected} rejected); {kind}: "
+                f"{b.partition_messages} partition msgs, "
+                f"{b.schedule_update_messages} schedule msgs, "
+                f"slowest adjustment {b.adjustment_slots} slots"
+            )
+        lines.append("")
+        lines.append("shift windows:")
+        for w in self.windows:
+            lines.append(
+                f"  {w.label:<12} frames [{w.start_frame:>3}, "
+                f"{w.end_frame:>3})  latency mean {w.latency.mean:.2f} s "
+                f"p95 {w.latency.p95:.2f} s max {w.latency.maximum:.2f} s "
+                f"({w.latency.count} deliveries, "
+                f"delivery ratio {w.delivery_ratio:.3f})"
+            )
+        return "\n".join(lines)
+
+
+_SHIFT_LABELS = ("night", "day", "peak")
+
+
+def run_shift_change(
+    devices: int = 24,
+    depth: int = 4,
+    period: int = 30,
+    factors: Sequence[float] = (0.4, 1.0, 1.6),
+    cycles: int = 2,
+    base_rate: float = 1.0,
+    config: Optional[SlotframeConfig] = None,
+    seed: int = 0,
+) -> ShiftChangeResult:
+    """Run the shift-change scenario and measure every whistle.
+
+    The event stream comes from :class:`ShiftEnvelope` — identical to
+    the ``shift_change`` workload preset — so the study is also a
+    living consumer of the workload engine: the same events, driven
+    here with full metrics instead of through the replay certificate.
+    """
+    config = config or SlotframeConfig(
+        num_slots=max(199, 8 * devices), num_channels=16
+    )
+    topology = layered_random_tree(devices, depth, random.Random(seed))
+    task_set = e2e_task_per_node(topology, rate=base_rate)
+    harp = HarpNetwork(
+        topology, task_set, config, case1_slack=1, distribute_slack=True
+    )
+    harp.allocate()
+    harp.validate()
+    manager = TopologyManager(harp)
+
+    total_frames = period * cycles
+    envelope = ShiftEnvelope(
+        "shift", seed, float(total_frames),
+        nodes=topology.device_nodes,
+        period=float(period), factors=factors, base_rate=base_rate,
+    )
+    by_frame: Dict[int, List] = {}
+    for event in envelope.events():
+        by_frame.setdefault(int(event.frame), []).append(event)
+
+    sim = TSCHSimulator(
+        topology, harp.schedule.copy(), task_set, config,
+        rng=random.Random(seed + 1),
+    )
+    result = ShiftChangeResult(
+        devices=devices, period=period, factors=tuple(factors),
+        slotframe_s=config.duration_s,
+    )
+
+    shift_length = envelope.shift_length()
+    cursor = 0
+    for frame in sorted(by_frame):
+        sim.run_slotframes(frame - cursor)
+        cursor = frame
+
+        record = ShiftBoundaryRecord(
+            at_slotframe=frame,
+            factor=by_frame[frame][0].rate / base_rate,
+            requested=len(by_frame[frame]),
+            applied=0, rejected=0,
+            partition_messages=0, schedule_update_messages=0,
+            adjustment_slots=0,
+        )
+        for event in by_frame[frame]:
+            # Traffic changes at the whistle; the network catches up.
+            sim.set_task_rate(event.node, event.rate)
+            report = manager.apply_event(
+                event.kind, event.node, parent=event.parent, rate=event.rate
+            )
+            if report.success:
+                record.applied += 1
+            else:
+                record.rejected += 1
+            record.partition_messages += report.partition_messages
+            record.schedule_update_messages += (
+                report.schedule_update_messages
+            )
+            record.adjustment_slots = max(
+                record.adjustment_slots, report.elapsed_slots
+            )
+        harp.validate()
+
+        delay_frames = -(-record.adjustment_slots // config.num_slots)
+        if delay_frames:
+            sim.run_slotframes(delay_frames)
+            cursor += delay_frames
+        sim.set_schedule(harp.schedule.copy())
+        result.boundaries.append(record)
+
+    sim.run_slotframes(max(0, total_frames - cursor))
+
+    # Per-shift steady state, measured on delivery times.
+    slots_per_frame = config.num_slots
+    for index in range(cycles * len(factors)):
+        start = int(index * shift_length)
+        end = int((index + 1) * shift_length)
+        factor = factors[index % len(factors)]
+        label = (
+            _SHIFT_LABELS[index % len(factors)]
+            if len(factors) == len(_SHIFT_LABELS)
+            else f"shift {index % len(factors)}"
+        )
+        start_slot = start * slots_per_frame
+        end_slot = end * slots_per_frame
+        values = [
+            r.latency_slots * config.slot_duration_s
+            for r in sim.metrics.deliveries
+            if start_slot <= r.delivered_slot < end_slot
+        ]
+        result.windows.append(
+            ShiftWindowRecord(
+                label=f"{label} #{index // len(factors)}",
+                factor=factor,
+                start_frame=start,
+                end_frame=end,
+                latency=LatencyStats.from_values(values),
+                delivery_ratio=sim.metrics.delivery_ratio_between(
+                    start_slot, end_slot
+                ),
+            )
+        )
+    return result
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller floor and shorter shifts",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = run_shift_change(
+            devices=12, depth=3, period=12, cycles=1, seed=args.seed
+        )
+    else:
+        result = run_shift_change(seed=args.seed)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,7 +106,7 @@ class CheckpointStore:
         return total
 
     def compact(
-        self, live: Mapping[str, str] = ()
+        self, live: Mapping[str, str] = (), max_total_bytes: Optional[int] = None
     ) -> Dict[str, int]:
         """Garbage-collect the store: the campaign-end (or periodic)
         sweep that bounds its size.
@@ -118,6 +118,15 @@ class CheckpointStore:
         no longer matches (stale — a differently-parameterised rerun
         would ignore them anyway), unparseable snapshots, and orphaned
         ``.tmp.*`` files from writers that died mid-write.
+
+        ``max_total_bytes`` additionally bounds the *surviving*
+        footprint: it is enforced strictly after the dead/stale/temp
+        sweeps (so reclaimable garbage never charges against the
+        budget), evicting live snapshots largest-first — ties broken by
+        file name — until the rest fits.  Largest-first is pinned
+        because it frees the budget in the fewest evictions: every
+        evicted tree pays a cold restart on retry, so the order that
+        keeps the most snapshots is the only acceptable one.
 
         Returns removal counters plus the surviving footprint.
         """
@@ -167,10 +176,46 @@ class CheckpointStore:
                         removed_stale += 1
                     except OSError:
                         pass
+        removed_oversize = 0
+        if max_total_bytes is not None:
+            removed_oversize = self._evict_to_bound(max_total_bytes)
         return {
             "removed_snapshots": removed_snapshots,
             "removed_stale": removed_stale,
             "removed_temps": removed_temps,
+            "removed_oversize": removed_oversize,
             "remaining": len(self),
             "remaining_bytes": self.total_bytes(),
         }
+
+    def _evict_to_bound(self, max_total_bytes: int) -> int:
+        """Evict surviving snapshots, largest first (ties by name),
+        until the footprint fits the bound.  Runs after the garbage
+        sweeps, so only genuinely live snapshots are ever charged."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        sized = []
+        for name in names:
+            if not name.endswith(".ckpt.json"):
+                continue
+            try:
+                size = os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                continue
+            sized.append((size, name))
+        total = sum(size for size, _ in sized)
+        evicted = 0
+        # Largest first; the name tiebreak keeps the order (and thus
+        # which trees cold-start on resume) platform-independent.
+        for size, name in sorted(sized, key=lambda e: (-e[0], e[1])):
+            if total <= max_total_bytes:
+                break
+            try:
+                os.remove(os.path.join(self.root, name))
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        return evicted

@@ -21,7 +21,7 @@ import json
 import random
 import time
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.manager import HarpNetwork
 from ..packing.composition import CompositionCache
@@ -74,6 +74,12 @@ class TreeScenario:
         Failure hook: attempts numbered ``<= hang_attempts`` stall for
         ``hang_seconds`` at this slotframe (exercises heartbeat /
         deadline supervision — the supervisor must SIGKILL them).
+    workload:
+        Engine-level rate schedule from the workload engine: sorted
+        ``(frame, task_id, rate)`` triples.  Before simulating frame
+        ``f``, every triple at ``f`` sets that task's generation rate.
+        Plain data (fingerprinted, checkpoint-safe: progress snapshots
+        carry per-task rates, so a resume needs no re-application).
     """
 
     tree_id: str
@@ -89,6 +95,7 @@ class TreeScenario:
     hang_at_slotframe: Optional[int] = None
     hang_attempts: int = 1
     hang_seconds: float = 3600.0
+    workload: Tuple[Tuple[int, int, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_devices < 2:
@@ -97,23 +104,44 @@ class TreeScenario:
             raise ValueError("slotframes must be >= 1")
         if not 0.0 < self.pdr <= 1.0:
             raise ValueError(f"pdr must be in (0, 1], got {self.pdr}")
+        object.__setattr__(
+            self,
+            "workload",
+            tuple(
+                (int(frame), int(task_id), float(rate))
+                for frame, task_id, rate in self.workload
+            ),
+        )
+        for frame, task_id, rate in self.workload:
+            if not 0 <= frame < self.slotframes:
+                raise ValueError(
+                    f"workload frame {frame} outside [0, {self.slotframes})"
+                )
+            if not 1 <= task_id <= self.num_devices:
+                raise ValueError(
+                    f"workload task {task_id} outside the device range"
+                )
+            if rate <= 0:
+                raise ValueError(f"workload rate must be > 0, got {rate}")
 
     def fingerprint(self) -> str:
         """Digest over everything that affects the *result* (failure
         hooks excluded: a tree that crashed on attempt 1 must accept
-        its own checkpoint on attempt 2)."""
-        payload = json.dumps(
-            {
-                "tree_id": self.tree_id,
-                "seed": self.seed,
-                "num_devices": self.num_devices,
-                "depth": self.depth,
-                "rate": self.rate,
-                "slotframes": self.slotframes,
-                "pdr": self.pdr,
-            },
-            sort_keys=True,
-        )
+        its own checkpoint on attempt 2).  The workload schedule is
+        included only when set, so plain scenarios keep their
+        fingerprints across versions."""
+        doc: Dict[str, object] = {
+            "tree_id": self.tree_id,
+            "seed": self.seed,
+            "num_devices": self.num_devices,
+            "depth": self.depth,
+            "rate": self.rate,
+            "slotframes": self.slotframes,
+            "pdr": self.pdr,
+        }
+        if self.workload:
+            doc["workload"] = [list(entry) for entry in self.workload]
+        payload = json.dumps(doc, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, object]:
@@ -121,7 +149,12 @@ class TreeScenario:
 
     @classmethod
     def from_dict(cls, document: Dict[str, object]) -> "TreeScenario":
-        return cls(**document)  # type: ignore[arg-type]
+        doc = dict(document)
+        if doc.get("workload"):
+            doc["workload"] = tuple(
+                tuple(entry) for entry in doc["workload"]  # type: ignore[union-attr]
+            )
+        return cls(**doc)  # type: ignore[arg-type]
 
 
 def fleet_scenarios(
@@ -132,10 +165,53 @@ def fleet_scenarios(
     slotframes: int = 40,
     pdr: float = 1.0,
     optional_every: int = 0,
+    workload=None,
 ) -> list:
     """A seeded campaign: ``trees`` independent scenarios with distinct
     topology seeds.  ``optional_every`` marks every n-th tree sheddable
-    (0 = none)."""
+    (0 = none).
+
+    ``workload`` feeds each tree an engine-level rate schedule from the
+    workload engine: a :class:`~repro.workload.spec.WorkloadSpec` gives
+    every tree its *own* stream (the spec reseeded per tree with the
+    house mixing constant), while a pre-materialized event sequence
+    (e.g. a replayed trace) drives every tree with the same schedule —
+    both folded onto the device range via
+    :func:`repro.workload.drivers.fleet_rate_schedule`.
+    """
+    per_tree: List[Tuple[Tuple[int, int, float], ...]] = []
+    if workload is not None:
+        from ..workload.drivers import fleet_rate_schedule
+        from ..workload.spec import SEED_MIX, WorkloadSpec
+
+        def flatten(schedule) -> Tuple[Tuple[int, int, float], ...]:
+            return tuple(
+                (frame, task_id, rate)
+                for frame in sorted(schedule)
+                for task_id, rate in schedule[frame]
+            )
+
+        if isinstance(workload, WorkloadSpec):
+            for i in range(trees):
+                derived = WorkloadSpec(
+                    name=workload.name,
+                    seed=workload.seed * SEED_MIX + i,
+                    frames=min(workload.frames, float(slotframes)),
+                    generators=workload.generators,
+                    network=workload.network,
+                )
+                per_tree.append(
+                    flatten(
+                        fleet_rate_schedule(
+                            derived.events(), num_devices, slotframes
+                        )
+                    )
+                )
+        else:
+            shared = flatten(
+                fleet_rate_schedule(list(workload), num_devices, slotframes)
+            )
+            per_tree = [shared] * trees
     return [
         TreeScenario(
             tree_id=f"tree-{seed}-{i:04d}",
@@ -145,6 +221,7 @@ def fleet_scenarios(
             slotframes=slotframes,
             pdr=pdr,
             optional=bool(optional_every and (i + 1) % optional_every == 0),
+            workload=per_tree[i] if per_tree else (),
         )
         for i in range(trees)
     ]
@@ -286,6 +363,10 @@ def run_tree(
         if checkpoint is not None and checkpoint_every:
             network_doc = dump_network(harp)
 
+    rate_events: Dict[int, List[Tuple[int, float]]] = {}
+    for frame, task_id, rate in scenario.workload:
+        rate_events.setdefault(frame, []).append((task_id, rate))
+
     for done in range(resumed_from, scenario.slotframes):
         if (
             scenario.hang_at_slotframe is not None
@@ -302,6 +383,12 @@ def run_tree(
                 f"{scenario.tree_id}: scripted crash at slotframe {done} "
                 f"(attempt {attempt})"
             )
+        # Workload rate events fire at slotframe boundaries.  A resume
+        # starts past its snapshot's frames; the rates those applied
+        # are already in the restored progress (snapshots carry
+        # per-task rates), so nothing is re-applied.
+        for task_id, rate in rate_events.get(done, ()):
+            sim.set_task_rate(task_id, rate)
         sim.run_slotframes(1)
         completed = done + 1
         if heartbeat is not None:

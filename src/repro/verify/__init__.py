@@ -15,6 +15,10 @@ This package certifies it mechanically at scale:
 * :mod:`differential` — the same scenario run through the centralized
   manager and the distributed agent runtime (schedules must be equal),
   and through HARP vs. the baseline schedulers (HARP must dominate);
+* :mod:`scenarios` — workload-backed scenario family: the workload
+  engine's preset streams (Zipf, MMPP, shift, churn, diurnal) folded
+  into dynamics scripts, so shaped load patterns run through the same
+  oracle pipeline as the uniform fuzz menu;
 * :mod:`fuzz` — the driver behind ``repro fuzz``: case/time budgets,
   JSON counterexample corpus, replay by seed, optional coverage-guided
   seed scheduling;
@@ -32,6 +36,7 @@ from .generators import (
     generate_scenario,
     shrink_scenario,
 )
+from .scenarios import generate_workload_scenario
 from .fuzz import (
     CaseResult,
     Counterexample,
@@ -78,6 +83,7 @@ __all__ = [
     "diff_schedulers",
     "generate_live_scenario",
     "generate_scenario",
+    "generate_workload_scenario",
     "replay_corpus",
     "replay_live_corpus",
     "run_case",

@@ -35,7 +35,6 @@ from typing import Any, Callable, Dict, List, Optional
 from ..core.allocation import InsufficientResourcesError
 from ..core.dynamics import TopologyManager
 from ..core.manager import HarpNetwork
-from ..net.tasks import Task
 from .differential import diff_manager_vs_agents, diff_schedulers
 from .generators import DynamicsOp, Scenario, generate_scenario, shrink_scenario
 from .oracles import Violation, check_scenario_network, run_conservation
@@ -53,6 +52,10 @@ class CaseResult:
     #: (``repro.verify.live_fuzz``); None for conformance cases.  Feeds
     #: the coverage-guided seed scheduler's feature extraction.
     live_stats: Optional[Dict[str, int]] = None
+    #: Which pipeline produced the result — ``static`` (conformance) or
+    #: ``live`` (co-simulation chaos).  ``live_stats`` can't stand in
+    #: for this: a crashed live case carries no stats.
+    kind: str = "static"
 
     @property
     def failed(self) -> bool:
@@ -64,6 +67,7 @@ class CaseResult:
             "outcome": self.outcome,
             "violations": [v.to_dict() for v in self.violations],
             "elapsed_s": round(self.elapsed_s, 4),
+            "kind": self.kind,
         }
         if self.live_stats is not None:
             doc["live_stats"] = dict(self.live_stats)
@@ -162,22 +166,11 @@ def _apply_op(
     verify the rollback left the state clean); topology changes either
     succeed, fall back to a re-bootstrap internally, or raise
     :class:`InsufficientResourcesError`, which the caller maps to the
-    ``infeasible`` outcome.
+    ``infeasible`` outcome.  Dispatch lives on the manager
+    (:meth:`TopologyManager.apply_event`) so the workload engine's
+    event streams ride the identical code path.
     """
-    if op.kind == "rate_change":
-        harp.request_rate_change(op.node, op.rate)
-    elif op.kind == "attach":
-        manager.attach(
-            op.node,
-            op.parent,
-            Task(task_id=op.node, source=op.node, rate=op.rate, echo=True),
-        )
-    elif op.kind == "detach":
-        manager.detach(op.node)
-    elif op.kind == "reparent":
-        manager.reparent(op.node, op.parent)
-    else:
-        raise ValueError(f"unknown dynamics op kind {op.kind!r}")
+    manager.apply_event(op.kind, op.node, parent=op.parent, rate=op.rate)
 
 
 def run_case(scenario: Scenario, conservation: bool = True) -> CaseResult:

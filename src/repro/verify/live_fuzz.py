@@ -532,6 +532,7 @@ def run_live_case(scenario: LiveScenario) -> CaseResult:
         violations=violations,
         elapsed_s=time.monotonic() - started,
         live_stats=live_stats,
+        kind="live",
     )
 
 

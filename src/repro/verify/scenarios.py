@@ -1,0 +1,131 @@
+"""Workload-backed fuzz scenarios: presets become a generator family.
+
+:func:`repro.verify.generators.generate_scenario` draws dynamics
+scripts from a uniform op menu — good at hitting odd corners, blind to
+the *shaped* load patterns real deployments produce.  This module
+closes that gap by deriving scenarios from the workload engine: a
+:func:`~repro.workload.spec.preset_spec` stream (Zipf mixes, MMPP
+bursts, shift envelopes, churn, diurnal modulation) is folded into a
+plain :class:`~repro.verify.generators.Scenario` dynamics script, so
+the exact event shapes ``repro workload`` synthesizes also run through
+every conformance oracle via the unmodified
+:func:`~repro.verify.fuzz.run_case` pipeline.
+
+The fold mirrors the deterministic skip rule of
+:func:`repro.workload.drivers.drive_network` — events whose operands
+don't exist when they fire are dropped — and tracks the evolving
+topology exactly like ``generators._op_nodes_alive``, so the resulting
+script is always self-consistent and shrinkable.  Timing is erased on
+purpose: the conformance pipeline is event-ordered, not clocked, and
+the merge order already fixes the sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..net.topology import TreeTopology, layered_random_tree
+from ..workload import PRESETS, preset_spec
+from .generators import DynamicsOp, Scenario, TaskSpec
+
+#: Cap on the folded script length — keeps one case's oracle bill (the
+#: structural sweep re-runs after every op, the differential oracles
+#: replay the whole script through the agent runtime) small enough for
+#: hundred-seed sweeps.
+MAX_WORKLOAD_OPS = 12
+
+
+def generate_workload_scenario(
+    seed: int, preset: Optional[str] = None
+) -> Scenario:
+    """The deterministic workload-backed scenario for one seed.
+
+    Layout matches the workload spec's own ``network`` hint (layered
+    random tree, one end-to-end echo task per device) so the scenario
+    exercises the same network shape a ``repro workload replay``
+    certificate drives.  ``preset`` pins the family; by default the
+    seed picks one, so a sequential sweep covers all of them.
+    """
+    rng = random.Random(seed)
+    devices = rng.randint(6, 12)
+    depth = rng.randint(2, 4)
+    if preset is None:
+        preset = PRESETS[rng.randrange(len(PRESETS))]
+    frames = float(rng.choice((10, 14, 18)))
+
+    spec = preset_spec(
+        preset, seed=seed, frames=frames, devices=devices, depth=depth
+    )
+    hint = spec.network or {}
+    topology = layered_random_tree(
+        int(hint.get("devices", devices)),
+        int(hint.get("depth", depth)),
+        random.Random(int(hint.get("seed", seed))),
+    )
+    tasks = tuple(
+        TaskSpec(task_id=node, source=node, rate=1.0, echo=True)
+        for node in topology.device_nodes
+    )
+
+    ops = _fold_events(spec, topology)
+    return Scenario(
+        seed=seed,
+        parent_map=dict(topology.parent_map),
+        tasks=tasks,
+        num_slots=max(199, 8 * devices),
+        num_channels=16,
+        case1_slack=1,
+        distribute_slack=True,
+        ops=tuple(ops),
+    )
+
+
+def _fold_events(spec, topology: TreeTopology) -> List[DynamicsOp]:
+    """Merge-ordered events -> self-consistent dynamics script."""
+    ops: List[DynamicsOp] = []
+    live = topology
+    live_tasks = set(topology.device_nodes)
+    for event in spec.events():
+        if len(ops) >= MAX_WORKLOAD_OPS:
+            break
+        if event.kind == "rate_change":
+            if event.node not in live_tasks:
+                continue
+            ops.append(
+                DynamicsOp("rate_change", event.node, rate=event.rate)
+            )
+        elif event.kind == "attach":
+            if event.node in live or event.parent not in live:
+                continue
+            ops.append(
+                DynamicsOp(
+                    "attach", event.node,
+                    parent=event.parent, rate=event.rate,
+                )
+            )
+            live = live.with_attached(event.node, event.parent)
+            live_tasks.add(event.node)
+        elif event.kind == "detach":
+            if event.node not in live or event.node == live.gateway_id:
+                continue
+            removed = set(live.subtree_nodes(event.node))
+            if len(live.device_nodes) - len(removed) < 1:
+                continue
+            ops.append(DynamicsOp("detach", event.node))
+            live = live.with_detached(event.node)
+            live_tasks -= removed
+        elif event.kind == "reparent":
+            if (
+                event.node not in live
+                or event.parent not in live
+                or event.node == live.gateway_id
+                or event.parent == event.node
+                or event.parent in live.subtree_nodes(event.node)
+            ):
+                continue
+            ops.append(
+                DynamicsOp("reparent", event.node, parent=event.parent)
+            )
+            live = live.with_reparented(event.node, event.parent)
+    return ops

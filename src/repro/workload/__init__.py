@@ -1,0 +1,81 @@
+"""Trace- and distribution-driven workload engine.
+
+Composable, seeded, iterable event generators (Zipf rate mixes,
+Poisson/MMPP bursts, diurnal/shift envelopes, churn processes) merged
+into one time-ordered stream via a heap, serializable to JSONL traces
+that replay byte-for-byte, and consumable by the dynamics, live-agent
+and fleet layers.  See DESIGN.md §16.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    WorkloadEvent,
+    events_equal,
+    merge_streams,
+    render_summary,
+    summarize_events,
+)
+from .generators import (
+    ChurnProcess,
+    DiurnalModulation,
+    EventGenerator,
+    GENERATOR_KINDS,
+    MMPPBursts,
+    PoissonBursts,
+    ShiftEnvelope,
+    ZipfRateMix,
+    build_generator,
+)
+from .spec import PRESETS, WorkloadSpec, build_workload, preset_spec
+from .trace import (
+    read_events,
+    read_header,
+    read_trace,
+    trace_spec,
+    verify_trace,
+    write_trace,
+)
+from .drivers import (
+    DriveReport,
+    LiveDriveReport,
+    drive_live,
+    drive_network,
+    fleet_rate_schedule,
+    metrics_digest,
+    network_digest,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "WorkloadEvent",
+    "events_equal",
+    "merge_streams",
+    "render_summary",
+    "summarize_events",
+    "EventGenerator",
+    "GENERATOR_KINDS",
+    "ZipfRateMix",
+    "PoissonBursts",
+    "MMPPBursts",
+    "ShiftEnvelope",
+    "ChurnProcess",
+    "DiurnalModulation",
+    "build_generator",
+    "PRESETS",
+    "WorkloadSpec",
+    "build_workload",
+    "preset_spec",
+    "write_trace",
+    "read_trace",
+    "read_header",
+    "read_events",
+    "trace_spec",
+    "verify_trace",
+    "DriveReport",
+    "LiveDriveReport",
+    "drive_network",
+    "drive_live",
+    "fleet_rate_schedule",
+    "network_digest",
+    "metrics_digest",
+]

@@ -1,0 +1,369 @@
+"""Adapters that feed a workload event stream into the stack's layers.
+
+Three consumers, mirroring the three ways the repo already exercises
+dynamics:
+
+:func:`drive_network`
+    The *manager* layer: events become
+    :meth:`~repro.core.dynamics.TopologyManager.apply_event` calls on a
+    live :class:`~repro.core.manager.HarpNetwork`.  Returns a
+    :class:`DriveReport` whose digest covers the final demands,
+    schedule and serialized network (optionally plus engine metrics
+    after a short simulation) — the byte-identity witness the replay
+    certificate and the property suite compare.
+:func:`drive_live`
+    The *live agent* layer: rate changes and joins ride the over-the-
+    air protocol (:meth:`LiveHarpNetwork.change_rate` /
+    :meth:`join_leaf` at slotframe boundaries); detaches become
+    permanent :class:`NodeCrash` fault events, exactly how the live
+    chaos fuzzer injects departures.
+:func:`fleet_rate_schedule`
+    The *fleet* layer: rate-change events become a per-slotframe
+    ``{frame: [(task_id, rate), ...]}`` schedule a
+    :class:`~repro.fleet.scenario.TreeScenario` applies between
+    simulated slotframes (topology is fixed mid-run there, so only
+    rate events apply; targets are folded onto the tree's device range
+    so any trace fits any tree).
+
+Every adapter *skips* events whose operands don't exist when the event
+fires (a churn stream composed with a detach-happy one can orphan
+targets) — deterministically, so a replay skips the identical set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.allocation import InsufficientResourcesError
+from ..core.dynamics import TopologyManager
+from ..core.manager import HarpNetwork
+from .events import WorkloadEvent
+
+
+def _sha(payload: Any) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def network_digest(harp: HarpNetwork) -> str:
+    """Digest of the manager-layer observable state: per-link demands,
+    every link's cells, and the full serialized network document."""
+    from ..net.serialization import dump_network
+
+    schedule = harp.schedule
+    return _sha(
+        {
+            "demands": {
+                str(link): demand
+                for link, demand in sorted(
+                    harp.link_demands.items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "schedule": {
+                str(link): [list(cell) for cell in schedule.cells_of(link)]
+                for link in sorted(schedule.links, key=str)
+            },
+            "network": dump_network(harp),
+        }
+    )
+
+
+def metrics_digest(sim) -> str:
+    """Digest of an engine run's full progress document (minus the RNG
+    blob), mirroring the fleet's ``result_checksum``."""
+    from ..net.serialization import dump_progress
+
+    document = dump_progress(sim)
+    document.pop("rng", None)
+    return _sha(document)
+
+
+@dataclass
+class DriveReport:
+    """Outcome of driving one event stream into a network."""
+
+    applied: int = 0
+    skipped: int = 0
+    rejected: int = 0
+    rebootstraps: int = 0
+    #: Index of the event that raised InsufficientResourcesError (the
+    #: stream stops there, deterministically), or None.
+    stopped_at: Optional[int] = None
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    digest: str = ""
+    metrics: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "applied": self.applied,
+            "skipped": self.skipped,
+            "rejected": self.rejected,
+            "rebootstraps": self.rebootstraps,
+            "stopped_at": self.stopped_at,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "digest": self.digest,
+            "metrics": self.metrics,
+        }
+
+    def render(self) -> str:
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.by_kind.items())
+        )
+        line = (
+            f"{self.applied} applied ({kinds or 'none'}), "
+            f"{self.skipped} skipped, {self.rejected} rejected, "
+            f"{self.rebootstraps} rebootstrap(s)"
+        )
+        if self.stopped_at is not None:
+            line += f", stopped at event {self.stopped_at} (infeasible)"
+        line += f"\ndigest {self.digest}"
+        if self.metrics is not None:
+            line += f"  metrics {self.metrics}"
+        return line
+
+
+def network_for_spec(spec) -> HarpNetwork:
+    """Build the allocated network a spec's ``network`` hint describes
+    (layered random tree, one e2e task per device — the fleet's
+    scenario shape), falling back to a small default when the hint is
+    absent.  Deterministic, so replay and regeneration drive equal
+    networks."""
+    from ..net.slotframe import SlotframeConfig
+    from ..net.tasks import e2e_task_per_node
+    from ..net.topology import layered_random_tree
+
+    hint = spec.network or {}
+    devices = int(hint.get("devices", 12))
+    depth = int(hint.get("depth", 3))
+    seed = int(hint.get("seed", spec.seed))
+    topology = layered_random_tree(devices, depth, random.Random(seed))
+    harp = HarpNetwork(
+        topology,
+        e2e_task_per_node(topology, rate=1.0),
+        SlotframeConfig(num_slots=max(199, 8 * devices), num_channels=16),
+        case1_slack=1,
+        distribute_slack=True,
+    )
+    harp.allocate()
+    harp.validate()
+    return harp
+
+
+def _event_applicable(harp: HarpNetwork, event: WorkloadEvent) -> bool:
+    """Whether the event's operands exist right now (the deterministic
+    skip rule — mirrors the fuzz generator's validity tracking)."""
+    topology = harp.topology
+    if event.kind == "rate_change":
+        try:
+            harp.task_set.by_id(event.node)
+        except KeyError:
+            return False
+        return True
+    if event.kind == "attach":
+        return event.node not in topology and event.parent in topology
+    if event.kind == "detach":
+        if event.node not in topology or event.node == topology.gateway_id:
+            return False
+        removed = set(topology.subtree_nodes(event.node))
+        return len(topology.device_nodes) - len(removed) >= 1
+    if event.kind == "reparent":
+        return (
+            event.node in topology
+            and event.parent in topology
+            and event.node != topology.gateway_id
+            and event.parent != event.node
+            and event.parent not in topology.subtree_nodes(event.node)
+        )
+    return False
+
+
+def drive_network(
+    harp: HarpNetwork,
+    events: Iterable[WorkloadEvent],
+    manager: Optional[TopologyManager] = None,
+    sim_frames: int = 0,
+) -> DriveReport:
+    """Apply an event stream to an allocated network (see module
+    docstring).  A rejected rate change counts and continues (the
+    rollback is certified elsewhere); an infeasible topology change
+    stops the stream at that event.  With ``sim_frames`` the final
+    network also runs that many slotframes through the engine (seeded
+    by the frame count) and the report carries a metrics digest.
+    """
+    if manager is None:
+        manager = TopologyManager(harp)
+    report = DriveReport()
+    for index, event in enumerate(events):
+        if not _event_applicable(harp, event):
+            report.skipped += 1
+            continue
+        try:
+            outcome = manager.apply_event(
+                event.kind, event.node, parent=event.parent, rate=event.rate
+            )
+        except InsufficientResourcesError:
+            report.stopped_at = index
+            break
+        report.applied += 1
+        report.by_kind[event.kind] = report.by_kind.get(event.kind, 0) + 1
+        if getattr(outcome, "rebootstrapped", False):
+            report.rebootstraps += 1
+        if not outcome.success:
+            report.rejected += 1
+    report.digest = network_digest(harp)
+    if sim_frames > 0:
+        from ..net.sim.engine import TSCHSimulator
+
+        sim = TSCHSimulator(
+            harp.topology,
+            harp.schedule,
+            harp.task_set,
+            harp.config,
+            rng=random.Random(sim_frames),
+        )
+        sim.run_slotframes(sim_frames)
+        report.metrics = metrics_digest(sim)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# live agent layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LiveDriveReport:
+    """Outcome of driving an event stream through the live layer."""
+
+    applied: int = 0
+    skipped: int = 0
+    detaches_scheduled: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "applied": self.applied,
+            "skipped": self.skipped,
+            "detaches_scheduled": self.detaches_scheduled,
+            "by_kind": dict(sorted(self.by_kind.items())),
+        }
+
+
+def drive_live(live, events: Iterable[WorkloadEvent], run_frames: int) -> LiveDriveReport:
+    """Run a bootstrapped :class:`~repro.agents.live.LiveHarpNetwork`
+    for ``run_frames`` slotframes under an event stream.
+
+    Frames quantize to slotframe boundaries relative to *now* (call
+    right after ``bootstrap()``).  Detaches become permanent
+    :class:`NodeCrash` events in a fault plan installed up-front — the
+    same injection path the live chaos fuzzer uses — so departure and
+    the resulting self-healing interleave with rate changes and joins.
+    Reparent events are skipped: the live layer re-parents through its
+    own healing/roaming machinery, never by decree.
+    """
+    from ..net.sim.faults import FaultPlan, NodeCrash
+
+    report = LiveDriveReport()
+    frame_slots = live.config.num_slots
+    base = live.sim.current_slot
+
+    by_frame: Dict[int, List[WorkloadEvent]] = {}
+    crashes: List[NodeCrash] = []
+    crashed: set = set()
+    for event in events:
+        frame = int(event.frame)
+        if frame >= run_frames:
+            continue
+        if event.kind == "detach":
+            if (
+                event.node in live.topology
+                and event.node != live.topology.gateway_id
+                and event.node not in crashed
+            ):
+                crashes.append(
+                    NodeCrash(event.node, base + frame * frame_slots, None)
+                )
+                crashed.add(event.node)
+                report.detaches_scheduled += 1
+                report.by_kind["detach"] = (
+                    report.by_kind.get("detach", 0) + 1
+                )
+            else:
+                report.skipped += 1
+            continue
+        by_frame.setdefault(frame, []).append(event)
+
+    plan = FaultPlan(crashes=crashes)
+    live.fault_plan = plan
+    live.sim.fault_plan = plan
+
+    for frame in range(run_frames):
+        for event in by_frame.get(frame, ()):
+            applied = False
+            if event.kind == "rate_change":
+                try:
+                    live.task_set.by_id(event.node)
+                    in_network = (
+                        event.node in live.topology
+                        and not live.node_down(event.node)
+                    )
+                except KeyError:
+                    in_network = False
+                if in_network:
+                    live.change_rate(event.node, event.rate)
+                    applied = True
+            elif event.kind == "attach":
+                if (
+                    event.node not in live.runtime.agents
+                    and event.parent in live.topology
+                    and not live.node_down(event.parent)
+                ):
+                    live.join_leaf(
+                        event.node, event.parent, rate=event.rate
+                    )
+                    applied = True
+            if applied:
+                report.applied += 1
+                report.by_kind[event.kind] = (
+                    report.by_kind.get(event.kind, 0) + 1
+                )
+            else:
+                report.skipped += 1
+        live.run_slotframes(1)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# fleet layer
+# ---------------------------------------------------------------------------
+
+
+def fleet_rate_schedule(
+    events: Iterable[WorkloadEvent],
+    num_devices: int,
+    slotframes: int,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Fold a stream onto a fleet tree's engine-level rate schedule.
+
+    Only ``rate_change`` events apply (a fleet tree's topology is fixed
+    mid-run; churn belongs to the dynamics and live layers).  Targets
+    map onto the tree's device range ``1..num_devices`` by modulo, so
+    any trace drives any tree; frames quantize to ``int`` and clamp to
+    the horizon.  The result is plain data — safe to hash into a
+    scenario fingerprint and to ship across a fork.
+    """
+    schedule: Dict[int, List[Tuple[int, float]]] = {}
+    for event in events:
+        if event.kind != "rate_change":
+            continue
+        frame = int(event.frame)
+        if frame >= slotframes or frame < 0:
+            continue
+        device = ((event.node - 1) % num_devices) + 1
+        schedule.setdefault(frame, []).append((device, event.rate))
+    return schedule

@@ -1,0 +1,156 @@
+"""Timestamped workload events and the heap-merged event stream.
+
+A :class:`WorkloadEvent` is one dynamics stimulus, stamped in
+*slotframe* time (fractional frames are fine — consumers quantize to
+their own boundaries).  The event kinds mirror the dynamics ops the
+rest of the stack already speaks (:class:`repro.verify.generators.
+DynamicsOp`, :meth:`repro.core.dynamics.TopologyManager.apply_event`):
+
+``rate_change``
+    Task ``node``'s generation rate becomes ``rate``.
+``attach``
+    New node ``node`` joins under ``parent`` with a task of ``rate``.
+``detach``
+    Node ``node``'s subtree leaves the network.
+``reparent``
+    Node ``node`` moves under ``parent``.
+
+Merge semantics
+---------------
+Every generator emits its events in nondecreasing ``frame`` order with
+a strictly increasing per-stream ``seq``; :func:`merge_streams` merges
+any number of such streams into one time-ordered stream with a *total*
+order — ties on ``frame`` break on the stream name, then on ``seq``.
+Because the tie-break is the stream's (unique) name rather than its
+position in the argument list, the merged order is invariant under
+permutation of the input streams, and a dumped trace replays in exactly
+the order it was generated in.  The property suite
+(``tests/properties/test_workload_equivalence.py``) enforces both.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+#: Event kinds the adapters consume (order = documentation only).
+EVENT_KINDS: Tuple[str, ...] = ("rate_change", "attach", "detach", "reparent")
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One timestamped workload stimulus (see module docstring).
+
+    ``stream`` is the emitting generator's unique name and ``seq`` its
+    per-stream sequence number; together with ``frame`` they define the
+    stream's total order, so two events never compare equal by key.
+    """
+
+    frame: float
+    kind: str
+    node: int
+    rate: float = 1.0
+    parent: int = 0
+    stream: str = ""
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown workload event kind {self.kind!r}")
+        if self.frame < 0:
+            raise ValueError(f"frame must be >= 0, got {self.frame}")
+        if self.kind in ("rate_change", "attach") and self.rate <= 0:
+            raise ValueError(
+                f"{self.kind} rate must be > 0, got {self.rate}"
+            )
+
+    @property
+    def sort_key(self) -> Tuple[float, str, int]:
+        """The stream-merge total order: time, then stream name, then
+        per-stream sequence."""
+        return (self.frame, self.stream, self.seq)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "frame": self.frame,
+            "kind": self.kind,
+            "node": self.node,
+            "rate": self.rate,
+            "parent": self.parent,
+            "stream": self.stream,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "WorkloadEvent":
+        return cls(
+            frame=float(doc["frame"]),
+            kind=doc["kind"],
+            node=int(doc["node"]),
+            rate=float(doc.get("rate", 1.0)),
+            parent=int(doc.get("parent", 0)),
+            stream=str(doc.get("stream", "")),
+            seq=int(doc.get("seq", 0)),
+        )
+
+
+def merge_streams(
+    streams: Iterable[Iterable[WorkloadEvent]],
+) -> Iterator[WorkloadEvent]:
+    """Merge per-generator event streams into one time-ordered stream.
+
+    Lazy heap merge (``heapq.merge``): each input may be an arbitrary
+    iterator emitting millions of events; nothing is materialized.
+    Inputs must be sorted by :attr:`WorkloadEvent.sort_key` (generators
+    are by construction).  The output order is independent of the order
+    the streams are passed in — see the module docstring.
+    """
+    return heapq.merge(*streams, key=lambda event: event.sort_key)
+
+
+def events_equal(a: Iterable[WorkloadEvent], b: Iterable[WorkloadEvent]) -> bool:
+    """Field-exact equality of two event sequences (the replay
+    certificate's inner check)."""
+    return list(a) == list(b)
+
+
+def summarize_events(events: Iterable[WorkloadEvent]) -> Dict[str, Any]:
+    """Shape summary of a (materialized) event sequence: totals, span,
+    per-kind and per-stream counts."""
+    total = 0
+    first = last = None
+    by_kind: Dict[str, int] = {}
+    by_stream: Dict[str, int] = {}
+    for event in events:
+        total += 1
+        if first is None:
+            first = event.frame
+        last = event.frame
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        by_stream[event.stream] = by_stream.get(event.stream, 0) + 1
+    return {
+        "events": total,
+        "first_frame": first,
+        "last_frame": last,
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_stream": dict(sorted(by_stream.items())),
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """One small table for ``repro workload describe``."""
+    lines: List[str] = [
+        f"{summary['events']} event(s)"
+        + (
+            f" over frames [{summary['first_frame']:.2f}, "
+            f"{summary['last_frame']:.2f}]"
+            if summary["events"]
+            else ""
+        )
+    ]
+    for kind, count in summary["by_kind"].items():
+        lines.append(f"  {kind:<12} {count}")
+    for stream, count in summary["by_stream"].items():
+        lines.append(f"  stream {stream:<20} {count}")
+    return "\n".join(lines)

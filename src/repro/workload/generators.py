@@ -1,0 +1,676 @@
+"""Composable, seeded, iterable workload generators.
+
+Each generator is a small parameter record (JSON round-trippable via
+``to_dict``/``from_dict``) whose :meth:`events` method yields
+:class:`~repro.workload.events.WorkloadEvent` lazily, in nondecreasing
+frame order with strictly increasing per-stream ``seq``.  All
+randomness comes from one ``random.Random(seed)`` owned by the
+generator, so a stream is a pure function of its parameters — the
+determinism the trace/replay equivalence layer certifies.
+
+The catalogue (icarus-style iterable generators, adapted to HARP's
+dynamics vocabulary):
+
+:class:`ZipfRateMix`
+    Stationary task-rate mix: at a fixed interval one task re-draws its
+    rate, with Zipf-distributed popularity over the task list (a few
+    hot tasks change often, a long tail rarely).
+:class:`PoissonBursts`
+    Memoryless rate-change arrivals at a constant mean rate.
+:class:`MMPPBursts`
+    Markov-modulated Poisson process: quiet/burst states with
+    exponential sojourns and state-dependent arrival rates — the bursty
+    shifts of industrial traffic.
+:class:`ShiftEnvelope`
+    Diurnal / factory-shift rate envelope: at each shift boundary every
+    task's rate steps to ``base_rate * factor`` for that shift.
+:class:`ChurnProcess`
+    Attach/detach (and occasional reparent) arrivals with exponential
+    inter-arrival times, tracking its own population so scripts stay
+    self-consistent.
+:class:`DiurnalModulation`
+    Wrapper: scales the rates of an inner generator's events by a
+    sinusoidal day/night envelope.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from .events import WorkloadEvent
+
+#: Floor for generated rates (packets per slotframe) — keeps every
+#: emitted rate a valid :class:`~repro.net.tasks.Task` rate.
+MIN_RATE = 0.125
+
+#: Default rate palette (mirrors the fuzz generator's).
+DEFAULT_RATES: Tuple[float, ...] = (0.5, 1.0, 1.0, 1.5, 2.0)
+
+
+def _zipf_weights(count: int, alpha: float) -> List[float]:
+    return [1.0 / ((rank + 1) ** alpha) for rank in range(count)]
+
+
+def _zipf_pick(rng: random.Random, weights: Sequence[float]) -> int:
+    mark = rng.random() * sum(weights)
+    for index, weight in enumerate(weights):
+        if mark < weight:
+            return index
+        mark -= weight
+    return len(weights) - 1
+
+
+class EventGenerator:
+    """Base: a named, seeded stream of workload events."""
+
+    #: Registry key (set by each subclass).
+    kind: str = ""
+
+    def __init__(self, name: str, seed: int, frames: float) -> None:
+        if not name:
+            raise ValueError("generator name must be non-empty")
+        if frames <= 0:
+            raise ValueError(f"frames must be > 0, got {frames}")
+        self.name = name
+        self.seed = int(seed)
+        self.frames = float(frames)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        raise NotImplementedError
+
+    # -- serialization -------------------------------------------------
+
+    def _base_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "seed": self.seed,
+            "frames": self.frames,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "EventGenerator":
+        raise NotImplementedError
+
+
+class ZipfRateMix(EventGenerator):
+    """Stationary Zipf task-rate mix (see module docstring)."""
+
+    kind = "zipf_mix"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        frames: float,
+        nodes: Sequence[int],
+        interval: float = 2.0,
+        alpha: float = 1.2,
+        rates: Sequence[float] = DEFAULT_RATES,
+    ) -> None:
+        super().__init__(name, seed, frames)
+        if not nodes:
+            raise ValueError("nodes must be non-empty")
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.nodes = tuple(int(n) for n in nodes)
+        self.interval = float(interval)
+        self.alpha = float(alpha)
+        self.rates = tuple(float(r) for r in rates)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        rng = random.Random(self.seed)
+        weights = _zipf_weights(len(self.nodes), self.alpha)
+        seq = 0
+        frame = self.interval
+        while frame < self.frames:
+            node = self.nodes[_zipf_pick(rng, weights)]
+            yield WorkloadEvent(
+                frame=frame,
+                kind="rate_change",
+                node=node,
+                rate=max(MIN_RATE, rng.choice(self.rates)),
+                stream=self.name,
+                seq=seq,
+            )
+            seq += 1
+            frame += self.interval
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self._base_dict(),
+            "nodes": list(self.nodes),
+            "interval": self.interval,
+            "alpha": self.alpha,
+            "rates": list(self.rates),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ZipfRateMix":
+        return cls(
+            name=doc["name"],
+            seed=int(doc["seed"]),
+            frames=float(doc["frames"]),
+            nodes=doc["nodes"],
+            interval=float(doc.get("interval", 2.0)),
+            alpha=float(doc.get("alpha", 1.2)),
+            rates=doc.get("rates", DEFAULT_RATES),
+        )
+
+
+class PoissonBursts(EventGenerator):
+    """Poisson rate-change arrivals at ``events_per_frame`` mean rate,
+    targets drawn Zipf over ``nodes``."""
+
+    kind = "poisson"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        frames: float,
+        nodes: Sequence[int],
+        events_per_frame: float = 0.5,
+        alpha: float = 0.8,
+        rates: Sequence[float] = DEFAULT_RATES,
+    ) -> None:
+        super().__init__(name, seed, frames)
+        if not nodes:
+            raise ValueError("nodes must be non-empty")
+        if events_per_frame <= 0:
+            raise ValueError(
+                f"events_per_frame must be > 0, got {events_per_frame}"
+            )
+        self.nodes = tuple(int(n) for n in nodes)
+        self.events_per_frame = float(events_per_frame)
+        self.alpha = float(alpha)
+        self.rates = tuple(float(r) for r in rates)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        rng = random.Random(self.seed)
+        weights = _zipf_weights(len(self.nodes), self.alpha)
+        seq = 0
+        frame = rng.expovariate(self.events_per_frame)
+        while frame < self.frames:
+            node = self.nodes[_zipf_pick(rng, weights)]
+            yield WorkloadEvent(
+                frame=frame,
+                kind="rate_change",
+                node=node,
+                rate=max(MIN_RATE, rng.choice(self.rates)),
+                stream=self.name,
+                seq=seq,
+            )
+            seq += 1
+            frame += rng.expovariate(self.events_per_frame)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self._base_dict(),
+            "nodes": list(self.nodes),
+            "events_per_frame": self.events_per_frame,
+            "alpha": self.alpha,
+            "rates": list(self.rates),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "PoissonBursts":
+        return cls(
+            name=doc["name"],
+            seed=int(doc["seed"]),
+            frames=float(doc["frames"]),
+            nodes=doc["nodes"],
+            events_per_frame=float(doc.get("events_per_frame", 0.5)),
+            alpha=float(doc.get("alpha", 0.8)),
+            rates=doc.get("rates", DEFAULT_RATES),
+        )
+
+
+class MMPPBursts(EventGenerator):
+    """Two-state Markov-modulated Poisson arrivals.
+
+    The process alternates exponential sojourns in a *quiet* state
+    (arrival rate ``quiet_rate`` events/frame, low task rates) and a
+    *burst* state (``burst_rate`` events/frame, high task rates).
+    """
+
+    kind = "mmpp"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        frames: float,
+        nodes: Sequence[int],
+        quiet_rate: float = 0.1,
+        burst_rate: float = 2.0,
+        mean_quiet_frames: float = 12.0,
+        mean_burst_frames: float = 4.0,
+        quiet_rates: Sequence[float] = (0.5, 1.0),
+        burst_rates: Sequence[float] = (1.5, 2.0, 3.0),
+        alpha: float = 0.8,
+    ) -> None:
+        super().__init__(name, seed, frames)
+        if not nodes:
+            raise ValueError("nodes must be non-empty")
+        for label, value in (
+            ("quiet_rate", quiet_rate),
+            ("burst_rate", burst_rate),
+            ("mean_quiet_frames", mean_quiet_frames),
+            ("mean_burst_frames", mean_burst_frames),
+        ):
+            if value <= 0:
+                raise ValueError(f"{label} must be > 0, got {value}")
+        self.nodes = tuple(int(n) for n in nodes)
+        self.quiet_rate = float(quiet_rate)
+        self.burst_rate = float(burst_rate)
+        self.mean_quiet_frames = float(mean_quiet_frames)
+        self.mean_burst_frames = float(mean_burst_frames)
+        self.quiet_rates = tuple(float(r) for r in quiet_rates)
+        self.burst_rates = tuple(float(r) for r in burst_rates)
+        self.alpha = float(alpha)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        rng = random.Random(self.seed)
+        weights = _zipf_weights(len(self.nodes), self.alpha)
+        seq = 0
+        frame = 0.0
+        burst = False
+        sojourn_end = rng.expovariate(1.0 / self.mean_quiet_frames)
+        while frame < self.frames:
+            arrival_rate = self.burst_rate if burst else self.quiet_rate
+            gap = rng.expovariate(arrival_rate)
+            if frame + gap >= sojourn_end:
+                # State switch consumes the remainder of the sojourn.
+                frame = sojourn_end
+                burst = not burst
+                mean = (
+                    self.mean_burst_frames if burst
+                    else self.mean_quiet_frames
+                )
+                sojourn_end = frame + rng.expovariate(1.0 / mean)
+                continue
+            frame += gap
+            if frame >= self.frames:
+                break
+            node = self.nodes[_zipf_pick(rng, weights)]
+            palette = self.burst_rates if burst else self.quiet_rates
+            yield WorkloadEvent(
+                frame=frame,
+                kind="rate_change",
+                node=node,
+                rate=max(MIN_RATE, rng.choice(palette)),
+                stream=self.name,
+                seq=seq,
+            )
+            seq += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self._base_dict(),
+            "nodes": list(self.nodes),
+            "quiet_rate": self.quiet_rate,
+            "burst_rate": self.burst_rate,
+            "mean_quiet_frames": self.mean_quiet_frames,
+            "mean_burst_frames": self.mean_burst_frames,
+            "quiet_rates": list(self.quiet_rates),
+            "burst_rates": list(self.burst_rates),
+            "alpha": self.alpha,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "MMPPBursts":
+        return cls(
+            name=doc["name"],
+            seed=int(doc["seed"]),
+            frames=float(doc["frames"]),
+            nodes=doc["nodes"],
+            quiet_rate=float(doc.get("quiet_rate", 0.1)),
+            burst_rate=float(doc.get("burst_rate", 2.0)),
+            mean_quiet_frames=float(doc.get("mean_quiet_frames", 12.0)),
+            mean_burst_frames=float(doc.get("mean_burst_frames", 4.0)),
+            quiet_rates=doc.get("quiet_rates", (0.5, 1.0)),
+            burst_rates=doc.get("burst_rates", (1.5, 2.0, 3.0)),
+            alpha=float(doc.get("alpha", 0.8)),
+        )
+
+
+class ShiftEnvelope(EventGenerator):
+    """Diurnal / shift-change rate envelope.
+
+    One ``period`` is divided evenly among ``factors``; at each shift
+    boundary every task in ``nodes`` steps to ``base_rate * factor``.
+    The same frame carries one event per node (ordered by the node
+    list), which is exactly the tie-timestamp shape the merge-order
+    property pins down.
+    """
+
+    kind = "shift"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        frames: float,
+        nodes: Sequence[int],
+        period: float = 30.0,
+        factors: Sequence[float] = (0.4, 1.0, 1.6),
+        base_rate: float = 1.0,
+    ) -> None:
+        super().__init__(name, seed, frames)
+        if not nodes:
+            raise ValueError("nodes must be non-empty")
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if not factors or any(f <= 0 for f in factors):
+            raise ValueError("factors must be non-empty and > 0")
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be > 0, got {base_rate}")
+        self.nodes = tuple(int(n) for n in nodes)
+        self.period = float(period)
+        self.factors = tuple(float(f) for f in factors)
+        self.base_rate = float(base_rate)
+
+    def shift_length(self) -> float:
+        return self.period / len(self.factors)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        seq = 0
+        shift_length = self.shift_length()
+        boundary = 0.0
+        shift = 0
+        while boundary < self.frames:
+            factor = self.factors[shift % len(self.factors)]
+            rate = max(MIN_RATE, self.base_rate * factor)
+            for node in self.nodes:
+                yield WorkloadEvent(
+                    frame=boundary,
+                    kind="rate_change",
+                    node=node,
+                    rate=rate,
+                    stream=self.name,
+                    seq=seq,
+                )
+                seq += 1
+            shift += 1
+            boundary = shift * shift_length
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self._base_dict(),
+            "nodes": list(self.nodes),
+            "period": self.period,
+            "factors": list(self.factors),
+            "base_rate": self.base_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ShiftEnvelope":
+        return cls(
+            name=doc["name"],
+            seed=int(doc["seed"]),
+            frames=float(doc["frames"]),
+            nodes=doc["nodes"],
+            period=float(doc.get("period", 30.0)),
+            factors=doc.get("factors", (0.4, 1.0, 1.6)),
+            base_rate=float(doc.get("base_rate", 1.0)),
+        )
+
+
+class ChurnProcess(EventGenerator):
+    """Attach/detach (and optional reparent) churn.
+
+    Attach and detach arrivals are independent exponential processes
+    (means ``attach_every`` / ``detach_every`` frames).  The generator
+    tracks its *own* population: new nodes take fresh ids from
+    ``first_node_id`` upward, parents are drawn from ``anchors`` plus
+    the generator's live nodes, and detaches only ever target nodes
+    this generator attached — so the stream composes with any other
+    stream without invalidating it.
+    """
+
+    kind = "churn"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        frames: float,
+        anchors: Sequence[int],
+        first_node_id: int,
+        attach_every: float = 6.0,
+        detach_every: float = 10.0,
+        reparent_chance: float = 0.0,
+        max_live: int = 32,
+        rates: Sequence[float] = (0.5, 1.0),
+    ) -> None:
+        super().__init__(name, seed, frames)
+        if not anchors:
+            raise ValueError("anchors must be non-empty")
+        if attach_every <= 0 or detach_every <= 0:
+            raise ValueError("attach_every / detach_every must be > 0")
+        if not 0.0 <= reparent_chance <= 1.0:
+            raise ValueError(
+                f"reparent_chance must be in [0, 1], got {reparent_chance}"
+            )
+        if max_live < 1:
+            raise ValueError(f"max_live must be >= 1, got {max_live}")
+        self.anchors = tuple(int(n) for n in anchors)
+        self.first_node_id = int(first_node_id)
+        self.attach_every = float(attach_every)
+        self.detach_every = float(detach_every)
+        self.reparent_chance = float(reparent_chance)
+        self.max_live = int(max_live)
+        self.rates = tuple(float(r) for r in rates)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        rng = random.Random(self.seed)
+        seq = 0
+        live: List[int] = []
+        next_id = self.first_node_id
+        next_attach = rng.expovariate(1.0 / self.attach_every)
+        next_detach = rng.expovariate(1.0 / self.detach_every)
+        while True:
+            frame = min(next_attach, next_detach)
+            if frame >= self.frames:
+                return
+            if next_attach <= next_detach:
+                if len(live) < self.max_live:
+                    parent_pool = list(self.anchors) + live
+                    parent = parent_pool[rng.randrange(len(parent_pool))]
+                    node = next_id
+                    next_id += 1
+                    live.append(node)
+                    yield WorkloadEvent(
+                        frame=frame,
+                        kind="attach",
+                        node=node,
+                        parent=parent,
+                        rate=max(MIN_RATE, rng.choice(self.rates)),
+                        stream=self.name,
+                        seq=seq,
+                    )
+                    seq += 1
+                next_attach = frame + rng.expovariate(1.0 / self.attach_every)
+            else:
+                if live:
+                    if (
+                        self.reparent_chance
+                        and rng.random() < self.reparent_chance
+                    ):
+                        node = live[rng.randrange(len(live))]
+                        pool = [
+                            p
+                            for p in list(self.anchors) + live
+                            if p != node
+                        ]
+                        parent = pool[rng.randrange(len(pool))]
+                        yield WorkloadEvent(
+                            frame=frame,
+                            kind="reparent",
+                            node=node,
+                            parent=parent,
+                            stream=self.name,
+                            seq=seq,
+                        )
+                        seq += 1
+                    else:
+                        index = rng.randrange(len(live))
+                        node = live.pop(index)
+                        # Descendants attached under the departing node
+                        # leave with it — forget them too.
+                        live = [n for n in live if n != node]
+                        yield WorkloadEvent(
+                            frame=frame,
+                            kind="detach",
+                            node=node,
+                            stream=self.name,
+                            seq=seq,
+                        )
+                        seq += 1
+                next_detach = frame + rng.expovariate(1.0 / self.detach_every)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self._base_dict(),
+            "anchors": list(self.anchors),
+            "first_node_id": self.first_node_id,
+            "attach_every": self.attach_every,
+            "detach_every": self.detach_every,
+            "reparent_chance": self.reparent_chance,
+            "max_live": self.max_live,
+            "rates": list(self.rates),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ChurnProcess":
+        return cls(
+            name=doc["name"],
+            seed=int(doc["seed"]),
+            frames=float(doc["frames"]),
+            anchors=doc["anchors"],
+            first_node_id=int(doc["first_node_id"]),
+            attach_every=float(doc.get("attach_every", 6.0)),
+            detach_every=float(doc.get("detach_every", 10.0)),
+            reparent_chance=float(doc.get("reparent_chance", 0.0)),
+            max_live=int(doc.get("max_live", 32)),
+            rates=doc.get("rates", (0.5, 1.0)),
+        )
+
+
+class DiurnalModulation(EventGenerator):
+    """Sinusoidal day/night modulation of an inner generator's rates.
+
+    ``factor(frame) = low + (high - low) * (1 - cos(2π (frame/period
+    + phase))) / 2`` — the inner stream's timing and targets are kept,
+    only ``rate`` fields scale (quantized to 6 decimals so the value is
+    a short, exactly-serializable float).
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        frames: float,
+        inner: Dict[str, Any],
+        period: float = 40.0,
+        low: float = 0.4,
+        high: float = 1.6,
+        phase: float = 0.0,
+    ) -> None:
+        super().__init__(name, seed, frames)
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if low <= 0 or high < low:
+            raise ValueError(
+                f"need 0 < low <= high, got low={low} high={high}"
+            )
+        self.inner = dict(inner)
+        self.period = float(period)
+        self.low = float(low)
+        self.high = float(high)
+        self.phase = float(phase)
+
+    def factor(self, frame: float) -> float:
+        swing = (self.high - self.low) / 2.0
+        return self.low + swing * (
+            1.0 - math.cos(2.0 * math.pi * (frame / self.period + self.phase))
+        )
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        from dataclasses import replace
+
+        inner_doc = dict(self.inner)
+        if inner_doc.get("seed") is None:
+            # An unpinned inner seed follows the wrapper's, so a spec
+            # seed reaches through the modulation to the inner stream.
+            inner_doc["seed"] = self.seed
+        inner_doc.setdefault("frames", self.frames)
+        inner = build_generator(inner_doc)
+        for event in inner.events():
+            if event.frame >= self.frames:
+                return
+            if event.kind in ("rate_change", "attach"):
+                scaled = round(event.rate * self.factor(event.frame), 6)
+                event = replace(
+                    event,
+                    rate=max(MIN_RATE, scaled),
+                    stream=self.name,
+                )
+            else:
+                event = replace(event, stream=self.name)
+            yield event
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self._base_dict(),
+            "inner": dict(self.inner),
+            "period": self.period,
+            "low": self.low,
+            "high": self.high,
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "DiurnalModulation":
+        return cls(
+            name=doc["name"],
+            seed=int(doc["seed"]),
+            frames=float(doc["frames"]),
+            inner=doc["inner"],
+            period=float(doc.get("period", 40.0)),
+            low=float(doc.get("low", 0.4)),
+            high=float(doc.get("high", 1.6)),
+            phase=float(doc.get("phase", 0.0)),
+        )
+
+
+#: kind -> class registry for spec materialization.
+GENERATOR_KINDS: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        ZipfRateMix,
+        PoissonBursts,
+        MMPPBursts,
+        ShiftEnvelope,
+        ChurnProcess,
+        DiurnalModulation,
+    )
+}
+
+
+def build_generator(doc: Dict[str, Any]) -> EventGenerator:
+    """Materialize one generator from its JSON document."""
+    kind = doc.get("kind")
+    try:
+        cls = GENERATOR_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown workload generator kind {kind!r}") from None
+    return cls.from_dict(doc)

@@ -1,0 +1,250 @@
+"""Workload specs: named compositions of seeded generators.
+
+A :class:`WorkloadSpec` is the *recipe* — a seed, a horizon in
+slotframes, an optional network-shape hint, and an ordered tuple of
+generator parameter documents.  :func:`build_workload` materializes the
+recipe into the merged, time-ordered event stream.  The spec is what a
+trace header embeds, so a trace file is self-describing: a replay can
+regenerate the stream from the recipe and certify byte-identity against
+the recorded events.
+
+Generator seeds are derived from the spec seed with the house mixing
+constant (``seed * 1_000_003 + index``) unless a generator document
+pins its own seed, so one spec seed determines the whole composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .events import WorkloadEvent, merge_streams
+from .generators import (
+    ChurnProcess,
+    DiurnalModulation,
+    EventGenerator,
+    MMPPBursts,
+    PoissonBursts,
+    ShiftEnvelope,
+    ZipfRateMix,
+    build_generator,
+)
+
+#: House seed-mixing constant (see repro.verify.seeds.SeedScheduler).
+SEED_MIX = 1_000_003
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A composition of generators over a common horizon.
+
+    ``network`` is an optional shape hint (``{"devices": int, "depth":
+    int, "seed": int}``) consumers use to build a matching
+    :class:`~repro.net.network.HarpNetwork` for replay, benchmarking
+    and experiments; generators themselves never depend on it.
+    """
+
+    name: str
+    seed: int
+    frames: float
+    generators: Tuple[Dict[str, Any], ...]
+    network: Optional[Dict[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.frames <= 0:
+            raise ValueError(f"frames must be > 0, got {self.frames}")
+        if not self.generators:
+            raise ValueError("spec needs at least one generator")
+        names = [doc.get("name") for doc in self.generators]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"generator stream names must be unique, got {names}"
+            )
+
+    def materialize(self) -> List[EventGenerator]:
+        """Build the generator objects, deriving any unset seeds."""
+        built: List[EventGenerator] = []
+        for index, doc in enumerate(self.generators):
+            doc = dict(doc)
+            if "seed" not in doc or doc["seed"] is None:
+                doc["seed"] = self.seed * SEED_MIX + index
+            doc.setdefault("frames", self.frames)
+            built.append(build_generator(doc))
+        return built
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        """The merged, time-ordered event stream (lazy)."""
+        return merge_streams(g.events() for g in self.materialize())
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "seed": self.seed,
+            "frames": self.frames,
+            "generators": [dict(g) for g in self.generators],
+        }
+        if self.network is not None:
+            doc["network"] = dict(self.network)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "WorkloadSpec":
+        network = doc.get("network")
+        return cls(
+            name=str(doc["name"]),
+            seed=int(doc["seed"]),
+            frames=float(doc["frames"]),
+            generators=tuple(dict(g) for g in doc["generators"]),
+            network=dict(network) if network is not None else None,
+        )
+
+
+def build_workload(spec: WorkloadSpec) -> Iterator[WorkloadEvent]:
+    """Materialize a spec into its merged event stream."""
+    return spec.events()
+
+
+# ---------------------------------------------------------------------------
+# Presets — the named workloads `repro workload synthesize` exposes.
+# Node ids follow the layered-random-tree layout every consumer builds
+# from the network hint: gateway 0, devices 1..devices.
+# ---------------------------------------------------------------------------
+
+
+def _device_nodes(devices: int, first_device: int) -> List[int]:
+    return list(range(first_device, first_device + devices))
+
+
+def preset_spec(
+    preset: str,
+    seed: int,
+    frames: float = 60.0,
+    devices: int = 12,
+    depth: int = 3,
+    first_device: int = 1,
+) -> WorkloadSpec:
+    """Build one of the named preset specs.
+
+    ``first_device`` is the id of the first device node (the layered
+    tree the network hint describes numbers devices from 1).
+    """
+    nodes = _device_nodes(devices, first_device)
+    anchors = nodes[: max(1, devices // 4)]
+    fresh = first_device + devices + 1000  # churn ids clear of the tree
+    network = {"devices": devices, "depth": depth, "seed": seed}
+    if preset == "steady":
+        gens: Tuple[Dict[str, Any], ...] = (
+            ZipfRateMix(
+                "zipf", seed=0, frames=frames, nodes=nodes
+            ).to_dict(),
+        )
+    elif preset == "burst":
+        gens = (
+            MMPPBursts(
+                "mmpp", seed=0, frames=frames, nodes=nodes
+            ).to_dict(),
+            PoissonBursts(
+                "poisson",
+                seed=0,
+                frames=frames,
+                nodes=nodes,
+                events_per_frame=0.25,
+            ).to_dict(),
+        )
+    elif preset == "shift_change":
+        gens = (
+            ShiftEnvelope(
+                "shift",
+                seed=0,
+                frames=frames,
+                nodes=nodes,
+                period=frames / 2.0,
+            ).to_dict(),
+            PoissonBursts(
+                "jitter",
+                seed=0,
+                frames=frames,
+                nodes=nodes,
+                events_per_frame=0.2,
+            ).to_dict(),
+        )
+    elif preset == "churn":
+        gens = (
+            ChurnProcess(
+                "churn",
+                seed=0,
+                frames=frames,
+                anchors=anchors,
+                first_node_id=fresh,
+            ).to_dict(),
+            ZipfRateMix(
+                "zipf",
+                seed=0,
+                frames=frames,
+                nodes=nodes,
+                interval=4.0,
+            ).to_dict(),
+        )
+    elif preset == "diurnal":
+        inner = PoissonBursts(
+            "inner",
+            seed=0,
+            frames=frames,
+            nodes=nodes,
+            events_per_frame=0.5,
+        ).to_dict()
+        inner.pop("seed")  # unpinned: follows the wrapper's derived seed
+        gens = (
+            DiurnalModulation(
+                "diurnal",
+                seed=0,
+                frames=frames,
+                inner=inner,
+                period=frames,
+            ).to_dict(),
+        )
+    elif preset == "mixed":
+        gens = (
+            ShiftEnvelope(
+                "shift",
+                seed=0,
+                frames=frames,
+                nodes=nodes,
+                period=frames,
+            ).to_dict(),
+            MMPPBursts(
+                "mmpp", seed=0, frames=frames, nodes=nodes
+            ).to_dict(),
+            ChurnProcess(
+                "churn",
+                seed=0,
+                frames=frames,
+                anchors=anchors,
+                first_node_id=fresh,
+            ).to_dict(),
+        )
+    else:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    # Drop the placeholder seeds so the spec seed derives them.
+    stripped = tuple(
+        {k: v for k, v in doc.items() if k != "seed"} for doc in gens
+    )
+    return WorkloadSpec(
+        name=preset,
+        seed=seed,
+        frames=frames,
+        generators=stripped,
+        network=network,
+    )
+
+
+PRESETS: Tuple[str, ...] = (
+    "steady",
+    "burst",
+    "shift_change",
+    "churn",
+    "diurnal",
+    "mixed",
+)

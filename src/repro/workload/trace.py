@@ -1,0 +1,157 @@
+"""JSONL workload traces: dump once, replay byte-for-byte.
+
+Format — line 1 is the header::
+
+    {"kind": "harp-workload-trace", "version": 1,
+     "spec": {...} | null, "events": N}
+
+followed by one compact-JSON event document per line (``WorkloadEvent.
+to_dict`` field order, ``separators=(",", ":")``).  Floats serialize
+via ``repr`` (Python's ``json``), which round-trips ``float`` exactly
+— so *read → write* of any trace reproduces the file byte-for-byte,
+and a replayed stream compares field-exact against regeneration from
+the embedded spec.  :func:`verify_trace` is that certificate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+
+from .events import WorkloadEvent, events_equal
+from .spec import WorkloadSpec
+
+TRACE_KIND = "harp-workload-trace"
+TRACE_VERSION = 1
+
+
+def _dumps(doc: Dict[str, Any]) -> str:
+    return json.dumps(doc, separators=(",", ":"))
+
+
+def write_trace(
+    path: str,
+    events: Iterable[WorkloadEvent],
+    spec: Optional[WorkloadSpec] = None,
+) -> int:
+    """Write a trace file; returns the number of events written.
+
+    The header carries the event count, so it is written last into a
+    buffered body — events may come from a lazy generator.
+    """
+    lines: List[str] = []
+    for event in events:
+        lines.append(_dumps(event.to_dict()))
+    header = _dumps(
+        {
+            "kind": TRACE_KIND,
+            "version": TRACE_VERSION,
+            "spec": spec.to_dict() if spec is not None else None,
+            "events": len(lines),
+        }
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(header + "\n")
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """Read and validate just the header line."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+    if header.get("kind") != TRACE_KIND:
+        raise ValueError(f"{path}: not a {TRACE_KIND} file")
+    if header.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trace version {header.get('version')!r}"
+        )
+    return header
+
+
+def read_trace(
+    path: str,
+) -> Tuple[Dict[str, Any], Iterator[WorkloadEvent]]:
+    """Open a trace: returns ``(header, lazy event iterator)``."""
+    header = read_header(path)
+
+    def _iter() -> Iterator[WorkloadEvent]:
+        with open(path, "r", encoding="utf-8") as handle:
+            handle.readline()  # header
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield WorkloadEvent.from_dict(json.loads(line))
+
+    return header, _iter()
+
+
+def read_events(path: str) -> List[WorkloadEvent]:
+    """Materialize every event in a trace."""
+    _, events = read_trace(path)
+    return list(events)
+
+
+def trace_spec(header: Dict[str, Any]) -> Optional[WorkloadSpec]:
+    """The spec embedded in a trace header, if any."""
+    doc = header.get("spec")
+    return WorkloadSpec.from_dict(doc) if doc else None
+
+
+def verify_trace(path: str) -> Dict[str, Any]:
+    """The replay certificate for one trace file.
+
+    Checks, in order:
+
+    1. the header's event count matches the body;
+    2. the recorded events are sorted by the merge total order;
+    3. if a spec is embedded, regenerating from it yields a
+       field-exact identical event sequence;
+    4. rewriting the trace (read → write) reproduces the file
+       byte-for-byte.
+
+    Returns ``{"ok": bool, "events": N, "failures": [...]}``.
+    """
+    import os
+    import tempfile
+
+    failures: List[str] = []
+    header = read_header(path)
+    recorded = read_events(path)
+
+    if header.get("events") != len(recorded):
+        failures.append(
+            f"header says {header.get('events')} events, "
+            f"body has {len(recorded)}"
+        )
+    keys = [event.sort_key for event in recorded]
+    if keys != sorted(keys):
+        failures.append("events are not sorted by the merge total order")
+
+    spec = trace_spec(header)
+    if spec is not None:
+        regenerated = list(spec.events())
+        if not events_equal(recorded, regenerated):
+            count = sum(
+                1 for a, b in zip(recorded, regenerated) if a != b
+            ) + abs(len(recorded) - len(regenerated))
+            failures.append(
+                "regeneration from the embedded spec diverges from the "
+                f"recorded events ({count} difference(s))"
+            )
+
+    fd, rewritten = tempfile.mkstemp(
+        suffix=".jsonl", prefix="trace-rt-",
+        dir=os.path.dirname(os.path.abspath(path)),
+    )
+    os.close(fd)
+    try:
+        write_trace(rewritten, recorded, spec=spec)
+        with open(path, "rb") as original, open(rewritten, "rb") as copy:
+            if original.read() != copy.read():
+                failures.append("read→write round-trip is not byte-identical")
+    finally:
+        os.unlink(rewritten)
+
+    return {"ok": not failures, "events": len(recorded), "failures": failures}

@@ -240,6 +240,36 @@ class TestRunnerSmoke:
             assert section in out, section
 
 
+class TestShiftChange:
+    def test_small_floor_study_is_deterministic(self):
+        from repro.experiments.shift_change import run_shift_change
+
+        a = run_shift_change(devices=8, depth=3, period=6, cycles=1,
+                             seed=1)
+        b = run_shift_change(devices=8, depth=3, period=6, cycles=1,
+                             seed=1)
+        # One whistle per factor, every request resolved.
+        assert len(a.boundaries) == 3
+        assert len(a.windows) == 3
+        for record in a.boundaries:
+            assert record.requested == 8
+            assert record.applied + record.rejected == 8
+        assert [r.__dict__ for r in a.boundaries] == [
+            r.__dict__ for r in b.boundaries
+        ]
+        assert [w.factor for w in a.windows] == [0.4, 1.0, 1.6]
+        rendered = a.render()
+        assert "whistles" in rendered and "shift windows" in rendered
+
+    def test_cli_entry_quick(self, capsys):
+        from repro.experiments.shift_change import main
+
+        assert main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "whistles" in out
+        assert "night #0" in out
+
+
 class TestInterferenceStudy:
     def test_hopping_dominates_under_jamming(self):
         from repro.experiments import run_interference_study

@@ -168,6 +168,71 @@ class TestCheckpointStore:
         assert len(store) == 0
         assert store.total_bytes() == 0
 
+    # compact() only reads the "fingerprint" key, so the size-bound
+    # tests use plain padded dicts to control file sizes exactly.
+
+    def test_compact_bound_charges_only_survivors(self, tmp_path):
+        # The byte bound is enforced after the stale sweep: a huge
+        # stale snapshot must be swept as *stale*, never pushing live
+        # snapshots over the budget.
+        store = CheckpointStore(str(tmp_path))
+        store.save("live-a", {"fingerprint": "fp", "pad": "x" * 100})
+        store.save("live-b", {"fingerprint": "fp", "pad": "x" * 100})
+        store.save("stale", {"fingerprint": "old", "pad": "x" * 5000})
+        survivors = sum(
+            os.path.getsize(store.path(t)) for t in ("live-a", "live-b")
+        )
+        swept = store.compact(
+            {"live-a": "fp", "live-b": "fp", "stale": "fp"},
+            max_total_bytes=survivors,
+        )
+        assert swept["removed_stale"] == 1
+        assert swept["removed_oversize"] == 0
+        assert swept["remaining"] == 2
+        assert swept["remaining_bytes"] == survivors
+        assert os.path.exists(store.path("live-a"))
+        assert os.path.exists(store.path("live-b"))
+
+    def test_compact_bound_evicts_largest_first(self, tmp_path):
+        # Largest-first frees the budget in the fewest evictions:
+        # bound = medium + small must evict exactly the large snapshot
+        # (smallest-first would throw away two trees' progress).
+        store = CheckpointStore(str(tmp_path))
+        store.save("large", {"fingerprint": "fp", "pad": "x" * 2000})
+        store.save("medium", {"fingerprint": "fp", "pad": "x" * 500})
+        store.save("small", {"fingerprint": "fp", "pad": "x" * 100})
+        bound = sum(
+            os.path.getsize(store.path(t)) for t in ("medium", "small")
+        )
+        live = {t: "fp" for t in ("large", "medium", "small")}
+        swept = store.compact(live, max_total_bytes=bound)
+        assert swept["removed_oversize"] == 1
+        assert not os.path.exists(store.path("large"))
+        assert os.path.exists(store.path("medium"))
+        assert os.path.exists(store.path("small"))
+        assert store.total_bytes() <= bound
+
+    def test_compact_bound_breaks_size_ties_by_name(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("tie-a", {"fingerprint": "fp", "pad": "x" * 300})
+        store.save("tie-b", {"fingerprint": "fp", "pad": "x" * 300})
+        one = os.path.getsize(store.path("tie-a"))
+        swept = store.compact(
+            {"tie-a": "fp", "tie-b": "fp"}, max_total_bytes=one
+        )
+        assert swept["removed_oversize"] == 1
+        assert not os.path.exists(store.path("tie-a"))
+        assert os.path.exists(store.path("tie-b"))
+
+    def test_compact_bound_noop_when_under_budget(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("live", {"fingerprint": "fp", "pad": "x" * 100})
+        swept = store.compact(
+            {"live": "fp"}, max_total_bytes=store.total_bytes()
+        )
+        assert swept["removed_oversize"] == 0
+        assert os.path.exists(store.path("live"))
+
 
 def _valid_snapshot():
     from repro.fleet.scenario import build_network, _build_simulator
@@ -330,6 +395,74 @@ class TestRunFleet:
             run_fleet([small_scenario("x"), small_scenario("x", seed=2)])
 
 
+class TestFleetWorkload:
+    def _spec(self, frames=8.0):
+        from repro.workload import preset_spec
+
+        return preset_spec(
+            "mixed", seed=3, frames=frames,
+            devices=SMALL["num_devices"], depth=SMALL["depth"],
+        )
+
+    def test_spec_reseeds_each_tree(self):
+        scenarios = fleet_scenarios(3, seed=5, workload=self._spec(),
+                                    **SMALL)
+        schedules = {s.workload for s in scenarios}
+        assert all(s.workload for s in scenarios)
+        assert len(schedules) > 1  # per-tree streams, not one shared
+
+    def test_shared_events_drive_every_tree_identically(self):
+        events = list(self._spec().events())
+        scenarios = fleet_scenarios(3, seed=5, workload=events, **SMALL)
+        assert len({s.workload for s in scenarios}) == 1
+
+    def test_workload_changes_results_deterministically(self):
+        plain = small_scenario()
+        loaded = dataclasses.replace(
+            plain, workload=((2, 1, 2.0), (5, 3, 0.5)),
+        )
+        assert plain.fingerprint() != loaded.fingerprint()
+        a, b = run_tree(loaded), run_tree(loaded)
+        assert a.checksum == b.checksum
+        assert a.checksum != run_tree(plain).checksum
+
+    def test_workload_round_trips_through_dict(self):
+        loaded = dataclasses.replace(
+            small_scenario(), workload=((2, 1, 2.0),),
+        )
+        assert TreeScenario.from_dict(loaded.to_dict()) == loaded
+
+    def test_empty_workload_keeps_legacy_fingerprint(self):
+        # Checkpoints from pre-workload campaigns must stay resumable:
+        # an empty schedule may not perturb the fingerprint.
+        assert small_scenario().fingerprint() == dataclasses.replace(
+            small_scenario(), workload=()
+        ).fingerprint()
+
+    def test_resume_under_workload_matches_straight_run(self, tmp_path):
+        loaded = dataclasses.replace(
+            small_scenario(crash_at_slotframe=5),
+            workload=((1, 2, 2.0), (4, 1, 0.5), (6, 3, 1.5)),
+        )
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(SimulatedWorkerCrash):
+            run_tree(loaded, attempt=1, checkpoint=store,
+                     checkpoint_every=2)
+        resumed = run_tree(loaded, attempt=2, checkpoint=store,
+                           checkpoint_every=2)
+        straight = run_tree(dataclasses.replace(loaded, crash_at_slotframe=None))
+        assert resumed.resumed_from > 0
+        assert resumed.checksum == straight.checksum
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            small_scenario(workload=((99, 1, 1.0),))  # frame past horizon
+        with pytest.raises(ValueError):
+            small_scenario(workload=((0, 0, 1.0),))   # gateway target
+        with pytest.raises(ValueError):
+            small_scenario(workload=((0, 1, 0.0),))   # nonpositive rate
+
+
 class TestFleetOracles:
     def _report(self, scenarios):
         return run_fleet_serial(scenarios)
@@ -479,3 +612,42 @@ class TestFleetCli:
         assert merged["fleet"]["completed"] == 3
         assert "trees_per_sec" in merged["fleet"]
         assert "meta" in merged["fleet"]
+
+    def test_fleet_workload_preset_and_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # Preset by name...
+        code = main([
+            "fleet", "--trees", "2", "--nodes", "8", "--depth", "3",
+            "--slotframes", "8", "--workers", "1",
+            "--workload", "diurnal",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload: preset diurnal" in out
+
+        # ...and a synthesized trace file.
+        trace = str(tmp_path / "trace.jsonl")
+        assert main([
+            "workload", "synthesize", "--preset", "steady",
+            "--seed", "2", "--frames", "8", "--devices", "8",
+            "--out", trace,
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "fleet", "--trees", "2", "--nodes", "8", "--depth", "3",
+            "--slotframes", "8", "--workers", "1",
+            "--workload", trace,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"workload: trace {trace}" in out or "workload:" in out
+
+    def test_fleet_workload_rejects_unknown_source(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "fleet", "--trees", "1", "--nodes", "8", "--depth", "3",
+            "--slotframes", "8", "--workload", "rush-hour",
+        ])
+        assert code == 2

@@ -1,0 +1,263 @@
+"""Equivalence properties of the workload engine.
+
+Two families, extending the house equivalence-oracle style to
+workloads:
+
+*Replay byte-identity* — a generated stream, dumped to a JSONL trace
+and read back, is field-exact equal to the original; a second dump is
+byte-identical to the first; and driving a network from the recorded
+events produces the same demands/schedule/metrics digests as driving
+it from a fresh regeneration of the same spec.  generate -> dump ->
+replay loses nothing.
+
+*Merge order* — :func:`repro.workload.merge_streams` is a total order:
+the merged sequence is exactly ``sorted(all events, key=sort_key)``,
+is invariant under permutation of the input streams (the tie-break is
+the stream's *name*, not its argument position), and preserves each
+stream's internal sequence even when many streams share the same
+timestamps (the shift-envelope shape: one event per node on the same
+boundary frame).
+
+``WORKLOAD_EQUIV_EXAMPLES`` scales the hypothesis example budget (CI
+default keeps tier-1 fast; the acceptance run uses 1000+).
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    PRESETS,
+    WorkloadEvent,
+    WorkloadSpec,
+    events_equal,
+    merge_streams,
+    preset_spec,
+    read_events,
+    read_trace,
+    trace_spec,
+    verify_trace,
+    write_trace,
+)
+from repro.workload.drivers import drive_network, network_for_spec
+
+_EXAMPLES = int(os.environ.get("WORKLOAD_EQUIV_EXAMPLES", "60"))
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+presets = st.sampled_from(PRESETS)
+
+
+@st.composite
+def specs(draw):
+    """Preset-backed specs over a compact parameter box (small enough
+    that a drawn example drives a real network in milliseconds)."""
+    return preset_spec(
+        draw(presets),
+        seed=draw(st.integers(0, 10_000)),
+        frames=float(draw(st.integers(6, 24))),
+        devices=draw(st.integers(5, 10)),
+        depth=draw(st.integers(2, 3)),
+    )
+
+
+@st.composite
+def composite_specs(draw):
+    """Cross-preset generator compositions: generator docs drawn from
+    *different* presets merged into one spec (renamed for uniqueness).
+    This is the composition surface single presets never exercise."""
+    chosen = draw(
+        st.lists(presets, min_size=2, max_size=3)
+    )
+    generators = []
+    for i, preset in enumerate(chosen):
+        base = preset_spec(
+            preset, seed=0, frames=12.0,
+            devices=draw(st.integers(5, 8)), depth=2,
+        )
+        doc = dict(base.generators[draw(
+            st.integers(0, len(base.generators) - 1)
+        )])
+        doc["name"] = f"g{i}-{doc['name']}"
+        doc.pop("seed", None)  # let the spec seed derive it
+        generators.append(doc)
+    return WorkloadSpec(
+        name="composite",
+        seed=draw(st.integers(0, 10_000)),
+        frames=float(draw(st.integers(6, 16))),
+        generators=tuple(generators),
+        network={"devices": 8, "depth": 2, "seed": 1},
+    )
+
+
+any_spec = st.one_of(specs(), composite_specs())
+
+#: Frames drawn from a tiny menu so cross-stream ties are the norm,
+#: not the exception, plus arbitrary floats for irregular spacing.
+tie_frames = st.one_of(
+    st.sampled_from([0.0, 1.0, 1.0, 2.0, 2.5, 3.0]),
+    st.floats(0.0, 8.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def raw_streams(draw):
+    """Hand-built per-stream event lists: sorted within each stream,
+    heavy timestamp collisions across streams."""
+    num_streams = draw(st.integers(1, 5))
+    streams = []
+    for s in range(num_streams):
+        name = f"s{s}"
+        frames = sorted(
+            draw(st.lists(tie_frames, min_size=0, max_size=8))
+        )
+        streams.append(
+            [
+                WorkloadEvent(
+                    frame=frame,
+                    kind=draw(st.sampled_from(("rate_change", "attach"))),
+                    node=draw(st.integers(1, 30)),
+                    rate=draw(st.sampled_from((0.5, 1.0, 2.0))),
+                    parent=draw(st.integers(0, 5)),
+                    stream=name,
+                    seq=seq,
+                )
+                for seq, frame in enumerate(frames)
+            ]
+        )
+    return streams
+
+
+# ----------------------------------------------------------------------
+# replay byte-identity
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=any_spec)
+def test_generate_dump_replay_is_field_exact(spec, tmp_path_factory):
+    """generate -> dump -> read loses nothing; a re-dump of the read
+    events is byte-identical to the original file."""
+    path = str(tmp_path_factory.mktemp("wl") / "trace.jsonl")
+    events = list(spec.events())
+    assert events_equal(events, spec.events())  # regeneration is stable
+
+    count = write_trace(path, iter(events), spec=spec)
+    assert count == len(events)
+    header, replayed = read_trace(path)
+    replayed = list(replayed)
+    assert events_equal(events, replayed)
+
+    respec = trace_spec(header)
+    assert respec == spec
+    assert events_equal(events, respec.events())
+
+    second = path + ".2"
+    write_trace(second, iter(replayed), spec=respec)
+    with open(path, "rb") as a, open(second, "rb") as b:
+        assert a.read() == b.read()
+
+
+@settings(max_examples=_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=any_spec)
+def test_spec_round_trips_through_dict(spec):
+    restored = WorkloadSpec.from_dict(spec.to_dict())
+    assert restored == spec
+    assert events_equal(spec.events(), restored.events())
+
+
+@settings(max_examples=max(10, _EXAMPLES // 4), deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=specs())
+def test_trace_and_regeneration_drive_identical_networks(
+    spec, tmp_path_factory
+):
+    """The replay certificate's core: recorded events and a fresh
+    regeneration of the embedded spec drive two fresh networks to the
+    same demands/schedule/network digest and the same engine metrics
+    digest."""
+    path = str(tmp_path_factory.mktemp("wl") / "trace.jsonl")
+    write_trace(path, spec.events(), spec=spec)
+
+    recorded = drive_network(
+        network_for_spec(spec), read_events(path), sim_frames=3
+    )
+    regenerated = drive_network(
+        network_for_spec(spec), spec.events(), sim_frames=3
+    )
+    assert recorded.to_dict() == regenerated.to_dict()
+    assert recorded.digest and recorded.metrics
+
+
+@settings(max_examples=max(10, _EXAMPLES // 4), deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=any_spec)
+def test_verify_trace_certificate_passes(spec, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("wl") / "trace.jsonl")
+    write_trace(path, spec.events(), spec=spec)
+    certificate = verify_trace(path)
+    assert certificate["ok"], certificate["failures"]
+
+
+# ----------------------------------------------------------------------
+# merge order
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=_EXAMPLES, deadline=None)
+@given(streams=raw_streams(), salt=st.integers(0, 2**32 - 1))
+def test_merge_invariant_under_stream_permutation(streams, salt):
+    """Any shuffle of the input stream list merges to the same
+    sequence — the tie-break is the stream name, never the position."""
+    merged = list(merge_streams(streams))
+    shuffled = list(streams)
+    random.Random(salt).shuffle(shuffled)
+    assert events_equal(merged, merge_streams(shuffled))
+
+
+@settings(max_examples=_EXAMPLES, deadline=None)
+@given(streams=raw_streams())
+def test_merge_equals_global_sort(streams):
+    """The lazy heap merge is exactly a stable global sort by the
+    total order (frame, stream, seq)."""
+    merged = list(merge_streams(streams))
+    flat = [event for stream in streams for event in stream]
+    assert merged == sorted(flat, key=lambda e: e.sort_key)
+    keys = [e.sort_key for e in merged]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)  # total order: no equal keys
+
+
+@settings(max_examples=_EXAMPLES, deadline=None)
+@given(streams=raw_streams())
+def test_merge_preserves_per_stream_order(streams):
+    """Tie timestamps never reorder a stream against itself."""
+    merged = list(merge_streams(streams))
+    for stream in streams:
+        name = stream[0].stream if stream else None
+        assert [e for e in merged if e.stream == name] == stream or not stream
+
+
+def test_shift_envelope_ties_merge_deterministically():
+    """The worst tie case by construction: every node of two shift
+    envelopes fires on the same boundary frames.  The merged order is
+    pinned by (frame, name, seq) and permutation-stable."""
+    from repro.workload.generators import ShiftEnvelope
+
+    a = ShiftEnvelope("a-shift", seed=1, frames=12.0,
+                      nodes=(1, 2, 3), period=6.0)
+    b = ShiftEnvelope("b-shift", seed=2, frames=12.0,
+                      nodes=(2, 3, 4), period=6.0)
+    forward = list(merge_streams([list(a.events()), list(b.events())]))
+    backward = list(merge_streams([list(b.events()), list(a.events())]))
+    assert events_equal(forward, backward)
+    keys = [e.sort_key for e in forward]
+    assert keys == sorted(keys)

@@ -1,0 +1,74 @@
+"""CLI surfaces of the verify harness.
+
+``repro fuzz --replay`` is the nightly triage tool: a corpus that
+mixes static-conformance and live-chaos counterexamples must say *per
+pipeline* how many entries replayed and how many still fail — an
+aggregate line alone can't tell a re-broken live layer from a stale
+static witness.
+"""
+
+import json
+
+from repro.cli import main
+from repro.verify import generate_live_scenario, generate_scenario
+from repro.verify.fuzz import Counterexample
+
+
+def _static_entry(seed):
+    return Counterexample(
+        scenario=generate_scenario(seed), violations=[]
+    ).to_dict()
+
+
+def _live_entry(seed):
+    return {"scenario": generate_live_scenario(seed).to_dict(),
+            "violations": []}
+
+
+def _write_corpus(path, entries):
+    path.write_text(json.dumps({"counterexamples": entries}))
+    return str(path)
+
+
+class TestFuzzReplayCli:
+    def test_mixed_corpus_reports_per_kind_counts(self, tmp_path, capsys):
+        corpus = _write_corpus(
+            tmp_path / "corpus.json",
+            [_static_entry(0), _static_entry(1), _live_entry(0)],
+        )
+        code = main(["fuzz", "--replay", corpus])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 3 counterexample(s): 0 still failing" in out
+        assert "live: 1 replayed, 0 still failing" in out
+        assert "static: 2 replayed, 0 still failing" in out
+
+    def test_single_kind_corpus_skips_the_breakdown(self, tmp_path, capsys):
+        corpus = _write_corpus(
+            tmp_path / "corpus.json", [_static_entry(0)]
+        )
+        code = main(["fuzz", "--replay", corpus])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 1 counterexample(s): 0 still failing" in out
+        # One pipeline -> the aggregate line already says everything.
+        assert "static:" not in out
+
+    def test_failing_replays_are_kind_tagged(self, tmp_path, capsys):
+        # An undetachable scenario makes run_case crash deterministically:
+        # node 99 doesn't exist, so the replay still fails and its
+        # failure lines must carry the pipeline tag.
+        broken = _static_entry(0)
+        broken["scenario"]["ops"] = [
+            {"kind": "rate_change", "node": 99, "parent": 0, "rate": 1.0}
+        ]
+        corpus = _write_corpus(
+            tmp_path / "corpus.json", [broken, _live_entry(0)]
+        )
+        code = main(["fuzz", "--replay", corpus])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "replayed 2 counterexample(s): 1 still failing" in out
+        assert "static: 1 replayed, 1 still failing" in out
+        assert "live: 1 replayed, 0 still failing" in out
+        assert "[static]" in out

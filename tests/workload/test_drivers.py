@@ -1,0 +1,155 @@
+"""The three workload consumers: manager drive, live drive, fleet
+schedule folding."""
+
+import random
+
+import pytest
+
+from repro.agents.live import LiveHarpNetwork
+from repro.net.slotframe import SlotframeConfig
+from repro.net.tasks import e2e_task_per_node
+from repro.net.topology import TreeTopology
+from repro.workload import (
+    WorkloadEvent,
+    drive_live,
+    drive_network,
+    fleet_rate_schedule,
+    preset_spec,
+)
+from repro.workload.drivers import network_for_spec
+
+
+def _spec(preset="mixed", seed=5, frames=20.0, devices=8, depth=3):
+    return preset_spec(
+        preset, seed=seed, frames=frames, devices=devices, depth=depth
+    )
+
+
+class TestDriveNetwork:
+    def test_drive_is_deterministic(self):
+        spec = _spec()
+        a = drive_network(network_for_spec(spec), spec.events(),
+                          sim_frames=3)
+        b = drive_network(network_for_spec(spec), spec.events(),
+                          sim_frames=3)
+        assert a.to_dict() == b.to_dict()
+        assert a.applied > 0
+        assert a.digest and a.metrics
+
+    def test_skip_rule_is_deterministic_and_silent(self):
+        spec = _spec()
+        ghost = [
+            # Operands that never exist: skipped, never applied.
+            WorkloadEvent(frame=0.0, kind="rate_change", node=999,
+                          stream="ghost", seq=0),
+            WorkloadEvent(frame=0.0, kind="detach", node=998,
+                          stream="ghost", seq=1),
+            WorkloadEvent(frame=0.0, kind="reparent", node=997,
+                          parent=0, stream="ghost", seq=2),
+            WorkloadEvent(frame=0.0, kind="attach", node=1,
+                          parent=996, stream="ghost", seq=3),
+        ]
+        report = drive_network(network_for_spec(spec), iter(ghost))
+        assert report.applied == 0
+        assert report.skipped == 4
+        assert report.stopped_at is None
+
+    def test_rate_events_change_demands(self):
+        spec = _spec("steady", seed=1)
+        harp = network_for_spec(spec)
+        before = dict(harp.link_demands)
+        report = drive_network(harp, spec.events())
+        assert report.by_kind.get("rate_change", 0) > 0
+        assert harp.link_demands != before
+
+    def test_network_digest_differs_across_seeds(self):
+        a_spec, b_spec = _spec(seed=1), _spec(seed=2)
+        a = drive_network(network_for_spec(a_spec), a_spec.events())
+        b = drive_network(network_for_spec(b_spec), b_spec.events())
+        assert a.digest != b.digest
+
+
+class TestDriveLive:
+    def test_live_workload_applies_and_heals(self):
+        tree = TreeTopology(
+            {1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3, 7: 4, 8: 5}
+        )
+        config = SlotframeConfig(num_slots=60, num_channels=8,
+                                 management_slots=20)
+        live = LiveHarpNetwork(
+            tree, e2e_task_per_node(tree), config,
+            rng=random.Random(0), max_packet_age_slots=300,
+        )
+        live.bootstrap()
+        events = [
+            WorkloadEvent(frame=1.0, kind="rate_change", node=6,
+                          rate=2.0, stream="w", seq=0),
+            WorkloadEvent(frame=2.0, kind="detach", node=7,
+                          stream="w", seq=1),
+            WorkloadEvent(frame=3.0, kind="attach", node=20, parent=1,
+                          rate=1.0, stream="w", seq=2),
+            # Past the horizon: ignored entirely.
+            WorkloadEvent(frame=50.0, kind="rate_change", node=6,
+                          rate=1.0, stream="w", seq=3),
+        ]
+        report = live.run_workload(iter(events), run_frames=6)
+        assert report.detaches_scheduled == 1
+        assert report.by_kind.get("rate_change") == 1
+        assert report.by_kind.get("attach") == 1
+        assert live.node_down(7)
+        assert 20 in live.runtime.agents
+
+    def test_live_skips_events_on_missing_operands(self):
+        tree = TreeTopology({1: 0, 2: 0, 3: 1})
+        config = SlotframeConfig(num_slots=60, num_channels=8,
+                                 management_slots=20)
+        live = LiveHarpNetwork(
+            tree, e2e_task_per_node(tree), config,
+            rng=random.Random(0), max_packet_age_slots=300,
+        )
+        live.bootstrap()
+        events = [
+            WorkloadEvent(frame=0.0, kind="rate_change", node=99,
+                          stream="w", seq=0),
+            WorkloadEvent(frame=0.0, kind="detach", node=98,
+                          stream="w", seq=1),
+            WorkloadEvent(frame=1.0, kind="attach", node=10, parent=97,
+                          stream="w", seq=2),
+        ]
+        report = live.run_workload(iter(events), run_frames=3)
+        assert report.applied == 0
+        assert report.skipped == 3
+
+
+class TestFleetRateSchedule:
+    def test_only_rate_changes_fold(self):
+        events = [
+            WorkloadEvent(frame=0.5, kind="rate_change", node=3,
+                          rate=2.0, stream="w", seq=0),
+            WorkloadEvent(frame=1.0, kind="attach", node=30, parent=0,
+                          stream="w", seq=1),
+            WorkloadEvent(frame=2.9, kind="rate_change", node=5,
+                          rate=0.5, stream="w", seq=2),
+        ]
+        schedule = fleet_rate_schedule(events, num_devices=8,
+                                       slotframes=4)
+        assert schedule == {0: [(3, 2.0)], 2: [(5, 0.5)]}
+
+    def test_targets_fold_onto_device_range(self):
+        events = [
+            WorkloadEvent(frame=0.0, kind="rate_change", node=9,
+                          rate=1.5, stream="w", seq=0),
+        ]
+        schedule = fleet_rate_schedule(events, num_devices=8,
+                                       slotframes=2)
+        # Node 9 on an 8-device tree folds to device 1, never 0
+        # (the gateway) or out of range.
+        assert schedule == {0: [(1, 1.5)]}
+
+    def test_horizon_clamp(self):
+        events = [
+            WorkloadEvent(frame=7.0, kind="rate_change", node=1,
+                          rate=1.5, stream="w", seq=0),
+        ]
+        assert fleet_rate_schedule(events, num_devices=4,
+                                   slotframes=5) == {}

@@ -1,0 +1,272 @@
+"""Unit coverage of the workload engine: events, generators, specs,
+traces.  (The equivalence *properties* live in
+``tests/properties/test_workload_equivalence.py``; these pin concrete
+behaviours and error paths.)"""
+
+import json
+
+import pytest
+
+from repro.workload import (
+    EVENT_KINDS,
+    PRESETS,
+    WorkloadEvent,
+    WorkloadSpec,
+    events_equal,
+    merge_streams,
+    preset_spec,
+    read_events,
+    read_header,
+    read_trace,
+    summarize_events,
+    trace_spec,
+    verify_trace,
+    write_trace,
+)
+from repro.workload.generators import (
+    GENERATOR_KINDS,
+    ChurnProcess,
+    DiurnalModulation,
+    MMPPBursts,
+    PoissonBursts,
+    ShiftEnvelope,
+    ZipfRateMix,
+    build_generator,
+)
+from repro.workload.spec import SEED_MIX
+
+
+class TestEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadEvent(frame=0.0, kind="explode", node=1)
+        with pytest.raises(ValueError):
+            WorkloadEvent(frame=-1.0, kind="rate_change", node=1)
+        with pytest.raises(ValueError):
+            WorkloadEvent(frame=0.0, kind="rate_change", node=1, rate=0.0)
+        # Detach carries no rate semantics; zero is tolerated there.
+        WorkloadEvent(frame=0.0, kind="detach", node=1, rate=1.0)
+
+    def test_dict_round_trip(self):
+        event = WorkloadEvent(
+            frame=2.5, kind="attach", node=7, rate=1.5,
+            parent=3, stream="churn", seq=4,
+        )
+        assert WorkloadEvent.from_dict(event.to_dict()) == event
+        assert WorkloadEvent.from_dict(
+            json.loads(json.dumps(event.to_dict()))
+        ) == event
+
+    def test_summarize(self):
+        events = [
+            WorkloadEvent(frame=1.0, kind="rate_change", node=1,
+                          stream="a", seq=0),
+            WorkloadEvent(frame=3.0, kind="detach", node=2,
+                          stream="b", seq=0),
+        ]
+        summary = summarize_events(events)
+        assert summary["events"] == 2
+        assert summary["first_frame"] == 1.0
+        assert summary["last_frame"] == 3.0
+        assert summary["by_kind"] == {"detach": 1, "rate_change": 1}
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", sorted(GENERATOR_KINDS))
+    def test_every_kind_is_deterministic_and_sorted(self, kind):
+        def build():
+            return build_generator(_doc_for(kind))
+
+        first = list(build().events())
+        second = list(build().events())
+        assert events_equal(first, second)
+        keys = [e.sort_key for e in first]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+        assert all(e.frame < 20.0 for e in first)
+
+    def test_doc_round_trip_rebuilds_equal_stream(self):
+        for kind in sorted(GENERATOR_KINDS):
+            doc = _doc_for(kind)
+            rebuilt = build_generator(build_generator(doc).to_dict())
+            assert events_equal(
+                build_generator(doc).events(), rebuilt.events()
+            )
+
+    def test_seed_changes_the_stream(self):
+        a = ZipfRateMix("z", seed=1, frames=30.0, nodes=(1, 2, 3, 4))
+        b = ZipfRateMix("z", seed=2, frames=30.0, nodes=(1, 2, 3, 4))
+        assert not events_equal(a.events(), b.events())
+
+    def test_churn_only_detaches_its_own_nodes(self):
+        churn = ChurnProcess(
+            "c", seed=3, frames=60.0, anchors=(0, 1, 2),
+            first_node_id=100, attach_every=3.0, detach_every=5.0,
+        )
+        events = list(churn.events())
+        attached = {e.node for e in events if e.kind == "attach"}
+        assert attached  # the process actually churns
+        for event in events:
+            if event.kind in ("detach", "reparent"):
+                assert event.node in attached
+
+    def test_diurnal_wraps_and_restamps(self):
+        inner = ZipfRateMix("z", seed=5, frames=40.0, nodes=(1, 2, 3))
+        wrapped = DiurnalModulation(
+            "day", seed=5, frames=40.0,
+            inner=inner.to_dict(), period=20.0,
+        )
+        events = list(wrapped.events())
+        assert events
+        assert all(e.stream == "day" for e in events)
+        inner_events = list(inner.events())
+        assert [e.frame for e in events] == [
+            e.frame for e in inner_events
+        ]
+        assert any(
+            e.rate != i.rate for e, i in zip(events, inner_events)
+        )
+
+    def test_shift_envelope_fires_every_node_per_boundary(self):
+        shift = ShiftEnvelope(
+            "s", seed=0, frames=12.0, nodes=(1, 2, 3),
+            period=6.0, factors=(0.5, 2.0),
+        )
+        events = list(shift.events())
+        boundaries = sorted({e.frame for e in events})
+        assert boundaries == [0.0, 3.0, 6.0, 9.0]
+        for boundary in boundaries:
+            assert [
+                e.node for e in events if e.frame == boundary
+            ] == [1, 2, 3]
+
+    def test_burst_rates_are_positive_and_kinds_valid(self):
+        for gen in (
+            PoissonBursts("p", seed=1, frames=50.0, nodes=(1, 2),
+                          events_per_frame=2.0),
+            MMPPBursts("m", seed=1, frames=50.0, nodes=(1, 2)),
+        ):
+            events = list(gen.events())
+            assert events
+            for event in events:
+                assert event.kind in EVENT_KINDS
+                assert event.rate > 0
+
+
+class TestSpec:
+    def test_unique_generator_names_enforced(self):
+        doc = _doc_for("zipf_mix")
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="dup", seed=0, frames=10.0,
+                generators=(doc, dict(doc)),
+            )
+
+    def test_spec_seed_derives_generator_seeds(self):
+        doc = dict(_doc_for("zipf_mix"))
+        doc.pop("seed")
+        spec = WorkloadSpec(
+            name="derived", seed=9, frames=10.0, generators=(doc,)
+        )
+        (gen,) = spec.materialize()
+        assert gen.seed == 9 * SEED_MIX
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_presets_build_and_emit(self, preset):
+        spec = preset_spec(preset, seed=1, frames=30.0, devices=8, depth=3)
+        events = list(spec.events())
+        assert events
+        assert spec.network == {"devices": 8, "depth": 3, "seed": 1}
+        # Distinct spec seeds shift every preset's stream.
+        other = preset_spec(preset, seed=2, frames=30.0, devices=8, depth=3)
+        assert not events_equal(events, other.events())
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            preset_spec("rush_hour", seed=0)
+
+
+class TestTrace:
+    def test_header_and_lazy_body(self, tmp_path):
+        spec = preset_spec("steady", seed=4, frames=20.0, devices=6, depth=2)
+        path = str(tmp_path / "t.jsonl")
+        count = write_trace(path, spec.events(), spec=spec)
+        header = read_header(path)
+        assert header["kind"] == "harp-workload-trace"
+        assert header["events"] == count
+        assert trace_spec(header) == spec
+        assert events_equal(read_events(path), spec.events())
+
+    def test_bare_event_log_has_no_spec(self, tmp_path):
+        events = [
+            WorkloadEvent(frame=0.0, kind="rate_change", node=1,
+                          stream="s", seq=0)
+        ]
+        path = str(tmp_path / "bare.jsonl")
+        write_trace(path, iter(events))
+        header, replayed = read_trace(path)
+        assert trace_spec(header) is None
+        assert events_equal(events, replayed)
+        assert verify_trace(path)["ok"]
+
+    def test_verify_trace_flags_tampering(self, tmp_path):
+        spec = preset_spec("burst", seed=2, frames=20.0, devices=6, depth=2)
+        path = str(tmp_path / "t.jsonl")
+        write_trace(path, spec.events(), spec=spec)
+        lines = open(path).read().splitlines()
+        doc = json.loads(lines[1])
+        doc["rate"] = doc.get("rate", 1.0) + 0.25
+        lines[1] = json.dumps(doc, separators=(",", ":"))
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        certificate = verify_trace(path)
+        assert not certificate["ok"]
+        assert certificate["failures"]
+
+    def test_verify_trace_flags_truncation(self, tmp_path):
+        spec = preset_spec("burst", seed=2, frames=20.0, devices=6, depth=2)
+        path = str(tmp_path / "t.jsonl")
+        write_trace(path, spec.events(), spec=spec)
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")
+        assert not verify_trace(path)["ok"]
+
+    def test_merge_of_preset_streams_is_trace_stable(self, tmp_path):
+        spec = preset_spec("mixed", seed=8, frames=25.0, devices=8, depth=3)
+        merged = list(merge_streams(
+            [list(g.events()) for g in spec.materialize()]
+        ))
+        assert events_equal(merged, spec.events())
+
+
+def _doc_for(kind):
+    """A small valid generator doc of each registered kind."""
+    docs = {
+        "zipf_mix": ZipfRateMix(
+            "z", seed=1, frames=20.0, nodes=(1, 2, 3, 4)
+        ).to_dict(),
+        "poisson": PoissonBursts(
+            "p", seed=1, frames=20.0, nodes=(1, 2, 3),
+            events_per_frame=1.0,
+        ).to_dict(),
+        "mmpp": MMPPBursts(
+            "m", seed=1, frames=20.0, nodes=(1, 2, 3)
+        ).to_dict(),
+        "shift": ShiftEnvelope(
+            "s", seed=1, frames=20.0, nodes=(1, 2, 3), period=8.0
+        ).to_dict(),
+        "churn": ChurnProcess(
+            "c", seed=1, frames=20.0, anchors=(0, 1),
+            first_node_id=50,
+        ).to_dict(),
+        "diurnal": DiurnalModulation(
+            "d", seed=1, frames=20.0,
+            inner=ZipfRateMix(
+                "z", seed=1, frames=20.0, nodes=(1, 2)
+            ).to_dict(),
+            period=10.0,
+        ).to_dict(),
+    }
+    assert set(docs) == set(GENERATOR_KINDS)
+    return docs[kind]
