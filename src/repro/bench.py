@@ -215,21 +215,37 @@ def _scale_network(n: int, seed: int = 7, rate: float = 1.0):
     return topology, tasks, config
 
 
-def bench_scale_static(n: int, seed: int = 7) -> Dict[str, float]:
-    """Static allocation + invariant validation wall time at ``n`` nodes."""
+def bench_scale_static(
+    n: int, seed: int = 7, parallel_static=False
+) -> Dict[str, object]:
+    """Static allocation + invariant validation wall time at ``n`` nodes.
+
+    ``parallel_static`` selects the forked static-phase fan-out
+    (``True`` = one worker per CPU, int = explicit worker count) —
+    byte-identical tables, so serial and parallel arms time the same
+    semantic work.  The returned ``cache`` block carries the
+    composition-cache counters of the run; a parallel run adds the
+    ``parallel`` stats block (mode, workers, cut depth, units).
+    """
     topology, tasks, config = _scale_network(n, seed)
     start = time.perf_counter()
     harp = HarpNetwork(
-        topology, tasks, config, case1_slack=1, distribute_slack=True
+        topology, tasks, config, case1_slack=1, distribute_slack=True,
+        parallel_static=parallel_static,
     )
     harp.allocate()
     harp.validate()
     elapsed = time.perf_counter() - start
-    return {
+    stats = harp.stats
+    out: Dict[str, object] = {
         "seconds": elapsed,
         "nodes_per_sec": n / elapsed,
         "cells": float(harp.schedule.total_assignments),
+        "cache": stats["composition_cache"],
     }
+    if "parallel_static" in stats:
+        out["parallel"] = stats["parallel_static"]
+    return out
 
 
 def bench_scale_storm(
@@ -339,43 +355,81 @@ def bench_scale_engine(
     }
 
 
+#: The default scale-suite arms, in run order.  ``static_parallel`` is
+#: opt-in (via ``parallel_static``): it re-runs the static phase on the
+#: forked worker pool, which only means something on a multi-core box.
+SCALE_ARMS = ("static", "storm", "engine")
+
+
 def run_scale_benchmarks(
     sizes: Sequence[int] = (100, 1000, 5000, 10000),
     storm_ops: int = 12,
     engine_slotframes: int = 3,
     seed: int = 7,
     array_core: bool = False,
+    arms: Optional[Sequence[str]] = None,
+    parallel_static=False,
 ) -> Dict[str, object]:
-    """Run the full scaling suite and assemble its report section.
+    """Run the scaling suite and assemble its report section.
 
     Per size: static allocation, the dynamics storm and the engine
-    burst.  ``speedup_vs_baseline`` compares against the committed
+    burst.  ``arms`` restricts which of those run (default: all three)
+    so a CI smoke job can pay for exactly the arm it gates — earlier
+    versions ran everything regardless, which is why the equivalence
+    smoke burned storm/engine time it never looked at.
+    ``speedup_vs_baseline`` compares against the committed
     pre-optimization :data:`SCALE_BASELINE` where that was measured.
     ``array_core=True`` runs the engine burst on the struct-of-arrays
     core — required for the N=100000 rung to finish in nightly budget.
+    ``parallel_static`` adds a ``static_parallel`` point per size (the
+    same allocation on the forked worker pool, byte-identical tables)
+    plus a ``static_parallel`` speedup entry when the serial arm also
+    ran — the serial-vs-parallel comparison is same-box, so it is
+    hardware-normalized by construction.
     """
+    chosen = tuple(arms) if arms is not None else SCALE_ARMS
+    unknown = set(chosen) - set(SCALE_ARMS)
+    if unknown:
+        raise ValueError(
+            f"unknown arms {sorted(unknown)}; pick from {list(SCALE_ARMS)}"
+        )
     points: Dict[str, Dict[str, Dict[str, float]]] = {}
     speedups: Dict[str, Dict[str, float]] = {}
     for n in sizes:
-        static = bench_scale_static(n, seed)
-        storm = bench_scale_storm(n, storm_ops, seed)
-        engine = bench_scale_engine(
-            n, engine_slotframes, seed, array_core=array_core
-        )
-        points[str(n)] = {
-            "static": static, "storm": storm, "engine": engine,
-        }
+        point: Dict[str, Dict[str, float]] = {}
+        if "static" in chosen:
+            point["static"] = bench_scale_static(n, seed)
+        if parallel_static:
+            point["static_parallel"] = bench_scale_static(
+                n, seed, parallel_static=parallel_static
+            )
+        if "storm" in chosen:
+            point["storm"] = bench_scale_storm(n, storm_ops, seed)
+        if "engine" in chosen:
+            point["engine"] = bench_scale_engine(
+                n, engine_slotframes, seed, array_core=array_core
+            )
+        points[str(n)] = point
         point_speedups: Dict[str, float] = {}
         base_static = SCALE_BASELINE["static_seconds"].get(str(n))
-        if base_static:
-            point_speedups["static"] = base_static / static["seconds"]
+        if base_static and "static" in point:
+            point_speedups["static"] = (
+                base_static / point["static"]["seconds"]
+            )
+        if "static" in point and "static_parallel" in point:
+            point_speedups["static_parallel"] = (
+                point["static"]["seconds"]
+                / point["static_parallel"]["seconds"]
+            )
         base_storm = SCALE_BASELINE["storm_seconds"].get(str(n))
-        if base_storm:
-            point_speedups["storm"] = base_storm / storm["seconds"]
+        if base_storm and "storm" in point:
+            point_speedups["storm"] = (
+                base_storm / point["storm"]["seconds"]
+            )
         base_engine = SCALE_BASELINE["engine_slots_per_sec"].get(str(n))
-        if base_engine:
+        if base_engine and "engine" in point:
             point_speedups["engine"] = (
-                engine["slots_per_sec"] / base_engine
+                point["engine"]["slots_per_sec"] / base_engine
             )
         if point_speedups:
             speedups[str(n)] = point_speedups
@@ -385,6 +439,12 @@ def run_scale_benchmarks(
         "engine_slotframes": engine_slotframes,
         "seed": seed,
         "array_core": array_core,
+        "arms": list(chosen),
+        "parallel_static": (
+            int(parallel_static)
+            if not isinstance(parallel_static, bool)
+            else parallel_static
+        ),
         "points": points,
         "baseline": {k: dict(v) for k, v in SCALE_BASELINE.items()},
         "speedup_vs_baseline": speedups,
@@ -392,23 +452,66 @@ def run_scale_benchmarks(
 
 
 def render_scale_report(scale: Dict[str, object]) -> str:
-    """Human-readable scaling table."""
+    """Human-readable scaling table.
+
+    Tolerates missing arms (the suite only runs what ``arms`` asked
+    for) and appends per-size composition-cache counters plus the
+    parallel-static arm when those ran.
+    """
     lines = [
-        "   nodes   static s     storm s    storm op/s   engine slots/s",
-        "  ------  ----------  ----------  -----------  ---------------",
+        "   nodes   static s   par-stat s     storm s    storm op/s"
+        "   engine slots/s",
+        "  ------  ----------  ----------  ----------  -----------"
+        "  ---------------",
     ]
+
+    def _num(point, arm, key, width, fmt):
+        sub = point.get(arm)
+        if not sub:
+            return " " * (width - 1) + "-"
+        return f"{sub[key]:>{width}{fmt}}"
+
     for n in scale["sizes"]:
         p = scale["points"][str(n)]
         lines.append(
-            f"  {n:>6}  {p['static']['seconds']:>10.3f}  "
-            f"{p['storm']['seconds']:>10.3f}  "
-            f"{p['storm']['ops_per_sec']:>11.2f}  "
-            f"{p['engine']['slots_per_sec']:>15,.0f}"
+            f"  {n:>6}  "
+            f"{_num(p, 'static', 'seconds', 10, '.3f')}  "
+            f"{_num(p, 'static_parallel', 'seconds', 10, '.3f')}  "
+            f"{_num(p, 'storm', 'seconds', 10, '.3f')}  "
+            f"{_num(p, 'storm', 'ops_per_sec', 11, '.2f')}  "
+            f"{_num(p, 'engine', 'slots_per_sec', 15, ',.0f')}"
         )
+    cache_lines = []
+    for n in scale["sizes"]:
+        p = scale["points"][str(n)]
+        for arm in ("static", "static_parallel"):
+            sub = p.get(arm)
+            cache = (sub or {}).get("cache")
+            if not cache:
+                continue
+            extra = ""
+            par = sub.get("parallel")
+            if par:
+                extra = (
+                    f", {par['mode']} x{par['workers']}"
+                    f" cut={par['cut_depth']} units={par['units']}"
+                )
+            cache_lines.append(
+                f"  N={n:<6} {arm:<15} "
+                f"hits={cache['hits']} misses={cache['misses']} "
+                f"delta_merges={cache['delta_merges']}{extra}"
+            )
+    if cache_lines:
+        lines.append("")
+        lines.append("composition cache (per static arm):")
+        lines.extend(cache_lines)
     speedups = scale.get("speedup_vs_baseline") or {}
     if speedups:
         lines.append("")
-        lines.append("speedup vs pre-optimization baseline (same scenarios):")
+        lines.append(
+            "speedup vs pre-optimization baseline (same scenarios;"
+            " static_parallel = serial/parallel, same box):"
+        )
         for n, per in sorted(speedups.items(), key=lambda kv: int(kv[0])):
             parts = ", ".join(
                 f"{name} {value:.2f}x" for name, value in sorted(per.items())
@@ -532,7 +635,14 @@ def profile_scenario(
     scenario: str, size: int = 1000, top: int = 25, seed: int = 7
 ) -> str:
     """cProfile one scale scenario; returns the top-``top`` cumulative
-    hot spots as text (the ``repro profile`` command)."""
+    hot spots as text (the ``repro profile`` command).
+
+    For the ``static`` scenario the cProfile listing is preceded by a
+    per-wave breakdown of the bottom-up static phase: one row per tree
+    depth with nodes composed, compositions run, compose vs Case-1 pack
+    time and cache hit/miss counts — the view that tells you which
+    waves the parallel fan-out can actually win on.
+    """
     import cProfile
     import io
     import pstats
@@ -546,6 +656,23 @@ def profile_scenario(
         raise ValueError(
             f"unknown scenario {scenario!r}; pick one of {sorted(runners)}"
         )
+    prefix = ""
+    if scenario == "static":
+        from .core.parallel_gen import render_wave_profile, static_wave_profile
+
+        topology, tasks, config = _scale_network(size, seed)
+        rows = static_wave_profile(
+            topology,
+            tasks.link_demands(topology),
+            config.num_channels,
+            case1_slack=1,
+            cache=CompositionCache(),
+        )
+        prefix = (
+            f"static waves at N={size} (deepest first, both directions):\n"
+            + render_wave_profile(rows)
+            + "\n\n"
+        )
     profiler = cProfile.Profile()
     profiler.enable()
     runners[scenario]()
@@ -553,7 +680,7 @@ def profile_scenario(
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(top)
-    return stream.getvalue()
+    return prefix + stream.getvalue()
 
 
 def run_benchmarks(

@@ -1,0 +1,650 @@
+"""Parallel bottom-up interface generation (the static-phase fan-out).
+
+The Sec. IV-B pass is embarrassingly parallel below any *cut depth* D:
+the subtrees rooted at depth D are disjoint, and every quantity a
+subtree's interfaces depend on — link demands (exact fixed-point
+integers, order-independent sums) and Algorithm-1 compositions (pure
+functions of the child size multiset) — lives inside the subtree.  PR 6
+certified exactly that: ``generate_interfaces(root=r)`` is per-node
+identical to the full-tree run.  This module exploits it:
+
+1. pick a cut depth (:func:`choose_cut_depth`, a work-balance estimate
+   over O(1) ``subtree_size`` spans — or serial outright for small
+   trees, where fork + merge overhead would dominate);
+2. fork a persistent worker pool (the fleet's fork/pre-warm pattern:
+   topology, demands and the shared
+   :class:`~repro.packing.composition.CompositionCache` are inherited
+   copy-on-write, so *nothing* is serialized on the way in);
+3. each worker generates the interfaces of its assigned subtree roots
+   (LPT-balanced by span) and ships back plain-tuple results plus the
+   cache entries it newly computed (``(key, layout)`` deltas);
+4. the parent merges in the fixed serial order — it replays
+   ``nodes_bottom_up()``, taking deep nodes from worker payloads and
+   finishing the depth``< D`` waves with the *same code object* the
+   serial pass runs (:func:`~repro.core.interface_gen.
+   generate_node_interface`) — so the resulting
+   :class:`~repro.core.interface_gen.InterfaceTable` is byte-for-byte
+   identical to serial: same interface/layout key order, same component
+   add-order, same POST-intf count.  Cache deltas merge afterwards, in
+   deterministic preorder of the subtree roots, and only once every
+   worker has succeeded.
+
+Any worker failure (crash, pipe loss, malformed payload) discards the
+whole parallel attempt and falls back to the serial pass — no partial
+merge ever touches the table or the cache, so a mid-wave crash cannot
+corrupt either.  The equivalence is enforced three ways: the hypothesis
+suite in ``tests/properties/test_parallel_gen_equivalence.py``, the
+``parallel_equivalence`` oracle in ``repro fuzz``, and
+:func:`table_digest` spot checks in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..net.tasks import demands_by_parent
+from ..net.topology import Direction, LinkRef, TreeTopology
+from ..packing.composition import CompositionCache
+from ..packing.geometry import PlacedRect
+from .component import ResourceComponent, ResourceInterface
+from .interface_gen import (
+    InterfaceTable,
+    generate_interfaces,
+    generate_node_interface,
+)
+
+#: Below this node count the tree goes serial: one fork + two pipe
+#: round-trips cost more than the whole pass.  Low enough that the CI
+#: smoke rung (N=1000) genuinely exercises the pool; typical fleet
+#: trees (a few dozen nodes) stay serial and pay zero overhead.
+DEFAULT_MIN_NODES = 256
+
+
+@dataclass
+class ParallelStaticStats:
+    """What the parallel static phase actually did (observability only —
+    never part of any result contract)."""
+
+    #: Worker count resolved from ``parallel_static`` (auto = cpu count).
+    requested_workers: int = 0
+    #: Workers actually forked (0 when the pass ran serially).
+    workers: int = 0
+    #: ``serial-small`` / ``serial-no-fork`` / ``serial-no-cut`` /
+    #: ``serial-fallback`` / ``parallel``.
+    mode: str = "serial-small"
+    cut_depth: Optional[int] = None
+    #: Independent subtree work units fanned out.
+    units: int = 0
+    #: Parallel attempts abandoned for the serial path (worker crash).
+    fallbacks: int = 0
+    #: Cache entries folded in from worker deltas.
+    delta_entries: int = 0
+    #: Wall seconds inside the pool (fork to join), 0 when serial.
+    pool_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def fork_available() -> bool:
+    """Whether the fork start method exists (the pool's precondition —
+    copy-on-write input inheritance only works under fork)."""
+    try:
+        mp.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+def resolve_workers(parallel_static: Union[bool, int]) -> int:
+    """Map the user-facing ``parallel_static`` knob to a worker count:
+    ``False``/``0``/``1`` -> 0 (serial), ``True`` -> cpu count, an int
+    ``>= 2`` -> that many workers."""
+    if parallel_static is True:
+        return os.cpu_count() or 1
+    workers = int(parallel_static)
+    return workers if workers >= 2 else 0
+
+
+def choose_cut_depth(
+    topology: TreeTopology,
+    workers: int,
+    min_nodes: int = DEFAULT_MIN_NODES,
+) -> Optional[int]:
+    """The depth whose subtree fan-out balances best across ``workers``.
+
+    Candidate depths are scored with a node-count work proxy:
+    ``serial_top + max(largest_span, total_span / workers)`` — the
+    nodes the parent must finish alone plus the critical-path worker
+    load (an LPT bound).  Spans come from O(1) ``subtree_size``, so the
+    whole scan is O(depth x width).  Deterministic: ties go to the
+    shallowest depth.  Returns ``None`` (serial) for small trees,
+    ``workers < 2``, or when no depth offers >= 2 non-leaf subtree
+    roots to fan out.
+    """
+    total = len(topology.nodes)
+    if workers < 2 or total < min_nodes:
+        return None
+    best_depth: Optional[int] = None
+    best_score = float(total)  # serial cost: every node in one pass
+    for depth in range(1, topology.max_layer):
+        spans = [
+            topology.subtree_size(root)
+            for root in topology.nodes_at_depth(depth)
+            if not topology.is_leaf(root)
+        ]
+        if len(spans) < 2:
+            continue
+        fanned = sum(spans)
+        serial_top = total - fanned
+        score = serial_top + max(max(spans), fanned / workers)
+        if score < best_score:
+            best_score = score
+            best_depth = depth
+    return best_depth
+
+
+def cut_roots(topology: TreeTopology, cut_depth: int) -> List[int]:
+    """The parallel work units: non-leaf subtree roots at the cut depth,
+    in deterministic preorder."""
+    return sorted(
+        (
+            root
+            for root in topology.nodes_at_depth(cut_depth)
+            if not topology.is_leaf(root)
+        ),
+        key=topology.preorder_index,
+    )
+
+
+# ----------------------------------------------------------------------
+# wire format: plain tuples only, so worker payloads pickle trivially
+# ----------------------------------------------------------------------
+
+#: One node's interface on the wire: components in add-order, layouts
+#: in insertion order, each placement as (tag, x, y, w, h).
+_NodeEnc = Tuple[
+    int,
+    List[Tuple[int, int, int]],
+    List[Tuple[int, List[Tuple[object, int, int, int, int]]]],
+]
+
+
+def _encode_table(table: InterfaceTable) -> Tuple[List[_NodeEnc], int]:
+    """Flatten a subtree's table preserving every insertion order."""
+    layouts_by_node: Dict[int, List] = {}
+    for (node, layer), layout in table.layouts.items():
+        layouts_by_node.setdefault(node, []).append(
+            (layer, [(p.tag, p.x, p.y, p.width, p.height)
+                     for p in layout.values()])
+        )
+    nodes: List[_NodeEnc] = []
+    for node, interface in table.interfaces.items():
+        components = [
+            (layer, comp.n_slots, comp.n_channels)
+            for layer, comp in interface.components.items()
+        ]
+        nodes.append((node, components, layouts_by_node.get(node, [])))
+    return nodes, table.post_intf_messages
+
+
+def _merge_direction(
+    topology: TreeTopology,
+    link_demands: Mapping[LinkRef, int],
+    direction: Direction,
+    num_channels: int,
+    case1_slack: int,
+    cache: Optional[CompositionCache],
+    cut_depth: int,
+    subtree_nodes: Dict[int, _NodeEnc],
+) -> InterfaceTable:
+    """Assemble the final table in the exact serial insertion order:
+    walk ``nodes_bottom_up()``, splicing worker-computed nodes (depth
+    >= cut) and generating the remaining top waves in-process with the
+    shared per-node code path."""
+    table = InterfaceTable(direction=direction)
+    per_parent = demands_by_parent(topology, link_demands, direction)
+    gateway = topology.gateway_id
+    for node in topology.nodes_bottom_up():
+        if topology.is_leaf(node):
+            continue
+        if topology.depth_of(node) >= cut_depth:
+            enc = subtree_nodes.get(node)
+            if enc is None:
+                continue  # empty interface: serial skips it too
+            _node, components, layouts = enc
+            interface = ResourceInterface(owner=node, direction=direction)
+            for layer, n_slots, n_ch in components:
+                interface.components[layer] = ResourceComponent(
+                    node, layer, n_slots, n_ch
+                )
+            for layer, placements in layouts:
+                table.layouts[(node, layer)] = {
+                    tag: PlacedRect(x, y, w, h, tag)
+                    for tag, x, y, w, h in placements
+                }
+            table.interfaces[node] = interface
+            if node != gateway:
+                table.post_intf_messages += 1
+        else:
+            generate_node_interface(
+                topology, table, node, per_parent.get(node, {}),
+                num_channels, case1_slack, cache,
+            )
+    return table
+
+
+# ----------------------------------------------------------------------
+# the fork pool
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn, topology, link_demands, num_channels, case1_slack,
+                 cache, roots, crash) -> None:
+    """Worker body: inputs arrived through fork (no pickling); only the
+    per-root results and cache deltas travel back over the pipe."""
+    if crash:
+        os._exit(13)
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] != "gen":
+                break
+            direction = Direction(message[1])
+            payload = []
+            for root in roots:
+                if cache is not None:
+                    cache.begin_delta_capture()
+                sub = generate_interfaces(
+                    topology, link_demands, direction, num_channels,
+                    case1_slack, cache=cache, root=root,
+                )
+                delta = cache.drain_delta() if cache is not None else []
+                payload.append((root, _encode_table(sub), delta))
+            conn.send(("ok", payload))
+    except (EOFError, OSError):
+        pass
+    except BaseException as error:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("err", f"{type(error).__name__}: {error}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+class _WorkerCrashed(RuntimeError):
+    """A pool worker died or answered garbage: abandon the attempt."""
+
+
+class StaticGenPool:
+    """A persistent fork pool for one static phase.
+
+    Forked once, reused for both traffic directions, then closed.  Root
+    batches are fixed at fork time (LPT over ``subtree_size`` spans —
+    largest subtree first onto the least-loaded worker; assignment only
+    shapes wall time, never results).  ``crash_worker`` deterministically
+    kills one worker at startup — the fault-injection hook the
+    crash-fallback property test uses.
+    """
+
+    def __init__(
+        self,
+        topology: TreeTopology,
+        link_demands: Mapping[LinkRef, int],
+        num_channels: int,
+        case1_slack: int,
+        cache: Optional[CompositionCache],
+        roots: Sequence[int],
+        workers: int,
+        crash_worker: Optional[int] = None,
+    ) -> None:
+        ctx = mp.get_context("fork")
+        spans = sorted(
+            roots,
+            key=lambda r: (-topology.subtree_size(r),
+                           topology.preorder_index(r)),
+        )
+        count = min(workers, len(roots))
+        batches: List[List[int]] = [[] for _ in range(count)]
+        loads = [0] * count
+        for root in spans:
+            target = loads.index(min(loads))
+            batches[target].append(root)
+            loads[target] += topology.subtree_size(root)
+        self._procs = []
+        self._conns = []
+        for index, batch in enumerate(batches):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, topology, link_demands, num_channels,
+                      case1_slack, cache, batch,
+                      crash_worker == index),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def generate(self, direction: Direction) -> List[Tuple]:
+        """Fan one direction out; returns the concatenated per-root
+        payloads.  Raises :class:`_WorkerCrashed` on any worker loss —
+        nothing is merged by then, so the caller's fallback is clean."""
+        for conn in self._conns:
+            try:
+                conn.send(("gen", direction.value))
+            except (BrokenPipeError, OSError) as error:
+                raise _WorkerCrashed(f"send failed: {error}") from error
+        results: List[Tuple] = []
+        for proc, conn in zip(self._procs, self._conns):
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError) as error:
+                raise _WorkerCrashed(
+                    f"worker pid={proc.pid} died "
+                    f"(exitcode={proc.exitcode}): {error}"
+                ) from error
+            if kind != "ok":
+                raise _WorkerCrashed(str(payload))
+            results.extend(payload)
+        return results
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("quit",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# the entry point the manager calls
+# ----------------------------------------------------------------------
+
+
+def generate_static_tables(
+    topology: TreeTopology,
+    link_demands: Mapping[LinkRef, int],
+    num_channels: int,
+    case1_slack: int,
+    cache: Optional[CompositionCache],
+    workers: int,
+    min_nodes: int = DEFAULT_MIN_NODES,
+    cut_depth: Optional[int] = None,
+    crash_worker: Optional[int] = None,
+) -> Tuple[Dict[Direction, InterfaceTable], ParallelStaticStats]:
+    """Both directions' interface tables, parallel when profitable.
+
+    The result is byte-identical to two serial
+    :func:`~repro.core.interface_gen.generate_interfaces` calls in
+    (UP, DOWN) order; :class:`ParallelStaticStats` records which path
+    ran and why.  ``crash_worker`` is the test-only fault hook.
+    """
+    stats = ParallelStaticStats(requested_workers=workers)
+
+    def serial(mode: str) -> Tuple[Dict[Direction, InterfaceTable],
+                                   ParallelStaticStats]:
+        stats.mode = mode
+        tables = {
+            direction: generate_interfaces(
+                topology, link_demands, direction, num_channels,
+                case1_slack, cache=cache,
+            )
+            for direction in (Direction.UP, Direction.DOWN)
+        }
+        return tables, stats
+
+    if workers < 2 or len(topology.nodes) < min_nodes:
+        return serial("serial-small")
+    if not fork_available():
+        return serial("serial-no-fork")
+    if cut_depth is None:
+        cut_depth = choose_cut_depth(topology, workers, min_nodes)
+    if cut_depth is None:
+        return serial("serial-no-cut")
+    roots = cut_roots(topology, cut_depth)
+    if len(roots) < 2:
+        return serial("serial-no-cut")
+
+    stats.cut_depth = cut_depth
+    stats.units = len(roots)
+    started = time.perf_counter()
+    pool = StaticGenPool(
+        topology, link_demands, num_channels, case1_slack, cache,
+        roots, workers, crash_worker=crash_worker,
+    )
+    stats.workers = pool.workers
+    try:
+        per_direction: Dict[Direction, List[Tuple]] = {}
+        for direction in (Direction.UP, Direction.DOWN):
+            per_direction[direction] = pool.generate(direction)
+    except _WorkerCrashed:
+        # Nothing was merged: the table and cache are untouched, so the
+        # serial pass starts from exactly the pre-attempt state.
+        stats.fallbacks += 1
+        stats.pool_seconds = time.perf_counter() - started
+        return serial("serial-fallback")
+    finally:
+        pool.close()
+
+    tables: Dict[Direction, InterfaceTable] = {}
+    order = {root: i for i, root in enumerate(roots)}
+    for direction in (Direction.UP, Direction.DOWN):
+        payload = sorted(per_direction[direction],
+                         key=lambda item: order[item[0]])
+        subtree_nodes: Dict[int, Tuple] = {}
+        for _root, (nodes, _post_intf), _delta in payload:
+            for enc in nodes:
+                subtree_nodes[enc[0]] = enc
+        tables[direction] = _merge_direction(
+            topology, link_demands, direction, num_channels,
+            case1_slack, cache, cut_depth, subtree_nodes,
+        )
+        if cache is not None:
+            # Deltas land in deterministic preorder of the subtree
+            # roots, and only after every worker succeeded.
+            for _root, _table_enc, delta in payload:
+                stats.delta_entries += cache.merge_delta(delta)
+    stats.mode = "parallel"
+    stats.pool_seconds = time.perf_counter() - started
+    return tables, stats
+
+
+# ----------------------------------------------------------------------
+# equivalence witnesses
+# ----------------------------------------------------------------------
+
+
+def table_digest(table: InterfaceTable) -> str:
+    """Order-sensitive digest of an :class:`InterfaceTable`.
+
+    Serializes the interfaces dict (key order, plus every interface's
+    component add-order), the layouts dict (key order) and the POST-intf
+    count.  Placements *within* one composition layout are canonicalized
+    by tag: their mapping is the contract, their insertion order already
+    varies with cache-hit history in the plain serial pass (a cache
+    replay inserts in canonical order, a cold pack in packer order —
+    certified mapping-identical by the cache suite).
+    """
+    parts: List[str] = [table.direction.name, str(table.post_intf_messages)]
+    for node, interface in table.interfaces.items():
+        parts.append(
+            f"I{node}:" + ",".join(
+                f"{layer}={comp.n_slots}x{comp.n_channels}"
+                for layer, comp in interface.components.items()
+            )
+        )
+    for (node, layer), layout in table.layouts.items():
+        placed = sorted(
+            (repr(tag), p.x, p.y, p.width, p.height)
+            for tag, p in layout.items()
+        )
+        parts.append(f"L{node},{layer}:{placed!r}")
+    payload = "|".join(parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def generate_parallel_inprocess(
+    topology: TreeTopology,
+    link_demands: Mapping[LinkRef, int],
+    direction: Direction,
+    num_channels: int,
+    case1_slack: int,
+    cache: Optional[CompositionCache],
+    cut_depth: int,
+) -> InterfaceTable:
+    """The fork pool's partition/encode/merge pipeline without the fork:
+    every subtree unit is generated in-process, round-tripped through
+    the wire encoding, and merged exactly as the pool merges.  This is
+    what the fuzz oracle and the hypothesis suite sweep — the merge
+    logic is the determinism risk; fork itself cannot change values.
+    """
+    roots = cut_roots(topology, cut_depth)
+    subtree_nodes: Dict[int, Tuple] = {}
+    deltas: List[List] = []
+    for root in roots:
+        if cache is not None:
+            cache.begin_delta_capture()
+        sub = generate_interfaces(
+            topology, link_demands, direction, num_channels,
+            case1_slack, cache=cache, root=root,
+        )
+        deltas.append(cache.drain_delta() if cache is not None else [])
+        nodes, _post_intf = _encode_table(sub)
+        for enc in nodes:
+            subtree_nodes[enc[0]] = enc
+    table = _merge_direction(
+        topology, link_demands, direction, num_channels, case1_slack,
+        cache, cut_depth, subtree_nodes,
+    )
+    if cache is not None:
+        for delta in deltas:
+            cache.merge_delta(delta)
+    return table
+
+
+# ----------------------------------------------------------------------
+# per-wave instrumentation (``repro profile static``)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WaveRow:
+    """One depth wave of an instrumented serial static pass."""
+
+    depth: int
+    nodes: int = 0
+    compositions: int = 0
+    compose_seconds: float = 0.0
+    case1_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def static_wave_profile(
+    topology: TreeTopology,
+    link_demands: Mapping[LinkRef, int],
+    num_channels: int,
+    case1_slack: int = 0,
+    cache: Optional[CompositionCache] = None,
+) -> List[WaveRow]:
+    """Run the serial pass (both directions) with per-depth timers.
+
+    Returns one row per depth wave, deepest first: nodes composed,
+    Algorithm-1 invocations, compose wall time vs Case-1 (demand-sum)
+    wall time, and the cache traffic — the data behind a cut-depth
+    choice, rendered by ``repro profile static``.
+    """
+    from .interface_gen import _child_component_rects
+    from ..packing.composition import compose_components
+
+    rows: Dict[int, WaveRow] = {}
+    for direction in (Direction.UP, Direction.DOWN):
+        table = InterfaceTable(direction=direction)
+        per_parent = demands_by_parent(topology, link_demands, direction)
+        for node in topology.nodes_bottom_up():
+            if topology.is_leaf(node):
+                continue
+            depth = topology.depth_of(node)
+            row = rows.setdefault(depth, WaveRow(depth=depth))
+            row.nodes += 1
+            interface = ResourceInterface(owner=node, direction=direction)
+            own_layer = topology.node_layer(node)
+
+            start = time.perf_counter()
+            demands = per_parent.get(node, {})
+            total = sum(demands.values())
+            if total > 0:
+                interface.add(ResourceComponent(
+                    node, own_layer,
+                    n_slots=total + case1_slack, n_channels=1,
+                ))
+            row.case1_seconds += time.perf_counter() - start
+
+            deepest = topology.subtree_max_layer(node)
+            for layer in range(own_layer + 1, deepest + 1):
+                child_rects = _child_component_rects(
+                    topology, table, node, layer
+                )
+                if not child_rects:
+                    continue
+                hits0 = cache.hits if cache is not None else 0
+                start = time.perf_counter()
+                composed = compose_components(
+                    child_rects, num_channels, cache
+                )
+                row.compose_seconds += time.perf_counter() - start
+                row.compositions += 1
+                if cache is not None:
+                    if cache.hits > hits0:
+                        row.cache_hits += 1
+                    else:
+                        row.cache_misses += 1
+                interface.add(ResourceComponent(
+                    node, layer, composed.n_slots, composed.n_channels
+                ))
+                table.layouts[(node, layer)] = composed.layout
+            if interface.components:
+                table.interfaces[node] = interface
+    return [rows[d] for d in sorted(rows, reverse=True)]
+
+
+def render_wave_profile(rows: Sequence[WaveRow]) -> str:
+    """Human-readable per-wave table (both directions aggregated)."""
+    lines = [
+        "  wave   nodes  compositions   compose s    case1 s   hit/miss",
+        "  ----  ------  ------------  ----------  ---------  ---------",
+    ]
+    for row in rows:
+        lines.append(
+            f"  d={row.depth:<3} {row.nodes:>6}  {row.compositions:>12}  "
+            f"{row.compose_seconds:>10.4f}  {row.case1_seconds:>9.4f}  "
+            f"{row.cache_hits:>4}/{row.cache_misses}"
+        )
+    total_compose = sum(r.compose_seconds for r in rows)
+    total_case1 = sum(r.case1_seconds for r in rows)
+    lines.append(
+        f"  total compose {total_compose:.4f}s, case1 {total_case1:.4f}s "
+        f"over {sum(r.nodes for r in rows)} node visits"
+    )
+    return "\n".join(lines)

@@ -62,7 +62,12 @@ from .fleet_oracle import (
     check_fleet_determinism,
     run_serial_baseline,
 )
-from .oracles import Violation, check_scenario_network, run_conservation
+from .oracles import (
+    Violation,
+    check_parallel_equivalence,
+    check_scenario_network,
+    run_conservation,
+)
 
 __all__ = [
     "CaseResult",
@@ -78,6 +83,7 @@ __all__ = [
     "check_fleet_campaign",
     "check_fleet_conservation",
     "check_fleet_determinism",
+    "check_parallel_equivalence",
     "check_scenario_network",
     "diff_manager_vs_agents",
     "diff_schedulers",

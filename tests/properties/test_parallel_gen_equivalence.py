@@ -1,0 +1,283 @@
+"""Equivalence property: the parallel static phase vs the serial pass.
+
+The frontier-wave decomposition in :mod:`repro.core.parallel_gen`
+claims *byte identity*: for any topology, demand map and cut layer,
+the merged :class:`~repro.core.interface_gen.InterfaceTable` equals
+the serial one — same interfaces-dict key order, same component
+add-order inside every interface, same layouts-dict key order, same
+placement mappings, same POST-intf count.  (Placement *insertion*
+order within one composition layout is outside the contract: the
+plain serial pass itself varies it with cache-hit history, so the
+digest canonicalizes it — see ``table_digest``.)
+
+Three layers of enforcement:
+
+* hypothesis-drawn fuzz scenarios x drawn cut depths through the
+  in-process driver (same wave decomposition, wire encoding and merge
+  as the forked pool, minus the fork);
+* the real fork pool on a mid-size tree, including a worker crashed
+  mid-wave — the fallback must regenerate serially with *zero* cache
+  mutation from the dead wave;
+* determinism and threshold behaviour of the cut-layer heuristic.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import InsufficientResourcesError
+from repro.core.interface_gen import generate_interfaces
+from repro.core.manager import HarpNetwork
+from repro.core.parallel_gen import (
+    choose_cut_depth,
+    cut_roots,
+    fork_available,
+    generate_parallel_inprocess,
+    generate_static_tables,
+    table_digest,
+)
+from repro.net.topology import Direction
+from repro.packing.composition import CompositionCache
+from repro.verify.generators import generate_scenario
+
+
+def _assert_tables_identical(serial, parallel, context):
+    """Full structural identity, order included (see module docstring
+    for the one canonicalized exception)."""
+    assert list(parallel.interfaces.keys()) == list(
+        serial.interfaces.keys()
+    ), f"{context}: interface key order diverged"
+    for node, intf in serial.interfaces.items():
+        got = parallel.interfaces[node]
+        assert list(got.components.keys()) == list(
+            intf.components.keys()
+        ), f"{context}: node {node} component add-order diverged"
+        assert got.components == intf.components, (
+            f"{context}: node {node} components diverged"
+        )
+    assert list(parallel.layouts.keys()) == list(serial.layouts.keys()), (
+        f"{context}: layout key order diverged"
+    )
+    for key, layout in serial.layouts.items():
+        assert parallel.layouts[key] == layout, (
+            f"{context}: layout {key} mapping diverged"
+        )
+    assert parallel.post_intf_messages == serial.post_intf_messages, context
+    assert table_digest(parallel) == table_digest(serial), context
+
+
+def _scenario_inputs(seed):
+    """(topology, link_demands, channels, slack) for one fuzz scenario,
+    or None when its bootstrap is infeasible/degenerate."""
+    scenario = generate_scenario(seed)
+    try:
+        harp = HarpNetwork(
+            scenario.topology(),
+            scenario.task_set(),
+            scenario.config(),
+            case1_slack=scenario.case1_slack,
+            distribute_slack=scenario.distribute_slack,
+        )
+        harp.allocate()
+    except InsufficientResourcesError:
+        return None
+    return (
+        harp.topology,
+        harp.link_demands,
+        harp.config.num_channels,
+        harp.case1_slack,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 5000), cut_choice=st.integers(0, 7))
+def test_arbitrary_cut_layers_byte_identical(seed, cut_choice):
+    """Any fuzz topology x any cuttable depth: the in-process parallel
+    driver reproduces the serial tables exactly, both directions."""
+    inputs = _scenario_inputs(seed)
+    if inputs is None:
+        return
+    topology, demands, channels, slack = inputs
+    cuttable = [
+        d
+        for d in range(1, max(topology.max_layer, 1))
+        if len(cut_roots(topology, d)) >= 2
+    ]
+    if not cuttable:
+        return  # too shallow to cut; the pool falls back to serial
+    cut_depth = cuttable[cut_choice % len(cuttable)]
+    for direction in (Direction.UP, Direction.DOWN):
+        serial = generate_interfaces(
+            topology, demands, direction, channels, slack, cache=None
+        )
+        parallel = generate_parallel_inprocess(
+            topology, demands, direction, channels, slack,
+            CompositionCache(), cut_depth,
+        )
+        _assert_tables_identical(
+            serial, parallel,
+            f"seed {seed} cut {cut_depth} {direction.value}",
+        )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_corpus_replay_byte_identical(seed):
+    """Stable corpus sweep at the heuristic's own cut choice."""
+    inputs = _scenario_inputs(seed)
+    if inputs is None:
+        return
+    topology, demands, channels, slack = inputs
+    cut_depth = choose_cut_depth(topology, workers=2, min_nodes=1)
+    if cut_depth is None:
+        return
+    for direction in (Direction.UP, Direction.DOWN):
+        serial = generate_interfaces(
+            topology, demands, direction, channels, slack, cache=None
+        )
+        parallel = generate_parallel_inprocess(
+            topology, demands, direction, channels, slack,
+            CompositionCache(), cut_depth,
+        )
+        _assert_tables_identical(
+            serial, parallel, f"seed {seed} {direction.value}"
+        )
+
+
+def _mid_size_inputs():
+    for seed in range(50):
+        inputs = _scenario_inputs(seed)
+        if inputs is None:
+            continue
+        topology = inputs[0]
+        if choose_cut_depth(topology, workers=2, min_nodes=1) is not None:
+            return inputs
+    raise AssertionError("no cuttable scenario in the first 50 seeds")
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method absent")
+def test_fork_pool_byte_identical():
+    """The real worker pool (fork + pipes + delta merge) matches serial,
+    and the merged cache deltas replay toward the serial cache state."""
+    topology, demands, channels, slack = _mid_size_inputs()
+    serial = {
+        direction: generate_interfaces(
+            topology, demands, direction, channels, slack, cache=None
+        )
+        for direction in (Direction.UP, Direction.DOWN)
+    }
+    cache = CompositionCache()
+    tables, stats = generate_static_tables(
+        topology, demands, channels, slack, cache,
+        workers=2, min_nodes=1,
+    )
+    assert stats.mode == "parallel"
+    assert stats.units >= 2
+    for direction, table in tables.items():
+        _assert_tables_identical(
+            serial[direction], table, f"fork pool {direction.value}"
+        )
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method absent")
+def test_worker_crash_falls_back_serially_without_cache_corruption():
+    """A worker killed mid-wave: the pool discards every payload,
+    regenerates serially, and merges nothing from the dead run."""
+    topology, demands, channels, slack = _mid_size_inputs()
+    serial = {
+        direction: generate_interfaces(
+            topology, demands, direction, channels, slack, cache=None
+        )
+        for direction in (Direction.UP, Direction.DOWN)
+    }
+    cache = CompositionCache()
+    tables, stats = generate_static_tables(
+        topology, demands, channels, slack, cache,
+        workers=2, min_nodes=1, crash_worker=1,
+    )
+    assert stats.mode == "serial-fallback"
+    assert stats.fallbacks == 1
+    assert stats.delta_entries == 0
+    assert cache.delta_merges == 0, "crashed wave leaked cache deltas"
+    for direction, table in tables.items():
+        _assert_tables_identical(
+            serial[direction], table, f"crash fallback {direction.value}"
+        )
+
+
+def test_small_tree_stays_serial():
+    """Below the node-count threshold the knob is a no-op: serial mode,
+    identical tables, no pool spawned."""
+    topology, demands, channels, slack = _mid_size_inputs()
+    tables, stats = generate_static_tables(
+        topology, demands, channels, slack, CompositionCache(),
+        workers=4, min_nodes=len(topology.nodes) + 1,
+    )
+    assert stats.mode == "serial-small"
+    assert stats.workers == 0
+    for direction, table in tables.items():
+        serial = generate_interfaces(
+            topology, demands, direction, channels, slack, cache=None
+        )
+        _assert_tables_identical(
+            serial, table, f"serial-small {direction.value}"
+        )
+
+
+def test_cut_heuristic_deterministic():
+    """Same topology, same workers -> same cut; roots come back in
+    preorder; and the chosen depth is actually cuttable."""
+    topology = _mid_size_inputs()[0]
+    cuts = {choose_cut_depth(topology, workers=2, min_nodes=1)
+            for _ in range(5)}
+    assert len(cuts) == 1
+    cut_depth = cuts.pop()
+    roots = cut_roots(topology, cut_depth)
+    assert len(roots) >= 2
+    assert roots == sorted(roots, key=topology.preorder_index)
+
+
+def test_network_knob_end_to_end():
+    """HarpNetwork(parallel_static=2): identical schedules and a stats
+    block that names the mode it ran in."""
+    scenario = generate_scenario(3)
+    kwargs = dict(
+        case1_slack=scenario.case1_slack,
+        distribute_slack=scenario.distribute_slack,
+    )
+    try:
+        serial = HarpNetwork(
+            scenario.topology(), scenario.task_set(), scenario.config(),
+            **kwargs,
+        )
+        serial.allocate()
+    except InsufficientResourcesError:
+        pytest.skip("seed 3 bootstrap infeasible")
+    parallel = HarpNetwork(
+        scenario.topology(), scenario.task_set(), scenario.config(),
+        parallel_static=2 if fork_available() else False, **kwargs,
+    )
+    parallel.allocate()
+    for direction in (Direction.UP, Direction.DOWN):
+        _assert_tables_identical(
+            serial.tables[direction],
+            parallel.tables[direction],
+            f"network knob {direction.value}",
+        )
+    assert "composition_cache" in parallel.stats
+    if fork_available():
+        assert parallel.stats["parallel_static"]["mode"] in (
+            "parallel", "serial-small", "serial-no-cut"
+        )
+
+
+def test_cpu_count_resolution():
+    """parallel_static=True resolves to one worker per CPU."""
+    from repro.core.parallel_gen import resolve_workers
+
+    assert resolve_workers(False) == 0
+    assert resolve_workers(0) == 0
+    assert resolve_workers(1) == 0
+    assert resolve_workers(3) == 3
+    assert resolve_workers(True) == (os.cpu_count() or 1)
